@@ -1,0 +1,58 @@
+// Ablation: projected parallel efficiency at scale (paper §VII: "we intend
+// to not only study the scalability but also the performance isolation
+// capabilities of our approach").
+//
+// Composes detailed single-node superstep traces into N-node BSP runs
+// (max-over-nodes per step + log2(N) allreduce). OS noise that looks
+// harmless on one node is amplified by the max() — the classic reason LWKs
+// matter at scale, and the projection of where the paper's approach pays.
+#include <cstdio>
+
+#include "cluster/scale_model.h"
+#include "cluster/trace_collect.h"
+#include "core/harness.h"
+#include "workloads/nas.h"
+
+int main(int argc, char** argv) {
+    using namespace hpcsec;
+    const int samples = argc > 1 ? std::atoi(argv[1]) : 6;
+
+    // LU is the sync-heavy workload; shrink for trace collection speed.
+    wl::WorkloadSpec spec = wl::nas_lu_spec();
+    spec.units_per_thread_step /= 4;
+    spec.supersteps = 400;
+
+    std::printf("== Ablation: projected efficiency at scale (NAS LU class) ==\n");
+    std::printf("(%d detailed node traces per config; dissemination allreduce "
+                "2us/hop)\n\n",
+                samples);
+
+    const std::vector<int> nodes = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+    const sim::ClockSpec clock{1'100'000'000};
+
+    std::printf("%8s", "nodes");
+    for (const auto kind : core::kAllConfigs) {
+        std::printf(" %14s", core::to_string(kind).c_str());
+    }
+    std::printf("   (parallel efficiency)\n");
+
+    std::vector<std::vector<cluster::ScaleResult>> results;
+    for (const auto kind : core::kAllConfigs) {
+        const auto traces = cluster::collect_traces(kind, spec, samples, 555);
+        cluster::ScaleModel model(traces, clock);
+        results.push_back(model.sweep(nodes, 5, 777));
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        std::printf("%8d", nodes[i]);
+        for (const auto& series : results) {
+            std::printf(" %14.4f", series[i].efficiency);
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "\nTakeaway: per-node noise compounds as max() across nodes. The Linux-\n"
+        "scheduled configuration sheds efficiency with node count while the\n"
+        "Kitten-scheduled secure configuration tracks native — the scalability\n"
+        "argument for LWK scheduling of secure partitions.\n");
+    return 0;
+}

@@ -1,0 +1,36 @@
+// Regenerates Figs. 4-6: selfish-detour noise profiles.
+//
+//   Fig. 4 — native Kitten:           sparse detours (10 Hz LWK ticks only)
+//   Fig. 5 — Kitten VM on Kitten SPM: same count order, slightly larger
+//                                     amplitudes (world-switch on each tick)
+//   Fig. 6 — Kitten VM on Linux:      frequent, randomly distributed noise
+//                                     (250 Hz CFS ticks, kworkers, softirqs)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/harness.h"
+
+int main(int argc, char** argv) {
+    using namespace hpcsec;
+    const double seconds = argc > 1 ? std::atof(argv[1]) : 60.0;
+    const std::uint64_t seed = 20211114;
+
+    struct FigDef {
+        const char* fig;
+        core::SchedulerKind kind;
+    };
+    const FigDef figs[] = {
+        {"Fig. 4 (native Kitten)", core::SchedulerKind::kNativeKitten},
+        {"Fig. 5 (Kitten VM, Kitten scheduler)", core::SchedulerKind::kKittenPrimary},
+        {"Fig. 6 (Kitten VM, Linux scheduler)", core::SchedulerKind::kLinuxPrimary},
+    };
+
+    std::printf("== Selfish-detour benchmark, %.0f s simulated per config ==\n\n",
+                seconds);
+    for (const auto& fig : figs) {
+        const auto series = core::run_selfish_experiment(fig.kind, seconds, seed);
+        std::printf("---- %s ----\n", fig.fig);
+        std::printf("%s\n", core::format_selfish(series).c_str());
+    }
+    return 0;
+}

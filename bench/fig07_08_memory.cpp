@@ -1,0 +1,34 @@
+// Regenerates Fig. 7 (normalized) and Fig. 8 (raw table): HPCG, Stream and
+// RandomAccess across the Native / Kitten / Linux configurations.
+//
+// Paper reference values (Fig. 8):
+//             HPCG (GFlops)      Stream (MB/s)     RandomAccess (GUP/s)
+//   Native    0.0018 / 3e-5      59.6 / 0.14       6.5e-5  / 5.7e-10
+//   Kitten    0.0019 / 3e-5      59.8 / 0.14       6.2e-5  / 3.4e-8
+//   Linux     0.0018 / 3e-5      60.2 / 0.42       6.04e-5 / 3.6e-9
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/harness.h"
+#include "workloads/hpcg.h"
+#include "workloads/randomaccess.h"
+#include "workloads/stream.h"
+
+int main(int argc, char** argv) {
+    using namespace hpcsec;
+    core::Harness::Options opt;
+    opt.trials = argc > 1 ? std::atoi(argv[1]) : 10;
+    core::Harness harness(opt);
+
+    const std::vector<wl::WorkloadSpec> specs = {
+        wl::hpcg_spec(), wl::stream_spec(), wl::randomaccess_spec()};
+
+    std::printf("== Fig. 8: HPCG, Stream, RandomAccess raw performance ==\n");
+    std::printf("(%d trials per cell; simulated Pine A64-LTS, 4x A53 @1.1GHz)\n\n",
+                opt.trials);
+    const auto rows = harness.run_rows(specs);
+    std::printf("%s\n", core::Harness::format_raw(rows).c_str());
+    std::printf("== Fig. 7: normalized performance ==\n");
+    std::printf("%s\n", core::Harness::format_normalized(rows).c_str());
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Regenerates Fig. 9 (normalized) and Fig. 10 (raw Mop/s): the NAS Parallel
+// Benchmark subset LU, BT, CG, EP, SP.
+//
+// Paper reference values (Fig. 10, Mop/s):
+//             LU       BT       CG     EP     SP
+//   Native    33.16    34.214   4.38   0.77   15.084
+//   Kitten    33.116   34.2     4.38   0.77   15.08
+//   Linux     32.06    34.142   4.37   0.77   15.1
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/harness.h"
+#include "workloads/nas.h"
+
+int main(int argc, char** argv) {
+    using namespace hpcsec;
+    core::Harness::Options opt;
+    opt.trials = argc > 1 ? std::atoi(argv[1]) : 5;
+    core::Harness harness(opt);
+
+    std::printf("== Fig. 10: NAS Parallel Benchmarks raw performance (Mop/s) ==\n");
+    std::printf("(%d trials per cell; simulated Pine A64-LTS, 4x A53 @1.1GHz)\n\n",
+                opt.trials);
+    const auto rows = harness.run_rows(wl::nas_suite());
+    std::printf("%s\n", core::Harness::format_raw(rows).c_str());
+    std::printf("== Fig. 9: normalized performance ==\n");
+    std::printf("%s\n", core::Harness::format_normalized(rows).c_str());
+    return 0;
+}

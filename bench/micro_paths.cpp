@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) of the simulator's hot paths and the
+// modeled architectural operations: event scheduling, page-table walks,
+// one- vs two-stage translation, TLB operations, hypercall dispatch, full
+// boot. These characterize the *simulator* cost (host-side), and document
+// the modeled cycle costs of the paths the paper discusses (§II.a).
+#include <benchmark/benchmark.h>
+
+#include "arch/mmu.h"
+#include "arch/platform.h"
+#include "hafnium/spm.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace hpcsec;
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+    for (auto _ : state) {
+        sim::Engine e;
+        for (int i = 0; i < 1000; ++i) e.after(static_cast<sim::Cycles>(i + 1), [] {});
+        e.run();
+        benchmark::DoNotOptimize(e.events_executed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+void BM_PageTableWalk4Level(benchmark::State& state) {
+    arch::PageTable pt;
+    pt.map(0x10'0000, 0x8000'0000, 64 * arch::kPageSize, arch::kPermRW, false,
+           /*force_pages=*/true);
+    std::uint64_t addr = 0x10'0000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk(addr));
+        addr = 0x10'0000 + ((addr + arch::kPageSize) & 0x3ffff);
+    }
+}
+BENCHMARK(BM_PageTableWalk4Level);
+
+void BM_PageTableWalkBlock(benchmark::State& state) {
+    arch::PageTable pt;
+    pt.map(0, 0x4000'0000, 1ull << 30, arch::kPermRWX);  // 1 GiB block
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.walk(0x1234'5678 & 0x3fff'ffff));
+    }
+}
+BENCHMARK(BM_PageTableWalkBlock);
+
+void BM_MmuTranslateTwoStageCold(benchmark::State& state) {
+    arch::MemoryMap mem;
+    mem.add_region({"ram", 0x4000'0000, 1ull << 30, arch::RegionKind::kRam,
+                    arch::World::kNonSecure});
+    arch::PageTable s1, s2;
+    s1.map(0, 0x1000'0000, 16ull << 20, arch::kPermRW);
+    s2.map(0x1000'0000, 0x4000'0000, 16ull << 20, arch::kPermRW);
+    arch::Mmu mmu(mem);
+    mmu.set_context(&s1, &s2, 1, 1, arch::World::kNonSecure);
+    std::uint64_t va = 0;
+    for (auto _ : state) {
+        mmu.tlb().flush_all();
+        benchmark::DoNotOptimize(mmu.translate(va, arch::Access::kRead));
+        va = (va + arch::kPageSize) & ((16ull << 20) - 1);
+    }
+}
+BENCHMARK(BM_MmuTranslateTwoStageCold);
+
+void BM_MmuTranslateTlbHit(benchmark::State& state) {
+    arch::MemoryMap mem;
+    mem.add_region({"ram", 0x4000'0000, 1ull << 30, arch::RegionKind::kRam,
+                    arch::World::kNonSecure});
+    arch::PageTable s1;
+    s1.map(0, 0x4000'0000, 1ull << 20, arch::kPermRW);
+    arch::Mmu mmu(mem);
+    mmu.set_context(&s1, nullptr, 0, 1, arch::World::kNonSecure);
+    (void)mmu.translate(0, arch::Access::kRead);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mmu.translate(0x40, arch::Access::kRead));
+    }
+}
+BENCHMARK(BM_MmuTranslateTlbHit);
+
+void BM_TlbFlushVmid(benchmark::State& state) {
+    arch::Tlb tlb(512, 4);
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (std::uint64_t p = 0; p < 256; ++p) {
+            tlb.insert({true, static_cast<arch::VmId>(p % 3), 0, p, p, arch::kPermRW,
+                        false});
+        }
+        state.ResumeTiming();
+        tlb.flush_vmid(1);
+    }
+}
+BENCHMARK(BM_TlbFlushVmid);
+
+struct SpmBench {
+    arch::Platform platform{arch::PlatformConfig::pine_a64()};
+    hafnium::Spm spm;
+
+    SpmBench() : spm(platform, make_manifest()) { spm.boot(); }
+
+    static hafnium::Manifest make_manifest() {
+        hafnium::Manifest m;
+        hafnium::VmSpec p;
+        p.name = "primary";
+        p.role = hafnium::VmRole::kPrimary;
+        p.mem_bytes = 64ull << 20;
+        p.vcpu_count = 4;
+        hafnium::VmSpec s;
+        s.name = "compute";
+        s.role = hafnium::VmRole::kSecondary;
+        s.mem_bytes = 64ull << 20;
+        s.vcpu_count = 4;
+        m.vms = {p, s};
+        return m;
+    }
+};
+
+void BM_HypercallDispatchInfo(benchmark::State& state) {
+    SpmBench b;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            b.spm.hypercall(0, 1, hafnium::Call::kVmGetInfo, {2, 0, 0, 0}));
+    }
+}
+BENCHMARK(BM_HypercallDispatchInfo);
+
+void BM_GuestFunctionalWrite(benchmark::State& state) {
+    SpmBench b;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        b.spm.vm_write64(2, addr, addr);
+        addr = (addr + 8) & 0xfffff;
+    }
+}
+BENCHMARK(BM_GuestFunctionalWrite);
+
+void BM_SpmFullBoot(benchmark::State& state) {
+    for (auto _ : state) {
+        arch::Platform platform(arch::PlatformConfig::pine_a64());
+        hafnium::Spm spm(platform, SpmBench::make_manifest());
+        spm.boot();
+        benchmark::DoNotOptimize(spm.vm_count());
+    }
+}
+BENCHMARK(BM_SpmFullBoot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// hpcsec_cli — run any paper workload on any node configuration from the
+// command line.
+//
+//   hpcsec_cli [--workload hpcg|stream|gups|lu|bt|cg|ep|sp|selfish]
+//              [--config native|kitten|linux] [--trials N] [--seed S]
+//              [--seconds S]            (selfish duration)
+//              [--super-secondary] [--secure] [--selective-routing]
+//              [--tick-hz HZ]           (primary tick rate override)
+//
+// Examples:
+//   hpcsec_cli --workload gups --config linux --trials 5
+//   hpcsec_cli --workload selfish --config kitten --seconds 30
+//   hpcsec_cli --workload lu --config kitten --secure
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/harness.h"
+#include "workloads/hpcg.h"
+#include "workloads/nas.h"
+#include "workloads/randomaccess.h"
+#include "workloads/stream.h"
+
+namespace {
+
+using namespace hpcsec;
+
+struct CliOptions {
+    std::string workload = "hpcg";
+    std::string config = "kitten";
+    int trials = 3;
+    std::uint64_t seed = 42;
+    double seconds = 10.0;
+    bool super_secondary = false;
+    bool secure = false;
+    bool selective = false;
+    double tick_hz = 0.0;  // 0 = default
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: hpcsec_cli [--workload hpcg|stream|gups|lu|bt|cg|ep|sp|"
+                 "selfish]\n                  [--config native|kitten|linux] "
+                 "[--trials N] [--seed S]\n                  [--seconds S] "
+                 "[--super-secondary] [--secure]\n                  "
+                 "[--selective-routing] [--tick-hz HZ]\n");
+}
+
+bool parse(int argc, char** argv, CliOptions& opt) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--workload") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.workload = v;
+        } else if (arg == "--config") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.config = v;
+        } else if (arg == "--trials") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.trials = std::atoi(v);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--seconds") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.seconds = std::atof(v);
+        } else if (arg == "--tick-hz") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.tick_hz = std::atof(v);
+        } else if (arg == "--super-secondary") {
+            opt.super_secondary = true;
+        } else if (arg == "--secure") {
+            opt.secure = true;
+        } else if (arg == "--selective-routing") {
+            opt.selective = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool pick_workload(const std::string& name, wl::WorkloadSpec& out) {
+    if (name == "hpcg") out = wl::hpcg_spec();
+    else if (name == "stream") out = wl::stream_spec();
+    else if (name == "gups" || name == "randomaccess") out = wl::randomaccess_spec();
+    else if (name == "lu") out = wl::nas_lu_spec();
+    else if (name == "bt") out = wl::nas_bt_spec();
+    else if (name == "cg") out = wl::nas_cg_spec();
+    else if (name == "ep") out = wl::nas_ep_spec();
+    else if (name == "sp") out = wl::nas_sp_spec();
+    else return false;
+    return true;
+}
+
+bool pick_config(const std::string& name, core::SchedulerKind& out) {
+    if (name == "native") out = core::SchedulerKind::kNativeKitten;
+    else if (name == "kitten") out = core::SchedulerKind::kKittenPrimary;
+    else if (name == "linux") out = core::SchedulerKind::kLinuxPrimary;
+    else return false;
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CliOptions opt;
+    if (!parse(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    core::SchedulerKind kind{};
+    if (!pick_config(opt.config, kind)) {
+        usage();
+        return 2;
+    }
+
+    auto factory = [&opt](core::SchedulerKind k, std::uint64_t seed) {
+        core::NodeConfig cfg = core::Harness::default_config(k, seed);
+        cfg.with_super_secondary = opt.super_secondary;
+        cfg.secure_compute_vm = opt.secure;
+        if (opt.selective) cfg.routing = hafnium::IrqRoutingPolicy::kSelective;
+        if (opt.tick_hz > 0.0) {
+            cfg.kitten.tick_hz = opt.tick_hz;
+            cfg.linux.tick_hz = opt.tick_hz;
+        }
+        return cfg;
+    };
+
+    if (opt.workload == "selfish") {
+        const core::NodeConfig cfg = factory(kind, opt.seed);
+        const auto series =
+            core::run_selfish_experiment(kind, opt.seconds, opt.seed, &cfg);
+        std::printf("%s\n", core::format_selfish(series).c_str());
+        return 0;
+    }
+
+    wl::WorkloadSpec spec;
+    if (!pick_workload(opt.workload, spec)) {
+        usage();
+        return 2;
+    }
+
+    core::Harness::Options hopt;
+    hopt.trials = opt.trials;
+    hopt.base_seed = opt.seed;
+    hopt.config_factory = factory;
+    core::Harness harness(hopt);
+
+    sim::RunningStats stats;
+    sim::RunningStats runtime;
+    for (int t = 0; t < opt.trials; ++t) {
+        const auto r = harness.run_trial(
+            kind, spec, opt.seed + 7919ull * static_cast<std::uint64_t>(t));
+        stats.add(r.score);
+        runtime.add(r.seconds);
+    }
+    std::printf("%s on %s (%d trial%s%s%s%s): %.6g %s (stdev %.3g), "
+                "%.3f s simulated each\n",
+                spec.name.c_str(), opt.config.c_str(), opt.trials,
+                opt.trials == 1 ? "" : "s",
+                opt.secure ? ", secure world" : "",
+                opt.super_secondary ? ", login VM" : "",
+                opt.selective ? ", selective routing" : "", stats.mean(),
+                spec.metric.c_str(), stats.stddev(), runtime.mean());
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Noise comparison: the paper's core argument, interactively.
+//
+// Runs the selfish-detour benchmark under all three schedulers and prints
+// side-by-side noise profiles plus a detour-duration histogram — the
+// textual equivalent of Figs. 4-6.
+#include <cstdio>
+
+#include "core/harness.h"
+#include "sim/stats.h"
+
+int main(int argc, char** argv) {
+    using namespace hpcsec;
+    const double seconds = argc > 1 ? std::atof(argv[1]) : 30.0;
+
+    std::printf("selfish-detour, %.0f s simulated per configuration\n\n", seconds);
+    std::printf("%-26s %10s %12s %12s %12s\n", "configuration", "detours",
+                "rate[/s]", "lost[ppm]", "max[us]");
+
+    for (const auto kind : core::kAllConfigs) {
+        const auto s = core::run_selfish_experiment(kind, seconds, 31337);
+        const double lost_ppm =
+            s.total_detour_us_all / (4.0 * seconds * 1e6) * 1e6;
+        std::printf("%-26s %10zu %12.1f %12.1f %12.1f\n",
+                    core::to_string(kind).c_str(),
+                    static_cast<std::size_t>(s.detours_all_cores),
+                    static_cast<double>(s.detours_all_cores) / seconds, lost_ppm,
+                    s.max_detour_us);
+    }
+
+    std::printf("\ndetour-duration histograms (all cores):\n");
+    for (const auto kind : core::kAllConfigs) {
+        const auto s = core::run_selfish_experiment(kind, seconds, 31337);
+        sim::LogHistogram hist(1.0, 4.0, 8);
+        // core 0 series is representative; aggregate view via the summary.
+        for (const auto& d : s.detours) hist.add(d.duration_us);
+        std::printf("\n%s (core 0, %zu detours):\n%s",
+                    core::to_string(kind).c_str(), s.detours.size(),
+                    hist.format("us").c_str());
+    }
+    std::printf(
+        "\nReading: Native and Kitten-scheduled profiles are both dominated by\n"
+        "the 10 Hz LWK tick (Kitten adds the EL2 world-switch to each detour);\n"
+        "the Linux-scheduled profile shows 250 Hz tick noise plus long kworker\n"
+        "bursts — the \"more frequent and more randomly distributed\" noise of\n"
+        "Fig. 6.\n");
+    return 0;
+}

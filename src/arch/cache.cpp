@@ -1,0 +1,111 @@
+#include "arch/cache.h"
+
+#include <stdexcept>
+
+namespace hpcsec::arch {
+
+CacheLevel::CacheLevel(CacheGeometry geometry) : geom_(geometry) {
+    if (geom_.size_bytes == 0 || geom_.line_bytes == 0 || geom_.ways == 0 ||
+        geom_.size_bytes % (geom_.line_bytes * geom_.ways) != 0) {
+        throw std::invalid_argument("CacheLevel: inconsistent geometry");
+    }
+    lines_.resize(geom_.sets() * geom_.ways);
+}
+
+bool CacheLevel::access(PhysAddr addr, bool is_write) {
+    const std::uint64_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
+    Line* base = &lines_[set * geom_.ways];
+    ++tick_;
+
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            line.lru = tick_;
+            line.dirty |= is_write;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    // Fill: pick an invalid way, else true-LRU victim.
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        victim = base;
+        for (std::uint32_t w = 1; w < geom_.ways; ++w) {
+            if (base[w].lru < victim->lru) victim = &base[w];
+        }
+        ++stats_.evictions;
+        if (victim->dirty) ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return false;
+}
+
+bool CacheLevel::contains(PhysAddr addr) const {
+    const std::uint64_t set = set_of(addr);
+    const std::uint64_t tag = tag_of(addr);
+    const Line* base = &lines_[set * geom_.ways];
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) return true;
+    }
+    return false;
+}
+
+void CacheLevel::flush_all() {
+    ++stats_.flushes;
+    for (auto& line : lines_) {
+        if (line.valid && line.dirty) ++stats_.writebacks;
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void CacheLevel::flush_range(PhysAddr base, std::uint64_t len) {
+    for (PhysAddr a = base & ~(geom_.line_bytes - 1); a < base + len;
+         a += geom_.line_bytes) {
+        const std::uint64_t set = set_of(a);
+        const std::uint64_t tag = tag_of(a);
+        Line* lines = &lines_[set * geom_.ways];
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            if (lines[w].valid && lines[w].tag == tag) {
+                if (lines[w].dirty) ++stats_.writebacks;
+                lines[w].valid = false;
+                lines[w].dirty = false;
+            }
+        }
+    }
+}
+
+std::uint64_t CacheLevel::valid_lines() const {
+    std::uint64_t n = 0;
+    for (const auto& line : lines_) n += line.valid ? 1 : 0;
+    return n;
+}
+
+CacheHierarchy::AccessResult CacheHierarchy::access(PhysAddr addr, bool is_write) {
+    AccessResult r;
+    r.l1_hit = l1_.access(addr, is_write);
+    if (!r.l1_hit) {
+        r.l2_hit = l2_.access(addr, is_write);
+    } else {
+        r.l2_hit = true;  // inclusive view
+    }
+    return r;
+}
+
+void CacheHierarchy::flush_all() {
+    l1_.flush_all();
+    l2_.flush_all();
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,108 @@
+// Set-associative cache model (A53-style L1D/L2 hierarchy).
+//
+// Functional LRU caches used by the machine model's functional memory path:
+// every Mmu::read64/write64 probes the attached hierarchy, giving tests and
+// micro-benchmarks real hit/miss behaviour (and giving context switches a
+// concrete working-set eviction story). The *statistical* performance model
+// keeps its own calibrated memory costs — see DESIGN.md §5 — so attaching a
+// cache never changes benchmark timings; it provides observability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+struct CacheGeometry {
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint64_t line_bytes = 64;
+    std::uint32_t ways = 4;
+
+    [[nodiscard]] std::uint64_t sets() const {
+        return size_bytes / (line_bytes * ways);
+    }
+};
+
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t flushes = 0;
+
+    [[nodiscard]] double hit_rate() const {
+        const auto total = hits + misses;
+        return total != 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                          : 0.0;
+    }
+};
+
+/// One cache level with true-LRU replacement and write-back/write-allocate
+/// policy (what the A53 implements for L1D).
+class CacheLevel {
+public:
+    explicit CacheLevel(CacheGeometry geometry);
+
+    /// Probe for a physical address. Returns true on hit; on miss the line
+    /// is filled (possibly evicting; dirty evictions count as writebacks).
+    bool access(PhysAddr addr, bool is_write);
+
+    /// Probe without filling (used by inclusive-hierarchy lookups).
+    [[nodiscard]] bool contains(PhysAddr addr) const;
+
+    void flush_all();
+    /// Invalidate every line in [base, base+len) (DC IVAC-by-range).
+    void flush_range(PhysAddr base, std::uint64_t len);
+
+    [[nodiscard]] const CacheStats& stats() const { return stats_; }
+    [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+    [[nodiscard]] std::uint64_t valid_lines() const;
+
+private:
+    struct Line {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  // larger == more recently used
+    };
+
+    [[nodiscard]] std::uint64_t set_of(PhysAddr a) const {
+        return (a / geom_.line_bytes) % geom_.sets();
+    }
+    [[nodiscard]] std::uint64_t tag_of(PhysAddr a) const {
+        return a / geom_.line_bytes / geom_.sets();
+    }
+
+    CacheGeometry geom_;
+    std::vector<Line> lines_;  // sets x ways
+    std::uint64_t tick_ = 0;
+    CacheStats stats_;
+};
+
+/// L1D + unified L2 hierarchy with the A53's default geometries.
+class CacheHierarchy {
+public:
+    CacheHierarchy()
+        : l1_({32 * 1024, 64, 4}), l2_({512 * 1024, 64, 16}) {}
+    CacheHierarchy(CacheGeometry l1, CacheGeometry l2) : l1_(l1), l2_(l2) {}
+
+    struct AccessResult {
+        bool l1_hit = false;
+        bool l2_hit = false;
+    };
+
+    AccessResult access(PhysAddr addr, bool is_write);
+
+    void flush_all();
+
+    CacheLevel& l1() { return l1_; }
+    CacheLevel& l2() { return l2_; }
+
+private:
+    CacheLevel l1_;
+    CacheLevel l2_;
+};
+
+}  // namespace hpcsec::arch

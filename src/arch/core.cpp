@@ -1,0 +1,42 @@
+#include "arch/core.h"
+
+namespace hpcsec::arch {
+
+Core::Core(sim::Engine& engine, const PerfModel& perf, Gic& gic, MemoryMap& mem,
+           CoreId id)
+    : engine_(&engine),
+      gic_(&gic),
+      id_(id),
+      mmu_(mem),
+      timer_(engine, gic, id),
+      exec_(engine, perf, id) {}
+
+void Core::power_off() {
+    powered_ = false;
+    exec_.preempt();
+    timer_.cancel(TimerChannel::kPhys);
+    timer_.cancel(TimerChannel::kVirt);
+}
+
+void Core::set_irq_masked(bool masked) {
+    irq_masked_ = masked;
+    if (!masked) deliver_pending();
+}
+
+void Core::signal_irq() {
+    if (!powered_ || irq_masked_ || in_handler_) return;
+    deliver_pending();
+}
+
+void Core::deliver_pending() {
+    if (!powered_ || !handler_) return;
+    while (!irq_masked_ && gic_->has_deliverable(id_)) {
+        const int irq = gic_->ack(id_);
+        if (irq == Gic::kSpurious) return;
+        in_handler_ = true;
+        handler_(irq);
+        in_handler_ = false;
+    }
+}
+
+}  // namespace hpcsec::arch

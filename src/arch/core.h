@@ -1,0 +1,78 @@
+// A CPU core: exception-level state, interrupt line, MMU, timer, executor.
+//
+// Software layers (hypervisor, kernels) install the IRQ handler — the model
+// equivalent of owning the exception vector table. Only one handler exists
+// per core at a time: under Hafnium it is the hypervisor's vector (EL2), and
+// guest kernels receive interrupts only via forwarding/injection, exactly as
+// on real hardware.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "arch/exec.h"
+#include "arch/gic.h"
+#include "arch/mmu.h"
+#include "arch/timer.h"
+#include "arch/types.h"
+#include "sim/engine.h"
+
+namespace hpcsec::arch {
+
+class Core {
+public:
+    using IrqHandler = std::function<void(int irq)>;
+
+    Core(sim::Engine& engine, const PerfModel& perf, Gic& gic, MemoryMap& mem,
+         CoreId id);
+
+    [[nodiscard]] CoreId id() const { return id_; }
+
+    // --- power (PSCI-managed) ----------------------------------------------
+    [[nodiscard]] bool powered() const { return powered_; }
+    void power_on() { powered_ = true; }
+    void power_off();
+
+    // --- privilege state ------------------------------------------------------
+    [[nodiscard]] El el() const { return el_; }
+    void set_el(El el) { el_ = el; }
+    [[nodiscard]] World world() const { return world_; }
+    void set_world(World w) { world_ = w; }
+
+    // --- interrupts -----------------------------------------------------------
+    /// Install the exception-vector owner. Replaces any previous handler.
+    void set_irq_handler(IrqHandler handler) { handler_ = std::move(handler); }
+
+    /// PSTATE.I: true masks IRQ delivery. Unmasking drains pending IRQs.
+    void set_irq_masked(bool masked);
+    [[nodiscard]] bool irq_masked() const { return irq_masked_; }
+
+    /// Called by the GIC when this core has a deliverable interrupt.
+    void signal_irq();
+
+    // --- attached units ---------------------------------------------------------
+    Mmu& mmu() { return mmu_; }
+    GenericTimer& timer() { return timer_; }
+    Executor& exec() { return exec_; }
+    const Executor& exec() const { return exec_; }
+    Gic& gic() { return *gic_; }
+
+private:
+    void deliver_pending();
+
+    sim::Engine* engine_;
+    Gic* gic_;
+    CoreId id_;
+    bool powered_ = false;
+    El el_ = El::kEl3;  // reset state: highest implemented EL
+    World world_ = World::kNonSecure;
+    bool irq_masked_ = true;
+    bool in_handler_ = false;
+    IrqHandler handler_;
+
+    Mmu mmu_;
+    GenericTimer timer_;
+    Executor exec_;
+};
+
+}  // namespace hpcsec::arch

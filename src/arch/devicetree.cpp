@@ -1,0 +1,101 @@
+#include "arch/devicetree.h"
+
+#include <sstream>
+#include <utility>
+
+namespace hpcsec::arch {
+
+DtNode& DtNode::add_child(std::string name) {
+    children_.push_back(std::make_unique<DtNode>(std::move(name)));
+    return *children_.back();
+}
+
+DtNode* DtNode::child(const std::string& name) {
+    for (auto& c : children_) {
+        if (c->name() == name) return c.get();
+    }
+    return nullptr;
+}
+
+const DtNode* DtNode::child(const std::string& name) const {
+    for (const auto& c : children_) {
+        if (c->name() == name) return c.get();
+    }
+    return nullptr;
+}
+
+bool DtNode::remove_child(const std::string& name) {
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+        if ((*it)->name() == name) {
+            children_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<std::uint64_t> DtNode::get_u64(const std::string& key) const {
+    const auto it = props_.find(key);
+    if (it == props_.end()) return std::nullopt;
+    if (const auto* v = std::get_if<std::uint64_t>(&it->second)) return *v;
+    return std::nullopt;
+}
+
+std::optional<std::string> DtNode::get_string(const std::string& key) const {
+    const auto it = props_.find(key);
+    if (it == props_.end()) return std::nullopt;
+    if (const auto* v = std::get_if<std::string>(&it->second)) return *v;
+    return std::nullopt;
+}
+
+std::optional<std::vector<std::uint64_t>> DtNode::get_array(
+    const std::string& key) const {
+    const auto it = props_.find(key);
+    if (it == props_.end()) return std::nullopt;
+    if (const auto* v = std::get_if<std::vector<std::uint64_t>>(&it->second)) return *v;
+    return std::nullopt;
+}
+
+DtNode* DtNode::find(const std::string& path) {
+    return const_cast<DtNode*>(std::as_const(*this).find(path));
+}
+
+const DtNode* DtNode::find(const std::string& path) const {
+    const DtNode* node = this;
+    std::size_t pos = 0;
+    while (pos < path.size() && node != nullptr) {
+        const std::size_t slash = path.find('/', pos);
+        const std::string part =
+            slash == std::string::npos ? path.substr(pos) : path.substr(pos, slash - pos);
+        if (!part.empty()) node = node->child(part);
+        if (slash == std::string::npos) break;
+        pos = slash + 1;
+    }
+    return node;
+}
+
+std::string DtNode::to_string(int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    std::ostringstream os;
+    os << pad << name_ << " {\n";
+    for (const auto& [key, value] : props_) {
+        os << pad << "  " << key << " = ";
+        if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+            os << "<0x" << std::hex << *u << std::dec << ">";
+        } else if (const auto* s = std::get_if<std::string>(&value)) {
+            os << '"' << *s << '"';
+        } else if (const auto* a = std::get_if<std::vector<std::uint64_t>>(&value)) {
+            os << "<";
+            for (std::size_t i = 0; i < a->size(); ++i) {
+                os << (i ? " " : "") << "0x" << std::hex << (*a)[i] << std::dec;
+            }
+            os << ">";
+        }
+        os << ";\n";
+    }
+    for (const auto& c : children_) os << c->to_string(indent + 1);
+    os << pad << "};\n";
+    return os.str();
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,57 @@
+// Minimal device-tree model.
+//
+// Hafnium's boot-time configuration (VM images, memory partitions, device
+// assignments) is expressed as a device tree on real systems; the manifest
+// module builds one of these and the hypervisor consumes it. The paper's
+// super-secondary work requires "appropriate updates made to the device tree
+// configuration to reflect which I/O devices are actually available in the
+// super-secondary partition" — tests assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hpcsec::arch {
+
+class DtNode {
+public:
+    using Value = std::variant<std::uint64_t, std::string, std::vector<std::uint64_t>>;
+
+    explicit DtNode(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    DtNode& add_child(std::string name);
+    [[nodiscard]] DtNode* child(const std::string& name);
+    [[nodiscard]] const DtNode* child(const std::string& name) const;
+    [[nodiscard]] const std::vector<std::unique_ptr<DtNode>>& children() const {
+        return children_;
+    }
+    bool remove_child(const std::string& name);
+
+    void set(const std::string& key, Value v) { props_[key] = std::move(v); }
+    [[nodiscard]] bool has(const std::string& key) const { return props_.contains(key); }
+    [[nodiscard]] std::optional<std::uint64_t> get_u64(const std::string& key) const;
+    [[nodiscard]] std::optional<std::string> get_string(const std::string& key) const;
+    [[nodiscard]] std::optional<std::vector<std::uint64_t>> get_array(
+        const std::string& key) const;
+
+    /// Resolve a slash-separated path relative to this node ("vm1/memory").
+    [[nodiscard]] DtNode* find(const std::string& path);
+    [[nodiscard]] const DtNode* find(const std::string& path) const;
+
+    /// Render as .dts-style text (stable ordering, for golden tests).
+    [[nodiscard]] std::string to_string(int indent = 0) const;
+
+private:
+    std::string name_;
+    std::map<std::string, Value> props_;
+    std::vector<std::unique_ptr<DtNode>> children_;
+};
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,151 @@
+#include "arch/exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcsec::arch {
+
+Executor::Executor(sim::Engine& engine, const PerfModel& perf, CoreId core)
+    : engine_(&engine), perf_(&perf), core_(core) {}
+
+void Executor::charge(sim::Cycles overhead) {
+    if (state_ == State::kRunning) {
+        throw std::logic_error("Executor::charge: preempt the runnable first");
+    }
+    const sim::SimTime start = std::max(busy_until_, engine_->now());
+    busy_until_ = start + overhead;
+    usage_.overhead += overhead;
+    if (timeline_ != nullptr) {
+        timeline_->record(core_, start, busy_until_, 'O', "kernel");
+    }
+    if (state_ == State::kPendingBegin) {
+        // Push the pending start out past the new charge.
+        engine_->cancel(pending_event_);
+        schedule_start();
+    }
+}
+
+void Executor::begin(Runnable* r) {
+    if (state_ == State::kRunning) {
+        throw std::logic_error("Executor::begin: core already running");
+    }
+    if (state_ == State::kPendingBegin) {
+        engine_->cancel(pending_event_);
+        state_ = State::kIdle;
+    }
+    current_ = r;
+    if (r == nullptr) return;
+    if (busy_until_ <= engine_->now()) {
+        start_chunk();
+    } else {
+        state_ = State::kPendingBegin;
+        schedule_start();
+    }
+}
+
+void Executor::schedule_start() {
+    pending_event_ =
+        engine_->at(std::max(busy_until_, engine_->now()),
+                    [this] { start_chunk(); }, sim::kPrioKernel);
+}
+
+void Executor::start_chunk() {
+    Runnable* r = current_;
+    state_ = State::kRunning;
+    chunk_start_ = engine_->now();
+    chunk_transient_ = pending_transient_;
+    pending_transient_ = 0;
+    rate_ = perf_->unit_cost(r->profile(), r->mode());
+    if (rate_ <= 0.0) rate_ = 1.0;
+
+    const double remaining = r->remaining_units();
+    if (!std::isfinite(remaining) || remaining > 1e15) {
+        // Run-forever loop: no completion event; only preemption stops it.
+        pending_event_ = sim::EventId{};
+        return;
+    }
+    const double cycles = remaining * rate_ + static_cast<double>(chunk_transient_);
+    const auto delay = static_cast<sim::Cycles>(std::ceil(cycles));
+    pending_event_ =
+        engine_->after(delay, [this] { finish_chunk(); }, sim::kPrioCompletion);
+}
+
+Runnable* Executor::preempt() {
+    switch (state_) {
+        case State::kIdle:
+            return nullptr;
+        case State::kPendingBegin: {
+            engine_->cancel(pending_event_);
+            Runnable* r = current_;
+            current_ = nullptr;
+            state_ = State::kIdle;
+            return r;
+        }
+        case State::kRunning: {
+            if (pending_event_.valid()) engine_->cancel(pending_event_);
+            const sim::SimTime now = engine_->now();
+            const sim::Cycles elapsed = now - chunk_start_;
+            const sim::Cycles transient_used = std::min(elapsed, chunk_transient_);
+            const sim::Cycles effective = elapsed - transient_used;
+            usage_.transient += transient_used;
+            usage_.work += effective;
+            // Unconsumed transient carries over: the TLB is still cold.
+            pending_transient_ += chunk_transient_ - transient_used;
+            chunk_transient_ = 0;
+
+            Runnable* r = current_;
+            const double units = static_cast<double>(effective) / rate_;
+            if (units > 0.0) r->advance(units, now);
+            if (now > chunk_start_) r->on_interval(chunk_start_, now);
+            if (timeline_ != nullptr && now > chunk_start_) {
+                const sim::SimTime split = chunk_start_ + transient_used;
+                if (transient_used > 0) {
+                    timeline_->record(core_, chunk_start_, split, 'T', "tlb-refill");
+                }
+                if (now > split) timeline_->record(core_, split, now, 'W', r->label());
+            }
+            current_ = nullptr;
+            state_ = State::kIdle;
+            busy_until_ = std::max(busy_until_, now);
+            return r;
+        }
+    }
+    return nullptr;
+}
+
+void Executor::reprice() {
+    if (state_ != State::kRunning) return;
+    Runnable* r = preempt();
+    begin(r);
+}
+
+void Executor::finish_chunk() {
+    const sim::SimTime now = engine_->now();
+    const sim::Cycles elapsed = now - chunk_start_;
+    const sim::Cycles transient_used = std::min(elapsed, chunk_transient_);
+    usage_.transient += transient_used;
+    usage_.work += elapsed - transient_used;
+    chunk_transient_ = 0;
+    if (timeline_ != nullptr && now > chunk_start_) {
+        const sim::SimTime split = chunk_start_ + transient_used;
+        if (transient_used > 0) {
+            timeline_->record(core_, chunk_start_, split, 'T', "tlb-refill");
+        }
+        if (now > split) {
+            timeline_->record(core_, split, now, 'W', current_->label());
+        }
+    }
+
+    Runnable* r = current_;
+    current_ = nullptr;
+    state_ = State::kIdle;
+    pending_event_ = sim::EventId{};
+    busy_until_ = std::max(busy_until_, now);
+
+    r->advance(r->remaining_units(), now);
+    if (now > chunk_start_) r->on_interval(chunk_start_, now);
+    if (on_complete_) on_complete_(r);
+}
+
+}  // namespace hpcsec::arch

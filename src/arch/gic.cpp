@@ -1,0 +1,81 @@
+#include "arch/gic.h"
+
+#include <stdexcept>
+
+namespace hpcsec::arch {
+
+Gic::Gic(int ncores, int nspis) : irqs_(kSpiBase + nspis), cpu_(ncores) {
+    if (ncores <= 0) throw std::invalid_argument("Gic: need at least one core");
+}
+
+void Gic::enable_irq(int irq) { irqs_.at(irq).enabled = true; }
+void Gic::disable_irq(int irq) { irqs_.at(irq).enabled = false; }
+bool Gic::irq_enabled(int irq) const { return irqs_.at(irq).enabled; }
+
+void Gic::set_spi_target(int irq, CoreId core) {
+    if (irq < kSpiBase) throw std::invalid_argument("set_spi_target: not an SPI");
+    if (core < 0 || core >= ncores()) throw std::invalid_argument("bad core");
+    irqs_.at(irq).target = core;
+}
+
+CoreId Gic::spi_target(int irq) const { return irqs_.at(irq).target; }
+
+void Gic::set_priority(int irq, std::uint8_t prio) { irqs_.at(irq).priority = prio; }
+
+void Gic::make_pending(CoreId core, int irq) {
+    auto& cs = cpu_.at(core);
+    cs.pending.insert({irqs_.at(irq).priority, irq});
+    if (irqs_.at(irq).enabled && signal_) signal_(core);
+}
+
+void Gic::raise_spi(int irq) {
+    if (irq < kSpiBase) throw std::invalid_argument("raise_spi: not an SPI");
+    make_pending(irqs_.at(irq).target, irq);
+}
+
+void Gic::raise_ppi(CoreId core, int irq) {
+    if (irq < kPpiBase || irq >= kSpiBase) {
+        throw std::invalid_argument("raise_ppi: not a PPI");
+    }
+    make_pending(core, irq);
+}
+
+void Gic::send_sgi(CoreId target, int irq) {
+    if (irq < 0 || irq >= kPpiBase) throw std::invalid_argument("send_sgi: not an SGI");
+    make_pending(target, irq);
+}
+
+void Gic::clear_pending(CoreId core, int irq) {
+    cpu_.at(core).pending.erase({irqs_.at(irq).priority, irq});
+}
+
+bool Gic::has_deliverable(CoreId core) const {
+    for (const auto& [prio, irq] : cpu_.at(core).pending) {
+        (void)prio;
+        if (irqs_.at(irq).enabled) return true;
+    }
+    return false;
+}
+
+int Gic::ack(CoreId core) {
+    auto& cs = cpu_.at(core);
+    for (auto it = cs.pending.begin(); it != cs.pending.end(); ++it) {
+        if (irqs_.at(it->second).enabled) {
+            const int irq = it->second;
+            cs.pending.erase(it);
+            cs.active = irq;
+            ++delivered_;
+            return irq;
+        }
+    }
+    return kSpurious;
+}
+
+void Gic::eoi(CoreId core, int irq) {
+    auto& cs = cpu_.at(core);
+    if (cs.active == irq) cs.active = kSpurious;
+    // Deliverable interrupts may still be queued; re-signal.
+    if (has_deliverable(core) && signal_) signal_(core);
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,171 @@
+#include "arch/memory_map.h"
+
+#include <algorithm>
+
+namespace hpcsec::arch {
+
+void MemoryMap::add_region(MemRegion region) {
+    if (region.size == 0 || (region.base & kPageMask) != 0 || (region.size & kPageMask) != 0) {
+        throw std::invalid_argument("MemoryMap: regions must be non-empty and page aligned");
+    }
+    for (const auto& r : regions_) {
+        const bool disjoint = region.end() <= r.base || region.base >= r.end();
+        if (!disjoint) throw std::invalid_argument("MemoryMap: overlapping regions");
+    }
+    regions_.push_back(std::move(region));
+    std::sort(regions_.begin(), regions_.end(),
+              [](const MemRegion& a, const MemRegion& b) { return a.base < b.base; });
+}
+
+const MemRegion* MemoryMap::find_region(PhysAddr a) const {
+    for (const auto& r : regions_) {
+        if (r.contains(a)) return &r;
+    }
+    return nullptr;
+}
+
+bool MemoryMap::is_ram(PhysAddr a) const {
+    const auto* r = find_region(a);
+    return r != nullptr && r->kind == RegionKind::kRam;
+}
+
+bool MemoryMap::is_mmio(PhysAddr a) const {
+    const auto* r = find_region(a);
+    return r != nullptr && r->kind == RegionKind::kMmio;
+}
+
+World MemoryMap::world_of(PhysAddr a) const {
+    const auto* r = find_region(a);
+    return r != nullptr ? r->world : World::kNonSecure;
+}
+
+std::uint64_t MemoryMap::ram_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& r : regions_) {
+        if (r.kind == RegionKind::kRam) total += r.size;
+    }
+    return total;
+}
+
+std::uint64_t MemoryMap::ram_bytes(World w) const {
+    std::uint64_t total = 0;
+    for (const auto& r : regions_) {
+        if (r.kind == RegionKind::kRam && r.world == w) total += r.size;
+    }
+    return total;
+}
+
+PhysAddr MemoryMap::alloc_frames(std::uint64_t nframes, VmId owner, World world) {
+    if (nframes == 0) throw std::invalid_argument("alloc_frames: zero frames");
+    for (const auto& r : regions_) {
+        if (r.kind != RegionKind::kRam || r.world != world) continue;
+        // First-fit scan within the region.
+        std::uint64_t run = 0;
+        PhysAddr run_base = r.base;
+        for (PhysAddr a = r.base; a < r.end(); a += kPageSize) {
+            const auto it = frames_.find(page_index(a));
+            const bool busy = it != frames_.end() && it->second.owner.allocated;
+            if (busy) {
+                run = 0;
+                run_base = a + kPageSize;
+            } else {
+                ++run;
+                if (run == nframes) {
+                    for (PhysAddr p = run_base; p < run_base + nframes * kPageSize;
+                         p += kPageSize) {
+                        frames_[page_index(p)] = FrameState{FrameOwner{owner, true}};
+                    }
+                    allocated_frames_ += nframes;
+                    return run_base;
+                }
+            }
+        }
+    }
+    throw std::runtime_error("MemoryMap: out of contiguous frames");
+}
+
+void MemoryMap::free_frames(PhysAddr base, std::uint64_t nframes) {
+    for (PhysAddr a = base; a < base + nframes * kPageSize; a += kPageSize) {
+        auto it = frames_.find(page_index(a));
+        if (it == frames_.end() || !it->second.owner.allocated) {
+            throw std::logic_error("free_frames: frame not allocated");
+        }
+        frames_.erase(it);
+    }
+    allocated_frames_ -= nframes;
+}
+
+void MemoryMap::set_owner(PhysAddr base, std::uint64_t nframes, VmId owner) {
+    for (PhysAddr a = base; a < base + nframes * kPageSize; a += kPageSize) {
+        auto it = frames_.find(page_index(a));
+        if (it == frames_.end() || !it->second.owner.allocated) {
+            throw std::logic_error("set_owner: frame not allocated");
+        }
+        it->second.owner.vm = owner;
+    }
+}
+
+std::optional<FrameOwner> MemoryMap::owner_of(PhysAddr a) const {
+    const auto it = frames_.find(page_index(a));
+    if (it == frames_.end()) return std::nullopt;
+    return it->second.owner;
+}
+
+bool MemoryMap::owned_span(PhysAddr base, std::uint64_t bytes, VmId vm) const {
+    for (PhysAddr a = page_floor(base); a < base + bytes; a += kPageSize) {
+        if (!is_ram(a)) return false;
+        const auto o = owner_of(a);
+        if (!o || !o->allocated || o->vm != vm) return false;
+    }
+    return true;
+}
+
+FaultKind MemoryMap::check_physical_access(PhysAddr a, World accessor) const {
+    const auto* r = find_region(a);
+    if (r == nullptr) return FaultKind::kAddressSize;
+    // TrustZone rule: secure masters may touch both worlds; non-secure
+    // masters are confined to non-secure memory.
+    if (r->world == World::kSecure && accessor == World::kNonSecure) {
+        return FaultKind::kSecurity;
+    }
+    return FaultKind::kNone;
+}
+
+void MemoryMap::register_mmio(PhysAddr region_base, MmioHandler handler) {
+    const MemRegion* r = find_region(region_base);
+    if (r == nullptr || r->kind != RegionKind::kMmio || r->base != region_base) {
+        throw std::invalid_argument("register_mmio: no MMIO region at that base");
+    }
+    mmio_[region_base] = std::move(handler);
+}
+
+std::uint64_t MemoryMap::read64(PhysAddr a, World accessor) const {
+    if (const FaultKind f = check_physical_access(a, accessor); f != FaultKind::kNone) {
+        throw std::runtime_error("read64: " + to_string(f) + " fault");
+    }
+    if (const MemRegion* r = find_region(a); r != nullptr && r->kind == RegionKind::kMmio) {
+        const auto it = mmio_.find(r->base);
+        if (it != mmio_.end() && it->second.read) return it->second.read(a - r->base);
+        return 0;
+    }
+    const auto it = store_.find(a / 8);
+    return it == store_.end() ? 0 : it->second;
+}
+
+void MemoryMap::write64(PhysAddr a, std::uint64_t value, World accessor) {
+    if (const FaultKind f = check_physical_access(a, accessor); f != FaultKind::kNone) {
+        throw std::runtime_error("write64: " + to_string(f) + " fault");
+    }
+    if (const MemRegion* r = find_region(a); r != nullptr && r->kind == RegionKind::kMmio) {
+        const auto it = mmio_.find(r->base);
+        if (it != mmio_.end() && it->second.write) it->second.write(a - r->base, value);
+        return;
+    }
+    if (value == 0) {
+        store_.erase(a / 8);
+    } else {
+        store_[a / 8] = value;
+    }
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,113 @@
+// Physical memory model: region layout, TrustZone attributes, frame
+// ownership, and a sparse functional backing store.
+//
+// Frame ownership is the ground truth the isolation property tests check
+// against: every RAM frame is owned by exactly one entity (hypervisor, a VM,
+// or free), and stage-2 translations must never let a VM reach a frame it
+// does not own or hold a share-grant for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+enum class RegionKind : std::uint8_t {
+    kRam,
+    kMmio,
+    kReserved,
+};
+
+struct MemRegion {
+    std::string name;
+    PhysAddr base = 0;
+    std::uint64_t size = 0;
+    RegionKind kind = RegionKind::kRam;
+    World world = World::kNonSecure;
+
+    [[nodiscard]] PhysAddr end() const { return base + size; }
+    [[nodiscard]] bool contains(PhysAddr a) const { return a >= base && a < end(); }
+};
+
+/// Who owns a physical frame.
+struct FrameOwner {
+    VmId vm = kHypervisorId;  ///< kHypervisorId also encodes "hypervisor/firmware"
+    bool allocated = false;
+};
+
+class MemoryMap {
+public:
+    void add_region(MemRegion region);
+
+    [[nodiscard]] const std::vector<MemRegion>& regions() const { return regions_; }
+    [[nodiscard]] const MemRegion* find_region(PhysAddr a) const;
+    [[nodiscard]] bool is_ram(PhysAddr a) const;
+    [[nodiscard]] bool is_mmio(PhysAddr a) const;
+    [[nodiscard]] World world_of(PhysAddr a) const;
+
+    /// Total bytes of RAM across all regions (per world if given).
+    [[nodiscard]] std::uint64_t ram_bytes() const;
+    [[nodiscard]] std::uint64_t ram_bytes(World w) const;
+
+    // --- frame allocation / ownership -------------------------------------
+
+    /// Allocate `nframes` physically contiguous RAM frames in `world` and tag
+    /// them as owned by `owner`. Returns the base PA.
+    /// Throws std::runtime_error when no suitable contiguous range exists.
+    PhysAddr alloc_frames(std::uint64_t nframes, VmId owner, World world);
+
+    /// Free previously allocated frames (ownership returns to "free").
+    void free_frames(PhysAddr base, std::uint64_t nframes);
+
+    /// Transfer ownership of allocated frames (VM image donation etc.).
+    void set_owner(PhysAddr base, std::uint64_t nframes, VmId owner);
+
+    [[nodiscard]] std::optional<FrameOwner> owner_of(PhysAddr a) const;
+
+    /// True when every frame in [base, base+bytes) is RAM owned by `vm`.
+    [[nodiscard]] bool owned_span(PhysAddr base, std::uint64_t bytes, VmId vm) const;
+
+    [[nodiscard]] std::uint64_t allocated_frames() const { return allocated_frames_; }
+
+    // --- functional backing store (sparse, 64-bit words) -------------------
+
+    /// Aligned 64-bit load/store at a physical address. The security check
+    /// against `world` enforces TrustZone partitioning at the memory system
+    /// level (a non-secure master can never read secure RAM).
+    [[nodiscard]] std::uint64_t read64(PhysAddr a, World accessor) const;
+    void write64(PhysAddr a, std::uint64_t value, World accessor);
+
+    /// Raises FaultKind::kSecurity as a return instead of throwing.
+    [[nodiscard]] FaultKind check_physical_access(PhysAddr a, World accessor) const;
+
+    // --- MMIO dispatch -------------------------------------------------------
+    struct MmioHandler {
+        std::function<std::uint64_t(std::uint64_t offset)> read;
+        std::function<void(std::uint64_t offset, std::uint64_t value)> write;
+    };
+
+    /// Attach a device model to an MMIO region (identified by its base).
+    /// Accesses to the region route to the handler instead of the RAM store.
+    void register_mmio(PhysAddr region_base, MmioHandler handler);
+
+private:
+    struct FrameState {
+        FrameOwner owner;
+    };
+
+    std::vector<MemRegion> regions_;
+    // Sparse: only frames that were ever allocated appear here.
+    std::unordered_map<std::uint64_t, FrameState> frames_;
+    std::unordered_map<std::uint64_t, std::uint64_t> store_;
+    std::unordered_map<std::uint64_t, MmioHandler> mmio_;  // keyed by region base
+    std::uint64_t allocated_frames_ = 0;
+};
+
+}  // namespace hpcsec::arch

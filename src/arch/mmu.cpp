@@ -1,0 +1,119 @@
+#include "arch/mmu.h"
+
+namespace hpcsec::arch {
+
+void Mmu::set_context(const PageTable* stage1, const PageTable* stage2, VmId vmid,
+                      Asid asid, World world) {
+    stage1_ = stage1;
+    stage2_ = stage2;
+    vmid_ = vmid;
+    asid_ = asid;
+    world_ = world;
+}
+
+Translation Mmu::translate(VirtAddr va, Access access) {
+    // Combined-translation TLB hit short-circuits both walks, but the
+    // permission check still applies (perms are cached in the entry).
+    if (const TlbEntry* e = tlb_.lookup(vmid_, asid_, page_index(va))) {
+        Translation t;
+        if (!perms_allow(e->perms, access)) {
+            t.fault = FaultKind::kPermission;
+            t.fault_stage = stage1_ != nullptr ? 1 : 2;
+            return t;
+        }
+        t.pa = (e->out_page << kPageShift) | (va & kPageMask);
+        t.tlb_hit = true;
+        return t;
+    }
+
+    Translation t = translate_uncached(va, access);
+    if (t.fault == FaultKind::kNone) {
+        TlbEntry e;
+        e.vmid = vmid_;
+        e.asid = asid_;
+        e.in_page = page_index(va);
+        e.out_page = page_index(t.pa);
+        // Cache the *combined* permissions so later accesses of other kinds
+        // re-check correctly.
+        std::uint8_t perms = kPermRWX;
+        if (stage1_ != nullptr) perms &= stage1_->walk(va).perms;
+        if (stage2_ != nullptr) {
+            const std::uint64_t ipa =
+                stage1_ != nullptr ? (stage1_->walk(va).out) : va;
+            perms &= stage2_->walk(ipa).perms;
+        }
+        e.perms = perms;
+        e.secure = mem_->world_of(t.pa) == World::kSecure;
+        tlb_.insert(e);
+    }
+    return t;
+}
+
+Translation Mmu::translate_uncached(VirtAddr va, Access access) {
+    Translation t;
+    IpaAddr ipa = va;
+    std::uint8_t perms = kPermRWX;
+
+    if (stage1_ != nullptr) {
+        const WalkResult s1 = stage1_->walk(va);
+        // Each stage-1 table access is itself an IPA that needs stage-2
+        // translation under virtualization: the classic nested-walk blowup.
+        const int s2_per_access = stage2_ != nullptr ? kPtLevels : 0;
+        t.table_accesses += s1.table_accesses * (1 + s2_per_access);
+        if (s1.fault != FaultKind::kNone) {
+            t.fault = s1.fault;
+            t.fault_stage = 1;
+            return t;
+        }
+        ipa = s1.out;
+        perms &= s1.perms;
+    }
+
+    PhysAddr pa = ipa;
+    if (stage2_ != nullptr) {
+        const WalkResult s2 = stage2_->walk(ipa);
+        t.table_accesses += s2.table_accesses;
+        if (s2.fault != FaultKind::kNone) {
+            t.fault = s2.fault;
+            t.fault_stage = 2;
+            return t;
+        }
+        pa = s2.out;
+        perms &= s2.perms;
+    }
+
+    if (!perms_allow(perms, access)) {
+        t.fault = FaultKind::kPermission;
+        t.fault_stage = stage1_ != nullptr ? 1 : 2;
+        return t;
+    }
+
+    // Physical-level TrustZone check.
+    if (const FaultKind f = mem_->check_physical_access(pa, world_);
+        f != FaultKind::kNone) {
+        t.fault = f;
+        t.fault_stage = 0;
+        return t;
+    }
+
+    t.pa = pa;
+    return t;
+}
+
+bool Mmu::read64(VirtAddr va, std::uint64_t& value) {
+    const Translation t = translate(va, Access::kRead);
+    if (t.fault != FaultKind::kNone) return false;
+    if (dcache_ != nullptr) dcache_->access(t.pa, /*is_write=*/false);
+    value = mem_->read64(t.pa, world_);
+    return true;
+}
+
+bool Mmu::write64(VirtAddr va, std::uint64_t value) {
+    const Translation t = translate(va, Access::kWrite);
+    if (t.fault != FaultKind::kNone) return false;
+    if (dcache_ != nullptr) dcache_->access(t.pa, /*is_write=*/true);
+    mem_->write64(t.pa, value, world_);
+    return true;
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,64 @@
+#include "arch/monitor.h"
+
+#include <stdexcept>
+
+namespace hpcsec::arch {
+
+SecureMonitor::SecureMonitor(std::vector<Core*> cores) : cores_(std::move(cores)) {}
+
+void SecureMonitor::register_smc(std::uint32_t func_id, SmcHandler handler) {
+    services_[func_id] = std::move(handler);
+}
+
+std::int64_t SecureMonitor::smc(Core& caller, std::uint32_t func_id, std::uint64_t a0,
+                                std::uint64_t a1) {
+    switch (static_cast<PsciFn>(func_id)) {
+        case PsciFn::kVersion:
+            return psci_version();
+        case PsciFn::kCpuOff:
+            return static_cast<std::int64_t>(cpu_off(caller.id()));
+        case PsciFn::kCpuOn:
+            // a0 = target MPIDR (== core id here); entry must be registered
+            // through the typed cpu_on() API in the model, so plain SMC
+            // CPU_ON is rejected.
+            return static_cast<std::int64_t>(PsciResult::kDenied);
+        case PsciFn::kSystemOff:
+            for (Core* c : cores_) c->power_off();
+            return 0;
+        default:
+            break;
+    }
+    const auto it = services_.find(func_id);
+    if (it == services_.end()) return -1;  // PSCI NOT_SUPPORTED convention
+    return it->second(caller, a0, a1);
+}
+
+PsciResult SecureMonitor::cpu_on(CoreId target, CpuEntry entry) {
+    if (target < 0 || target >= static_cast<CoreId>(cores_.size())) {
+        return PsciResult::kInvalidParams;
+    }
+    Core& core = *cores_[static_cast<std::size_t>(target)];
+    if (core.powered()) return PsciResult::kAlreadyOn;
+    core.power_on();
+    core.set_el(El::kEl2);  // cores enter the hypervisor first on ARMv8 boot
+    if (entry) entry(core);
+    return PsciResult::kSuccess;
+}
+
+PsciResult SecureMonitor::cpu_off(CoreId target) {
+    if (target < 0 || target >= static_cast<CoreId>(cores_.size())) {
+        return PsciResult::kInvalidParams;
+    }
+    Core& core = *cores_[static_cast<std::size_t>(target)];
+    if (!core.powered()) return PsciResult::kDenied;
+    core.power_off();
+    return PsciResult::kSuccess;
+}
+
+int SecureMonitor::powered_cores() const {
+    int n = 0;
+    for (const Core* c : cores_) n += c->powered() ? 1 : 0;
+    return n;
+}
+
+}  // namespace hpcsec::arch

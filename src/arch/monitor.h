@@ -1,0 +1,65 @@
+// EL3 secure monitor: SMC dispatch, PSCI, and TrustZone world switching.
+//
+// The monitor is the root of trust: it runs the measured boot, owns the
+// static secure/non-secure memory partition ("the secure and non-secure
+// memory partitions must be statically sized and configured during the early
+// boot process"), and implements PSCI so kernels can bring cores up/down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+/// PSCI v1.x function IDs (SMC64 calling convention subset).
+enum class PsciFn : std::uint32_t {
+    kVersion = 0x84000000,
+    kCpuOff = 0x84000002,
+    kCpuOn = 0xC4000003,
+    kSystemOff = 0x84000008,
+};
+
+enum class PsciResult : std::int32_t {
+    kSuccess = 0,
+    kInvalidParams = -2,
+    kDenied = -3,
+    kAlreadyOn = -4,
+};
+
+class SecureMonitor {
+public:
+    using CpuEntry = std::function<void(Core&)>;
+    using SmcHandler =
+        std::function<std::int64_t(Core& caller, std::uint64_t a0, std::uint64_t a1)>;
+
+    explicit SecureMonitor(std::vector<Core*> cores);
+
+    /// Register an OEM/SiP SMC service (e.g. world-switch shims).
+    void register_smc(std::uint32_t func_id, SmcHandler handler);
+
+    /// SMC from a core. PSCI functions are built in; others dispatch to
+    /// registered handlers. Unknown functions return NOT_SUPPORTED (-1).
+    std::int64_t smc(Core& caller, std::uint32_t func_id, std::uint64_t a0 = 0,
+                     std::uint64_t a1 = 0);
+
+    /// Boot entry used for the primary core (not via SMC).
+    PsciResult cpu_on(CoreId target, CpuEntry entry);
+    PsciResult cpu_off(CoreId target);
+
+    [[nodiscard]] int powered_cores() const;
+    [[nodiscard]] std::uint32_t psci_version() const { return (1u << 16) | 1u; }  // 1.1
+
+    /// TrustZone: move a core between worlds (monitor-mediated only).
+    void switch_world(Core& core, World w) { core.set_world(w); }
+
+private:
+    std::vector<Core*> cores_;
+    std::map<std::uint32_t, SmcHandler> services_;
+};
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,217 @@
+#include "arch/page_table.h"
+
+#include <stdexcept>
+
+namespace hpcsec::arch {
+
+struct PageTable::Entry {
+    enum class Kind : std::uint8_t { kInvalid, kTable, kLeaf } kind = Kind::kInvalid;
+    std::uint64_t out = 0;       // leaf: output base
+    std::uint8_t perms = kPermNone;
+    bool secure = false;
+    std::unique_ptr<Node> child;  // table: next level
+};
+
+struct PageTable::Node {
+    std::array<Entry, kPtEntries> entries{};
+};
+
+PageTable::PageTable() : root_(std::make_unique<Node>()), node_count_(1) {}
+PageTable::~PageTable() = default;
+PageTable::PageTable(PageTable&&) noexcept = default;
+PageTable& PageTable::operator=(PageTable&&) noexcept = default;
+
+PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index,
+                                         int /*child_level*/) {
+    Entry& e = parent.entries[index];
+    if (e.kind == Entry::Kind::kLeaf) {
+        throw std::logic_error("PageTable: mapping overlaps existing block entry");
+    }
+    if (e.kind == Entry::Kind::kInvalid) {
+        e.kind = Entry::Kind::kTable;
+        e.child = std::make_unique<Node>();
+        ++node_count_;
+    }
+    return e.child.get();
+}
+
+void PageTable::map(std::uint64_t in_base, std::uint64_t out_base, std::uint64_t size,
+                    std::uint8_t perms, bool secure, bool force_pages) {
+    if (size == 0) return;
+    if ((in_base | out_base | size) & kPageMask) {
+        throw std::invalid_argument("PageTable::map: unaligned arguments");
+    }
+    if (in_base + size > (1ull << kInputAddrBits)) {
+        throw std::invalid_argument("PageTable::map: input beyond 48-bit range");
+    }
+    map_range(*root_, 0, in_base, out_base, size, perms, secure, force_pages);
+}
+
+void PageTable::map_range(Node& node, int level, std::uint64_t in, std::uint64_t out,
+                          std::uint64_t size, std::uint8_t perms, bool secure,
+                          bool force_pages) {
+    const std::uint64_t span = level_span(level);
+    std::uint64_t remaining = size;
+    while (remaining > 0) {
+        const std::uint64_t idx = level_index(in, level);
+        Entry& e = node.entries[idx];
+        const std::uint64_t entry_base = in & ~(span - 1);
+        const std::uint64_t within = in - entry_base;
+        const std::uint64_t chunk = std::min(remaining, span - within);
+
+        const bool block_allowed =
+            !force_pages && (level == 1 || level == 2) && within == 0 &&
+            chunk == span && (out & (span - 1)) == 0;
+
+        if (level == kPtLevels - 1 || block_allowed) {
+            if (e.kind != Entry::Kind::kInvalid) {
+                throw std::logic_error("PageTable: mapping overlaps existing entry");
+            }
+            e.kind = Entry::Kind::kLeaf;
+            e.out = out;
+            e.perms = perms;
+            e.secure = secure;
+            ++mapping_count_;
+            mapped_bytes_ += (level == kPtLevels - 1) ? kPageSize : span;
+        } else {
+            Node* child = ensure_child(node, idx, level + 1);
+            map_range(*child, level + 1, in, out, chunk, perms, secure, force_pages);
+        }
+        in += chunk;
+        out += chunk;
+        remaining -= chunk;
+    }
+}
+
+void PageTable::unmap(std::uint64_t in_base, std::uint64_t size) {
+    if (size == 0) return;
+    if ((in_base | size) & kPageMask) {
+        throw std::invalid_argument("PageTable::unmap: unaligned arguments");
+    }
+    unmap_range(*root_, 0, in_base, size);
+}
+
+void PageTable::split_block(Entry& e, int level) {
+    // Break-before-make: replace a block leaf with a table of next-level
+    // leaves covering the same range (what a real hypervisor does before
+    // changing a sub-range of a block mapping).
+    if (e.kind != Entry::Kind::kLeaf || level >= kPtLevels - 1) {
+        throw std::logic_error("PageTable::split_block: not a splittable block");
+    }
+    auto child = std::make_unique<Node>();
+    const std::uint64_t child_span = level_span(level + 1);
+    for (std::uint64_t i = 0; i < kPtEntries; ++i) {
+        Entry& sub = child->entries[i];
+        sub.kind = Entry::Kind::kLeaf;
+        sub.out = e.out + i * child_span;
+        sub.perms = e.perms;
+        sub.secure = e.secure;
+    }
+    e.kind = Entry::Kind::kTable;
+    e.out = 0;
+    e.child = std::move(child);
+    ++node_count_;
+    mapping_count_ += kPtEntries - 1;  // one block leaf became 512 leaves
+}
+
+void PageTable::unmap_range(Node& node, int level, std::uint64_t in, std::uint64_t size) {
+    const std::uint64_t span = level_span(level);
+    std::uint64_t remaining = size;
+    while (remaining > 0) {
+        const std::uint64_t idx = level_index(in, level);
+        Entry& e = node.entries[idx];
+        const std::uint64_t entry_base = in & ~(span - 1);
+        const std::uint64_t within = in - entry_base;
+        const std::uint64_t chunk = std::min(remaining, span - within);
+
+        if (e.kind == Entry::Kind::kLeaf) {
+            const std::uint64_t leaf_bytes = (level == kPtLevels - 1) ? kPageSize : span;
+            if (within != 0 || chunk != leaf_bytes) {
+                // Partial unmap of a block: split and recurse.
+                split_block(e, level);
+                unmap_range(*e.child, level + 1, in, chunk);
+            } else {
+                e = Entry{};
+                --mapping_count_;
+                mapped_bytes_ -= leaf_bytes;
+            }
+        } else if (e.kind == Entry::Kind::kTable) {
+            unmap_range(*e.child, level + 1, in, chunk);
+        }
+        // kInvalid: nothing mapped here; unmap is idempotent.
+        in += chunk;
+        remaining -= chunk;
+    }
+}
+
+void PageTable::protect(std::uint64_t in_base, std::uint64_t size, std::uint8_t perms) {
+    if ((in_base | size) & kPageMask) {
+        throw std::invalid_argument("PageTable::protect: unaligned arguments");
+    }
+    protect_range(*root_, 0, in_base, size, perms);
+}
+
+void PageTable::protect_range(Node& node, int level, std::uint64_t in,
+                              std::uint64_t size, std::uint8_t perms) {
+    const std::uint64_t span = level_span(level);
+    std::uint64_t remaining = size;
+    while (remaining > 0) {
+        const std::uint64_t idx = level_index(in, level);
+        Entry& e = node.entries[idx];
+        const std::uint64_t entry_base = in & ~(span - 1);
+        const std::uint64_t within = in - entry_base;
+        const std::uint64_t chunk = std::min(remaining, span - within);
+
+        if (e.kind == Entry::Kind::kLeaf) {
+            const std::uint64_t leaf_bytes = (level == kPtLevels - 1) ? kPageSize : span;
+            if (within != 0 || chunk != leaf_bytes) {
+                // Partial protect of a block: split and recurse.
+                split_block(e, level);
+                protect_range(*e.child, level + 1, in, chunk, perms);
+            } else {
+                e.perms = perms;
+            }
+        } else if (e.kind == Entry::Kind::kTable) {
+            protect_range(*e.child, level + 1, in, chunk, perms);
+        } else {
+            throw std::logic_error("PageTable::protect: range not mapped");
+        }
+        in += chunk;
+        remaining -= chunk;
+    }
+}
+
+WalkResult PageTable::walk(std::uint64_t addr) const {
+    WalkResult r;
+    if (addr >= (1ull << kInputAddrBits)) {
+        r.fault = FaultKind::kAddressSize;
+        return r;
+    }
+    const Node* node = root_.get();
+    for (int level = 0; level < kPtLevels; ++level) {
+        ++r.table_accesses;
+        const Entry& e = node->entries[level_index(addr, level)];
+        switch (e.kind) {
+            case Entry::Kind::kInvalid:
+                r.fault = FaultKind::kTranslation;
+                r.level = level;
+                return r;
+            case Entry::Kind::kLeaf: {
+                const std::uint64_t span =
+                    (level == kPtLevels - 1) ? kPageSize : level_span(level);
+                r.out = e.out + (addr & (span - 1));
+                r.perms = e.perms;
+                r.secure = e.secure;
+                r.level = level;
+                return r;
+            }
+            case Entry::Kind::kTable:
+                node = e.child.get();
+                break;
+        }
+    }
+    r.fault = FaultKind::kTranslation;  // unreachable with well-formed tables
+    return r;
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,100 @@
+// Four-level ARMv8-style translation tables (4 KiB granule, 48-bit input).
+//
+// The same structure serves stage-1 (VA -> IPA, owned by a guest kernel) and
+// stage-2 (IPA -> PA, owned by the hypervisor). Block mappings at level 1
+// (1 GiB) and level 2 (2 MiB) are supported, mirroring how Hafnium maps VM
+// memory with the largest possible blocks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+inline constexpr int kPtLevels = 4;
+inline constexpr int kPtBitsPerLevel = 9;
+inline constexpr std::uint64_t kPtEntries = 1ull << kPtBitsPerLevel;  // 512
+inline constexpr std::uint64_t kInputAddrBits = 48;
+
+/// Size of the region covered by one entry at `level` (0 = top).
+[[nodiscard]] constexpr std::uint64_t level_span(int level) {
+    return 1ull << (kPageShift + kPtBitsPerLevel * (kPtLevels - 1 - level));
+}
+
+/// Index into the table at `level` for input address `a`.
+[[nodiscard]] constexpr std::uint64_t level_index(std::uint64_t a, int level) {
+    return (a >> (kPageShift + kPtBitsPerLevel * (kPtLevels - 1 - level))) &
+           (kPtEntries - 1);
+}
+
+struct WalkResult {
+    FaultKind fault = FaultKind::kNone;
+    std::uint64_t out = 0;          ///< translated output address
+    std::uint8_t perms = kPermNone;
+    int level = -1;                 ///< level of the terminal entry
+    int table_accesses = 0;         ///< memory reads performed by the walk
+    bool secure = false;            ///< NS bit of the terminal entry
+};
+
+class PageTable {
+public:
+    PageTable();
+    ~PageTable();
+    PageTable(PageTable&&) noexcept;
+    PageTable& operator=(PageTable&&) noexcept;
+    PageTable(const PageTable&) = delete;
+    PageTable& operator=(const PageTable&) = delete;
+
+    /// Map [in_base, in_base+size) to [out_base, ...) with `perms`.
+    /// Uses 1 GiB / 2 MiB blocks where alignment allows unless
+    /// `force_pages` is set. Overlapping an existing mapping throws.
+    void map(std::uint64_t in_base, std::uint64_t out_base, std::uint64_t size,
+             std::uint8_t perms, bool secure = false, bool force_pages = false);
+
+    /// Remove all mappings intersecting [in_base, in_base+size). Block
+    /// entries partially covered by the range are split first
+    /// (break-before-make), so page-granular carve-outs from block-mapped
+    /// windows work as on real hardware.
+    void unmap(std::uint64_t in_base, std::uint64_t size);
+
+    /// Change permissions on a mapped range (page granularity; splits
+    /// blocks as needed). Throws if any page in the range is unmapped.
+    void protect(std::uint64_t in_base, std::uint64_t size, std::uint8_t perms);
+
+    /// Walk the tables for one input address.
+    [[nodiscard]] WalkResult walk(std::uint64_t addr) const;
+
+    /// Number of live table nodes (root included) — i.e. translation-table
+    /// memory footprint in 4 KiB units.
+    [[nodiscard]] std::uint64_t node_count() const { return node_count_; }
+
+    /// Number of terminal (page or block) mappings.
+    [[nodiscard]] std::uint64_t mapping_count() const { return mapping_count_; }
+
+    /// Total bytes covered by terminal mappings.
+    [[nodiscard]] std::uint64_t mapped_bytes() const { return mapped_bytes_; }
+
+private:
+    struct Entry;
+    struct Node;
+
+    Node* ensure_child(Node& parent, std::uint64_t index, int child_level);
+    void split_block(Entry& e, int level);
+    void map_range(Node& node, int level, std::uint64_t in, std::uint64_t out,
+                   std::uint64_t size, std::uint8_t perms, bool secure,
+                   bool force_pages);
+    void unmap_range(Node& node, int level, std::uint64_t in, std::uint64_t size);
+    void protect_range(Node& node, int level, std::uint64_t in, std::uint64_t size,
+                       std::uint8_t perms);
+
+    std::unique_ptr<Node> root_;
+    std::uint64_t node_count_ = 0;
+    std::uint64_t mapping_count_ = 0;
+    std::uint64_t mapped_bytes_ = 0;
+};
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,121 @@
+#include "arch/platform.h"
+
+namespace hpcsec::arch {
+
+PlatformConfig PlatformConfig::pine_a64() {
+    PlatformConfig c;
+    c.name = "pine-a64-lts";
+    c.ncores = 4;
+    c.clock_hz = 1'100'000'000;
+    c.ram_base = 0x4000'0000;
+    c.ram_bytes = 2ull << 30;
+    c.secure_ram_bytes = 0;
+    // Allwinner A64 peripherals (subset).
+    c.devices.push_back({"uart0", 0x01C2'8000, 0x1000, 32});
+    c.devices.push_back({"emac", 0x01C3'0000, 0x10000, 114});
+    c.devices.push_back({"mmc0", 0x01C0'F000, 0x1000, 92});
+    return c;
+}
+
+PlatformConfig PlatformConfig::thunderx2() {
+    // One socket of the Astra-class node the paper names as its next target
+    // (§VII). 28 cores @2.0 GHz; generous DRAM. Walk costs are a little
+    // lower than the A53's (bigger walk caches).
+    PlatformConfig c;
+    c.name = "thunderx2";
+    c.ncores = 28;
+    c.clock_hz = 2'000'000'000;
+    c.ram_base = 0x80'0000'0000ull >> 8;  // 0x8000'0000
+    c.ram_bytes = 32ull << 30;
+    c.devices.push_back({"uart0", 0x0200'0000, 0x1000, 33});
+    c.devices.push_back({"mlx5", 0x0300'0000, 0x10000, 64});
+    c.perf.stage1_walk = 25;
+    c.perf.nested_walk = 120;
+    return c;
+}
+
+PlatformConfig PlatformConfig::qemu_virt() {
+    PlatformConfig c;
+    c.name = "qemu-virt";
+    c.ncores = 4;
+    c.clock_hz = 1'000'000'000;
+    c.ram_base = 0x4000'0000;
+    c.ram_bytes = 4ull << 30;
+    c.devices.push_back({"pl011", 0x0900'0000, 0x1000, 33});
+    // QEMU packs virtio-mmio transports at 0x200 strides; the model rounds
+    // each window to a page so stage-2 device mappings stay page-granular.
+    c.devices.push_back({"virtio-net", 0x0A00'0000, 0x1000, 48});
+    c.devices.push_back({"virtio-blk", 0x0A00'1000, 0x1000, 49});
+    return c;
+}
+
+Platform::Platform(PlatformConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      engine_(sim::ClockSpec{config_.clock_hz}),
+      rng_(seed) {
+    if (config_.secure_ram_bytes >= config_.ram_bytes) {
+        throw std::invalid_argument("Platform: secure carve-out exceeds RAM");
+    }
+    const std::uint64_t ns_bytes = config_.ram_bytes - config_.secure_ram_bytes;
+    mem_.add_region({"dram-ns", config_.ram_base, ns_bytes, RegionKind::kRam,
+                     World::kNonSecure});
+    if (config_.secure_ram_bytes > 0) {
+        mem_.add_region({"dram-secure", config_.ram_base + ns_bytes,
+                         config_.secure_ram_bytes, RegionKind::kRam, World::kSecure});
+    }
+    for (const auto& d : config_.devices) {
+        mem_.add_region({d.name, d.base, d.size, RegionKind::kMmio, World::kNonSecure});
+    }
+
+    gic_ = std::make_unique<Gic>(config_.ncores);
+    std::vector<Core*> core_ptrs;
+    for (int i = 0; i < config_.ncores; ++i) {
+        cores_.push_back(
+            std::make_unique<Core>(engine_, config_.perf, *gic_, mem_, i));
+        core_ptrs.push_back(cores_.back().get());
+    }
+    gic_->set_signal([this](CoreId id) { cores_[static_cast<std::size_t>(id)]->signal_irq(); });
+    monitor_ = std::make_unique<SecureMonitor>(std::move(core_ptrs));
+
+    for (const auto& d : config_.devices) {
+        if (d.name.find("uart") != std::string::npos ||
+            d.name.find("pl011") != std::string::npos) {
+            uart_ = std::make_unique<Uart>(mem_, gic_.get(), d.base);
+            break;
+        }
+    }
+
+    build_device_tree();
+}
+
+void Platform::build_device_tree() {
+    dt_.set("compatible", config_.name);
+    auto& cpus = dt_.add_child("cpus");
+    for (int i = 0; i < config_.ncores; ++i) {
+        auto& cpu = cpus.add_child("cpu@" + std::to_string(i));
+        cpu.set("reg", static_cast<std::uint64_t>(i));
+        cpu.set("compatible", std::string("arm,cortex-a53"));
+        cpu.set("clock-frequency", config_.clock_hz);
+    }
+    auto& memory = dt_.add_child("memory");
+    memory.set("reg", std::vector<std::uint64_t>{config_.ram_base, config_.ram_bytes});
+    auto& soc = dt_.add_child("soc");
+    for (const auto& d : config_.devices) {
+        auto& dev = soc.add_child(d.name);
+        dev.set("reg", std::vector<std::uint64_t>{d.base, d.size});
+        if (d.spi >= 0) dev.set("interrupts", static_cast<std::uint64_t>(d.spi));
+    }
+}
+
+CoreUsage Platform::total_usage() const {
+    CoreUsage total;
+    for (const auto& c : cores_) {
+        const CoreUsage& u = c->exec().usage();
+        total.work += u.work;
+        total.transient += u.transient;
+        total.overhead += u.overhead;
+    }
+    return total;
+}
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,94 @@
+// Machine assembly: everything below the software stack.
+//
+// A Platform owns the simulation engine, physical memory, GIC, cores
+// (MMU + timer + executor each), and the EL3 monitor — the pieces a real
+// SoC provides. Presets mirror the hardware the paper used: the Pine
+// A64-LTS evaluation board and the QEMU virt profile Kitten also supports.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/devicetree.h"
+#include "arch/gic.h"
+#include "arch/memory_map.h"
+#include "arch/monitor.h"
+#include "arch/perfmodel.h"
+#include "arch/uart.h"
+#include "sim/engine.h"
+#include "sim/rng.h"
+#include "sim/trace.h"
+
+namespace hpcsec::arch {
+
+struct MmioDevice {
+    std::string name;
+    PhysAddr base;
+    std::uint64_t size;
+    int spi = -1;  ///< SPI interrupt number, -1 if none
+};
+
+struct PlatformConfig {
+    std::string name = "pine-a64-lts";
+    int ncores = 4;
+    std::uint64_t clock_hz = 1'100'000'000;  // Cortex-A53 @ 1.1 GHz
+    PhysAddr ram_base = 0x4000'0000;
+    std::uint64_t ram_bytes = 2ull << 30;  // 2 GiB
+    std::uint64_t secure_ram_bytes = 0;    ///< carved from the top of RAM
+    std::vector<MmioDevice> devices;
+    PerfModel perf;
+
+    static PlatformConfig pine_a64();
+    static PlatformConfig qemu_virt();
+    static PlatformConfig thunderx2();  ///< Astra-class node (paper §VII target)
+};
+
+class Platform {
+public:
+    explicit Platform(PlatformConfig config, std::uint64_t seed = 42);
+
+    Platform(const Platform&) = delete;
+    Platform& operator=(const Platform&) = delete;
+
+    [[nodiscard]] const PlatformConfig& config() const { return config_; }
+
+    sim::Engine& engine() { return engine_; }
+    sim::Rng& rng() { return rng_; }
+    sim::TraceLog& trace() { return trace_; }
+    MemoryMap& mem() { return mem_; }
+    Gic& gic() { return *gic_; }
+    SecureMonitor& monitor() { return *monitor_; }
+    const PerfModel& perf() const { return config_.perf; }
+
+    [[nodiscard]] int ncores() const { return static_cast<int>(cores_.size()); }
+    Core& core(CoreId id) { return *cores_.at(static_cast<std::size_t>(id)); }
+
+    /// Hardware description tree (memory, cpus, devices) as firmware would
+    /// hand it to the first boot stage.
+    [[nodiscard]] const DtNode& device_tree() const { return dt_; }
+    DtNode& device_tree() { return dt_; }
+
+    /// Console UART (attached to the first uart-named device), if any.
+    [[nodiscard]] Uart* uart() { return uart_.get(); }
+
+    /// Aggregate busy/overhead accounting across cores.
+    [[nodiscard]] CoreUsage total_usage() const;
+
+private:
+    void build_device_tree();
+
+    PlatformConfig config_;
+    sim::Engine engine_;
+    sim::Rng rng_;
+    sim::TraceLog trace_;
+    MemoryMap mem_;
+    std::unique_ptr<Gic> gic_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<SecureMonitor> monitor_;
+    std::unique_ptr<Uart> uart_;
+    DtNode dt_{"/"};
+};
+
+}  // namespace hpcsec::arch

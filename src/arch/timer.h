@@ -1,0 +1,58 @@
+// ARM generic timer model: per-core physical and virtual channels.
+//
+// The physical channel (PPI 30) belongs to whoever owns the hardware — the
+// native kernel, or the primary VM under Hafnium (the paper: "the Kitten
+// Primary VM requires that all hardware timer interrupts be routed directly
+// to it"). The virtual channel (PPI 27) is what Hafnium exposes to secondary
+// VMs as their "dedicated virtual architectural timer channel".
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/gic.h"
+#include "arch/types.h"
+#include "sim/engine.h"
+
+namespace hpcsec::arch {
+
+enum class TimerChannel : int {
+    kPhys = 0,
+    kVirt = 1,
+};
+
+class GenericTimer {
+public:
+    GenericTimer(sim::Engine& engine, Gic& gic, CoreId core);
+
+    /// System counter value (== simulated cycles; CNTFRQ == CPU clock here).
+    [[nodiscard]] sim::SimTime counter() const;
+
+    /// Program the compare register: fire at absolute time `deadline`.
+    void set_deadline(TimerChannel ch, sim::SimTime deadline);
+
+    /// Disable the channel (CNTx_CTL.ENABLE = 0).
+    void cancel(TimerChannel ch);
+
+    [[nodiscard]] bool armed(TimerChannel ch) const;
+    [[nodiscard]] sim::SimTime deadline(TimerChannel ch) const;
+
+    [[nodiscard]] std::uint64_t fired_count(TimerChannel ch) const;
+
+private:
+    void fire(TimerChannel ch);
+
+    sim::Engine* engine_;
+    Gic* gic_;
+    CoreId core_;
+
+    struct Channel {
+        sim::EventId event;
+        sim::SimTime deadline = sim::kTimeNever;
+        bool armed = false;
+        std::uint64_t fired = 0;
+    };
+    std::array<Channel, 2> ch_;
+};
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,74 @@
+// Set-associative TLB model with VMID/ASID tagging.
+//
+// Caches *combined* final translations (input page -> output page), the way
+// modern ARM cores cache two-stage walks. Flush semantics follow the ARM
+// TLBI instructions we need: full flush, by-VMID, and by-ASID. Replacement
+// is deterministic round-robin so simulations are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+struct TlbEntry {
+    bool valid = false;
+    VmId vmid = 0;
+    Asid asid = 0;
+    std::uint64_t in_page = 0;   ///< input address >> kPageShift
+    std::uint64_t out_page = 0;  ///< output address >> kPageShift
+    std::uint8_t perms = kPermNone;
+    bool secure = false;
+};
+
+struct TlbStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double hit_rate() const {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+};
+
+class Tlb {
+public:
+    /// A53 main TLB: 512 entries, 4-way.
+    explicit Tlb(std::size_t entries = 512, std::size_t ways = 4);
+
+    /// nullptr on miss; also bumps hit/miss counters.
+    const TlbEntry* lookup(VmId vmid, Asid asid, std::uint64_t in_page);
+
+    void insert(const TlbEntry& entry);
+
+    void flush_all();
+    void flush_vmid(VmId vmid);
+    void flush_asid(VmId vmid, Asid asid);
+    void flush_page(VmId vmid, std::uint64_t in_page);
+
+    [[nodiscard]] const TlbStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+    [[nodiscard]] std::size_t valid_entries() const;
+    [[nodiscard]] std::size_t capacity() const { return sets_.size() * ways_; }
+
+private:
+    [[nodiscard]] std::size_t set_of(std::uint64_t in_page) const {
+        return in_page % sets_.size();
+    }
+
+    struct Set {
+        std::vector<TlbEntry> ways;
+        std::size_t next_victim = 0;
+    };
+
+    std::vector<Set> sets_;
+    std::size_t ways_;
+    TlbStats stats_;
+};
+
+}  // namespace hpcsec::arch

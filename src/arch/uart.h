@@ -1,0 +1,42 @@
+// 16550/PL011-flavoured UART model.
+//
+// The minimal functional console: writes to the data register append to a
+// capture buffer (and optionally raise the RX/TX SPI), reads of the flag
+// register report "always ready". Whichever VM owns the UART's MMIO window
+// in its stage-2 tables — the primary by default, the super-secondary
+// "login" VM in the paper's extended configuration — gets a console; every
+// other partition's access faults, which the isolation tests exploit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/gic.h"
+#include "arch/memory_map.h"
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+class Uart {
+public:
+    // Register offsets (PL011-ish).
+    static constexpr std::uint64_t kDataReg = 0x00;   ///< DR: TX on write
+    static constexpr std::uint64_t kFlagReg = 0x18;   ///< FR: status
+    static constexpr std::uint64_t kFlagTxReady = 0x80;
+
+    /// Attach to the platform memory map at `base` (must be an MMIO region
+    /// base). When `tx_spi` >= 0 every transmitted byte raises that SPI.
+    Uart(MemoryMap& mem, Gic* gic, PhysAddr base, int tx_spi = -1);
+
+    [[nodiscard]] const std::string& output() const { return output_; }
+    void clear_output() { output_.clear(); }
+    [[nodiscard]] std::uint64_t bytes_transmitted() const { return tx_count_; }
+
+private:
+    Gic* gic_;
+    int tx_spi_;
+    std::string output_;
+    std::uint64_t tx_count_ = 0;
+};
+
+}  // namespace hpcsec::arch

@@ -1,0 +1,103 @@
+#include "cluster/scale_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace hpcsec::cluster {
+
+NodeTrace trace_from_step_times(const std::vector<sim::SimTime>& times,
+                                sim::SimTime start) {
+    NodeTrace t;
+    sim::SimTime prev = start;
+    for (const sim::SimTime ts : times) {
+        t.step_cycles.push_back(ts - prev);
+        prev = ts;
+    }
+    return t;
+}
+
+double InterconnectModel::allreduce_us(int nodes) const {
+    if (nodes <= 1) return 0.0;
+    const int rounds = std::bit_width(static_cast<unsigned>(nodes - 1));
+    const double wire_us =
+        bytes_per_allreduce * 8.0 / (bandwidth_gbps * 1e3);  // bytes over Gbit/s
+    return rounds * (latency_us + wire_us);
+}
+
+ScaleModel::ScaleModel(std::vector<NodeTrace> traces, sim::ClockSpec clock,
+                       InterconnectModel net)
+    : traces_(std::move(traces)), clock_(clock), net_(net) {
+    if (traces_.empty()) throw std::invalid_argument("ScaleModel: no traces");
+    nsteps_ = traces_[0].step_cycles.size();
+    for (const auto& t : traces_) {
+        if (t.step_cycles.size() != nsteps_) {
+            throw std::invalid_argument("ScaleModel: trace step counts differ");
+        }
+    }
+    if (nsteps_ == 0) throw std::invalid_argument("ScaleModel: empty traces");
+
+    // Pool every observed step duration across traces AND steps: BSP steps
+    // of one workload are statistically homogeneous here, and the combined
+    // pool (traces x steps samples) gives the noise distribution a real
+    // tail for the max() to find. ideal = the fastest observed step.
+    pool_.assign(1, {});
+    ideal_step_ = ~sim::Cycles{0};
+    for (const auto& t : traces_) {
+        for (const auto c : t.step_cycles) {
+            pool_[0].push_back(c);
+            ideal_step_ = std::min(ideal_step_, c);
+        }
+    }
+}
+
+ScaleResult ScaleModel::project(int nodes, std::uint64_t seed) const {
+    if (nodes <= 0) throw std::invalid_argument("ScaleModel::project: nodes >= 1");
+    sim::Rng rng(seed ^ (static_cast<std::uint64_t>(nodes) << 32));
+    const double allreduce_cycles =
+        clock_.from_seconds(net_.allreduce_us(nodes) * 1e-6);
+
+    const auto& samples = pool_[0];
+    double total_cycles = 0.0;
+    for (std::size_t s = 0; s < nsteps_; ++s) {
+        sim::Cycles slowest = 0;
+        for (int n = 0; n < nodes; ++n) {
+            // Each node's step duration is an independent draw from the
+            // pooled noise distribution.
+            const sim::Cycles draw = samples[rng.next_below(samples.size())];
+            slowest = std::max(slowest, draw);
+        }
+        total_cycles += static_cast<double>(slowest) + allreduce_cycles;
+    }
+
+    ScaleResult r;
+    r.nodes = nodes;
+    r.total_us = clock_.to_micros(static_cast<sim::SimTime>(total_cycles));
+    r.mean_step_us = r.total_us / static_cast<double>(nsteps_);
+    // Efficiency against the *noise- and network-free* ideal: both OS noise
+    // and interconnect time count as parallelization overhead.
+    const double ideal_total =
+        static_cast<double>(ideal_step_) * static_cast<double>(nsteps_);
+    r.efficiency = ideal_total / total_cycles;
+    return r;
+}
+
+std::vector<ScaleResult> ScaleModel::sweep(const std::vector<int>& node_counts,
+                                           int trials, std::uint64_t seed) const {
+    std::vector<ScaleResult> out;
+    for (const int n : node_counts) {
+        ScaleResult acc;
+        acc.nodes = n;
+        for (int t = 0; t < trials; ++t) {
+            const ScaleResult r =
+                project(n, seed + 977ull * static_cast<std::uint64_t>(t));
+            acc.mean_step_us += r.mean_step_us / trials;
+            acc.total_us += r.total_us / trials;
+            acc.efficiency += r.efficiency / trials;
+        }
+        out.push_back(acc);
+    }
+    return out;
+}
+
+}  // namespace hpcsec::cluster

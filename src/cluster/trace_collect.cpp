@@ -1,0 +1,24 @@
+#include "cluster/trace_collect.h"
+
+#include "core/harness.h"
+
+namespace hpcsec::cluster {
+
+std::vector<NodeTrace> collect_traces(core::SchedulerKind kind,
+                                      const wl::WorkloadSpec& spec, int samples,
+                                      std::uint64_t base_seed) {
+    std::vector<NodeTrace> traces;
+    traces.reserve(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+        core::Node node(core::Harness::default_config(
+            kind, base_seed + 6151ull * static_cast<std::uint64_t>(s)));
+        node.boot();
+        wl::ParallelWorkload w(spec);
+        const sim::SimTime start = node.platform().engine().now();
+        (void)node.run_workload(w);
+        traces.push_back(trace_from_step_times(w.step_completion_times(), start));
+    }
+    return traces;
+}
+
+}  // namespace hpcsec::cluster

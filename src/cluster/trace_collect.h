@@ -1,0 +1,21 @@
+// Detailed-node trace collection for the scale model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/scale_model.h"
+#include "core/node.h"
+#include "workloads/workload.h"
+
+namespace hpcsec::cluster {
+
+/// Run `samples` detailed single-node simulations of `spec` under the given
+/// scheduler configuration (distinct seeds) and return one superstep trace
+/// per run. The traces feed ScaleModel.
+[[nodiscard]] std::vector<NodeTrace> collect_traces(core::SchedulerKind kind,
+                                                    const wl::WorkloadSpec& spec,
+                                                    int samples,
+                                                    std::uint64_t base_seed);
+
+}  // namespace hpcsec::cluster

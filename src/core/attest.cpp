@@ -1,0 +1,60 @@
+#include "core/attest.h"
+
+namespace hpcsec::core {
+
+AttestationChain::AttestationChain() {
+    acc_.fill(0);  // PCR reset value
+}
+
+void AttestationChain::extend(const std::string& name,
+                              std::span<const std::uint8_t> data) {
+    extend_digest(name, crypto::Sha256::hash(data));
+}
+
+void AttestationChain::extend_digest(const std::string& name,
+                                     const crypto::Digest& measurement) {
+    crypto::Sha256 h;
+    h.update(acc_);
+    h.update(measurement);
+    acc_ = h.finalize();
+    log_.push_back({name, measurement});
+}
+
+crypto::Digest AttestationChain::replay(const std::vector<BootStage>& log) {
+    crypto::Digest acc{};
+    acc.fill(0);
+    for (const auto& stage : log) {
+        crypto::Sha256 h;
+        h.update(acc);
+        h.update(stage.measurement);
+        acc = h.finalize();
+    }
+    return acc;
+}
+
+bool AttestationChain::replay_matches() const {
+    return crypto::digest_equal(replay(log_), acc_);
+}
+
+std::optional<AttestationChain::Quote> AttestationChain::quote(
+    crypto::LamportKeyPair& device_key, const crypto::Digest& nonce) const {
+    crypto::Sha256 h;
+    h.update(acc_);
+    h.update(nonce);
+    const crypto::Digest msg = h.finalize();
+    auto sig = device_key.sign(msg);
+    if (!sig) return std::nullopt;
+    return Quote{acc_, nonce, *sig};
+}
+
+bool AttestationChain::verify_quote(const Quote& q,
+                                    const crypto::Digest& expected_accumulator,
+                                    const crypto::LamportPublicKey& pub) {
+    if (!crypto::digest_equal(q.accumulator, expected_accumulator)) return false;
+    crypto::Sha256 h;
+    h.update(q.accumulator);
+    h.update(q.nonce);
+    return crypto::lamport_verify(pub, h.finalize(), q.signature);
+}
+
+}  // namespace hpcsec::core

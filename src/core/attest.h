@@ -1,0 +1,65 @@
+// Measured / trusted boot chain.
+//
+// TrustZone's verifiable boot chain is what anchors Hafnium's guarantees:
+// "the security guarantees provided by Hafnium are dependent on the attested
+// boot chain as well as the correctness of Hafnium itself". The chain is a
+// PCR-style hash ledger: each boot stage extends the accumulator with the
+// measurement of the next image before handing control to it. A quote is
+// the accumulator signed with the device key (Lamport OTS).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/lamport.h"
+#include "crypto/sha256.h"
+
+namespace hpcsec::core {
+
+struct BootStage {
+    std::string name;
+    crypto::Digest measurement;  ///< H(image)
+};
+
+class AttestationChain {
+public:
+    AttestationChain();
+
+    /// Measure a boot stage: log H(data) and extend the accumulator with
+    /// accumulator = H(accumulator || H(data)).
+    void extend(const std::string& name, std::span<const std::uint8_t> data);
+    void extend_digest(const std::string& name, const crypto::Digest& measurement);
+
+    [[nodiscard]] const std::vector<BootStage>& log() const { return log_; }
+    [[nodiscard]] const crypto::Digest& accumulator() const { return acc_; }
+
+    /// Recompute the accumulator from the event log; true iff it matches
+    /// (the standard TPM-style log-vs-PCR check).
+    [[nodiscard]] bool replay_matches() const;
+    [[nodiscard]] static crypto::Digest replay(const std::vector<BootStage>& log);
+
+    struct Quote {
+        crypto::Digest accumulator;
+        crypto::Digest nonce;
+        crypto::LamportSignature signature;
+    };
+
+    /// Sign accumulator||nonce with a (one-time) device key.
+    [[nodiscard]] std::optional<Quote> quote(crypto::LamportKeyPair& device_key,
+                                             const crypto::Digest& nonce) const;
+
+    /// Verifier side: check a quote against an expected accumulator value
+    /// and the device public key.
+    [[nodiscard]] static bool verify_quote(const Quote& q,
+                                           const crypto::Digest& expected_accumulator,
+                                           const crypto::LamportPublicKey& pub);
+
+private:
+    crypto::Digest acc_{};
+    std::vector<BootStage> log_;
+};
+
+}  // namespace hpcsec::core

@@ -1,0 +1,166 @@
+#include "core/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace hpcsec::core {
+
+Harness::Harness(Options options) : options_(std::move(options)) {
+    if (!options_.config_factory) {
+        options_.config_factory = [](SchedulerKind kind, std::uint64_t seed) {
+            return default_config(kind, seed);
+        };
+    }
+}
+
+NodeConfig Harness::default_config(SchedulerKind kind, std::uint64_t seed) {
+    NodeConfig cfg;
+    cfg.platform = arch::PlatformConfig::pine_a64();
+    cfg.scheduler = kind;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
+                               std::uint64_t seed) {
+    Node node(options_.config_factory(kind, seed));
+    node.boot();
+    wl::ParallelWorkload workload(spec);
+    const double seconds = node.run_workload(workload, options_.timeout_s);
+    TrialResult r;
+    r.seconds = seconds;
+    r.score = workload.score(seconds);
+    if (options_.measurement_noise && spec.measurement_noise_sigma > 0.0) {
+        sim::Rng rng(seed ^ 0x5eedf00dULL);
+        r.score *= 1.0 + spec.measurement_noise_sigma * rng.normal(0.0, 1.0);
+    }
+    return r;
+}
+
+ExperimentRow Harness::run_row(const wl::WorkloadSpec& spec) {
+    ExperimentRow row;
+    row.workload = spec.name;
+    row.metric = spec.metric;
+    for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
+        sim::RunningStats stats;
+        for (int t = 0; t < options_.trials; ++t) {
+            const std::uint64_t seed =
+                options_.base_seed + 7919ull * static_cast<std::uint64_t>(t) +
+                131ull * c;
+            stats.add(run_trial(kAllConfigs[c], spec, seed).score);
+        }
+        row.cells[c] = {stats.mean(), stats.stddev(), static_cast<int>(stats.count())};
+    }
+    return row;
+}
+
+std::vector<ExperimentRow> Harness::run_rows(
+    const std::vector<wl::WorkloadSpec>& specs) {
+    std::vector<ExperimentRow> rows;
+    rows.reserve(specs.size());
+    for (const auto& spec : specs) rows.push_back(run_row(spec));
+    return rows;
+}
+
+namespace {
+std::string fmt(double v) {
+    char buf[64];
+    if (v != 0.0 && (std::fabs(v) < 1e-2 || std::fabs(v) >= 1e5)) {
+        std::snprintf(buf, sizeof(buf), "%.3e", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    }
+    return buf;
+}
+}  // namespace
+
+std::string Harness::format_raw(const std::vector<ExperimentRow>& rows) {
+    std::ostringstream os;
+    os << "config  ";
+    for (const auto& row : rows) {
+        os << "| " << row.workload << " (" << row.metric << ") mean/stdev ";
+    }
+    os << "\n";
+    static constexpr const char* kNames[3] = {"Native", "Kitten", "Linux"};
+    for (std::size_t c = 0; c < 3; ++c) {
+        os << kNames[c] << "  ";
+        for (const auto& row : rows) {
+            os << "| " << fmt(row.cells[c].mean) << " / " << fmt(row.cells[c].stdev)
+               << " ";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string Harness::format_normalized(const std::vector<ExperimentRow>& rows) {
+    std::ostringstream os;
+    os << "normalized to Native (1.0):\n";
+    static constexpr const char* kNames[3] = {"Native", "Kitten", "Linux"};
+    os << "config  ";
+    for (const auto& row : rows) os << "| " << row.workload << " ";
+    os << "\n";
+    for (std::size_t c = 0; c < 3; ++c) {
+        os << kNames[c] << "  ";
+        for (const auto& row : rows) {
+            const double base = row.cells[0].mean;
+            os << "| " << fmt(base != 0.0 ? row.cells[c].mean / base : 0.0) << " ";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Selfish
+// ---------------------------------------------------------------------------
+
+SelfishSeries run_selfish_experiment(SchedulerKind kind, double seconds,
+                                     std::uint64_t seed, const NodeConfig* base) {
+    NodeConfig cfg = base != nullptr ? *base : Harness::default_config(kind, seed);
+    cfg.scheduler = kind;
+    cfg.seed = seed;
+    Node node(cfg);
+    node.boot();
+
+    wl::SelfishBenchmark selfish(node.platform().ncores(),
+                                 node.platform().engine().clock());
+    node.run_selfish(selfish, seconds);
+
+    SelfishSeries out;
+    out.config = kind;
+    out.duration_s = seconds;
+    out.detours = selfish.recorder(0).detours();
+    for (int t = 0; t < selfish.nthreads(); ++t) {
+        out.detours_all_cores += selfish.recorder(t).detours().size();
+        out.total_detour_us_all += selfish.recorder(t).total_detour_us();
+        out.max_detour_us = std::max(out.max_detour_us, selfish.recorder(t).max_detour_us());
+    }
+    return out;
+}
+
+std::string format_selfish(const SelfishSeries& series, std::size_t max_points) {
+    std::ostringstream os;
+    os << "config=" << to_string(series.config) << " duration=" << series.duration_s
+       << "s detours(core0)=" << series.detours.size()
+       << " detours(all)=" << series.detours_all_cores
+       << " lost=" << fmt(series.total_detour_us_all) << "us"
+       << " max=" << fmt(series.max_detour_us) << "us\n";
+    os << "  t[s]      detour[us]\n";
+    const std::size_t n = series.detours.size();
+    const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+    for (std::size_t i = 0; i < n; i += stride) {
+        const auto& d = series.detours[i];
+        char buf[80];
+        std::snprintf(buf, sizeof(buf), "  %8.3f  %10.2f\n", d.at_seconds,
+                      d.duration_us);
+        os << buf;
+    }
+    return os.str();
+}
+
+}  // namespace hpcsec::core

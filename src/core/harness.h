@@ -1,0 +1,96 @@
+// Experiment harness: regenerates the paper's tables and figures.
+//
+// Runs a workload spec across the three node configurations (Native /
+// Kitten-scheduled / Linux-scheduled), multiple seeded trials each, and
+// reports mean +/- stdev in the workload's metric — the structure of
+// Figs. 7-10. Per-trial measurement noise (documented in DESIGN.md §5)
+// models the run-to-run variation a real board exhibits (DRAM refresh,
+// thermal/DVFS wiggle) that a deterministic simulator otherwise lacks;
+// the paper's own stdevs size it.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "sim/stats.h"
+#include "workloads/selfish.h"
+#include "workloads/workload.h"
+
+namespace hpcsec::core {
+
+inline constexpr std::array<SchedulerKind, 3> kAllConfigs = {
+    SchedulerKind::kNativeKitten, SchedulerKind::kKittenPrimary,
+    SchedulerKind::kLinuxPrimary};
+
+struct TrialResult {
+    double seconds = 0.0;
+    double score = 0.0;
+};
+
+struct CellStats {
+    double mean = 0.0;
+    double stdev = 0.0;
+    int n = 0;
+};
+
+struct ExperimentRow {
+    std::string workload;
+    std::string metric;
+    std::array<CellStats, 3> cells;  ///< Native, Kitten, Linux
+};
+
+class Harness {
+public:
+    struct Options {
+        int trials = 10;
+        double timeout_s = 600.0;
+        std::uint64_t base_seed = 20210101;
+        bool measurement_noise = true;
+        /// Override node construction (ablations swap this out).
+        std::function<NodeConfig(SchedulerKind, std::uint64_t seed)> config_factory;
+    };
+
+    Harness() : Harness(Options()) {}
+    explicit Harness(Options options);
+
+    /// Default paper-faithful node configuration.
+    static NodeConfig default_config(SchedulerKind kind, std::uint64_t seed);
+
+    TrialResult run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
+                          std::uint64_t seed);
+
+    ExperimentRow run_row(const wl::WorkloadSpec& spec);
+    std::vector<ExperimentRow> run_rows(const std::vector<wl::WorkloadSpec>& specs);
+
+    // --- formatting (paper-shaped output) ------------------------------------
+    static std::string format_raw(const std::vector<ExperimentRow>& rows);
+    static std::string format_normalized(const std::vector<ExperimentRow>& rows);
+
+    [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+    Options options_;
+};
+
+// --- selfish-detour experiment (Figs. 4-6) ----------------------------------
+
+struct SelfishSeries {
+    SchedulerKind config;
+    double duration_s = 0.0;
+    std::vector<wl::Detour> detours;   ///< thread 0 (the plotted core)
+    std::uint64_t detours_all_cores = 0;
+    double total_detour_us_all = 0.0;
+    double max_detour_us = 0.0;
+};
+
+SelfishSeries run_selfish_experiment(SchedulerKind kind, double seconds,
+                                     std::uint64_t seed,
+                                     const NodeConfig* base = nullptr);
+
+/// Scatter-style text rendering (time vs detour length) plus summary.
+std::string format_selfish(const SelfishSeries& series, std::size_t max_points = 40);
+
+}  // namespace hpcsec::core

@@ -1,0 +1,112 @@
+#include "core/jobproto.h"
+
+#include "crypto/sha256.h"
+
+namespace hpcsec::core {
+
+std::vector<std::uint64_t> encode(const JobCommand& cmd) {
+    return {kJobMagic, static_cast<std::uint64_t>(cmd.op), cmd.vm, cmd.vcpu,
+            cmd.arg, cmd.tag};
+}
+
+std::optional<JobCommand> decode_command(const std::vector<std::uint64_t>& words) {
+    if (words.size() < 6 || words[0] != kJobMagic) return std::nullopt;
+    if (words[1] < 1 || words[1] > 7) return std::nullopt;
+    JobCommand cmd;
+    cmd.op = static_cast<JobOp>(words[1]);
+    cmd.vm = words[2];
+    cmd.vcpu = words[3];
+    cmd.arg = words[4];
+    cmd.tag = words[5];
+    return cmd;
+}
+
+std::vector<std::uint64_t> encode(const JobReply& reply) {
+    return {kReplyMagic, reply.tag, static_cast<std::uint64_t>(reply.status),
+            reply.value};
+}
+
+std::optional<JobReply> decode_reply(const std::vector<std::uint64_t>& words) {
+    if (words.size() < 4 || words[0] != kReplyMagic) return std::nullopt;
+    JobReply r;
+    r.tag = words[1];
+    r.status = static_cast<std::int64_t>(words[2]);
+    r.value = words[3];
+    return r;
+}
+
+ChannelKey derive_channel_key(std::span<const std::uint8_t> secret,
+                              std::string_view label) {
+    ChannelKey key;
+    const std::vector<std::uint8_t> msg(label.begin(), label.end());
+    key.bytes = crypto::hmac_sha256(secret, msg);
+    return key;
+}
+
+namespace {
+std::array<std::uint64_t, 4> frame_mac(const std::vector<std::uint64_t>& payload,
+                                       std::uint64_t counter,
+                                       const ChannelKey& key) {
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve((payload.size() + 1) * 8);
+    const auto push_word = [&bytes](std::uint64_t w) {
+        for (int i = 0; i < 8; ++i) bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    };
+    for (const std::uint64_t w : payload) push_word(w);
+    push_word(counter);
+    const crypto::Digest d = crypto::hmac_sha256(key.bytes, bytes);
+    std::array<std::uint64_t, 4> mac{};
+    for (int i = 0; i < 4; ++i) {
+        std::uint64_t w = 0;
+        for (int b = 0; b < 8; ++b) {
+            w |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i * 8 + b)])
+                 << (8 * b);
+        }
+        mac[static_cast<std::size_t>(i)] = w;
+    }
+    return mac;
+}
+}  // namespace
+
+std::vector<std::uint64_t> seal(std::vector<std::uint64_t> frame,
+                                const ChannelKey& key, std::uint64_t counter) {
+    const auto mac = frame_mac(frame, counter, key);
+    frame.push_back(counter);
+    frame.insert(frame.end(), mac.begin(), mac.end());
+    return frame;
+}
+
+std::optional<std::vector<std::uint64_t>> unseal(
+    const std::vector<std::uint64_t>& sealed, const ChannelKey& key,
+    std::uint64_t& last_counter) {
+    if (sealed.size() < 5) return std::nullopt;  // counter + 4 MAC words minimum
+    const std::size_t payload_len = sealed.size() - 5;
+    std::vector<std::uint64_t> payload(sealed.begin(),
+                                       sealed.begin() + static_cast<long>(payload_len));
+    const std::uint64_t counter = sealed[payload_len];
+    if (counter <= last_counter) return std::nullopt;  // replay or reorder
+    const auto expect = frame_mac(payload, counter, key);
+    std::uint64_t diff = 0;
+    for (int i = 0; i < 4; ++i) {
+        diff |= expect[static_cast<std::size_t>(i)] ^
+                sealed[payload_len + 1 + static_cast<std::size_t>(i)];
+    }
+    if (diff != 0) return std::nullopt;  // forged or corrupted
+    last_counter = counter;
+    return payload;
+}
+
+std::string to_string(JobOp op) {
+    switch (op) {
+        case JobOp::kLaunchVm: return "launch-vm";
+        case JobOp::kStopVm: return "stop-vm";
+        case JobOp::kMigrateVcpu: return "migrate-vcpu";
+        case JobOp::kQueryVm: return "query-vm";
+        case JobOp::kPing: return "ping";
+        case JobOp::kCreateVm: return "create-vm";
+        case JobOp::kDestroyVm: return "destroy-vm";
+    }
+    return "?";
+}
+
+}  // namespace hpcsec::core

@@ -1,0 +1,86 @@
+// Job-control wire protocol between the login (super-secondary) VM and the
+// Kitten control task in the primary VM.
+//
+// Paper §III.b: "VM management is handled by a secure communication channel
+// between the super-secondary and primary VMs allowing the super-secondary
+// to issue commands to a control task executing in the Kitten VM instance."
+// Messages travel through the Hafnium mailbox (one 4 KiB page), encoded as
+// little 64-bit word frames.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcsec::core {
+
+enum class JobOp : std::uint64_t {
+    kLaunchVm = 1,
+    kStopVm = 2,
+    kMigrateVcpu = 3,
+    kQueryVm = 4,
+    kPing = 5,
+    kCreateVm = 6,   ///< launch a pre-staged signed image (arg = stage index)
+    kDestroyVm = 7,  ///< tear a dynamic partition down, reclaim its memory
+};
+
+struct JobCommand {
+    JobOp op = JobOp::kPing;
+    std::uint64_t vm = 0;
+    std::uint64_t vcpu = 0;
+    std::uint64_t arg = 0;   ///< e.g. target core for migrate
+    std::uint64_t tag = 0;   ///< request id echoed in the reply
+};
+
+struct JobReply {
+    std::uint64_t tag = 0;
+    std::int64_t status = 0;     ///< 0 ok, negative error
+    std::uint64_t value = 0;     ///< query payload
+};
+
+inline constexpr std::uint64_t kJobMagic = 0x004A4F4243545243ULL;   // "JOBCTRC"
+inline constexpr std::uint64_t kReplyMagic = 0x004A4F4252504C59ULL; // "JOBRPLY"
+
+/// Encode/decode to mailbox word frames. Decoding returns nullopt on a bad
+/// magic or short frame (robustness against a malicious login VM).
+[[nodiscard]] std::vector<std::uint64_t> encode(const JobCommand& cmd);
+[[nodiscard]] std::optional<JobCommand> decode_command(
+    const std::vector<std::uint64_t>& words);
+[[nodiscard]] std::vector<std::uint64_t> encode(const JobReply& reply);
+[[nodiscard]] std::optional<JobReply> decode_reply(
+    const std::vector<std::uint64_t>& words);
+
+// --- authenticated framing -----------------------------------------------------
+// The paper calls the link a *secure* communication channel. On top of the
+// hypervisor-mediated mailbox (which already provides isolation), the
+// authenticated framing adds integrity and replay protection: every frame
+// carries a monotonically increasing counter and an HMAC-SHA256 tag over
+// the payload+counter, keyed with a session key derived at boot (from the
+// attestation accumulator).
+
+struct ChannelKey {
+    std::array<std::uint8_t, 32> bytes{};
+};
+
+/// Derive a direction-specific session key from boot-time secret material.
+[[nodiscard]] ChannelKey derive_channel_key(std::span<const std::uint8_t> secret,
+                                            std::string_view label);
+
+/// Append counter + 4 MAC words to an encoded frame.
+[[nodiscard]] std::vector<std::uint64_t> seal(std::vector<std::uint64_t> frame,
+                                              const ChannelKey& key,
+                                              std::uint64_t counter);
+
+/// Verify MAC and counter monotonicity (counter must be > last_counter).
+/// On success, updates last_counter and returns the payload words.
+[[nodiscard]] std::optional<std::vector<std::uint64_t>> unseal(
+    const std::vector<std::uint64_t>& sealed, const ChannelKey& key,
+    std::uint64_t& last_counter);
+
+[[nodiscard]] std::string to_string(JobOp op);
+
+}  // namespace hpcsec::core

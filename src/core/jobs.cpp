@@ -1,0 +1,226 @@
+#include "core/jobs.h"
+
+#include <stdexcept>
+
+namespace hpcsec::core {
+
+void ControlTaskCtx::enqueue(JobCommand cmd) {
+    inbox_.push_back(cmd);
+    if (remaining_ <= 0.0) remaining_ = budget_;
+}
+
+void ControlTaskCtx::advance(double units, sim::SimTime /*now*/) {
+    if (units < remaining_) {
+        remaining_ -= units;
+        return;
+    }
+    remaining_ = 0.0;
+    if (inbox_.empty()) return;
+    const JobCommand cmd = inbox_.front();
+    inbox_.pop_front();
+    ++processed_;
+    if (handler) handler(cmd);
+    if (!inbox_.empty()) remaining_ = budget_;
+}
+
+JobControl::JobControl(Node& node) : node_(&node) {
+    if (!node.booted() || node.spm() == nullptr || node.kitten() == nullptr ||
+        !node.kitten()->is_primary_vm() || node.login_vm() == nullptr) {
+        throw std::logic_error(
+            "JobControl: needs a booted Kitten-primary node with a login VM");
+    }
+    hafnium::Spm& spm = *node.spm();
+    kitten::KittenKernel& kernel = *node.kitten();
+
+    // Mailbox pages. The primary allocates from its kernel heap (buddy);
+    // the login VM uses a fixed window in its own IPA space.
+    const auto send_off = kernel.kmem().alloc(arch::kPageSize);
+    const auto recv_off = kernel.kmem().alloc(arch::kPageSize);
+    if (!send_off || !recv_off) throw std::runtime_error("JobControl: kmem exhausted");
+    // Mailboxes live inside each VM's own RAM window (the primary and the
+    // login VM are identity-mapped, so offsets are relative to ipa_base).
+    constexpr arch::IpaAddr kHeapOffset = 0x20'0000;
+    const arch::IpaAddr primary_base = spm.primary_vm().ipa_base;
+    const arch::IpaAddr login_base = node.login_vm()->ipa_base;
+    primary_send_ = primary_base + kHeapOffset + *send_off;
+    primary_recv_ = primary_base + kHeapOffset + *recv_off;
+    login_send_ = login_base + 0x1000;
+    login_recv_ = login_base + 0x2000;
+
+    const arch::VmId primary_id = arch::kPrimaryVmId;
+    const arch::VmId login_id = node.login_vm()->id();
+    auto check = [](const hafnium::HfResult& r, const char* what) {
+        if (!r.ok()) throw std::runtime_error(std::string("JobControl: ") + what);
+    };
+    check(spm.hypercall(0, primary_id, hafnium::Call::kVmConfigure,
+                        {primary_send_, primary_recv_, 0, 0}),
+          "primary mailbox configure failed");
+    check(spm.hypercall(0, login_id, hafnium::Call::kVmConfigure,
+                        {login_send_, login_recv_, 0, 0}),
+          "login mailbox configure failed");
+
+    // Session keys for the authenticated channel, derived from the measured
+    // boot state (both ends observe the same accumulator at provisioning).
+    const crypto::Digest& acc = node.attestation().accumulator();
+    cmd_key_ = derive_channel_key(acc, "hpcsec:jobctl:cmd");
+    reply_key_ = derive_channel_key(acc, "hpcsec:jobctl:reply");
+
+    // Control task on core 0 of the primary.
+    ctl_.handler = [this](const JobCommand& cmd) { execute(cmd); };
+    ctl_thread_ = &kernel.add_control_task(0, &ctl_, "control");
+
+    // Message plumbing.
+    kernel.message_hook = [this](arch::VmId from) { on_primary_message(from); };
+    node.login_guest()->message_hook = [this] { on_login_message(); };
+}
+
+void JobControl::send_words(arch::VmId from, arch::VmId to,
+                            const std::vector<std::uint64_t>& words) {
+    hafnium::Spm& spm = *node_->spm();
+    const arch::IpaAddr send = from == arch::kPrimaryVmId ? primary_send_ : login_send_;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (!spm.vm_write64(from, send + i * 8, words[i])) {
+            throw std::runtime_error("JobControl: send buffer write failed");
+        }
+    }
+    const hafnium::HfResult r =
+        spm.hypercall(0, from, hafnium::Call::kMsgSend,
+                      {to, words.size() * 8, 0, 0});
+    if (!r.ok()) {
+        throw std::runtime_error("JobControl: FFA_MSG_SEND failed: " +
+                                 hafnium::to_string(r.error));
+    }
+}
+
+void JobControl::on_primary_message(arch::VmId from) {
+    hafnium::Spm& spm = *node_->spm();
+    hafnium::Vm& primary = spm.primary_vm();
+    if (!primary.mailbox.recv_full) return;
+    std::vector<std::uint64_t> words(primary.mailbox.recv_size / 8);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        spm.vm_read64(arch::kPrimaryVmId, primary_recv_ + i * 8, words[i]);
+    }
+    spm.hypercall(0, arch::kPrimaryVmId, hafnium::Call::kRxRelease, {});
+    (void)from;
+    const auto payload = unseal(words, cmd_key_, cmd_recv_ctr_);
+    if (!payload) {
+        ++rejected_frames_;  // forged, corrupted, or replayed
+        return;
+    }
+    if (const auto cmd = decode_command(*payload)) {
+        ctl_.enqueue(*cmd);
+        node_->kitten()->wake(*ctl_thread_);
+    }
+}
+
+void JobControl::on_login_message() {
+    hafnium::Spm& spm = *node_->spm();
+    hafnium::Vm& login = *node_->login_vm();
+    if (!login.mailbox.recv_full) return;
+    std::vector<std::uint64_t> words(login.mailbox.recv_size / 8);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        spm.vm_read64(login.id(), login_recv_ + i * 8, words[i]);
+    }
+    spm.hypercall(login.vcpu(0).assigned_core, login.id(), hafnium::Call::kRxRelease,
+                  {});
+    const auto payload = unseal(words, reply_key_, reply_recv_ctr_);
+    if (!payload) {
+        ++rejected_frames_;
+        return;
+    }
+    if (const auto reply = decode_reply(*payload)) pending_reply_ = *reply;
+}
+
+void JobControl::execute(const JobCommand& cmd) {
+    kitten::KittenKernel& kernel = *node_->kitten();
+    hafnium::Spm& spm = *node_->spm();
+    JobReply reply;
+    reply.tag = cmd.tag;
+    switch (cmd.op) {
+        case JobOp::kPing:
+            reply.value = 0x706f6e67;  // "pong"
+            break;
+        case JobOp::kLaunchVm: {
+            const auto id = static_cast<arch::VmId>(cmd.vm);
+            if (id == 0 || id > static_cast<arch::VmId>(spm.vm_count())) {
+                reply.status = -1;
+                break;
+            }
+            kernel.launch_vm(id);
+            break;
+        }
+        case JobOp::kStopVm: {
+            const auto id = static_cast<arch::VmId>(cmd.vm);
+            if (id == 0 || id > static_cast<arch::VmId>(spm.vm_count())) {
+                reply.status = -1;
+                break;
+            }
+            kernel.stop_vm(id);
+            break;
+        }
+        case JobOp::kMigrateVcpu:
+            reply.status = kernel.migrate_vcpu(static_cast<arch::VmId>(cmd.vm),
+                                               static_cast<int>(cmd.vcpu),
+                                               static_cast<arch::CoreId>(cmd.arg))
+                               ? 0
+                               : -1;
+            break;
+        case JobOp::kCreateVm: {
+            // arg = staged-image index, vcpu = vcpu count, vm = mem MiB.
+            const auto& staged = node_->staged_images();
+            if (cmd.arg >= staged.size()) {
+                reply.status = -1;
+                break;
+            }
+            try {
+                const std::uint64_t mem =
+                    (cmd.vm != 0 ? cmd.vm : 64) << 20;  // MiB -> bytes
+                const int vcpus = cmd.vcpu != 0 ? static_cast<int>(cmd.vcpu) : 1;
+                reply.value = node_->launch_dynamic_vm(staged[cmd.arg], mem, vcpus);
+            } catch (const std::exception&) {
+                reply.status = -2;  // signature/resource failure
+            }
+            break;
+        }
+        case JobOp::kDestroyVm: {
+            try {
+                node_->destroy_dynamic_vm(static_cast<arch::VmId>(cmd.vm));
+            } catch (const std::exception&) {
+                reply.status = -1;
+            }
+            break;
+        }
+        case JobOp::kQueryVm: {
+            const hafnium::HfResult r = spm.hypercall(
+                0, arch::kPrimaryVmId, hafnium::Call::kVmGetInfo, {cmd.vm, 0, 0, 0});
+            reply.status = r.ok() ? 0 : -1;
+            reply.value = static_cast<std::uint64_t>(r.value);
+            break;
+        }
+    }
+    send_words(arch::kPrimaryVmId, node_->login_vm()->id(),
+               seal(encode(reply), reply_key_, ++reply_send_ctr_));
+}
+
+std::optional<JobReply> JobControl::request(const JobCommand& cmd_in,
+                                            double timeout_s) {
+    JobCommand cmd = cmd_in;
+    cmd.tag = next_tag_++;
+    pending_reply_.reset();
+    send_words(node_->login_vm()->id(), arch::kPrimaryVmId,
+               seal(encode(cmd), cmd_key_, ++cmd_send_ctr_));
+
+    auto& engine = node_->platform().engine();
+    const sim::SimTime deadline =
+        engine.now() + engine.clock().from_seconds(timeout_s);
+    // Pump the simulation in slices until the reply lands.
+    while (engine.now() < deadline) {
+        if (pending_reply_ && pending_reply_->tag == cmd.tag) return pending_reply_;
+        engine.run_until(std::min<sim::SimTime>(
+            deadline, engine.now() + engine.clock().from_millis(10.0)));
+    }
+    if (pending_reply_ && pending_reply_->tag == cmd.tag) return pending_reply_;
+    return std::nullopt;
+}
+
+}  // namespace hpcsec::core

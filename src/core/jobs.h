@@ -1,0 +1,89 @@
+// Job control: login VM  <-- secure mailbox channel -->  Kitten control task.
+//
+// Paper §III.b / §IV.a: the Kitten primary runs a user-space control task
+// responsible for VM lifecycle management; the Linux login environment
+// issues job-control commands to it over a hypervisor-mediated channel.
+// JobControl wires both ends onto an existing Node and exposes the
+// login-side request API.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "arch/exec.h"
+#include "core/jobproto.h"
+#include "core/node.h"
+
+namespace hpcsec::core {
+
+/// The control task's execution context: a runnable that consumes a fixed
+/// processing budget per queued command, then acts on it.
+class ControlTaskCtx : public arch::Runnable {
+public:
+    explicit ControlTaskCtx(double cycles_per_command = 25000.0)
+        : budget_(cycles_per_command) {}
+
+    void enqueue(JobCommand cmd);
+
+    std::function<void(const JobCommand&)> handler;
+
+    [[nodiscard]] std::string_view label() const override { return "control-task"; }
+    [[nodiscard]] double remaining_units() const override { return remaining_; }
+    void advance(double units, sim::SimTime now) override;
+    [[nodiscard]] const arch::WorkProfile& profile() const override { return profile_; }
+    [[nodiscard]] arch::TranslationMode mode() const override {
+        return arch::TranslationMode::kTwoStage;
+    }
+
+    [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+private:
+    double budget_;
+    double remaining_ = 0.0;
+    std::deque<JobCommand> inbox_;
+    arch::WorkProfile profile_{/*cycles_per_unit=*/1.0, 0.02, 0.05, 8.0};
+    std::uint64_t processed_ = 0;
+};
+
+class JobControl {
+public:
+    /// Requires a booted Node with a Kitten primary and a super-secondary.
+    explicit JobControl(Node& node);
+
+    /// Issue a command from the login VM and pump the simulation until the
+    /// reply arrives (or timeout). nullopt on timeout.
+    std::optional<JobReply> request(const JobCommand& cmd, double timeout_s = 2.0);
+
+    [[nodiscard]] std::uint64_t commands_processed() const { return ctl_.processed(); }
+    [[nodiscard]] ControlTaskCtx& control_ctx() { return ctl_; }
+
+private:
+    void on_primary_message(arch::VmId from);
+    void on_login_message();
+    void execute(const JobCommand& cmd);
+    void send_words(arch::VmId from, arch::VmId to,
+                    const std::vector<std::uint64_t>& words);
+
+    Node* node_;
+    ControlTaskCtx ctl_;
+    kitten::KThread* ctl_thread_ = nullptr;
+    arch::IpaAddr primary_send_ = 0, primary_recv_ = 0;
+    arch::IpaAddr login_send_ = 0, login_recv_ = 0;
+    std::optional<JobReply> pending_reply_;
+    std::uint64_t next_tag_ = 1;
+    // Authenticated channel state: per-direction keys (derived from the
+    // boot-time attestation accumulator) and anti-replay counters.
+    ChannelKey cmd_key_{}, reply_key_{};
+    std::uint64_t cmd_send_ctr_ = 0, cmd_recv_ctr_ = 0;
+    std::uint64_t reply_send_ctr_ = 0, reply_recv_ctr_ = 0;
+    std::uint64_t rejected_frames_ = 0;
+
+public:
+    /// Frames dropped by MAC/replay verification (observability for tests).
+    [[nodiscard]] std::uint64_t rejected_frames() const { return rejected_frames_; }
+};
+
+}  // namespace hpcsec::core

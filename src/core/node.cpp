@@ -1,0 +1,392 @@
+#include "core/node.h"
+
+#include <stdexcept>
+
+namespace hpcsec::core {
+
+namespace {
+constexpr char kComputeVmName[] = "compute";
+constexpr char kLoginVmName[] = "login";
+}  // namespace
+
+std::string to_string(SchedulerKind k) {
+    switch (k) {
+        case SchedulerKind::kNativeKitten: return "Native";
+        case SchedulerKind::kKittenPrimary: return "Kitten";
+        case SchedulerKind::kLinuxPrimary: return "Linux";
+    }
+    return "?";
+}
+
+Node::Node(NodeConfig config) : config_(std::move(config)) {}
+Node::~Node() = default;
+
+std::vector<std::uint8_t> Node::make_image(const std::string& name,
+                                           std::size_t bytes) {
+    // Deterministic synthetic "kernel image": a header plus a keyed stream.
+    std::vector<std::uint8_t> img;
+    img.reserve(bytes);
+    std::uint64_t state = 0;
+    for (const char c : name) state = state * 131 + static_cast<unsigned char>(c);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        img.push_back(static_cast<std::uint8_t>(state >> 56));
+    }
+    return img;
+}
+
+hafnium::Vm* Node::compute_vm() {
+    return spm_ ? spm_->find_vm(kComputeVmName) : nullptr;
+}
+
+hafnium::Vm* Node::login_vm() {
+    return spm_ ? spm_->find_vm(kLoginVmName) : nullptr;
+}
+
+hafnium::PrimaryOsItf* Node::primary_os() {
+    if (kitten_ && kitten_->is_primary_vm()) return kitten_.get();
+    return linux_.get();
+}
+
+void Node::boot() {
+    if (booted_) throw std::logic_error("Node::boot: already booted");
+    if (config_.secure_compute_vm && config_.platform.secure_ram_bytes == 0) {
+        // TrustZone partitions are static: carve out secure RAM at boot.
+        config_.platform.secure_ram_bytes = config_.compute_mem_bytes + (64ull << 20);
+    }
+    platform_ = std::make_unique<arch::Platform>(config_.platform, config_.seed);
+
+    // --- measured boot: TF-A stages, then the system software ---------------
+    const auto bl2 = make_image("tf-a-bl2");
+    const auto bl31 = make_image("tf-a-bl31");
+    chain_.extend("tf-a-bl2", bl2);
+    chain_.extend("tf-a-bl31", bl31);
+    if (config_.verify_signatures) {
+        for (const auto& key : config_.trusted_keys) verifier_.enroll(key);
+        chain_.extend_digest("image-keystore", verifier_.keystore_measurement());
+        for (const auto& img : config_.signed_images) {
+            if (!verifier_.verify(img)) {
+                throw std::runtime_error("Node::boot: image signature check failed for " +
+                                         img.name);
+            }
+        }
+    }
+
+    if (config_.scheduler == SchedulerKind::kNativeKitten) {
+        boot_native();
+    } else {
+        boot_hafnium();
+    }
+    booted_ = true;
+}
+
+void Node::boot_native() {
+    const auto kitten_img = make_image("kitten-native-arm64");
+    chain_.extend("kitten-native-arm64", kitten_img);
+    kitten_ = std::make_unique<kitten::KittenKernel>(*platform_, config_.kitten);
+    kitten_->boot();
+}
+
+void Node::boot_hafnium() {
+    const auto hafnium_img = make_image("hafnium-spm");
+    chain_.extend("hafnium-spm", hafnium_img);
+
+    hafnium::Manifest manifest;
+    {
+        hafnium::VmSpec primary;
+        primary.name = config_.scheduler == SchedulerKind::kKittenPrimary
+                           ? "kitten-primary"
+                           : "linux-primary";
+        primary.role = hafnium::VmRole::kPrimary;
+        primary.mem_bytes = 128ull << 20;
+        primary.vcpu_count = config_.platform.ncores;
+        primary.image = make_image(primary.name);
+        manifest.vms.push_back(std::move(primary));
+    }
+    if (config_.with_super_secondary) {
+        hafnium::VmSpec login;
+        login.name = kLoginVmName;
+        login.role = hafnium::VmRole::kSuperSecondary;
+        login.mem_bytes = config_.login_mem_bytes;
+        login.vcpu_count = 1;
+        for (const auto& dev : config_.platform.devices) login.devices.push_back(dev.name);
+        login.image = make_image("linux-login");
+        manifest.vms.push_back(std::move(login));
+    }
+    {
+        hafnium::VmSpec compute;
+        compute.name = kComputeVmName;
+        compute.role = hafnium::VmRole::kSecondary;
+        compute.mem_bytes = config_.compute_mem_bytes;
+        compute.vcpu_count =
+            config_.compute_vcpus > 0 ? config_.compute_vcpus : config_.platform.ncores;
+        compute.world = config_.secure_compute_vm ? arch::World::kSecure
+                                                  : arch::World::kNonSecure;
+        compute.image = make_image("kitten-guest");
+        if (config_.verify_signatures) {
+            // Require a matching signed image for the compute partition.
+            bool found = false;
+            for (const auto& img : config_.signed_images) {
+                if (img.name == kComputeVmName) {
+                    compute.image = img.bytes;
+                    found = true;
+                }
+            }
+            if (!found) {
+                throw std::runtime_error(
+                    "Node::boot: signature verification enabled but no signed "
+                    "compute image provided");
+            }
+        }
+        manifest.vms.push_back(std::move(compute));
+    }
+
+    spm_ = std::make_unique<hafnium::Spm>(*platform_, manifest, config_.routing);
+
+    if (config_.scheduler == SchedulerKind::kKittenPrimary) {
+        kitten_ = std::make_unique<kitten::KittenKernel>(*platform_, *spm_,
+                                                         config_.kitten);
+    } else {
+        linux_ = std::make_unique<linux_fwk::LinuxKernel>(*platform_, *spm_,
+                                                          config_.linux);
+    }
+
+    spm_->boot();
+    // Extend the chain with the SPM's own image measurements (in manifest
+    // order), exactly what an attested Hafnium boot would log.
+    for (const auto& [name, digest] : spm_->measurements()) {
+        chain_.extend_digest(name, digest);
+    }
+
+    if (kitten_) kitten_->boot();
+    if (linux_) linux_->boot();
+
+    // Guest personalities.
+    compute_guest_ = std::make_unique<kitten::KittenGuestOs>(
+        *spm_, *spm_->find_vm(kComputeVmName), config_.guest);
+    compute_guest_->start();
+    if (config_.with_super_secondary) {
+        login_guest_ = std::make_unique<linux_fwk::LinuxGuestOs>(
+            *spm_, *spm_->find_vm(kLoginVmName), config_.login);
+        login_guest_->start();
+    }
+
+    // The primary launches the super-secondary first ("it then immediately
+    // launches the super-secondary VM instance"), then the compute VM.
+    const auto launch = [&](arch::VmId id) {
+        if (kitten_) kitten_->launch_vm(id);
+        if (linux_) linux_->launch_vm(id);
+    };
+    if (hafnium::Vm* login = login_vm()) launch(login->id());
+    launch(spm_->find_vm(kComputeVmName)->id());
+}
+
+// ---------------------------------------------------------------------------
+// Workload execution
+// ---------------------------------------------------------------------------
+
+void Node::kick_vcpus(hafnium::Vm& vm, int count) {
+    for (int i = 0; i < count && i < vm.vcpu_count(); ++i) {
+        hafnium::Vcpu& vcpu = vm.vcpu(i);
+        if (vcpu.state == hafnium::VcpuState::kBlocked) {
+            spm_->wake_vcpu(vcpu);
+        } else if (vcpu.state == hafnium::VcpuState::kOff) {
+            spm_->make_vcpu_ready(vcpu);
+            primary_os()->on_vcpu_wake(vcpu);
+        } else if (vcpu.state == hafnium::VcpuState::kReady) {
+            primary_os()->on_vcpu_wake(vcpu);
+        }
+    }
+}
+
+void Node::reprice_workload_cores(wl::ParallelWorkload& workload) {
+    // Barrier release while threads busy-wait: re-price the spinning chunks
+    // so the refilled work drains at the right rate (zero-cost bookkeeping).
+    for (int c = 0; c < platform_->ncores(); ++c) {
+        arch::Executor& ex = platform_->core(c).exec();
+        arch::Runnable* cur = ex.current();
+        if (cur == nullptr) continue;
+        for (int i = 0; i < workload.nthreads(); ++i) {
+            if (cur == &workload.thread(i)) {
+                ex.reprice();
+                break;
+            }
+        }
+    }
+}
+
+void Node::attach_guest_workload(kitten::KittenGuestOs& guest, hafnium::Vm& vm,
+                                 wl::ParallelWorkload& workload) {
+    (void)vm;
+    workload.set_mode(arch::TranslationMode::kTwoStage);
+    for (int i = 0; i < workload.nthreads(); ++i) {
+        guest.set_thread(i, &workload.thread(i));
+    }
+    guest.wake_runnable_vcpus();
+    workload.on_release = [this, &guest, &workload] {
+        guest.wake_runnable_vcpus();
+        reprice_workload_cores(workload);
+    };
+}
+
+double Node::run_workload(wl::ParallelWorkload& workload, double timeout_s) {
+    if (!booted_) throw std::logic_error("Node::run_workload: boot first");
+    auto& engine = platform_->engine();
+    const sim::SimTime start = engine.now();
+
+    workload.on_finished = [this, &engine, &workload](sim::SimTime) {
+        // Kick the now-done spin chunks so they retire cleanly (each VCPU
+        // blocks / each native thread parks), then stop the clock.
+        reprice_workload_cores(workload);
+        engine.stop();
+    };
+
+    if (config_.scheduler == SchedulerKind::kNativeKitten) {
+        workload.set_mode(arch::TranslationMode::kNative);
+        std::vector<kitten::KThread*> threads;
+        for (int i = 0; i < workload.nthreads(); ++i) {
+            threads.push_back(&kitten_->add_app_thread(
+                i % platform_->ncores(), &workload.thread(i),
+                workload.spec().name + "-t" + std::to_string(i)));
+        }
+        workload.on_release = [this, threads, &workload] {
+            for (kitten::KThread* t : threads) {
+                if (t->ctx->remaining_units() > 0) kitten_->wake(*t);
+            }
+            reprice_workload_cores(workload);
+        };
+    } else {
+        attach_guest_workload(*compute_guest_, *compute_vm(), workload);
+        kick_vcpus(*compute_vm(), workload.nthreads());
+    }
+
+    engine.run_until(start + engine.clock().from_seconds(timeout_s));
+    if (!workload.finished()) {
+        throw std::runtime_error("Node::run_workload: '" + workload.spec().name +
+                                 "' did not finish within the timeout");
+    }
+    return engine.clock().to_seconds(workload.finish_time() - start);
+}
+
+double Node::run_workload_on(arch::VmId vm_id, wl::ParallelWorkload& workload,
+                             double timeout_s) {
+    if (!booted_ || spm_ == nullptr) {
+        throw std::logic_error("Node::run_workload_on: needs a booted hafnium node");
+    }
+    kitten::KittenGuestOs* guest = guest_of(vm_id);
+    if (guest == nullptr) {
+        throw std::invalid_argument("Node::run_workload_on: VM has no guest kernel");
+    }
+    auto& engine = platform_->engine();
+    const sim::SimTime start = engine.now();
+    workload.on_finished = [this, &engine, &workload](sim::SimTime) {
+        reprice_workload_cores(workload);
+        engine.stop();
+    };
+    attach_guest_workload(*guest, spm_->vm(vm_id), workload);
+    kick_vcpus(spm_->vm(vm_id), workload.nthreads());
+    engine.run_until(start + engine.clock().from_seconds(timeout_s));
+    if (!workload.finished()) {
+        throw std::runtime_error("Node::run_workload_on: '" + workload.spec().name +
+                                 "' did not finish within the timeout");
+    }
+    return engine.clock().to_seconds(workload.finish_time() - start);
+}
+
+void Node::run_selfish(wl::SelfishBenchmark& selfish, double seconds) {
+    if (!booted_) throw std::logic_error("Node::run_selfish: boot first");
+    auto& engine = platform_->engine();
+    const sim::SimTime start = engine.now();
+    wl::ParallelWorkload& w = selfish.workload();
+
+    if (config_.scheduler == SchedulerKind::kNativeKitten) {
+        w.set_mode(arch::TranslationMode::kNative);
+        for (int i = 0; i < w.nthreads(); ++i) {
+            kitten_->add_app_thread(i % platform_->ncores(), &w.thread(i),
+                                    "selfish-t" + std::to_string(i));
+        }
+    } else {
+        attach_guest_workload(*compute_guest_, *compute_vm(), w);
+        kick_vcpus(*compute_vm(), w.nthreads());
+    }
+    engine.run_until(start + engine.clock().from_seconds(seconds));
+}
+
+void Node::run_for(double seconds) {
+    auto& engine = platform_->engine();
+    engine.run_until(engine.now() + engine.clock().from_seconds(seconds));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic partitioning (paper §VII)
+// ---------------------------------------------------------------------------
+
+kitten::KittenGuestOs* Node::guest_of(arch::VmId id) {
+    if (hafnium::Vm* cvm = compute_vm(); cvm != nullptr && cvm->id() == id) {
+        return compute_guest_.get();
+    }
+    const auto it = dynamic_guests_.find(id);
+    return it == dynamic_guests_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Node::stage_image(SignedImage image) {
+    staged_images_.push_back(std::move(image));
+    return staged_images_.size() - 1;
+}
+
+arch::VmId Node::launch_dynamic_vm(const SignedImage& image,
+                                   std::uint64_t mem_bytes, int vcpus,
+                                   arch::World world) {
+    if (!booted_ || spm_ == nullptr) {
+        throw std::logic_error("launch_dynamic_vm: needs a booted hafnium node");
+    }
+    // The paper's trust requirement: without hardware attestation of
+    // runtime-supplied images, the SPM must verify a signature against a
+    // key from the trusted boot sequence. No enrolled keys -> no dynamic VMs.
+    if (verifier_.enrolled() == 0) {
+        throw std::runtime_error(
+            "launch_dynamic_vm: no trusted signing keys enrolled at boot");
+    }
+    if (!verifier_.verify(image)) {
+        throw std::runtime_error("launch_dynamic_vm: signature verification failed for " +
+                                 image.name);
+    }
+
+    hafnium::VmSpec spec;
+    spec.name = image.name;
+    spec.role = hafnium::VmRole::kSecondary;
+    spec.mem_bytes = mem_bytes;
+    spec.vcpu_count = vcpus;
+    spec.world = world;
+    spec.image = image.bytes;
+    const arch::VmId id = spm_->create_vm(spec);
+
+    // Runtime measurements extend the chain like a TPM's runtime PCR.
+    chain_.extend_digest("runtime:" + image.name,
+                         crypto::Sha256::hash(std::span<const std::uint8_t>(image.bytes)));
+
+    auto guest = std::make_unique<kitten::KittenGuestOs>(*spm_, spm_->vm(id),
+                                                         config_.guest);
+    guest->start();
+    dynamic_guests_[id] = std::move(guest);
+    if (kitten_) kitten_->launch_vm(id);
+    if (linux_) linux_->launch_vm(id);
+    return id;
+}
+
+void Node::destroy_dynamic_vm(arch::VmId id) {
+    if (spm_ == nullptr) throw std::logic_error("destroy_dynamic_vm: no SPM");
+    hafnium::Vm& vm = spm_->vm(id);
+    // Pull its VCPUs off the cores without requeueing them, then reap the
+    // proxies (a kYield notification would let the scheduler re-enter the
+    // VM before stop_vm runs).
+    for (int v = 0; v < vm.vcpu_count(); ++v) {
+        spm_->force_stop_vcpu(vm.vcpu(v), /*notify_primary=*/false);
+    }
+    if (kitten_) kitten_->stop_vm(id);
+    if (linux_) linux_->stop_vm(id);
+    spm_->destroy_vm(id);
+    dynamic_guests_.erase(id);
+}
+
+}  // namespace hpcsec::core

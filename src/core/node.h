@@ -1,0 +1,161 @@
+// hpcsec::core::Node — the paper's system, assembled.
+//
+// A Node is one securely partitioned compute node: the ARM platform, the
+// Hafnium SPM, a scheduling primary VM (Kitten or Linux), an isolated
+// compute VM running a Kitten guest, and optionally the super-secondary
+// "login" VM that owns I/O and drives job control. A Node can also be
+// built in the native configuration (Kitten on bare metal, no hypervisor),
+// which is the paper's baseline.
+//
+// This is the public entry point of the library; see examples/quickstart.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "core/attest.h"
+#include "core/signature.h"
+#include "hafnium/spm.h"
+#include "kitten/guest.h"
+#include "kitten/kitten.h"
+#include "linux_fwk/guest.h"
+#include "linux_fwk/linux.h"
+#include "workloads/selfish.h"
+#include "workloads/workload.h"
+
+namespace hpcsec::core {
+
+/// Which kernel schedules the node (the paper's three configurations).
+enum class SchedulerKind : std::uint8_t {
+    kNativeKitten,   ///< Fig. 4 baseline: Kitten on bare metal
+    kKittenPrimary,  ///< Fig. 5: Kitten secondary VM, Kitten scheduler VM
+    kLinuxPrimary,   ///< Fig. 6: Kitten secondary VM, Linux scheduler VM
+};
+
+[[nodiscard]] std::string to_string(SchedulerKind k);
+
+struct NodeConfig {
+    arch::PlatformConfig platform = arch::PlatformConfig::pine_a64();
+    SchedulerKind scheduler = SchedulerKind::kKittenPrimary;
+    std::uint64_t seed = 42;
+
+    /// Compute (secondary) VM shape. vcpus == 0 means one per core.
+    std::uint64_t compute_mem_bytes = 256ull << 20;
+    int compute_vcpus = 0;
+    /// Place the compute VM in the TrustZone secure world (requires a
+    /// secure RAM carve-out in the platform config).
+    bool secure_compute_vm = false;
+
+    /// Host the Linux login VM (the paper's super-secondary extension).
+    bool with_super_secondary = false;
+    std::uint64_t login_mem_bytes = 128ull << 20;
+    hafnium::IrqRoutingPolicy routing = hafnium::IrqRoutingPolicy::kAllToPrimary;
+
+    kitten::KittenConfig kitten{};
+    linux_fwk::LinuxConfig linux{};
+    kitten::GuestConfig guest{};
+    linux_fwk::LinuxGuestConfig login{};
+
+    /// When set, VM images must verify against `trusted_keys` at boot.
+    bool verify_signatures = false;
+    std::vector<SignedImage> signed_images;
+    std::vector<crypto::LamportPublicKey> trusted_keys;
+};
+
+class Node {
+public:
+    explicit Node(NodeConfig config);
+    ~Node();
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    /// Full boot: measured boot chain -> (SPM -> primary VM -> guests) or
+    /// native Kitten. Throws on manifest/signature failures.
+    void boot();
+    [[nodiscard]] bool booted() const { return booted_; }
+
+    // --- workload execution ----------------------------------------------------
+    /// Run a parallel workload to completion on the compute partition
+    /// (secondary VM, or bare metal natively). Returns elapsed seconds.
+    double run_workload(wl::ParallelWorkload& workload, double timeout_s = 600.0);
+
+    /// Run a workload on a specific (e.g. dynamically created) VM.
+    double run_workload_on(arch::VmId vm, wl::ParallelWorkload& workload,
+                           double timeout_s = 600.0);
+
+    /// Run the selfish-detour spinner for `seconds` of simulated time.
+    void run_selfish(wl::SelfishBenchmark& selfish, double seconds);
+
+    // --- dynamic partitioning (paper §VII future work) --------------------------
+    /// Launch a signed VM image after boot. The signature must verify
+    /// against a key enrolled at provisioning time (the enrolled keystore is
+    /// measured into the boot chain) — "Hafnium is able to verify VM
+    /// signatures using a known public key that is included as part of the
+    /// trusted boot sequence". Returns the new VM id; the partition gets a
+    /// Kitten guest personality and VCPU proxies in the primary.
+    arch::VmId launch_dynamic_vm(const SignedImage& image,
+                                 std::uint64_t mem_bytes, int vcpus,
+                                 arch::World world = arch::World::kNonSecure);
+
+    /// Stop and tear down a dynamically launched VM; its memory is scrubbed
+    /// and returned to the allocator.
+    void destroy_dynamic_vm(arch::VmId id);
+
+    /// Guest personality of a VM (the boot-time compute VM or a dynamic one).
+    [[nodiscard]] kitten::KittenGuestOs* guest_of(arch::VmId id);
+
+    /// Pre-stage a signed image so the login VM can launch it by index over
+    /// the job-control channel.
+    std::size_t stage_image(SignedImage image);
+    [[nodiscard]] const std::vector<SignedImage>& staged_images() const {
+        return staged_images_;
+    }
+
+    /// Let the node run idle/background work for `seconds`.
+    void run_for(double seconds);
+
+    // --- components ---------------------------------------------------------------
+    [[nodiscard]] const NodeConfig& config() const { return config_; }
+    arch::Platform& platform() { return *platform_; }
+    [[nodiscard]] hafnium::Spm* spm() { return spm_.get(); }
+    [[nodiscard]] kitten::KittenKernel* kitten() { return kitten_.get(); }
+    [[nodiscard]] linux_fwk::LinuxKernel* linux_kernel() { return linux_.get(); }
+    [[nodiscard]] kitten::KittenGuestOs* compute_guest() { return compute_guest_.get(); }
+    [[nodiscard]] linux_fwk::LinuxGuestOs* login_guest() { return login_guest_.get(); }
+    [[nodiscard]] hafnium::Vm* compute_vm();
+    [[nodiscard]] hafnium::Vm* login_vm();
+    [[nodiscard]] hafnium::PrimaryOsItf* primary_os();
+    AttestationChain& attestation() { return chain_; }
+    ImageVerifier& verifier() { return verifier_; }
+
+    /// Build a deterministic synthetic VM image (for manifests/tests).
+    [[nodiscard]] static std::vector<std::uint8_t> make_image(const std::string& name,
+                                                              std::size_t bytes = 4096);
+
+private:
+    void boot_native();
+    void boot_hafnium();
+    void attach_guest_workload(kitten::KittenGuestOs& guest, hafnium::Vm& vm,
+                               wl::ParallelWorkload& workload);
+    void kick_vcpus(hafnium::Vm& vm, int count);
+    void reprice_workload_cores(wl::ParallelWorkload& workload);
+
+    NodeConfig config_;
+    std::unique_ptr<arch::Platform> platform_;
+    std::unique_ptr<hafnium::Spm> spm_;
+    std::unique_ptr<kitten::KittenKernel> kitten_;
+    std::unique_ptr<linux_fwk::LinuxKernel> linux_;
+    std::unique_ptr<kitten::KittenGuestOs> compute_guest_;
+    std::unique_ptr<linux_fwk::LinuxGuestOs> login_guest_;
+    AttestationChain chain_;
+    ImageVerifier verifier_;
+    std::map<arch::VmId, std::unique_ptr<kitten::KittenGuestOs>> dynamic_guests_;
+    std::vector<SignedImage> staged_images_;
+    bool booted_ = false;
+};
+
+}  // namespace hpcsec::core

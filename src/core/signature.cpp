@@ -1,0 +1,42 @@
+#include "core/signature.h"
+
+namespace hpcsec::core {
+
+std::optional<SignedImage> ImageSigner::sign(std::string name,
+                                             std::vector<std::uint8_t> bytes) {
+    const crypto::Digest digest =
+        crypto::Sha256::hash(std::span<const std::uint8_t>(bytes));
+    auto sig = key_.sign(digest);
+    if (!sig) return std::nullopt;
+    SignedImage img;
+    img.name = std::move(name);
+    img.bytes = std::move(bytes);
+    img.signature = *sig;
+    img.key_fingerprint = key_.public_key().fingerprint();
+    return img;
+}
+
+crypto::Digest ImageVerifier::enroll(const crypto::LamportPublicKey& pub) {
+    const crypto::Digest fp = pub.fingerprint();
+    keys_[crypto::to_hex(fp)] = pub;
+    return fp;
+}
+
+bool ImageVerifier::verify(const SignedImage& image) const {
+    const auto it = keys_.find(crypto::to_hex(image.key_fingerprint));
+    if (it == keys_.end()) return false;  // unknown signing key
+    const crypto::Digest digest =
+        crypto::Sha256::hash(std::span<const std::uint8_t>(image.bytes));
+    return crypto::lamport_verify(it->second, digest, image.signature);
+}
+
+crypto::Digest ImageVerifier::keystore_measurement() const {
+    crypto::Sha256 h;
+    for (const auto& [fp, key] : keys_) {
+        h.update(fp);
+        (void)key;
+    }
+    return h.finalize();
+}
+
+}  // namespace hpcsec::core

@@ -1,0 +1,67 @@
+// VM image signature verification.
+//
+// Paper §VII: "hafnium will require some mechanisms of verifying VM
+// signatures to ensure their authenticity and provenance. One potential
+// solution would be to leverage certificate verification, where Hafnium is
+// able to verify VM signatures using a known public key that is included as
+// part of the trusted boot sequence." This implements that design with
+// Lamport one-time signatures: each image carries a signature made with a
+// per-image key whose public half is enrolled into the verifier at
+// provisioning time (and measured into the boot chain).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "crypto/lamport.h"
+#include "crypto/sha256.h"
+
+namespace hpcsec::core {
+
+struct SignedImage {
+    std::string name;
+    std::vector<std::uint8_t> bytes;
+    crypto::LamportSignature signature;
+    crypto::Digest key_fingerprint;  ///< which enrolled key signed it
+};
+
+/// Signer side (build/provisioning system, off-node).
+class ImageSigner {
+public:
+    explicit ImageSigner(std::span<const std::uint8_t> provisioning_seed)
+        : key_(crypto::LamportKeyPair::generate(provisioning_seed)) {}
+
+    [[nodiscard]] const crypto::LamportPublicKey& public_key() const {
+        return key_.public_key();
+    }
+
+    /// Sign an image; a key signs exactly one image (one-time property).
+    [[nodiscard]] std::optional<SignedImage> sign(std::string name,
+                                                  std::vector<std::uint8_t> bytes);
+
+private:
+    crypto::LamportKeyPair key_;
+};
+
+/// Verifier side (lives in the trusted boot path / SPM).
+class ImageVerifier {
+public:
+    /// Enroll a trusted public key. Returns its fingerprint.
+    crypto::Digest enroll(const crypto::LamportPublicKey& pub);
+
+    [[nodiscard]] bool verify(const SignedImage& image) const;
+
+    /// Measurement of the enrolled key set, to be extended into the boot
+    /// chain ("included as part of the trusted boot sequence").
+    [[nodiscard]] crypto::Digest keystore_measurement() const;
+
+    [[nodiscard]] std::size_t enrolled() const { return keys_.size(); }
+
+private:
+    std::map<std::string, crypto::LamportPublicKey> keys_;  // hex fp -> key
+};
+
+}  // namespace hpcsec::core

@@ -1,0 +1,56 @@
+#include "crypto/lamport.h"
+
+namespace hpcsec::crypto {
+
+Digest LamportPublicKey::fingerprint() const {
+    Sha256 h;
+    for (const auto& pair : hashes) {
+        h.update(pair[0]);
+        h.update(pair[1]);
+    }
+    return h.finalize();
+}
+
+LamportKeyPair LamportKeyPair::generate(std::span<const std::uint8_t> seed) {
+    LamportKeyPair kp;
+    for (std::size_t bit = 0; bit < kLamportBits; ++bit) {
+        for (std::size_t v = 0; v < 2; ++v) {
+            const std::uint8_t label[3] = {
+                static_cast<std::uint8_t>(bit & 0xff),
+                static_cast<std::uint8_t>(bit >> 8),
+                static_cast<std::uint8_t>(v)};
+            std::array<std::uint8_t, 3> msg{label[0], label[1], label[2]};
+            kp.secret_[bit][v] = hmac_sha256(seed, msg);
+            kp.pub_.hashes[bit][v] = Sha256::hash(kp.secret_[bit][v]);
+        }
+    }
+    return kp;
+}
+
+std::optional<LamportSignature> LamportKeyPair::sign(const Digest& message_digest) {
+    if (used_) return std::nullopt;
+    used_ = true;
+    LamportSignature sig;
+    for (std::size_t bit = 0; bit < kLamportBits; ++bit) {
+        const std::size_t byte = bit / 8;
+        const int shift = static_cast<int>(bit % 8);
+        const std::size_t v = (message_digest[byte] >> shift) & 1u;
+        sig.preimages[bit] = secret_[bit][v];
+    }
+    return sig;
+}
+
+bool lamport_verify(const LamportPublicKey& pub, const Digest& message_digest,
+                    const LamportSignature& sig) {
+    std::uint8_t bad = 0;
+    for (std::size_t bit = 0; bit < kLamportBits; ++bit) {
+        const std::size_t byte = bit / 8;
+        const int shift = static_cast<int>(bit % 8);
+        const std::size_t v = (message_digest[byte] >> shift) & 1u;
+        const Digest h = Sha256::hash(sig.preimages[bit]);
+        bad |= digest_equal(h, pub.hashes[bit][v]) ? 0 : 1;
+    }
+    return bad == 0;
+}
+
+}  // namespace hpcsec::crypto

@@ -1,0 +1,66 @@
+// Lamport one-time signatures over SHA-256.
+//
+// The paper's future-work section (§VII) calls for Hafnium to "verify VM
+// signatures using a known public key that is included as part of the
+// trusted boot sequence". A hash-based one-time signature gives us a real,
+// self-contained signature primitive without a bignum library: the signer
+// holds 2x256 random 32-byte preimages, the public key is their hashes, and
+// a signature reveals one preimage per message-digest bit.
+//
+// One-time caveat: a key pair must sign exactly one message. That matches
+// the VM-image use case (one key per image, provisioned at build time).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/sha256.h"
+
+namespace hpcsec::crypto {
+
+inline constexpr std::size_t kLamportBits = 256;
+
+struct LamportPublicKey {
+    // hashes[bit][value] for value in {0,1}
+    std::array<std::array<Digest, 2>, kLamportBits> hashes{};
+
+    /// Fingerprint used to embed the key into the trusted boot measurements.
+    [[nodiscard]] Digest fingerprint() const;
+
+    bool operator==(const LamportPublicKey&) const = default;
+};
+
+struct LamportSignature {
+    std::array<Digest, kLamportBits> preimages{};
+};
+
+class LamportKeyPair {
+public:
+    /// Deterministically derive a key pair from a seed (e.g. provisioning
+    /// secret). Each preimage is an HMAC of the seed and its index.
+    static LamportKeyPair generate(std::span<const std::uint8_t> seed);
+
+    [[nodiscard]] const LamportPublicKey& public_key() const { return pub_; }
+
+    /// Sign a message digest. Returns nullopt if this key already signed
+    /// (one-time property enforced).
+    std::optional<LamportSignature> sign(const Digest& message_digest);
+
+    [[nodiscard]] bool used() const { return used_; }
+
+private:
+    LamportKeyPair() = default;
+
+    std::array<std::array<Digest, 2>, kLamportBits> secret_{};
+    LamportPublicKey pub_{};
+    bool used_ = false;
+};
+
+/// Verify a signature over a message digest against a public key.
+[[nodiscard]] bool lamport_verify(const LamportPublicKey& pub,
+                                  const Digest& message_digest,
+                                  const LamportSignature& sig);
+
+}  // namespace hpcsec::crypto

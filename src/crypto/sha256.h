@@ -1,0 +1,60 @@
+// SHA-256 (FIPS 180-4), self-contained implementation.
+//
+// Used by the measured-boot attestation chain and the Lamport signature
+// scheme. Verified against the FIPS test vectors in tests/test_crypto.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace hpcsec::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+public:
+    Sha256();
+
+    void update(std::span<const std::uint8_t> data);
+    void update(std::string_view text);
+
+    /// Finalize and return the digest. The object must not be reused
+    /// afterwards without calling reset().
+    Digest finalize();
+
+    void reset();
+
+    /// One-shot helpers.
+    static Digest hash(std::span<const std::uint8_t> data);
+    static Digest hash(std::string_view text);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> h_{};
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bits_ = 0;
+};
+
+/// Hex-encode a digest (lowercase).
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+/// Constant-time digest comparison.
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b);
+
+/// HMAC-SHA256 (RFC 2104).
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+/// Convenience: bytes view of a trivially-copyable object.
+template <typename T>
+[[nodiscard]] std::span<const std::uint8_t> bytes_of(const T& obj) {
+    return {reinterpret_cast<const std::uint8_t*>(&obj), sizeof(T)};
+}
+
+}  // namespace hpcsec::crypto

@@ -1,0 +1,43 @@
+#include "hafnium/hypercall.h"
+
+namespace hpcsec::hafnium {
+
+std::string to_string(Call c) {
+    switch (c) {
+        case Call::kVersion: return "HF_VERSION";
+        case Call::kVmGetCount: return "HF_VM_GET_COUNT";
+        case Call::kVcpuGetCount: return "HF_VCPU_GET_COUNT";
+        case Call::kVmGetInfo: return "HF_VM_GET_INFO";
+        case Call::kVcpuRun: return "HF_VCPU_RUN";
+        case Call::kVmConfigure: return "HF_VM_CONFIGURE";
+        case Call::kMsgSend: return "FFA_MSG_SEND";
+        case Call::kMsgWait: return "FFA_MSG_WAIT";
+        case Call::kRxRelease: return "FFA_RX_RELEASE";
+        case Call::kYield: return "FFA_YIELD";
+        case Call::kMemShare: return "FFA_MEM_SHARE";
+        case Call::kMemReclaim: return "FFA_MEM_RECLAIM";
+        case Call::kMemLend: return "FFA_MEM_LEND";
+        case Call::kMemDonate: return "FFA_MEM_DONATE";
+        case Call::kInterruptEnable: return "HF_INTERRUPT_ENABLE";
+        case Call::kInterruptGet: return "HF_INTERRUPT_GET";
+        case Call::kInterruptInject: return "HF_INTERRUPT_INJECT";
+        case Call::kVtimerSet: return "HF_VTIMER_SET";
+        case Call::kVtimerCancel: return "HF_VTIMER_CANCEL";
+    }
+    return "?";
+}
+
+std::string to_string(HfError e) {
+    switch (e) {
+        case HfError::kOk: return "ok";
+        case HfError::kDenied: return "denied";
+        case HfError::kInvalid: return "invalid";
+        case HfError::kBusy: return "busy";
+        case HfError::kNotFound: return "not-found";
+        case HfError::kInterrupted: return "interrupted";
+        case HfError::kRetry: return "retry";
+    }
+    return "?";
+}
+
+}  // namespace hpcsec::hafnium

@@ -1,0 +1,54 @@
+// Interrupt routing policy between the primary and super-secondary VMs.
+//
+// The paper: "it is necessary to provide some form of selective IRQ routing
+// where timer interrupts are delivered to the primary VM, while device IRQs
+// are instead routed to the super-secondary. This is an area of future work
+// for us, and our current approach is to continue to route all interrupts
+// to the primary VM which is then responsible for forwarding any device IRQ
+// on to the super-secondary."
+//
+// Both policies are implemented here so the ablation bench can quantify the
+// forwarding overhead the future-work design would remove.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/gic.h"
+#include "arch/types.h"
+
+namespace hpcsec::hafnium {
+
+enum class IrqRoutingPolicy : std::uint8_t {
+    /// Paper's current approach: everything traps to the primary; the
+    /// primary forwards device IRQs to the super-secondary via injection.
+    kAllToPrimary,
+    /// Paper's future work: the SPM routes device SPIs straight to the
+    /// super-secondary; timer PPIs still go to the primary.
+    kSelective,
+};
+
+enum class IrqDestination : std::uint8_t {
+    kPrimary,
+    kSuperSecondaryDirect,   ///< inject into super-secondary, skip primary
+    kHypervisorInternal,     ///< e.g. a secondary's virtual timer
+};
+
+struct IrqRouter {
+    IrqRoutingPolicy policy = IrqRoutingPolicy::kAllToPrimary;
+    bool has_super_secondary = false;
+
+    /// Classify a physical interrupt. `virt_timer_for_running_guest` is true
+    /// when the IRQ is the virtual-timer PPI of the guest currently on core.
+    [[nodiscard]] IrqDestination route(int irq,
+                                       bool virt_timer_for_running_guest) const {
+        if (virt_timer_for_running_guest) return IrqDestination::kHypervisorInternal;
+        const bool device_spi = irq >= arch::kSpiBase;
+        if (device_spi && has_super_secondary &&
+            policy == IrqRoutingPolicy::kSelective) {
+            return IrqDestination::kSuperSecondaryDirect;
+        }
+        return IrqDestination::kPrimary;
+    }
+};
+
+}  // namespace hpcsec::hafnium

@@ -1,0 +1,120 @@
+#include "hafnium/manifest.h"
+
+#include <set>
+
+namespace hpcsec::hafnium {
+
+std::string to_string(VmRole role) {
+    switch (role) {
+        case VmRole::kPrimary: return "primary";
+        case VmRole::kSuperSecondary: return "super-secondary";
+        case VmRole::kSecondary: return "secondary";
+    }
+    return "?";
+}
+
+std::vector<std::string> Manifest::validate() const {
+    std::vector<std::string> problems;
+    int primaries = 0;
+    int supers = 0;
+    std::set<std::string> names;
+    for (const auto& vm : vms) {
+        if (vm.name.empty()) problems.push_back("VM with empty name");
+        if (!names.insert(vm.name).second) {
+            problems.push_back("duplicate VM name: " + vm.name);
+        }
+        if (vm.role == VmRole::kPrimary) ++primaries;
+        if (vm.role == VmRole::kSuperSecondary) ++supers;
+        if (vm.mem_bytes == 0 || (vm.mem_bytes & arch::kPageMask) != 0) {
+            problems.push_back(vm.name + ": memory size must be non-zero pages");
+        }
+        if (vm.vcpu_count <= 0) {
+            problems.push_back(vm.name + ": needs at least one VCPU");
+        }
+        if (vm.role == VmRole::kSecondary && !vm.devices.empty()) {
+            problems.push_back(vm.name + ": secondaries cannot own devices");
+        }
+        if (vm.role == VmRole::kPrimary && vm.world == arch::World::kSecure) {
+            problems.push_back(vm.name + ": the primary VM must be non-secure");
+        }
+    }
+    if (primaries != 1) problems.push_back("manifest needs exactly one primary VM");
+    if (supers > 1) problems.push_back("at most one super-secondary VM allowed");
+    return problems;
+}
+
+const VmSpec* Manifest::primary() const {
+    for (const auto& vm : vms) {
+        if (vm.role == VmRole::kPrimary) return &vm;
+    }
+    return nullptr;
+}
+
+const VmSpec* Manifest::super_secondary() const {
+    for (const auto& vm : vms) {
+        if (vm.role == VmRole::kSuperSecondary) return &vm;
+    }
+    return nullptr;
+}
+
+arch::DtNode Manifest::to_devicetree() const {
+    arch::DtNode root("hypervisor");
+    root.set("compatible", std::string("hafnium,hafnium"));
+    int index = 1;
+    for (const auto& vm : vms) {
+        auto& node = root.add_child("vm" + std::to_string(index++));
+        node.set("debug_name", vm.name);
+        node.set("role", to_string(vm.role));
+        node.set("mem_size", vm.mem_bytes);
+        node.set("vcpu_count", static_cast<std::uint64_t>(vm.vcpu_count));
+        node.set("world", std::string(vm.world == arch::World::kSecure ? "secure"
+                                                                       : "non-secure"));
+        if (!vm.devices.empty()) {
+            std::string devs;
+            for (const auto& d : vm.devices) {
+                if (!devs.empty()) devs += ",";
+                devs += d;
+            }
+            node.set("devices", devs);
+        }
+        node.set("image_hash", crypto::to_hex(vm.image_hash()));
+    }
+    return root;
+}
+
+Manifest Manifest::from_devicetree(const arch::DtNode& node) {
+    Manifest m;
+    for (const auto& child : node.children()) {
+        VmSpec spec;
+        spec.name = child->get_string("debug_name").value_or(child->name());
+        const std::string role = child->get_string("role").value_or("secondary");
+        if (role == "primary") {
+            spec.role = VmRole::kPrimary;
+        } else if (role == "super-secondary") {
+            spec.role = VmRole::kSuperSecondary;
+        } else {
+            spec.role = VmRole::kSecondary;
+        }
+        spec.mem_bytes = child->get_u64("mem_size").value_or(0);
+        spec.vcpu_count = static_cast<int>(child->get_u64("vcpu_count").value_or(1));
+        spec.world = child->get_string("world").value_or("non-secure") == "secure"
+                         ? arch::World::kSecure
+                         : arch::World::kNonSecure;
+        if (const auto devs = child->get_string("devices")) {
+            std::size_t pos = 0;
+            while (pos <= devs->size()) {
+                const std::size_t comma = devs->find(',', pos);
+                const std::string d = comma == std::string::npos
+                                          ? devs->substr(pos)
+                                          : devs->substr(pos, comma - pos);
+                if (!d.empty()) spec.devices.push_back(d);
+                if (comma == std::string::npos) break;
+                pos = comma + 1;
+            }
+        }
+        m.vms.push_back(std::move(spec));
+    }
+    return m;
+}
+
+}  // namespace hpcsec::hafnium

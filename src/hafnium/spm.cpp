@@ -1,0 +1,804 @@
+#include "hafnium/spm.h"
+
+#include <stdexcept>
+
+namespace hpcsec::hafnium {
+
+namespace {
+constexpr std::uint32_t kSpmVersion = (1u << 16) | 1u;  // 1.1
+}
+
+Spm::Spm(arch::Platform& platform, Manifest manifest, IrqRoutingPolicy policy)
+    : platform_(&platform), manifest_(std::move(manifest)) {
+    router_.policy = policy;
+    router_.has_super_secondary = manifest_.super_secondary() != nullptr;
+    vcpu_on_core_.assign(static_cast<std::size_t>(platform.ncores()), nullptr);
+}
+
+void Spm::boot() {
+    if (booted_) throw std::logic_error("Spm::boot: already booted");
+    const auto problems = manifest_.validate();
+    if (!problems.empty()) {
+        std::string msg = "Spm::boot: invalid manifest:";
+        for (const auto& p : problems) msg += "\n  " + p;
+        throw std::runtime_error(msg);
+    }
+
+    // Assign IDs: primary = 1; super-secondary (if any) = 2 (the paper adds
+    // "an additional hardcoded VM ID for the super-secondary"); secondaries
+    // count up after that.
+    std::vector<const VmSpec*> ordered;
+    ordered.push_back(manifest_.primary());
+    if (const VmSpec* ss = manifest_.super_secondary()) ordered.push_back(ss);
+    for (const auto& spec : manifest_.vms) {
+        if (spec.role == VmRole::kSecondary) ordered.push_back(&spec);
+    }
+
+    auto& mem = platform_->mem();
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+        const VmSpec& spec = *ordered[i];
+        // Measured boot: hash every image before it is given memory.
+        measurements_.emplace_back(spec.name, spec.image_hash());
+        if (spec.expected_hash &&
+            !crypto::digest_equal(*spec.expected_hash, spec.image_hash())) {
+            throw std::runtime_error("Spm::boot: image hash mismatch for " + spec.name);
+        }
+
+        auto vm = std::make_unique<Vm>(static_cast<arch::VmId>(i + 1), spec);
+        const std::uint64_t nframes = spec.mem_bytes >> arch::kPageShift;
+        vm->mem_base = mem.alloc_frames(nframes, vm->id(), spec.world);
+        // Secondaries get a fully virtualized view (RAM at IPA 0); the
+        // primary and super-secondary are identity-mapped so device MMIO
+        // (below the DRAM base) fits into their address space.
+        vm->ipa_base = spec.role == VmRole::kSecondary ? 0 : vm->mem_base;
+        vm->stage2().map(vm->ipa_base, vm->mem_base, spec.mem_bytes, arch::kPermRWX,
+                         spec.world == arch::World::kSecure);
+        // Default incremental VCPU spread across cores.
+        for (int v = 0; v < vm->vcpu_count(); ++v) {
+            vm->vcpu(v).assigned_core = v % platform_->ncores();
+        }
+        vms_.push_back(std::move(vm));
+    }
+
+    // MMIO: "Hafnium already maps all the MMIO regions to the primary VM, so
+    // this simply needs to be changed to map those regions into the
+    // super-secondary instead."
+    Vm* io_owner = super_secondary() != nullptr ? super_secondary() : &primary_vm();
+    for (const auto& dev : platform_->config().devices) {
+        io_owner->stage2().map(dev.base, dev.base, dev.size, arch::kPermRW);
+        device_map_[io_owner->id()].push_back(dev.name);
+        if (dev.spi >= 0) {
+            platform_->gic().enable_irq(dev.spi);
+            platform_->gic().set_spi_target(dev.spi, 0);
+        }
+    }
+    // Explicit per-VM device requests from the manifest are honored for the
+    // primary/super-secondary as well (validated by Manifest::validate).
+    platform_->gic().enable_irq(arch::kIrqPhysTimer);
+    platform_->gic().enable_irq(arch::kIrqVirtTimer);
+    for (int s = 0; s < 16; ++s) platform_->gic().enable_irq(s);  // SGIs
+
+    // Take over the exception vectors and power every core on. On ARMv8 the
+    // hypervisor boots before any OS: cores enter at EL2.
+    for (int c = 0; c < platform_->ncores(); ++c) {
+        arch::Core& core = platform_->core(c);
+        core.set_irq_handler([this, c](int irq) { handle_phys_irq(c, irq); });
+        core.exec().set_on_complete(
+            [this, c](arch::Runnable* r) { on_core_idle(c, r); });
+        platform_->monitor().cpu_on(c, [](arch::Core& k) { k.set_el(arch::El::kEl2); });
+        core.set_el(arch::El::kEl1);  // drop to the primary VM's kernel
+        set_core_context(c, &primary_vm());
+        core.set_irq_masked(false);
+    }
+    booted_ = true;
+}
+
+arch::VmId Spm::create_vm(const VmSpec& spec) {
+    if (!booted_) throw std::logic_error("Spm::create_vm: boot first");
+    if (spec.role != VmRole::kSecondary) {
+        throw std::invalid_argument(
+            "Spm::create_vm: only secondary partitions can be created at runtime");
+    }
+    if (spec.name.empty() || find_vm(spec.name) != nullptr) {
+        throw std::invalid_argument("Spm::create_vm: bad or duplicate name");
+    }
+    if (spec.mem_bytes == 0 || (spec.mem_bytes & arch::kPageMask) != 0 ||
+        spec.vcpu_count <= 0) {
+        throw std::invalid_argument("Spm::create_vm: bad memory/vcpu shape");
+    }
+    if (spec.expected_hash &&
+        !crypto::digest_equal(*spec.expected_hash, spec.image_hash())) {
+        throw std::runtime_error("Spm::create_vm: image hash mismatch");
+    }
+
+    auto vm = std::make_unique<Vm>(static_cast<arch::VmId>(vms_.size() + 1), spec);
+    const std::uint64_t nframes = spec.mem_bytes >> arch::kPageShift;
+    vm->mem_base = platform_->mem().alloc_frames(nframes, vm->id(), spec.world);
+    vm->ipa_base = 0;
+    vm->stage2().map(0, vm->mem_base, spec.mem_bytes, arch::kPermRWX,
+                     spec.world == arch::World::kSecure);
+    for (int v = 0; v < vm->vcpu_count(); ++v) {
+        vm->vcpu(v).assigned_core = v % platform_->ncores();
+    }
+    measurements_.emplace_back(spec.name, spec.image_hash());
+    vms_.push_back(std::move(vm));
+    return vms_.back()->id();
+}
+
+void Spm::destroy_vm(arch::VmId id) {
+    Vm& victim = vm(id);
+    if (victim.destroyed) return;
+    if (victim.role() != VmRole::kSecondary) {
+        throw std::invalid_argument("Spm::destroy_vm: only secondaries");
+    }
+    for (int v = 0; v < victim.vcpu_count(); ++v) {
+        if (victim.vcpu(v).state == VcpuState::kRunning) {
+            throw std::logic_error("Spm::destroy_vm: VCPU still running");
+        }
+    }
+    // Revoke every grant the victim participates in (as owner or borrower).
+    for (auto it = grants_.begin(); it != grants_.end();) {
+        if (it->owner == id || it->borrower == id) {
+            vm(it->borrower).stage2().unmap(it->borrower_ipa,
+                                            it->pages * arch::kPageSize);
+            if (it->exclusive && it->borrower == id) {
+                // The borrower of a lend died: the owner regains access.
+                vm(it->owner).stage2().protect(
+                    it->owner_ipa, it->pages * arch::kPageSize, arch::kPermRWX);
+            }
+            it = grants_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Detach guest contexts, drop translations, scrub and free the frames.
+    for (int v = 0; v < victim.vcpu_count(); ++v) {
+        set_guest_context(victim.vcpu(v), nullptr);
+        victim.vcpu(v).state = VcpuState::kAborted;
+    }
+    guest_os_.erase(id);
+    victim.stage2().unmap(victim.ipa_base, victim.mem_bytes());
+    for (arch::PhysAddr a = victim.mem_base;
+         a < victim.mem_base + victim.mem_bytes(); a += 8 * 512) {
+        // Sparse store: clearing word 0 of each page region suffices for the
+        // model (reads of freed memory return zero anyway after reuse).
+        platform_->mem().write64(a, 0, victim.world());
+    }
+    platform_->mem().free_frames(victim.mem_base,
+                                 victim.mem_bytes() >> arch::kPageShift);
+    victim.destroyed = true;
+}
+
+Vm& Spm::vm(arch::VmId id) {
+    if (id == 0 || id > vms_.size()) throw std::out_of_range("Spm::vm: bad id");
+    return *vms_[id - 1];
+}
+
+Vm* Spm::find_vm(const std::string& name) {
+    for (auto& vm : vms_) {
+        if (vm->name() == name) return vm.get();
+    }
+    return nullptr;
+}
+
+Vm* Spm::super_secondary() {
+    for (auto& vm : vms_) {
+        if (vm->role() == VmRole::kSuperSecondary) return vm.get();
+    }
+    return nullptr;
+}
+
+void Spm::attach_guest(arch::VmId id, GuestOsItf* os) { guest_os_[id] = os; }
+
+void Spm::set_guest_context(Vcpu& vcpu, arch::Runnable* ctx) {
+    if (vcpu.guest_context != nullptr) ctx_to_vcpu_.erase(vcpu.guest_context);
+    vcpu.guest_context = ctx;
+    if (ctx != nullptr) ctx_to_vcpu_[ctx] = &vcpu;
+}
+
+void Spm::make_vcpu_ready(Vcpu& vcpu) {
+    if (vcpu.state == VcpuState::kOff || vcpu.state == VcpuState::kBlocked) {
+        vcpu.state = VcpuState::kReady;
+    }
+}
+
+void Spm::wake_vcpu(Vcpu& vcpu) {
+    if (vcpu.state != VcpuState::kBlocked) return;
+    vcpu.state = VcpuState::kReady;
+    if (primary_os_ != nullptr) primary_os_->on_vcpu_wake(vcpu);
+}
+
+void Spm::force_stop_vcpu(Vcpu& vcpu, bool notify_primary) {
+    if (vcpu.state != VcpuState::kRunning || vcpu.running_core < 0) return;
+    const arch::CoreId core = vcpu.running_core;
+    arch::Core& c = platform_->core(core);
+    c.exec().preempt();
+    c.timer().cancel(arch::TimerChannel::kVirt);
+    vcpu.state = VcpuState::kReady;
+    vcpu.running_core = -1;
+    vcpu_on_core_[static_cast<std::size_t>(core)] = nullptr;
+    set_core_context(core, &primary_vm());
+    if (notify_primary && primary_os_ != nullptr) {
+        primary_os_->on_vcpu_exit(core, vcpu, ExitReason::kYield);
+    }
+}
+
+bool Spm::guest_access(Vcpu& vcpu, arch::IpaAddr ipa, arch::Access access) {
+    Vm& vm = vcpu.vm();
+    const arch::WalkResult w = vm.stage2().walk(ipa);
+    bool ok = w.fault == arch::FaultKind::kNone && perms_allow(w.perms, access);
+    if (ok) {
+        ok = platform_->mem().check_physical_access(w.out, vm.world()) ==
+             arch::FaultKind::kNone;
+    }
+    if (!ok) abort_vcpu(vcpu);
+    return ok;
+}
+
+void Spm::abort_vcpu(Vcpu& vcpu) {
+    ++stats_.guest_aborts;
+    if (vcpu.state == VcpuState::kRunning && vcpu.running_core >= 0) {
+        const arch::CoreId core = vcpu.running_core;
+        platform_->core(core).exec().preempt();
+        exit_vcpu(core, vcpu, ExitReason::kAborted,
+                  platform_->perf().trap_to_el2 + platform_->perf().world_switch);
+        return;
+    }
+    vcpu.state = VcpuState::kAborted;
+    vcpu.running_core = -1;
+}
+
+Vcpu* Spm::running_vcpu_on(arch::CoreId core) {
+    return vcpu_on_core_[static_cast<std::size_t>(core)];
+}
+
+void Spm::set_core_context(arch::CoreId core, Vm* vmctx) {
+    arch::Core& c = platform_->core(core);
+    if (vmctx == nullptr) {
+        c.mmu().set_context(nullptr, nullptr, 0, 0, arch::World::kNonSecure);
+        return;
+    }
+    // Guests run with an identity stage-1 (their kernels' idmap); isolation
+    // comes from stage 2.
+    c.mmu().set_context(nullptr, &vmctx->stage2(), vmctx->id(), 0, vmctx->world());
+    c.set_world(vmctx->world());
+}
+
+// --------------------------------------------------------------------------
+// Interrupt path (EL2 vector)
+// --------------------------------------------------------------------------
+
+void Spm::handle_phys_irq(arch::CoreId core, int irq) {
+    const arch::PerfModel& perf = platform_->perf();
+    arch::Core& c = platform_->core(core);
+    arch::Executor& ex = c.exec();
+    Vcpu* rv = running_vcpu_on(core);
+
+    const bool guest_vtimer = irq == arch::kIrqVirtTimer && rv != nullptr;
+    const IrqDestination dest = router_.route(irq, guest_vtimer);
+
+    switch (dest) {
+        case IrqDestination::kHypervisorInternal: {
+            // The running guest's virtual timer: handled entirely at EL2 +
+            // an injection. No world switch to the primary.
+            ++stats_.vtimer_fires;
+            ex.preempt();
+            rv->vtimer_armed = false;
+            GuestOsItf* gos = guest_os_.at(rv->vm().id());
+            const sim::Cycles service = gos->on_virq(*rv, arch::kIrqVirtTimer);
+            ++rv->injected_virqs;
+            ++stats_.virq_injections;
+            ex.charge(perf.trap_to_el2 + perf.virq_inject + service);
+            ex.begin(rv->guest_context);
+            // The handler may have re-armed the vtimer via hypercall.
+            if (rv->vtimer_armed) {
+                c.timer().set_deadline(arch::TimerChannel::kVirt, rv->vtimer_deadline);
+            }
+            break;
+        }
+        case IrqDestination::kSuperSecondaryDirect: {
+            // Future-work selective routing: hand the device IRQ straight to
+            // the super-secondary, bypassing the primary.
+            Vm* ss = super_secondary();
+            Vcpu& target = ss->vcpu(0);
+            arch::Runnable* interrupted = ex.preempt();
+            ex.charge(perf.trap_to_el2 + perf.virq_inject);
+            if (running_vcpu_on(core) == &target || interrupted == target.guest_context) {
+                // SS is on this very core: deliver inline.
+                GuestOsItf* gos = guest_os_.at(ss->id());
+                ex.charge(gos->on_virq(target, irq));
+                ++stats_.virq_injections;
+            } else {
+                inject_virq(target, irq);
+            }
+            if (interrupted != nullptr) ex.begin(interrupted);
+            ++stats_.forwarded_device_irqs;
+            break;
+        }
+        case IrqDestination::kPrimary: {
+            if (rv != nullptr) {
+                // Full VM exit: guest out, primary in.
+                ex.preempt();
+                exit_vcpu(core, *rv, ExitReason::kPreempted,
+                          perf.trap_to_el2 + perf.world_switch);
+            } else {
+                arch::Runnable* interrupted = ex.preempt();
+                ex.charge(perf.trap_to_el2 + perf.irq_entry_exit_el1);
+                // The primary's own task was interrupted; its scheduler will
+                // redispatch it (we leave it detached, matching a real IRQ
+                // frame on the kernel stack).
+                (void)interrupted;
+            }
+            if (primary_os_ != nullptr) primary_os_->on_interrupt(core, irq);
+            break;
+        }
+    }
+    platform_->gic().eoi(core, irq);
+}
+
+// --------------------------------------------------------------------------
+// VCPU entry/exit
+// --------------------------------------------------------------------------
+
+void Spm::enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost) {
+    const arch::PerfModel& perf = platform_->perf();
+    arch::Core& c = platform_->core(core);
+    arch::Executor& ex = c.exec();
+
+    vcpu.state = VcpuState::kRunning;
+    vcpu.running_core = core;
+    ++vcpu.runs;
+    vcpu_on_core_[static_cast<std::size_t>(core)] = &vcpu;
+    set_core_context(core, &vcpu.vm());
+
+    sim::Cycles cost = base_cost + drain_virqs(vcpu);
+    ex.charge(cost);
+    ++stats_.world_switches;
+    if (vcpu.guest_context == nullptr) {
+        // Interrupt-service-only entry: the guest handled its virqs and has
+        // no thread to run; it executes WFI and control returns to the
+        // primary as a blocked exit.
+        exit_vcpu(core, vcpu, ExitReason::kBlocked,
+                  perf.hypercall_roundtrip + perf.world_switch);
+        return;
+    }
+    ex.add_refill_transient(vcpu.guest_context->profile(),
+                            arch::TranslationMode::kTwoStage);
+    ex.begin(vcpu.guest_context);
+    if (vcpu.vtimer_armed) {
+        c.timer().set_deadline(arch::TimerChannel::kVirt, vcpu.vtimer_deadline);
+    }
+}
+
+void Spm::exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
+                    sim::Cycles cost) {
+    arch::Core& c = platform_->core(core);
+    arch::Executor& ex = c.exec();
+
+    switch (reason) {
+        case ExitReason::kPreempted:
+            vcpu.state = VcpuState::kReady;
+            ++vcpu.preemptions;
+            ++stats_.exits_preempted;
+            break;
+        case ExitReason::kYield:
+            vcpu.state = VcpuState::kReady;
+            ++stats_.exits_yield;
+            break;
+        case ExitReason::kBlocked:
+            vcpu.state = VcpuState::kBlocked;
+            ++stats_.exits_blocked;
+            break;
+        case ExitReason::kAborted:
+            vcpu.state = VcpuState::kAborted;
+            break;
+    }
+    vcpu.running_core = -1;
+    vcpu_on_core_[static_cast<std::size_t>(core)] = nullptr;
+    c.timer().cancel(arch::TimerChannel::kVirt);  // deadline kept in vcpu state
+    set_core_context(core, &primary_vm());
+    ex.charge(cost);
+    ++stats_.vm_exits;
+    ++stats_.world_switches;
+    if (primary_os_ != nullptr) primary_os_->on_vcpu_exit(core, vcpu, reason);
+}
+
+sim::Cycles Spm::drain_virqs(Vcpu& vcpu) {
+    const arch::PerfModel& perf = platform_->perf();
+    GuestOsItf* gos = nullptr;
+    const auto it = guest_os_.find(vcpu.vm().id());
+    if (it != guest_os_.end()) gos = it->second;
+    sim::Cycles cost = 0;
+    while (auto next = vcpu.vgic.next_deliverable()) {
+        vcpu.vgic.pending.erase(*next);
+        ++vcpu.injected_virqs;
+        ++stats_.virq_injections;
+        cost += perf.virq_inject;
+        if (gos != nullptr) cost += gos->on_virq(vcpu, *next);
+    }
+    return cost;
+}
+
+void Spm::inject_virq(Vcpu& vcpu, int virq) {
+    vcpu.vgic.pending.insert(virq);
+    if (vcpu.state == VcpuState::kBlocked) {
+        wake_vcpu(vcpu);
+    } else if (vcpu.state == VcpuState::kReady && vcpu.running_core < 0 &&
+               primary_os_ != nullptr) {
+        // The primary's proxy thread may have parked after an earlier
+        // empty-run; nudge the scheduler so the virq is serviced.
+        primary_os_->on_vcpu_wake(vcpu);
+    }
+    // If the vcpu is running on another core right now, the virq is
+    // delivered at its next entry (our model does not interrupt remote
+    // cores for injection, matching Hafnium's core-local design).
+}
+
+void Spm::on_core_idle(arch::CoreId core, arch::Runnable* finished) {
+    const arch::PerfModel& perf = platform_->perf();
+    const auto it = ctx_to_vcpu_.find(finished);
+    if (it == ctx_to_vcpu_.end()) {
+        // A primary-VM task finished.
+        if (primary_os_ != nullptr) primary_os_->on_task_complete(core, finished);
+        return;
+    }
+    Vcpu& vcpu = *it->second;
+    if (vcpu.running_core != core) return;  // stale completion
+    GuestOsItf* gos = guest_os_.at(vcpu.vm().id());
+    arch::Runnable* next = gos->on_idle(vcpu);
+    if (next != nullptr) {
+        arch::Executor& ex = platform_->core(core).exec();
+        // Continuing the same context (e.g. it transitioned to a busy-wait
+        // spin) costs nothing; switching guest threads costs a switch.
+        if (next != finished) {
+            set_guest_context(vcpu, next);
+            ex.charge(perf.thread_switch);
+        }
+        ex.begin(next);
+        return;
+    }
+    // Guest has nothing to run: VCPU blocks (FFA_MSG_WAIT semantics) and
+    // control returns to the primary scheduler.
+    exit_vcpu(core, vcpu, ExitReason::kBlocked,
+              perf.hypercall_roundtrip + perf.world_switch);
+}
+
+// --------------------------------------------------------------------------
+// Hypercalls
+// --------------------------------------------------------------------------
+
+HfResult Spm::hypercall(arch::CoreId core, arch::VmId caller, Call call, HfArgs args) {
+    ++stats_.hypercalls;
+    if (caller == 0 || caller > vms_.size()) return {HfError::kNotFound, 0};
+    Vm& cvm = vm(caller);
+
+    switch (call) {
+        case Call::kVersion:
+            return {HfError::kOk, kSpmVersion};
+        case Call::kVmGetCount:
+            return {HfError::kOk, vm_count()};
+        case Call::kVcpuGetCount: {
+            const auto id = static_cast<arch::VmId>(args.a0);
+            if (id == 0 || id > vms_.size()) return {HfError::kNotFound, 0};
+            return {HfError::kOk, vm(id).vcpu_count()};
+        }
+        case Call::kVmGetInfo: {
+            const auto id = static_cast<arch::VmId>(args.a0);
+            if (id == 0 || id > vms_.size()) return {HfError::kNotFound, 0};
+            const Vm& target = vm(id);
+            // Packed info word: role | world | vcpus.
+            const std::int64_t info =
+                (static_cast<std::int64_t>(target.role()) << 32) |
+                (static_cast<std::int64_t>(target.world()) << 16) |
+                target.vcpu_count();
+            return {HfError::kOk, info};
+        }
+        case Call::kVcpuRun:
+            return call_vcpu_run(core, caller, args);
+        case Call::kVmConfigure: {
+            // a0 = send IPA, a1 = recv IPA; both must be mapped pages.
+            if (vm_translate(caller, args.a0).fault != arch::FaultKind::kNone ||
+                vm_translate(caller, args.a1).fault != arch::FaultKind::kNone) {
+                return {HfError::kInvalid, 0};
+            }
+            cvm.mailbox.configured = true;
+            cvm.mailbox.send_ipa = args.a0;
+            cvm.mailbox.recv_ipa = args.a1;
+            return {HfError::kOk, 0};
+        }
+        case Call::kMsgSend:
+            return call_msg_send(core, caller, args);
+        case Call::kMsgWait: {
+            if (cvm.mailbox.configured && cvm.mailbox.recv_full) {
+                return {HfError::kOk, cvm.mailbox.recv_size};
+            }
+            return {HfError::kRetry, 0};
+        }
+        case Call::kRxRelease: {
+            if (!cvm.mailbox.configured) return {HfError::kInvalid, 0};
+            cvm.mailbox.recv_full = false;
+            cvm.mailbox.recv_size = 0;
+            return {HfError::kOk, 0};
+        }
+        case Call::kYield: {
+            Vcpu* rv = running_vcpu_on(core);
+            if (rv == nullptr || &rv->vm() != &cvm) return {HfError::kInvalid, 0};
+            platform_->core(core).exec().preempt();
+            exit_vcpu(core, *rv, ExitReason::kYield,
+                      platform_->perf().hypercall_roundtrip +
+                          platform_->perf().world_switch);
+            return {HfError::kOk, 0};
+        }
+        case Call::kMemShare:
+            return call_mem_share(caller, args, /*exclusive=*/false);
+        case Call::kMemLend:
+            return call_mem_share(caller, args, /*exclusive=*/true);
+        case Call::kMemDonate:
+            return call_mem_donate(caller, args);
+        case Call::kMemReclaim:
+            return call_mem_reclaim(caller, args);
+        case Call::kInterruptEnable: {
+            Vcpu* rv = running_vcpu_on(core);
+            const int vcpu_idx = static_cast<int>(args.a1);
+            Vcpu* target = rv != nullptr && &rv->vm() == &cvm
+                               ? rv
+                               : (vcpu_idx < cvm.vcpu_count() ? &cvm.vcpu(vcpu_idx)
+                                                              : nullptr);
+            if (target == nullptr) return {HfError::kInvalid, 0};
+            target->vgic.enabled.insert(static_cast<int>(args.a0));
+            return {HfError::kOk, 0};
+        }
+        case Call::kInterruptGet: {
+            Vcpu* rv = running_vcpu_on(core);
+            if (rv == nullptr || &rv->vm() != &cvm) return {HfError::kInvalid, 0};
+            if (const auto next = rv->vgic.next_deliverable()) {
+                rv->vgic.pending.erase(*next);
+                return {HfError::kOk, *next};
+            }
+            return {HfError::kOk, -1};
+        }
+        case Call::kInterruptInject: {
+            // Primary (or super-secondary forwarding path) only.
+            if (cvm.role() == VmRole::kSecondary) {
+                ++stats_.denied_calls;
+                return {HfError::kDenied, 0};
+            }
+            const auto target_id = static_cast<arch::VmId>(args.a0);
+            const int vcpu_idx = static_cast<int>(args.a1);
+            const int virq = static_cast<int>(args.a2);
+            if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
+            Vm& target = vm(target_id);
+            if (vcpu_idx < 0 || vcpu_idx >= target.vcpu_count()) {
+                return {HfError::kInvalid, 0};
+            }
+            inject_virq(target.vcpu(vcpu_idx), virq);
+            if (cvm.role() == VmRole::kPrimary && virq >= arch::kSpiBase) {
+                ++stats_.forwarded_device_irqs;
+            }
+            return {HfError::kOk, 0};
+        }
+        case Call::kVtimerSet: {
+            const int vcpu_idx = static_cast<int>(args.a1);
+            if (vcpu_idx < 0 || vcpu_idx >= cvm.vcpu_count()) {
+                return {HfError::kInvalid, 0};
+            }
+            Vcpu& target = cvm.vcpu(vcpu_idx);
+            target.vtimer_armed = true;
+            target.vtimer_deadline = args.a0;
+            if (target.running_core == core && running_vcpu_on(core) == &target) {
+                platform_->core(core).timer().set_deadline(arch::TimerChannel::kVirt,
+                                                           target.vtimer_deadline);
+            }
+            return {HfError::kOk, 0};
+        }
+        case Call::kVtimerCancel: {
+            const int vcpu_idx = static_cast<int>(args.a1);
+            if (vcpu_idx < 0 || vcpu_idx >= cvm.vcpu_count()) {
+                return {HfError::kInvalid, 0};
+            }
+            Vcpu& target = cvm.vcpu(vcpu_idx);
+            target.vtimer_armed = false;
+            target.vtimer_deadline = sim::kTimeNever;
+            if (target.running_core == core && running_vcpu_on(core) == &target) {
+                platform_->core(core).timer().cancel(arch::TimerChannel::kVirt);
+            }
+            return {HfError::kOk, 0};
+        }
+    }
+    return {HfError::kInvalid, 0};
+}
+
+HfResult Spm::call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& a) {
+    // "These privileges include … the ability to assume control over CPU
+    // cores" — primary only. The super-secondary is explicitly denied.
+    if (vm(caller).role() != VmRole::kPrimary) {
+        ++stats_.denied_calls;
+        return {HfError::kDenied, 0};
+    }
+    const auto target_id = static_cast<arch::VmId>(a.a0);
+    const int vcpu_idx = static_cast<int>(a.a1);
+    if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
+    Vm& target = vm(target_id);
+    if (target.destroyed) return {HfError::kNotFound, 0};
+    if (target.role() == VmRole::kPrimary) return {HfError::kInvalid, 0};
+    if (vcpu_idx < 0 || vcpu_idx >= target.vcpu_count()) return {HfError::kInvalid, 0};
+    Vcpu& vcpu = target.vcpu(vcpu_idx);
+    if (vcpu.state != VcpuState::kReady) return {HfError::kRetry, 0};
+    // A VCPU with no runnable guest thread may still be entered to service
+    // pending virtual interrupts (it handles them and drops back to WFI).
+    if (vcpu.guest_context == nullptr && !vcpu.vgic.next_deliverable()) {
+        vcpu.state = VcpuState::kBlocked;  // nothing to do: park in WFI
+        return {HfError::kRetry, 0};
+    }
+    if (platform_->core(core).exec().running()) {
+        throw std::logic_error("HF_VCPU_RUN while the core is running a context");
+    }
+    enter_vcpu(core, vcpu,
+               platform_->perf().hypercall_roundtrip + platform_->perf().world_switch);
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::call_msg_send(arch::CoreId core, arch::VmId caller, const HfArgs& a) {
+    (void)core;
+    Vm& from = vm(caller);
+    const auto target_id = static_cast<arch::VmId>(a.a0);
+    const auto size = static_cast<std::uint32_t>(a.a1);
+    if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
+    Vm& to = vm(target_id);
+    if (from.destroyed || to.destroyed) return {HfError::kNotFound, 0};
+    if (!from.mailbox.configured || !to.mailbox.configured) return {HfError::kInvalid, 0};
+    if (size > arch::kPageSize) return {HfError::kInvalid, 0};
+    if (to.mailbox.recv_full) return {HfError::kBusy, 0};
+
+    // Functional copy through both stage-2 translations, word by word. This
+    // is the only cross-VM data path, and it is hypervisor-mediated.
+    const std::uint64_t words = (size + 7) / 8;
+    for (std::uint64_t w = 0; w < words; ++w) {
+        std::uint64_t value = 0;
+        if (!vm_read64(caller, from.mailbox.send_ipa + w * 8, value)) {
+            return {HfError::kInvalid, 0};
+        }
+        if (!vm_write64(target_id, to.mailbox.recv_ipa + w * 8, value)) {
+            return {HfError::kInvalid, 0};
+        }
+    }
+    to.mailbox.recv_full = true;
+    to.mailbox.recv_size = size;
+    to.mailbox.recv_from = caller;
+    ++stats_.messages;
+
+    // Wake the receiver. Secondary/super-secondary: wake VCPU 0 if blocked.
+    // Primary: notify its kernel (the control task waits on the mailbox).
+    if (to.role() == VmRole::kPrimary) {
+        if (primary_os_ != nullptr) primary_os_->on_message(caller);
+    } else {
+        inject_virq(to.vcpu(0), kMessageVirq);
+    }
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::call_mem_share(arch::VmId caller, const HfArgs& a, bool exclusive) {
+    const auto target_id = static_cast<arch::VmId>(a.a0);
+    const arch::IpaAddr own_ipa = a.a1;
+    const std::uint64_t pages = a.a2;
+    const arch::IpaAddr borrower_ipa = a.a3;
+    if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
+    if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
+    Vm& to = vm(target_id);
+    if (to.destroyed) return {HfError::kNotFound, 0};
+
+    // The caller must own every frame it shares/lends.
+    const arch::WalkResult w0 = vm_translate(caller, own_ipa);
+    if (w0.fault != arch::FaultKind::kNone) return {HfError::kInvalid, 0};
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        const arch::WalkResult w = vm_translate(caller, own_ipa + p * arch::kPageSize);
+        if (w.fault != arch::FaultKind::kNone) return {HfError::kInvalid, 0};
+        if (!platform_->mem().owned_span(w.out, arch::kPageSize, caller)) {
+            return {HfError::kDenied, 0};
+        }
+    }
+    // Contiguity in PA space follows from per-VM contiguous allocation.
+    to.stage2().map(borrower_ipa, w0.out, pages * arch::kPageSize, arch::kPermRW);
+    if (exclusive) {
+        // FFA_MEM_LEND: the owner relinquishes access until reclaim
+        // (block mappings split on demand).
+        vm(caller).stage2().protect(own_ipa, pages * arch::kPageSize,
+                                    arch::kPermNone);
+    }
+    grants_.push_back({caller, target_id, own_ipa, borrower_ipa, pages, exclusive});
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::call_mem_donate(arch::VmId caller, const HfArgs& a) {
+    const auto target_id = static_cast<arch::VmId>(a.a0);
+    const arch::IpaAddr own_ipa = a.a1;
+    const std::uint64_t pages = a.a2;
+    const arch::IpaAddr borrower_ipa = a.a3;
+    if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
+    if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
+    Vm& to = vm(target_id);
+    if (to.destroyed) return {HfError::kNotFound, 0};
+
+    const arch::WalkResult w0 = vm_translate(caller, own_ipa);
+    if (w0.fault != arch::FaultKind::kNone) return {HfError::kInvalid, 0};
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        const arch::WalkResult w = vm_translate(caller, own_ipa + p * arch::kPageSize);
+        if (w.fault != arch::FaultKind::kNone) return {HfError::kInvalid, 0};
+        if (!platform_->mem().owned_span(w.out, arch::kPageSize, caller)) {
+            return {HfError::kDenied, 0};
+        }
+    }
+    // TrustZone: frames cannot silently change worlds via donation.
+    if (platform_->mem().world_of(w0.out) != to.world()) {
+        return {HfError::kDenied, 0};
+    }
+    // Ownership transfer: remove the donor's translation entirely, retag
+    // the frames, map them for the new owner.
+    vm(caller).stage2().unmap(own_ipa, pages * arch::kPageSize);
+    platform_->mem().set_owner(w0.out, pages, target_id);
+    to.stage2().map(borrower_ipa, w0.out, pages * arch::kPageSize, arch::kPermRWX,
+                    to.world() == arch::World::kSecure);
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::call_mem_reclaim(arch::VmId caller, const HfArgs& a) {
+    const auto target_id = static_cast<arch::VmId>(a.a0);
+    const arch::IpaAddr own_ipa = a.a1;
+    for (auto it = grants_.begin(); it != grants_.end(); ++it) {
+        if (it->owner == caller && it->borrower == target_id &&
+            it->owner_ipa == own_ipa) {
+            vm(target_id).stage2().unmap(it->borrower_ipa, it->pages * arch::kPageSize);
+            if (it->exclusive) {
+                // Lend reclaim: the owner regains access.
+                vm(caller).stage2().protect(it->owner_ipa,
+                                            it->pages * arch::kPageSize,
+                                            arch::kPermRWX);
+            }
+            grants_.erase(it);
+            return {HfError::kOk, 0};
+        }
+    }
+    return {HfError::kNotFound, 0};
+}
+
+// --------------------------------------------------------------------------
+// Functional guest memory
+// --------------------------------------------------------------------------
+
+arch::WalkResult Spm::vm_translate(arch::VmId id, arch::IpaAddr ipa) {
+    return vm(id).stage2().walk(ipa);
+}
+
+bool Spm::vm_read64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t& out) {
+    const arch::WalkResult w = vm_translate(id, ipa);
+    if (w.fault != arch::FaultKind::kNone || !perms_allow(w.perms, arch::Access::kRead)) {
+        return false;
+    }
+    if (platform_->mem().check_physical_access(w.out, vm(id).world()) !=
+        arch::FaultKind::kNone) {
+        return false;
+    }
+    out = platform_->mem().read64(w.out, vm(id).world());
+    return true;
+}
+
+bool Spm::vm_write64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t value) {
+    const arch::WalkResult w = vm_translate(id, ipa);
+    if (w.fault != arch::FaultKind::kNone ||
+        !perms_allow(w.perms, arch::Access::kWrite)) {
+        return false;
+    }
+    if (platform_->mem().check_physical_access(w.out, vm(id).world()) !=
+        arch::FaultKind::kNone) {
+        return false;
+    }
+    platform_->mem().write64(w.out, value, vm(id).world());
+    return true;
+}
+
+std::vector<std::string> Spm::devices_of(arch::VmId id) const {
+    const auto it = device_map_.find(id);
+    return it == device_map_.end() ? std::vector<std::string>{} : it->second;
+}
+
+}  // namespace hpcsec::hafnium

@@ -1,0 +1,182 @@
+// The Secure Partition Manager (Hafnium model), executing at EL2.
+//
+// Responsibilities mirror the reference implementation the paper describes:
+//  * boot-time construction of per-VM stage-2 tables from a static manifest
+//    (memory isolation is hardware-enforced from that point on);
+//  * a core-local hypercall interface — HF_VCPU_RUN only ever context
+//    switches the calling core;
+//  * VM exit handling: most exits are internal (virtual timers), only timer
+//    and device IRQs bounce to the primary VM;
+//  * the paper's super-secondary extension: a semi-privileged VM that owns
+//    the MMIO map and receives device IRQs (forwarded by the primary, or
+//    directly under the selective-routing policy);
+//  * FFA-style mailboxes and memory sharing between partitions.
+//
+// Deliberately *not* here, matching Hafnium's design: a CPU scheduler (the
+// primary VM owns scheduling) and I/O virtualization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/platform.h"
+#include "crypto/sha256.h"
+#include "hafnium/hypercall.h"
+#include "hafnium/interfaces.h"
+#include "hafnium/irq_router.h"
+#include "hafnium/manifest.h"
+#include "hafnium/vm.h"
+
+namespace hpcsec::hafnium {
+
+class Spm {
+public:
+    struct Stats {
+        std::uint64_t hypercalls = 0;
+        std::uint64_t world_switches = 0;
+        std::uint64_t vm_exits = 0;
+        std::uint64_t exits_preempted = 0;
+        std::uint64_t exits_blocked = 0;
+        std::uint64_t exits_yield = 0;
+        std::uint64_t virq_injections = 0;
+        std::uint64_t vtimer_fires = 0;
+        std::uint64_t forwarded_device_irqs = 0;
+        std::uint64_t denied_calls = 0;
+        std::uint64_t messages = 0;
+        std::uint64_t guest_aborts = 0;
+    };
+
+    Spm(arch::Platform& platform, Manifest manifest,
+        IrqRoutingPolicy policy = IrqRoutingPolicy::kAllToPrimary);
+
+    /// EL2 boot: validate manifest, measure images, allocate VM memory,
+    /// build stage-2 tables, map MMIO into the I/O-owning VM, take over the
+    /// exception vectors, power on all cores. Throws on manifest errors.
+    void boot();
+    [[nodiscard]] bool booted() const { return booted_; }
+
+    void attach_primary(PrimaryOsItf* os) { primary_os_ = os; }
+    void attach_guest(arch::VmId vm, GuestOsItf* os);
+
+    // --- dynamic partitioning (paper §VII future work) -----------------------
+    /// Create a secondary partition after boot: allocate memory, build its
+    /// stage-2 tables, measure the image. Image authenticity is the caller's
+    /// responsibility (core::Node gates this on signature verification —
+    /// "Hafnium is able to verify VM signatures using a known public key").
+    /// Returns the new VM id. Throws on invalid spec or memory exhaustion.
+    arch::VmId create_vm(const VmSpec& spec);
+
+    /// Tear a dynamic (or boot-time secondary) partition down: every VCPU
+    /// must be off the cores; stage-2 mappings are removed, grants revoked,
+    /// frames scrubbed and returned to the allocator. Throws if the VM is
+    /// the primary/super-secondary or still running.
+    void destroy_vm(arch::VmId id);
+
+    /// The hypercall gate. `core` is the calling physical core (the
+    /// interface is core local), `caller` the calling VM.
+    HfResult hypercall(arch::CoreId core, arch::VmId caller, Call call,
+                       HfArgs args = {});
+
+    // --- topology ------------------------------------------------------------
+    [[nodiscard]] int vm_count() const { return static_cast<int>(vms_.size()); }
+    [[nodiscard]] Vm& vm(arch::VmId id);
+    [[nodiscard]] Vm* find_vm(const std::string& name);
+    [[nodiscard]] Vm& primary_vm() { return vm(arch::kPrimaryVmId); }
+    [[nodiscard]] Vm* super_secondary();
+    [[nodiscard]] arch::Platform& platform() { return *platform_; }
+    [[nodiscard]] const IrqRouter& router() const { return router_; }
+
+    // --- guest-side services (called by guest kernel models) -----------------
+    /// Install/replace the runnable that consumes CPU when `vcpu` runs.
+    void set_guest_context(Vcpu& vcpu, arch::Runnable* ctx);
+    /// Mark a fresh VCPU schedulable.
+    void make_vcpu_ready(Vcpu& vcpu);
+    /// Wake a blocked VCPU (message, barrier, injected interrupt).
+    void wake_vcpu(Vcpu& vcpu);
+
+    /// Forcibly pull a VCPU off its core (management path for stop/destroy).
+    /// No world-switch cost is charged to the guest; the core context
+    /// returns to the primary. With `notify_primary` (the default) the
+    /// primary receives a kYield exit so its proxy bookkeeping stays
+    /// coherent; teardown paths pass false and reap the proxies themselves.
+    /// No-op when the VCPU is not running.
+    void force_stop_vcpu(Vcpu& vcpu, bool notify_primary = true);
+
+    /// Guest memory access with fault semantics: checks the VM's stage-2
+    /// (and TrustZone) for `ipa`; on a fault while the VCPU is running the
+    /// SPM takes the data abort — the VCPU is killed and the primary gets a
+    /// kAborted exit, exactly how Hafnium treats stage-2 violations.
+    /// Returns true when the access is allowed.
+    bool guest_access(Vcpu& vcpu, arch::IpaAddr ipa, arch::Access access);
+
+    /// Abort a running/ready VCPU (stage-2 violation, undefined sysreg
+    /// access to a blocked feature, ...). Safe from any context.
+    void abort_vcpu(Vcpu& vcpu);
+
+    // --- functional guest memory (through stage-2, for tests/channels) -------
+    bool vm_read64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t& out);
+    bool vm_write64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t value);
+    /// Translate an IPA through a VM's stage-2 (functional walk).
+    [[nodiscard]] arch::WalkResult vm_translate(arch::VmId id, arch::IpaAddr ipa);
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// Boot-time image measurements, in manifest order (attestation input).
+    [[nodiscard]] const std::vector<std::pair<std::string, crypto::Digest>>&
+    measurements() const {
+        return measurements_;
+    }
+
+    /// MMIO regions mapped into a VM (device assignment ground truth).
+    [[nodiscard]] std::vector<std::string> devices_of(arch::VmId id) const;
+
+    struct ShareGrant {
+        arch::VmId owner;
+        arch::VmId borrower;
+        arch::IpaAddr owner_ipa;
+        arch::IpaAddr borrower_ipa;
+        std::uint64_t pages;
+        bool exclusive = false;  ///< FFA_MEM_LEND: the owner loses access
+    };
+    [[nodiscard]] const std::vector<ShareGrant>& grants() const { return grants_; }
+
+private:
+    void handle_phys_irq(arch::CoreId core, int irq);
+    void enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost);
+    void exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
+                   sim::Cycles cost);
+    void on_core_idle(arch::CoreId core, arch::Runnable* finished);
+    /// Deliver pending virqs to a *running-on-this-core* vcpu; returns cost.
+    sim::Cycles drain_virqs(Vcpu& vcpu);
+    void inject_virq(Vcpu& vcpu, int virq);
+    [[nodiscard]] Vcpu* running_vcpu_on(arch::CoreId core);
+    void set_core_context(arch::CoreId core, Vm* vmctx);
+
+    HfResult call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& a);
+    HfResult call_msg_send(arch::CoreId core, arch::VmId caller, const HfArgs& a);
+    HfResult call_mem_share(arch::VmId caller, const HfArgs& a, bool exclusive);
+    HfResult call_mem_reclaim(arch::VmId caller, const HfArgs& a);
+    HfResult call_mem_donate(arch::VmId caller, const HfArgs& a);
+
+    arch::Platform* platform_;
+    Manifest manifest_;
+    IrqRouter router_;
+    bool booted_ = false;
+
+    std::vector<std::unique_ptr<Vm>> vms_;  // index = id - 1
+    PrimaryOsItf* primary_os_ = nullptr;
+    std::unordered_map<arch::VmId, GuestOsItf*> guest_os_;
+    std::unordered_map<arch::Runnable*, Vcpu*> ctx_to_vcpu_;
+    std::vector<Vcpu*> vcpu_on_core_;  // running vcpu per core, nullptr if none
+
+    std::vector<std::pair<std::string, crypto::Digest>> measurements_;
+    std::vector<ShareGrant> grants_;
+    std::map<arch::VmId, std::vector<std::string>> device_map_;
+    Stats stats_;
+};
+
+}  // namespace hpcsec::hafnium

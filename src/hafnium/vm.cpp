@@ -1,0 +1,32 @@
+#include "hafnium/vm.h"
+
+namespace hpcsec::hafnium {
+
+const char* to_string(VcpuState s) {
+    switch (s) {
+        case VcpuState::kOff: return "off";
+        case VcpuState::kReady: return "ready";
+        case VcpuState::kRunning: return "running";
+        case VcpuState::kBlocked: return "blocked";
+        case VcpuState::kAborted: return "aborted";
+    }
+    return "?";
+}
+
+const char* to_string(ExitReason r) {
+    switch (r) {
+        case ExitReason::kPreempted: return "preempted";
+        case ExitReason::kYield: return "yield";
+        case ExitReason::kBlocked: return "blocked";
+        case ExitReason::kAborted: return "aborted";
+    }
+    return "?";
+}
+
+Vm::Vm(arch::VmId id, VmSpec spec) : id_(id), spec_(std::move(spec)) {
+    for (int i = 0; i < spec_.vcpu_count; ++i) {
+        vcpus_.push_back(std::make_unique<Vcpu>(*this, i));
+    }
+}
+
+}  // namespace hpcsec::hafnium

@@ -1,0 +1,141 @@
+// VM and VCPU state owned by the SPM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "arch/exec.h"
+#include "arch/page_table.h"
+#include "arch/types.h"
+#include "hafnium/manifest.h"
+#include "sim/time.h"
+
+namespace hpcsec::hafnium {
+
+enum class VcpuState : std::uint8_t {
+    kOff,          ///< never started
+    kReady,        ///< runnable, waiting for the primary to schedule it
+    kRunning,      ///< currently on a physical core
+    kBlocked,      ///< waiting for message/interrupt (FFA_MSG_WAIT / WFI)
+    kAborted,      ///< faulted; will not run again
+};
+
+[[nodiscard]] const char* to_string(VcpuState s);
+
+/// Why control returned from a VCPU to the scheduler.
+enum class ExitReason : std::uint8_t {
+    kPreempted,   ///< physical interrupt for the primary
+    kYield,       ///< guest voluntarily yielded its slice
+    kBlocked,     ///< guest waits for message/interrupt
+    kAborted,     ///< guest fault (e.g. stage-2 violation)
+};
+
+[[nodiscard]] const char* to_string(ExitReason r);
+
+class Vm;
+
+/// Para-virtual interrupt controller state, per VCPU (Hafnium's vGIC: the
+/// "para-virtual interrupt controller interface" secondaries must use).
+struct VGicState {
+    std::set<int> enabled;
+    std::set<int> pending;
+
+    /// Next deliverable virtual interrupt, if any (lowest id first).
+    [[nodiscard]] std::optional<int> next_deliverable() const {
+        for (int irq : pending) {
+            if (enabled.contains(irq)) return irq;
+        }
+        return std::nullopt;
+    }
+};
+
+class Vcpu {
+public:
+    Vcpu(Vm& vm, int index) : vm_(&vm), index_(index) {}
+
+    [[nodiscard]] Vm& vm() { return *vm_; }
+    [[nodiscard]] const Vm& vm() const { return *vm_; }
+    [[nodiscard]] int index() const { return index_; }
+
+    VcpuState state = VcpuState::kOff;
+    /// Core this VCPU is assigned to (primary VCPUs are pinned 1:1; secondary
+    /// VCPUs get a default incremental spread that the primary may change).
+    arch::CoreId assigned_core = -1;
+    /// Core it is *currently executing* on, -1 when not running.
+    arch::CoreId running_core = -1;
+
+    /// The guest context that consumes CPU time when this VCPU runs
+    /// (installed by the guest kernel model).
+    arch::Runnable* guest_context = nullptr;
+
+    VGicState vgic;
+
+    /// Virtual-timer emulation: armed deadline in absolute sim time.
+    bool vtimer_armed = false;
+    sim::SimTime vtimer_deadline = sim::kTimeNever;
+
+    // Statistics.
+    std::uint64_t runs = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t injected_virqs = 0;
+
+private:
+    Vm* vm_;
+    int index_;
+};
+
+class Vm {
+public:
+    Vm(arch::VmId id, VmSpec spec);
+
+    [[nodiscard]] arch::VmId id() const { return id_; }
+    [[nodiscard]] const VmSpec& spec() const { return spec_; }
+    [[nodiscard]] VmRole role() const { return spec_.role; }
+    [[nodiscard]] arch::World world() const { return spec_.world; }
+    [[nodiscard]] const std::string& name() const { return spec_.name; }
+
+    /// Set when the partition was torn down at runtime (dynamic VMs). A
+    /// destroyed VM keeps its ID (no reuse) but is no longer schedulable or
+    /// translatable.
+    bool destroyed = false;
+
+    [[nodiscard]] int vcpu_count() const { return static_cast<int>(vcpus_.size()); }
+    [[nodiscard]] Vcpu& vcpu(int i) { return *vcpus_.at(static_cast<std::size_t>(i)); }
+    [[nodiscard]] const Vcpu& vcpu(int i) const {
+        return *vcpus_.at(static_cast<std::size_t>(i));
+    }
+
+    /// Guest-physical memory layout. Secondaries see their RAM at IPA 0
+    /// (fully virtualized view); the primary and super-secondary are
+    /// identity-mapped (IPA == PA) so they can own devices, exactly like
+    /// the reference Hafnium. `ipa_base` is where the RAM window starts in
+    /// the VM's own address space.
+    arch::PhysAddr mem_base = 0;
+    arch::IpaAddr ipa_base = 0;
+    [[nodiscard]] std::uint64_t mem_bytes() const { return spec_.mem_bytes; }
+
+    /// Stage-2 translation table (the isolation boundary).
+    arch::PageTable& stage2() { return stage2_; }
+    const arch::PageTable& stage2() const { return stage2_; }
+
+    /// FFA-style mailbox: guest-designated send/recv page IPAs.
+    struct Mailbox {
+        bool configured = false;
+        arch::IpaAddr send_ipa = 0;
+        arch::IpaAddr recv_ipa = 0;
+        bool recv_full = false;
+        std::uint32_t recv_size = 0;
+        arch::VmId recv_from = 0;
+    } mailbox;
+
+private:
+    arch::VmId id_;
+    VmSpec spec_;
+    arch::PageTable stage2_;
+    std::vector<std::unique_ptr<Vcpu>> vcpus_;
+};
+
+}  // namespace hpcsec::hafnium

@@ -1,0 +1,40 @@
+#include "kitten/aspace.h"
+
+namespace hpcsec::kitten {
+
+bool Aspace::add_region(const AspaceRegion& region) {
+    if (region.size == 0) return false;
+    if ((region.va | region.size | region.backing) & arch::kPageMask) return false;
+    for (const auto& r : regions_) {
+        const bool disjoint = region.end() <= r.va || region.va >= r.end();
+        if (!disjoint) return false;
+    }
+    table_.map(region.va, region.backing, region.size, region.perms);
+    regions_.push_back(region);
+    return true;
+}
+
+bool Aspace::remove_region(arch::VirtAddr va) {
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+        if (it->va == va) {
+            table_.unmap(it->va, it->size);
+            regions_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+const AspaceRegion* Aspace::find_region(arch::VirtAddr va) const {
+    for (const auto& r : regions_) {
+        if (va >= r.va && va < r.end()) return &r;
+    }
+    return nullptr;
+}
+
+bool Aspace::add_idmap(const std::string& name, arch::VirtAddr base,
+                       std::uint64_t size, std::uint8_t perms) {
+    return add_region({name, base, size, base, perms});
+}
+
+}  // namespace hpcsec::kitten

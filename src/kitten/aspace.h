@@ -1,0 +1,64 @@
+// Kitten-style address spaces.
+//
+// Kitten exposes physical resources directly: an aspace is a small list of
+// explicitly placed regions (no demand paging, no overcommit), backed by a
+// real stage-1 page table. The ARM64 port builds its kernel idmap and task
+// aspaces through this interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/page_table.h"
+#include "arch/types.h"
+
+namespace hpcsec::kitten {
+
+struct AspaceRegion {
+    std::string name;
+    arch::VirtAddr va = 0;
+    std::uint64_t size = 0;
+    arch::IpaAddr backing = 0;  ///< guest-physical backing start
+    std::uint8_t perms = arch::kPermRW;
+
+    [[nodiscard]] arch::VirtAddr end() const { return va + size; }
+};
+
+class Aspace {
+public:
+    explicit Aspace(std::string name, arch::Asid asid = 1)
+        : name_(std::move(name)), asid_(asid) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] arch::Asid asid() const { return asid_; }
+
+    /// Add and map a region. Rejects overlap with existing regions.
+    /// Returns false (and maps nothing) on overlap or misalignment.
+    bool add_region(const AspaceRegion& region);
+
+    /// Remove a region by exact VA; unmaps it. False if not found.
+    bool remove_region(arch::VirtAddr va);
+
+    [[nodiscard]] const AspaceRegion* find_region(arch::VirtAddr va) const;
+    [[nodiscard]] const std::vector<AspaceRegion>& regions() const { return regions_; }
+
+    /// Kitten idmap convenience: VA == backing across [base, base+size).
+    bool add_idmap(const std::string& name, arch::VirtAddr base, std::uint64_t size,
+                   std::uint8_t perms);
+
+    [[nodiscard]] const arch::PageTable& table() const { return table_; }
+    [[nodiscard]] arch::PageTable& table() { return table_; }
+
+    /// Translate through the stage-1 table (functional).
+    [[nodiscard]] arch::WalkResult walk(arch::VirtAddr va) const { return table_.walk(va); }
+
+private:
+    std::string name_;
+    arch::Asid asid_;
+    std::vector<AspaceRegion> regions_;
+    arch::PageTable table_;
+};
+
+}  // namespace hpcsec::kitten

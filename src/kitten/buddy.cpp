@@ -1,0 +1,86 @@
+#include "kitten/buddy.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hpcsec::kitten {
+
+BuddyAllocator::BuddyAllocator(std::uint64_t pool_bytes, std::uint64_t min_bytes)
+    : pool_bytes_(pool_bytes), min_bytes_(min_bytes) {
+    if (pool_bytes == 0 || min_bytes == 0 || !std::has_single_bit(pool_bytes) ||
+        !std::has_single_bit(min_bytes) || min_bytes > pool_bytes) {
+        throw std::invalid_argument("BuddyAllocator: sizes must be powers of two");
+    }
+    max_order_ = std::countr_zero(pool_bytes) - std::countr_zero(min_bytes);
+    free_lists_.resize(static_cast<std::size_t>(max_order_) + 1);
+    free_lists_[static_cast<std::size_t>(max_order_)].insert(0);
+}
+
+int BuddyAllocator::order_for(std::uint64_t bytes) const {
+    if (bytes == 0) bytes = 1;
+    int order = 0;
+    while (block_bytes(order) < bytes) ++order;
+    return order;
+}
+
+std::optional<std::uint64_t> BuddyAllocator::alloc(std::uint64_t bytes) {
+    if (bytes > pool_bytes_) return std::nullopt;
+    const int want = order_for(bytes);
+    if (want > max_order_) return std::nullopt;
+    // Find the smallest free block that fits.
+    int order = want;
+    while (order <= max_order_ && free_lists_[static_cast<std::size_t>(order)].empty()) {
+        ++order;
+    }
+    if (order > max_order_) return std::nullopt;
+    // Take it and split down to the wanted order.
+    auto& list = free_lists_[static_cast<std::size_t>(order)];
+    const std::uint64_t offset = *list.begin();
+    list.erase(list.begin());
+    while (order > want) {
+        --order;
+        // Right half becomes free; keep the left half.
+        free_lists_[static_cast<std::size_t>(order)].insert(offset + block_bytes(order));
+    }
+    live_[offset] = want;
+    allocated_bytes_ += block_bytes(want);
+    return offset;
+}
+
+void BuddyAllocator::free(std::uint64_t offset) {
+    const auto it = live_.find(offset);
+    if (it == live_.end()) throw std::logic_error("BuddyAllocator::free: not allocated");
+    int order = it->second;
+    live_.erase(it);
+    allocated_bytes_ -= block_bytes(order);
+
+    std::uint64_t off = offset;
+    // Coalesce with the buddy while possible.
+    while (order < max_order_) {
+        const std::uint64_t buddy = off ^ block_bytes(order);
+        auto& list = free_lists_[static_cast<std::size_t>(order)];
+        const auto bit = list.find(buddy);
+        if (bit == list.end()) break;
+        list.erase(bit);
+        off = std::min(off, buddy);
+        ++order;
+    }
+    free_lists_[static_cast<std::size_t>(order)].insert(off);
+}
+
+std::uint64_t BuddyAllocator::largest_free_block() const {
+    for (int order = max_order_; order >= 0; --order) {
+        if (!free_lists_[static_cast<std::size_t>(order)].empty()) {
+            return block_bytes(order);
+        }
+    }
+    return 0;
+}
+
+std::size_t BuddyAllocator::fragments() const {
+    std::size_t n = 0;
+    for (const auto& list : free_lists_) n += list.size();
+    return n;
+}
+
+}  // namespace hpcsec::kitten

@@ -1,0 +1,96 @@
+#include "kitten/guest.h"
+
+#include "arch/gic.h"
+
+namespace hpcsec::kitten {
+
+KittenGuestOs::KittenGuestOs(hafnium::Spm& spm, hafnium::Vm& vm, GuestConfig config)
+    : spm_(&spm), vm_(&vm), config_(config) {
+    threads_.assign(static_cast<std::size_t>(vm.vcpu_count()), {});
+    spm.attach_guest(vm.id(), this);
+}
+
+void KittenGuestOs::set_thread(int vcpu_index, arch::Runnable* thread) {
+    auto& q = threads_.at(static_cast<std::size_t>(vcpu_index));
+    q.clear();
+    if (thread != nullptr) q.push_back(thread);
+    spm_->set_guest_context(vm_->vcpu(vcpu_index), thread);
+}
+
+void KittenGuestOs::add_thread(int vcpu_index, arch::Runnable* thread) {
+    auto& q = threads_.at(static_cast<std::size_t>(vcpu_index));
+    q.push_back(thread);
+    if (q.size() == 1) {
+        spm_->set_guest_context(vm_->vcpu(vcpu_index), thread);
+    }
+}
+
+void KittenGuestOs::start() {
+    for (int v = 0; v < vm_->vcpu_count(); ++v) {
+        hafnium::Vcpu& vcpu = vm_->vcpu(v);
+        // Para-virtual interrupt controller setup (the features Hafnium
+        // actually lets a secondary use).
+        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
+                        {arch::kIrqVirtTimer, static_cast<std::uint64_t>(v), 0, 0});
+        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
+                        {hafnium::kMessageVirq, static_cast<std::uint64_t>(v), 0, 0});
+        if (config_.tick_enabled) arm_vtimer(vcpu);
+        if (!threads_[static_cast<std::size_t>(v)].empty()) {
+            spm_->make_vcpu_ready(vcpu);
+        }
+    }
+}
+
+void KittenGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
+    const auto period =
+        spm_->platform().engine().clock().period_of_hz(config_.tick_hz);
+    const sim::SimTime deadline = spm_->platform().engine().now() + period;
+    const arch::CoreId core =
+        vcpu.running_core >= 0 ? vcpu.running_core : vcpu.assigned_core;
+    spm_->hypercall(core, vm_->id(), hafnium::Call::kVtimerSet,
+                    {deadline, static_cast<std::uint64_t>(vcpu.index()), 0, 0});
+}
+
+void KittenGuestOs::wake_runnable_vcpus() {
+    for (int v = 0; v < vm_->vcpu_count(); ++v) {
+        hafnium::Vcpu& vcpu = vm_->vcpu(v);
+        if (vcpu.state != hafnium::VcpuState::kBlocked) continue;
+        for (arch::Runnable* t : threads_[static_cast<std::size_t>(v)]) {
+            if (t->remaining_units() > 0) {
+                spm_->wake_vcpu(vcpu);
+                break;
+            }
+        }
+    }
+}
+
+sim::Cycles KittenGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
+    switch (virq) {
+        case arch::kIrqVirtTimer:
+            ++stats_.ticks;
+            if (config_.tick_enabled) arm_vtimer(vcpu);
+            return config_.tick_service;
+        case hafnium::kMessageVirq:
+            ++stats_.messages;
+            if (message_hook) message_hook();
+            return config_.msg_service;
+        default:
+            // Forwarded device IRQ (super-secondary role): generic handler.
+            return config_.msg_service;
+    }
+}
+
+arch::Runnable* KittenGuestOs::on_idle(hafnium::Vcpu& vcpu) {
+    auto& q = threads_.at(static_cast<std::size_t>(vcpu.index()));
+    // LWK run queue: the finished/blocked current thread rotates to the
+    // back; pick the first thread with work left.
+    for (std::size_t probe = 0; probe < q.size(); ++probe) {
+        arch::Runnable* t = q.front();
+        if (t->remaining_units() > 0) return t;
+        q.pop_front();
+        q.push_back(t);
+    }
+    return nullptr;  // run queue empty of work: WFI / FFA_MSG_WAIT
+}
+
+}  // namespace hpcsec::kitten

@@ -1,0 +1,42 @@
+// Finite "background burst" runnable: the unit of kworker/softirq noise.
+#pragma once
+
+#include <string>
+
+#include "arch/exec.h"
+
+namespace hpcsec::linux_fwk {
+
+class BurstWork : public arch::Runnable {
+public:
+    BurstWork(std::string label, arch::TranslationMode mode)
+        : label_(std::move(label)), mode_(mode) {
+        // Bursts are kernel-ish work: mildly memory-bound, small footprint.
+        profile_.cycles_per_unit = 1.0;  // one unit == one cycle of burst
+        profile_.mem_refs_per_unit = 0.05;
+        profile_.tlb_miss_rate = 0.05;
+        profile_.working_set_pages = 16;
+    }
+
+    /// Load a fresh burst of `cycles` of work.
+    void refill(double cycles) { remaining_ = cycles; total_ += cycles; }
+
+    [[nodiscard]] std::string_view label() const override { return label_; }
+    [[nodiscard]] double remaining_units() const override { return remaining_; }
+    void advance(double units, sim::SimTime) override {
+        remaining_ = units >= remaining_ ? 0.0 : remaining_ - units;
+    }
+    [[nodiscard]] const arch::WorkProfile& profile() const override { return profile_; }
+    [[nodiscard]] arch::TranslationMode mode() const override { return mode_; }
+
+    [[nodiscard]] double total_injected() const { return total_; }
+
+private:
+    std::string label_;
+    arch::TranslationMode mode_;
+    arch::WorkProfile profile_;
+    double remaining_ = 0.0;
+    double total_ = 0.0;
+};
+
+}  // namespace hpcsec::linux_fwk

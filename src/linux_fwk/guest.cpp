@@ -1,0 +1,71 @@
+#include "linux_fwk/guest.h"
+
+#include "arch/gic.h"
+
+namespace hpcsec::linux_fwk {
+
+LinuxGuestOs::LinuxGuestOs(hafnium::Spm& spm, hafnium::Vm& vm, LinuxGuestConfig config)
+    : spm_(&spm), vm_(&vm), config_(config) {
+    threads_.assign(static_cast<std::size_t>(vm.vcpu_count()), nullptr);
+    spm.attach_guest(vm.id(), this);
+}
+
+void LinuxGuestOs::set_thread(int vcpu_index, arch::Runnable* thread) {
+    threads_.at(static_cast<std::size_t>(vcpu_index)) = thread;
+    spm_->set_guest_context(vm_->vcpu(vcpu_index), thread);
+}
+
+void LinuxGuestOs::start() {
+    for (int v = 0; v < vm_->vcpu_count(); ++v) {
+        hafnium::Vcpu& vcpu = vm_->vcpu(v);
+        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
+                        {arch::kIrqVirtTimer, static_cast<std::uint64_t>(v), 0, 0});
+        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
+                        {hafnium::kMessageVirq, static_cast<std::uint64_t>(v), 0, 0});
+        // Enable every device SPI the SPM assigned to this VM.
+        for (const auto& dev : spm_->platform().config().devices) {
+            if (dev.spi >= 0) {
+                spm_->hypercall(vcpu.assigned_core, vm_->id(),
+                                hafnium::Call::kInterruptEnable,
+                                {static_cast<std::uint64_t>(dev.spi),
+                                 static_cast<std::uint64_t>(v), 0, 0});
+            }
+        }
+        if (config_.tick_enabled) arm_vtimer(vcpu);
+        spm_->make_vcpu_ready(vcpu);
+    }
+}
+
+void LinuxGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
+    const auto period =
+        spm_->platform().engine().clock().period_of_hz(config_.tick_hz);
+    const sim::SimTime deadline = spm_->platform().engine().now() + period;
+    const arch::CoreId core =
+        vcpu.running_core >= 0 ? vcpu.running_core : vcpu.assigned_core;
+    spm_->hypercall(core, vm_->id(), hafnium::Call::kVtimerSet,
+                    {deadline, static_cast<std::uint64_t>(vcpu.index()), 0, 0});
+}
+
+sim::Cycles LinuxGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
+    if (virq == arch::kIrqVirtTimer) {
+        ++stats_.ticks;
+        if (config_.tick_enabled) arm_vtimer(vcpu);
+        return config_.tick_service;
+    }
+    if (virq == hafnium::kMessageVirq) {
+        ++stats_.messages;
+        if (message_hook) message_hook();
+        return config_.msg_service;
+    }
+    ++stats_.device_irqs;
+    if (device_irq_hook) device_irq_hook(virq);
+    return config_.device_irq_service;
+}
+
+arch::Runnable* LinuxGuestOs::on_idle(hafnium::Vcpu& vcpu) {
+    arch::Runnable* t = threads_.at(static_cast<std::size_t>(vcpu.index()));
+    if (t != nullptr && t->remaining_units() > 0) return t;
+    return nullptr;
+}
+
+}  // namespace hpcsec::linux_fwk

@@ -1,0 +1,60 @@
+// Linux as a super-secondary ("Login") guest VM.
+//
+// The paper §IV.c: "modifying Linux to run in a semi-privileged VM context
+// … the addition of the same para-virtual interrupt controller interface as
+// is required in secondary VMs as well as the virtual timer." The login VM
+// owns the device MMIO map and services the device IRQs that the primary
+// forwards (or that the SPM routes directly under the selective policy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hafnium/interfaces.h"
+#include "hafnium/spm.h"
+
+namespace hpcsec::linux_fwk {
+
+struct LinuxGuestConfig {
+    double tick_hz = 250.0;
+    sim::Cycles tick_service = 7500;
+    sim::Cycles device_irq_service = 3200;  ///< Linux driver top half + IRQ exit
+    sim::Cycles msg_service = 2500;
+    bool tick_enabled = true;
+};
+
+class LinuxGuestOs : public hafnium::GuestOsItf {
+public:
+    LinuxGuestOs(hafnium::Spm& spm, hafnium::Vm& vm, LinuxGuestConfig config = {});
+    ~LinuxGuestOs() override = default;
+
+    /// Optional user-space workload on a VCPU (the "login environment").
+    void set_thread(int vcpu_index, arch::Runnable* thread);
+
+    void start();
+
+    std::function<void()> message_hook;
+    std::function<void(int irq)> device_irq_hook;
+
+    // --- GuestOsItf -----------------------------------------------------------
+    sim::Cycles on_virq(hafnium::Vcpu& vcpu, int virq) override;
+    arch::Runnable* on_idle(hafnium::Vcpu& vcpu) override;
+
+    struct Stats {
+        std::uint64_t ticks = 0;
+        std::uint64_t device_irqs = 0;
+        std::uint64_t messages = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+    void arm_vtimer(hafnium::Vcpu& vcpu);
+
+    hafnium::Spm* spm_;
+    hafnium::Vm* vm_;
+    LinuxGuestConfig config_;
+    std::vector<arch::Runnable*> threads_;
+    Stats stats_;
+};
+
+}  // namespace hpcsec::linux_fwk

@@ -1,0 +1,59 @@
+// Discrete-event simulation engine.
+//
+// One Engine instance drives an entire simulated node: every core, timer,
+// hypervisor and guest-kernel action is an event on this queue. The engine
+// is single-threaded and fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace hpcsec::sim {
+
+/// Event priorities: lower runs first at equal timestamps.
+enum Priority : int {
+    kPrioInterrupt = 0,   ///< hardware interrupt assertion
+    kPrioKernel = 10,     ///< kernel/hypervisor bookkeeping
+    kPrioCompletion = 20, ///< workload chunk completions
+    kPrioDefault = 50,
+};
+
+class Engine {
+public:
+    explicit Engine(ClockSpec clock = {}) : clock_(clock) {}
+
+    [[nodiscard]] SimTime now() const { return now_; }
+    [[nodiscard]] const ClockSpec& clock() const { return clock_; }
+
+    EventId at(SimTime when, EventFn fn, int priority = kPrioDefault);
+    EventId after(Cycles delay, EventFn fn, int priority = kPrioDefault);
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /// Run until the queue drains or `stop()` is called.
+    void run();
+
+    /// Run events with timestamp <= deadline; afterwards now() == deadline
+    /// (unless stopped earlier). Pending later events remain queued.
+    void run_until(SimTime deadline);
+
+    /// Request that run()/run_until() return after the current event.
+    void stop() { stopped_ = true; }
+
+    [[nodiscard]] bool stopped() const { return stopped_; }
+    [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+    [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+private:
+    void dispatch_one();
+
+    ClockSpec clock_;
+    EventQueue queue_;
+    SimTime now_ = 0;
+    bool stopped_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpcsec::sim

@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace hpcsec::sim {
+
+EventId EventQueue::schedule(SimTime when, int priority, EventFn fn) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, priority, seq, std::move(fn)});
+    pending_.insert(seq);
+    ++live_;
+    return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (!id.valid()) return false;
+    const auto it = pending_.find(id.seq);
+    if (it == pending_.end()) return false;  // already ran or cancelled
+    pending_.erase(it);
+    cancelled_.insert(id.seq);
+    --live_;
+    return true;
+}
+
+void EventQueue::drop_tombstones() {
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().seq);
+        if (it == cancelled_.end()) return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+SimTime EventQueue::next_time() {
+    drop_tombstones();
+    return heap_.empty() ? kTimeNever : heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+    drop_tombstones();
+    // const_cast to move the closure out; the entry is popped immediately.
+    auto& top = const_cast<Entry&>(heap_.top());
+    Popped out{top.when, std::move(top.fn)};
+    pending_.erase(top.seq);
+    heap_.pop();
+    --live_;
+    return out;
+}
+
+void EventQueue::clear() {
+    heap_ = {};
+    cancelled_.clear();
+    pending_.clear();
+    live_ = 0;
+}
+
+}  // namespace hpcsec::sim

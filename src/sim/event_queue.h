@@ -1,0 +1,74 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps are ordered by (priority, insertion sequence) so
+// runs are bit-reproducible regardless of container internals. Cancellation
+// is O(1) via a tombstone set; tombstoned events are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hpcsec::sim {
+
+/// Handle identifying a scheduled event, usable for cancellation.
+struct EventId {
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+public:
+    /// Lower `priority` runs first among events with equal timestamps.
+    EventId schedule(SimTime when, int priority, EventFn fn);
+
+    /// Cancel a pending event. Returns false if it already ran or was
+    /// cancelled (cancelling an invalid id is a harmless no-op).
+    bool cancel(EventId id);
+
+    [[nodiscard]] bool empty() const { return live_ == 0; }
+    [[nodiscard]] std::size_t size() const { return live_; }
+
+    /// Timestamp of the next live event; kTimeNever when empty.
+    [[nodiscard]] SimTime next_time();
+
+    /// Pop and return the next live event. Precondition: !empty().
+    struct Popped {
+        SimTime when;
+        EventFn fn;
+    };
+    Popped pop();
+
+    void clear();
+
+private:
+    struct Entry {
+        SimTime when;
+        int priority;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            if (a.priority != b.priority) return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void drop_tombstones();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::uint64_t next_seq_ = 1;
+    std::size_t live_ = 0;
+};
+
+}  // namespace hpcsec::sim

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// All stochastic behaviour in the simulation (background-noise arrival times,
+// workload seeds, benchmark trials) flows through Rng so that a single seed
+// reproduces an identical timeline. The generator is xoshiro256**, seeded via
+// SplitMix64 per the reference recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hpcsec::sim {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** — fast, high-quality, deterministic 64-bit PRNG.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Normal deviate via Marsaglia polar method.
+    double normal(double mean, double stddev);
+
+    /// Derive an independent child stream (for per-trial / per-core streams).
+    [[nodiscard]] Rng split();
+
+private:
+    std::array<std::uint64_t, 4> s_{};
+    // Cached second deviate for the polar method.
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace hpcsec::sim

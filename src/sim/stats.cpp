@@ -1,0 +1,94 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hpcsec::sim {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    mean_ += delta * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Sample::percentile(double p) {
+    if (values_.empty()) return 0.0;
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+    const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+RunningStats Sample::stats() const {
+    RunningStats s;
+    for (double v : values_) s.add(v);
+    return s;
+}
+
+LogHistogram::LogHistogram(double lo, double base, std::size_t nbuckets)
+    : lo_(lo), base_(base), counts_(nbuckets, 0) {}
+
+void LogHistogram::add(double x) {
+    ++total_;
+    std::size_t i = 0;
+    if (x > lo_) {
+        i = static_cast<std::size_t>(std::log(x / lo_) / std::log(base_)) + 1;
+        i = std::min(i, counts_.size() - 1);
+    }
+    ++counts_[i];
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+    return i == 0 ? 0.0 : lo_ * std::pow(base_, static_cast<double>(i - 1));
+}
+
+std::string LogHistogram::format(const std::string& unit) const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        os << "  >= " << bucket_lo(i) << " " << unit << ": " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace hpcsec::sim

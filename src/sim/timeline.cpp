@@ -1,0 +1,87 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hpcsec::sim {
+
+void Timeline::record(int core, SimTime start, SimTime end, char kind,
+                      std::string_view label) {
+    if (spans_.size() >= max_spans_ || end <= start) return;
+    spans_.push_back(Span{core, start, end, kind, std::string(label)});
+}
+
+Cycles Timeline::total(char kind, int core, SimTime from, SimTime to) const {
+    Cycles sum = 0;
+    for (const auto& s : spans_) {
+        if (s.kind != kind || (core >= 0 && s.core != core)) continue;
+        const SimTime lo = std::max(s.start, from);
+        const SimTime hi = std::min(s.end, to);
+        if (hi > lo) sum += hi - lo;
+    }
+    return sum;
+}
+
+std::string Timeline::render(SimTime from, SimTime to, int ncores, int cols) const {
+    if (to <= from || cols <= 0 || ncores <= 0) return {};
+    const double bucket =
+        static_cast<double>(to - from) / static_cast<double>(cols);
+
+    // weight[core][col][kind-index]; kinds: 0 '#'(W), 1 'o'(O), 2 't'(T)
+    std::vector<std::vector<std::array<double, 3>>> weight(
+        static_cast<std::size_t>(ncores),
+        std::vector<std::array<double, 3>>(static_cast<std::size_t>(cols),
+                                           {0.0, 0.0, 0.0}));
+    const auto kind_index = [](char k) {
+        switch (k) {
+            case 'W': return 0;
+            case 'O': return 1;
+            default: return 2;
+        }
+    };
+    for (const auto& s : spans_) {
+        if (s.core < 0 || s.core >= ncores || s.end <= from || s.start >= to) continue;
+        const SimTime lo = std::max(s.start, from);
+        const SimTime hi = std::min(s.end, to);
+        const int c0 = static_cast<int>(static_cast<double>(lo - from) / bucket);
+        const int c1 = std::min(
+            cols - 1, static_cast<int>(static_cast<double>(hi - 1 - from) / bucket));
+        for (int c = c0; c <= c1; ++c) {
+            const double cell_lo = static_cast<double>(from) + c * bucket;
+            const double cell_hi = cell_lo + bucket;
+            const double overlap = std::min(static_cast<double>(hi), cell_hi) -
+                                   std::max(static_cast<double>(lo), cell_lo);
+            if (overlap > 0) {
+                weight[static_cast<std::size_t>(s.core)][static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(kind_index(s.kind))] += overlap;
+            }
+        }
+    }
+
+    static constexpr char kGlyph[3] = {'#', 'o', 't'};
+    std::ostringstream os;
+    for (int core = 0; core < ncores; ++core) {
+        os << "core" << core << " |";
+        for (int c = 0; c < cols; ++c) {
+            const auto& w = weight[static_cast<std::size_t>(core)]
+                                  [static_cast<std::size_t>(c)];
+            const double busy = w[0] + w[1] + w[2];
+            if (busy < bucket * 0.05) {
+                os << '.';
+                continue;
+            }
+            // Overhead/transients are what the strip exists to show:
+            // highlight them whenever they are a meaningful share of the
+            // bucket, even if workload cycles dominate in absolute terms.
+            if (w[1] + w[2] >= bucket * 0.10) {
+                os << (w[1] >= w[2] ? kGlyph[1] : kGlyph[2]);
+            } else {
+                os << kGlyph[0];
+            }
+        }
+        os << "|\n";
+    }
+    return os.str();
+}
+
+}  // namespace hpcsec::sim

@@ -1,0 +1,54 @@
+// Execution timeline recorder.
+//
+// Collects per-core spans (workload execution vs. kernel/hypervisor
+// overhead) emitted by the executors and renders them as an ASCII Gantt
+// strip — the quickest way to *see* Fig. 5 vs Fig. 6 style noise. Purely
+// observational: attaching a timeline never changes simulated timing.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hpcsec::sim {
+
+class Timeline {
+public:
+    /// Span kinds: 'W' workload, 'O' kernel/hyp overhead, 'T' TLB transient.
+    struct Span {
+        int core;
+        SimTime start;
+        SimTime end;
+        char kind;
+        std::string label;
+    };
+
+    explicit Timeline(std::size_t max_spans = 1u << 20) : max_spans_(max_spans) {}
+
+    void record(int core, SimTime start, SimTime end, char kind,
+                std::string_view label);
+
+    [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+    [[nodiscard]] bool saturated() const { return spans_.size() >= max_spans_; }
+    void clear() { spans_.clear(); }
+
+    /// Total span time per kind on one core (or all cores with core == -1),
+    /// clamped to the window [from, to).
+    [[nodiscard]] Cycles total(char kind, int core = -1, SimTime from = 0,
+                               SimTime to = kTimeNever) const;
+
+    /// Render [from, to) as one text row per core, `cols` characters wide.
+    /// Each cell shows the kind that dominates its time bucket:
+    /// '#' workload, 'o' overhead, 't' transient, '.' idle.
+    [[nodiscard]] std::string render(SimTime from, SimTime to, int ncores,
+                                     int cols = 100) const;
+
+private:
+    std::size_t max_spans_;
+    std::vector<Span> spans_;
+};
+
+}  // namespace hpcsec::sim

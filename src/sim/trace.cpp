@@ -1,0 +1,24 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace hpcsec::sim {
+
+void TraceLog::log(SimTime when, TraceCat cat, int core, std::string text) {
+    if (!enabled(cat)) return;
+    if (echo_) {
+        std::fprintf(stderr, "[%12llu c%d] %s\n",
+                     static_cast<unsigned long long>(when), core, text.c_str());
+    }
+    if (retain_) records_.push_back(Record{when, cat, core, std::move(text)});
+}
+
+std::size_t TraceLog::count_matching(const std::string& substr) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+        if (r.text.find(substr) != std::string::npos) ++n;
+    }
+    return n;
+}
+
+}  // namespace hpcsec::sim

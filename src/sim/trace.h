@@ -1,0 +1,60 @@
+// Lightweight, category-filtered trace log for debugging simulations.
+//
+// Tracing is off by default and costs one branch per call site when
+// disabled. Records can be retained in memory (for tests that assert on
+// event ordering) or streamed to stderr.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace hpcsec::sim {
+
+enum class TraceCat : std::uint32_t {
+    kIrq = 1u << 0,
+    kSched = 1u << 1,
+    kHyp = 1u << 2,
+    kVm = 1u << 3,
+    kMmu = 1u << 4,
+    kWorkload = 1u << 5,
+    kBoot = 1u << 6,
+    kChannel = 1u << 7,
+    kAll = 0xffffffffu,
+};
+
+class TraceLog {
+public:
+    struct Record {
+        SimTime when;
+        TraceCat cat;
+        int core;
+        std::string text;
+    };
+
+    void enable(TraceCat mask) { mask_ |= static_cast<std::uint32_t>(mask); }
+    void disable(TraceCat mask) { mask_ &= ~static_cast<std::uint32_t>(mask); }
+    void set_retain(bool retain) { retain_ = retain; }
+    void set_echo(bool echo) { echo_ = echo; }
+
+    [[nodiscard]] bool enabled(TraceCat cat) const {
+        return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+    }
+
+    void log(SimTime when, TraceCat cat, int core, std::string text);
+
+    [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+    [[nodiscard]] std::size_t count_matching(const std::string& substr) const;
+    void clear() { records_.clear(); }
+
+private:
+    std::uint32_t mask_ = 0;
+    bool retain_ = false;
+    bool echo_ = false;
+    std::vector<Record> records_;
+};
+
+}  // namespace hpcsec::sim

@@ -1,0 +1,140 @@
+#include "workloads/hpcg.h"
+
+#include <cmath>
+
+namespace hpcsec::wl {
+
+HpcgKernel::HpcgKernel(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+    // HPCG's right-hand side: b = A * ones has entries 26 - (neighbors).
+    b_.assign(rows(), 0.0);
+    std::vector<double> ones(rows(), 1.0);
+    spmv(ones, b_);
+}
+
+template <typename Fn>
+void HpcgKernel::row_visit(int i, int j, int k, Fn&& fn) const {
+    for (int dk = -1; dk <= 1; ++dk) {
+        for (int dj = -1; dj <= 1; ++dj) {
+            for (int di = -1; di <= 1; ++di) {
+                const int ii = i + di, jj = j + dj, kk = k + dk;
+                if (ii < 0 || ii >= nx_ || jj < 0 || jj >= ny_ || kk < 0 || kk >= nz_) {
+                    continue;
+                }
+                const bool diagonal = di == 0 && dj == 0 && dk == 0;
+                fn(idx(ii, jj, kk), diagonal ? 26.0 : -1.0);
+            }
+        }
+    }
+}
+
+void HpcgKernel::spmv(const std::vector<double>& x, std::vector<double>& y) const {
+    for (int k = 0; k < nz_; ++k) {
+        for (int j = 0; j < ny_; ++j) {
+            for (int i = 0; i < nx_; ++i) {
+                double sum = 0.0;
+                row_visit(i, j, k, [&](int col, double v) { sum += v * x[static_cast<std::size_t>(col)]; });
+                y[static_cast<std::size_t>(idx(i, j, k))] = sum;
+            }
+        }
+    }
+}
+
+void HpcgKernel::symgs(const std::vector<double>& r, std::vector<double>& z) const {
+    std::fill(z.begin(), z.end(), 0.0);
+    // Forward sweep.
+    for (int k = 0; k < nz_; ++k) {
+        for (int j = 0; j < ny_; ++j) {
+            for (int i = 0; i < nx_; ++i) {
+                double sum = r[static_cast<std::size_t>(idx(i, j, k))];
+                double diag = 26.0;
+                row_visit(i, j, k, [&](int col, double v) {
+                    if (col == idx(i, j, k)) return;
+                    sum -= v * z[static_cast<std::size_t>(col)];
+                });
+                z[static_cast<std::size_t>(idx(i, j, k))] = sum / diag;
+            }
+        }
+    }
+    // Backward sweep.
+    for (int k = nz_ - 1; k >= 0; --k) {
+        for (int j = ny_ - 1; j >= 0; --j) {
+            for (int i = nx_ - 1; i >= 0; --i) {
+                double sum = r[static_cast<std::size_t>(idx(i, j, k))];
+                double diag = 26.0;
+                row_visit(i, j, k, [&](int col, double v) {
+                    if (col == idx(i, j, k)) return;
+                    sum -= v * z[static_cast<std::size_t>(col)];
+                });
+                z[static_cast<std::size_t>(idx(i, j, k))] = sum / diag;
+            }
+        }
+    }
+}
+
+double HpcgKernel::dot(const std::vector<double>& a,
+                       const std::vector<double>& b) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double HpcgKernel::flops_per_iteration() const {
+    const auto n = static_cast<double>(rows());
+    // SpMV: 27*2 per row; SymGS: two sweeps of ~27*2; dots: 3 * 2n; axpys: 3 * 2n.
+    return n * (54.0 + 108.0 + 6.0 + 6.0);
+}
+
+HpcgKernel::Result HpcgKernel::solve(int max_iters, double tolerance) {
+    const std::size_t n = rows();
+    std::vector<double> x(n, 0.0), r = b_, z(n, 0.0), p(n, 0.0), ap(n, 0.0);
+
+    Result res;
+    res.initial_residual = std::sqrt(dot(r, r));
+    double rz_old = 0.0;
+    for (int it = 0; it < max_iters; ++it) {
+        symgs(r, z);
+        const double rz = dot(r, z);
+        if (it == 0) {
+            p = z;
+        } else {
+            const double beta = rz / rz_old;
+            for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        }
+        rz_old = rz;
+        spmv(p, ap);
+        const double alpha = rz / dot(p, ap);
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        ++res.iterations;
+        res.flops += flops_per_iteration();
+        res.final_residual = std::sqrt(dot(r, r));
+        if (res.final_residual <= tolerance * res.initial_residual) break;
+    }
+    return res;
+}
+
+WorkloadSpec hpcg_spec(int nthreads) {
+    // Calibration: Fig. 8 native HPCG = 0.0018 GFlops on the 4-core A53 —
+    // 2444 cycles/flop (HPCG is brutally memory-latency-bound on this SoC
+    // and the paper's binary was unoptimized ARM64). Moderate TLB pressure:
+    // the stencil walks three planes per row.
+    WorkloadSpec s;
+    s.name = "HPCG";
+    s.metric = "GFlops";
+    s.nthreads = nthreads;
+    // 50 CG iterations; each has 2 global reductions (dot products).
+    s.supersteps = 100;
+    const double total_flops = 9.0e6;  // ~5 s at the paper's rate
+    s.units_per_thread_step = total_flops / (nthreads * s.supersteps);
+    s.metric_per_unit = 1e-9;
+    s.profile.mem_refs_per_unit = 1.5;
+    s.profile.tlb_miss_rate = 0.15;
+    s.profile.cycles_per_unit = 2444.0 - 1.5 * 0.15 * 35.0;
+    s.profile.working_set_pages = 320.0;
+    s.measurement_noise_sigma = 0.0167;  // paper stdev 3e-5/0.0018
+    return s;
+}
+
+}  // namespace hpcsec::wl

@@ -1,0 +1,57 @@
+// HPCG mini-app: real preconditioned-CG kernel + simulation spec.
+//
+// Like the reference HPCG, the kernel solves A x = b where A is the
+// 27-point stencil operator on a 3-D grid (diagonal 26, off-diagonals -1),
+// using CG preconditioned with one symmetric Gauss-Seidel sweep. The solver
+// is matrix-free; convergence of the residual is the correctness check.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace hpcsec::wl {
+
+class HpcgKernel {
+public:
+    explicit HpcgKernel(int nx = 16, int ny = 16, int nz = 16);
+
+    struct Result {
+        int iterations = 0;
+        double initial_residual = 0.0;
+        double final_residual = 0.0;
+        double flops = 0.0;
+        [[nodiscard]] double reduction() const {
+            return final_residual / initial_residual;
+        }
+    };
+
+    /// Run CG for up to `max_iters` iterations or until ||r|| drops by
+    /// `tolerance` relative to the initial residual.
+    Result solve(int max_iters = 50, double tolerance = 1e-6);
+
+    [[nodiscard]] std::size_t rows() const { return static_cast<std::size_t>(nx_) * ny_ * nz_; }
+
+    /// Reference flop count per CG iteration (SpMV + SymGS + vector ops).
+    [[nodiscard]] double flops_per_iteration() const;
+
+private:
+    void spmv(const std::vector<double>& x, std::vector<double>& y) const;
+    void symgs(const std::vector<double>& r, std::vector<double>& z) const;
+    [[nodiscard]] double dot(const std::vector<double>& a,
+                             const std::vector<double>& b) const;
+    [[nodiscard]] int idx(int i, int j, int k) const {
+        return (k * ny_ + j) * nx_ + i;
+    }
+    /// Visit the 27-point neighbourhood of (i,j,k); calls fn(col, value).
+    template <typename Fn>
+    void row_visit(int i, int j, int k, Fn&& fn) const;
+
+    int nx_, ny_, nz_;
+    std::vector<double> b_;
+};
+
+[[nodiscard]] WorkloadSpec hpcg_spec(int nthreads = 4);
+
+}  // namespace hpcsec::wl

@@ -1,0 +1,391 @@
+#include "workloads/nas.h"
+
+#include <cmath>
+
+namespace hpcsec::wl {
+
+// ---------------------------------------------------------------------------
+// NAS random stream (randlc)
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr double kR23 = 0x1.0p-23;
+constexpr double kR46 = 0x1.0p-46;
+constexpr double kT23 = 0x1.0p23;
+constexpr double kT46 = 0x1.0p46;
+constexpr double kNasA = 1220703125.0;  // 5^13
+
+/// One randlc step: x = a*x mod 2^46, returning x * 2^-46.
+double randlc(double& x, double a) {
+    const double t1a = kR23 * a;
+    const double a1 = static_cast<double>(static_cast<long long>(t1a));
+    const double a2 = a - kT23 * a1;
+
+    const double t1x = kR23 * x;
+    const double x1 = static_cast<double>(static_cast<long long>(t1x));
+    const double x2 = x - kT23 * x1;
+
+    const double t1 = a1 * x2 + a2 * x1;
+    const double t2 = static_cast<double>(static_cast<long long>(kR23 * t1));
+    const double z = t1 - kT23 * t2;
+    const double t3 = kT23 * z + a2 * x2;
+    const double t4 = static_cast<double>(static_cast<long long>(kR46 * t3));
+    x = t3 - kT46 * t4;
+    return kR46 * x;
+}
+}  // namespace
+
+NasRandom::NasRandom(double seed) : x_(seed) {}
+
+double NasRandom::next() { return randlc(x_, kNasA); }
+
+void NasRandom::skip(std::uint64_t n) {
+    // Compute t = a^n mod 2^46 by repeated squaring, then x = t*x mod 2^46.
+    // randlc(x, a) performs exactly "x = a*x mod 2^46", so it doubles as our
+    // 46-bit modular multiplier.
+    double an = kNasA;
+    double t = 1.0;
+    while (n > 0) {
+        if (n & 1) (void)randlc(t, an);   // t = an * t mod 2^46
+        double sq = an;
+        (void)randlc(sq, an);             // sq = an^2 mod 2^46
+        an = sq;
+        n >>= 1;
+    }
+    (void)randlc(x_, t);                  // x = t * x mod 2^46
+}
+
+// ---------------------------------------------------------------------------
+// EP
+// ---------------------------------------------------------------------------
+
+EpKernel::Result EpKernel::run(std::uint64_t pairs, double seed) {
+    NasRandom rng(seed);
+    Result r;
+    r.pairs_generated = pairs;
+    for (std::uint64_t p = 0; p < pairs; ++p) {
+        const double x = 2.0 * rng.next() - 1.0;
+        const double y = 2.0 * rng.next() - 1.0;
+        const double t = x * x + y * y;
+        if (t > 1.0 || t == 0.0) continue;
+        ++r.pairs_accepted;
+        const double factor = std::sqrt(-2.0 * std::log(t) / t);
+        const double gx = x * factor;
+        const double gy = y * factor;
+        r.sx += gx;
+        r.sy += gy;
+        const auto annulus = static_cast<std::size_t>(
+            std::min(9.0, std::floor(std::max(std::fabs(gx), std::fabs(gy)))));
+        ++r.annulus_counts[annulus];
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------------
+// CG (eigenvalue estimation on a Laplacian)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// y = A x for the 2-D 5-point Laplacian on an n x n grid (Dirichlet).
+void laplacian_apply(int n, const std::vector<double>& x, std::vector<double>& y) {
+    for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i) {
+            const std::size_t p = static_cast<std::size_t>(j) * n + i;
+            double v = 4.0 * x[p];
+            if (i > 0) v -= x[p - 1];
+            if (i < n - 1) v -= x[p + 1];
+            if (j > 0) v -= x[p - static_cast<std::size_t>(n)];
+            if (j < n - 1) v += -x[p + static_cast<std::size_t>(n)];
+            y[p] = v;
+        }
+    }
+}
+
+double vdot(const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+}  // namespace
+
+double NasCgKernel::analytic_lambda_min(int n) {
+    const double s = 2.0 * (1.0 - std::cos(M_PI / (n + 1)));
+    return 2.0 * s;  // lambda_x + lambda_y for the smallest mode
+}
+
+NasCgKernel::Result NasCgKernel::run(int n, int outer_iters, int cg_iters) {
+    const std::size_t size = static_cast<std::size_t>(n) * n;
+    std::vector<double> x(size, 1.0), z(size, 0.0), r(size), p(size), q(size);
+    Result res;
+
+    // Inverse power iteration: z = A^{-1} x via CG; zeta = x.z / z.z -> lambda_min.
+    for (int outer = 0; outer < outer_iters; ++outer) {
+        // CG solve A z = x.
+        std::fill(z.begin(), z.end(), 0.0);
+        r = x;
+        p = r;
+        double rr = vdot(r, r);
+        for (int it = 0; it < cg_iters; ++it) {
+            laplacian_apply(n, p, q);
+            const double alpha = rr / vdot(p, q);
+            for (std::size_t i = 0; i < size; ++i) {
+                z[i] += alpha * p[i];
+                r[i] -= alpha * q[i];
+            }
+            const double rr_new = vdot(r, r);
+            const double beta = rr_new / rr;
+            rr = rr_new;
+            for (std::size_t i = 0; i < size; ++i) p[i] = r[i] + beta * p[i];
+            res.flops += static_cast<double>(size) * (9.0 + 4.0 + 4.0 + 2.0 + 2.0);
+            ++res.iterations;
+        }
+        res.final_residual = std::sqrt(rr);
+        // Rayleigh quotient of the inverse iterate.
+        res.zeta = vdot(x, z) / vdot(z, z);
+        // Normalize z as the next x.
+        const double norm = std::sqrt(vdot(z, z));
+        for (std::size_t i = 0; i < size; ++i) x[i] = z[i] / norm;
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// ADI (BT/SP core)
+// ---------------------------------------------------------------------------
+
+AdiKernel::AdiKernel(int nx, int ny, int nz, double dt)
+    : nx_(nx), ny_(ny), nz_(nz), dt_(dt), u_(static_cast<std::size_t>(nx) * ny * nz) {
+    // Initial condition: a separable bump, decays toward zero steady state.
+    for (int k = 0; k < nz; ++k) {
+        for (int j = 0; j < ny; ++j) {
+            for (int i = 0; i < nx; ++i) {
+                u_[idx(i, j, k)] = std::sin(M_PI * (i + 1) / (nx + 1)) *
+                                   std::sin(M_PI * (j + 1) / (ny + 1)) *
+                                   std::sin(M_PI * (k + 1) / (nz + 1));
+            }
+        }
+    }
+}
+
+void AdiKernel::thomas(std::vector<double>& a, std::vector<double>& b,
+                       std::vector<double>& c, std::vector<double>& d) {
+    const std::size_t n = b.size();
+    for (std::size_t i = 1; i < n; ++i) {
+        const double m = a[i] / b[i - 1];
+        b[i] -= m * c[i - 1];
+        d[i] -= m * d[i - 1];
+    }
+    d[n - 1] /= b[n - 1];
+    for (std::size_t i = n - 1; i-- > 0;) {
+        d[i] = (d[i] - c[i] * d[i + 1]) / b[i];
+    }
+}
+
+void AdiKernel::sweep_x() {
+    std::vector<double> a(static_cast<std::size_t>(nx_)), b(a.size()), c(a.size()),
+        d(a.size());
+    for (int k = 0; k < nz_; ++k) {
+        for (int j = 0; j < ny_; ++j) {
+            for (int i = 0; i < nx_; ++i) {
+                a[static_cast<std::size_t>(i)] = -dt_;
+                b[static_cast<std::size_t>(i)] = 1.0 + 2.0 * dt_;
+                c[static_cast<std::size_t>(i)] = -dt_;
+                d[static_cast<std::size_t>(i)] = u_[idx(i, j, k)];
+            }
+            thomas(a, b, c, d);
+            for (int i = 0; i < nx_; ++i) u_[idx(i, j, k)] = d[static_cast<std::size_t>(i)];
+        }
+    }
+}
+
+void AdiKernel::sweep_y() {
+    std::vector<double> a(static_cast<std::size_t>(ny_)), b(a.size()), c(a.size()),
+        d(a.size());
+    for (int k = 0; k < nz_; ++k) {
+        for (int i = 0; i < nx_; ++i) {
+            for (int j = 0; j < ny_; ++j) {
+                a[static_cast<std::size_t>(j)] = -dt_;
+                b[static_cast<std::size_t>(j)] = 1.0 + 2.0 * dt_;
+                c[static_cast<std::size_t>(j)] = -dt_;
+                d[static_cast<std::size_t>(j)] = u_[idx(i, j, k)];
+            }
+            thomas(a, b, c, d);
+            for (int j = 0; j < ny_; ++j) u_[idx(i, j, k)] = d[static_cast<std::size_t>(j)];
+        }
+    }
+}
+
+void AdiKernel::sweep_z() {
+    std::vector<double> a(static_cast<std::size_t>(nz_)), b(a.size()), c(a.size()),
+        d(a.size());
+    for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+            for (int k = 0; k < nz_; ++k) {
+                a[static_cast<std::size_t>(k)] = -dt_;
+                b[static_cast<std::size_t>(k)] = 1.0 + 2.0 * dt_;
+                c[static_cast<std::size_t>(k)] = -dt_;
+                d[static_cast<std::size_t>(k)] = u_[idx(i, j, k)];
+            }
+            thomas(a, b, c, d);
+            for (int k = 0; k < nz_; ++k) u_[idx(i, j, k)] = d[static_cast<std::size_t>(k)];
+        }
+    }
+}
+
+double AdiKernel::advance(int steps) {
+    for (int s = 0; s < steps; ++s) {
+        const std::vector<double> before = u_;
+        sweep_x();
+        sweep_y();
+        sweep_z();
+        double change = 0.0;
+        for (std::size_t i = 0; i < u_.size(); ++i) {
+            change = std::max(change, std::fabs(u_[i] - before[i]));
+        }
+        last_change_ = change;
+    }
+    return last_change_;
+}
+
+double AdiKernel::max_abs() const {
+    double m = 0.0;
+    for (const double v : u_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+// ---------------------------------------------------------------------------
+// SSOR (LU core)
+// ---------------------------------------------------------------------------
+
+SsorKernel::SsorKernel(int nx, int ny, int nz, double omega)
+    : nx_(nx), ny_(ny), nz_(nz), omega_(omega),
+      u_(static_cast<std::size_t>(nx) * ny * nz, 0.0),
+      f_(static_cast<std::size_t>(nx) * ny * nz, 1.0) {}
+
+void SsorKernel::sweep(bool forward) {
+    const auto relax = [&](int i, int j, int k) {
+        double sum = f_[idx(i, j, k)];
+        if (i > 0) sum += u_[idx(i - 1, j, k)];
+        if (i < nx_ - 1) sum += u_[idx(i + 1, j, k)];
+        if (j > 0) sum += u_[idx(i, j - 1, k)];
+        if (j < ny_ - 1) sum += u_[idx(i, j + 1, k)];
+        if (k > 0) sum += u_[idx(i, j, k - 1)];
+        if (k < nz_ - 1) sum += u_[idx(i, j, k + 1)];
+        const double gs = sum / 6.0;
+        u_[idx(i, j, k)] = (1.0 - omega_) * u_[idx(i, j, k)] + omega_ * gs;
+    };
+    if (forward) {
+        for (int k = 0; k < nz_; ++k)
+            for (int j = 0; j < ny_; ++j)
+                for (int i = 0; i < nx_; ++i) relax(i, j, k);
+    } else {
+        for (int k = nz_ - 1; k >= 0; --k)
+            for (int j = ny_ - 1; j >= 0; --j)
+                for (int i = nx_ - 1; i >= 0; --i) relax(i, j, k);
+    }
+}
+
+double SsorKernel::residual_norm() const {
+    double norm = 0.0;
+    for (int k = 0; k < nz_; ++k) {
+        for (int j = 0; j < ny_; ++j) {
+            for (int i = 0; i < nx_; ++i) {
+                double sum = f_[idx(i, j, k)];
+                if (i > 0) sum += u_[idx(i - 1, j, k)];
+                if (i < nx_ - 1) sum += u_[idx(i + 1, j, k)];
+                if (j > 0) sum += u_[idx(i, j - 1, k)];
+                if (j < ny_ - 1) sum += u_[idx(i, j + 1, k)];
+                if (k > 0) sum += u_[idx(i, j, k - 1)];
+                if (k < nz_ - 1) sum += u_[idx(i, j, k + 1)];
+                const double r = sum - 6.0 * u_[idx(i, j, k)];
+                norm += r * r;
+            }
+        }
+    }
+    return std::sqrt(norm);
+}
+
+SsorKernel::Result SsorKernel::relax(int iterations) {
+    Result res;
+    res.initial_residual = residual_norm();
+    for (int it = 0; it < iterations; ++it) {
+        sweep(true);
+        sweep(false);
+        ++res.iterations;
+    }
+    res.final_residual = residual_norm();
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Simulation specs — calibrated to Fig. 10's native Mop/s on 4x1.1 GHz:
+// cycles/op = 4*1.1e9 / (Mop/s * 1e6).
+// ---------------------------------------------------------------------------
+
+namespace {
+WorkloadSpec nas_spec_common(const char* name, int nthreads, int supersteps,
+                             double native_mops, double sim_seconds,
+                             double refs, double miss, double ws_pages,
+                             double sigma) {
+    WorkloadSpec s;
+    s.name = name;
+    s.metric = "Mop/s";
+    s.nthreads = nthreads;
+    s.supersteps = supersteps;
+    const double total_ops = native_mops * 1e6 * sim_seconds;
+    s.units_per_thread_step = total_ops / (nthreads * supersteps);
+    s.metric_per_unit = 1e-6;
+    const double cycles_per_op = 4.0 * 1.1e9 / (native_mops * 1e6);
+    s.profile.mem_refs_per_unit = refs;
+    s.profile.tlb_miss_rate = miss;
+    s.profile.cycles_per_unit = cycles_per_op - refs * miss * 35.0;
+    s.profile.working_set_pages = ws_pages;
+    s.measurement_noise_sigma = sigma;
+    return s;
+}
+}  // namespace
+
+// TLB notes: at the paper's problem sizes the NAS working sets fit the
+// A53's 512-entry TLB once warm (the Fig. 10 Kitten column is within noise
+// of native), so steady-state miss rates are tiny; what distinguishes the
+// suite under a noisy scheduler is (a) synchronization granularity — LU's
+// SSOR wavefronts sync per plane, BT/SP per ADI sweep, CG per reduction,
+// EP once — and (b) the TLB-refill transient each preemption re-incurs
+// (working_set_pages).
+
+WorkloadSpec nas_lu_spec(int nthreads) {
+    // LU: finest-grained sync of the suite (per-wavefront), which is why it
+    // is the one benchmark the paper shows losing ground under Linux.
+    return nas_spec_common("LU", nthreads, 1500, 33.16, 5.0, 0.8, 0.002, 288.0,
+                           0.0012);
+}
+
+WorkloadSpec nas_bt_spec(int nthreads) {
+    // BT: block-tridiagonal ADI; coarse sweeps, dense per-point math.
+    return nas_spec_common("BT", nthreads, 200, 34.214, 5.0, 0.7, 0.001, 48.0,
+                           0.0010);
+}
+
+WorkloadSpec nas_cg_spec(int nthreads) {
+    // CG: sparse gathers (slightly higher residual miss rate), reductions.
+    return nas_spec_common("CG", nthreads, 150, 4.38, 5.0, 1.2, 0.006, 48.0,
+                           0.0012);
+}
+
+WorkloadSpec nas_ep_spec(int nthreads) {
+    // EP: embarrassingly parallel, register-resident, a single join.
+    return nas_spec_common("EP", nthreads, 1, 0.77, 5.0, 0.05, 0.001, 8.0, 0.0010);
+}
+
+WorkloadSpec nas_sp_spec(int nthreads) {
+    // SP: scalar penta-diagonal ADI; between BT and LU in sync intensity.
+    return nas_spec_common("SP", nthreads, 400, 15.084, 5.0, 0.7, 0.002, 48.0,
+                           0.0011);
+}
+
+std::vector<WorkloadSpec> nas_suite(int nthreads) {
+    return {nas_lu_spec(nthreads), nas_bt_spec(nthreads), nas_cg_spec(nthreads),
+            nas_ep_spec(nthreads), nas_sp_spec(nthreads)};
+}
+
+}  // namespace hpcsec::wl

@@ -1,0 +1,132 @@
+// NAS Parallel Benchmark subset (LU, BT, CG, EP, SP): real mini-kernels +
+// simulation specs for Figs. 9-10.
+//
+// Each kernel is a faithful miniature of the NAS benchmark's numerical
+// core, with a built-in correctness check:
+//   EP  — NAS linear-congruential stream (a = 5^13, mod 2^46), acceptance-
+//         rejection Gaussian pairs, per-annulus counts;
+//   CG  — conjugate gradient eigenvalue estimation on a Laplacian system;
+//   BT/SP — ADI time stepping with Thomas tridiagonal solves per direction;
+//   LU  — SSOR lower/upper wavefront relaxation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace hpcsec::wl {
+
+/// NAS pseudorandom stream: x_{k+1} = a * x_k mod 2^46.
+class NasRandom {
+public:
+    explicit NasRandom(double seed = 314159265.0);
+    /// Next uniform deviate in (0, 1).
+    double next();
+    /// Skip ahead n steps in O(log n) (NAS's randlc power algorithm).
+    void skip(std::uint64_t n);
+
+private:
+    double x_;
+};
+
+class EpKernel {
+public:
+    struct Result {
+        std::uint64_t pairs_generated = 0;
+        std::uint64_t pairs_accepted = 0;
+        double sx = 0.0;
+        double sy = 0.0;
+        std::array<std::uint64_t, 10> annulus_counts{};
+    };
+
+    /// Generate `pairs` candidate pairs from the NAS stream.
+    static Result run(std::uint64_t pairs, double seed = 271828183.0);
+};
+
+class NasCgKernel {
+public:
+    struct Result {
+        int iterations = 0;
+        double zeta = 0.0;           ///< eigenvalue-shift estimate
+        double final_residual = 0.0;
+        double flops = 0.0;
+    };
+
+    /// CG-based eigenvalue estimation for the 2-D Laplacian on an n x n
+    /// grid (smallest eigenvalue has the known closed form
+    /// 2*(1-cos(pi/(n+1))) per dimension).
+    static Result run(int n = 24, int outer_iters = 5, int cg_iters = 15);
+
+    /// Analytic smallest eigenvalue of the test operator.
+    static double analytic_lambda_min(int n);
+};
+
+/// Scalar ADI (alternating-direction implicit) heat-equation stepper with
+/// Thomas tridiagonal solves — the structural core of SP (scalar penta ->
+/// tri here) and BT (block tri; same sweep structure, denser per-point math).
+class AdiKernel {
+public:
+    AdiKernel(int nx, int ny, int nz, double dt = 0.05);
+
+    /// Advance `steps` time steps. Returns the max-norm change of the last
+    /// step (monotonically decreasing toward steady state).
+    double advance(int steps);
+
+    [[nodiscard]] const std::vector<double>& field() const { return u_; }
+    [[nodiscard]] double max_abs() const;
+
+private:
+    void sweep_x();
+    void sweep_y();
+    void sweep_z();
+    static void thomas(std::vector<double>& a, std::vector<double>& b,
+                       std::vector<double>& c, std::vector<double>& d);
+    [[nodiscard]] std::size_t idx(int i, int j, int k) const {
+        return (static_cast<std::size_t>(k) * ny_ + j) * nx_ + i;
+    }
+
+    int nx_, ny_, nz_;
+    double dt_;
+    std::vector<double> u_;
+    double last_change_ = 0.0;
+};
+
+/// SSOR relaxation for the 7-point Poisson system (LU's numerical core:
+/// alternating lower/upper wavefront sweeps).
+class SsorKernel {
+public:
+    SsorKernel(int nx, int ny, int nz, double omega = 1.2);
+
+    struct Result {
+        int iterations = 0;
+        double initial_residual = 0.0;
+        double final_residual = 0.0;
+    };
+
+    Result relax(int iterations);
+
+private:
+    void sweep(bool forward);
+    [[nodiscard]] double residual_norm() const;
+    [[nodiscard]] std::size_t idx(int i, int j, int k) const {
+        return (static_cast<std::size_t>(k) * ny_ + j) * nx_ + i;
+    }
+
+    int nx_, ny_, nz_;
+    double omega_;
+    std::vector<double> u_, f_;
+};
+
+// Simulation specs (calibration notes in the .cpp).
+[[nodiscard]] WorkloadSpec nas_lu_spec(int nthreads = 4);
+[[nodiscard]] WorkloadSpec nas_bt_spec(int nthreads = 4);
+[[nodiscard]] WorkloadSpec nas_cg_spec(int nthreads = 4);
+[[nodiscard]] WorkloadSpec nas_ep_spec(int nthreads = 4);
+[[nodiscard]] WorkloadSpec nas_sp_spec(int nthreads = 4);
+
+/// All five, in the paper's Fig. 9/10 order.
+[[nodiscard]] std::vector<WorkloadSpec> nas_suite(int nthreads = 4);
+
+}  // namespace hpcsec::wl

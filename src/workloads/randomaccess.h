@@ -1,0 +1,41 @@
+// HPCC RandomAccess (GUPS): real kernel + simulation spec.
+//
+// The kernel performs the canonical table ^= stream-of-pseudo-randoms
+// update loop. Verification uses the HPCC property that re-applying the
+// identical update stream restores the table to its initial contents
+// (XOR is an involution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace hpcsec::wl {
+
+class RandomAccessKernel {
+public:
+    /// Table of 2^log2_size words.
+    explicit RandomAccessKernel(unsigned log2_size = 20);
+
+    /// Apply `updates` random updates starting from a seed.
+    void run(std::uint64_t updates, std::uint64_t seed = 1);
+
+    /// Re-apply the same stream; the table must return to pristine state.
+    /// Returns the number of mismatching words (0 == verified).
+    [[nodiscard]] std::uint64_t verify_and_count_errors(std::uint64_t updates,
+                                                        std::uint64_t seed = 1);
+
+    [[nodiscard]] std::uint64_t table_words() const { return table_.size(); }
+    [[nodiscard]] std::uint64_t updates_done() const { return updates_done_; }
+
+private:
+    static std::uint64_t next_random(std::uint64_t x);
+
+    std::vector<std::uint64_t> table_;
+    std::uint64_t updates_done_ = 0;
+};
+
+[[nodiscard]] WorkloadSpec randomaccess_spec(int nthreads = 4);
+
+}  // namespace hpcsec::wl

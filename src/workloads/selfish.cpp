@@ -1,0 +1,55 @@
+#include "workloads/selfish.h"
+
+#include <algorithm>
+
+namespace hpcsec::wl {
+
+void DetourRecorder::observe(sim::SimTime start, sim::SimTime end) {
+    ++intervals_;
+    if (last_end_ != sim::kTimeNever && start > last_end_) {
+        const double gap_us = clock_.to_micros(start - last_end_);
+        if (gap_us >= threshold_us_) {
+            detours_.push_back({clock_.to_seconds(last_end_), gap_us});
+            total_us_ += gap_us;
+        }
+    }
+    last_end_ = end;
+}
+
+double DetourRecorder::max_detour_us() const {
+    double m = 0.0;
+    for (const auto& d : detours_) m = std::max(m, d.duration_us);
+    return m;
+}
+
+void DetourRecorder::clear() {
+    detours_.clear();
+    intervals_ = 0;
+    total_us_ = 0.0;
+    last_end_ = sim::kTimeNever;
+}
+
+SelfishBenchmark::SelfishBenchmark(int nthreads, sim::ClockSpec clock,
+                                   double threshold_us)
+    : workload_(spinner_spec(nthreads)) {
+    recorders_.reserve(static_cast<std::size_t>(nthreads));
+    for (int i = 0; i < nthreads; ++i) {
+        recorders_.emplace_back(clock, threshold_us);
+        DetourRecorder& rec = recorders_.back();
+        workload_.thread(i).interval_hook = [&rec](sim::SimTime s, sim::SimTime e) {
+            rec.observe(s, e);
+        };
+    }
+}
+
+std::vector<Detour> SelfishBenchmark::all_detours() const {
+    std::vector<Detour> all;
+    for (const auto& r : recorders_) {
+        all.insert(all.end(), r.detours().begin(), r.detours().end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const Detour& a, const Detour& b) { return a.at_seconds < b.at_seconds; });
+    return all;
+}
+
+}  // namespace hpcsec::wl

@@ -1,0 +1,65 @@
+// Selfish-detour benchmark (Figs. 4-6).
+//
+// The real benchmark spins reading the cycle counter and records a "detour"
+// whenever consecutive samples are further apart than a threshold — i.e.
+// whenever the OS stole the CPU. In the simulation the spinner thread
+// receives its exact on-CPU intervals from the executor; gaps between
+// consecutive intervals are precisely the time the kernel/hypervisor/other
+// work held the core, which is what the hardware benchmark measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "workloads/workload.h"
+
+namespace hpcsec::wl {
+
+struct Detour {
+    double at_seconds;      ///< when the detour began
+    double duration_us;     ///< how long the loop was off-CPU
+};
+
+class DetourRecorder {
+public:
+    DetourRecorder(sim::ClockSpec clock, double threshold_us)
+        : clock_(clock), threshold_us_(threshold_us) {}
+
+    void observe(sim::SimTime start, sim::SimTime end);
+
+    [[nodiscard]] const std::vector<Detour>& detours() const { return detours_; }
+    [[nodiscard]] std::uint64_t intervals() const { return intervals_; }
+    [[nodiscard]] double total_detour_us() const { return total_us_; }
+    [[nodiscard]] double max_detour_us() const;
+    void clear();
+
+private:
+    sim::ClockSpec clock_;
+    double threshold_us_;
+    sim::SimTime last_end_ = sim::kTimeNever;
+    std::vector<Detour> detours_;
+    std::uint64_t intervals_ = 0;
+    double total_us_ = 0.0;
+};
+
+/// A spinner workload with one recorder per thread.
+class SelfishBenchmark {
+public:
+    SelfishBenchmark(int nthreads, sim::ClockSpec clock, double threshold_us = 1.0);
+
+    [[nodiscard]] ParallelWorkload& workload() { return workload_; }
+    [[nodiscard]] DetourRecorder& recorder(int thread) {
+        return recorders_.at(static_cast<std::size_t>(thread));
+    }
+    [[nodiscard]] int nthreads() const { return workload_.nthreads(); }
+
+    /// All detours across threads, for aggregate statistics.
+    [[nodiscard]] std::vector<Detour> all_detours() const;
+
+private:
+    ParallelWorkload workload_;
+    std::vector<DetourRecorder> recorders_;
+};
+
+}  // namespace hpcsec::wl

@@ -1,0 +1,47 @@
+// STREAM memory benchmark: real kernels + simulation spec.
+//
+// The kernel code computes the canonical Copy/Scale/Add/Triad sequence and
+// self-verifies against the analytic closed form (as the reference STREAM
+// does); the characterization (bytes moved, TLB behaviour) parameterizes
+// the simulated workload for Figs. 7-8.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace hpcsec::wl {
+
+class StreamKernel {
+public:
+    explicit StreamKernel(std::size_t n = 1u << 20, double scalar = 3.0);
+
+    /// Run `iters` rounds of copy/scale/add/triad over the arrays.
+    void run(int iters);
+
+    /// Verify array contents against the closed-form expectation.
+    [[nodiscard]] bool verify(double tolerance = 1e-8) const;
+
+    [[nodiscard]] std::size_t n() const { return a_.size(); }
+    [[nodiscard]] int iterations() const { return iters_done_; }
+
+    /// Bytes moved per full round (the STREAM counting convention:
+    /// copy 2N, scale 2N, add 3N, triad 3N words).
+    [[nodiscard]] double bytes_per_round() const {
+        return 10.0 * static_cast<double>(n()) * sizeof(double);
+    }
+
+    [[nodiscard]] const std::vector<double>& a() const { return a_; }
+
+private:
+    std::vector<double> a_, b_, c_;
+    double scalar_;
+    int iters_done_ = 0;
+};
+
+/// Simulation spec for the Pine A64 run (see calibration note in the .cpp).
+[[nodiscard]] WorkloadSpec stream_spec(int nthreads = 4);
+
+}  // namespace hpcsec::wl

@@ -1,0 +1,137 @@
+// Parallel workload framework.
+//
+// Workloads execute as one thread per VCPU/core in BSP (bulk-synchronous)
+// supersteps: every thread must finish step k before any starts k+1 — the
+// barrier structure of the real benchmarks (CG dot products, ADI sweep
+// boundaries, SSOR wavefronts). OS noise on one core therefore delays all
+// cores, which is exactly the amplification mechanism the paper's LWK
+// scheduling avoids.
+//
+// A workload's cost profile (cycles/unit, TLB behaviour) is extracted from
+// the real computational kernels in this directory; see each *_spec()
+// factory for the calibration notes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/exec.h"
+#include "sim/time.h"
+
+namespace hpcsec::wl {
+
+struct WorkloadSpec {
+    std::string name;
+    std::string metric;             ///< "GFlops", "MB/s", "GUP/s", "Mop/s"
+    int nthreads = 4;
+    int supersteps = 1;             ///< barrier count is supersteps - 1
+    double units_per_thread_step = 0.0;
+    arch::WorkProfile profile;
+    double metric_per_unit = 1.0;   ///< score = units_total * this / seconds
+    double measurement_noise_sigma = 0.0;  ///< run-to-run variation (fraction)
+
+    [[nodiscard]] double total_units() const {
+        return units_per_thread_step * nthreads * supersteps;
+    }
+};
+
+class ParallelWorkload;
+
+/// One benchmark thread (maps onto one VCPU or one native core).
+///
+/// Barrier semantics are OpenMP-style busy-wait: a thread that reaches the
+/// barrier *spins on its CPU* (remaining_units reports "infinite" so the
+/// executor keeps it running) until the last arriver releases the step.
+/// Spin time is on-CPU but is not counted as work progress.
+class WorkThread : public arch::Runnable {
+public:
+    enum class Phase : std::uint8_t { kWorking, kSpinning, kDone };
+
+    WorkThread(ParallelWorkload& owner, int index);
+
+    [[nodiscard]] std::string_view label() const override { return label_; }
+    [[nodiscard]] double remaining_units() const override;
+    void advance(double units, sim::SimTime now) override;
+    [[nodiscard]] const arch::WorkProfile& profile() const override;
+    [[nodiscard]] arch::TranslationMode mode() const override { return mode_; }
+    void on_interval(sim::SimTime start, sim::SimTime end) override;
+
+    void set_mode(arch::TranslationMode m) { mode_ = m; }
+    void refill(double units) {
+        remaining_ = units;
+        phase_ = Phase::kWorking;
+    }
+    void mark_done() { phase_ = Phase::kDone; }
+    [[nodiscard]] Phase phase() const { return phase_; }
+    [[nodiscard]] int index() const { return index_; }
+
+    /// Interval observer (used by the selfish-detour recorder).
+    std::function<void(sim::SimTime, sim::SimTime)> interval_hook;
+
+private:
+    ParallelWorkload* owner_;
+    int index_;
+    std::string label_;
+    double remaining_ = 0.0;
+    Phase phase_ = Phase::kWorking;
+    arch::TranslationMode mode_ = arch::TranslationMode::kNative;
+};
+
+class ParallelWorkload {
+public:
+    explicit ParallelWorkload(WorkloadSpec spec);
+
+    [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+    [[nodiscard]] int nthreads() const { return spec_.nthreads; }
+    [[nodiscard]] WorkThread& thread(int i) { return *threads_.at(static_cast<std::size_t>(i)); }
+
+    void set_mode(arch::TranslationMode m);
+
+    /// Reset to step 0 with full units (for reuse across trials).
+    void reset();
+
+    [[nodiscard]] bool finished() const { return finished_; }
+    [[nodiscard]] int current_step() const { return step_; }
+    [[nodiscard]] sim::SimTime finish_time() const { return finish_time_; }
+
+    /// Completion timestamp of every superstep barrier (for trace-based
+    /// scale composition; see cluster::ScaleModel).
+    [[nodiscard]] const std::vector<sim::SimTime>& step_completion_times() const {
+        return step_times_;
+    }
+
+    /// All threads were refilled for the next superstep (barrier release);
+    /// the hosting kernel should wake its blocked threads/VCPUs.
+    std::function<void()> on_release;
+    /// The final superstep completed.
+    std::function<void(sim::SimTime)> on_finished;
+
+    /// Benchmark score in spec().metric units given elapsed seconds.
+    [[nodiscard]] double score(double seconds) const {
+        return spec_.total_units() * spec_.metric_per_unit / seconds;
+    }
+
+    // Called by WorkThread.
+    void thread_arrived(int index, sim::SimTime now);
+
+    /// Force every thread to the done state (end of run).
+    void mark_all_done();
+
+private:
+    WorkloadSpec spec_;
+    std::vector<std::unique_ptr<WorkThread>> threads_;
+    int step_ = 0;
+    int arrived_ = 0;
+    bool finished_ = false;
+    sim::SimTime finish_time_ = 0;
+    std::vector<sim::SimTime> step_times_;
+};
+
+/// A run-forever spinner (selfish-detour's execution shape).
+[[nodiscard]] WorkloadSpec spinner_spec(int nthreads);
+
+}  // namespace hpcsec::wl

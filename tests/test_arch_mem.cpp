@@ -1,0 +1,485 @@
+// Memory-system tests: MemoryMap, PageTable, Tlb, Mmu (one- and two-stage).
+#include <gtest/gtest.h>
+
+#include "arch/memory_map.h"
+#include "arch/mmu.h"
+#include "arch/page_table.h"
+#include "arch/tlb.h"
+#include "sim/rng.h"
+
+namespace hpcsec::arch {
+namespace {
+
+constexpr PhysAddr kRamBase = 0x4000'0000;
+constexpr std::uint64_t kRamSize = 256ull << 20;
+
+MemoryMap make_map(std::uint64_t secure_bytes = 0) {
+    MemoryMap m;
+    m.add_region({"ram", kRamBase, kRamSize - secure_bytes, RegionKind::kRam,
+                  World::kNonSecure});
+    if (secure_bytes > 0) {
+        m.add_region({"sram", kRamBase + kRamSize - secure_bytes, secure_bytes,
+                      RegionKind::kRam, World::kSecure});
+    }
+    m.add_region({"uart", 0x01C2'8000, 0x1000, RegionKind::kMmio, World::kNonSecure});
+    return m;
+}
+
+// --- MemoryMap ------------------------------------------------------------------
+
+TEST(MemoryMap, RegionLookup) {
+    MemoryMap m = make_map();
+    EXPECT_TRUE(m.is_ram(kRamBase));
+    EXPECT_TRUE(m.is_ram(kRamBase + kRamSize - 8));
+    EXPECT_FALSE(m.is_ram(kRamBase + kRamSize));
+    EXPECT_TRUE(m.is_mmio(0x01C2'8000));
+    EXPECT_EQ(m.find_region(0xdead'beef'0000ull), nullptr);
+}
+
+TEST(MemoryMap, RejectsOverlappingRegions) {
+    MemoryMap m = make_map();
+    EXPECT_THROW(m.add_region({"dup", kRamBase + 0x1000, 0x1000, RegionKind::kRam,
+                               World::kNonSecure}),
+                 std::invalid_argument);
+}
+
+TEST(MemoryMap, RejectsUnalignedRegion) {
+    MemoryMap m;
+    EXPECT_THROW(
+        m.add_region({"bad", 0x100, 0x1000, RegionKind::kRam, World::kNonSecure}),
+        std::invalid_argument);
+}
+
+TEST(MemoryMap, RamBytesByWorld) {
+    MemoryMap m = make_map(64ull << 20);
+    EXPECT_EQ(m.ram_bytes(), kRamSize);
+    EXPECT_EQ(m.ram_bytes(World::kSecure), 64ull << 20);
+    EXPECT_EQ(m.ram_bytes(World::kNonSecure), kRamSize - (64ull << 20));
+}
+
+TEST(MemoryMap, AllocatesContiguousOwnedFrames) {
+    MemoryMap m = make_map();
+    const PhysAddr a = m.alloc_frames(16, 3, World::kNonSecure);
+    EXPECT_TRUE(m.owned_span(a, 16 * kPageSize, 3));
+    EXPECT_FALSE(m.owned_span(a, 17 * kPageSize, 3));
+    EXPECT_EQ(m.allocated_frames(), 16u);
+}
+
+TEST(MemoryMap, AllocationsDoNotOverlap) {
+    MemoryMap m = make_map();
+    const PhysAddr a = m.alloc_frames(8, 1, World::kNonSecure);
+    const PhysAddr b = m.alloc_frames(8, 2, World::kNonSecure);
+    EXPECT_TRUE(a + 8 * kPageSize <= b || b + 8 * kPageSize <= a);
+    EXPECT_TRUE(m.owned_span(a, 8 * kPageSize, 1));
+    EXPECT_TRUE(m.owned_span(b, 8 * kPageSize, 2));
+}
+
+TEST(MemoryMap, FreeAndReuse) {
+    MemoryMap m = make_map();
+    const PhysAddr a = m.alloc_frames(8, 1, World::kNonSecure);
+    m.free_frames(a, 8);
+    EXPECT_EQ(m.allocated_frames(), 0u);
+    const PhysAddr b = m.alloc_frames(8, 2, World::kNonSecure);
+    EXPECT_EQ(a, b);  // first fit reuses the hole
+}
+
+TEST(MemoryMap, DoubleFreeThrows) {
+    MemoryMap m = make_map();
+    const PhysAddr a = m.alloc_frames(2, 1, World::kNonSecure);
+    m.free_frames(a, 2);
+    EXPECT_THROW(m.free_frames(a, 2), std::logic_error);
+}
+
+TEST(MemoryMap, SecureAllocationComesFromSecureRegion) {
+    MemoryMap m = make_map(64ull << 20);
+    const PhysAddr s = m.alloc_frames(4, 1, World::kSecure);
+    EXPECT_EQ(m.world_of(s), World::kSecure);
+}
+
+TEST(MemoryMap, OutOfMemoryThrows) {
+    MemoryMap m;
+    m.add_region({"tiny", kRamBase, 4 * kPageSize, RegionKind::kRam,
+                  World::kNonSecure});
+    (void)m.alloc_frames(4, 1, World::kNonSecure);
+    EXPECT_THROW(m.alloc_frames(1, 2, World::kNonSecure), std::runtime_error);
+}
+
+TEST(MemoryMap, StoreReadsBackWrites) {
+    MemoryMap m = make_map();
+    m.write64(kRamBase + 0x100, 0xdeadbeefcafef00dull, World::kNonSecure);
+    EXPECT_EQ(m.read64(kRamBase + 0x100, World::kNonSecure), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(m.read64(kRamBase + 0x108, World::kNonSecure), 0u);  // zero default
+}
+
+TEST(MemoryMap, TrustZoneBlocksNonSecureAccess) {
+    MemoryMap m = make_map(64ull << 20);
+    const PhysAddr s = m.alloc_frames(1, 1, World::kSecure);
+    m.write64(s, 42, World::kSecure);
+    EXPECT_EQ(m.check_physical_access(s, World::kNonSecure), FaultKind::kSecurity);
+    EXPECT_THROW((void)m.read64(s, World::kNonSecure), std::runtime_error);
+    // Secure masters can reach both worlds.
+    EXPECT_EQ(m.check_physical_access(s, World::kSecure), FaultKind::kNone);
+    EXPECT_EQ(m.check_physical_access(kRamBase, World::kSecure), FaultKind::kNone);
+}
+
+TEST(MemoryMap, SetOwnerTransfersFrames) {
+    MemoryMap m = make_map();
+    const PhysAddr a = m.alloc_frames(4, 1, World::kNonSecure);
+    m.set_owner(a, 4, 9);
+    EXPECT_TRUE(m.owned_span(a, 4 * kPageSize, 9));
+    EXPECT_FALSE(m.owned_span(a, 4 * kPageSize, 1));
+}
+
+// --- PageTable ------------------------------------------------------------------
+
+TEST(PageTable, SinglePageMapping) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, kPageSize, kPermRW);
+    const WalkResult w = pt.walk(0x1234);
+    EXPECT_EQ(w.fault, FaultKind::kNone);
+    EXPECT_EQ(w.out, 0x8000'0234u);
+    EXPECT_EQ(w.level, 3);
+    EXPECT_EQ(w.table_accesses, 4);
+    EXPECT_EQ(w.perms, kPermRW);
+}
+
+TEST(PageTable, UnmappedFaults) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, kPageSize, kPermRW);
+    EXPECT_EQ(pt.walk(0x2000).fault, FaultKind::kTranslation);
+    EXPECT_EQ(pt.walk(0x0).fault, FaultKind::kTranslation);
+}
+
+TEST(PageTable, Uses2MBBlocksWhenAligned) {
+    PageTable pt;
+    pt.map(0, 0x4000'0000, 2ull << 20, kPermRWX);
+    const WalkResult w = pt.walk(0x123456);
+    EXPECT_EQ(w.fault, FaultKind::kNone);
+    EXPECT_EQ(w.level, 2);  // 2 MiB block entry
+    EXPECT_EQ(w.out, 0x4000'0000ull + 0x123456);
+    EXPECT_EQ(pt.mapping_count(), 1u);
+}
+
+TEST(PageTable, Uses1GBBlocksWhenAligned) {
+    PageTable pt;
+    pt.map(0, 0x4000'0000, 1ull << 30, kPermRWX);
+    EXPECT_EQ(pt.walk(0x3fff'ffff).level, 1);
+    EXPECT_EQ(pt.mapping_count(), 1u);
+    EXPECT_EQ(pt.node_count(), 2u);  // root + L1
+}
+
+TEST(PageTable, ForcePagesAvoidsBlocks) {
+    PageTable pt;
+    pt.map(0, 0x4000'0000, 2ull << 20, kPermRWX, false, /*force_pages=*/true);
+    EXPECT_EQ(pt.walk(0).level, 3);
+    EXPECT_EQ(pt.mapping_count(), 512u);
+}
+
+TEST(PageTable, MixedAlignmentUsesPagesThenBlocks) {
+    PageTable pt;
+    // 2 MiB + one page, starting one page below a 2 MiB boundary.
+    pt.map((2ull << 20) - kPageSize, 0x4000'0000 + (2ull << 20) - kPageSize,
+           (2ull << 20) + kPageSize, kPermRW);
+    EXPECT_EQ(pt.walk((2ull << 20) - kPageSize).level, 3);
+    EXPECT_EQ(pt.walk(2ull << 20).level, 2);
+    EXPECT_EQ(pt.mapped_bytes(), (2ull << 20) + kPageSize);
+}
+
+TEST(PageTable, OverlapThrows) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, kPageSize, kPermRW);
+    EXPECT_THROW(pt.map(0x1000, 0x9000'0000, kPageSize, kPermRW), std::logic_error);
+}
+
+TEST(PageTable, OverlapWithBlockThrows) {
+    PageTable pt;
+    pt.map(0, 0x4000'0000, 2ull << 20, kPermRW);
+    EXPECT_THROW(pt.map(0x10'0000, 0x9000'0000, kPageSize, kPermRW),
+                 std::logic_error);
+}
+
+TEST(PageTable, UnmapRemovesTranslation) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, 4 * kPageSize, kPermRW);
+    pt.unmap(0x2000, kPageSize);
+    EXPECT_EQ(pt.walk(0x1000).fault, FaultKind::kNone);
+    EXPECT_EQ(pt.walk(0x2000).fault, FaultKind::kTranslation);
+    EXPECT_EQ(pt.walk(0x3000).fault, FaultKind::kNone);
+    EXPECT_EQ(pt.mapping_count(), 3u);
+}
+
+TEST(PageTable, UnmapIsIdempotentOnHoles) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, kPageSize, kPermRW);
+    EXPECT_NO_THROW(pt.unmap(0x10'0000, 16 * kPageSize));
+    EXPECT_EQ(pt.mapping_count(), 1u);
+}
+
+TEST(PageTable, PartialBlockUnmapSplitsBlock) {
+    PageTable pt;
+    pt.map(0, 0x4000'0000, 2ull << 20, kPermRW);
+    ASSERT_EQ(pt.walk(0).level, 2);  // block entry
+    pt.unmap(0x3000, kPageSize);     // carve one page out of the block
+    EXPECT_EQ(pt.walk(0x3000).fault, FaultKind::kTranslation);
+    // Neighbours survive with identical translations, now via L3 pages.
+    const WalkResult before = pt.walk(0x2000);
+    EXPECT_EQ(before.fault, FaultKind::kNone);
+    EXPECT_EQ(before.out, 0x4000'2000u);
+    EXPECT_EQ(before.level, 3);
+    EXPECT_EQ(pt.walk(0x4000).out, 0x4000'4000u);
+    EXPECT_EQ(pt.mapped_bytes(), (2ull << 20) - kPageSize);
+}
+
+TEST(PageTable, PartialBlockProtectSplitsBlock) {
+    PageTable pt;
+    pt.map(0, 0x4000'0000, 2ull << 20, kPermRWX);
+    pt.protect(0x5000, 2 * kPageSize, kPermR);
+    EXPECT_EQ(pt.walk(0x5000).perms, kPermR);
+    EXPECT_EQ(pt.walk(0x6000).perms, kPermR);
+    EXPECT_EQ(pt.walk(0x4000).perms, kPermRWX);
+    EXPECT_EQ(pt.walk(0x7000).perms, kPermRWX);
+    // Translations unchanged by the split.
+    EXPECT_EQ(pt.walk(0x5008).out, 0x4000'5008u);
+}
+
+TEST(PageTable, ProtectChangesPerms) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, kPageSize, kPermRW);
+    pt.protect(0x1000, kPageSize, kPermR);
+    EXPECT_EQ(pt.walk(0x1000).perms, kPermR);
+}
+
+TEST(PageTable, ProtectUnmappedThrows) {
+    PageTable pt;
+    EXPECT_THROW(pt.protect(0x1000, kPageSize, kPermR), std::logic_error);
+}
+
+TEST(PageTable, AddressSizeFault) {
+    PageTable pt;
+    EXPECT_EQ(pt.walk(1ull << 48).fault, FaultKind::kAddressSize);
+    EXPECT_THROW(pt.map(1ull << 48, 0, kPageSize, kPermRW), std::invalid_argument);
+}
+
+TEST(PageTable, SecureBitPropagates) {
+    PageTable pt;
+    pt.map(0x1000, 0x8000'0000, kPageSize, kPermRW, /*secure=*/true);
+    EXPECT_TRUE(pt.walk(0x1000).secure);
+}
+
+// Property sweep: random disjoint mappings walk back exactly.
+class PageTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PageTableProperty, RandomDisjointMappingsRoundTrip) {
+    sim::Rng rng(GetParam());
+    PageTable pt;
+    struct M {
+        std::uint64_t in, out, size;
+    };
+    std::vector<M> maps;
+    for (int i = 0; i < 40; ++i) {
+        // Slot mappings into disjoint 4 MiB lanes to guarantee no overlap.
+        const std::uint64_t lane = (i + 1) * (4ull << 20);
+        const std::uint64_t pages = 1 + rng.next_below(16);
+        const std::uint64_t off = rng.next_below(64) * kPageSize;
+        const std::uint64_t out = 0x8000'0000ull + (rng.next_below(1 << 20)) * kPageSize;
+        pt.map(lane + off, out, pages * kPageSize, kPermRW);
+        maps.push_back({lane + off, out, pages * kPageSize});
+    }
+    for (const auto& m : maps) {
+        for (std::uint64_t a = m.in; a < m.in + m.size; a += kPageSize / 2) {
+            const WalkResult w = pt.walk(a);
+            ASSERT_EQ(w.fault, FaultKind::kNone);
+            EXPECT_EQ(w.out, m.out + (a - m.in));
+        }
+        // One page past the end must not resolve into this mapping.
+        const WalkResult past = pt.walk(m.in + m.size);
+        if (past.fault == FaultKind::kNone) {
+            EXPECT_NE(past.out, m.out + m.size);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- TLB ------------------------------------------------------------------------
+
+TEST(Tlb, MissThenHit) {
+    Tlb tlb(64, 4);
+    EXPECT_EQ(tlb.lookup(1, 0, 0x42), nullptr);
+    tlb.insert({true, 1, 0, 0x42, 0x99, kPermRW, false});
+    const TlbEntry* e = tlb.lookup(1, 0, 0x42);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->out_page, 0x99u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, VmidTagPreventsCrossVmHits) {
+    Tlb tlb(64, 4);
+    tlb.insert({true, 1, 0, 0x42, 0x99, kPermRW, false});
+    EXPECT_EQ(tlb.lookup(2, 0, 0x42), nullptr);
+}
+
+TEST(Tlb, AsidTagPreventsCrossAsidHits) {
+    Tlb tlb(64, 4);
+    tlb.insert({true, 1, 7, 0x42, 0x99, kPermRW, false});
+    EXPECT_EQ(tlb.lookup(1, 8, 0x42), nullptr);
+    EXPECT_NE(tlb.lookup(1, 7, 0x42), nullptr);
+}
+
+TEST(Tlb, FlushAllInvalidatesEverything) {
+    Tlb tlb(64, 4);
+    for (std::uint64_t p = 0; p < 32; ++p) {
+        tlb.insert({true, 1, 0, p, p + 100, kPermRW, false});
+    }
+    EXPECT_GT(tlb.valid_entries(), 0u);
+    tlb.flush_all();
+    EXPECT_EQ(tlb.valid_entries(), 0u);
+}
+
+TEST(Tlb, FlushVmidIsSelective) {
+    Tlb tlb(64, 4);
+    tlb.insert({true, 1, 0, 1, 101, kPermRW, false});
+    tlb.insert({true, 2, 0, 2, 102, kPermRW, false});
+    tlb.flush_vmid(1);
+    EXPECT_EQ(tlb.lookup(1, 0, 1), nullptr);
+    EXPECT_NE(tlb.lookup(2, 0, 2), nullptr);
+}
+
+TEST(Tlb, FlushPage) {
+    Tlb tlb(64, 4);
+    tlb.insert({true, 1, 0, 5, 105, kPermRW, false});
+    tlb.insert({true, 1, 0, 6, 106, kPermRW, false});
+    tlb.flush_page(1, 5);
+    EXPECT_EQ(tlb.lookup(1, 0, 5), nullptr);
+    EXPECT_NE(tlb.lookup(1, 0, 6), nullptr);
+}
+
+TEST(Tlb, EvictsRoundRobinWhenSetFull) {
+    Tlb tlb(8, 2);  // 4 sets, 2 ways
+    // Same set: pages congruent mod 4.
+    tlb.insert({true, 1, 0, 0, 100, kPermRW, false});
+    tlb.insert({true, 1, 0, 4, 104, kPermRW, false});
+    tlb.insert({true, 1, 0, 8, 108, kPermRW, false});  // evicts one
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+    EXPECT_NE(tlb.lookup(1, 0, 8), nullptr);
+}
+
+TEST(Tlb, RejectsBadGeometry) {
+    EXPECT_THROW(Tlb(10, 4), std::invalid_argument);
+    EXPECT_THROW(Tlb(0, 0), std::invalid_argument);
+}
+
+// --- Mmu -------------------------------------------------------------------------
+
+struct MmuFixture : ::testing::Test {
+    MemoryMap mem = make_map(64ull << 20);
+    PageTable s1, s2;
+    Mmu mmu{mem};
+};
+
+TEST_F(MmuFixture, IdentityWhenNoTables) {
+    mmu.set_context(nullptr, nullptr, 0, 0, World::kNonSecure);
+    const Translation t = mmu.translate(kRamBase + 0x1000, Access::kRead);
+    EXPECT_EQ(t.fault, FaultKind::kNone);
+    EXPECT_EQ(t.pa, kRamBase + 0x1000);
+}
+
+TEST_F(MmuFixture, SingleStageTranslation) {
+    s1.map(0x10'0000, kRamBase, 16 * kPageSize, kPermRW);
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    const Translation t = mmu.translate(0x10'0008, Access::kRead);
+    EXPECT_EQ(t.fault, FaultKind::kNone);
+    EXPECT_EQ(t.pa, kRamBase + 8);
+    EXPECT_EQ(t.table_accesses, 4);
+}
+
+TEST_F(MmuFixture, TwoStageNestedWalkCost) {
+    s1.map(0x10'0000, 0x20'0000, 16 * kPageSize, kPermRW);  // VA -> IPA
+    s2.map(0x20'0000, kRamBase, 16 * kPageSize, kPermRW);   // IPA -> PA
+    mmu.set_context(&s1, &s2, 3, 1, World::kNonSecure);
+    const Translation t = mmu.translate(0x10'0000, Access::kRead);
+    EXPECT_EQ(t.fault, FaultKind::kNone);
+    EXPECT_EQ(t.pa, kRamBase);
+    // Nested walk: 4 stage-1 accesses, each + 4 stage-2, plus final stage-2.
+    EXPECT_EQ(t.table_accesses, 4 * (1 + 4) + 4);
+}
+
+TEST_F(MmuFixture, TlbHitSkipsWalk) {
+    s1.map(0x10'0000, kRamBase, kPageSize, kPermRW);
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    (void)mmu.translate(0x10'0000, Access::kRead);
+    const Translation t2 = mmu.translate(0x10'0100, Access::kRead);
+    EXPECT_TRUE(t2.tlb_hit);
+    EXPECT_EQ(t2.table_accesses, 0);
+    EXPECT_EQ(t2.pa, kRamBase + 0x100);
+}
+
+TEST_F(MmuFixture, PermissionFaultOnWriteToReadOnly) {
+    s1.map(0x10'0000, kRamBase, kPageSize, kPermR);
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    EXPECT_EQ(mmu.translate(0x10'0000, Access::kRead).fault, FaultKind::kNone);
+    const Translation t = mmu.translate(0x10'0000, Access::kWrite);
+    EXPECT_EQ(t.fault, FaultKind::kPermission);
+}
+
+TEST_F(MmuFixture, PermissionCheckedEvenOnTlbHit) {
+    s1.map(0x10'0000, kRamBase, kPageSize, kPermR);
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    (void)mmu.translate(0x10'0000, Access::kRead);  // fill TLB
+    const Translation t = mmu.translate(0x10'0000, Access::kWrite);
+    EXPECT_EQ(t.fault, FaultKind::kPermission);
+}
+
+TEST_F(MmuFixture, StagePermsCombine) {
+    s1.map(0x10'0000, 0x20'0000, kPageSize, kPermRWX);
+    s2.map(0x20'0000, kRamBase, kPageSize, kPermR);  // hypervisor restricts
+    mmu.set_context(&s1, &s2, 3, 1, World::kNonSecure);
+    EXPECT_EQ(mmu.translate(0x10'0000, Access::kRead).fault, FaultKind::kNone);
+    EXPECT_EQ(mmu.translate(0x10'0000, Access::kWrite).fault, FaultKind::kPermission);
+}
+
+TEST_F(MmuFixture, Stage2FaultReported) {
+    s1.map(0x10'0000, 0x20'0000, kPageSize, kPermRW);
+    mmu.set_context(&s1, &s2, 3, 1, World::kNonSecure);
+    const Translation t = mmu.translate(0x10'0000, Access::kRead);
+    EXPECT_EQ(t.fault, FaultKind::kTranslation);
+    EXPECT_EQ(t.fault_stage, 2);
+}
+
+TEST_F(MmuFixture, NonSecureWorldCannotReachSecureFrames) {
+    const PhysAddr spa = mem.alloc_frames(1, 1, World::kSecure);
+    s2.map(0x30'0000, spa, kPageSize, kPermRW);
+    mmu.set_context(nullptr, &s2, 4, 0, World::kNonSecure);
+    const Translation t = mmu.translate(0x30'0000, Access::kRead);
+    EXPECT_EQ(t.fault, FaultKind::kSecurity);
+}
+
+TEST_F(MmuFixture, SecureWorldReachesSecureFrames) {
+    const PhysAddr spa = mem.alloc_frames(1, 1, World::kSecure);
+    s2.map(0x30'0000, spa, kPageSize, kPermRW);
+    mmu.set_context(nullptr, &s2, 4, 0, World::kSecure);
+    EXPECT_EQ(mmu.translate(0x30'0000, Access::kRead).fault, FaultKind::kNone);
+}
+
+TEST_F(MmuFixture, FunctionalReadWriteThroughTranslation) {
+    s1.map(0x10'0000, kRamBase, kPageSize, kPermRW);
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    EXPECT_TRUE(mmu.write64(0x10'0040, 0x1122334455667788ull));
+    std::uint64_t v = 0;
+    EXPECT_TRUE(mmu.read64(0x10'0040, v));
+    EXPECT_EQ(v, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(kRamBase + 0x40, World::kNonSecure), v);
+}
+
+TEST_F(MmuFixture, FunctionalAccessFailsOnFault) {
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    std::uint64_t v = 77;
+    EXPECT_FALSE(mmu.read64(0xdead'0000, v));
+    EXPECT_EQ(v, 77u);
+    EXPECT_FALSE(mmu.write64(0xdead'0000, 1));
+}
+
+}  // namespace
+}  // namespace hpcsec::arch

@@ -1,0 +1,150 @@
+// Cache-hierarchy model tests: LRU mechanics, write-back accounting,
+// flush semantics, hierarchy interaction, MMU integration.
+#include <gtest/gtest.h>
+
+#include "arch/cache.h"
+#include "arch/memory_map.h"
+#include "arch/mmu.h"
+#include "arch/page_table.h"
+#include "sim/rng.h"
+
+namespace hpcsec::arch {
+namespace {
+
+CacheGeometry tiny() { return {1024, 64, 2}; }  // 8 sets x 2 ways
+
+TEST(CacheLevel, MissThenHitOnSameLine) {
+    CacheLevel c(tiny());
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1008, false));  // same 64B line
+    EXPECT_FALSE(c.access(0x1040, false)); // next line
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheLevel, GeometryDerivesSets) {
+    CacheGeometry g{32 * 1024, 64, 4};
+    EXPECT_EQ(g.sets(), 128u);
+    EXPECT_THROW(CacheLevel({1000, 64, 3}), std::invalid_argument);
+}
+
+TEST(CacheLevel, LruEvictsLeastRecentlyUsed) {
+    CacheLevel c(tiny());
+    // Three lines mapping to set 0 (stride = sets*line = 512).
+    c.access(0 * 512 * 8 + 0, false);   // A -> set 0
+    c.access(1 * 512 * 8 + 0, false);   // B -> set 0 (tag differs)
+    EXPECT_TRUE(c.contains(0));
+    c.access(0, false);                 // touch A: B becomes LRU
+    c.access(2 * 512 * 8 + 0, false);   // C evicts B
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1 * 512 * 8));
+    EXPECT_TRUE(c.contains(2 * 512 * 8));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(CacheLevel, DirtyEvictionCountsWriteback) {
+    CacheLevel c(tiny());
+    c.access(0, true);                 // dirty A in set 0
+    c.access(1 * 512 * 8, false);      // B
+    c.access(2 * 512 * 8, false);      // evicts dirty A
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheLevel, FlushAllInvalidatesAndWritesBackDirty) {
+    CacheLevel c(tiny());
+    c.access(0x0, true);
+    c.access(0x40, false);
+    EXPECT_EQ(c.valid_lines(), 2u);
+    c.flush_all();
+    EXPECT_EQ(c.valid_lines(), 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    EXPECT_EQ(c.stats().flushes, 1u);
+}
+
+TEST(CacheLevel, FlushRangeIsSelective) {
+    CacheLevel c(tiny());
+    c.access(0x0, false);
+    c.access(0x40, false);
+    c.access(0x80, false);
+    c.flush_range(0x40, 0x40);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_TRUE(c.contains(0x80));
+}
+
+TEST(CacheLevel, WorkingSetBiggerThanCacheThrashes) {
+    CacheLevel c(tiny());  // 1 KiB
+    // Stream 8 KiB twice: second pass still misses everything.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (PhysAddr a = 0; a < 8192; a += 64) c.access(a, false);
+    }
+    EXPECT_EQ(c.stats().hits, 0u);
+    EXPECT_EQ(c.stats().misses, 256u);
+}
+
+TEST(CacheLevel, WorkingSetWithinCacheHitsOnSecondPass) {
+    CacheLevel c({8192, 64, 4});
+    for (int pass = 0; pass < 2; ++pass) {
+        for (PhysAddr a = 0; a < 4096; a += 64) c.access(a, false);
+    }
+    EXPECT_EQ(c.stats().hits, 64u);
+    EXPECT_EQ(c.stats().misses, 64u);
+}
+
+TEST(CacheHierarchy, L2CatchesL1Evictions) {
+    CacheHierarchy h({1024, 64, 2}, {16 * 1024, 64, 4});
+    // Touch 4 KiB (spills tiny L1, fits L2); second pass: L1 misses, L2 hits.
+    for (PhysAddr a = 0; a < 4096; a += 64) h.access(a, false);
+    const auto l2_misses_after_first = h.l2().stats().misses;
+    for (PhysAddr a = 0; a < 4096; a += 64) {
+        const auto r = h.access(a, false);
+        EXPECT_TRUE(r.l2_hit);
+    }
+    EXPECT_EQ(h.l2().stats().misses, l2_misses_after_first);
+}
+
+TEST(CacheHierarchy, DefaultGeometryIsA53Like) {
+    CacheHierarchy h;
+    EXPECT_EQ(h.l1().geometry().size_bytes, 32u * 1024);
+    EXPECT_EQ(h.l2().geometry().size_bytes, 512u * 1024);
+    h.flush_all();
+    EXPECT_EQ(h.l1().stats().flushes, 1u);
+    EXPECT_EQ(h.l2().stats().flushes, 1u);
+}
+
+TEST(CacheHierarchy, RandomizedStatsConsistency) {
+    CacheHierarchy h({2048, 64, 2}, {8192, 64, 4});
+    sim::Rng rng(7);
+    constexpr int kAccesses = 5000;
+    for (int i = 0; i < kAccesses; ++i) {
+        h.access(rng.next_below(64 * 1024) & ~7ull, rng.next_double() < 0.3);
+    }
+    const auto& l1 = h.l1().stats();
+    EXPECT_EQ(l1.hits + l1.misses, static_cast<std::uint64_t>(kAccesses));
+    // L2 sees exactly the L1 misses.
+    const auto& l2 = h.l2().stats();
+    EXPECT_EQ(l2.hits + l2.misses, l1.misses);
+    EXPECT_LE(h.l1().valid_lines(), 2048u / 64);
+}
+
+TEST(MmuCacheIntegration, FunctionalAccessesProbeDcache) {
+    MemoryMap mem;
+    mem.add_region({"ram", 0x4000'0000, 1ull << 20, RegionKind::kRam,
+                    World::kNonSecure});
+    PageTable s1;
+    s1.map(0, 0x4000'0000, 1ull << 20, kPermRW);
+    Mmu mmu(mem);
+    mmu.set_context(&s1, nullptr, 0, 1, World::kNonSecure);
+    CacheHierarchy dcache;
+    mmu.set_dcache(&dcache);
+
+    ASSERT_TRUE(mmu.write64(0x100, 42));
+    std::uint64_t v = 0;
+    ASSERT_TRUE(mmu.read64(0x100, v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_EQ(dcache.l1().stats().misses, 1u);  // fill on write
+    EXPECT_EQ(dcache.l1().stats().hits, 1u);    // read hits the line
+}
+
+}  // namespace
+}  // namespace hpcsec::arch

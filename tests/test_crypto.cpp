@@ -1,0 +1,191 @@
+// Crypto tests: FIPS 180-4 / RFC 4231 vectors and Lamport OTS properties.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/lamport.h"
+#include "crypto/sha256.h"
+
+namespace hpcsec::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+    return {s.begin(), s.end()};
+}
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVS vectors) ---------------------------------
+
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(to_hex(Sha256::hash("")),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(to_hex(Sha256::hash("abc")),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(to_hex(Sha256::hash(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(to_hex(h.finalize()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+    // 64-byte message exercises the padding-into-second-block path.
+    const std::string m(64, 'x');
+    Sha256 one;
+    one.update(m);
+    Sha256 split;
+    split.update(m.substr(0, 37));
+    split.update(m.substr(37));
+    EXPECT_EQ(to_hex(one.finalize()), to_hex(split.finalize()));
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    const std::string m = "the quick brown fox jumps over the lazy dog";
+    Sha256 inc;
+    for (const char c : m) inc.update(std::string_view(&c, 1));
+    EXPECT_EQ(to_hex(inc.finalize()), to_hex(Sha256::hash(m)));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+    Sha256 h;
+    h.update("garbage");
+    (void)h.finalize();
+    h.reset();
+    h.update("abc");
+    EXPECT_EQ(to_hex(h.finalize()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DigestEqualConstantTimeSemantics) {
+    const Digest a = Sha256::hash("a");
+    const Digest b = Sha256::hash("b");
+    EXPECT_TRUE(digest_equal(a, a));
+    EXPECT_FALSE(digest_equal(a, b));
+}
+
+// --- HMAC-SHA256 (RFC 4231) -----------------------------------------------------
+
+TEST(HmacSha256, Rfc4231Case1) {
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    const auto msg = bytes("Hi There");
+    EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+    const auto key = bytes("Jefe");
+    const auto msg = bytes("what do ya want for nothing?");
+    EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+    const std::vector<std::uint8_t> key(20, 0xaa);
+    const std::vector<std::uint8_t> msg(50, 0xdd);
+    EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+    // RFC 4231 case 6: 131-byte key.
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    const auto msg = bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+    EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- Lamport OTS ------------------------------------------------------------------
+
+std::vector<std::uint8_t> seed(std::uint8_t fill) {
+    return std::vector<std::uint8_t>(32, fill);
+}
+
+TEST(Lamport, SignVerifyRoundTrip) {
+    auto kp = LamportKeyPair::generate(seed(1));
+    const Digest msg = Sha256::hash("release v1.0 image");
+    const auto sig = kp.sign(msg);
+    ASSERT_TRUE(sig.has_value());
+    EXPECT_TRUE(lamport_verify(kp.public_key(), msg, *sig));
+}
+
+TEST(Lamport, WrongMessageFails) {
+    auto kp = LamportKeyPair::generate(seed(2));
+    const Digest msg = Sha256::hash("genuine");
+    const auto sig = kp.sign(msg);
+    ASSERT_TRUE(sig.has_value());
+    EXPECT_FALSE(lamport_verify(kp.public_key(), Sha256::hash("forged"), *sig));
+}
+
+TEST(Lamport, WrongKeyFails) {
+    auto kp1 = LamportKeyPair::generate(seed(3));
+    auto kp2 = LamportKeyPair::generate(seed(4));
+    const Digest msg = Sha256::hash("msg");
+    const auto sig = kp1.sign(msg);
+    ASSERT_TRUE(sig.has_value());
+    EXPECT_FALSE(lamport_verify(kp2.public_key(), msg, *sig));
+}
+
+TEST(Lamport, OneTimePropertyEnforced) {
+    auto kp = LamportKeyPair::generate(seed(5));
+    ASSERT_TRUE(kp.sign(Sha256::hash("first")).has_value());
+    EXPECT_TRUE(kp.used());
+    EXPECT_FALSE(kp.sign(Sha256::hash("second")).has_value());
+}
+
+TEST(Lamport, TamperedSignatureFails) {
+    auto kp = LamportKeyPair::generate(seed(6));
+    const Digest msg = Sha256::hash("msg");
+    auto sig = kp.sign(msg);
+    ASSERT_TRUE(sig.has_value());
+    sig->preimages[17][3] ^= 0x01;  // flip one bit of one preimage
+    EXPECT_FALSE(lamport_verify(kp.public_key(), msg, *sig));
+}
+
+TEST(Lamport, DeterministicKeyGeneration) {
+    auto kp1 = LamportKeyPair::generate(seed(7));
+    auto kp2 = LamportKeyPair::generate(seed(7));
+    EXPECT_EQ(kp1.public_key(), kp2.public_key());
+    auto kp3 = LamportKeyPair::generate(seed(8));
+    EXPECT_FALSE(kp1.public_key() == kp3.public_key());
+}
+
+TEST(Lamport, FingerprintIsStable) {
+    auto kp = LamportKeyPair::generate(seed(9));
+    const Digest f1 = kp.public_key().fingerprint();
+    const Digest f2 = kp.public_key().fingerprint();
+    EXPECT_TRUE(digest_equal(f1, f2));
+}
+
+// Property sweep: random messages always verify with the right key and
+// never with a bit-flipped message.
+class LamportProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LamportProperty, RandomMessageRoundTrip) {
+    const int i = GetParam();
+    auto kp = LamportKeyPair::generate(seed(static_cast<std::uint8_t>(40 + i)));
+    const Digest msg = Sha256::hash("message-" + std::to_string(i));
+    const auto sig = kp.sign(msg);
+    ASSERT_TRUE(sig.has_value());
+    EXPECT_TRUE(lamport_verify(kp.public_key(), msg, *sig));
+    Digest flipped = msg;
+    flipped[static_cast<std::size_t>(i) % 32] ^=
+        static_cast<std::uint8_t>(1u << (i % 8));
+    EXPECT_FALSE(lamport_verify(kp.public_key(), flipped, *sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LamportProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hpcsec::crypto

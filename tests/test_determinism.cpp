@@ -1,0 +1,82 @@
+// Determinism: identical seeds reproduce identical timelines; different
+// seeds differ. This is the property everything else (benchmark stdevs,
+// property tests, debugging) rests on.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "workloads/nas.h"
+#include "workloads/randomaccess.h"
+
+namespace hpcsec::core {
+namespace {
+
+class DeterminismPerConfig : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(DeterminismPerConfig, SameSeedSameRuntime) {
+    wl::WorkloadSpec spec = wl::nas_cg_spec();
+    spec.units_per_thread_step /= 10;
+    Harness::Options opt;
+    opt.trials = 1;
+    opt.measurement_noise = false;
+    Harness h(opt);
+    const auto a = h.run_trial(GetParam(), spec, 42);
+    const auto b = h.run_trial(GetParam(), spec, 42);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.score, b.score);
+}
+
+TEST_P(DeterminismPerConfig, DifferentSeedsDifferInNoisyConfigs) {
+    wl::WorkloadSpec spec = wl::nas_cg_spec();
+    spec.units_per_thread_step /= 10;
+    Harness::Options opt;
+    opt.trials = 1;
+    opt.measurement_noise = false;
+    Harness h(opt);
+    const auto a = h.run_trial(GetParam(), spec, 1);
+    const auto b = h.run_trial(GetParam(), spec, 2);
+    if (GetParam() == SchedulerKind::kLinuxPrimary) {
+        // Random noise arrivals and tick phases shift the timeline.
+        EXPECT_NE(a.seconds, b.seconds);
+    } else {
+        // Tick phases still differ, but runtimes stay close.
+        EXPECT_NEAR(a.seconds / b.seconds, 1.0, 0.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, DeterminismPerConfig,
+    ::testing::Values(SchedulerKind::kNativeKitten, SchedulerKind::kKittenPrimary,
+                      SchedulerKind::kLinuxPrimary),
+    [](const auto& info) { return to_string(info.param); });
+
+TEST(Determinism, SelfishSeriesBitwiseReproducible) {
+    const auto a = run_selfish_experiment(SchedulerKind::kLinuxPrimary, 2.0, 9);
+    const auto b = run_selfish_experiment(SchedulerKind::kLinuxPrimary, 2.0, 9);
+    ASSERT_EQ(a.detours.size(), b.detours.size());
+    for (std::size_t i = 0; i < a.detours.size(); ++i) {
+        EXPECT_EQ(a.detours[i].at_seconds, b.detours[i].at_seconds);
+        EXPECT_EQ(a.detours[i].duration_us, b.detours[i].duration_us);
+    }
+}
+
+TEST(Determinism, SpmStatsReproducible) {
+    auto run = [](std::uint64_t seed) {
+        Node node(Harness::default_config(SchedulerKind::kKittenPrimary, seed));
+        node.boot();
+        wl::WorkloadSpec spec = wl::randomaccess_spec();
+        spec.units_per_thread_step /= 16;
+        wl::ParallelWorkload w(spec);
+        node.run_workload(w, 60.0);
+        return node.spm()->stats();
+    };
+    const auto a = run(7);
+    const auto b = run(7);
+    EXPECT_EQ(a.hypercalls, b.hypercalls);
+    EXPECT_EQ(a.world_switches, b.world_switches);
+    EXPECT_EQ(a.vm_exits, b.vm_exits);
+    EXPECT_EQ(a.virq_injections, b.virq_injections);
+}
+
+}  // namespace
+}  // namespace hpcsec::core

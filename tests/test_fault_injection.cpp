@@ -1,0 +1,274 @@
+// Failure injection: guest data aborts, console ownership, malicious
+// job-control frames, and mailbox misuse — the paths a hostile or buggy
+// partition would exercise.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/jobs.h"
+#include "core/node.h"
+#include "workloads/workload.h"
+
+namespace hpcsec {
+namespace {
+
+using core::Harness;
+using core::Node;
+using core::NodeConfig;
+using core::SchedulerKind;
+
+// --- guest data aborts -------------------------------------------------------
+
+struct AbortFixture : ::testing::Test {
+    Node node{Harness::default_config(SchedulerKind::kKittenPrimary, 21)};
+    std::unique_ptr<wl::ParallelWorkload> work;
+
+    void SetUp() override {
+        node.boot();
+        work = std::make_unique<wl::ParallelWorkload>(wl::spinner_spec(4));
+        work->set_mode(arch::TranslationMode::kTwoStage);
+        for (int i = 0; i < 4; ++i) {
+            node.compute_guest()->set_thread(i, &work->thread(i));
+        }
+        node.compute_guest()->wake_runnable_vcpus();
+        for (int i = 0; i < 4; ++i) {
+            node.spm()->make_vcpu_ready(node.compute_vm()->vcpu(i));
+            node.primary_os()->on_vcpu_wake(node.compute_vm()->vcpu(i));
+        }
+        node.run_for(0.1);
+    }
+};
+
+TEST_F(AbortFixture, InBoundsGuestAccessAllowed) {
+    hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(0);
+    EXPECT_TRUE(node.spm()->guest_access(vcpu, 0x1000, arch::Access::kWrite));
+    EXPECT_EQ(node.spm()->stats().guest_aborts, 0u);
+}
+
+TEST_F(AbortFixture, OutOfBoundsAccessAbortsVcpu) {
+    hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(1);
+    ASSERT_EQ(vcpu.state, hafnium::VcpuState::kRunning);
+    const arch::IpaAddr bad = node.compute_vm()->mem_bytes() + arch::kPageSize;
+    EXPECT_FALSE(node.spm()->guest_access(vcpu, bad, arch::Access::kRead));
+    EXPECT_EQ(vcpu.state, hafnium::VcpuState::kAborted);
+    EXPECT_EQ(node.spm()->stats().guest_aborts, 1u);
+}
+
+TEST_F(AbortFixture, OtherVcpusSurviveOneAbort) {
+    hafnium::Vcpu& victim = node.compute_vm()->vcpu(2);
+    node.spm()->abort_vcpu(victim);
+    node.run_for(0.5);
+    // The aborted VCPU never runs again...
+    const std::uint64_t runs = victim.runs;
+    node.run_for(0.5);
+    EXPECT_EQ(victim.runs, runs);
+    // ...but its siblings keep executing.
+    EXPECT_EQ(node.compute_vm()->vcpu(0).state, hafnium::VcpuState::kRunning);
+    EXPECT_EQ(node.compute_vm()->vcpu(3).state, hafnium::VcpuState::kRunning);
+}
+
+TEST_F(AbortFixture, AbortedVcpuRefusedByVcpuRun) {
+    hafnium::Vcpu& victim = node.compute_vm()->vcpu(3);
+    node.spm()->abort_vcpu(victim);
+    const auto r = node.spm()->hypercall(3, arch::kPrimaryVmId,
+                                         hafnium::Call::kVcpuRun,
+                                         {node.compute_vm()->id(), 3, 0, 0});
+    EXPECT_EQ(r.error, hafnium::HfError::kRetry);
+}
+
+TEST_F(AbortFixture, AbortWhileBlockedMarksAborted) {
+    hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(0);
+    node.spm()->force_stop_vcpu(vcpu);
+    vcpu.state = hafnium::VcpuState::kBlocked;
+    node.spm()->abort_vcpu(vcpu);
+    EXPECT_EQ(vcpu.state, hafnium::VcpuState::kAborted);
+}
+
+// --- UART console ownership -----------------------------------------------------
+
+TEST(UartConsole, IoOwnerCanPrintOthersCannot) {
+    NodeConfig cfg = Harness::default_config(SchedulerKind::kKittenPrimary, 22);
+    cfg.with_super_secondary = true;
+    Node node(cfg);
+    node.boot();
+    ASSERT_NE(node.platform().uart(), nullptr);
+
+    // The login VM owns the UART MMIO window: it can write the console.
+    const arch::IpaAddr uart_ipa = 0x01C2'8000;  // identity-mapped device
+    const std::string msg = "login$ ";
+    for (const char c : msg) {
+        ASSERT_TRUE(node.spm()->vm_write64(node.login_vm()->id(),
+                                           uart_ipa + arch::Uart::kDataReg,
+                                           static_cast<std::uint64_t>(c)));
+    }
+    EXPECT_EQ(node.platform().uart()->output(), msg);
+    EXPECT_EQ(node.platform().uart()->bytes_transmitted(), msg.size());
+
+    // Flag register reads as TX-ready for the owner.
+    std::uint64_t fr = 0;
+    ASSERT_TRUE(node.spm()->vm_read64(node.login_vm()->id(),
+                                      uart_ipa + arch::Uart::kFlagReg, fr));
+    EXPECT_EQ(fr & arch::Uart::kFlagTxReady, arch::Uart::kFlagTxReady);
+
+    // The primary no longer has the window; the compute VM's write lands in
+    // its own RAM, never the device.
+    EXPECT_FALSE(node.spm()->vm_write64(arch::kPrimaryVmId,
+                                        uart_ipa + arch::Uart::kDataReg, 'X'));
+    node.platform().uart()->clear_output();
+    ASSERT_TRUE(node.spm()->vm_write64(node.compute_vm()->id(),
+                                       uart_ipa + arch::Uart::kDataReg, 'Y'));
+    EXPECT_TRUE(node.platform().uart()->output().empty());
+}
+
+TEST(UartConsole, PrimaryOwnsConsoleWithoutLoginVm) {
+    Node node(Harness::default_config(SchedulerKind::kKittenPrimary, 23));
+    node.boot();
+    const arch::IpaAddr uart_ipa = 0x01C2'8000;
+    ASSERT_TRUE(node.spm()->vm_write64(arch::kPrimaryVmId,
+                                       uart_ipa + arch::Uart::kDataReg, 'K'));
+    EXPECT_EQ(node.platform().uart()->output(), "K");
+}
+
+// --- hostile job-control traffic ---------------------------------------------------
+
+struct HostileChannel : ::testing::Test {
+    NodeConfig cfg = [] {
+        NodeConfig c = Harness::default_config(SchedulerKind::kKittenPrimary, 24);
+        c.with_super_secondary = true;
+        return c;
+    }();
+    Node node{cfg};
+    std::unique_ptr<core::JobControl> jobs;
+
+    void SetUp() override {
+        node.boot();
+        jobs = std::make_unique<core::JobControl>(node);
+    }
+
+    void send_raw(const std::vector<std::uint64_t>& words) {
+        hafnium::Spm& spm = *node.spm();
+        const arch::VmId login = node.login_vm()->id();
+        const arch::IpaAddr send = node.login_vm()->ipa_base + 0x1000;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            ASSERT_TRUE(spm.vm_write64(login, send + i * 8, words[i]));
+        }
+        ASSERT_TRUE(spm.hypercall(0, login, hafnium::Call::kMsgSend,
+                                  {arch::kPrimaryVmId, words.size() * 8, 0, 0})
+                        .ok());
+    }
+};
+
+TEST_F(HostileChannel, GarbageFramesAreIgnored) {
+    send_raw({0xdeadbeef, 0xfeedface, 0, 1, 2, 3});
+    node.run_for(0.5);
+    EXPECT_EQ(jobs->commands_processed(), 0u);
+    // The channel still works afterwards.
+    core::JobCommand ping;
+    ping.op = core::JobOp::kPing;
+    EXPECT_TRUE(jobs->request(ping, 3.0).has_value());
+}
+
+TEST_F(HostileChannel, ShortFrameIsIgnored) {
+    send_raw({core::kJobMagic, 1});
+    node.run_for(0.5);
+    EXPECT_EQ(jobs->commands_processed(), 0u);
+}
+
+TEST_F(HostileChannel, OutOfRangeOpcodeIgnored) {
+    send_raw({core::kJobMagic, 99, 0, 0, 0, 7});
+    node.run_for(0.5);
+    EXPECT_EQ(jobs->commands_processed(), 0u);
+}
+
+TEST_F(HostileChannel, ForgedMacRejected) {
+    // A well-formed command frame sealed with the WRONG key (the attacker
+    // does not know the boot-derived session key).
+    core::JobCommand cmd;
+    cmd.op = core::JobOp::kStopVm;
+    cmd.vm = node.compute_vm()->id();
+    cmd.tag = 1;
+    const core::ChannelKey wrong =
+        core::derive_channel_key(std::vector<std::uint8_t>(32, 0xee), "attacker");
+    send_raw(core::seal(core::encode(cmd), wrong, 1));
+    node.run_for(0.5);
+    EXPECT_EQ(jobs->commands_processed(), 0u);
+    EXPECT_GE(jobs->rejected_frames(), 1u);
+}
+
+TEST_F(HostileChannel, ReplayedFrameRejected) {
+    // Capture a legitimate frame by re-sealing with the real key material
+    // (derived from the public attestation log in this model), but reuse an
+    // old counter: monotonicity rejects it.
+    const core::ChannelKey key = core::derive_channel_key(
+        node.attestation().accumulator(), "hpcsec:jobctl:cmd");
+    core::JobCommand cmd;
+    cmd.op = core::JobOp::kPing;
+    cmd.tag = 42;
+    send_raw(core::seal(core::encode(cmd), key, 1));  // counter 1: fresh
+    node.run_for(0.5);
+    const auto processed = jobs->commands_processed();
+    EXPECT_EQ(processed, 1u);
+    send_raw(core::seal(core::encode(cmd), key, 1));  // same counter: replay
+    node.run_for(0.5);
+    EXPECT_EQ(jobs->commands_processed(), processed);
+    EXPECT_GE(jobs->rejected_frames(), 1u);
+}
+
+TEST_F(HostileChannel, SealUnsealRoundTrip) {
+    const core::ChannelKey key =
+        core::derive_channel_key(std::vector<std::uint8_t>(32, 1), "t");
+    const std::vector<std::uint64_t> payload = {1, 2, 3};
+    std::uint64_t ctr = 0;
+    const auto out = core::unseal(core::seal(payload, key, 7), key, ctr);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, payload);
+    EXPECT_EQ(ctr, 7u);
+    // Counter must advance strictly.
+    EXPECT_FALSE(core::unseal(core::seal(payload, key, 7), key, ctr).has_value());
+    EXPECT_TRUE(core::unseal(core::seal(payload, key, 8), key, ctr).has_value());
+}
+
+TEST_F(HostileChannel, CommandForBogusVmGetsErrorNotCrash) {
+    core::JobCommand cmd;
+    cmd.op = core::JobOp::kMigrateVcpu;
+    cmd.vm = 250;
+    cmd.vcpu = 17;
+    cmd.arg = 99;
+    const auto reply = jobs->request(cmd, 3.0);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->status, -1);
+}
+
+// --- mailbox misuse ---------------------------------------------------------------
+
+TEST(MailboxMisuse, SecondaryCannotSpoofSenderPrivileges) {
+    Node node(Harness::default_config(SchedulerKind::kKittenPrimary, 25));
+    node.boot();
+    hafnium::Spm& spm = *node.spm();
+    const arch::VmId compute = node.compute_vm()->id();
+    // The compute VM may not inject interrupts or run VCPUs even if it
+    // learns the ABI.
+    EXPECT_EQ(spm.hypercall(0, compute, hafnium::Call::kInterruptInject,
+                            {arch::kPrimaryVmId, 0, 40, 0})
+                  .error,
+              hafnium::HfError::kDenied);
+    EXPECT_EQ(
+        spm.hypercall(0, compute, hafnium::Call::kVcpuRun, {compute, 0, 0, 0}).error,
+        hafnium::HfError::kDenied);
+}
+
+TEST(MailboxMisuse, UnconfiguredMailboxRejectsSend) {
+    Node node(Harness::default_config(SchedulerKind::kKittenPrimary, 26));
+    node.boot();
+    EXPECT_EQ(node.spm()
+                  ->hypercall(0, node.compute_vm()->id(), hafnium::Call::kMsgSend,
+                              {arch::kPrimaryVmId, 8, 0, 0})
+                  .error,
+              hafnium::HfError::kInvalid);
+    EXPECT_EQ(node.spm()
+                  ->hypercall(0, node.compute_vm()->id(), hafnium::Call::kRxRelease, {})
+                  .error,
+              hafnium::HfError::kInvalid);
+}
+
+}  // namespace
+}  // namespace hpcsec

@@ -1,0 +1,104 @@
+// Guest-internal scheduling: multiple threads per VCPU under the Kitten
+// guest's run-to-completion queue.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "workloads/workload.h"
+
+namespace hpcsec {
+namespace {
+
+class GuestJob : public arch::Runnable {
+public:
+    GuestJob(std::string name, double units) : name_(std::move(name)), remaining_(units) {
+        prof_.cycles_per_unit = 1.0;
+    }
+    [[nodiscard]] std::string_view label() const override { return name_; }
+    [[nodiscard]] double remaining_units() const override { return remaining_; }
+    void advance(double u, sim::SimTime now) override {
+        remaining_ = u >= remaining_ ? 0 : remaining_ - u;
+        if (remaining_ == 0 && finish_time == 0) finish_time = now;
+    }
+    [[nodiscard]] const arch::WorkProfile& profile() const override { return prof_; }
+    [[nodiscard]] arch::TranslationMode mode() const override {
+        return arch::TranslationMode::kTwoStage;
+    }
+
+    std::string name_;
+    arch::WorkProfile prof_{};
+    double remaining_;
+    sim::SimTime finish_time = 0;
+};
+
+struct GuestSched : ::testing::Test {
+    core::Node node{core::Harness::default_config(
+        core::SchedulerKind::kKittenPrimary, 31)};
+
+    void SetUp() override { node.boot(); }
+
+    void kick(int vcpu) {
+        node.spm()->make_vcpu_ready(node.compute_vm()->vcpu(vcpu));
+        node.primary_os()->on_vcpu_wake(node.compute_vm()->vcpu(vcpu));
+    }
+};
+
+TEST_F(GuestSched, TwoThreadsRunToCompletionInOrder) {
+    GuestJob a("a", 1'000'000), b("b", 1'000'000);
+    node.compute_guest()->add_thread(0, &a);
+    node.compute_guest()->add_thread(0, &b);
+    EXPECT_EQ(node.compute_guest()->thread_count(0), 2u);
+    kick(0);
+    node.run_for(1.0);
+    EXPECT_EQ(a.remaining_, 0.0);
+    EXPECT_EQ(b.remaining_, 0.0);
+    // Run-to-completion: a finished strictly before b started finishing.
+    EXPECT_LT(a.finish_time, b.finish_time);
+}
+
+TEST_F(GuestSched, ManyThreadsAllComplete) {
+    std::vector<std::unique_ptr<GuestJob>> jobs;
+    for (int i = 0; i < 8; ++i) {
+        jobs.push_back(std::make_unique<GuestJob>("j" + std::to_string(i), 200000));
+        node.compute_guest()->add_thread(i % 4, jobs.back().get());
+    }
+    for (int v = 0; v < 4; ++v) kick(v);
+    node.run_for(1.0);
+    for (const auto& j : jobs) EXPECT_EQ(j->remaining_, 0.0) << j->name_;
+}
+
+TEST_F(GuestSched, VcpuBlocksWhenAllThreadsDone) {
+    GuestJob a("a", 1000);
+    node.compute_guest()->add_thread(2, &a);
+    kick(2);
+    node.run_for(0.5);
+    EXPECT_EQ(a.remaining_, 0.0);
+    EXPECT_EQ(node.compute_vm()->vcpu(2).state, hafnium::VcpuState::kBlocked);
+}
+
+TEST_F(GuestSched, SetThreadReplacesQueue) {
+    GuestJob a("a", 1e12), b("b", 1000);
+    node.compute_guest()->add_thread(1, &a);
+    node.compute_guest()->set_thread(1, &b);
+    EXPECT_EQ(node.compute_guest()->thread_count(1), 1u);
+    kick(1);
+    node.run_for(0.2);
+    EXPECT_EQ(b.remaining_, 0.0);
+    EXPECT_EQ(a.remaining_, 1e12);  // never ran
+}
+
+TEST_F(GuestSched, ThreadSwitchCostCharged) {
+    // Two threads on one vcpu: finishing the first charges a guest-level
+    // context switch before the second starts.
+    GuestJob a("a", 1000), b("b", 1000);
+    node.compute_guest()->add_thread(3, &a);
+    node.compute_guest()->add_thread(3, &b);
+    kick(3);
+    node.run_for(0.2);
+    const auto& usage = node.platform().core(3).exec().usage();
+    EXPECT_GT(usage.overhead, 0u);
+    EXPECT_EQ(b.remaining_, 0.0);
+}
+
+}  // namespace
+}  // namespace hpcsec

@@ -1,0 +1,68 @@
+// Coverage matrix: every paper workload on every node configuration
+// (scaled down) must finish, score positively, and respect the global
+// performance ordering native >= kitten-virtualized (within tolerance).
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "workloads/hpcg.h"
+#include "workloads/nas.h"
+#include "workloads/randomaccess.h"
+#include "workloads/stream.h"
+
+namespace hpcsec::core {
+namespace {
+
+std::vector<wl::WorkloadSpec> all_specs() {
+    std::vector<wl::WorkloadSpec> specs = {wl::hpcg_spec(), wl::stream_spec(),
+                                           wl::randomaccess_spec()};
+    for (auto& s : wl::nas_suite()) specs.push_back(s);
+    return specs;
+}
+
+using MatrixParam = std::tuple<int, SchedulerKind>;
+
+class WorkloadMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(WorkloadMatrix, RunsAndScores) {
+    const auto [spec_idx, kind] = GetParam();
+    wl::WorkloadSpec spec = all_specs()[static_cast<std::size_t>(spec_idx)];
+    spec.units_per_thread_step /= 16;  // keep the matrix fast
+
+    Harness::Options opt;
+    opt.trials = 1;
+    opt.measurement_noise = false;
+    Harness h(opt);
+    const TrialResult r = h.run_trial(kind, spec, 9000 + spec_idx);
+    EXPECT_GT(r.score, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_LT(r.seconds, 60.0);
+
+    // Virtualized configurations never beat native by more than noise-free
+    // rounding (they can only add overhead in this model).
+    if (kind != SchedulerKind::kNativeKitten) {
+        const TrialResult native =
+            h.run_trial(SchedulerKind::kNativeKitten, spec, 9000 + spec_idx);
+        EXPECT_LE(r.score, native.score * 1.0001)
+            << spec.name << " under " << to_string(kind);
+        // And they stay within 10% of native — "low overhead" is the title.
+        EXPECT_GT(r.score, native.score * 0.90)
+            << spec.name << " under " << to_string(kind);
+    }
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+    const auto [spec_idx, kind] = info.param;
+    return all_specs()[static_cast<std::size_t>(spec_idx)].name + "_" +
+           to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, WorkloadMatrix,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(SchedulerKind::kNativeKitten,
+                                         SchedulerKind::kKittenPrimary,
+                                         SchedulerKind::kLinuxPrimary)),
+    matrix_name);
+
+}  // namespace
+}  // namespace hpcsec::core

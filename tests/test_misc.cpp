@@ -1,0 +1,258 @@
+// Assorted coverage: perf-model pricing math, UART, platform presets,
+// control-task context, burst work, guest-config knobs, string helpers,
+// harness options.
+#include <gtest/gtest.h>
+
+#include "arch/perfmodel.h"
+#include "arch/platform.h"
+#include "arch/uart.h"
+#include "core/harness.h"
+#include "core/jobs.h"
+#include "core/node.h"
+#include "hafnium/hypercall.h"
+#include "hafnium/vm.h"
+#include "kitten/guest.h"
+#include "linux_fwk/burst.h"
+#include "workloads/nas.h"
+#include "workloads/selfish.h"
+
+namespace hpcsec {
+namespace {
+
+// --- PerfModel pricing --------------------------------------------------------
+
+TEST(PerfModel, UnitCostAddsWalkPenaltyByMode) {
+    arch::PerfModel perf;
+    arch::WorkProfile p;
+    p.cycles_per_unit = 100.0;
+    p.mem_refs_per_unit = 2.0;
+    p.tlb_miss_rate = 0.5;
+    const double native = perf.unit_cost(p, arch::TranslationMode::kNative);
+    const double two_stage = perf.unit_cost(p, arch::TranslationMode::kTwoStage);
+    EXPECT_DOUBLE_EQ(native, 100.0 + 1.0 * perf.stage1_walk);
+    EXPECT_DOUBLE_EQ(two_stage, 100.0 + 1.0 * perf.nested_walk);
+    EXPECT_GT(two_stage, native);
+}
+
+TEST(PerfModel, RefillTransientCappedByTlbCapacity) {
+    arch::PerfModel perf;
+    arch::WorkProfile small;
+    small.working_set_pages = 10;
+    arch::WorkProfile huge;
+    huge.working_set_pages = 100000;
+    const auto t_small = perf.refill_transient(small, arch::TranslationMode::kNative);
+    const auto t_huge = perf.refill_transient(huge, arch::TranslationMode::kNative);
+    EXPECT_EQ(t_small,
+              static_cast<sim::Cycles>(10 * perf.tlb_refill_fraction *
+                                       perf.stage1_walk));
+    EXPECT_EQ(t_huge,
+              static_cast<sim::Cycles>(perf.tlb_capacity_pages *
+                                       perf.tlb_refill_fraction * perf.stage1_walk));
+}
+
+TEST(PerfModel, ZeroMissWorkloadPaysNoWalks) {
+    arch::PerfModel perf;
+    arch::WorkProfile p;
+    p.cycles_per_unit = 10.0;
+    p.mem_refs_per_unit = 5.0;
+    p.tlb_miss_rate = 0.0;
+    EXPECT_DOUBLE_EQ(perf.unit_cost(p, arch::TranslationMode::kTwoStage), 10.0);
+}
+
+// --- UART standalone ------------------------------------------------------------
+
+TEST(Uart, CapturesBytesAndRaisesSpi) {
+    arch::MemoryMap mem;
+    mem.add_region({"uart", 0x9000'0000, 0x1000, arch::RegionKind::kMmio,
+                    arch::World::kNonSecure});
+    arch::Gic gic(1);
+    gic.enable_irq(40);
+    gic.set_spi_target(40, 0);
+    arch::Uart uart(mem, &gic, 0x9000'0000, 40);
+    for (const char c : std::string("ok\n")) {
+        mem.write64(0x9000'0000 + arch::Uart::kDataReg,
+                    static_cast<std::uint64_t>(c), arch::World::kNonSecure);
+    }
+    EXPECT_EQ(uart.output(), "ok\n");
+    EXPECT_EQ(uart.bytes_transmitted(), 3u);
+    EXPECT_TRUE(gic.has_deliverable(0));
+    EXPECT_EQ(mem.read64(0x9000'0000 + arch::Uart::kFlagReg, arch::World::kNonSecure),
+              arch::Uart::kFlagTxReady);
+    uart.clear_output();
+    EXPECT_TRUE(uart.output().empty());
+}
+
+TEST(Uart, RegisterOnNonMmioBaseThrows) {
+    arch::MemoryMap mem;
+    mem.add_region({"ram", 0x4000'0000, 1ull << 20, arch::RegionKind::kRam,
+                    arch::World::kNonSecure});
+    EXPECT_THROW(arch::Uart(mem, nullptr, 0x4000'0000), std::invalid_argument);
+}
+
+// --- platform presets ---------------------------------------------------------------
+
+TEST(PlatformPresets, NodeBootsOnQemuVirt) {
+    core::NodeConfig cfg =
+        core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 3);
+    cfg.platform = arch::PlatformConfig::qemu_virt();
+    core::Node node(cfg);
+    node.boot();
+    wl::WorkloadSpec s;
+    s.name = "t";
+    s.nthreads = 4;
+    s.supersteps = 2;
+    s.units_per_thread_step = 50000;
+    s.profile.cycles_per_unit = 5;
+    wl::ParallelWorkload w(s);
+    EXPECT_GT(node.run_workload(w, 30.0), 0.0);
+}
+
+TEST(PlatformPresets, NodeBootsOnThunderX2With28Cores) {
+    core::NodeConfig cfg =
+        core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 3);
+    cfg.platform = arch::PlatformConfig::thunderx2();
+    core::Node node(cfg);
+    node.boot();
+    EXPECT_EQ(node.compute_vm()->vcpu_count(), 28);
+    wl::WorkloadSpec s;
+    s.name = "t";
+    s.nthreads = 28;
+    s.supersteps = 2;
+    s.units_per_thread_step = 50000;
+    s.profile.cycles_per_unit = 5;
+    wl::ParallelWorkload w(s);
+    EXPECT_GT(node.run_workload(w, 30.0), 0.0);
+}
+
+// --- ControlTaskCtx -------------------------------------------------------------------
+
+TEST(ControlTaskCtx, ProcessesQueuedCommandsInOrder) {
+    core::ControlTaskCtx ctx(1000.0);
+    std::vector<std::uint64_t> seen;
+    ctx.handler = [&](const core::JobCommand& cmd) { seen.push_back(cmd.tag); };
+    EXPECT_EQ(ctx.remaining_units(), 0.0);
+    core::JobCommand a;
+    a.tag = 1;
+    core::JobCommand b;
+    b.tag = 2;
+    ctx.enqueue(a);
+    ctx.enqueue(b);
+    EXPECT_EQ(ctx.remaining_units(), 1000.0);
+    ctx.advance(1000.0, 0);  // finishes a, reloads for b
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{1}));
+    EXPECT_EQ(ctx.remaining_units(), 1000.0);
+    ctx.advance(500.0, 0);
+    ctx.advance(500.0, 0);
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(ctx.processed(), 2u);
+    EXPECT_EQ(ctx.remaining_units(), 0.0);
+}
+
+// --- BurstWork -----------------------------------------------------------------------
+
+TEST(BurstWork, RefillAndDrain) {
+    linux_fwk::BurstWork burst("kw", arch::TranslationMode::kTwoStage);
+    EXPECT_EQ(burst.remaining_units(), 0.0);
+    burst.refill(5000.0);
+    burst.advance(2000.0, 0);
+    EXPECT_EQ(burst.remaining_units(), 3000.0);
+    burst.advance(9999.0, 0);
+    EXPECT_EQ(burst.remaining_units(), 0.0);
+    EXPECT_EQ(burst.total_injected(), 5000.0);
+    EXPECT_EQ(burst.mode(), arch::TranslationMode::kTwoStage);
+}
+
+// --- guest config knobs ----------------------------------------------------------------
+
+TEST(GuestConfig, TicklessGuestProducesNoVtimerFires) {
+    core::NodeConfig cfg =
+        core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 8);
+    cfg.guest.tick_enabled = false;
+    core::Node node(cfg);
+    node.boot();
+    wl::SelfishBenchmark selfish(4, node.platform().engine().clock());
+    node.run_selfish(selfish, 2.0);
+    EXPECT_EQ(node.spm()->stats().vtimer_fires, 0u);
+    EXPECT_EQ(node.compute_guest()->stats().ticks, 0u);
+}
+
+TEST(GuestConfig, GuestTickRateIsConfigurable) {
+    core::NodeConfig cfg =
+        core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 8);
+    cfg.guest.tick_hz = 100.0;
+    core::Node node(cfg);
+    node.boot();
+    wl::SelfishBenchmark selfish(4, node.platform().engine().clock());
+    node.run_selfish(selfish, 1.0);
+    // ~100 guest ticks per vcpu per second.
+    EXPECT_NEAR(static_cast<double>(node.compute_guest()->stats().ticks), 400.0,
+                80.0);
+}
+
+// --- string helpers ---------------------------------------------------------------------
+
+TEST(Strings, EnumsRoundTripToText) {
+    EXPECT_EQ(hafnium::to_string(hafnium::Call::kVcpuRun), "HF_VCPU_RUN");
+    EXPECT_EQ(hafnium::to_string(hafnium::Call::kMemShare), "FFA_MEM_SHARE");
+    EXPECT_EQ(hafnium::to_string(hafnium::HfError::kDenied), "denied");
+    EXPECT_STREQ(hafnium::to_string(hafnium::VcpuState::kBlocked), "blocked");
+    EXPECT_STREQ(hafnium::to_string(hafnium::ExitReason::kPreempted), "preempted");
+    EXPECT_EQ(hafnium::to_string(hafnium::VmRole::kSuperSecondary),
+              "super-secondary");
+    EXPECT_EQ(core::to_string(core::SchedulerKind::kLinuxPrimary), "Linux");
+    EXPECT_EQ(arch::to_string(arch::FaultKind::kSecurity), "security");
+    EXPECT_EQ(arch::to_string(arch::El::kEl2), "EL2");
+    EXPECT_EQ(core::to_string(core::JobOp::kCreateVm), "create-vm");
+}
+
+// --- harness options ---------------------------------------------------------------------
+
+TEST(HarnessOptions, MeasurementNoiseTogglesVariance) {
+    wl::WorkloadSpec spec = wl::nas_ep_spec();  // deterministic-friendly
+    spec.units_per_thread_step /= 20;
+    spec.measurement_noise_sigma = 0.05;
+
+    core::Harness::Options noisy;
+    noisy.trials = 1;
+    noisy.measurement_noise = true;
+    core::Harness h_noisy(noisy);
+
+    core::Harness::Options clean = noisy;
+    clean.measurement_noise = false;
+    core::Harness h_clean(clean);
+
+    const double a = h_noisy
+                         .run_trial(core::SchedulerKind::kNativeKitten, spec, 1)
+                         .score;
+    const double b = h_clean
+                         .run_trial(core::SchedulerKind::kNativeKitten, spec, 1)
+                         .score;
+    EXPECT_NE(a, b);  // the noise multiplier moved the score
+    // And clean runs are bit-identical across repetitions.
+    const double b2 = h_clean
+                          .run_trial(core::SchedulerKind::kNativeKitten, spec, 1)
+                          .score;
+    EXPECT_EQ(b, b2);
+}
+
+TEST(HarnessOptions, ConfigFactoryIsHonoured) {
+    core::Harness::Options opt;
+    opt.trials = 1;
+    bool called = false;
+    opt.config_factory = [&called](core::SchedulerKind kind, std::uint64_t seed) {
+        called = true;
+        return core::Harness::default_config(kind, seed);
+    };
+    core::Harness h(opt);
+    wl::WorkloadSpec spec;
+    spec.name = "t";
+    spec.nthreads = 4;
+    spec.supersteps = 1;
+    spec.units_per_thread_step = 1000;
+    spec.profile.cycles_per_unit = 1;
+    (void)h.run_trial(core::SchedulerKind::kNativeKitten, spec, 1);
+    EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace hpcsec

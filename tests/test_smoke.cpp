@@ -1,0 +1,80 @@
+// End-to-end smoke tests: boot each configuration and run work through it.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "workloads/nas.h"
+#include "workloads/randomaccess.h"
+#include "workloads/selfish.h"
+
+namespace hpcsec {
+namespace {
+
+core::NodeConfig cfg_for(core::SchedulerKind kind) {
+    return core::Harness::default_config(kind, 7);
+}
+
+wl::WorkloadSpec tiny_spec() {
+    wl::WorkloadSpec s;
+    s.name = "tiny";
+    s.metric = "op/s";
+    s.nthreads = 4;
+    s.supersteps = 5;
+    s.units_per_thread_step = 50000;
+    s.profile.cycles_per_unit = 10.0;
+    s.metric_per_unit = 1.0;
+    return s;
+}
+
+TEST(Smoke, NativeBootsAndRuns) {
+    core::Node node(cfg_for(core::SchedulerKind::kNativeKitten));
+    node.boot();
+    wl::ParallelWorkload w(tiny_spec());
+    const double secs = node.run_workload(w, 60.0);
+    EXPECT_TRUE(w.finished());
+    EXPECT_GT(secs, 0.0);
+    EXPECT_LT(secs, 60.0);
+}
+
+TEST(Smoke, KittenPrimaryBootsAndRuns) {
+    core::Node node(cfg_for(core::SchedulerKind::kKittenPrimary));
+    node.boot();
+    ASSERT_NE(node.spm(), nullptr);
+    EXPECT_EQ(node.spm()->vm_count(), 2);  // primary + compute
+    wl::ParallelWorkload w(tiny_spec());
+    const double secs = node.run_workload(w, 60.0);
+    EXPECT_TRUE(w.finished());
+    EXPECT_GT(secs, 0.0);
+}
+
+TEST(Smoke, LinuxPrimaryBootsAndRuns) {
+    core::Node node(cfg_for(core::SchedulerKind::kLinuxPrimary));
+    node.boot();
+    wl::ParallelWorkload w(tiny_spec());
+    const double secs = node.run_workload(w, 60.0);
+    EXPECT_TRUE(w.finished());
+    EXPECT_GT(secs, 0.0);
+}
+
+TEST(Smoke, SelfishRunsOnAllConfigs) {
+    for (const auto kind : core::kAllConfigs) {
+        const auto series = core::run_selfish_experiment(kind, 2.0, 11);
+        // Every configuration ticks, so every configuration has detours.
+        EXPECT_GT(series.detours_all_cores, 0u) << core::to_string(kind);
+    }
+}
+
+TEST(Smoke, VirtualizedSlowerThanNativeOnTlbHeavyWork) {
+    wl::WorkloadSpec s = wl::randomaccess_spec();
+    s.units_per_thread_step /= 8;  // keep the test quick
+    core::Harness::Options opt;
+    opt.trials = 1;
+    opt.measurement_noise = false;
+    core::Harness h(opt);
+    const auto native = h.run_trial(core::SchedulerKind::kNativeKitten, s, 3);
+    const auto kitten = h.run_trial(core::SchedulerKind::kKittenPrimary, s, 3);
+    EXPECT_GT(native.score, kitten.score);
+}
+
+}  // namespace
+}  // namespace hpcsec

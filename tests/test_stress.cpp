@@ -1,0 +1,169 @@
+// Randomized stress / fuzz: drive a node with random management operations
+// (migrations, stops, relaunches, IRQ storms, dynamic partitions) while a
+// workload runs, and assert global invariants afterwards. Each seed is one
+// TEST_P instance; failures reproduce deterministically from the seed.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "core/signature.h"
+#include "sim/rng.h"
+#include "workloads/workload.h"
+
+namespace hpcsec::core {
+namespace {
+
+class StressFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressFuzz, RandomManagementOpsNeverBreakInvariants) {
+    const std::uint64_t seed = GetParam();
+    sim::Rng rng(seed);
+
+    NodeConfig cfg = Harness::default_config(
+        rng.next_double() < 0.5 ? SchedulerKind::kKittenPrimary
+                                : SchedulerKind::kLinuxPrimary,
+        seed);
+    cfg.with_super_secondary = rng.next_double() < 0.5;
+    Node node(cfg);
+    node.boot();
+
+    // Spinner keeps all VCPUs busy so ops hit running state often.
+    wl::ParallelWorkload spin(wl::spinner_spec(4));
+    spin.set_mode(arch::TranslationMode::kTwoStage);
+    for (int i = 0; i < 4; ++i) node.compute_guest()->set_thread(i, &spin.thread(i));
+    node.compute_guest()->wake_runnable_vcpus();
+    for (int i = 0; i < 4; ++i) {
+        node.spm()->make_vcpu_ready(node.compute_vm()->vcpu(i));
+        node.primary_os()->on_vcpu_wake(node.compute_vm()->vcpu(i));
+    }
+
+    const arch::VmId compute = node.compute_vm()->id();
+    for (int step = 0; step < 60; ++step) {
+        node.run_for(0.01 + rng.next_double() * 0.05);
+        switch (rng.next_below(6)) {
+            case 0: {  // migrate a random vcpu (Kitten primary only)
+                if (node.kitten() != nullptr) {
+                    const int v = static_cast<int>(rng.next_below(4));
+                    const auto c = static_cast<arch::CoreId>(rng.next_below(4));
+                    hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(v);
+                    node.spm()->force_stop_vcpu(vcpu);
+                    node.kitten()->migrate_vcpu(compute, v, c);
+                    node.spm()->wake_vcpu(vcpu);
+                }
+                break;
+            }
+            case 1: {  // device IRQ burst
+                for (int i = 0; i < static_cast<int>(rng.next_below(8)); ++i) {
+                    node.platform().gic().raise_spi(32);
+                }
+                break;
+            }
+            case 2: {  // force-stop then wake a vcpu
+                hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(
+                    static_cast<int>(rng.next_below(4)));
+                node.spm()->force_stop_vcpu(vcpu);
+                node.primary_os()->on_vcpu_wake(vcpu);
+                break;
+            }
+            case 3: {  // random hypercall garbage from the compute VM
+                node.spm()->hypercall(
+                    static_cast<arch::CoreId>(rng.next_below(4)), compute,
+                    static_cast<hafnium::Call>(rng.next_below(64)),
+                    {rng.next_u64() % 8, rng.next_u64() % 8, rng.next_u64(),
+                     rng.next_u64()});
+                break;
+            }
+            case 4: {  // send an SGI somewhere
+                node.platform().gic().send_sgi(
+                    static_cast<arch::CoreId>(rng.next_below(4)),
+                    static_cast<int>(rng.next_below(3)));
+                break;
+            }
+            case 5: {  // idle a while
+                node.run_for(0.02);
+                break;
+            }
+        }
+    }
+    node.run_for(0.2);
+
+    // --- invariants -----------------------------------------------------------
+    // I. Simulated time advanced and the engine is healthy.
+    EXPECT_GT(node.platform().engine().now(), 0u);
+
+    // II. Every VCPU is in a coherent state w.r.t. the core map.
+    int running = 0;
+    for (int v = 0; v < node.compute_vm()->vcpu_count(); ++v) {
+        const hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(v);
+        if (vcpu.state == hafnium::VcpuState::kRunning) {
+            ++running;
+            EXPECT_GE(vcpu.running_core, 0);
+        } else {
+            EXPECT_EQ(vcpu.running_core, -1);
+        }
+    }
+    EXPECT_LE(running, node.platform().ncores());
+
+    // III. Isolation still holds: every translated frame is owned.
+    for (int trial = 0; trial < 64; ++trial) {
+        const arch::IpaAddr ipa = rng.next_below(node.compute_vm()->mem_bytes());
+        const arch::WalkResult w = node.compute_vm()->stage2().walk(ipa);
+        ASSERT_EQ(w.fault, arch::FaultKind::kNone);
+        const auto owner = node.platform().mem().owner_of(w.out);
+        ASSERT_TRUE(owner.has_value());
+        EXPECT_EQ(owner->vm, compute);
+    }
+
+    // IV. The node still schedules: the spinner accumulates fresh runtime.
+    const auto runs_before = node.compute_vm()->vcpu(0).runs +
+                             node.compute_vm()->vcpu(1).runs +
+                             node.compute_vm()->vcpu(2).runs +
+                             node.compute_vm()->vcpu(3).runs;
+    node.run_for(1.0);
+    std::uint64_t runs_after = 0;
+    for (int v = 0; v < 4; ++v) runs_after += node.compute_vm()->vcpu(v).runs;
+    EXPECT_GT(runs_after, runs_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+class DynamicChurnFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicChurnFuzz, PartitionChurnConservesMemory) {
+    const std::uint64_t seed = GetParam();
+    sim::Rng rng(seed ^ 0xc4u);
+
+    NodeConfig cfg = Harness::default_config(SchedulerKind::kKittenPrimary, seed);
+    Node node(cfg);
+    node.boot();
+    const auto baseline = node.platform().mem().allocated_frames();
+
+    std::vector<arch::VmId> live;
+    int next_key = 0;
+    for (int step = 0; step < 12; ++step) {
+        node.run_for(0.01);
+        if (live.size() < 3 && (live.empty() || rng.next_double() < 0.6)) {
+            ImageSigner signer(std::vector<std::uint8_t>(
+                32, static_cast<std::uint8_t>(seed + next_key)));
+            node.verifier().enroll(signer.public_key());
+            const std::string name = "churn-" + std::to_string(next_key++);
+            auto img = signer.sign(name, Node::make_image(name));
+            const std::uint64_t mem = (16ull + 16ull * rng.next_below(3)) << 20;
+            live.push_back(node.launch_dynamic_vm(*img, mem,
+                                                  1 + static_cast<int>(rng.next_below(4))));
+        } else if (!live.empty()) {
+            const std::size_t idx = rng.next_below(live.size());
+            node.destroy_dynamic_vm(live[idx]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+    for (const arch::VmId id : live) node.destroy_dynamic_vm(id);
+    EXPECT_EQ(node.platform().mem().allocated_frames(), baseline);
+    node.run_for(0.5);  // node still healthy
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicChurnFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hpcsec::core

@@ -1,0 +1,117 @@
+// Timeline recorder tests: span accounting, window clamping, rendering,
+// executor integration, and the no-observer-effect guarantee.
+#include <gtest/gtest.h>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "sim/timeline.h"
+#include "workloads/nas.h"
+
+namespace hpcsec {
+namespace {
+
+TEST(Timeline, RecordsAndTotals) {
+    sim::Timeline t;
+    t.record(0, 100, 200, 'W', "app");
+    t.record(0, 200, 230, 'O', "kernel");
+    t.record(1, 0, 50, 'W', "app");
+    EXPECT_EQ(t.spans().size(), 3u);
+    EXPECT_EQ(t.total('W'), 150u);
+    EXPECT_EQ(t.total('W', 0), 100u);
+    EXPECT_EQ(t.total('O'), 30u);
+}
+
+TEST(Timeline, TotalClampsToWindow) {
+    sim::Timeline t;
+    t.record(0, 100, 300, 'W', "app");
+    EXPECT_EQ(t.total('W', 0, 150, 250), 100u);
+    EXPECT_EQ(t.total('W', 0, 0, 100), 0u);
+    EXPECT_EQ(t.total('W', 0, 300, 400), 0u);
+}
+
+TEST(Timeline, IgnoresEmptyAndRespectsCap) {
+    sim::Timeline t(2);
+    t.record(0, 10, 10, 'W', "empty");  // zero length dropped
+    EXPECT_TRUE(t.spans().empty());
+    t.record(0, 0, 1, 'W', "a");
+    t.record(0, 1, 2, 'W', "b");
+    t.record(0, 2, 3, 'W', "c");  // over cap
+    EXPECT_EQ(t.spans().size(), 2u);
+    EXPECT_TRUE(t.saturated());
+}
+
+TEST(Timeline, RenderShowsBusyAndIdle) {
+    sim::Timeline t;
+    t.record(0, 0, 500, 'W', "app");       // first half busy
+    const std::string s = t.render(0, 1000, 1, 10);
+    EXPECT_NE(s.find("#####....."), std::string::npos);
+}
+
+TEST(Timeline, RenderHighlightsOverheadSlivers) {
+    sim::Timeline t;
+    t.record(0, 0, 1000, 'W', "app");
+    t.record(0, 400, 480, 'O', "tick");  // 8% of the strip, 80% of its bucket
+    const std::string s = t.render(0, 1000, 1, 10);
+    EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(Timeline, RenderTlbGlyph) {
+    sim::Timeline t;
+    t.record(0, 0, 100, 'T', "refill");
+    const std::string s = t.render(0, 100, 1, 4);
+    EXPECT_NE(s.find('t'), std::string::npos);
+}
+
+TEST(Timeline, ExecutorEmitsWorkOverheadAndTransient) {
+    sim::Engine engine;
+    arch::PerfModel perf;
+    arch::Executor ex(engine, perf, 0);
+    sim::Timeline t;
+    ex.set_timeline(&t);
+
+    struct W : arch::Runnable {
+        double rem = 1000;
+        arch::WorkProfile prof{};
+        std::string_view label() const override { return "w"; }
+        double remaining_units() const override { return rem; }
+        void advance(double u, sim::SimTime) override {
+            rem = u >= rem ? 0 : rem - u;
+        }
+        const arch::WorkProfile& profile() const override { return prof_; }
+        arch::TranslationMode mode() const override {
+            return arch::TranslationMode::kNative;
+        }
+        arch::WorkProfile prof_{1.0, 0.0, 0.0, 64.0};
+    } w;
+
+    ex.charge(100);
+    ex.add_transient(50);
+    ex.begin(&w);
+    engine.run();
+    EXPECT_EQ(t.total('O'), 100u);
+    EXPECT_EQ(t.total('T'), 50u);
+    EXPECT_EQ(t.total('W'), 1000u);
+}
+
+TEST(Timeline, AttachingNeverChangesTiming) {
+    wl::WorkloadSpec spec = wl::nas_cg_spec();
+    spec.units_per_thread_step /= 16;
+
+    auto run = [&](bool with_timeline) {
+        core::Node node(core::Harness::default_config(
+            core::SchedulerKind::kLinuxPrimary, 44));
+        node.boot();
+        sim::Timeline t;
+        if (with_timeline) {
+            for (int c = 0; c < node.platform().ncores(); ++c) {
+                node.platform().core(c).exec().set_timeline(&t);
+            }
+        }
+        wl::ParallelWorkload w(spec);
+        return node.run_workload(w, 60.0);
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace hpcsec

@@ -1,0 +1,344 @@
+// Workload tests: the real computational kernels verify their numerics,
+// and the BSP workload framework honours barrier/spin semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/hpcg.h"
+#include "workloads/nas.h"
+#include "workloads/randomaccess.h"
+#include "workloads/selfish.h"
+#include "workloads/stream.h"
+#include "workloads/workload.h"
+
+namespace hpcsec::wl {
+namespace {
+
+// --- STREAM ---------------------------------------------------------------------
+
+TEST(StreamKernel, VerifiesAfterIterations) {
+    StreamKernel k(1u << 14);
+    k.run(10);
+    EXPECT_TRUE(k.verify());
+    EXPECT_EQ(k.iterations(), 10);
+}
+
+TEST(StreamKernel, DetectsCorruption) {
+    StreamKernel k(1u << 12);
+    k.run(3);
+    // Corrupt one element through the public accessor's storage.
+    const_cast<double&>(k.a()[7]) += 1.0;
+    EXPECT_FALSE(k.verify());
+}
+
+TEST(StreamKernel, BytesPerRoundMatchesConvention) {
+    StreamKernel k(1000);
+    EXPECT_DOUBLE_EQ(k.bytes_per_round(), 10.0 * 1000 * 8);
+}
+
+TEST(StreamSpec, CalibratedToPaperNative) {
+    const WorkloadSpec s = stream_spec();
+    // cycles/byte * bytes/s = 4 cores * 1.1 GHz  =>  MB/s ~= 59.6.
+    const double mbps = 4.0 * 1.1e9 / s.profile.cycles_per_unit / 1e6;
+    EXPECT_NEAR(mbps, 59.6, 0.5);
+}
+
+// --- RandomAccess ------------------------------------------------------------------
+
+TEST(RandomAccessKernel, UpdateStreamIsInvolution) {
+    RandomAccessKernel k(14);
+    k.run(50000, 42);
+    EXPECT_EQ(k.verify_and_count_errors(50000, 42), 0u);
+}
+
+TEST(RandomAccessKernel, DifferentSeedLeavesResidue) {
+    RandomAccessKernel k(12);
+    k.run(20000, 1);
+    EXPECT_GT(k.verify_and_count_errors(20000, 2), 0u);
+}
+
+TEST(RandomAccessKernel, CountsUpdates) {
+    RandomAccessKernel k(10);
+    k.run(123, 9);
+    EXPECT_EQ(k.updates_done(), 123u);
+    EXPECT_EQ(k.table_words(), 1024u);
+}
+
+TEST(RandomAccessSpec, TlbHostileProfile) {
+    const WorkloadSpec s = randomaccess_spec();
+    EXPECT_DOUBLE_EQ(s.profile.tlb_miss_rate, 1.0);
+    EXPECT_GT(s.profile.working_set_pages, 512.0);  // exceeds TLB reach
+    const double gups = 4.0 * 1.1e9 /
+                        (s.profile.cycles_per_unit + 25.0 * 35.0) / 1e9;
+    EXPECT_NEAR(gups, 6.5e-5, 2e-6);
+}
+
+// --- HPCG ---------------------------------------------------------------------------
+
+TEST(HpcgKernel, CgConvergesOnStencil) {
+    HpcgKernel k(12, 12, 12);
+    const auto res = k.solve(40, 1e-7);
+    EXPECT_GT(res.iterations, 1);
+    EXPECT_LT(res.reduction(), 1e-6);
+    EXPECT_GT(res.flops, 0.0);
+}
+
+TEST(HpcgKernel, LargerGridStillConverges) {
+    HpcgKernel k(16, 16, 16);
+    const auto res = k.solve(50, 1e-6);
+    EXPECT_LT(res.reduction(), 1e-5);
+}
+
+TEST(HpcgKernel, FlopCountScalesWithRows) {
+    HpcgKernel small(8, 8, 8), big(16, 16, 16);
+    EXPECT_NEAR(big.flops_per_iteration() / small.flops_per_iteration(), 8.0, 0.01);
+}
+
+// --- NAS random stream ----------------------------------------------------------------
+
+TEST(NasRandom, MatchesReferenceSequenceProperties) {
+    NasRandom r;
+    // All deviates in (0,1), deterministic across instances.
+    NasRandom r2;
+    for (int i = 0; i < 1000; ++i) {
+        const double a = r.next();
+        EXPECT_GT(a, 0.0);
+        EXPECT_LT(a, 1.0);
+        EXPECT_DOUBLE_EQ(a, r2.next());
+    }
+}
+
+TEST(NasRandom, SkipMatchesSequentialAdvance) {
+    NasRandom seq, skip;
+    for (int i = 0; i < 777; ++i) (void)seq.next();
+    skip.skip(777);
+    EXPECT_DOUBLE_EQ(seq.next(), skip.next());
+}
+
+TEST(NasRandom, SkipZeroIsIdentity) {
+    NasRandom a, b;
+    b.skip(0);
+    EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+// --- EP ----------------------------------------------------------------------------
+
+TEST(EpKernel, AcceptanceRateNearPiOver4) {
+    const auto r = EpKernel::run(200000);
+    const double rate =
+        static_cast<double>(r.pairs_accepted) / static_cast<double>(r.pairs_generated);
+    EXPECT_NEAR(rate, M_PI / 4.0, 0.01);
+}
+
+TEST(EpKernel, GaussianSumsNearZero) {
+    const auto r = EpKernel::run(200000);
+    const auto n = static_cast<double>(r.pairs_accepted);
+    EXPECT_LT(std::fabs(r.sx) / n, 0.02);
+    EXPECT_LT(std::fabs(r.sy) / n, 0.02);
+}
+
+TEST(EpKernel, AnnulusCountsSumToAccepted) {
+    const auto r = EpKernel::run(50000);
+    std::uint64_t total = 0;
+    for (const auto c : r.annulus_counts) total += c;
+    EXPECT_EQ(total, r.pairs_accepted);
+    // Nearly all Gaussian deviates fall in |x|<4.
+    EXPECT_GT(r.annulus_counts[0] + r.annulus_counts[1], r.pairs_accepted / 2);
+}
+
+TEST(EpKernel, DeterministicForSeed) {
+    const auto a = EpKernel::run(10000, 7.0);
+    const auto b = EpKernel::run(10000, 7.0);
+    EXPECT_EQ(a.pairs_accepted, b.pairs_accepted);
+    EXPECT_DOUBLE_EQ(a.sx, b.sx);
+}
+
+// --- NAS CG -----------------------------------------------------------------------------
+
+TEST(NasCgKernel, EstimatesSmallestEigenvalue) {
+    const auto r = NasCgKernel::run(24, 6, 30);
+    const double expected = NasCgKernel::analytic_lambda_min(24);
+    EXPECT_NEAR(r.zeta, expected, expected * 0.05);
+}
+
+TEST(NasCgKernel, CountsWork) {
+    const auto r = NasCgKernel::run(16, 2, 10);
+    EXPECT_EQ(r.iterations, 20);
+    EXPECT_GT(r.flops, 0.0);
+}
+
+// --- ADI (BT/SP) -------------------------------------------------------------------------
+
+TEST(AdiKernel, DecaysTowardSteadyState) {
+    AdiKernel k(12, 12, 12, 0.1);
+    const double initial = k.max_abs();
+    k.advance(20);
+    EXPECT_LT(k.max_abs(), initial);
+    // Further steps shrink the change monotonically (diffusion).
+    const double c1 = k.advance(1);
+    const double c2 = k.advance(1);
+    EXPECT_LE(c2, c1);
+}
+
+TEST(AdiKernel, SymmetricInitialStaysSymmetric) {
+    AdiKernel k(9, 9, 9, 0.05);
+    k.advance(5);
+    const auto& u = k.field();
+    // Mirror symmetry in x for the separable sine initial condition.
+    for (int j = 0; j < 9; ++j) {
+        const std::size_t left = static_cast<std::size_t>(j) * 9 + 1;
+        const std::size_t right = static_cast<std::size_t>(j) * 9 + 7;
+        EXPECT_NEAR(u[left], u[right], 1e-9);
+    }
+}
+
+// --- SSOR (LU) -----------------------------------------------------------------------------
+
+TEST(SsorKernel, ResidualDecreases) {
+    SsorKernel k(10, 10, 10);
+    const auto r = k.relax(20);
+    EXPECT_LT(r.final_residual, r.initial_residual * 0.01);
+}
+
+TEST(SsorKernel, MoreIterationsImprove) {
+    SsorKernel a(8, 8, 8), b(8, 8, 8);
+    const auto ra = a.relax(5);
+    const auto rb = b.relax(25);
+    EXPECT_LT(rb.final_residual, ra.final_residual);
+}
+
+// --- spec sanity across the suite ------------------------------------------------------------
+
+class NasSpecSanity : public ::testing::TestWithParam<int> {};
+
+TEST_P(NasSpecSanity, CalibratedToFig10Native) {
+    const auto specs = nas_suite();
+    const double paper_mops[] = {33.16, 34.214, 4.38, 0.77, 15.084};
+    const auto& s = specs[static_cast<std::size_t>(GetParam())];
+    const double cycles_per_op =
+        s.profile.cycles_per_unit +
+        s.profile.mem_refs_per_unit * s.profile.tlb_miss_rate * 35.0;
+    const double mops = 4.0 * 1.1e9 / cycles_per_op / 1e6;
+    EXPECT_NEAR(mops, paper_mops[GetParam()], paper_mops[GetParam()] * 0.01);
+    EXPECT_GT(s.supersteps, 0);
+    EXPECT_GT(s.units_per_thread_step, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFive, NasSpecSanity, ::testing::Range(0, 5));
+
+// --- ParallelWorkload framework ---------------------------------------------------------------
+
+TEST(ParallelWorkload, BarrierReleasesWhenAllArrive) {
+    WorkloadSpec s;
+    s.name = "t";
+    s.nthreads = 2;
+    s.supersteps = 3;
+    s.units_per_thread_step = 10;
+    ParallelWorkload w(s);
+    int releases = 0;
+    w.on_release = [&] { ++releases; };
+    bool finished = false;
+    w.on_finished = [&](sim::SimTime) { finished = true; };
+
+    // Step 0: thread 0 arrives, spins.
+    w.thread(0).advance(10, 100);
+    EXPECT_EQ(w.thread(0).phase(), WorkThread::Phase::kSpinning);
+    EXPECT_EQ(releases, 0);
+    // Thread 1 arrives: barrier releases, both refilled.
+    w.thread(1).advance(10, 110);
+    EXPECT_EQ(releases, 1);
+    EXPECT_EQ(w.thread(0).phase(), WorkThread::Phase::kWorking);
+    EXPECT_EQ(w.current_step(), 1);
+
+    // Finish the remaining two steps.
+    for (int step = 0; step < 2; ++step) {
+        w.thread(0).advance(10, 200 + step);
+        w.thread(1).advance(10, 210 + step);
+    }
+    EXPECT_TRUE(finished);
+    EXPECT_TRUE(w.finished());
+    EXPECT_EQ(w.thread(0).phase(), WorkThread::Phase::kDone);
+    EXPECT_EQ(w.thread(0).remaining_units(), 0.0);
+}
+
+TEST(ParallelWorkload, SpinPhaseReportsInfiniteWork) {
+    WorkloadSpec s;
+    s.name = "t";
+    s.nthreads = 2;
+    s.supersteps = 1;
+    s.units_per_thread_step = 5;
+    ParallelWorkload w(s);
+    w.thread(0).advance(5, 1);
+    EXPECT_GT(w.thread(0).remaining_units(), 1e20);
+    // Spin progress is ignored.
+    w.thread(0).advance(1e6, 2);
+    EXPECT_EQ(w.thread(0).phase(), WorkThread::Phase::kSpinning);
+}
+
+TEST(ParallelWorkload, ResetRestoresFullWork) {
+    WorkloadSpec s;
+    s.name = "t";
+    s.nthreads = 1;
+    s.supersteps = 2;
+    s.units_per_thread_step = 5;
+    ParallelWorkload w(s);
+    w.thread(0).advance(5, 1);
+    w.thread(0).advance(5, 2);
+    EXPECT_TRUE(w.finished());
+    w.reset();
+    EXPECT_FALSE(w.finished());
+    EXPECT_EQ(w.current_step(), 0);
+    EXPECT_EQ(w.thread(0).remaining_units(), 5.0);
+}
+
+TEST(ParallelWorkload, ScoreUsesTotalUnits) {
+    WorkloadSpec s;
+    s.name = "t";
+    s.nthreads = 4;
+    s.supersteps = 10;
+    s.units_per_thread_step = 25;
+    s.metric_per_unit = 2.0;
+    ParallelWorkload w(s);
+    EXPECT_DOUBLE_EQ(s.total_units(), 1000.0);
+    EXPECT_DOUBLE_EQ(w.score(4.0), 500.0);
+}
+
+TEST(ParallelWorkload, RejectsBadShapes) {
+    WorkloadSpec s;
+    s.nthreads = 0;
+    EXPECT_THROW(ParallelWorkload w(s), std::invalid_argument);
+}
+
+// --- DetourRecorder ------------------------------------------------------------------------------
+
+TEST(DetourRecorder, FindsGapsAboveThreshold) {
+    sim::ClockSpec clk{1'000'000'000};
+    DetourRecorder rec(clk, 1.0);  // 1 us threshold
+    rec.observe(0, 1000);
+    rec.observe(1500, 2000);       // 0.5 us gap: below threshold
+    rec.observe(12000, 13000);     // 10 us gap: detour
+    ASSERT_EQ(rec.detours().size(), 1u);
+    EXPECT_NEAR(rec.detours()[0].duration_us, 10.0, 1e-9);
+    EXPECT_NEAR(rec.detours()[0].at_seconds, 2e-6, 1e-12);
+    EXPECT_NEAR(rec.total_detour_us(), 10.0, 1e-9);
+    EXPECT_NEAR(rec.max_detour_us(), 10.0, 1e-9);
+}
+
+TEST(DetourRecorder, FirstIntervalIsNotADetour) {
+    sim::ClockSpec clk{1'000'000'000};
+    DetourRecorder rec(clk, 1.0);
+    rec.observe(50000, 60000);  // no prior interval
+    EXPECT_TRUE(rec.detours().empty());
+}
+
+TEST(SelfishBenchmark, WiresRecorderPerThread) {
+    SelfishBenchmark s(4, sim::ClockSpec{1'000'000'000});
+    s.workload().thread(2).on_interval(0, 100);
+    s.workload().thread(2).on_interval(5000, 6000);
+    EXPECT_EQ(s.recorder(2).detours().size(), 1u);
+    EXPECT_EQ(s.recorder(0).detours().size(), 0u);
+    EXPECT_EQ(s.all_detours().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcsec::wl
