@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_irq_routing.dir/abl_irq_routing.cpp.o"
+  "CMakeFiles/abl_irq_routing.dir/abl_irq_routing.cpp.o.d"
+  "abl_irq_routing"
+  "abl_irq_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_irq_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

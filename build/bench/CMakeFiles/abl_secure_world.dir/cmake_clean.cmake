@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_secure_world.dir/abl_secure_world.cpp.o"
+  "CMakeFiles/abl_secure_world.dir/abl_secure_world.cpp.o.d"
+  "abl_secure_world"
+  "abl_secure_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_secure_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stage2_tlb.dir/abl_stage2_tlb.cpp.o"
+  "CMakeFiles/abl_stage2_tlb.dir/abl_stage2_tlb.cpp.o.d"
+  "abl_stage2_tlb"
+  "abl_stage2_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stage2_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

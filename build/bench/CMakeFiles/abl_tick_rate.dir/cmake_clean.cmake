@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tick_rate.dir/abl_tick_rate.cpp.o"
+  "CMakeFiles/abl_tick_rate.dir/abl_tick_rate.cpp.o.d"
+  "abl_tick_rate"
+  "abl_tick_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tick_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

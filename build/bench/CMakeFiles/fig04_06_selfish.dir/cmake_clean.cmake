@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_06_selfish.dir/fig04_06_selfish.cpp.o"
+  "CMakeFiles/fig04_06_selfish.dir/fig04_06_selfish.cpp.o.d"
+  "fig04_06_selfish"
+  "fig04_06_selfish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_06_selfish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

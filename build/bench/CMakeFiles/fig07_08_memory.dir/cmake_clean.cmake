@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_memory.dir/fig07_08_memory.cpp.o"
+  "CMakeFiles/fig07_08_memory.dir/fig07_08_memory.cpp.o.d"
+  "fig07_08_memory"
+  "fig07_08_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_nas.dir/fig09_10_nas.cpp.o"
+  "CMakeFiles/fig09_10_nas.dir/fig09_10_nas.cpp.o.d"
+  "fig09_10_nas"
+  "fig09_10_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_paths.dir/micro_paths.cpp.o"
+  "CMakeFiles/micro_paths.dir/micro_paths.cpp.o.d"
+  "micro_paths"
+  "micro_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_partition.dir/dynamic_partition.cpp.o"
+  "CMakeFiles/dynamic_partition.dir/dynamic_partition.cpp.o.d"
+  "dynamic_partition"
+  "dynamic_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_cli.dir/hpcsec_cli.cpp.o"
+  "CMakeFiles/hpcsec_cli.dir/hpcsec_cli.cpp.o.d"
+  "hpcsec_cli"
+  "hpcsec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/login_vm_jobcontrol.dir/login_vm_jobcontrol.cpp.o"
+  "CMakeFiles/login_vm_jobcontrol.dir/login_vm_jobcontrol.cpp.o.d"
+  "login_vm_jobcontrol"
+  "login_vm_jobcontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/login_vm_jobcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_boot.dir/measured_boot.cpp.o"
+  "CMakeFiles/measured_boot.dir/measured_boot.cpp.o.d"
+  "measured_boot"
+  "measured_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

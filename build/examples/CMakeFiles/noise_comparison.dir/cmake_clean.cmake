@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_comparison.dir/noise_comparison.cpp.o"
+  "CMakeFiles/noise_comparison.dir/noise_comparison.cpp.o.d"
+  "noise_comparison"
+  "noise_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/cache.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/cache.cpp.o.d"
+  "/root/repo/src/arch/core.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/core.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/core.cpp.o.d"
+  "/root/repo/src/arch/devicetree.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/devicetree.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/devicetree.cpp.o.d"
+  "/root/repo/src/arch/exec.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/exec.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/exec.cpp.o.d"
+  "/root/repo/src/arch/gic.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/gic.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/gic.cpp.o.d"
+  "/root/repo/src/arch/memory_map.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/memory_map.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/memory_map.cpp.o.d"
+  "/root/repo/src/arch/mmu.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/mmu.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/mmu.cpp.o.d"
+  "/root/repo/src/arch/monitor.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/monitor.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/monitor.cpp.o.d"
+  "/root/repo/src/arch/page_table.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/page_table.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/page_table.cpp.o.d"
+  "/root/repo/src/arch/platform.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/platform.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/platform.cpp.o.d"
+  "/root/repo/src/arch/timer.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/timer.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/timer.cpp.o.d"
+  "/root/repo/src/arch/tlb.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/tlb.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/tlb.cpp.o.d"
+  "/root/repo/src/arch/types.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/types.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/types.cpp.o.d"
+  "/root/repo/src/arch/uart.cpp" "src/arch/CMakeFiles/hpcsec_arch.dir/uart.cpp.o" "gcc" "src/arch/CMakeFiles/hpcsec_arch.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpcsec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_arch.dir/cache.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/cache.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/core.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/core.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/devicetree.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/devicetree.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/exec.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/exec.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/gic.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/gic.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/memory_map.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/memory_map.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/mmu.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/mmu.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/monitor.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/monitor.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/page_table.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/page_table.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/platform.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/platform.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/timer.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/timer.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/tlb.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/tlb.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/types.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/types.cpp.o.d"
+  "CMakeFiles/hpcsec_arch.dir/uart.cpp.o"
+  "CMakeFiles/hpcsec_arch.dir/uart.cpp.o.d"
+  "libhpcsec_arch.a"
+  "libhpcsec_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_cluster.dir/scale_model.cpp.o"
+  "CMakeFiles/hpcsec_cluster.dir/scale_model.cpp.o.d"
+  "CMakeFiles/hpcsec_cluster.dir/trace_collect.cpp.o"
+  "CMakeFiles/hpcsec_cluster.dir/trace_collect.cpp.o.d"
+  "libhpcsec_cluster.a"
+  "libhpcsec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

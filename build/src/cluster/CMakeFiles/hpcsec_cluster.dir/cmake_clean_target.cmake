@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcsec_cluster.a"
+)

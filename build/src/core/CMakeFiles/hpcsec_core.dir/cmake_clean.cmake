@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_core.dir/attest.cpp.o"
+  "CMakeFiles/hpcsec_core.dir/attest.cpp.o.d"
+  "CMakeFiles/hpcsec_core.dir/harness.cpp.o"
+  "CMakeFiles/hpcsec_core.dir/harness.cpp.o.d"
+  "CMakeFiles/hpcsec_core.dir/jobproto.cpp.o"
+  "CMakeFiles/hpcsec_core.dir/jobproto.cpp.o.d"
+  "CMakeFiles/hpcsec_core.dir/jobs.cpp.o"
+  "CMakeFiles/hpcsec_core.dir/jobs.cpp.o.d"
+  "CMakeFiles/hpcsec_core.dir/node.cpp.o"
+  "CMakeFiles/hpcsec_core.dir/node.cpp.o.d"
+  "CMakeFiles/hpcsec_core.dir/signature.cpp.o"
+  "CMakeFiles/hpcsec_core.dir/signature.cpp.o.d"
+  "libhpcsec_core.a"
+  "libhpcsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

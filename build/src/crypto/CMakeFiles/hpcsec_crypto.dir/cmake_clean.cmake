@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_crypto.dir/lamport.cpp.o"
+  "CMakeFiles/hpcsec_crypto.dir/lamport.cpp.o.d"
+  "CMakeFiles/hpcsec_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/hpcsec_crypto.dir/sha256.cpp.o.d"
+  "libhpcsec_crypto.a"
+  "libhpcsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

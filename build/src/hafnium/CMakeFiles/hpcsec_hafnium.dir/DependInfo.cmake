@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hafnium/hypercall.cpp" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/hypercall.cpp.o" "gcc" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/hypercall.cpp.o.d"
+  "/root/repo/src/hafnium/manifest.cpp" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/manifest.cpp.o" "gcc" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/manifest.cpp.o.d"
+  "/root/repo/src/hafnium/spm.cpp" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/spm.cpp.o" "gcc" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/spm.cpp.o.d"
+  "/root/repo/src/hafnium/vm.cpp" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/vm.cpp.o" "gcc" "src/hafnium/CMakeFiles/hpcsec_hafnium.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/hpcsec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcsec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_hafnium.dir/hypercall.cpp.o"
+  "CMakeFiles/hpcsec_hafnium.dir/hypercall.cpp.o.d"
+  "CMakeFiles/hpcsec_hafnium.dir/manifest.cpp.o"
+  "CMakeFiles/hpcsec_hafnium.dir/manifest.cpp.o.d"
+  "CMakeFiles/hpcsec_hafnium.dir/spm.cpp.o"
+  "CMakeFiles/hpcsec_hafnium.dir/spm.cpp.o.d"
+  "CMakeFiles/hpcsec_hafnium.dir/vm.cpp.o"
+  "CMakeFiles/hpcsec_hafnium.dir/vm.cpp.o.d"
+  "libhpcsec_hafnium.a"
+  "libhpcsec_hafnium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_hafnium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpcsec_hafnium.
+# This may be replaced when dependencies are built.

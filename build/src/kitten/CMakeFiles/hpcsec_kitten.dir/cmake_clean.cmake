@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_kitten.dir/aspace.cpp.o"
+  "CMakeFiles/hpcsec_kitten.dir/aspace.cpp.o.d"
+  "CMakeFiles/hpcsec_kitten.dir/buddy.cpp.o"
+  "CMakeFiles/hpcsec_kitten.dir/buddy.cpp.o.d"
+  "CMakeFiles/hpcsec_kitten.dir/guest.cpp.o"
+  "CMakeFiles/hpcsec_kitten.dir/guest.cpp.o.d"
+  "CMakeFiles/hpcsec_kitten.dir/kitten.cpp.o"
+  "CMakeFiles/hpcsec_kitten.dir/kitten.cpp.o.d"
+  "libhpcsec_kitten.a"
+  "libhpcsec_kitten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_kitten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linux_fwk/cfs.cpp" "src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/cfs.cpp.o" "gcc" "src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/cfs.cpp.o.d"
+  "/root/repo/src/linux_fwk/guest.cpp" "src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/guest.cpp.o" "gcc" "src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/guest.cpp.o.d"
+  "/root/repo/src/linux_fwk/linux.cpp" "src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/linux.cpp.o" "gcc" "src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/linux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hafnium/CMakeFiles/hpcsec_hafnium.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hpcsec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcsec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

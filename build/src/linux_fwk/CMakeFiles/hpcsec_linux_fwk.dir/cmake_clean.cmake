@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_linux_fwk.dir/cfs.cpp.o"
+  "CMakeFiles/hpcsec_linux_fwk.dir/cfs.cpp.o.d"
+  "CMakeFiles/hpcsec_linux_fwk.dir/guest.cpp.o"
+  "CMakeFiles/hpcsec_linux_fwk.dir/guest.cpp.o.d"
+  "CMakeFiles/hpcsec_linux_fwk.dir/linux.cpp.o"
+  "CMakeFiles/hpcsec_linux_fwk.dir/linux.cpp.o.d"
+  "libhpcsec_linux_fwk.a"
+  "libhpcsec_linux_fwk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_linux_fwk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_sim.dir/engine.cpp.o"
+  "CMakeFiles/hpcsec_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/hpcsec_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hpcsec_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hpcsec_sim.dir/rng.cpp.o"
+  "CMakeFiles/hpcsec_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcsec_sim.dir/stats.cpp.o"
+  "CMakeFiles/hpcsec_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcsec_sim.dir/timeline.cpp.o"
+  "CMakeFiles/hpcsec_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/hpcsec_sim.dir/trace.cpp.o"
+  "CMakeFiles/hpcsec_sim.dir/trace.cpp.o.d"
+  "libhpcsec_sim.a"
+  "libhpcsec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

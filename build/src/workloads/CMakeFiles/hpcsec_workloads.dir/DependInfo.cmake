@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hpcg.cpp" "src/workloads/CMakeFiles/hpcsec_workloads.dir/hpcg.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcsec_workloads.dir/hpcg.cpp.o.d"
+  "/root/repo/src/workloads/nas.cpp" "src/workloads/CMakeFiles/hpcsec_workloads.dir/nas.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcsec_workloads.dir/nas.cpp.o.d"
+  "/root/repo/src/workloads/randomaccess.cpp" "src/workloads/CMakeFiles/hpcsec_workloads.dir/randomaccess.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcsec_workloads.dir/randomaccess.cpp.o.d"
+  "/root/repo/src/workloads/selfish.cpp" "src/workloads/CMakeFiles/hpcsec_workloads.dir/selfish.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcsec_workloads.dir/selfish.cpp.o.d"
+  "/root/repo/src/workloads/stream.cpp" "src/workloads/CMakeFiles/hpcsec_workloads.dir/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcsec_workloads.dir/stream.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/hpcsec_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/hpcsec_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/hpcsec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcsec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcsec_workloads.dir/hpcg.cpp.o"
+  "CMakeFiles/hpcsec_workloads.dir/hpcg.cpp.o.d"
+  "CMakeFiles/hpcsec_workloads.dir/nas.cpp.o"
+  "CMakeFiles/hpcsec_workloads.dir/nas.cpp.o.d"
+  "CMakeFiles/hpcsec_workloads.dir/randomaccess.cpp.o"
+  "CMakeFiles/hpcsec_workloads.dir/randomaccess.cpp.o.d"
+  "CMakeFiles/hpcsec_workloads.dir/selfish.cpp.o"
+  "CMakeFiles/hpcsec_workloads.dir/selfish.cpp.o.d"
+  "CMakeFiles/hpcsec_workloads.dir/stream.cpp.o"
+  "CMakeFiles/hpcsec_workloads.dir/stream.cpp.o.d"
+  "CMakeFiles/hpcsec_workloads.dir/workload.cpp.o"
+  "CMakeFiles/hpcsec_workloads.dir/workload.cpp.o.d"
+  "libhpcsec_workloads.a"
+  "libhpcsec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcsec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_machine.dir/test_arch_machine.cpp.o"
+  "CMakeFiles/test_arch_machine.dir/test_arch_machine.cpp.o.d"
+  "test_arch_machine"
+  "test_arch_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

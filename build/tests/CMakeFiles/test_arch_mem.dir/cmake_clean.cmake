@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_mem.dir/test_arch_mem.cpp.o"
+  "CMakeFiles/test_arch_mem.dir/test_arch_mem.cpp.o.d"
+  "test_arch_mem"
+  "test_arch_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

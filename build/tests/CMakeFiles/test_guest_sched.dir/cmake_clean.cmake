@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_sched.dir/test_guest_sched.cpp.o"
+  "CMakeFiles/test_guest_sched.dir/test_guest_sched.cpp.o.d"
+  "test_guest_sched"
+  "test_guest_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hafnium.dir/test_hafnium.cpp.o"
+  "CMakeFiles/test_hafnium.dir/test_hafnium.cpp.o.d"
+  "test_hafnium"
+  "test_hafnium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hafnium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

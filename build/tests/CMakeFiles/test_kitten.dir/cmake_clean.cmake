@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kitten.dir/test_kitten.cpp.o"
+  "CMakeFiles/test_kitten.dir/test_kitten.cpp.o.d"
+  "test_kitten"
+  "test_kitten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kitten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linux.dir/test_linux.cpp.o"
+  "CMakeFiles/test_linux.dir/test_linux.cpp.o.d"
+  "test_linux"
+  "test_linux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracles.dir/test_oracles.cpp.o"
+  "CMakeFiles/test_oracles.dir/test_oracles.cpp.o.d"
+  "test_oracles"
+  "test_oracles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

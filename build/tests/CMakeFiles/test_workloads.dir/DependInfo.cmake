@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/test_workloads.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hpcsec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpcsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hpcsec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kitten/CMakeFiles/hpcsec_kitten.dir/DependInfo.cmake"
+  "/root/repo/build/src/linux_fwk/CMakeFiles/hpcsec_linux_fwk.dir/DependInfo.cmake"
+  "/root/repo/build/src/hafnium/CMakeFiles/hpcsec_hafnium.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hpcsec_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcsec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
