@@ -3,9 +3,11 @@
 // device SPIs directly to the super-secondary. This bench drives a device
 // interrupt storm and compares primary-side overhead and compute-VM noise.
 #include <cstdio>
+#include <string>
 
 #include "core/harness.h"
 #include "core/node.h"
+#include "obs/report.h"
 #include "workloads/selfish.h"
 
 namespace {
@@ -59,20 +61,26 @@ int main() {
     std::printf("(10 s simulated, IRQ storm on the NIC SPI, login VM on core 0)\n\n");
     std::printf("%-10s %-12s %10s %10s %10s %14s %16s\n", "policy", "irq[Hz]",
                 "handled", "fwd(prim)", "fwd(spm)", "lost[us]", "ovh[ms,all]");
+    obs::BenchReport report("abl_irq_routing");
     for (const double rate : {100.0, 1000.0, 5000.0}) {
         for (const auto policy : {hafnium::IrqRoutingPolicy::kAllToPrimary,
                                   hafnium::IrqRoutingPolicy::kSelective}) {
             const Result r = run(policy, rate, 10.0);
+            const char* name =
+                policy == hafnium::IrqRoutingPolicy::kAllToPrimary ? "forward"
+                                                                   : "selective";
             std::printf("%-10s %-12.0f %10llu %10llu %10llu %14.1f %16.2f\n",
-                        policy == hafnium::IrqRoutingPolicy::kAllToPrimary
-                            ? "forward"
-                            : "selective",
-                        rate, static_cast<unsigned long long>(r.delivered),
+                        name, rate, static_cast<unsigned long long>(r.delivered),
                         static_cast<unsigned long long>(r.primary_forwards),
                         static_cast<unsigned long long>(r.spm_forwards),
                         r.compute_lost_us, r.primary_overhead_ms);
+            const std::string tag =
+                std::string(name) + "." + std::to_string(static_cast<int>(rate));
+            report.add(tag + ".lost_us", r.compute_lost_us, 0.0, 1);
+            report.add(tag + ".overhead_ms", r.primary_overhead_ms, 0.0, 1);
         }
     }
+    report.write_default();
     std::printf(
         "\nTakeaway: forwarding through the primary burns primary-VM cycles and\n"
         "adds compute-VM detours per device IRQ; selective routing (the paper's\n"

@@ -4,8 +4,10 @@
 // primary's kworker wake rate and reports LU (fine-grained sync) vs EP
 // (no sync) — noise amplification in action.
 #include <cstdio>
+#include <string>
 
 #include "core/harness.h"
+#include "obs/report.h"
 #include "workloads/nas.h"
 
 int main() {
@@ -20,6 +22,7 @@ int main() {
     lu.units_per_thread_step /= 2;
     ep.units_per_thread_step /= 2;
 
+    obs::BenchReport report("abl_noise");
     double lu_base = 0.0, ep_base = 0.0;
     for (const double rate : {0.0, 2.0, 10.0, 50.0, 200.0}) {
         core::Harness::Options opt;
@@ -47,7 +50,11 @@ int main() {
         }
         std::printf("%-14.0f %12.2f %12.4f %14.3f\n", rate, lu_s.mean(), ep_s.mean(),
                     (lu_s.mean() / lu_base) / (ep_s.mean() / ep_base));
+        const std::string tag = "kworker_hz." + std::to_string(static_cast<int>(rate));
+        report.add(tag + ".lu_mops", lu_s);
+        report.add(tag + ".ep_mops", ep_s);
     }
+    report.write_default();
     std::printf(
         "\nTakeaway: as deferred-work rate grows, LU degrades faster than EP —\n"
         "a detour on one core stalls all cores at the next wavefront barrier.\n");

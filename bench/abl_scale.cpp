@@ -8,9 +8,12 @@
 // matter at scale, and the projection of where the paper's approach pays.
 #include <cstdio>
 
+#include <string>
+
 #include "cluster/scale_model.h"
 #include "cluster/trace_collect.h"
 #include "core/harness.h"
+#include "obs/report.h"
 #include "workloads/nas.h"
 
 int main(int argc, char** argv) {
@@ -42,13 +45,18 @@ int main(int argc, char** argv) {
         cluster::ScaleModel model(traces, clock);
         results.push_back(model.sweep(nodes, 5, 777));
     }
+    obs::BenchReport report("abl_scale");
+    static constexpr const char* kTags[3] = {"native", "kitten", "linux"};
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         std::printf("%8d", nodes[i]);
-        for (const auto& series : results) {
-            std::printf(" %14.4f", series[i].efficiency);
+        for (std::size_t k = 0; k < results.size(); ++k) {
+            std::printf(" %14.4f", results[k][i].efficiency);
+            report.add(std::string(kTags[k]) + ".eff." + std::to_string(nodes[i]),
+                       results[k][i].efficiency, 0.0, 1);
         }
         std::printf("\n");
     }
+    report.write_default();
     std::printf(
         "\nTakeaway: per-node noise compounds as max() across nodes. The Linux-\n"
         "scheduled configuration sheds efficiency with node count while the\n"

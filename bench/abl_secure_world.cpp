@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/harness.h"
+#include "obs/report.h"
 #include "workloads/hpcg.h"
 #include "workloads/randomaccess.h"
 
@@ -19,6 +20,7 @@ int main() {
     std::printf("%-14s %18s %18s %10s\n", "workload", "non-secure", "secure",
                 "ratio");
 
+    obs::BenchReport report("abl_secure_world");
     for (const bool tlb_heavy : {false, true}) {
         wl::WorkloadSpec spec = tlb_heavy ? wl::randomaccess_spec() : wl::hpcg_spec();
         spec.units_per_thread_step /= 4;
@@ -45,7 +47,11 @@ int main() {
         }
         std::printf("%-14s %18.6g %18.6g %10.4f\n", spec.name.c_str(), scores[0],
                     scores[1], scores[1] / scores[0]);
+        report.add(spec.name + ".nonsecure", scores[0], 0.0, 3);
+        report.add(spec.name + ".secure", scores[1], 0.0, 3);
+        report.add(spec.name + ".ratio", scores[1] / scores[0], 0.0, 1);
     }
+    report.write_default();
     std::printf(
         "\nTakeaway: ratio == 1.0 — world membership is a boot-time attribute\n"
         "of the frames, not a per-access toll. The cost of TrustZone here is\n"

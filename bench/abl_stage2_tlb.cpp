@@ -5,8 +5,10 @@
 // the native configuration is unaffected, so the normalized curve isolates
 // the virtualization cost.
 #include <cstdio>
+#include <string>
 
 #include "core/harness.h"
+#include "obs/report.h"
 #include "workloads/randomaccess.h"
 #include "workloads/stream.h"
 
@@ -21,6 +23,7 @@ int main() {
     wl::WorkloadSpec st = wl::stream_spec();
     st.units_per_thread_step /= 4;
 
+    obs::BenchReport report("abl_stage2_tlb");
     for (const sim::Cycles walk : {35ull, 80ull, 165ull, 330ull, 660ull}) {
         core::Harness::Options opt;
         opt.trials = 1;
@@ -42,7 +45,11 @@ int main() {
         std::printf("%-18llu %16.4f %16.4f\n",
                     static_cast<unsigned long long>(walk), ra_virt / ra_native,
                     st_virt / st_native);
+        const std::string tag = "walk_cyc." + std::to_string(walk);
+        report.add(tag + ".gups_norm", ra_virt / ra_native, 0.0, 1);
+        report.add(tag + ".stream_norm", st_virt / st_native, 0.0, 1);
     }
+    report.write_default();
     std::printf(
         "\nTakeaway: RandomAccess degradation scales with the nested-walk cost\n"
         "(every update misses the TLB); Stream barely moves (page-sequential).\n"

@@ -3,8 +3,10 @@
 // rates"). Sweeps the primary VM's tick frequency under both primary
 // kernels and reports the secondary VM's detour profile.
 #include <cstdio>
+#include <string>
 
 #include "core/harness.h"
+#include "obs/report.h"
 
 int main() {
     using namespace hpcsec;
@@ -13,6 +15,15 @@ int main() {
     std::printf("%-8s %-10s %12s %14s %14s\n", "primary", "tick[Hz]", "detours",
                 "lost[us/core]", "max[us]");
 
+    obs::BenchReport report("abl_tick_rate");
+    const auto record = [&report](const char* primary, double hz,
+                                  const core::SelfishSeries& s) {
+        const std::string tag =
+            std::string(primary) + "." + std::to_string(static_cast<int>(hz));
+        report.add(tag + ".detours", static_cast<double>(s.detours_all_cores), 0.0, 1);
+        report.add(tag + ".lost_us_per_core", s.total_detour_us_all / 4.0, 0.0, 1);
+        report.add(tag + ".max_detour_us", s.max_detour_us, 0.0, 1);
+    };
     const double kitten_rates[] = {1, 10, 100, 250};
     for (const double hz : kitten_rates) {
         core::NodeConfig cfg =
@@ -23,6 +34,7 @@ int main() {
         std::printf("%-8s %-10.0f %12zu %14.1f %14.2f\n", "Kitten", hz,
                     static_cast<std::size_t>(s.detours_all_cores),
                     s.total_detour_us_all / 4.0, s.max_detour_us);
+        record("kitten", hz, s);
     }
     const double linux_rates[] = {100, 250, 1000};
     for (const double hz : linux_rates) {
@@ -34,7 +46,9 @@ int main() {
         std::printf("%-8s %-10.0f %12zu %14.1f %14.2f\n", "Linux", hz,
                     static_cast<std::size_t>(s.detours_all_cores),
                     s.total_detour_us_all / 4.0, s.max_detour_us);
+        record("linux", hz, s);
     }
+    report.write_default();
     std::printf(
         "\nTakeaway: noise scales with tick rate; the LWK's low-rate ticks are\n"
         "the first-order reason Fig. 5 looks like Fig. 4.\n");

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "core/harness.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
     using namespace hpcsec;
@@ -17,20 +18,30 @@ int main(int argc, char** argv) {
 
     struct FigDef {
         const char* fig;
+        const char* tag;
         core::SchedulerKind kind;
     };
     const FigDef figs[] = {
-        {"Fig. 4 (native Kitten)", core::SchedulerKind::kNativeKitten},
-        {"Fig. 5 (Kitten VM, Kitten scheduler)", core::SchedulerKind::kKittenPrimary},
-        {"Fig. 6 (Kitten VM, Linux scheduler)", core::SchedulerKind::kLinuxPrimary},
+        {"Fig. 4 (native Kitten)", "native", core::SchedulerKind::kNativeKitten},
+        {"Fig. 5 (Kitten VM, Kitten scheduler)", "kitten",
+         core::SchedulerKind::kKittenPrimary},
+        {"Fig. 6 (Kitten VM, Linux scheduler)", "linux",
+         core::SchedulerKind::kLinuxPrimary},
     };
 
+    obs::BenchReport report("fig04_06_selfish");
     std::printf("== Selfish-detour benchmark, %.0f s simulated per config ==\n\n",
                 seconds);
     for (const auto& fig : figs) {
         const auto series = core::run_selfish_experiment(fig.kind, seconds, seed);
         std::printf("---- %s ----\n", fig.fig);
         std::printf("%s\n", core::format_selfish(series).c_str());
+        const std::string tag = fig.tag;
+        report.add(tag + ".detours",
+                   static_cast<double>(series.detours_all_cores), 0.0, 1);
+        report.add(tag + ".lost_us", series.total_detour_us_all, 0.0, 1);
+        report.add(tag + ".max_detour_us", series.max_detour_us, 0.0, 1);
     }
+    report.write_default();
     return 0;
 }

@@ -30,5 +30,6 @@ int main(int argc, char** argv) {
     std::printf("%s\n", core::Harness::format_raw(rows).c_str());
     std::printf("== Fig. 7: normalized performance ==\n");
     std::printf("%s\n", core::Harness::format_normalized(rows).c_str());
+    core::Harness::write_bench_report("fig07_08_memory", rows);
     return 0;
 }

@@ -25,5 +25,6 @@ int main(int argc, char** argv) {
     std::printf("%s\n", core::Harness::format_raw(rows).c_str());
     std::printf("== Fig. 9: normalized performance ==\n");
     std::printf("%s\n", core::Harness::format_normalized(rows).c_str());
+    core::Harness::write_bench_report("fig09_10_nas", rows);
     return 0;
 }

@@ -1,0 +1,49 @@
+// Tee google-benchmark console output into a machine-readable
+// BENCH_<name>.json (obs::BenchReport), so the micro benches feed the same
+// perf-trajectory tracking as the figure/ablation benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace hpcsec::benchutil {
+
+/// Console reporter that also accumulates every non-errored iteration run
+/// into an obs::BenchReport row (metric = benchmark name, mean = adjusted
+/// real time per iteration in the run's time unit, n = iterations).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+public:
+    explicit JsonTeeReporter(std::string bench_name)
+        : report_(std::move(bench_name)) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const auto& run : runs) {
+            if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+            report_.add(run.benchmark_name(), run.GetAdjustedRealTime(), 0.0,
+                        static_cast<std::size_t>(run.iterations));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    [[nodiscard]] const obs::BenchReport& report() const { return report_; }
+
+private:
+    obs::BenchReport report_;
+};
+
+/// Drop-in BENCHMARK_MAIN() body that writes BENCH_<bench_name>.json on exit.
+inline int run_and_report(const std::string& bench_name, int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    JsonTeeReporter reporter(bench_name);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    reporter.report().write_default();
+    benchmark::Shutdown();
+    return 0;
+}
+
+}  // namespace hpcsec::benchutil

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/attest.h"
+#include "gbench_json.h"
 #include "crypto/lamport.h"
 #include "crypto/sha256.h"
 
@@ -78,4 +79,6 @@ BENCHMARK(BM_AttestationExtend);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return hpcsec::benchutil::run_and_report("micro_crypto", argc, argv);
+}

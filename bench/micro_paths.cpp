@@ -7,7 +7,9 @@
 
 #include "arch/mmu.h"
 #include "arch/platform.h"
+#include "gbench_json.h"
 #include "hafnium/spm.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 
 namespace {
@@ -135,6 +137,37 @@ void BM_GuestFunctionalWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_GuestFunctionalWrite);
 
+// The structured recorder must cost one predicted branch per call site when
+// its category is masked off (ISSUE acceptance: instrumentation is free in
+// ordinary runs). Compare against the enabled path, which appends an Event.
+void BM_RecorderDisabled(benchmark::State& state) {
+    obs::SpanRecorder rec;  // mask defaults to 0: everything filtered
+    sim::SimTime t = 0;
+    for (auto _ : state) {
+        rec.instant(++t, obs::EventType::kVmExit, 0, 1, 2, 3);
+        benchmark::DoNotOptimize(rec.events().size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderDisabled);
+
+void BM_RecorderEnabled(benchmark::State& state) {
+    obs::SpanRecorder rec;
+    rec.set_mask(obs::to_mask(obs::Category::kAll));
+    sim::SimTime t = 0;
+    for (auto _ : state) {
+        rec.instant(++t, obs::EventType::kVmExit, 0, 1, 2, 3);
+        benchmark::DoNotOptimize(rec.events().size());
+        if (rec.events().size() >= (1u << 20)) {
+            state.PauseTiming();
+            rec.clear();
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecorderEnabled);
+
 void BM_SpmFullBoot(benchmark::State& state) {
     for (auto _ : state) {
         arch::Platform platform(arch::PlatformConfig::pine_a64());
@@ -147,4 +180,6 @@ BENCHMARK(BM_SpmFullBoot);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    return hpcsec::benchutil::run_and_report("micro_paths", argc, argv);
+}

@@ -6,17 +6,26 @@
 //              [--seconds S]            (selfish duration)
 //              [--super-secondary] [--secure] [--selective-routing]
 //              [--tick-hz HZ]           (primary tick rate override)
+//              [--trace-out FILE]       (Perfetto/Chrome trace JSON; runs all
+//                                        three configs, one trial each)
+//              [--metrics-out FILE]     (aggregated metrics JSON, all configs)
+//              [--trace-mask CATS]      (comma list: irq,sched,hyp,vm,mmu,
+//                                        workload,boot,channel,all)
 //
 // Examples:
 //   hpcsec_cli --workload gups --config linux --trials 5
 //   hpcsec_cli --workload selfish --config kitten --seconds 30
 //   hpcsec_cli --workload lu --config kitten --secure
+//   hpcsec_cli --workload hpcg --trace-out trace.json --metrics-out metrics.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/harness.h"
+#include "obs/events.h"
+#include "obs/trace_export.h"
 #include "workloads/hpcg.h"
 #include "workloads/nas.h"
 #include "workloads/randomaccess.h"
@@ -36,6 +45,9 @@ struct CliOptions {
     bool secure = false;
     bool selective = false;
     double tick_hz = 0.0;  // 0 = default
+    std::string trace_out;
+    std::string metrics_out;
+    std::string trace_mask = "irq,sched,hyp,vm,workload";
 };
 
 void usage() {
@@ -44,7 +56,8 @@ void usage() {
                  "selfish]\n                  [--config native|kitten|linux] "
                  "[--trials N] [--seed S]\n                  [--seconds S] "
                  "[--super-secondary] [--secure]\n                  "
-                 "[--selective-routing] [--tick-hz HZ]\n");
+                 "[--selective-routing] [--tick-hz HZ]\n                  "
+                 "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n");
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -77,6 +90,18 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             const char* v = next();
             if (v == nullptr) return false;
             opt.tick_hz = std::atof(v);
+        } else if (arg == "--trace-out") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.trace_out = v;
+        } else if (arg == "--metrics-out") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.metrics_out = v;
+        } else if (arg == "--trace-mask") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.trace_mask = v;
         } else if (arg == "--super-secondary") {
             opt.super_secondary = true;
         } else if (arg == "--secure") {
@@ -114,6 +139,108 @@ bool pick_config(const std::string& name, core::SchedulerKind& out) {
     return true;
 }
 
+/// "irq,vm,hyp" -> obs::Category bitmask; unknown tokens are rejected.
+bool parse_trace_mask(const std::string& list, std::uint32_t& out) {
+    out = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (tok == "irq") out |= obs::to_mask(obs::Category::kIrq);
+        else if (tok == "sched") out |= obs::to_mask(obs::Category::kSched);
+        else if (tok == "hyp") out |= obs::to_mask(obs::Category::kHyp);
+        else if (tok == "vm") out |= obs::to_mask(obs::Category::kVm);
+        else if (tok == "mmu") out |= obs::to_mask(obs::Category::kMmu);
+        else if (tok == "workload") out |= obs::to_mask(obs::Category::kWorkload);
+        else if (tok == "boot") out |= obs::to_mask(obs::Category::kBoot);
+        else if (tok == "channel") out |= obs::to_mask(obs::Category::kChannel);
+        else if (tok == "all") out |= obs::to_mask(obs::Category::kAll);
+        else if (!tok.empty()) {
+            std::fprintf(stderr, "unknown trace category: %s\n", tok.c_str());
+            return false;
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+constexpr const char* kConfigNames[3] = {"native", "kitten", "linux"};
+
+/// Observability run: all three scheduler configs, one trial each, with the
+/// structured recorder enabled. Writes a multi-process Perfetto trace
+/// and/or an aggregated metrics JSON.
+int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
+                 const std::function<core::NodeConfig(core::SchedulerKind,
+                                                      std::uint64_t)>& factory,
+                 std::uint32_t mask) {
+    const core::NodeConfig probe = factory(core::SchedulerKind::kKittenPrimary,
+                                           opt.seed);
+    obs::TraceExporter exporter(sim::ClockSpec{probe.platform.clock_hz});
+    core::ExperimentRow row;
+
+    for (std::size_t c = 0; c < core::kAllConfigs.size(); ++c) {
+        const core::SchedulerKind kind = core::kAllConfigs[c];
+        if (spec != nullptr) {
+            core::Harness::Options hopt;
+            hopt.trials = 1;
+            hopt.base_seed = opt.seed;
+            hopt.config_factory = factory;
+            hopt.obs_mask = mask;
+            hopt.post_trial = [&](core::SchedulerKind, std::uint64_t,
+                                  core::Node& node) {
+                exporter.add_process(static_cast<int>(c), kConfigNames[c],
+                                     node.platform().ncores(),
+                                     node.platform().recorder().events());
+            };
+            core::Harness harness(hopt);
+            const auto r = harness.run_trial(kind, *spec, opt.seed);
+            row.workload = spec->name;
+            row.metric = spec->metric;
+            row.cells[c] = {r.score, 0.0, 1};
+            row.metrics[c].add(r.metrics);
+            std::printf("%s on %s: %.6g %s (%.3f s simulated)\n",
+                        spec->name.c_str(), kConfigNames[c], r.score,
+                        spec->metric.c_str(), r.seconds);
+        } else {
+            core::NodeConfig cfg = factory(kind, opt.seed);
+            cfg.platform.obs_mask |= mask;
+            const auto series =
+                core::run_selfish_experiment(kind, opt.seconds, opt.seed, &cfg);
+            exporter.add_process(static_cast<int>(c), kConfigNames[c],
+                                 series.ncores, series.events);
+            row.workload = "selfish";
+            row.metric = "detours";
+            row.cells[c] = {static_cast<double>(series.detours_all_cores), 0.0, 1};
+            row.metrics[c].add(series.metrics);
+            std::printf("selfish on %s: %llu detours, %.3g us lost\n",
+                        kConfigNames[c],
+                        static_cast<unsigned long long>(series.detours_all_cores),
+                        series.total_detour_us_all);
+        }
+    }
+
+    if (!opt.trace_out.empty()) {
+        if (!exporter.write_file(opt.trace_out)) {
+            std::fprintf(stderr, "failed to write %s\n", opt.trace_out.c_str());
+            return 1;
+        }
+        std::printf("trace written to %s\n", opt.trace_out.c_str());
+    }
+    if (!opt.metrics_out.empty()) {
+        std::ofstream f(opt.metrics_out);
+        if (!f) {
+            std::fprintf(stderr, "failed to write %s\n", opt.metrics_out.c_str());
+            return 1;
+        }
+        f << core::Harness::format_metrics_json({row});
+        std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,6 +266,22 @@ int main(int argc, char** argv) {
         }
         return cfg;
     };
+
+    const bool observed = !opt.trace_out.empty() || !opt.metrics_out.empty();
+    if (observed) {
+        std::uint32_t mask = 0;
+        if (!parse_trace_mask(opt.trace_mask, mask)) {
+            usage();
+            return 2;
+        }
+        if (opt.workload == "selfish") return run_observed(opt, nullptr, factory, mask);
+        wl::WorkloadSpec spec;
+        if (!pick_workload(opt.workload, spec)) {
+            usage();
+            return 2;
+        }
+        return run_observed(opt, &spec, factory, mask);
+    }
 
     if (opt.workload == "selfish") {
         const core::NodeConfig cfg = factory(kind, opt.seed);

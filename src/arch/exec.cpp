@@ -105,6 +105,7 @@ Runnable* Executor::preempt() {
                 }
                 if (now > split) timeline_->record(core_, split, now, 'W', r->label());
             }
+            if (now > chunk_start_) observe_chunk(chunk_start_ + transient_used, now);
             current_ = nullptr;
             state_ = State::kIdle;
             busy_until_ = std::max(busy_until_, now);
@@ -112,6 +113,16 @@ Runnable* Executor::preempt() {
         }
     }
     return nullptr;
+}
+
+void Executor::observe_chunk(sim::SimTime split, sim::SimTime now) {
+    if (recorder_ != nullptr && now > split) {
+        recorder_->span(split, now, obs::EventType::kWorkChunk, core_);
+    }
+    if (metrics_ != nullptr) {
+        metrics_->observe(chunk_hist_,
+                          engine_->clock().to_micros(now - chunk_start_));
+    }
 }
 
 void Executor::reprice() {
@@ -136,6 +147,7 @@ void Executor::finish_chunk() {
             timeline_->record(core_, split, now, 'W', current_->label());
         }
     }
+    if (now > chunk_start_) observe_chunk(chunk_start_ + transient_used, now);
 
     Runnable* r = current_;
     current_ = nullptr;

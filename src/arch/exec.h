@@ -17,6 +17,8 @@
 
 #include "arch/perfmodel.h"
 #include "arch/types.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/timeline.h"
 
@@ -107,6 +109,17 @@ public:
     /// Attach a timeline recorder (purely observational).
     void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
 
+    /// Attach the structured span recorder (purely observational; one
+    /// branch per chunk boundary when the workload category is off).
+    void set_recorder(obs::SpanRecorder* recorder) { recorder_ = recorder; }
+
+    /// Record on-CPU chunk durations (µs) into a registry histogram.
+    void set_chunk_metrics(obs::MetricsRegistry* metrics,
+                           obs::MetricsRegistry::Handle chunk_hist) {
+        metrics_ = metrics;
+        chunk_hist_ = chunk_hist;
+    }
+
 private:
     enum class State { kIdle, kPendingBegin, kRunning };
 
@@ -127,9 +140,14 @@ private:
     double rate_ = 1.0;                // cycles per unit for current chunk
     sim::Cycles pending_transient_ = 0;
 
+    void observe_chunk(sim::SimTime split, sim::SimTime now);
+
     std::function<void(Runnable*)> on_complete_;
     CoreUsage usage_;
     sim::Timeline* timeline_ = nullptr;
+    obs::SpanRecorder* recorder_ = nullptr;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    obs::MetricsRegistry::Handle chunk_hist_ = 0;
 };
 
 }  // namespace hpcsec::arch

@@ -68,11 +68,16 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
     }
 
     gic_ = std::make_unique<Gic>(config_.ncores);
+    obs_.recorder.set_mask(config_.obs_mask);
+    obs_.recorder.set_mirror(&trace_);
+    const auto chunk_hist = obs_.metrics.histogram("exec.chunk_us");
     std::vector<Core*> core_ptrs;
     for (int i = 0; i < config_.ncores; ++i) {
         cores_.push_back(
             std::make_unique<Core>(engine_, config_.perf, *gic_, mem_, i));
         core_ptrs.push_back(cores_.back().get());
+        cores_.back()->exec().set_recorder(&obs_.recorder);
+        cores_.back()->exec().set_chunk_metrics(&obs_.metrics, chunk_hist);
     }
     gic_->set_signal([this](CoreId id) { cores_[static_cast<std::size_t>(id)]->signal_irq(); });
     monitor_ = std::make_unique<SecureMonitor>(std::move(core_ptrs));
@@ -116,6 +121,20 @@ CoreUsage Platform::total_usage() const {
         total.overhead += u.overhead;
     }
     return total;
+}
+
+void Platform::publish_metrics() {
+    auto& m = obs_.metrics;
+    m.set(m.gauge("engine.events"),
+          static_cast<double>(engine_.events_executed()));
+    for (const auto& pc : engine_.executed_by_priority()) {
+        m.set(m.gauge("engine.events.p" + std::to_string(pc.priority)),
+              static_cast<double>(pc.executed));
+    }
+    const CoreUsage u = total_usage();
+    m.set(m.gauge("cores.work_us"), engine_.clock().to_micros(u.work));
+    m.set(m.gauge("cores.transient_us"), engine_.clock().to_micros(u.transient));
+    m.set(m.gauge("cores.overhead_us"), engine_.clock().to_micros(u.overhead));
 }
 
 }  // namespace hpcsec::arch

@@ -17,6 +17,7 @@
 #include "arch/monitor.h"
 #include "arch/perfmodel.h"
 #include "arch/uart.h"
+#include "obs/obs.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
 #include "sim/trace.h"
@@ -39,6 +40,8 @@ struct PlatformConfig {
     std::uint64_t secure_ram_bytes = 0;    ///< carved from the top of RAM
     std::vector<MmioDevice> devices;
     PerfModel perf;
+    /// Structured-recorder category mask (obs::Category bits); 0 = off.
+    std::uint32_t obs_mask = 0;
 
     static PlatformConfig pine_a64();
     static PlatformConfig qemu_virt();
@@ -57,6 +60,9 @@ public:
     sim::Engine& engine() { return engine_; }
     sim::Rng& rng() { return rng_; }
     sim::TraceLog& trace() { return trace_; }
+    obs::Obs& obs() { return obs_; }
+    obs::MetricsRegistry& metrics() { return obs_.metrics; }
+    obs::SpanRecorder& recorder() { return obs_.recorder; }
     MemoryMap& mem() { return mem_; }
     Gic& gic() { return *gic_; }
     SecureMonitor& monitor() { return *monitor_; }
@@ -76,6 +82,10 @@ public:
     /// Aggregate busy/overhead accounting across cores.
     [[nodiscard]] CoreUsage total_usage() const;
 
+    /// Push derived metrics (engine events by priority, per-bucket core
+    /// cycle totals) into the registry. Call before taking a snapshot.
+    void publish_metrics();
+
 private:
     void build_device_tree();
 
@@ -83,6 +93,7 @@ private:
     sim::Engine engine_;
     sim::Rng rng_;
     sim::TraceLog trace_;
+    obs::Obs obs_;
     MemoryMap mem_;
     std::unique_ptr<Gic> gic_;
     std::vector<std::unique_ptr<Core>> cores_;

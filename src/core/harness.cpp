@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/report.h"
 #include "sim/rng.h"
 
 namespace hpcsec::core {
@@ -27,7 +28,9 @@ NodeConfig Harness::default_config(SchedulerKind kind, std::uint64_t seed) {
 
 TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
                                std::uint64_t seed) {
-    Node node(options_.config_factory(kind, seed));
+    NodeConfig cfg = options_.config_factory(kind, seed);
+    cfg.platform.obs_mask |= options_.obs_mask;
+    Node node(std::move(cfg));
     node.boot();
     wl::ParallelWorkload workload(spec);
     const double seconds = node.run_workload(workload, options_.timeout_s);
@@ -38,6 +41,8 @@ TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
         sim::Rng rng(seed ^ 0x5eedf00dULL);
         r.score *= 1.0 + spec.measurement_noise_sigma * rng.normal(0.0, 1.0);
     }
+    r.metrics = node.publish_metrics();
+    if (options_.post_trial) options_.post_trial(kind, seed, node);
     return r;
 }
 
@@ -51,7 +56,9 @@ ExperimentRow Harness::run_row(const wl::WorkloadSpec& spec) {
             const std::uint64_t seed =
                 options_.base_seed + 7919ull * static_cast<std::uint64_t>(t) +
                 131ull * c;
-            stats.add(run_trial(kAllConfigs[c], spec, seed).score);
+            const TrialResult r = run_trial(kAllConfigs[c], spec, seed);
+            stats.add(r.score);
+            row.metrics[c].add(r.metrics);
         }
         row.cells[c] = {stats.mean(), stats.stddev(), static_cast<int>(stats.count())};
     }
@@ -115,6 +122,39 @@ std::string Harness::format_normalized(const std::vector<ExperimentRow>& rows) {
     return os.str();
 }
 
+std::string Harness::format_metrics_json(const std::vector<ExperimentRow>& rows) {
+    static constexpr const char* kNames[3] = {"Native", "Kitten", "Linux"};
+    std::ostringstream os;
+    os << "{\"rows\":[\n";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r != 0) os << ",\n";
+        os << " {\"workload\":\"" << rows[r].workload << "\",\"metric\":\""
+           << rows[r].metric << "\",\"configs\":[";
+        for (std::size_t c = 0; c < 3; ++c) {
+            if (c != 0) os << ",";
+            os << "\n  {\"config\":\"" << kNames[c] << "\",\"data\":";
+            rows[r].metrics[c].write_json(os);
+            os << "}";
+        }
+        os << "]}";
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+bool Harness::write_bench_report(const std::string& bench,
+                                 const std::vector<ExperimentRow>& rows) {
+    obs::BenchReport report(bench);
+    static constexpr const char* kNames[3] = {"native", "kitten", "linux"};
+    for (const auto& row : rows) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            report.add(row.workload + "." + kNames[c], row.cells[c].mean,
+                       row.cells[c].stdev, static_cast<std::size_t>(row.cells[c].n));
+        }
+    }
+    return report.write_default();
+}
+
 // ---------------------------------------------------------------------------
 // Selfish
 // ---------------------------------------------------------------------------
@@ -129,17 +169,21 @@ SelfishSeries run_selfish_experiment(SchedulerKind kind, double seconds,
 
     wl::SelfishBenchmark selfish(node.platform().ncores(),
                                  node.platform().engine().clock());
+    selfish.attach_obs(node.platform().obs());
     node.run_selfish(selfish, seconds);
 
     SelfishSeries out;
     out.config = kind;
     out.duration_s = seconds;
+    out.ncores = node.platform().ncores();
     out.detours = selfish.recorder(0).detours();
     for (int t = 0; t < selfish.nthreads(); ++t) {
         out.detours_all_cores += selfish.recorder(t).detours().size();
         out.total_detour_us_all += selfish.recorder(t).total_detour_us();
         out.max_detour_us = std::max(out.max_detour_us, selfish.recorder(t).max_detour_us());
     }
+    out.metrics = node.publish_metrics();
+    out.events = node.platform().recorder().events();
     return out;
 }
 

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/node.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "sim/stats.h"
 #include "workloads/selfish.h"
 #include "workloads/workload.h"
@@ -28,6 +30,7 @@ inline constexpr std::array<SchedulerKind, 3> kAllConfigs = {
 struct TrialResult {
     double seconds = 0.0;
     double score = 0.0;
+    obs::MetricsSnapshot metrics;  ///< per-trial metrics (Node::publish_metrics)
 };
 
 struct CellStats {
@@ -40,6 +43,8 @@ struct ExperimentRow {
     std::string workload;
     std::string metric;
     std::array<CellStats, 3> cells;  ///< Native, Kitten, Linux
+    /// Per-config metrics aggregated across the row's trials.
+    std::array<obs::MetricsAggregate, 3> metrics;
 };
 
 class Harness {
@@ -49,8 +54,14 @@ public:
         double timeout_s = 600.0;
         std::uint64_t base_seed = 20210101;
         bool measurement_noise = true;
+        /// Structured-recorder categories to enable on every trial node
+        /// (obs::Category bits, OR-ed into the platform config).
+        std::uint32_t obs_mask = 0;
         /// Override node construction (ablations swap this out).
         std::function<NodeConfig(SchedulerKind, std::uint64_t seed)> config_factory;
+        /// Invoked after each trial, before the node is destroyed (trace
+        /// harvesting, extra assertions).
+        std::function<void(SchedulerKind, std::uint64_t seed, Node&)> post_trial;
     };
 
     Harness() : Harness(Options()) {}
@@ -68,6 +79,12 @@ public:
     // --- formatting (paper-shaped output) ------------------------------------
     static std::string format_raw(const std::vector<ExperimentRow>& rows);
     static std::string format_normalized(const std::vector<ExperimentRow>& rows);
+    /// Per-row, per-config aggregated metrics as JSON (for --metrics-out).
+    static std::string format_metrics_json(const std::vector<ExperimentRow>& rows);
+    /// Flatten rows into BENCH_<bench>.json (one entry per workload/config
+    /// cell) via obs::BenchReport. Returns false when the file can't open.
+    static bool write_bench_report(const std::string& bench,
+                                   const std::vector<ExperimentRow>& rows);
 
     [[nodiscard]] const Options& options() const { return options_; }
 
@@ -84,6 +101,9 @@ struct SelfishSeries {
     std::uint64_t detours_all_cores = 0;
     double total_detour_us_all = 0.0;
     double max_detour_us = 0.0;
+    int ncores = 0;
+    obs::MetricsSnapshot metrics;      ///< end-of-run metrics snapshot
+    std::vector<obs::Event> events;    ///< structured events (per obs_mask)
 };
 
 SelfishSeries run_selfish_experiment(SchedulerKind kind, double seconds,

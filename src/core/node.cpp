@@ -317,6 +317,44 @@ void Node::run_for(double seconds) {
     engine.run_until(engine.now() + engine.clock().from_seconds(seconds));
 }
 
+obs::MetricsSnapshot Node::publish_metrics() {
+    if (platform_ == nullptr) return {};
+    platform_->publish_metrics();
+    if (spm_) spm_->publish_metrics();
+    auto& m = platform_->metrics();
+    const auto set = [&m](const char* name, double v) { m.set(m.gauge(name), v); };
+    if (kitten_) {
+        const auto& s = kitten_->stats();
+        set("kitten.ticks", static_cast<double>(s.ticks));
+        set("kitten.dispatches", static_cast<double>(s.dispatches));
+        set("kitten.forwarded_irqs", static_cast<double>(s.forwarded_irqs));
+        set("kitten.resched_ipis", static_cast<double>(s.resched_ipis));
+    }
+    if (linux_) {
+        const auto& s = linux_->stats();
+        set("linux.ticks", static_cast<double>(s.ticks));
+        set("linux.dispatches", static_cast<double>(s.dispatches));
+        set("linux.kworker_wakes", static_cast<double>(s.kworker_wakes));
+        set("linux.softirqs", static_cast<double>(s.softirqs));
+        set("linux.preemptions_by_noise",
+            static_cast<double>(s.preemptions_by_noise));
+        set("linux.forwarded_irqs", static_cast<double>(s.forwarded_irqs));
+        set("linux.noise_cycles", s.noise_cycles);
+    }
+    if (compute_guest_) {
+        const auto& s = compute_guest_->stats();
+        set("guest.ticks", static_cast<double>(s.ticks));
+        set("guest.messages", static_cast<double>(s.messages));
+    }
+    if (login_guest_) {
+        const auto& s = login_guest_->stats();
+        set("login.ticks", static_cast<double>(s.ticks));
+        set("login.device_irqs", static_cast<double>(s.device_irqs));
+        set("login.messages", static_cast<double>(s.messages));
+    }
+    return m.snapshot();
+}
+
 // ---------------------------------------------------------------------------
 // Dynamic partitioning (paper §VII)
 // ---------------------------------------------------------------------------

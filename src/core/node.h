@@ -118,6 +118,11 @@ public:
     /// Let the node run idle/background work for `seconds`.
     void run_for(double seconds);
 
+    // --- observability -------------------------------------------------------
+    /// Publish every component's stats (SPM, kernels, guests, engine, core
+    /// usage) into the platform's metrics registry and return a snapshot.
+    obs::MetricsSnapshot publish_metrics();
+
     // --- components ---------------------------------------------------------------
     [[nodiscard]] const NodeConfig& config() const { return config_; }
     arch::Platform& platform() { return *platform_; }

@@ -13,6 +13,7 @@ Spm::Spm(arch::Platform& platform, Manifest manifest, IrqRoutingPolicy policy)
     router_.policy = policy;
     router_.has_super_secondary = manifest_.super_secondary() != nullptr;
     vcpu_on_core_.assign(static_cast<std::size_t>(platform.ncores()), nullptr);
+    vcpu_run_hist_ = platform.metrics().histogram("hf.vcpu_run_us");
 }
 
 void Spm::boot() {
@@ -276,6 +277,9 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
 
     const bool guest_vtimer = irq == arch::kIrqVirtTimer && rv != nullptr;
     const IrqDestination dest = router_.route(irq, guest_vtimer);
+    platform_->recorder().instant(platform_->engine().now(),
+                                  obs::EventType::kIrqDeliver, core, irq,
+                                  static_cast<std::int64_t>(dest));
 
     switch (dest) {
         case IrqDestination::kHypervisorInternal: {
@@ -288,6 +292,9 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             const sim::Cycles service = gos->on_virq(*rv, arch::kIrqVirtTimer);
             ++rv->injected_virqs;
             ++stats_.virq_injections;
+            platform_->recorder().instant(platform_->engine().now(),
+                                          obs::EventType::kVirqInject, core,
+                                          arch::kIrqVirtTimer, rv->vm().id());
             ex.charge(perf.trap_to_el2 + perf.virq_inject + service);
             ex.begin(rv->guest_context);
             // The handler may have re-armed the vtimer via hypercall.
@@ -308,6 +315,9 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
                 GuestOsItf* gos = guest_os_.at(ss->id());
                 ex.charge(gos->on_virq(target, irq));
                 ++stats_.virq_injections;
+                platform_->recorder().instant(platform_->engine().now(),
+                                              obs::EventType::kVirqInject, core,
+                                              irq, ss->id());
             } else {
                 inject_virq(target, irq);
             }
@@ -347,6 +357,7 @@ void Spm::enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost) {
 
     vcpu.state = VcpuState::kRunning;
     vcpu.running_core = core;
+    vcpu.last_enter = platform_->engine().now();
     ++vcpu.runs;
     vcpu_on_core_[static_cast<std::size_t>(core)] = &vcpu;
     set_core_context(core, &vcpu.vm());
@@ -374,6 +385,15 @@ void Spm::exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
                     sim::Cycles cost) {
     arch::Core& c = platform_->core(core);
     arch::Executor& ex = c.exec();
+
+    const sim::SimTime now = platform_->engine().now();
+    auto& rec = platform_->recorder();
+    rec.span(vcpu.last_enter, now, obs::EventType::kVmRun, core, vcpu.vm().id(),
+             vcpu.index(), static_cast<std::int64_t>(reason));
+    rec.instant(now, obs::EventType::kVmExit, core, vcpu.vm().id(),
+                vcpu.index(), static_cast<std::int64_t>(reason));
+    platform_->metrics().observe(
+        vcpu_run_hist_, platform_->engine().clock().to_micros(now - vcpu.last_enter));
 
     switch (reason) {
         case ExitReason::kPreempted:
@@ -413,6 +433,9 @@ sim::Cycles Spm::drain_virqs(Vcpu& vcpu) {
         vcpu.vgic.pending.erase(*next);
         ++vcpu.injected_virqs;
         ++stats_.virq_injections;
+        platform_->recorder().instant(platform_->engine().now(),
+                                      obs::EventType::kVirqInject,
+                                      vcpu.running_core, *next, vcpu.vm().id());
         cost += perf.virq_inject;
         if (gos != nullptr) cost += gos->on_virq(vcpu, *next);
     }
@@ -469,6 +492,9 @@ void Spm::on_core_idle(arch::CoreId core, arch::Runnable* finished) {
 
 HfResult Spm::hypercall(arch::CoreId core, arch::VmId caller, Call call, HfArgs args) {
     ++stats_.hypercalls;
+    platform_->recorder().instant(platform_->engine().now(),
+                                  obs::EventType::kHypercall, core,
+                                  static_cast<std::int64_t>(call), caller);
     if (caller == 0 || caller > vms_.size()) return {HfError::kNotFound, 0};
     Vm& cvm = vm(caller);
 
@@ -794,6 +820,25 @@ bool Spm::vm_write64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t value) {
     }
     platform_->mem().write64(w.out, value, vm(id).world());
     return true;
+}
+
+void Spm::publish_metrics() {
+    auto& m = platform_->metrics();
+    const auto set = [&m](const char* name, std::uint64_t v) {
+        m.set(m.gauge(name), static_cast<double>(v));
+    };
+    set("hf.hypercalls", stats_.hypercalls);
+    set("hf.world_switches", stats_.world_switches);
+    set("hf.vm_exits", stats_.vm_exits);
+    set("hf.exits_preempted", stats_.exits_preempted);
+    set("hf.exits_blocked", stats_.exits_blocked);
+    set("hf.exits_yield", stats_.exits_yield);
+    set("hf.virq_injections", stats_.virq_injections);
+    set("hf.vtimer_fires", stats_.vtimer_fires);
+    set("hf.forwarded_device_irqs", stats_.forwarded_device_irqs);
+    set("hf.denied_calls", stats_.denied_calls);
+    set("hf.messages", stats_.messages);
+    set("hf.guest_aborts", stats_.guest_aborts);
 }
 
 std::vector<std::string> Spm::devices_of(arch::VmId id) const {

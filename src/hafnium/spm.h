@@ -125,6 +125,10 @@ public:
 
     [[nodiscard]] const Stats& stats() const { return stats_; }
 
+    /// Push Stats into the platform's metrics registry as "hf.*" gauges.
+    /// Cold path: call before taking a snapshot.
+    void publish_metrics();
+
     /// Boot-time image measurements, in manifest order (attestation input).
     [[nodiscard]] const std::vector<std::pair<std::string, crypto::Digest>>&
     measurements() const {
@@ -177,6 +181,7 @@ private:
     std::vector<ShareGrant> grants_;
     std::map<arch::VmId, std::vector<std::string>> device_map_;
     Stats stats_;
+    obs::MetricsRegistry::Handle vcpu_run_hist_ = 0;  ///< hf.vcpu_run_us
 };
 
 }  // namespace hpcsec::hafnium

@@ -78,6 +78,7 @@ public:
     sim::SimTime vtimer_deadline = sim::kTimeNever;
 
     // Statistics.
+    sim::SimTime last_enter = 0;  ///< when the SPM last entered this VCPU
     std::uint64_t runs = 0;
     std::uint64_t preemptions = 0;
     std::uint64_t injected_virqs = 0;

@@ -68,6 +68,9 @@ sim::Cycles KittenGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
     switch (virq) {
         case arch::kIrqVirtTimer:
             ++stats_.ticks;
+            spm_->platform().recorder().instant(
+                spm_->platform().engine().now(), obs::EventType::kGuestTick,
+                vcpu.running_core, vm_->id(), vcpu.index());
             if (config_.tick_enabled) arm_vtimer(vcpu);
             return config_.tick_service;
         case hafnium::kMessageVirq:

@@ -260,6 +260,9 @@ void KittenKernel::dispatch(arch::CoreId core) {
             current_[static_cast<std::size_t>(core)] = t;
             ++t->dispatches;
             ++stats_.dispatches;
+            platform_->recorder().instant(platform_->engine().now(),
+                                          obs::EventType::kContextSwitch, core,
+                                          static_cast<std::int64_t>(t->kind));
             ex.charge(perf.sched_pick_kitten);
             const hafnium::HfResult r = spm_->hypercall(
                 core, self_id(), hafnium::Call::kVcpuRun,
@@ -278,6 +281,9 @@ void KittenKernel::dispatch(arch::CoreId core) {
         current_[static_cast<std::size_t>(core)] = t;
         ++t->dispatches;
         ++stats_.dispatches;
+        platform_->recorder().instant(platform_->engine().now(),
+                                      obs::EventType::kContextSwitch, core,
+                                      static_cast<std::int64_t>(t->kind));
         ex.charge(perf.sched_pick_kitten);
         ex.begin(t->ctx);
         return;
@@ -312,6 +318,8 @@ void KittenKernel::handle_tick(arch::CoreId core) {
     const arch::PerfModel& perf = platform_->perf();
     arch::Executor& ex = platform_->core(core).exec();
     ++stats_.ticks;
+    platform_->recorder().instant(platform_->engine().now(),
+                                  obs::EventType::kKernelTick, core);
     const double service =
         std::max(500.0, rng_.normal(static_cast<double>(perf.kitten_tick_service),
                                     static_cast<double>(perf.kitten_tick_jitter)));

@@ -49,6 +49,9 @@ void LinuxGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
 sim::Cycles LinuxGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
     if (virq == arch::kIrqVirtTimer) {
         ++stats_.ticks;
+        spm_->platform().recorder().instant(
+            spm_->platform().engine().now(), obs::EventType::kGuestTick,
+            vcpu.running_core, vm_->id(), vcpu.index());
         if (config_.tick_enabled) arm_vtimer(vcpu);
         return config_.tick_service;
     }

@@ -161,6 +161,9 @@ void LinuxKernel::dispatch(arch::CoreId core) {
 
     while (SchedEntity* se = rq.pick_next()) {
         ++stats_.dispatches;
+        platform_->recorder().instant(platform_->engine().now(),
+                                      obs::EventType::kContextSwitch, core,
+                                      static_cast<std::int64_t>(se->kind));
         if (se->kind == SchedEntity::Kind::kVcpuProxy) {
             current_[static_cast<std::size_t>(core)] = se;
             dispatched_at_[static_cast<std::size_t>(core)] = platform_->engine().now();
@@ -193,6 +196,8 @@ void LinuxKernel::handle_tick(arch::CoreId core) {
     arch::Executor& ex = platform_->core(core).exec();
     auto& rng = noise_rng_[static_cast<std::size_t>(core)];
     ++stats_.ticks;
+    platform_->recorder().instant(platform_->engine().now(),
+                                  obs::EventType::kKernelTick, core);
 
     // CFS tick: accounting, runqueue bookkeeping, occasional balancing —
     // heavier and jittery compared to the LWK tick.
@@ -242,6 +247,8 @@ void LinuxKernel::on_interrupt(arch::CoreId core, int irq) {
             if (kw->state == SchedEntity::State::kBlocked) {
                 rq_[static_cast<std::size_t>(core)].enqueue(*kw, /*wakeup=*/true);
                 ++stats_.preemptions_by_noise;
+                platform_->recorder().instant(platform_->engine().now(),
+                                              obs::EventType::kNoisePreempt, core);
             }
             schedule_kworker_wake(core);
         }

@@ -1,0 +1,87 @@
+// Structured telemetry event vocabulary.
+//
+// Every observable action in the stack is an enum type plus up to three
+// numeric arguments — no strings are built on the hot path. Categories
+// mirror sim::TraceCat bit-for-bit so a structured event can be mirrored
+// into the legacy TraceLog (substring-assert tests) without remapping.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace hpcsec::obs {
+
+enum class Category : std::uint32_t {
+    kIrq = 1u << 0,
+    kSched = 1u << 1,
+    kHyp = 1u << 2,
+    kVm = 1u << 3,
+    kMmu = 1u << 4,
+    kWorkload = 1u << 5,
+    kBoot = 1u << 6,
+    kChannel = 1u << 7,
+    kAll = 0xffffffffu,
+};
+
+[[nodiscard]] constexpr std::uint32_t to_mask(Category c) {
+    return static_cast<std::uint32_t>(c);
+}
+
+enum class EventType : std::uint8_t {
+    // Spans (end > start).
+    kVmRun,         ///< a0 = vm id, a1 = vcpu index, a2 = ExitReason
+    kWorkChunk,     ///< a0 = reserved
+    kDetour,        ///< a0 = thread index
+    // Instants (end == start).
+    kVmExit,        ///< a0 = vm id, a1 = vcpu index, a2 = ExitReason
+    kIrqDeliver,    ///< a0 = irq, a1 = IrqDestination
+    kVirqInject,    ///< a0 = virq, a1 = vm id
+    kHypercall,     ///< a0 = Call number, a1 = caller vm id
+    kGuestTick,     ///< a0 = vm id, a1 = vcpu index
+    kKernelTick,    ///< primary/native kernel scheduler tick
+    kContextSwitch, ///< a0 = kind (0 = thread, 1 = vcpu proxy)
+    kNoisePreempt,  ///< background work preempted/competed with the app
+    kBarrierStep,   ///< a0 = step index
+};
+
+/// Stable lower-case name, used for trace export and TraceLog mirroring.
+[[nodiscard]] const char* to_string(EventType t);
+
+[[nodiscard]] constexpr Category category_of(EventType t) {
+    switch (t) {
+        case EventType::kVmRun:
+        case EventType::kVmExit:
+        case EventType::kGuestTick:
+            return Category::kVm;
+        case EventType::kWorkChunk:
+        case EventType::kDetour:
+        case EventType::kBarrierStep:
+            return Category::kWorkload;
+        case EventType::kIrqDeliver:
+        case EventType::kVirqInject:
+            return Category::kIrq;
+        case EventType::kHypercall:
+            return Category::kHyp;
+        case EventType::kKernelTick:
+        case EventType::kContextSwitch:
+        case EventType::kNoisePreempt:
+            return Category::kSched;
+    }
+    return Category::kAll;
+}
+
+/// One recorded event. Spans carry [start, end); instants have end == start.
+struct Event {
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    EventType type = EventType::kVmRun;
+    std::int16_t core = -1;
+    std::int64_t a0 = 0;
+    std::int64_t a1 = 0;
+    std::int64_t a2 = 0;
+
+    [[nodiscard]] bool is_span() const { return end > start; }
+};
+
+}  // namespace hpcsec::obs

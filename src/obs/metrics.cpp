@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace hpcsec::obs {
+
+namespace {
+const char* kind_name(MetricKind k) {
+    switch (k) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+}  // namespace
+
+const MetricsSnapshot::Metric* MetricsSnapshot::find(const std::string& name) const {
+    for (const auto& m : metrics) {
+        if (m.name == name) return &m;
+    }
+    return nullptr;
+}
+
+double MetricsSnapshot::value_of(const std::string& name) const {
+    const Metric* m = find(name);
+    return m != nullptr ? m->value : 0.0;
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+    os << "{\"metrics\":[";
+    bool first = true;
+    for (const auto& m : metrics) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n  {\"name\":";
+        write_json_string(os, m.name);
+        os << ",\"kind\":\"" << kind_name(m.kind) << "\",\"value\":" << m.value;
+        if (m.kind == MetricKind::kHistogram) {
+            os << ",\"count\":" << m.stats.count() << ",\"mean\":" << m.stats.mean()
+               << ",\"stdev\":" << m.stats.stddev() << ",\"min\":" << m.stats.min()
+               << ",\"max\":" << m.stats.max() << ",\"buckets\":[";
+            for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+                if (i != 0) os << ",";
+                os << "[" << m.buckets[i].first << "," << m.buckets[i].second << "]";
+            }
+            os << "]";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+    os << "name,kind,value,count,mean,stdev,min,max\n";
+    for (const auto& m : metrics) {
+        os << m.name << "," << kind_name(m.kind) << "," << m.value << ","
+           << m.stats.count() << "," << m.stats.mean() << "," << m.stats.stddev()
+           << "," << m.stats.min() << "," << m.stats.max() << "\n";
+    }
+}
+
+MetricsRegistry::Handle MetricsRegistry::find_or_add(const std::string& name,
+                                                     Slot slot, double lo,
+                                                     double base,
+                                                     std::size_t nbuckets) {
+    for (const auto& e : entries_) {
+        if (e.name == name) {
+            if (e.slot != slot) {
+                throw std::logic_error("MetricsRegistry: '" + name +
+                                       "' re-registered with a different kind");
+            }
+            return e.index;
+        }
+    }
+    Handle idx = 0;
+    switch (slot) {
+        case Slot::kCounter:
+            idx = static_cast<Handle>(counters_.size());
+            counters_.push_back(0);
+            break;
+        case Slot::kGauge:
+            idx = static_cast<Handle>(gauges_.size());
+            gauges_.push_back(0.0);
+            break;
+        case Slot::kHistogram:
+            idx = static_cast<Handle>(hist_log_.size());
+            hist_log_.emplace_back(lo, base, nbuckets);
+            hist_stats_.emplace_back();
+            break;
+    }
+    entries_.push_back({name, slot, idx});
+    return idx;
+}
+
+MetricsRegistry::Handle MetricsRegistry::counter(const std::string& name) {
+    return find_or_add(name, Slot::kCounter, 0, 0, 0);
+}
+
+MetricsRegistry::Handle MetricsRegistry::gauge(const std::string& name) {
+    return find_or_add(name, Slot::kGauge, 0, 0, 0);
+}
+
+MetricsRegistry::Handle MetricsRegistry::histogram(const std::string& name,
+                                                   double lo, double base,
+                                                   std::size_t nbuckets) {
+    return find_or_add(name, Slot::kHistogram, lo, base, nbuckets);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    snap.metrics.reserve(entries_.size());
+    for (const auto& e : entries_) {
+        MetricsSnapshot::Metric m;
+        m.name = e.name;
+        switch (e.slot) {
+            case Slot::kCounter:
+                m.kind = MetricKind::kCounter;
+                m.value = static_cast<double>(counters_[e.index]);
+                break;
+            case Slot::kGauge:
+                m.kind = MetricKind::kGauge;
+                m.value = gauges_[e.index];
+                break;
+            case Slot::kHistogram: {
+                m.kind = MetricKind::kHistogram;
+                const sim::LogHistogram& h = hist_log_[e.index];
+                m.value = static_cast<double>(h.total());
+                m.stats = hist_stats_[e.index];
+                for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+                    if (h.bucket(b) != 0) m.buckets.emplace_back(h.bucket_lo(b), h.bucket(b));
+                }
+                break;
+            }
+        }
+        snap.metrics.push_back(std::move(m));
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    for (auto& c : counters_) c = 0;
+    for (auto& g : gauges_) g = 0.0;
+    for (std::size_t i = 0; i < hist_log_.size(); ++i) {
+        // LogHistogram has no reset; rebuild with the same shape.
+        sim::LogHistogram fresh(hist_log_[i].bucket_lo(1) > 0 ? hist_log_[i].bucket_lo(1) : 1.0,
+                                2.0, hist_log_[i].bucket_count());
+        hist_log_[i] = fresh;
+        hist_stats_[i].reset();
+    }
+}
+
+void MetricsAggregate::add(const MetricsSnapshot& snap) {
+    for (const auto& m : snap.metrics) {
+        Row* row = nullptr;
+        for (auto& r : rows_) {
+            if (r.name == m.name) {
+                row = &r;
+                break;
+            }
+        }
+        if (row == nullptr) {
+            rows_.push_back({m.name, m.kind, {}});
+            row = &rows_.back();
+        }
+        // Histograms aggregate their per-trial mean; counters/gauges the value.
+        row->stats.add(m.kind == MetricKind::kHistogram ? m.stats.mean() : m.value);
+    }
+}
+
+void MetricsAggregate::write_json(std::ostream& os) const {
+    os << "{\"metrics\":[";
+    bool first = true;
+    for (const auto& r : rows_) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n  {\"name\":";
+        write_json_string(os, r.name);
+        os << ",\"kind\":\"" << kind_name(r.kind) << "\",\"mean\":" << r.stats.mean()
+           << ",\"stdev\":" << r.stats.stddev() << ",\"n\":" << r.stats.count() << "}";
+    }
+    os << "\n]}\n";
+}
+
+}  // namespace hpcsec::obs

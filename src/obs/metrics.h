@@ -1,0 +1,108 @@
+// Low-overhead metrics registry: named counters, gauges, and log-scale
+// latency histograms.
+//
+// Registration (name lookup) happens once at wiring time and returns a
+// small integer handle; the hot path is a bounds-unchecked vector slot
+// update. Snapshots are taken at reporting boundaries and can be merged
+// across trials or written as flat JSON/CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace hpcsec::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+    struct Metric {
+        std::string name;
+        MetricKind kind = MetricKind::kCounter;
+        double value = 0.0;              ///< counter/gauge value; histogram count
+        sim::RunningStats stats;         ///< histogram observations
+        /// Histogram buckets as (lower bound, count), zero buckets omitted.
+        std::vector<std::pair<double, std::uint64_t>> buckets;
+    };
+
+    std::vector<Metric> metrics;
+
+    [[nodiscard]] const Metric* find(const std::string& name) const;
+    [[nodiscard]] double value_of(const std::string& name) const;
+
+    /// Flat JSON: {"metrics":[{"name":...,"kind":...,"value":...},...]}.
+    void write_json(std::ostream& os) const;
+    /// CSV: name,kind,value,count,mean,stdev,min,max.
+    void write_csv(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+public:
+    using Handle = std::uint32_t;
+
+    /// Register (or look up) a metric. Re-registering an existing name with
+    /// the same kind returns the existing handle.
+    Handle counter(const std::string& name);
+    Handle gauge(const std::string& name);
+    Handle histogram(const std::string& name, double lo = 1.0, double base = 2.0,
+                     std::size_t nbuckets = 24);
+
+    // --- hot path -----------------------------------------------------------
+    void add(Handle h, std::uint64_t delta = 1) { counters_[h] += delta; }
+    void set(Handle h, double value) { gauges_[h] = value; }
+    void observe(Handle h, double value) {
+        hist_log_[h].add(value);
+        hist_stats_[h].add(value);
+    }
+
+    [[nodiscard]] std::uint64_t counter_value(Handle h) const { return counters_[h]; }
+    [[nodiscard]] double gauge_value(Handle h) const { return gauges_[h]; }
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+    void reset();
+
+private:
+    enum class Slot : std::uint8_t { kCounter, kGauge, kHistogram };
+    struct Entry {
+        std::string name;
+        Slot slot;
+        Handle index;  ///< into the per-kind storage
+    };
+
+    Handle find_or_add(const std::string& name, Slot slot, double lo, double base,
+                       std::size_t nbuckets);
+
+    std::vector<Entry> entries_;
+    std::vector<std::uint64_t> counters_;
+    std::vector<double> gauges_;
+    std::vector<sim::LogHistogram> hist_log_;
+    std::vector<sim::RunningStats> hist_stats_;
+};
+
+/// Aggregates snapshots across trials: per metric name, the distribution of
+/// scalar values (counter/gauge value, histogram mean). Produces the
+/// (name, mean, stdev, n) rows the experiment harness and benches report.
+class MetricsAggregate {
+public:
+    void add(const MetricsSnapshot& snap);
+
+    struct Row {
+        std::string name;
+        MetricKind kind;
+        sim::RunningStats stats;
+    };
+    [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+    [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+    /// {"metrics":[{"name":...,"mean":...,"stdev":...,"n":...},...]}
+    void write_json(std::ostream& os) const;
+
+private:
+    std::vector<Row> rows_;
+};
+
+}  // namespace hpcsec::obs

@@ -1,0 +1,20 @@
+// Umbrella: the per-platform observability bundle.
+//
+// One Obs instance rides on each arch::Platform: the always-on metrics
+// registry (handle-based counters/gauges/histograms) and the opt-in
+// structured span recorder. Exporters (trace_export.h, report.h) consume
+// these at reporting boundaries.
+#pragma once
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace hpcsec::obs {
+
+struct Obs {
+    MetricsRegistry metrics;
+    SpanRecorder recorder;
+};
+
+}  // namespace hpcsec::obs

@@ -1,0 +1,46 @@
+#include "obs/recorder.h"
+
+#include <string>
+
+namespace hpcsec::obs {
+
+const char* to_string(EventType t) {
+    switch (t) {
+        case EventType::kVmRun: return "vm-run";
+        case EventType::kWorkChunk: return "work-chunk";
+        case EventType::kDetour: return "detour";
+        case EventType::kVmExit: return "vm-exit";
+        case EventType::kIrqDeliver: return "irq-deliver";
+        case EventType::kVirqInject: return "virq-inject";
+        case EventType::kHypercall: return "hypercall";
+        case EventType::kGuestTick: return "guest-tick";
+        case EventType::kKernelTick: return "kernel-tick";
+        case EventType::kContextSwitch: return "context-switch";
+        case EventType::kNoisePreempt: return "noise-preempt";
+        case EventType::kBarrierStep: return "barrier-step";
+    }
+    return "?";
+}
+
+std::size_t SpanRecorder::count(EventType t) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+        if (e.type == t) ++n;
+    }
+    return n;
+}
+
+void SpanRecorder::record(Event e) {
+    events_.push_back(e);
+    if (mirror_ == nullptr) return;
+    // TraceCat bit layout matches Category, so the cast is exact.
+    const auto cat = static_cast<sim::TraceCat>(to_mask(category_of(e.type)));
+    if (!mirror_->enabled(cat)) return;
+    std::string text = to_string(e.type);
+    text += " a0=" + std::to_string(e.a0) + " a1=" + std::to_string(e.a1) +
+            " a2=" + std::to_string(e.a2);
+    if (e.is_span()) text += " dur=" + std::to_string(e.end - e.start);
+    mirror_->log(e.start, cat, e.core, std::move(text));
+}
+
+}  // namespace hpcsec::obs

@@ -1,0 +1,57 @@
+// Structured span/event recorder.
+//
+// Recording is off by default and costs exactly one branch per call site
+// when disabled (a bitmask test; no allocation, no string formatting).
+// When enabled, events are retained in memory for export. An optional
+// TraceLog mirror renders enabled events as text so the legacy
+// substring-assert API keeps working for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.h"
+#include "sim/trace.h"
+
+namespace hpcsec::obs {
+
+class SpanRecorder {
+public:
+    [[nodiscard]] bool enabled(Category c) const { return (mask_ & to_mask(c)) != 0; }
+    [[nodiscard]] std::uint32_t mask() const { return mask_; }
+    void set_mask(std::uint32_t mask) { mask_ = mask; }
+    void enable(Category c) { mask_ |= to_mask(c); }
+    void disable(Category c) { mask_ &= ~to_mask(c); }
+
+    /// Mirror enabled events into the legacy string TraceLog (cold path
+    /// only; nothing is formatted unless the event's category is enabled
+    /// here AND in the mirror).
+    void set_mirror(sim::TraceLog* log) { mirror_ = log; }
+
+    // --- hot path -----------------------------------------------------------
+    void instant(sim::SimTime when, EventType t, int core, std::int64_t a0 = 0,
+                 std::int64_t a1 = 0, std::int64_t a2 = 0) {
+        if ((mask_ & to_mask(category_of(t))) == 0) return;
+        record({when, when, t, static_cast<std::int16_t>(core), a0, a1, a2});
+    }
+
+    void span(sim::SimTime start, sim::SimTime end, EventType t, int core,
+              std::int64_t a0 = 0, std::int64_t a1 = 0, std::int64_t a2 = 0) {
+        if ((mask_ & to_mask(category_of(t))) == 0) return;
+        record({start, end, t, static_cast<std::int16_t>(core), a0, a1, a2});
+    }
+
+    // --- inspection ---------------------------------------------------------
+    [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+    [[nodiscard]] std::size_t count(EventType t) const;
+    void clear() { events_.clear(); }
+
+private:
+    void record(Event e);  ///< cold path: retain + optional mirror
+
+    std::uint32_t mask_ = 0;
+    std::vector<Event> events_;
+    sim::TraceLog* mirror_ = nullptr;
+};
+
+}  // namespace hpcsec::obs

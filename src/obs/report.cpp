@@ -1,0 +1,43 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace hpcsec::obs {
+
+void BenchReport::add(const std::string& metric, double mean, double stdev,
+                      std::size_t n) {
+    rows_.push_back({metric, mean, stdev, n});
+}
+
+void BenchReport::add(const std::string& metric, const sim::RunningStats& stats) {
+    rows_.push_back({metric, stats.mean(), stats.stddev(), stats.count()});
+}
+
+void BenchReport::add(const std::string& prefix, const MetricsAggregate& agg) {
+    for (const auto& r : agg.rows()) {
+        rows_.push_back({prefix + r.name, r.stats.mean(), r.stats.stddev(),
+                         r.stats.count()});
+    }
+}
+
+void BenchReport::write(std::ostream& os) const {
+    os << "{\"bench\":\"" << name_ << "\",\"metrics\":[";
+    bool first = true;
+    for (const auto& r : rows_) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n  {\"name\":\"" << r.metric << "\",\"mean\":" << r.mean
+           << ",\"stdev\":" << r.stdev << ",\"n\":" << r.n << "}";
+    }
+    os << "\n]}\n";
+}
+
+bool BenchReport::write_default(const std::string& dir) const {
+    std::ofstream f(dir + "/BENCH_" + name_ + ".json");
+    if (!f) return false;
+    write(f);
+    return f.good();
+}
+
+}  // namespace hpcsec::obs

@@ -1,0 +1,43 @@
+// Machine-readable benchmark reports: every bench target writes a
+// BENCH_<name>.json next to its stdout output so the perf trajectory is
+// tracked across PRs. Rows are (metric name, mean, stdev, n).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/stats.h"
+
+namespace hpcsec::obs {
+
+class BenchReport {
+public:
+    explicit BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+    void add(const std::string& metric, double mean, double stdev, std::size_t n);
+    void add(const std::string& metric, const sim::RunningStats& stats);
+    /// Import every row of an aggregated metrics set under a prefix.
+    void add(const std::string& prefix, const MetricsAggregate& agg);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+    void write(std::ostream& os) const;
+    /// Write to `dir`/BENCH_<name>.json ("." by default). Returns false when
+    /// the file cannot be opened; never throws.
+    bool write_default(const std::string& dir = ".") const;
+
+private:
+    struct Row {
+        std::string metric;
+        double mean;
+        double stdev;
+        std::size_t n;
+    };
+    std::string name_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace hpcsec::obs

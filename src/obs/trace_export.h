@@ -1,0 +1,45 @@
+// Chrome trace-event JSON exporter (Perfetto / chrome://tracing loadable).
+//
+// Each node configuration is a trace "process" (pid), each physical core a
+// "thread" (tid). VM-run and work-chunk spans become complete ("X") events,
+// instants become "i" events, and per-reason VM-exit counts are synthesized
+// into cumulative counter ("C") tracks so the exit mix is visible as a
+// timeline graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "sim/time.h"
+
+namespace hpcsec::obs {
+
+class TraceExporter {
+public:
+    explicit TraceExporter(sim::ClockSpec clock) : clock_(clock) {}
+
+    /// Add one process (e.g. one scheduler configuration) worth of events.
+    /// `pid` must be unique per process; `ncores` names tid metadata rows.
+    void add_process(int pid, const std::string& name, int ncores,
+                     std::vector<Event> events);
+
+    /// Write the full trace as {"traceEvents":[...]}. One event per line.
+    void write(std::ostream& os) const;
+    /// Returns false (and writes nothing) when the file cannot be opened.
+    bool write_file(const std::string& path) const;
+
+private:
+    struct Process {
+        int pid;
+        std::string name;
+        int ncores;
+        std::vector<Event> events;
+    };
+
+    sim::ClockSpec clock_;
+    std::vector<Process> processes_;
+};
+
+}  // namespace hpcsec::obs

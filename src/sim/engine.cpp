@@ -14,9 +14,15 @@ EventId Engine::after(Cycles delay, EventFn fn, int priority) {
 }
 
 void Engine::dispatch_one() {
-    auto [when, fn] = queue_.pop();
+    auto [when, priority, fn] = queue_.pop();
     now_ = when;
     ++executed_;
+    auto it = by_priority_.begin();
+    for (; it != by_priority_.end() && it->priority < priority; ++it) {}
+    if (it == by_priority_.end() || it->priority != priority) {
+        it = by_priority_.insert(it, {priority, 0});
+    }
+    ++it->executed;
     fn();
 }
 

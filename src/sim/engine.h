@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -46,6 +47,17 @@ public:
     [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
     [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+    /// Events executed per priority level, sorted by priority. The list is
+    /// tiny (one entry per distinct Priority value used), so lookups are a
+    /// short linear scan on dispatch.
+    struct PriorityCount {
+        int priority;
+        std::uint64_t executed;
+    };
+    [[nodiscard]] const std::vector<PriorityCount>& executed_by_priority() const {
+        return by_priority_;
+    }
+
 private:
     void dispatch_one();
 
@@ -54,6 +66,7 @@ private:
     SimTime now_ = 0;
     bool stopped_ = false;
     std::uint64_t executed_ = 0;
+    std::vector<PriorityCount> by_priority_;
 };
 
 }  // namespace hpcsec::sim

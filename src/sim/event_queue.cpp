@@ -40,7 +40,7 @@ EventQueue::Popped EventQueue::pop() {
     drop_tombstones();
     // const_cast to move the closure out; the entry is popped immediately.
     auto& top = const_cast<Entry&>(heap_.top());
-    Popped out{top.when, std::move(top.fn)};
+    Popped out{top.when, top.priority, std::move(top.fn)};
     pending_.erase(top.seq);
     heap_.pop();
     --live_;

@@ -41,6 +41,7 @@ public:
     /// Pop and return the next live event. Precondition: !empty().
     struct Popped {
         SimTime when;
+        int priority;
         EventFn fn;
     };
     Popped pop();

@@ -46,17 +46,32 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+namespace {
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
 double Sample::percentile(double p) {
     if (values_.empty()) return 0.0;
     if (!sorted_) {
         std::sort(values_.begin(), values_.end());
         sorted_ = true;
     }
-    const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, values_.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+    return sorted_percentile(values_, p);
+}
+
+double Sample::percentile(double p) const {
+    if (values_.empty()) return 0.0;
+    if (sorted_) return sorted_percentile(values_, p);
+    std::vector<double> copy(values_);
+    std::sort(copy.begin(), copy.end());
+    return sorted_percentile(copy, p);
 }
 
 RunningStats Sample::stats() const {

@@ -37,8 +37,13 @@ class Sample {
 public:
     void add(double x) { values_.push_back(x); sorted_ = false; }
     [[nodiscard]] std::size_t count() const { return values_.size(); }
-    [[nodiscard]] double percentile(double p);   ///< p in [0,100]
+    /// p is clamped to [0,100]; returns 0.0 on an empty sample. The
+    /// non-const overload sorts in place (and caches); the const overload
+    /// never mutates, so reporting loops can't invalidate iterators.
+    [[nodiscard]] double percentile(double p);
+    [[nodiscard]] double percentile(double p) const;
     [[nodiscard]] double median() { return percentile(50.0); }
+    [[nodiscard]] double median() const { return percentile(50.0); }
     [[nodiscard]] const std::vector<double>& values() const { return values_; }
     [[nodiscard]] RunningStats stats() const;
 

@@ -11,6 +11,13 @@ void DetourRecorder::observe(sim::SimTime start, sim::SimTime end) {
         if (gap_us >= threshold_us_) {
             detours_.push_back({clock_.to_seconds(last_end_), gap_us});
             total_us_ += gap_us;
+            if (obs_recorder_ != nullptr) {
+                obs_recorder_->span(last_end_, start, obs::EventType::kDetour,
+                                    obs_core_, obs_thread_);
+            }
+            if (obs_metrics_ != nullptr) {
+                obs_metrics_->observe(detour_hist_, gap_us);
+            }
         }
     }
     last_end_ = end;
@@ -39,6 +46,14 @@ SelfishBenchmark::SelfishBenchmark(int nthreads, sim::ClockSpec clock,
         workload_.thread(i).interval_hook = [&rec](sim::SimTime s, sim::SimTime e) {
             rec.observe(s, e);
         };
+    }
+}
+
+void SelfishBenchmark::attach_obs(obs::Obs& obs) {
+    const auto hist = obs.metrics.histogram("wl.detour_us");
+    for (int i = 0; i < nthreads(); ++i) {
+        recorders_[static_cast<std::size_t>(i)].attach_obs(&obs.recorder,
+                                                           &obs.metrics, hist, i, i);
     }
 }
 

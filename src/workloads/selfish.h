@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/time.h"
 #include "workloads/workload.h"
 
@@ -28,6 +29,18 @@ public:
 
     void observe(sim::SimTime start, sim::SimTime end);
 
+    /// Mirror every detour into the structured recorder (a kDetour span
+    /// covering the off-CPU gap) and a registry histogram (µs).
+    void attach_obs(obs::SpanRecorder* recorder, obs::MetricsRegistry* metrics,
+                    obs::MetricsRegistry::Handle detour_hist, int core,
+                    int thread) {
+        obs_recorder_ = recorder;
+        obs_metrics_ = metrics;
+        detour_hist_ = detour_hist;
+        obs_core_ = core;
+        obs_thread_ = thread;
+    }
+
     [[nodiscard]] const std::vector<Detour>& detours() const { return detours_; }
     [[nodiscard]] std::uint64_t intervals() const { return intervals_; }
     [[nodiscard]] double total_detour_us() const { return total_us_; }
@@ -41,6 +54,11 @@ private:
     std::vector<Detour> detours_;
     std::uint64_t intervals_ = 0;
     double total_us_ = 0.0;
+    obs::SpanRecorder* obs_recorder_ = nullptr;
+    obs::MetricsRegistry* obs_metrics_ = nullptr;
+    obs::MetricsRegistry::Handle detour_hist_ = 0;
+    int obs_core_ = -1;
+    int obs_thread_ = -1;
 };
 
 /// A spinner workload with one recorder per thread.
@@ -53,6 +71,11 @@ public:
         return recorders_.at(static_cast<std::size_t>(thread));
     }
     [[nodiscard]] int nthreads() const { return workload_.nthreads(); }
+
+    /// Wire every per-thread recorder into the platform's observability
+    /// sinks ("wl.detour_us" histogram + kDetour spans; thread i is assumed
+    /// pinned to core i, the harness's placement).
+    void attach_obs(obs::Obs& obs);
 
     /// All detours across threads, for aggregate statistics.
     [[nodiscard]] std::vector<Detour> all_detours() const;

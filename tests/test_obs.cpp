@@ -1,0 +1,408 @@
+// Observability stack: metrics registry semantics, structured recorder
+// filtering + TraceLog mirroring, metrics snapshots from a scripted
+// hafnium run, and the Chrome trace-event JSON exporter.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace_export.h"
+#include "sim/trace.h"
+
+namespace hpcsec {
+namespace {
+
+// --- minimal JSON parser (validity only) ------------------------------------
+
+class JsonChecker {
+public:
+    explicit JsonChecker(const std::string& text) : s_(text) {}
+
+    bool valid() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+    bool object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= s_.size()) return false;
+        ++pos_;  // closing '"'
+        return true;
+    }
+    bool number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+    bool literal(const char* lit) {
+        const std::string l(lit);
+        if (s_.compare(pos_, l.size(), l) != 0) return false;
+        pos_ += l.size();
+        return true;
+    }
+    void skip_ws() {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+    [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+/// Extract the numeric value following `"key":` in a single JSON line, or
+/// -1 when the key is absent.
+double field_of(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) return -1.0;
+    return std::atof(line.c_str() + at + needle.size());
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramRoundTrip) {
+    obs::MetricsRegistry reg;
+    const auto c = reg.counter("hyp.calls");
+    const auto g = reg.gauge("engine.events");
+    const auto h = reg.histogram("lat.us", 1.0, 2.0, 16);
+
+    reg.add(c);
+    reg.add(c, 4);
+    reg.set(g, 123.5);
+    reg.observe(h, 3.0);
+    reg.observe(h, 5.0);
+
+    const auto snap = reg.snapshot();
+    EXPECT_DOUBLE_EQ(snap.value_of("hyp.calls"), 5.0);
+    EXPECT_DOUBLE_EQ(snap.value_of("engine.events"), 123.5);
+    const auto* hist = snap.find("lat.us");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->kind, obs::MetricKind::kHistogram);
+    EXPECT_EQ(hist->stats.count(), 2u);
+    EXPECT_DOUBLE_EQ(hist->stats.mean(), 4.0);
+    EXPECT_FALSE(hist->buckets.empty());
+}
+
+TEST(Metrics, ReRegistrationReturnsSameHandle) {
+    obs::MetricsRegistry reg;
+    const auto a = reg.counter("x");
+    const auto b = reg.counter("x");
+    EXPECT_EQ(a, b);
+    reg.add(a);
+    reg.add(b);
+    EXPECT_EQ(reg.counter_value(a), 2u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+    obs::MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), std::logic_error);
+    EXPECT_THROW(reg.histogram("x"), std::logic_error);
+}
+
+TEST(Metrics, SnapshotWritesParsableJsonAndCsv) {
+    obs::MetricsRegistry reg;
+    reg.add(reg.counter("a"));
+    reg.set(reg.gauge("b\"quoted"), 2.0);
+    reg.observe(reg.histogram("c"), 7.0);
+
+    std::ostringstream json;
+    reg.snapshot().write_json(json);
+    EXPECT_TRUE(JsonChecker(json.str()).valid()) << json.str();
+
+    std::ostringstream csv;
+    reg.snapshot().write_csv(csv);
+    EXPECT_NE(csv.str().find("name,kind,value"), std::string::npos);
+    EXPECT_NE(csv.str().find("a,counter,1"), std::string::npos);
+}
+
+TEST(Metrics, AggregateAcrossSnapshots) {
+    obs::MetricsRegistry reg;
+    const auto g = reg.gauge("v");
+    obs::MetricsAggregate agg;
+    reg.set(g, 1.0);
+    agg.add(reg.snapshot());
+    reg.set(g, 3.0);
+    agg.add(reg.snapshot());
+
+    ASSERT_EQ(agg.rows().size(), 1u);
+    EXPECT_EQ(agg.rows()[0].name, "v");
+    EXPECT_DOUBLE_EQ(agg.rows()[0].stats.mean(), 2.0);
+    EXPECT_EQ(agg.rows()[0].stats.count(), 2u);
+
+    std::ostringstream os;
+    agg.write_json(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid()) << os.str();
+}
+
+// --- SpanRecorder ------------------------------------------------------------
+
+TEST(Recorder, DisabledRecordsNothing) {
+    obs::SpanRecorder rec;  // default mask 0
+    rec.instant(10, obs::EventType::kVmExit, 0, 1, 0, 0);
+    rec.span(10, 20, obs::EventType::kVmRun, 0);
+    EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(Recorder, CategoryMaskFilters) {
+    obs::SpanRecorder rec;
+    rec.set_mask(obs::to_mask(obs::Category::kIrq));
+    rec.instant(1, obs::EventType::kVmExit, 0);      // kVm: filtered
+    rec.instant(2, obs::EventType::kIrqDeliver, 0);  // kIrq: recorded
+    ASSERT_EQ(rec.events().size(), 1u);
+    EXPECT_EQ(rec.events()[0].type, obs::EventType::kIrqDeliver);
+    EXPECT_EQ(rec.count(obs::EventType::kVmExit), 0u);
+    EXPECT_EQ(rec.count(obs::EventType::kIrqDeliver), 1u);
+}
+
+TEST(Recorder, SpanCarriesIntervalAndArgs) {
+    obs::SpanRecorder rec;
+    rec.set_mask(obs::to_mask(obs::Category::kAll));
+    rec.span(100, 250, obs::EventType::kVmRun, 2, 1, 3, 0);
+    ASSERT_EQ(rec.events().size(), 1u);
+    const auto& e = rec.events()[0];
+    EXPECT_TRUE(e.is_span());
+    EXPECT_EQ(e.start, 100u);
+    EXPECT_EQ(e.end, 250u);
+    EXPECT_EQ(e.core, 2);
+    EXPECT_EQ(e.a0, 1);
+    EXPECT_EQ(e.a1, 3);
+}
+
+TEST(Recorder, MirrorsIntoTraceLog) {
+    sim::TraceLog log;
+    log.enable(sim::TraceCat::kVm);
+    log.set_retain(true);
+
+    obs::SpanRecorder rec;
+    rec.set_mask(obs::to_mask(obs::Category::kAll));
+    rec.set_mirror(&log);
+    rec.instant(5, obs::EventType::kVmExit, 1, 2, 0, 1);
+    rec.instant(6, obs::EventType::kKernelTick, 0);  // kSched: not mirrored
+
+    EXPECT_EQ(log.count_matching("vm-exit"), 1u);
+    EXPECT_EQ(log.count_matching("kernel-tick"), 0u);
+}
+
+// --- scripted hafnium run ----------------------------------------------------
+
+core::NodeConfig observed_config(core::SchedulerKind kind) {
+    core::NodeConfig cfg = core::Harness::default_config(kind, 7);
+    cfg.platform.obs_mask = obs::to_mask(obs::Category::kAll);
+    return cfg;
+}
+
+/// Small compute-bound workload: enough ticks to force VM exits.
+void run_tiny_workload(core::Node& node) {
+    wl::WorkloadSpec s;
+    s.name = "tiny";
+    s.nthreads = 4;
+    s.supersteps = 4;
+    s.units_per_thread_step = 50000;
+    s.profile.cycles_per_unit = 10;
+    wl::ParallelWorkload w(s);
+    node.run_workload(w, 60.0);
+}
+
+TEST(ObsIntegration, ExitReasonCountersMatchSpmStats) {
+    core::Node node(observed_config(core::SchedulerKind::kKittenPrimary));
+    node.boot();
+    run_tiny_workload(node);
+
+    const auto& stats = node.spm()->stats();
+    ASSERT_GT(stats.vm_exits, 0u);
+
+    const auto& events = node.platform().recorder().events();
+    std::uint64_t by_reason[4] = {0, 0, 0, 0};
+    std::uint64_t runs = 0;
+    for (const auto& e : events) {
+        if (e.type == obs::EventType::kVmExit) ++by_reason[e.a2];
+        if (e.type == obs::EventType::kVmRun) ++runs;
+    }
+    EXPECT_EQ(by_reason[0], stats.exits_preempted);
+    EXPECT_EQ(by_reason[1], stats.exits_yield);
+    EXPECT_EQ(by_reason[2], stats.exits_blocked);
+    EXPECT_EQ(by_reason[0] + by_reason[1] + by_reason[2] + by_reason[3],
+              stats.vm_exits);
+    // Every exit closes exactly one vm-run span.
+    EXPECT_EQ(runs, stats.vm_exits);
+}
+
+// Virtual-timer VIRQs are injected on three paths in the SPM (inline while
+// the vcpu is running, super-secondary direct routing, and the entry-time
+// drain); every one of them must record a kVirqInject instant. Needs a run
+// long enough for the guest's 10 Hz vtimer to actually fire.
+TEST(ObsIntegration, VirqInjectEventsMatchSpmStat) {
+    core::Node node(observed_config(core::SchedulerKind::kKittenPrimary));
+    node.boot();
+    wl::WorkloadSpec s;
+    s.name = "tiny-long";
+    s.nthreads = 4;
+    s.supersteps = 4;
+    s.units_per_thread_step = 8000000;
+    s.profile.cycles_per_unit = 10;
+    wl::ParallelWorkload w(s);
+    node.run_workload(w, 60.0);
+
+    const auto& stats = node.spm()->stats();
+    ASSERT_GT(stats.virq_injections, 0u);
+    EXPECT_EQ(node.platform().recorder().count(obs::EventType::kVirqInject),
+              stats.virq_injections);
+    // Each vtimer injection drives the guest's tick handler.
+    EXPECT_EQ(node.platform().recorder().count(obs::EventType::kGuestTick),
+              stats.virq_injections);
+}
+
+TEST(ObsIntegration, PublishedMetricsMatchComponentStats) {
+    core::Node node(observed_config(core::SchedulerKind::kKittenPrimary));
+    node.boot();
+    run_tiny_workload(node);
+
+    const auto snap = node.publish_metrics();
+    const auto& stats = node.spm()->stats();
+    EXPECT_DOUBLE_EQ(snap.value_of("hf.vm_exits"),
+                     static_cast<double>(stats.vm_exits));
+    EXPECT_DOUBLE_EQ(snap.value_of("hf.hypercalls"),
+                     static_cast<double>(stats.hypercalls));
+    EXPECT_DOUBLE_EQ(snap.value_of("kitten.ticks"),
+                     static_cast<double>(node.kitten()->stats().ticks));
+    EXPECT_GT(snap.value_of("engine.events"), 0.0);
+    const auto* hist = snap.find("hf.vcpu_run_us");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->stats.count(), stats.vm_exits);
+}
+
+TEST(ObsIntegration, DisabledMaskRecordsNoEventsButMetricsStillWork) {
+    core::NodeConfig cfg = core::Harness::default_config(
+        core::SchedulerKind::kKittenPrimary, 7);  // obs_mask defaults to 0
+    core::Node node(cfg);
+    node.boot();
+    run_tiny_workload(node);
+
+    EXPECT_TRUE(node.platform().recorder().events().empty());
+    const auto snap = node.publish_metrics();
+    EXPECT_GT(snap.value_of("hf.vm_exits"), 0.0);
+}
+
+// --- trace export ------------------------------------------------------------
+
+TEST(TraceExport, WritesParsableJsonWithMonotonicTsPerCore) {
+    core::Node node(observed_config(core::SchedulerKind::kLinuxPrimary));
+    node.boot();
+    run_tiny_workload(node);
+
+    obs::TraceExporter exporter(node.platform().engine().clock());
+    exporter.add_process(0, "linux", node.platform().ncores(),
+                         node.platform().recorder().events());
+    std::ostringstream os;
+    exporter.write(os);
+    const std::string text = os.str();
+
+    EXPECT_TRUE(JsonChecker(text).valid());
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"vm-run\""), std::string::npos);
+    EXPECT_NE(text.find("vm_exits"), std::string::npos);   // counter track
+    EXPECT_NE(text.find("preempted"), std::string::npos);  // exit-reason name
+
+    // Non-metadata events are sorted by (tid, ts) within the process.
+    std::istringstream lines(text);
+    std::string line;
+    double last_ts[64];
+    for (double& t : last_ts) t = -1.0;
+    std::size_t nevents = 0;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\":\"M\"") != std::string::npos) continue;
+        const double ts = field_of(line, "ts");
+        const double tid = field_of(line, "tid");
+        if (ts < 0.0 || tid < 0.0 || tid >= 64.0) continue;
+        const auto t = static_cast<std::size_t>(tid);
+        EXPECT_GE(ts, last_ts[t]) << line;
+        last_ts[t] = ts;
+        ++nevents;
+    }
+    EXPECT_GT(nevents, 10u);
+}
+
+TEST(TraceExport, MultiProcessDistinctPids) {
+    obs::SpanRecorder rec;
+    rec.set_mask(obs::to_mask(obs::Category::kAll));
+    rec.span(0, 100, obs::EventType::kVmRun, 0, 1, 0, 0);
+
+    obs::TraceExporter exporter(sim::ClockSpec{1'000'000'000});
+    exporter.add_process(0, "native", 1, rec.events());
+    exporter.add_process(1, "kitten", 1, rec.events());
+    std::ostringstream os;
+    exporter.write(os);
+    EXPECT_TRUE(JsonChecker(os.str()).valid());
+    EXPECT_NE(os.str().find("\"pid\":0"), std::string::npos);
+    EXPECT_NE(os.str().find("\"pid\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcsec

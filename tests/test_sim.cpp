@@ -163,6 +163,36 @@ TEST(Sample, SingleValue) {
     EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
 }
 
+TEST(Sample, EmptySampleYieldsZero) {
+    const Sample s;
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+TEST(Sample, PercentileClampsOutOfRangeP) {
+    Sample s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.percentile(-10.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(400.0), 3.0);
+}
+
+TEST(Sample, ConstPercentileDoesNotMutate) {
+    Sample s;
+    s.add(3.0);
+    s.add(1.0);
+    s.add(2.0);
+    const Sample& cs = s;
+    EXPECT_DOUBLE_EQ(cs.percentile(50), 2.0);
+    // Insertion order preserved: the const overload sorted a copy.
+    EXPECT_DOUBLE_EQ(cs.values()[0], 3.0);
+    EXPECT_DOUBLE_EQ(cs.values()[1], 1.0);
+    // The mutating overload sorts in place and agrees.
+    EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+    EXPECT_DOUBLE_EQ(cs.values()[0], 1.0);
+}
+
 // --- LogHistogram ---------------------------------------------------------------
 
 TEST(LogHistogram, BucketsValues) {
