@@ -7,6 +7,7 @@
 
 #include "arch/mmu.h"
 #include "arch/platform.h"
+#include "check/check.h"
 #include "gbench_json.h"
 #include "hafnium/spm.h"
 #include "obs/recorder.h"
@@ -136,6 +137,45 @@ void BM_GuestFunctionalWrite(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_GuestFunctionalWrite);
+
+// Invariant-auditor overhead on the hypercall path (ISSUE acceptance:
+// audit-off must cost one predicted branch per hook site — the obs recorder
+// discipline). Off = no auditor attached; sampled amortizes a full scan
+// over the period; strict runs every scan rule on every hypercall.
+void BM_HypercallAuditOff(benchmark::State& state) {
+    SpmBench b;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            b.spm.hypercall(0, 1, hafnium::Call::kVmGetInfo, {2, 0, 0, 0}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HypercallAuditOff);
+
+void BM_HypercallAuditSampled(benchmark::State& state) {
+    SpmBench b;
+    check::Auditor auditor(
+        b.spm, {check::Mode::kSampled, /*period=*/64, /*event_period=*/0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            b.spm.hypercall(0, 1, hafnium::Call::kVmGetInfo, {2, 0, 0, 0}));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["audits"] = static_cast<double>(auditor.audits());
+}
+BENCHMARK(BM_HypercallAuditSampled);
+
+void BM_HypercallAuditStrict(benchmark::State& state) {
+    SpmBench b;
+    check::Auditor auditor(b.spm, {check::Mode::kStrict});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            b.spm.hypercall(0, 1, hafnium::Call::kVmGetInfo, {2, 0, 0, 0}));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["audits"] = static_cast<double>(auditor.audits());
+}
+BENCHMARK(BM_HypercallAuditStrict);
 
 // The structured recorder must cost one predicted branch per call site when
 // its category is masked off (ISSUE acceptance: instrumentation is free in

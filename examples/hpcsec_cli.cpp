@@ -10,7 +10,10 @@
 //                                        three configs, one trial each)
 //              [--metrics-out FILE]     (aggregated metrics JSON, all configs)
 //              [--trace-mask CATS]      (comma list: irq,sched,hyp,vm,mmu,
-//                                        workload,boot,channel,all)
+//                                        workload,boot,channel,check,all)
+//              [--check[=strict|sampled]]  (isolation-invariant auditor;
+//                                        bare --check means strict)
+//              [--check-period N]       (sampled mode: scan every N hypercalls)
 //
 // Examples:
 //   hpcsec_cli --workload gups --config linux --trials 5
@@ -23,6 +26,7 @@
 #include <fstream>
 #include <string>
 
+#include "check/check.h"
 #include "core/harness.h"
 #include "obs/events.h"
 #include "obs/trace_export.h"
@@ -48,6 +52,8 @@ struct CliOptions {
     std::string trace_out;
     std::string metrics_out;
     std::string trace_mask = "irq,sched,hyp,vm,workload";
+    check::Mode check_mode = check::Mode::kOff;
+    int check_period = 64;
 };
 
 void usage() {
@@ -57,7 +63,9 @@ void usage() {
                  "[--trials N] [--seed S]\n                  [--seconds S] "
                  "[--super-secondary] [--secure]\n                  "
                  "[--selective-routing] [--tick-hz HZ]\n                  "
-                 "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n");
+                 "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n"
+                 "                  [--check[=strict|sampled]] "
+                 "[--check-period N]\n");
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -102,6 +110,16 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             const char* v = next();
             if (v == nullptr) return false;
             opt.trace_mask = v;
+        } else if (arg == "--check" || arg == "--check=strict") {
+            opt.check_mode = check::Mode::kStrict;
+        } else if (arg == "--check=sampled") {
+            opt.check_mode = check::Mode::kSampled;
+        } else if (arg == "--check=off") {
+            opt.check_mode = check::Mode::kOff;
+        } else if (arg == "--check-period") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.check_period = std::atoi(v);
         } else if (arg == "--super-secondary") {
             opt.super_secondary = true;
         } else if (arg == "--secure") {
@@ -156,6 +174,7 @@ bool parse_trace_mask(const std::string& list, std::uint32_t& out) {
         else if (tok == "workload") out |= obs::to_mask(obs::Category::kWorkload);
         else if (tok == "boot") out |= obs::to_mask(obs::Category::kBoot);
         else if (tok == "channel") out |= obs::to_mask(obs::Category::kChannel);
+        else if (tok == "check") out |= obs::to_mask(obs::Category::kCheck);
         else if (tok == "all") out |= obs::to_mask(obs::Category::kAll);
         else if (!tok.empty()) {
             std::fprintf(stderr, "unknown trace category: %s\n", tok.c_str());
@@ -264,6 +283,8 @@ int main(int argc, char** argv) {
             cfg.kitten.tick_hz = opt.tick_hz;
             cfg.linux.tick_hz = opt.tick_hz;
         }
+        cfg.check_mode = opt.check_mode;
+        cfg.check_period = opt.check_period;
         return cfg;
     };
 
@@ -305,11 +326,17 @@ int main(int argc, char** argv) {
 
     sim::RunningStats stats;
     sim::RunningStats runtime;
+    std::size_t check_failures = 0;
     for (int t = 0; t < opt.trials; ++t) {
         const auto r = harness.run_trial(
             kind, spec, opt.seed + 7919ull * static_cast<std::uint64_t>(t));
         stats.add(r.score);
         runtime.add(r.seconds);
+        if (r.check_failures != 0) {
+            check_failures += r.check_failures;
+            std::fprintf(stderr, "trial %d check findings:\n%s", t,
+                         r.check_report.c_str());
+        }
     }
     std::printf("%s on %s (%d trial%s%s%s%s): %.6g %s (stdev %.3g), "
                 "%.3f s simulated each\n",
@@ -319,5 +346,10 @@ int main(int argc, char** argv) {
                 opt.super_secondary ? ", login VM" : "",
                 opt.selective ? ", selective routing" : "", stats.mean(),
                 spec.metric.c_str(), stats.stddev(), runtime.mean());
+    if (opt.check_mode != check::Mode::kOff) {
+        std::printf("check (%s): %zu finding%s\n", to_string(opt.check_mode),
+                    check_failures, check_failures == 1 ? "" : "s");
+        if (check_failures != 0) return 1;
+    }
     return 0;
 }

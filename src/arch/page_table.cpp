@@ -214,4 +214,30 @@ WalkResult PageTable::walk(std::uint64_t addr) const {
     return r;
 }
 
+void PageTable::for_each_mapping(
+    const std::function<void(const MappingView&)>& fn) const {
+    visit_mappings(*root_, 0, 0, fn);
+}
+
+void PageTable::visit_mappings(
+    const Node& node, int level, std::uint64_t in_base,
+    const std::function<void(const MappingView&)>& fn) const {
+    const std::uint64_t span = level_span(level);
+    for (std::uint64_t i = 0; i < kPtEntries; ++i) {
+        const Entry& e = node.entries[i];
+        const std::uint64_t in = in_base + i * span;
+        switch (e.kind) {
+            case Entry::Kind::kInvalid:
+                break;
+            case Entry::Kind::kLeaf:
+                fn({in, e.out, (level == kPtLevels - 1) ? kPageSize : span,
+                    e.perms, e.secure});
+                break;
+            case Entry::Kind::kTable:
+                visit_mappings(*e.child, level + 1, in, fn);
+                break;
+        }
+    }
+}
+
 }  // namespace hpcsec::arch

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -68,6 +69,20 @@ public:
     /// Walk the tables for one input address.
     [[nodiscard]] WalkResult walk(std::uint64_t addr) const;
 
+    /// One terminal (page or block) mapping, as reported by
+    /// for_each_mapping. Adjacent entries are NOT coalesced.
+    struct MappingView {
+        std::uint64_t in_base = 0;
+        std::uint64_t out_base = 0;
+        std::uint64_t size = 0;
+        std::uint8_t perms = kPermNone;
+        bool secure = false;
+    };
+
+    /// Enumerate every terminal mapping in input-address order (audit /
+    /// introspection path; cold). The callback must not mutate this table.
+    void for_each_mapping(const std::function<void(const MappingView&)>& fn) const;
+
     /// Number of live table nodes (root included) — i.e. translation-table
     /// memory footprint in 4 KiB units.
     [[nodiscard]] std::uint64_t node_count() const { return node_count_; }
@@ -90,6 +105,8 @@ private:
     void unmap_range(Node& node, int level, std::uint64_t in, std::uint64_t size);
     void protect_range(Node& node, int level, std::uint64_t in, std::uint64_t size,
                        std::uint8_t perms);
+    void visit_mappings(const Node& node, int level, std::uint64_t in_base,
+                        const std::function<void(const MappingView&)>& fn) const;
 
     std::unique_ptr<Node> root_;
     std::uint64_t node_count_ = 0;

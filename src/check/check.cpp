@@ -1,0 +1,446 @@
+#include "check/check.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "arch/gic.h"
+#include "arch/memory_map.h"
+#include "arch/platform.h"
+#include "obs/events.h"
+
+namespace hpcsec::check {
+
+namespace {
+
+/// One past the largest interrupt id the GIC model distributes
+/// (kSpiBase + the default SPI count).
+constexpr int kIrqIdLimit = 256;
+
+/// Largest mapping (in frames) that is ownership-probed exhaustively;
+/// larger windows are probed at both ends plus every kProbeStride frames
+/// (allocations are physically contiguous, so a stride catches any
+/// ownership change inside a big block mapping).
+constexpr std::uint64_t kExhaustiveProbeFrames = 1024;
+constexpr std::uint64_t kProbeStride = 64;
+
+[[nodiscard]] std::string hex(std::uint64_t v) {
+    constexpr const char* digits = "0123456789abcdef";
+    std::string s;
+    do {
+        s.insert(s.begin(), digits[v & 0xf]);
+        v >>= 4;
+    } while (v != 0);
+    return "0x" + s;
+}
+
+[[nodiscard]] bool routed_irq_id(int irq) {
+    return (irq >= arch::kSgiBase && irq < arch::kPpiBase) ||  // SGIs
+           irq == arch::kIrqVirtTimer || irq == arch::kIrqPhysTimer ||
+           (irq >= arch::kSpiBase && irq < kIrqIdLimit);  // device SPIs
+}
+
+/// A stage-2 terminal mapping tagged with its VM, flattened to PA space.
+struct PaMapping {
+    arch::VmId vm = 0;
+    arch::IpaAddr ipa = 0;
+    arch::PhysAddr pa = 0;
+    std::uint64_t size = 0;
+    std::uint8_t perms = arch::kPermNone;
+    bool secure = false;
+};
+
+/// A share/lend grant resolved to the PA range it covers.
+struct GrantRange {
+    arch::VmId owner = 0;
+    arch::VmId borrower = 0;
+    arch::PhysAddr pa = 0;
+    std::uint64_t size = 0;
+};
+
+}  // namespace
+
+const char* to_string(Rule r) {
+    switch (r) {
+        case Rule::kStage2Exclusive: return "stage2-exclusive";
+        case Rule::kStage2Ownership: return "stage2-ownership";
+        case Rule::kTrustZone: return "trustzone-world";
+        case Rule::kVcpuTransition: return "vcpu-transition";
+        case Rule::kCoreLocality: return "core-locality";
+        case Rule::kVgicSanity: return "vgic-sanity";
+        case Rule::kAccounting: return "accounting";
+    }
+    return "?";
+}
+
+const char* to_string(Mode m) {
+    switch (m) {
+        case Mode::kOff: return "off";
+        case Mode::kSampled: return "sampled";
+        case Mode::kStrict: return "strict";
+    }
+    return "?";
+}
+
+std::string CheckFailure::format() const {
+    std::string s = "[";
+    s += to_string(rule);
+    s += "] vm=" + std::to_string(vm);
+    if (vcpu >= 0) s += " vcpu=" + std::to_string(vcpu);
+    s += ": " + description;
+    return s;
+}
+
+Auditor::Auditor(hafnium::Spm& spm) : Auditor(spm, Options{}) {}
+
+Auditor::Auditor(hafnium::Spm& spm, Options options)
+    : spm_(&spm), options_(options) {
+    spm_->attach_audit(this);
+}
+
+Auditor::~Auditor() {
+    if (spm_->audit() == this) spm_->attach_audit(nullptr);
+}
+
+std::size_t Auditor::count(Rule r) const {
+    return static_cast<std::size_t>(
+        std::count_if(failures_.begin(), failures_.end(),
+                      [r](const CheckFailure& f) { return f.rule == r; }));
+}
+
+void Auditor::clear() {
+    failures_.clear();
+    seen_.clear();
+}
+
+std::string Auditor::report() const {
+    std::string out;
+    for (const auto& f : failures_) {
+        out += f.format();
+        out += '\n';
+    }
+    return out;
+}
+
+void Auditor::publish_metrics() {
+    auto& m = spm_->platform().metrics();
+    m.set(m.gauge("check.failures"), static_cast<double>(failures_.size()));
+    m.set(m.gauge("check.audits"), static_cast<double>(audits_));
+    m.set(m.gauge("check.transitions"), static_cast<double>(transitions_));
+}
+
+void Auditor::record(CheckFailure f) {
+    std::string key = std::to_string(static_cast<int>(f.rule)) + '|' +
+                      std::to_string(f.vm) + '|' + std::to_string(f.vcpu) + '|' +
+                      f.description;
+    if (!seen_.insert(std::move(key)).second) return;  // already reported
+    auto& platform = spm_->platform();
+    platform.recorder().instant(platform.engine().now(), obs::EventType::kCheckFail,
+                                /*core=*/-1, static_cast<std::int64_t>(f.rule),
+                                f.vm, f.vcpu);
+    failures_.push_back(f);
+    if (options_.mode == Mode::kStrict) throw CheckViolation(std::move(f));
+}
+
+std::size_t Auditor::validate() {
+    const std::size_t before = failures_.size();
+    ++audits_;
+    calls_since_scan_ = 0;
+    events_at_last_scan_ = spm_->platform().engine().events_executed();
+    check_stage2();
+    check_core_locality();
+    check_vgic();
+    check_accounting();
+    return failures_.size() - before;
+}
+
+// --------------------------------------------------------------------------
+// Hook points
+// --------------------------------------------------------------------------
+
+void Auditor::on_vcpu_state(hafnium::Vcpu& vcpu, hafnium::VcpuState from,
+                            hafnium::VcpuState to) {
+    if (options_.mode == Mode::kOff) return;
+    ++transitions_;
+    if (hafnium::vcpu_transition_legal(from, to)) return;
+    record({Rule::kVcpuTransition, vcpu.vm().id(), vcpu.index(),
+            std::string("illegal transition ") + hafnium::to_string(from) +
+                " -> " + hafnium::to_string(to)});
+}
+
+void Auditor::on_hypercall(arch::CoreId core, arch::VmId caller,
+                           hafnium::Call call, const hafnium::HfResult& result) {
+    (void)core;
+    (void)caller;
+    (void)call;
+    (void)result;
+    if (options_.mode == Mode::kStrict) {
+        validate();
+        return;
+    }
+    if (options_.mode != Mode::kSampled) return;
+    ++calls_since_scan_;
+    const std::uint64_t events = spm_->platform().engine().events_executed();
+    if (calls_since_scan_ >= static_cast<std::uint64_t>(options_.period) ||
+        (options_.event_period != 0 &&
+         events - events_at_last_scan_ >= options_.event_period)) {
+        validate();
+    }
+}
+
+// --------------------------------------------------------------------------
+// Rule: stage-2 exclusivity / ownership / TrustZone worlds
+// --------------------------------------------------------------------------
+
+void Auditor::check_stage2() {
+    auto& mem = spm_->platform().mem();
+
+    // Resolve every live grant to the PA range it covers.
+    std::vector<GrantRange> grant_ranges;
+    for (const auto& g : spm_->grants()) {
+        const arch::WalkResult w = spm_->vm_translate(g.owner, g.owner_ipa);
+        if (w.fault != arch::FaultKind::kNone) continue;  // owner unmapped: stale
+        grant_ranges.push_back({g.owner, g.borrower, w.out, g.pages * arch::kPageSize});
+    }
+    const auto borrowed = [&grant_ranges](arch::VmId vm, arch::PhysAddr pa) {
+        for (const auto& gr : grant_ranges) {
+            if (gr.borrower == vm && pa >= gr.pa && pa < gr.pa + gr.size) return true;
+        }
+        return false;
+    };
+    const auto grant_pair = [&grant_ranges](arch::VmId a, arch::VmId b,
+                                            arch::PhysAddr pa) {
+        for (const auto& gr : grant_ranges) {
+            if (pa < gr.pa || pa >= gr.pa + gr.size) continue;
+            if ((gr.owner == a && gr.borrower == b) ||
+                (gr.owner == b && gr.borrower == a)) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::vector<PaMapping> ram_maps;
+    for (int id = 1; id <= spm_->vm_count(); ++id) {
+        hafnium::Vm& vm = spm_->vm(static_cast<arch::VmId>(id));
+        if (vm.destroyed) continue;
+        const bool may_own_devices = vm.role() != hafnium::VmRole::kSecondary;
+
+        vm.stage2().for_each_mapping([&](const arch::PageTable::MappingView& m) {
+            const arch::MemRegion* region = mem.find_region(m.out_base);
+            if (region == nullptr) {
+                record({Rule::kStage2Ownership, vm.id(), -1,
+                        "maps unbacked PA " + hex(m.out_base) +
+                            " (" + std::to_string(m.size) + " bytes)"});
+                return;
+            }
+            if (region->kind == arch::RegionKind::kMmio) {
+                if (!may_own_devices) {
+                    record({Rule::kStage2Ownership, vm.id(), -1,
+                            "secondary maps MMIO region '" + region->name + "'"});
+                }
+                return;  // device windows are exempt from RAM rules
+            }
+
+            // TrustZone: the NS bit must match the frame's world, and a
+            // normal-world VM must never reach secure RAM.
+            const bool frame_secure = mem.world_of(m.out_base) == arch::World::kSecure;
+            if (m.secure != frame_secure) {
+                record({Rule::kTrustZone, vm.id(), -1,
+                        std::string("stage-2 secure attribute ") +
+                            (m.secure ? "set" : "clear") + " but frame world is " +
+                            (frame_secure ? "secure" : "non-secure")});
+            }
+            if (vm.world() == arch::World::kNonSecure && frame_secure) {
+                record({Rule::kTrustZone, vm.id(), -1,
+                        "normal-world VM maps secure RAM at PA " +
+                            hex(m.out_base)});
+            }
+
+            // Ownership: every frame must belong to the mapping VM or be
+            // covered by a grant that names it as borrower.
+            const std::uint64_t frames = m.size >> arch::kPageShift;
+            const auto probe = [&](std::uint64_t fi) {
+                const arch::PhysAddr pa = m.out_base + fi * arch::kPageSize;
+                const auto owner = mem.owner_of(pa);
+                if (owner && owner->allocated && owner->vm == vm.id()) return;
+                if (borrowed(vm.id(), pa)) return;
+                record({Rule::kStage2Ownership, vm.id(), -1,
+                        "maps PA " + hex(pa) + " owned by vm " +
+                            std::to_string(owner ? owner->vm : 0) +
+                            " without a grant"});
+            };
+            if (frames <= kExhaustiveProbeFrames) {
+                for (std::uint64_t f = 0; f < frames; ++f) probe(f);
+            } else {
+                probe(0);
+                probe(frames - 1);
+                for (std::uint64_t f = kProbeStride; f < frames - 1;
+                     f += kProbeStride) {
+                    probe(f);
+                }
+            }
+            ram_maps.push_back(
+                {vm.id(), m.in_base, m.out_base, m.size, m.perms, m.secure});
+        });
+    }
+
+    // Exclusivity sweep: writable RAM present in two different VMs' tables
+    // must be covered by an explicit grant between exactly those VMs.
+    std::sort(ram_maps.begin(), ram_maps.end(),
+              [](const PaMapping& a, const PaMapping& b) { return a.pa < b.pa; });
+    for (std::size_t i = 0; i < ram_maps.size(); ++i) {
+        const PaMapping& a = ram_maps[i];
+        if ((a.perms & arch::kPermW) == 0) continue;
+        for (std::size_t j = i + 1; j < ram_maps.size(); ++j) {
+            const PaMapping& b = ram_maps[j];
+            if (b.pa >= a.pa + a.size) break;  // sorted: no further overlap
+            if (b.vm == a.vm || (b.perms & arch::kPermW) == 0) continue;
+            if (grant_pair(a.vm, b.vm, b.pa)) continue;
+            record({Rule::kStage2Exclusive, b.vm, -1,
+                    "PA " + hex(b.pa) + " writable in vm " +
+                        std::to_string(a.vm) + " and vm " + std::to_string(b.vm) +
+                        " without a grant"});
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Rule: core locality
+// --------------------------------------------------------------------------
+
+void Auditor::check_core_locality() {
+    const int ncores = spm_->platform().ncores();
+    std::vector<const hafnium::Vcpu*> running(static_cast<std::size_t>(ncores),
+                                              nullptr);
+    for (int id = 1; id <= spm_->vm_count(); ++id) {
+        hafnium::Vm& vm = spm_->vm(static_cast<arch::VmId>(id));
+        for (int v = 0; v < vm.vcpu_count(); ++v) {
+            const hafnium::Vcpu& vcpu = vm.vcpu(v);
+            if (vcpu.assigned_core < -1 || vcpu.assigned_core >= ncores) {
+                record({Rule::kCoreLocality, vm.id(), v,
+                        "assigned_core " + std::to_string(vcpu.assigned_core) +
+                            " out of range"});
+            }
+            if (vcpu.state() == hafnium::VcpuState::kRunning) {
+                if (vcpu.running_core < 0 || vcpu.running_core >= ncores) {
+                    record({Rule::kCoreLocality, vm.id(), v,
+                            "running with running_core " +
+                                std::to_string(vcpu.running_core)});
+                    continue;
+                }
+                const auto slot = static_cast<std::size_t>(vcpu.running_core);
+                if (running[slot] != nullptr) {
+                    record({Rule::kCoreLocality, vm.id(), v,
+                            "two running VCPUs on core " +
+                                std::to_string(vcpu.running_core)});
+                } else {
+                    running[slot] = &vcpu;
+                }
+                if (spm_->running_vcpu(vcpu.running_core) != &vcpu) {
+                    record({Rule::kCoreLocality, vm.id(), v,
+                            "running_core " + std::to_string(vcpu.running_core) +
+                                " disagrees with the SPM's per-core table"});
+                }
+            } else if (vcpu.running_core != -1) {
+                record({Rule::kCoreLocality, vm.id(), v,
+                        std::string("state ") + to_string(vcpu.state()) +
+                            " but running_core " +
+                            std::to_string(vcpu.running_core)});
+            }
+        }
+    }
+    for (int c = 0; c < ncores; ++c) {
+        const hafnium::Vcpu* rv = spm_->running_vcpu(c);
+        if (rv != nullptr && rv->state() != hafnium::VcpuState::kRunning) {
+            record({Rule::kCoreLocality, rv->vm().id(), rv->index(),
+                    std::string("per-core table lists a ") + to_string(rv->state()) +
+                        " VCPU on core " + std::to_string(c)});
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Rule: vGIC sanity
+// --------------------------------------------------------------------------
+
+void Auditor::check_vgic() {
+    for (int id = 1; id <= spm_->vm_count(); ++id) {
+        hafnium::Vm& vm = spm_->vm(static_cast<arch::VmId>(id));
+        if (vm.destroyed) continue;
+        for (int v = 0; v < vm.vcpu_count(); ++v) {
+            const hafnium::Vcpu& vcpu = vm.vcpu(v);
+            for (const int irq : vcpu.vgic.pending) {
+                if (!routed_irq_id(irq)) {
+                    record({Rule::kVgicSanity, vm.id(), v,
+                            "pending virq " + std::to_string(irq) +
+                                " is not a routed interrupt id"});
+                }
+            }
+            for (const int irq : vcpu.vgic.enabled) {
+                if (!routed_irq_id(irq)) {
+                    record({Rule::kVgicSanity, vm.id(), v,
+                            "enabled virq " + std::to_string(irq) +
+                                " is not a routed interrupt id"});
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Rule: accounting cross-checks
+// --------------------------------------------------------------------------
+
+void Auditor::check_accounting() {
+    const hafnium::Spm::Stats& s = spm_->stats();
+
+    const std::uint64_t exits = s.exits_preempted + s.exits_blocked +
+                                s.exits_yield + s.exits_aborted;
+    if (s.vm_exits != exits) {
+        record({Rule::kAccounting, 0, -1,
+                "vm_exits " + std::to_string(s.vm_exits) +
+                    " != preempted+blocked+yield+aborted " + std::to_string(exits)});
+    }
+
+    if (s.mem_grants < s.mem_revokes ||
+        spm_->grants().size() != s.mem_grants - s.mem_revokes) {
+        record({Rule::kAccounting, 0, -1,
+                "live grants " + std::to_string(spm_->grants().size()) +
+                    " != mem_grants " + std::to_string(s.mem_grants) +
+                    " - mem_revokes " + std::to_string(s.mem_revokes)});
+    }
+
+    std::uint64_t runs = 0;
+    for (int id = 1; id <= spm_->vm_count(); ++id) {
+        hafnium::Vm& vm = spm_->vm(static_cast<arch::VmId>(id));
+        for (int v = 0; v < vm.vcpu_count(); ++v) runs += vm.vcpu(v).runs;
+    }
+    if (s.vm_exits > runs) {
+        record({Rule::kAccounting, 0, -1,
+                "vm_exits " + std::to_string(s.vm_exits) + " exceeds VCPU entries " +
+                    std::to_string(runs)});
+    }
+
+    // Reconcile against the published obs metrics: what publish_metrics
+    // exports must match the live counters (tools/lint.py separately proves
+    // every Stats field is published at all).
+    spm_->publish_metrics();
+    auto& m = spm_->platform().metrics();
+    const auto reconcile = [&](const char* name, std::uint64_t value) {
+        const double g = m.gauge_value(m.gauge(name));
+        if (g != static_cast<double>(value)) {
+            record({Rule::kAccounting, 0, -1,
+                    std::string(name) + " gauge " + std::to_string(g) +
+                        " != stats counter " + std::to_string(value)});
+        }
+    };
+    reconcile("hf.vm_exits", s.vm_exits);
+    reconcile("hf.exits_preempted", s.exits_preempted);
+    reconcile("hf.exits_blocked", s.exits_blocked);
+    reconcile("hf.exits_yield", s.exits_yield);
+    reconcile("hf.exits_aborted", s.exits_aborted);
+    reconcile("hf.mem_grants", s.mem_grants);
+    reconcile("hf.mem_revokes", s.mem_revokes);
+}
+
+}  // namespace hpcsec::check

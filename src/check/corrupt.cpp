@@ -1,0 +1,87 @@
+#include "check/corrupt.h"
+
+#include <stdexcept>
+
+#include "arch/memory_map.h"
+#include "arch/platform.h"
+
+namespace hpcsec::check {
+
+namespace {
+
+// IPAs far above any legitimate guest window, so the rogue mappings never
+// collide with boot-time or grant mappings.
+constexpr arch::IpaAddr kRogueIpa = 0x6000'0000;
+constexpr arch::IpaAddr kMismatchIpa = 0x6800'0000;
+
+constexpr int kStrayVirq = 999;  // outside every distributed id range
+
+[[nodiscard]] hafnium::Vm& first_secondary(hafnium::Spm& spm) {
+    for (int id = 1; id <= spm.vm_count(); ++id) {
+        hafnium::Vm& vm = spm.vm(static_cast<arch::VmId>(id));
+        if (vm.role() == hafnium::VmRole::kSecondary && !vm.destroyed) return vm;
+    }
+    throw std::runtime_error("inject_corruption: no live secondary VM");
+}
+
+}  // namespace
+
+const char* to_string(CorruptionKind k) {
+    switch (k) {
+        case CorruptionKind::kRogueStage2Map: return "rogue-stage2-map";
+        case CorruptionKind::kForgedTransition: return "forged-transition";
+        case CorruptionKind::kStrayVgicPending: return "stray-vgic-pending";
+        case CorruptionKind::kSkewedStats: return "skewed-stats";
+        case CorruptionKind::kWorldMismatch: return "world-mismatch";
+    }
+    return "?";
+}
+
+Rule inject_corruption(hafnium::Spm& spm, CorruptionKind kind) {
+    switch (kind) {
+        case CorruptionKind::kRogueStage2Map: {
+            // A secondary gains a writable window onto the primary's RAM —
+            // the exact leak stage-2 isolation exists to prevent.
+            hafnium::Vm& victim = spm.primary_vm();
+            hafnium::Vm& rogue = first_secondary(spm);
+            rogue.stage2().map(kRogueIpa, victim.mem_base, arch::kPageSize,
+                               arch::kPermRW, /*secure=*/false,
+                               /*force_pages=*/true);
+            return Rule::kStage2Ownership;
+        }
+        case CorruptionKind::kForgedTransition: {
+            // Drive a VCPU through a transition the state machine forbids
+            // (kOff never jumps straight to kRunning; nothing returns to
+            // kOff). Reported by the transition hook at the set_state call.
+            hafnium::Vcpu& vcpu = first_secondary(spm).vcpu(0);
+            const auto target = vcpu.state() == hafnium::VcpuState::kOff
+                                    ? hafnium::VcpuState::kRunning
+                                    : hafnium::VcpuState::kOff;
+            vcpu.set_state(target);
+            return Rule::kVcpuTransition;
+        }
+        case CorruptionKind::kStrayVgicPending: {
+            first_secondary(spm).vcpu(0).vgic.pending.insert(kStrayVirq);
+            return Rule::kVgicSanity;
+        }
+        case CorruptionKind::kSkewedStats: {
+            // An exit that never happened: breaks the vm_exits identity.
+            CorruptionAccess::stats(spm).vm_exits += 1;
+            return Rule::kAccounting;
+        }
+        case CorruptionKind::kWorldMismatch: {
+            // Remap a VM's own first frame claiming the opposite TrustZone
+            // world from what the memory map records.
+            hafnium::Vm& vm = first_secondary(spm);
+            const bool frame_secure =
+                spm.platform().mem().world_of(vm.mem_base) == arch::World::kSecure;
+            vm.stage2().map(kMismatchIpa, vm.mem_base, arch::kPageSize,
+                            arch::kPermR, /*secure=*/!frame_secure,
+                            /*force_pages=*/true);
+            return Rule::kTrustZone;
+        }
+    }
+    throw std::runtime_error("inject_corruption: unknown kind");
+}
+
+}  // namespace hpcsec::check

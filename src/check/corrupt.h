@@ -1,0 +1,39 @@
+// Fault injection for the invariant auditor: deliberately corrupt SPM
+// state in ways a buggy (or compromised) hypervisor could, so tests can
+// prove each check::Rule fires on a live violation rather than only on
+// synthetic inputs. The corruptions bypass the hypercall interface via a
+// friend backdoor — exactly the kind of tampering the auditor exists to
+// catch.
+#pragma once
+
+#include "check/check.h"
+#include "hafnium/spm.h"
+
+namespace hpcsec::check {
+
+/// Friend backdoor into private Spm state (declared friend in spm.h).
+/// Test/injection use only.
+struct CorruptionAccess {
+    [[nodiscard]] static hafnium::Spm::Stats& stats(hafnium::Spm& spm) {
+        return spm.stats_;
+    }
+};
+
+enum class CorruptionKind : std::uint8_t {
+    kRogueStage2Map,    ///< map the primary's RAM writable into a secondary
+    kForgedTransition,  ///< drive a VCPU through an illegal state change
+    kStrayVgicPending,  ///< pend a virq id the GIC never distributes
+    kSkewedStats,       ///< bump an exit counter without a matching exit
+    kWorldMismatch,     ///< stage-2 NS attribute contradicting the frame world
+};
+
+[[nodiscard]] const char* to_string(CorruptionKind k);
+
+/// Apply the corruption to a booted SPM and return the Rule the auditor is
+/// expected to flag. kForgedTransition reports through the transition hook
+/// immediately (throwing CheckViolation under a strict auditor); the others
+/// surface on the next scan. Throws std::runtime_error when the topology
+/// lacks a target (e.g. no secondary VM).
+Rule inject_corruption(hafnium::Spm& spm, CorruptionKind kind);
+
+}  // namespace hpcsec::check

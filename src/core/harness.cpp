@@ -30,6 +30,10 @@ TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
                                std::uint64_t seed) {
     NodeConfig cfg = options_.config_factory(kind, seed);
     cfg.platform.obs_mask |= options_.obs_mask;
+    if (options_.check_mode != check::Mode::kOff) {
+        cfg.check_mode = options_.check_mode;
+        cfg.check_period = options_.check_period;
+    }
     Node node(std::move(cfg));
     node.boot();
     wl::ParallelWorkload workload(spec);
@@ -40,6 +44,11 @@ TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
     if (options_.measurement_noise && spec.measurement_noise_sigma > 0.0) {
         sim::Rng rng(seed ^ 0x5eedf00dULL);
         r.score *= 1.0 + spec.measurement_noise_sigma * rng.normal(0.0, 1.0);
+    }
+    if (check::Auditor* auditor = node.auditor()) {
+        auditor->validate();  // end-of-trial sweep (throws under strict)
+        r.check_failures = auditor->failures().size();
+        r.check_report = auditor->report();
     }
     r.metrics = node.publish_metrics();
     if (options_.post_trial) options_.post_trial(kind, seed, node);

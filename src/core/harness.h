@@ -31,6 +31,8 @@ struct TrialResult {
     double seconds = 0.0;
     double score = 0.0;
     obs::MetricsSnapshot metrics;  ///< per-trial metrics (Node::publish_metrics)
+    std::size_t check_failures = 0;  ///< auditor findings (0 when audit off)
+    std::string check_report;        ///< formatted findings ("" when clean)
 };
 
 struct CellStats {
@@ -57,6 +59,11 @@ public:
         /// Structured-recorder categories to enable on every trial node
         /// (obs::Category bits, OR-ed into the platform config).
         std::uint32_t obs_mask = 0;
+        /// Invariant auditing on every trial node (hypervisor configs only;
+        /// the native baseline has no SPM to audit). A trial ends with a
+        /// final full validate() so sampled mode can't miss late damage.
+        check::Mode check_mode = check::Mode::kOff;
+        int check_period = 64;
         /// Override node construction (ablations swap this out).
         std::function<NodeConfig(SchedulerKind, std::uint64_t seed)> config_factory;
         /// Invoked after each trial, before the node is destroyed (trace

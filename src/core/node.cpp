@@ -143,6 +143,15 @@ void Node::boot_hafnium() {
 
     spm_ = std::make_unique<hafnium::Spm>(*platform_, manifest, config_.routing);
 
+    // Attach the invariant auditor before boot so the whole boot sequence
+    // (stage-2 construction, first VCPU transitions) is already audited.
+    if (config_.check_mode != check::Mode::kOff) {
+        auditor_ = std::make_unique<check::Auditor>(
+            *spm_,
+            check::Auditor::Options{config_.check_mode, config_.check_period,
+                                    config_.check_event_period});
+    }
+
     if (config_.scheduler == SchedulerKind::kKittenPrimary) {
         kitten_ = std::make_unique<kitten::KittenKernel>(*platform_, *spm_,
                                                          config_.kitten);
@@ -188,12 +197,12 @@ void Node::boot_hafnium() {
 void Node::kick_vcpus(hafnium::Vm& vm, int count) {
     for (int i = 0; i < count && i < vm.vcpu_count(); ++i) {
         hafnium::Vcpu& vcpu = vm.vcpu(i);
-        if (vcpu.state == hafnium::VcpuState::kBlocked) {
+        if (vcpu.state() == hafnium::VcpuState::kBlocked) {
             spm_->wake_vcpu(vcpu);
-        } else if (vcpu.state == hafnium::VcpuState::kOff) {
+        } else if (vcpu.state() == hafnium::VcpuState::kOff) {
             spm_->make_vcpu_ready(vcpu);
             primary_os()->on_vcpu_wake(vcpu);
-        } else if (vcpu.state == hafnium::VcpuState::kReady) {
+        } else if (vcpu.state() == hafnium::VcpuState::kReady) {
             primary_os()->on_vcpu_wake(vcpu);
         }
     }
@@ -321,6 +330,7 @@ obs::MetricsSnapshot Node::publish_metrics() {
     if (platform_ == nullptr) return {};
     platform_->publish_metrics();
     if (spm_) spm_->publish_metrics();
+    if (auditor_) auditor_->publish_metrics();
     auto& m = platform_->metrics();
     const auto set = [&m](const char* name, double v) { m.set(m.gauge(name), v); };
     if (kitten_) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/platform.h"
+#include "check/check.h"
 #include "core/attest.h"
 #include "core/signature.h"
 #include "hafnium/spm.h"
@@ -59,6 +60,14 @@ struct NodeConfig {
     linux_fwk::LinuxConfig linux{};
     kitten::GuestConfig guest{};
     linux_fwk::LinuxGuestConfig login{};
+
+    /// Isolation-invariant auditor (src/check). kOff keeps the audit hooks
+    /// detached (their cost is one predicted branch per site); kSampled
+    /// scans every `check_period` hypercalls or `check_event_period` sim
+    /// events; kStrict scans every hypercall and throws on a violation.
+    check::Mode check_mode = check::Mode::kOff;
+    int check_period = 64;
+    std::uint64_t check_event_period = 100'000;
 
     /// When set, VM images must verify against `trusted_keys` at boot.
     bool verify_signatures = false;
@@ -127,6 +136,8 @@ public:
     [[nodiscard]] const NodeConfig& config() const { return config_; }
     arch::Platform& platform() { return *platform_; }
     [[nodiscard]] hafnium::Spm* spm() { return spm_.get(); }
+    /// nullptr natively or when check_mode is kOff.
+    [[nodiscard]] check::Auditor* auditor() { return auditor_.get(); }
     [[nodiscard]] kitten::KittenKernel* kitten() { return kitten_.get(); }
     [[nodiscard]] linux_fwk::LinuxKernel* linux_kernel() { return linux_.get(); }
     [[nodiscard]] kitten::KittenGuestOs* compute_guest() { return compute_guest_.get(); }
@@ -152,6 +163,7 @@ private:
     NodeConfig config_;
     std::unique_ptr<arch::Platform> platform_;
     std::unique_ptr<hafnium::Spm> spm_;
+    std::unique_ptr<check::Auditor> auditor_;  ///< after spm_: detaches first
     std::unique_ptr<kitten::KittenKernel> kitten_;
     std::unique_ptr<linux_fwk::LinuxKernel> linux_;
     std::unique_ptr<kitten::KittenGuestOs> compute_guest_;

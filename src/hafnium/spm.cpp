@@ -57,6 +57,7 @@ void Spm::boot() {
         // Default incremental VCPU spread across cores.
         for (int v = 0; v < vm->vcpu_count(); ++v) {
             vm->vcpu(v).assigned_core = v % platform_->ncores();
+            vm->vcpu(v).set_audit(audit_);  // auditor may pre-date boot
         }
         vms_.push_back(std::move(vm));
     }
@@ -120,6 +121,7 @@ arch::VmId Spm::create_vm(const VmSpec& spec) {
                      spec.world == arch::World::kSecure);
     for (int v = 0; v < vm->vcpu_count(); ++v) {
         vm->vcpu(v).assigned_core = v % platform_->ncores();
+        vm->vcpu(v).set_audit(audit_);
     }
     measurements_.emplace_back(spec.name, spec.image_hash());
     vms_.push_back(std::move(vm));
@@ -133,7 +135,7 @@ void Spm::destroy_vm(arch::VmId id) {
         throw std::invalid_argument("Spm::destroy_vm: only secondaries");
     }
     for (int v = 0; v < victim.vcpu_count(); ++v) {
-        if (victim.vcpu(v).state == VcpuState::kRunning) {
+        if (victim.vcpu(v).state() == VcpuState::kRunning) {
             throw std::logic_error("Spm::destroy_vm: VCPU still running");
         }
     }
@@ -148,6 +150,7 @@ void Spm::destroy_vm(arch::VmId id) {
                     it->owner_ipa, it->pages * arch::kPageSize, arch::kPermRWX);
             }
             it = grants_.erase(it);
+            ++stats_.mem_revokes;
         } else {
             ++it;
         }
@@ -155,7 +158,7 @@ void Spm::destroy_vm(arch::VmId id) {
     // Detach guest contexts, drop translations, scrub and free the frames.
     for (int v = 0; v < victim.vcpu_count(); ++v) {
         set_guest_context(victim.vcpu(v), nullptr);
-        victim.vcpu(v).state = VcpuState::kAborted;
+        victim.vcpu(v).set_state(VcpuState::kAborted);
     }
     guest_os_.erase(id);
     victim.stage2().unmap(victim.ipa_base, victim.mem_bytes());
@@ -191,6 +194,13 @@ Vm* Spm::super_secondary() {
 
 void Spm::attach_guest(arch::VmId id, GuestOsItf* os) { guest_os_[id] = os; }
 
+void Spm::attach_audit(AuditItf* audit) {
+    audit_ = audit;
+    for (auto& vm : vms_) {
+        for (int v = 0; v < vm->vcpu_count(); ++v) vm->vcpu(v).set_audit(audit);
+    }
+}
+
 void Spm::set_guest_context(Vcpu& vcpu, arch::Runnable* ctx) {
     if (vcpu.guest_context != nullptr) ctx_to_vcpu_.erase(vcpu.guest_context);
     vcpu.guest_context = ctx;
@@ -198,24 +208,24 @@ void Spm::set_guest_context(Vcpu& vcpu, arch::Runnable* ctx) {
 }
 
 void Spm::make_vcpu_ready(Vcpu& vcpu) {
-    if (vcpu.state == VcpuState::kOff || vcpu.state == VcpuState::kBlocked) {
-        vcpu.state = VcpuState::kReady;
+    if (vcpu.state() == VcpuState::kOff || vcpu.state() == VcpuState::kBlocked) {
+        vcpu.set_state(VcpuState::kReady);
     }
 }
 
 void Spm::wake_vcpu(Vcpu& vcpu) {
-    if (vcpu.state != VcpuState::kBlocked) return;
-    vcpu.state = VcpuState::kReady;
+    if (vcpu.state() != VcpuState::kBlocked) return;
+    vcpu.set_state(VcpuState::kReady);
     if (primary_os_ != nullptr) primary_os_->on_vcpu_wake(vcpu);
 }
 
 void Spm::force_stop_vcpu(Vcpu& vcpu, bool notify_primary) {
-    if (vcpu.state != VcpuState::kRunning || vcpu.running_core < 0) return;
+    if (vcpu.state() != VcpuState::kRunning || vcpu.running_core < 0) return;
     const arch::CoreId core = vcpu.running_core;
     arch::Core& c = platform_->core(core);
     c.exec().preempt();
     c.timer().cancel(arch::TimerChannel::kVirt);
-    vcpu.state = VcpuState::kReady;
+    vcpu.set_state(VcpuState::kReady);
     vcpu.running_core = -1;
     vcpu_on_core_[static_cast<std::size_t>(core)] = nullptr;
     set_core_context(core, &primary_vm());
@@ -238,14 +248,14 @@ bool Spm::guest_access(Vcpu& vcpu, arch::IpaAddr ipa, arch::Access access) {
 
 void Spm::abort_vcpu(Vcpu& vcpu) {
     ++stats_.guest_aborts;
-    if (vcpu.state == VcpuState::kRunning && vcpu.running_core >= 0) {
+    if (vcpu.state() == VcpuState::kRunning && vcpu.running_core >= 0) {
         const arch::CoreId core = vcpu.running_core;
         platform_->core(core).exec().preempt();
         exit_vcpu(core, vcpu, ExitReason::kAborted,
                   platform_->perf().trap_to_el2 + platform_->perf().world_switch);
         return;
     }
-    vcpu.state = VcpuState::kAborted;
+    vcpu.set_state(VcpuState::kAborted);
     vcpu.running_core = -1;
 }
 
@@ -355,7 +365,7 @@ void Spm::enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost) {
     arch::Core& c = platform_->core(core);
     arch::Executor& ex = c.exec();
 
-    vcpu.state = VcpuState::kRunning;
+    vcpu.set_state(VcpuState::kRunning);
     vcpu.running_core = core;
     vcpu.last_enter = platform_->engine().now();
     ++vcpu.runs;
@@ -397,20 +407,21 @@ void Spm::exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
 
     switch (reason) {
         case ExitReason::kPreempted:
-            vcpu.state = VcpuState::kReady;
+            vcpu.set_state(VcpuState::kReady);
             ++vcpu.preemptions;
             ++stats_.exits_preempted;
             break;
         case ExitReason::kYield:
-            vcpu.state = VcpuState::kReady;
+            vcpu.set_state(VcpuState::kReady);
             ++stats_.exits_yield;
             break;
         case ExitReason::kBlocked:
-            vcpu.state = VcpuState::kBlocked;
+            vcpu.set_state(VcpuState::kBlocked);
             ++stats_.exits_blocked;
             break;
         case ExitReason::kAborted:
-            vcpu.state = VcpuState::kAborted;
+            vcpu.set_state(VcpuState::kAborted);
+            ++stats_.exits_aborted;
             break;
     }
     vcpu.running_core = -1;
@@ -444,9 +455,9 @@ sim::Cycles Spm::drain_virqs(Vcpu& vcpu) {
 
 void Spm::inject_virq(Vcpu& vcpu, int virq) {
     vcpu.vgic.pending.insert(virq);
-    if (vcpu.state == VcpuState::kBlocked) {
+    if (vcpu.state() == VcpuState::kBlocked) {
         wake_vcpu(vcpu);
-    } else if (vcpu.state == VcpuState::kReady && vcpu.running_core < 0 &&
+    } else if (vcpu.state() == VcpuState::kReady && vcpu.running_core < 0 &&
                primary_os_ != nullptr) {
         // The primary's proxy thread may have parked after an earlier
         // empty-run; nudge the scheduler so the virq is serviced.
@@ -491,6 +502,13 @@ void Spm::on_core_idle(arch::CoreId core, arch::Runnable* finished) {
 // --------------------------------------------------------------------------
 
 HfResult Spm::hypercall(arch::CoreId core, arch::VmId caller, Call call, HfArgs args) {
+    const HfResult result = hypercall_impl(core, caller, call, args);
+    if (audit_ != nullptr) audit_->on_hypercall(core, caller, call, result);
+    return result;
+}
+
+HfResult Spm::hypercall_impl(arch::CoreId core, arch::VmId caller, Call call,
+                             const HfArgs& args) {
     ++stats_.hypercalls;
     platform_->recorder().instant(platform_->engine().now(),
                                   obs::EventType::kHypercall, core,
@@ -649,11 +667,11 @@ HfResult Spm::call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& 
     if (target.role() == VmRole::kPrimary) return {HfError::kInvalid, 0};
     if (vcpu_idx < 0 || vcpu_idx >= target.vcpu_count()) return {HfError::kInvalid, 0};
     Vcpu& vcpu = target.vcpu(vcpu_idx);
-    if (vcpu.state != VcpuState::kReady) return {HfError::kRetry, 0};
+    if (vcpu.state() != VcpuState::kReady) return {HfError::kRetry, 0};
     // A VCPU with no runnable guest thread may still be entered to service
     // pending virtual interrupts (it handles them and drops back to WFI).
     if (vcpu.guest_context == nullptr && !vcpu.vgic.next_deliverable()) {
-        vcpu.state = VcpuState::kBlocked;  // nothing to do: park in WFI
+        vcpu.set_state(VcpuState::kBlocked);  // nothing to do: park in WFI
         return {HfError::kRetry, 0};
     }
     if (platform_->core(core).exec().running()) {
@@ -732,6 +750,7 @@ HfResult Spm::call_mem_share(arch::VmId caller, const HfArgs& a, bool exclusive)
                                     arch::kPermNone);
     }
     grants_.push_back({caller, target_id, own_ipa, borrower_ipa, pages, exclusive});
+    ++stats_.mem_grants;
     return {HfError::kOk, 0};
 }
 
@@ -764,6 +783,7 @@ HfResult Spm::call_mem_donate(arch::VmId caller, const HfArgs& a) {
     platform_->mem().set_owner(w0.out, pages, target_id);
     to.stage2().map(borrower_ipa, w0.out, pages * arch::kPageSize, arch::kPermRWX,
                     to.world() == arch::World::kSecure);
+    ++stats_.mem_donates;
     return {HfError::kOk, 0};
 }
 
@@ -781,6 +801,7 @@ HfResult Spm::call_mem_reclaim(arch::VmId caller, const HfArgs& a) {
                                             arch::kPermRWX);
             }
             grants_.erase(it);
+            ++stats_.mem_revokes;
             return {HfError::kOk, 0};
         }
     }
@@ -833,12 +854,16 @@ void Spm::publish_metrics() {
     set("hf.exits_preempted", stats_.exits_preempted);
     set("hf.exits_blocked", stats_.exits_blocked);
     set("hf.exits_yield", stats_.exits_yield);
+    set("hf.exits_aborted", stats_.exits_aborted);
     set("hf.virq_injections", stats_.virq_injections);
     set("hf.vtimer_fires", stats_.vtimer_fires);
     set("hf.forwarded_device_irqs", stats_.forwarded_device_irqs);
     set("hf.denied_calls", stats_.denied_calls);
     set("hf.messages", stats_.messages);
     set("hf.guest_aborts", stats_.guest_aborts);
+    set("hf.mem_grants", stats_.mem_grants);
+    set("hf.mem_revokes", stats_.mem_revokes);
+    set("hf.mem_donates", stats_.mem_donates);
 }
 
 std::vector<std::string> Spm::devices_of(arch::VmId id) const {

@@ -31,7 +31,21 @@
 #include "hafnium/manifest.h"
 #include "hafnium/vm.h"
 
+namespace hpcsec::check {
+struct CorruptionAccess;  // fault injection backdoor (src/check/corrupt.h)
+}  // namespace hpcsec::check
+
 namespace hpcsec::hafnium {
+
+/// Invariant-audit hook points the SPM exposes (implemented by
+/// check::Auditor). Each hook site costs one predicted branch when no
+/// auditor is attached.
+class AuditItf : public VcpuAuditSink {
+public:
+    /// Invoked after every completed hypercall, result included.
+    virtual void on_hypercall(arch::CoreId core, arch::VmId caller, Call call,
+                              const HfResult& result) = 0;
+};
 
 class Spm {
 public:
@@ -42,12 +56,16 @@ public:
         std::uint64_t exits_preempted = 0;
         std::uint64_t exits_blocked = 0;
         std::uint64_t exits_yield = 0;
+        std::uint64_t exits_aborted = 0;
         std::uint64_t virq_injections = 0;
         std::uint64_t vtimer_fires = 0;
         std::uint64_t forwarded_device_irqs = 0;
         std::uint64_t denied_calls = 0;
         std::uint64_t messages = 0;
         std::uint64_t guest_aborts = 0;
+        std::uint64_t mem_grants = 0;   ///< successful FFA_MEM_SHARE/LEND
+        std::uint64_t mem_revokes = 0;  ///< reclaims + teardown revocations
+        std::uint64_t mem_donates = 0;  ///< successful FFA_MEM_DONATE
     };
 
     Spm(arch::Platform& platform, Manifest manifest,
@@ -89,6 +107,18 @@ public:
     [[nodiscard]] Vm* super_secondary();
     [[nodiscard]] arch::Platform& platform() { return *platform_; }
     [[nodiscard]] const IrqRouter& router() const { return router_; }
+
+    /// VCPU currently executing on `core` (nullptr when the core belongs to
+    /// the primary). Ground truth for the checker's core-locality rule.
+    [[nodiscard]] const Vcpu* running_vcpu(arch::CoreId core) const {
+        return vcpu_on_core_.at(static_cast<std::size_t>(core));
+    }
+
+    /// Attach (or detach, with nullptr) the invariant auditor. Installs the
+    /// VCPU state-transition sink on every existing VCPU; VMs created later
+    /// inherit it.
+    void attach_audit(AuditItf* audit);
+    [[nodiscard]] AuditItf* audit() const { return audit_; }
 
     // --- guest-side services (called by guest kernel models) -----------------
     /// Install/replace the runnable that consumes CPU when `vcpu` runs.
@@ -149,6 +179,10 @@ public:
     [[nodiscard]] const std::vector<ShareGrant>& grants() const { return grants_; }
 
 private:
+    friend struct hpcsec::check::CorruptionAccess;
+
+    HfResult hypercall_impl(arch::CoreId core, arch::VmId caller, Call call,
+                            const HfArgs& args);
     void handle_phys_irq(arch::CoreId core, int irq);
     void enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost);
     void exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
@@ -181,6 +215,7 @@ private:
     std::vector<ShareGrant> grants_;
     std::map<arch::VmId, std::vector<std::string>> device_map_;
     Stats stats_;
+    AuditItf* audit_ = nullptr;
     obs::MetricsRegistry::Handle vcpu_run_hist_ = 0;  ///< hf.vcpu_run_us
 };
 

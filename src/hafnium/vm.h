@@ -25,6 +25,28 @@ enum class VcpuState : std::uint8_t {
 
 [[nodiscard]] const char* to_string(VcpuState s);
 
+/// True when `from` -> `to` is a legal transition of the VCPU state
+/// machine: kOff -> kReady -> kRunning <-> kBlocked, with kReady <-> kBlocked
+/// for WFI parking/waking and kAborted as the terminal state reachable from
+/// anywhere. Self-transitions are legal no-ops.
+[[nodiscard]] constexpr bool vcpu_transition_legal(VcpuState from, VcpuState to) {
+    if (from == to) return true;
+    if (to == VcpuState::kAborted) return true;
+    switch (from) {
+        case VcpuState::kOff:
+            return to == VcpuState::kReady;
+        case VcpuState::kReady:
+            return to == VcpuState::kRunning || to == VcpuState::kBlocked;
+        case VcpuState::kRunning:
+            return to == VcpuState::kReady || to == VcpuState::kBlocked;
+        case VcpuState::kBlocked:
+            return to == VcpuState::kReady;
+        case VcpuState::kAborted:
+            return false;  // terminal
+    }
+    return false;
+}
+
 /// Why control returned from a VCPU to the scheduler.
 enum class ExitReason : std::uint8_t {
     kPreempted,   ///< physical interrupt for the primary
@@ -52,6 +74,18 @@ struct VGicState {
     }
 };
 
+class Vcpu;
+
+/// Audit hook for VCPU state transitions (implemented by check::Auditor).
+/// Observing costs one predicted branch per state change when no sink is
+/// attached — the same pattern as the obs recorder.
+class VcpuAuditSink {
+public:
+    virtual ~VcpuAuditSink() = default;
+    /// Invoked *before* the state is written, so the sink sees both sides.
+    virtual void on_vcpu_state(Vcpu& vcpu, VcpuState from, VcpuState to) = 0;
+};
+
 class Vcpu {
 public:
     Vcpu(Vm& vm, int index) : vm_(&vm), index_(index) {}
@@ -60,7 +94,16 @@ public:
     [[nodiscard]] const Vm& vm() const { return *vm_; }
     [[nodiscard]] int index() const { return index_; }
 
-    VcpuState state = VcpuState::kOff;
+    /// The scheduling state. Mutations go through set_state() so the state
+    /// machine is auditable; the field itself cannot be written directly.
+    [[nodiscard]] VcpuState state() const { return state_; }
+    void set_state(VcpuState next) {
+        if (audit_ != nullptr && next != state_) {
+            audit_->on_vcpu_state(*this, state_, next);
+        }
+        state_ = next;
+    }
+    void set_audit(VcpuAuditSink* sink) { audit_ = sink; }
     /// Core this VCPU is assigned to (primary VCPUs are pinned 1:1; secondary
     /// VCPUs get a default incremental spread that the primary may change).
     arch::CoreId assigned_core = -1;
@@ -86,6 +129,8 @@ public:
 private:
     Vm* vm_;
     int index_;
+    VcpuState state_ = VcpuState::kOff;
+    VcpuAuditSink* audit_ = nullptr;
 };
 
 class Vm {

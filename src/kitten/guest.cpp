@@ -54,7 +54,7 @@ void KittenGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
 void KittenGuestOs::wake_runnable_vcpus() {
     for (int v = 0; v < vm_->vcpu_count(); ++v) {
         hafnium::Vcpu& vcpu = vm_->vcpu(v);
-        if (vcpu.state != hafnium::VcpuState::kBlocked) continue;
+        if (vcpu.state() != hafnium::VcpuState::kBlocked) continue;
         for (arch::Runnable* t : threads_[static_cast<std::size_t>(v)]) {
             if (t->remaining_units() > 0) {
                 spm_->wake_vcpu(vcpu);

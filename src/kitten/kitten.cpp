@@ -127,7 +127,7 @@ void KittenKernel::launch_vm(arch::VmId vm_id) {
         t->vcpu = &vcpu;
         threads_.push_back(std::move(t));
         KThread& thr = *threads_.back();
-        if (vcpu.state == hafnium::VcpuState::kReady) {
+        if (vcpu.state() == hafnium::VcpuState::kReady) {
             thr.state = KThread::State::kReady;
             enqueue(thr);
             if (current_[static_cast<std::size_t>(thr.core)] == nullptr && booted_) {

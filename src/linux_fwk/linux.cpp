@@ -82,7 +82,7 @@ void LinuxKernel::launch_vm(arch::VmId vm_id) {
         SchedEntity& ent = *entities_.back();
         auto& rq = rq_[static_cast<std::size_t>(ent.core)];
         ent.vruntime = rq.min_vruntime();
-        if (vcpu.state == hafnium::VcpuState::kReady) {
+        if (vcpu.state() == hafnium::VcpuState::kReady) {
             rq.enqueue(ent, /*wakeup=*/false);
             if (booted_ && current_[static_cast<std::size_t>(ent.core)] == nullptr) {
                 dispatch(ent.core);

@@ -21,6 +21,7 @@ enum class Category : std::uint32_t {
     kWorkload = 1u << 5,
     kBoot = 1u << 6,
     kChannel = 1u << 7,
+    kCheck = 1u << 8,  ///< invariant-audit findings (src/check/)
     kAll = 0xffffffffu,
 };
 
@@ -43,6 +44,7 @@ enum class EventType : std::uint8_t {
     kContextSwitch, ///< a0 = kind (0 = thread, 1 = vcpu proxy)
     kNoisePreempt,  ///< background work preempted/competed with the app
     kBarrierStep,   ///< a0 = step index
+    kCheckFail,     ///< a0 = check::Rule, a1 = vm id, a2 = vcpu index
 };
 
 /// Stable lower-case name, used for trace export and TraceLog mirroring.
@@ -67,6 +69,8 @@ enum class EventType : std::uint8_t {
         case EventType::kContextSwitch:
         case EventType::kNoisePreempt:
             return Category::kSched;
+        case EventType::kCheckFail:
+            return Category::kCheck;
     }
     return Category::kAll;
 }

@@ -18,6 +18,7 @@ const char* to_string(EventType t) {
         case EventType::kContextSwitch: return "context-switch";
         case EventType::kNoisePreempt: return "noise-preempt";
         case EventType::kBarrierStep: return "barrier-step";
+        case EventType::kCheckFail: return "check-fail";
     }
     return "?";
 }

@@ -23,6 +23,7 @@ enum class TraceCat : std::uint32_t {
     kWorkload = 1u << 5,
     kBoot = 1u << 6,
     kChannel = 1u << 7,
+    kCheck = 1u << 8,
     kAll = 0xffffffffu,
 };
 

@@ -46,10 +46,10 @@ TEST_F(AbortFixture, InBoundsGuestAccessAllowed) {
 
 TEST_F(AbortFixture, OutOfBoundsAccessAbortsVcpu) {
     hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(1);
-    ASSERT_EQ(vcpu.state, hafnium::VcpuState::kRunning);
+    ASSERT_EQ(vcpu.state(), hafnium::VcpuState::kRunning);
     const arch::IpaAddr bad = node.compute_vm()->mem_bytes() + arch::kPageSize;
     EXPECT_FALSE(node.spm()->guest_access(vcpu, bad, arch::Access::kRead));
-    EXPECT_EQ(vcpu.state, hafnium::VcpuState::kAborted);
+    EXPECT_EQ(vcpu.state(), hafnium::VcpuState::kAborted);
     EXPECT_EQ(node.spm()->stats().guest_aborts, 1u);
 }
 
@@ -62,8 +62,8 @@ TEST_F(AbortFixture, OtherVcpusSurviveOneAbort) {
     node.run_for(0.5);
     EXPECT_EQ(victim.runs, runs);
     // ...but its siblings keep executing.
-    EXPECT_EQ(node.compute_vm()->vcpu(0).state, hafnium::VcpuState::kRunning);
-    EXPECT_EQ(node.compute_vm()->vcpu(3).state, hafnium::VcpuState::kRunning);
+    EXPECT_EQ(node.compute_vm()->vcpu(0).state(), hafnium::VcpuState::kRunning);
+    EXPECT_EQ(node.compute_vm()->vcpu(3).state(), hafnium::VcpuState::kRunning);
 }
 
 TEST_F(AbortFixture, AbortedVcpuRefusedByVcpuRun) {
@@ -78,9 +78,9 @@ TEST_F(AbortFixture, AbortedVcpuRefusedByVcpuRun) {
 TEST_F(AbortFixture, AbortWhileBlockedMarksAborted) {
     hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(0);
     node.spm()->force_stop_vcpu(vcpu);
-    vcpu.state = hafnium::VcpuState::kBlocked;
+    vcpu.set_state(hafnium::VcpuState::kBlocked);
     node.spm()->abort_vcpu(vcpu);
-    EXPECT_EQ(vcpu.state, hafnium::VcpuState::kAborted);
+    EXPECT_EQ(vcpu.state(), hafnium::VcpuState::kAborted);
 }
 
 // --- UART console ownership -----------------------------------------------------

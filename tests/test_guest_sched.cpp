@@ -73,7 +73,7 @@ TEST_F(GuestSched, VcpuBlocksWhenAllThreadsDone) {
     kick(2);
     node.run_for(0.5);
     EXPECT_EQ(a.remaining_, 0.0);
-    EXPECT_EQ(node.compute_vm()->vcpu(2).state, hafnium::VcpuState::kBlocked);
+    EXPECT_EQ(node.compute_vm()->vcpu(2).state(), hafnium::VcpuState::kBlocked);
 }
 
 TEST_F(GuestSched, SetThreadReplacesQueue) {

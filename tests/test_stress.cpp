@@ -95,7 +95,7 @@ TEST_P(StressFuzz, RandomManagementOpsNeverBreakInvariants) {
     int running = 0;
     for (int v = 0; v < node.compute_vm()->vcpu_count(); ++v) {
         const hafnium::Vcpu& vcpu = node.compute_vm()->vcpu(v);
-        if (vcpu.state == hafnium::VcpuState::kRunning) {
+        if (vcpu.state() == hafnium::VcpuState::kRunning) {
             ++running;
             EXPECT_GE(vcpu.running_core, 0);
         } else {

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Repository-specific static lint gate (registered as ctest label "lint").
+
+Checks that cannot be expressed in the type system and that clang-tidy does
+not know about:
+
+  1. Enum/to_string coverage: every enumerator of the listed enums must
+     appear as an explicit `Enum::kName` case in its to_string translation
+     unit, so log output never degrades to "?" silently when an enum grows.
+
+  2. Stats completeness: every field of hafnium::Spm::Stats must be
+     published by Spm::publish_metrics (the obs reconciliation rule in
+     src/check depends on the two staying in sync).
+
+Exit status 0 = clean, 1 = findings (printed one per line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Enum name -> (header that declares it, source file whose to_string must
+# cover every enumerator).
+ENUMS = {
+    "Call": ("src/hafnium/hypercall.h", "src/hafnium/hypercall.cpp"),
+    "HfError": ("src/hafnium/hypercall.h", "src/hafnium/hypercall.cpp"),
+    "VcpuState": ("src/hafnium/vm.h", "src/hafnium/vm.cpp"),
+    "ExitReason": ("src/hafnium/vm.h", "src/hafnium/vm.cpp"),
+    "VmRole": ("src/hafnium/manifest.h", "src/hafnium/manifest.cpp"),
+    "Rule": ("src/check/check.h", "src/check/check.cpp"),
+    "Mode": ("src/check/check.h", "src/check/check.cpp"),
+    "CorruptionKind": ("src/check/corrupt.h", "src/check/corrupt.cpp"),
+    "EventType": ("src/obs/events.h", "src/obs/recorder.cpp"),
+}
+
+STATS_HEADER = "src/hafnium/spm.h"
+STATS_SOURCE = "src/hafnium/spm.cpp"
+
+
+def strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def enum_members(header_text: str, enum: str) -> list[str]:
+    m = re.search(
+        r"enum\s+class\s+" + re.escape(enum) + r"\b[^{]*\{(.*?)\};",
+        strip_comments(header_text),
+        flags=re.S,
+    )
+    if m is None:
+        return []
+    return re.findall(r"\b(k[A-Za-z0-9_]+)\b\s*(?:=[^,}]*)?[,}\s]", m.group(1) + ",")
+
+
+def check_enum_coverage(root: Path) -> list[str]:
+    problems = []
+    for enum, (header, source) in ENUMS.items():
+        header_text = (root / header).read_text()
+        members = enum_members(header_text, enum)
+        if not members:
+            problems.append(f"{header}: enum {enum} not found (lint table stale?)")
+            continue
+        source_text = strip_comments((root / source).read_text())
+        for member in members:
+            if not re.search(rf"\b{enum}::{member}\b", source_text):
+                problems.append(
+                    f"{source}: to_string({enum}) misses {enum}::{member}"
+                )
+    return problems
+
+
+def stats_fields(header_text: str) -> list[str]:
+    m = re.search(r"struct\s+Stats\s*\{(.*?)\};", strip_comments(header_text), re.S)
+    if m is None:
+        return []
+    return re.findall(r"\b(\w+)\s*=\s*0\s*;", m.group(1))
+
+
+def check_stats_published(root: Path) -> list[str]:
+    problems = []
+    fields = stats_fields((root / STATS_HEADER).read_text())
+    if not fields:
+        return [f"{STATS_HEADER}: Spm::Stats not found (lint table stale?)"]
+    source_text = strip_comments((root / STATS_SOURCE).read_text())
+    m = re.search(
+        r"void\s+Spm::publish_metrics\s*\(\)\s*\{(.*?)\n\}", source_text, re.S
+    )
+    if m is None:
+        return [f"{STATS_SOURCE}: Spm::publish_metrics not found"]
+    body = m.group(1)
+    for field in fields:
+        if not re.search(rf"\bstats_\.{field}\b", body):
+            problems.append(
+                f"{STATS_SOURCE}: publish_metrics does not publish Stats::{field}"
+            )
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    problems = check_enum_coverage(root) + check_stats_published(root)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"lint: {len(problems)} problem(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
