@@ -8,9 +8,12 @@
 #include "arch/mmu.h"
 #include "arch/platform.h"
 #include "check/check.h"
+#include "core/harness.h"
+#include "core/node.h"
 #include "gbench_json.h"
 #include "hafnium/spm.h"
 #include "obs/recorder.h"
+#include "resil/resil.h"
 #include "sim/engine.h"
 
 namespace {
@@ -207,6 +210,37 @@ void BM_RecorderEnabled(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RecorderEnabled);
+
+// Heartbeat-watchdog overhead on the hypercall path (ISSUE acceptance:
+// detection is event-driven, so an armed watchdog must leave the hypercall
+// hot path within noise of the audit-off baseline — nothing resil-related
+// executes per call, only per scan tick and per guest timer tick).
+void BM_HypercallWatchdogOff(benchmark::State& state) {
+    core::Node node(
+        core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 7));
+    node.boot();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(node.spm()->hypercall(
+            0, 1, hafnium::Call::kVmGetInfo, {2, 0, 0, 0}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HypercallWatchdogOff);
+
+void BM_HypercallWatchdogArmed(benchmark::State& state) {
+    core::Node node(
+        core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 7));
+    node.boot();
+    resil::Supervisor sup(node);
+    sup.supervise(node.compute_vm()->id());
+    sup.start();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(node.spm()->hypercall(
+            0, 1, hafnium::Call::kVmGetInfo, {2, 0, 0, 0}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HypercallWatchdogArmed);
 
 void BM_SpmFullBoot(benchmark::State& state) {
     for (auto _ : state) {

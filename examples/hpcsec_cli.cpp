@@ -14,6 +14,10 @@
 //              [--check[=strict|sampled]]  (isolation-invariant auditor;
 //                                        bare --check means strict)
 //              [--check-period N]       (sampled mode: scan every N hypercalls)
+//              [--chaos[=RATE]]         (seed-deterministic fault injection at
+//                                        RATE faults/s of sim time; default 10)
+//              [--restart-policy[=N]]   (heartbeat watchdog + restart engine on
+//                                        the compute VM; N = restart budget)
 //
 // Examples:
 //   hpcsec_cli --workload gups --config linux --trials 5
@@ -24,12 +28,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "check/check.h"
 #include "core/harness.h"
 #include "obs/events.h"
 #include "obs/trace_export.h"
+#include "resil/chaos.h"
+#include "resil/resil.h"
 #include "workloads/hpcg.h"
 #include "workloads/nas.h"
 #include "workloads/randomaccess.h"
@@ -54,6 +61,9 @@ struct CliOptions {
     std::string trace_mask = "irq,sched,hyp,vm,workload";
     check::Mode check_mode = check::Mode::kOff;
     int check_period = 64;
+    double chaos_rate_hz = 0.0;  // 0 = off
+    bool restart_policy = false;
+    int restart_budget = 3;
 };
 
 void usage() {
@@ -65,7 +75,8 @@ void usage() {
                  "[--selective-routing] [--tick-hz HZ]\n                  "
                  "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n"
                  "                  [--check[=strict|sampled]] "
-                 "[--check-period N]\n");
+                 "[--check-period N]\n                  [--chaos[=RATE]] "
+                 "[--restart-policy[=N]]\n");
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -120,6 +131,17 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             const char* v = next();
             if (v == nullptr) return false;
             opt.check_period = std::atoi(v);
+        } else if (arg == "--chaos") {
+            opt.chaos_rate_hz = 10.0;
+        } else if (arg.rfind("--chaos=", 0) == 0) {
+            opt.chaos_rate_hz = std::atof(arg.c_str() + 8);
+            if (opt.chaos_rate_hz <= 0.0) return false;
+        } else if (arg == "--restart-policy") {
+            opt.restart_policy = true;
+        } else if (arg.rfind("--restart-policy=", 0) == 0) {
+            opt.restart_policy = true;
+            opt.restart_budget = std::atoi(arg.c_str() + 17);
+            if (opt.restart_budget <= 0) return false;
         } else if (arg == "--super-secondary") {
             opt.super_secondary = true;
         } else if (arg == "--secure") {
@@ -175,6 +197,7 @@ bool parse_trace_mask(const std::string& list, std::uint32_t& out) {
         else if (tok == "boot") out |= obs::to_mask(obs::Category::kBoot);
         else if (tok == "channel") out |= obs::to_mask(obs::Category::kChannel);
         else if (tok == "check") out |= obs::to_mask(obs::Category::kCheck);
+        else if (tok == "resil") out |= obs::to_mask(obs::Category::kResil);
         else if (tok == "all") out |= obs::to_mask(obs::Category::kAll);
         else if (!tok.empty()) {
             std::fprintf(stderr, "unknown trace category: %s\n", tok.c_str());
@@ -188,6 +211,99 @@ bool parse_trace_mask(const std::string& list, std::uint32_t& out) {
 
 constexpr const char* kConfigNames[3] = {"native", "kitten", "linux"};
 
+// --- resilience rigging ------------------------------------------------------
+
+struct ResilTotals {
+    resil::Supervisor::Stats sup;
+    resil::ChaosInjector::Stats chaos;
+};
+
+/// Per-trial attachment: a watchdog/restart supervisor and/or a chaos
+/// injector riding on the trial node. The destructor (which Harness runs
+/// before the node dies) folds the trial's stats into the shared totals.
+struct ResilRig {
+    std::unique_ptr<resil::Supervisor> sup;
+    std::unique_ptr<resil::ChaosInjector> chaos;
+    ResilTotals* totals = nullptr;
+    ~ResilRig() {
+        if (sup) {
+            sup->stop();
+            const auto& s = sup->stats();
+            totals->sup.scans += s.scans;
+            totals->sup.heartbeats += s.heartbeats;
+            totals->sup.crashes += s.crashes;
+            totals->sup.hangs += s.hangs;
+            totals->sup.restarts += s.restarts;
+            totals->sup.restart_failures += s.restart_failures;
+            totals->sup.quarantines += s.quarantines;
+        }
+        if (chaos) {
+            chaos->stop();
+            const auto& c = chaos->stats();
+            totals->chaos.injections += c.injections;
+            totals->chaos.vcpu_kills += c.vcpu_kills;
+            totals->chaos.vcpu_wedges += c.vcpu_wedges;
+            totals->chaos.frames_dropped += c.frames_dropped;
+            totals->chaos.frames_garbled += c.frames_garbled;
+            totals->chaos.spurious_virqs += c.spurious_virqs;
+            totals->chaos.no_target += c.no_target;
+        }
+    }
+};
+
+std::function<std::shared_ptr<void>(core::SchedulerKind, std::uint64_t,
+                                    core::Node&)>
+make_pre_trial(const CliOptions& opt, ResilTotals& totals) {
+    if (opt.chaos_rate_hz <= 0.0 && !opt.restart_policy) return nullptr;
+    return [&opt, &totals](core::SchedulerKind, std::uint64_t,
+                           core::Node& node) -> std::shared_ptr<void> {
+        auto rig = std::make_shared<ResilRig>();
+        rig->totals = &totals;
+        // The native baseline has no hypervisor, hence nothing to supervise;
+        // the chaos injector still runs there (and counts no_target draws).
+        if (opt.restart_policy && node.spm() != nullptr &&
+            node.compute_vm() != nullptr) {
+            resil::PolicyConfig pc;
+            pc.restart_budget = opt.restart_budget;
+            rig->sup = std::make_unique<resil::Supervisor>(node, pc);
+            rig->sup->supervise(node.compute_vm()->id());
+            rig->sup->start();
+        }
+        if (opt.chaos_rate_hz > 0.0) {
+            resil::ChaosConfig cc;
+            cc.rate_hz = opt.chaos_rate_hz;
+            rig->chaos = std::make_unique<resil::ChaosInjector>(node, cc);
+            rig->chaos->start();
+        }
+        return rig;
+    };
+}
+
+void print_resil_totals(const CliOptions& opt, const ResilTotals& totals) {
+    if (opt.restart_policy) {
+        std::printf(
+            "resil: %llu crashes, %llu hangs, %llu restarts "
+            "(%llu failed), %llu quarantines\n",
+            static_cast<unsigned long long>(totals.sup.crashes),
+            static_cast<unsigned long long>(totals.sup.hangs),
+            static_cast<unsigned long long>(totals.sup.restarts),
+            static_cast<unsigned long long>(totals.sup.restart_failures),
+            static_cast<unsigned long long>(totals.sup.quarantines));
+    }
+    if (opt.chaos_rate_hz > 0.0) {
+        std::printf(
+            "chaos: %llu faults (%llu kills, %llu wedges, %llu drops, "
+            "%llu garbles, %llu spurious virqs, %llu no-target)\n",
+            static_cast<unsigned long long>(totals.chaos.injections),
+            static_cast<unsigned long long>(totals.chaos.vcpu_kills),
+            static_cast<unsigned long long>(totals.chaos.vcpu_wedges),
+            static_cast<unsigned long long>(totals.chaos.frames_dropped),
+            static_cast<unsigned long long>(totals.chaos.frames_garbled),
+            static_cast<unsigned long long>(totals.chaos.spurious_virqs),
+            static_cast<unsigned long long>(totals.chaos.no_target));
+    }
+}
+
 /// Observability run: all three scheduler configs, one trial each, with the
 /// structured recorder enabled. Writes a multi-process Perfetto trace
 /// and/or an aggregated metrics JSON.
@@ -199,6 +315,7 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
                                            opt.seed);
     obs::TraceExporter exporter(sim::ClockSpec{probe.platform.clock_hz});
     core::ExperimentRow row;
+    ResilTotals totals;
 
     for (std::size_t c = 0; c < core::kAllConfigs.size(); ++c) {
         const core::SchedulerKind kind = core::kAllConfigs[c];
@@ -208,6 +325,7 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
             hopt.base_seed = opt.seed;
             hopt.config_factory = factory;
             hopt.obs_mask = mask;
+            hopt.pre_trial = make_pre_trial(opt, totals);
             hopt.post_trial = [&](core::SchedulerKind, std::uint64_t,
                                   core::Node& node) {
                 exporter.add_process(static_cast<int>(c), kConfigNames[c],
@@ -257,6 +375,7 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
         f << core::Harness::format_metrics_json({row});
         std::printf("metrics written to %s\n", opt.metrics_out.c_str());
     }
+    print_resil_totals(opt, totals);
     return 0;
 }
 
@@ -322,6 +441,8 @@ int main(int argc, char** argv) {
     hopt.trials = opt.trials;
     hopt.base_seed = opt.seed;
     hopt.config_factory = factory;
+    ResilTotals totals;
+    hopt.pre_trial = make_pre_trial(opt, totals);
     core::Harness harness(hopt);
 
     sim::RunningStats stats;
@@ -346,6 +467,7 @@ int main(int argc, char** argv) {
                 opt.super_secondary ? ", login VM" : "",
                 opt.selective ? ", selective routing" : "", stats.mean(),
                 spec.metric.c_str(), stats.stddev(), runtime.mean());
+    print_resil_totals(opt, totals);
     if (opt.check_mode != check::Mode::kOff) {
         std::printf("check (%s): %zu finding%s\n", to_string(opt.check_mode),
                     check_failures, check_failures == 1 ? "" : "s");

@@ -441,6 +441,7 @@ void Auditor::check_accounting() {
     reconcile("hf.exits_aborted", s.exits_aborted);
     reconcile("hf.mem_grants", s.mem_grants);
     reconcile("hf.mem_revokes", s.mem_revokes);
+    reconcile("hf.bad_state_calls", s.bad_state_calls);
 }
 
 }  // namespace hpcsec::check

@@ -35,7 +35,10 @@ TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
         cfg.check_period = options_.check_period;
     }
     Node node(std::move(cfg));
+    // Declared after node so it is torn down first even when a trial throws.
+    std::shared_ptr<void> attachment;
     node.boot();
+    if (options_.pre_trial) attachment = options_.pre_trial(kind, seed, node);
     wl::ParallelWorkload workload(spec);
     const double seconds = node.run_workload(workload, options_.timeout_s);
     TrialResult r;

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,13 @@ public:
         /// Invoked after each trial, before the node is destroyed (trace
         /// harvesting, extra assertions).
         std::function<void(SchedulerKind, std::uint64_t seed, Node&)> post_trial;
+        /// Invoked after boot, before the workload runs. The returned
+        /// attachment lives for the rest of the trial and is destroyed
+        /// before the node — rigging for per-trial machinery that watches
+        /// the node (e.g. a resil::Supervisor + ChaosInjector).
+        std::function<std::shared_ptr<void>(SchedulerKind, std::uint64_t seed,
+                                            Node&)>
+            pre_trial;
     };
 
     Harness() : Harness(Options()) {}

@@ -42,6 +42,10 @@ struct JobReply {
     std::uint64_t value = 0;     ///< query payload
 };
 
+/// Synthesized login-side when no reply arrived within the retry policy —
+/// the channel never hangs a caller forever.
+inline constexpr std::int64_t kStatusTimeout = -110;
+
 inline constexpr std::uint64_t kJobMagic = 0x004A4F4243545243ULL;   // "JOBCTRC"
 inline constexpr std::uint64_t kReplyMagic = 0x004A4F4252504C59ULL; // "JOBRPLY"
 

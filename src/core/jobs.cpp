@@ -74,8 +74,8 @@ JobControl::JobControl(Node& node) : node_(&node) {
     node.login_guest()->message_hook = [this] { on_login_message(); };
 }
 
-void JobControl::send_words(arch::VmId from, arch::VmId to,
-                            const std::vector<std::uint64_t>& words) {
+bool JobControl::try_send_words(arch::VmId from, arch::VmId to,
+                                const std::vector<std::uint64_t>& words) {
     hafnium::Spm& spm = *node_->spm();
     const arch::IpaAddr send = from == arch::kPrimaryVmId ? primary_send_ : login_send_;
     for (std::size_t i = 0; i < words.size(); ++i) {
@@ -83,13 +83,9 @@ void JobControl::send_words(arch::VmId from, arch::VmId to,
             throw std::runtime_error("JobControl: send buffer write failed");
         }
     }
-    const hafnium::HfResult r =
-        spm.hypercall(0, from, hafnium::Call::kMsgSend,
-                      {to, words.size() * 8, 0, 0});
-    if (!r.ok()) {
-        throw std::runtime_error("JobControl: FFA_MSG_SEND failed: " +
-                                 hafnium::to_string(r.error));
-    }
+    return spm
+        .hypercall(0, from, hafnium::Call::kMsgSend, {to, words.size() * 8, 0, 0})
+        .ok();
 }
 
 void JobControl::on_primary_message(arch::VmId from) {
@@ -128,10 +124,26 @@ void JobControl::on_login_message() {
         ++rejected_frames_;
         return;
     }
-    if (const auto reply = decode_reply(*payload)) pending_reply_ = *reply;
+    if (const auto reply = decode_reply(*payload)) {
+        if (awaiting_tag_ != 0 && reply->tag == awaiting_tag_) {
+            pending_reply_ = *reply;
+        } else {
+            // A reply for a request we already answered (retransmit raced
+            // the original) or gave up on: suppress, don't clobber state.
+            ++channel_stats_.duplicate_replies;
+        }
+    }
 }
 
 void JobControl::execute(const JobCommand& cmd) {
+    if (const auto it = reply_cache_.find(cmd.tag); it != reply_cache_.end()) {
+        // Duplicate command (a login-side retransmit whose original went
+        // through): resend the recorded reply without re-executing, so
+        // lifecycle operations stay idempotent under retry.
+        ++channel_stats_.replayed_replies;
+        queue_reply(it->second);
+        return;
+    }
     kitten::KittenKernel& kernel = *node_->kitten();
     hafnium::Spm& spm = *node_->spm();
     JobReply reply;
@@ -198,29 +210,91 @@ void JobControl::execute(const JobCommand& cmd) {
             break;
         }
     }
-    send_words(arch::kPrimaryVmId, node_->login_vm()->id(),
-               seal(encode(reply), reply_key_, ++reply_send_ctr_));
+    constexpr std::size_t kReplyCacheSize = 32;
+    reply_cache_[cmd.tag] = reply;
+    reply_cache_order_.push_back(cmd.tag);
+    while (reply_cache_order_.size() > kReplyCacheSize) {
+        reply_cache_.erase(reply_cache_order_.front());
+        reply_cache_order_.pop_front();
+    }
+    queue_reply(reply);
+}
+
+void JobControl::queue_reply(const JobReply& reply) {
+    reply_outbox_.push_back(reply);
+    flush_replies();
+}
+
+void JobControl::flush_replies() {
+    while (!reply_outbox_.empty()) {
+        // Seal at send time so every (re)attempt carries a fresh counter —
+        // the login side only requires monotonicity, gaps are fine.
+        if (!try_send_words(arch::kPrimaryVmId, node_->login_vm()->id(),
+                            seal(encode(reply_outbox_.front()), reply_key_,
+                                 ++reply_send_ctr_))) {
+            // Login mailbox still holds an unconsumed frame: park the reply
+            // and retry shortly instead of throwing inside an engine event.
+            ++channel_stats_.deferred_replies;
+            if (!flush_pending_) {
+                flush_pending_ = true;
+                auto& engine = node_->platform().engine();
+                engine.at(engine.now() + engine.clock().from_millis(1.0),
+                          [this] {
+                              flush_pending_ = false;
+                              flush_replies();
+                          },
+                          sim::kPrioKernel);
+            }
+            return;
+        }
+        reply_outbox_.pop_front();
+    }
 }
 
 std::optional<JobReply> JobControl::request(const JobCommand& cmd_in,
                                             double timeout_s) {
+    // Legacy single-shot semantics on top of the hardened path.
+    const JobReply r =
+        request_reliable(cmd_in, RetryPolicy{timeout_s, /*max_attempts=*/1});
+    if (r.status == kStatusTimeout) return std::nullopt;
+    return r;
+}
+
+JobReply JobControl::request_reliable(const JobCommand& cmd_in,
+                                      const RetryPolicy& policy) {
     JobCommand cmd = cmd_in;
     cmd.tag = next_tag_++;
     pending_reply_.reset();
-    send_words(node_->login_vm()->id(), arch::kPrimaryVmId,
-               seal(encode(cmd), cmd_key_, ++cmd_send_ctr_));
-
+    awaiting_tag_ = cmd.tag;
     auto& engine = node_->platform().engine();
-    const sim::SimTime deadline =
-        engine.now() + engine.clock().from_seconds(timeout_s);
-    // Pump the simulation in slices until the reply lands.
-    while (engine.now() < deadline) {
-        if (pending_reply_ && pending_reply_->tag == cmd.tag) return pending_reply_;
-        engine.run_until(std::min<sim::SimTime>(
-            deadline, engine.now() + engine.clock().from_millis(10.0)));
+
+    for (int attempt = 0; attempt < std::max(1, policy.max_attempts); ++attempt) {
+        if (attempt > 0) ++channel_stats_.retransmits;
+        // Same tag every attempt (the control side's replay cache keeps
+        // re-execution idempotent), fresh counter every frame. A busy
+        // primary mailbox just means this attempt waits; the next one
+        // retransmits.
+        (void)try_send_words(node_->login_vm()->id(), arch::kPrimaryVmId,
+                             seal(encode(cmd), cmd_key_, ++cmd_send_ctr_));
+        const sim::SimTime deadline =
+            engine.now() + engine.clock().from_seconds(policy.attempt_timeout_s);
+        // Pump the simulation in slices until the reply lands.
+        while (engine.now() < deadline) {
+            if (pending_reply_ && pending_reply_->tag == cmd.tag) break;
+            engine.run_until(std::min<sim::SimTime>(
+                deadline, engine.now() + engine.clock().from_millis(10.0)));
+        }
+        if (pending_reply_ && pending_reply_->tag == cmd.tag) {
+            awaiting_tag_ = 0;
+            return *pending_reply_;
+        }
     }
-    if (pending_reply_ && pending_reply_->tag == cmd.tag) return pending_reply_;
-    return std::nullopt;
+    awaiting_tag_ = 0;
+    ++channel_stats_.timeouts;
+    JobReply timed_out;
+    timed_out.tag = cmd.tag;
+    timed_out.status = kStatusTimeout;
+    return timed_out;
 }
 
 }  // namespace hpcsec::core

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "arch/exec.h"
 #include "core/jobproto.h"
@@ -53,19 +55,48 @@ public:
     /// Requires a booted Node with a Kitten primary and a super-secondary.
     explicit JobControl(Node& node);
 
+    /// Retransmission policy for request_reliable: up to `max_attempts`
+    /// transmissions of the same tagged command, each waiting
+    /// `attempt_timeout_s` of sim time for the reply.
+    struct RetryPolicy {
+        double attempt_timeout_s = 0.5;
+        int max_attempts = 4;
+    };
+
     /// Issue a command from the login VM and pump the simulation until the
     /// reply arrives (or timeout). nullopt on timeout.
     std::optional<JobReply> request(const JobCommand& cmd, double timeout_s = 2.0);
 
+    /// Hardened request: retransmits the same tag on a lost frame (the
+    /// control side's replay cache keeps re-execution idempotent) and
+    /// always returns a reply — kStatusTimeout when every attempt expired.
+    JobReply request_reliable(const JobCommand& cmd, const RetryPolicy& policy);
+    JobReply request_reliable(const JobCommand& cmd) {
+        return request_reliable(cmd, RetryPolicy{});
+    }
+
     [[nodiscard]] std::uint64_t commands_processed() const { return ctl_.processed(); }
     [[nodiscard]] ControlTaskCtx& control_ctx() { return ctl_; }
+
+    struct ChannelStats {
+        std::uint64_t timeouts = 0;          ///< request_reliable exhausted
+        std::uint64_t retransmits = 0;       ///< command frames re-sent
+        std::uint64_t duplicate_replies = 0; ///< stale reply frames suppressed
+        std::uint64_t replayed_replies = 0;  ///< control-side replay-cache hits
+        std::uint64_t deferred_replies = 0;  ///< reply sends parked on a busy mailbox
+    };
+    [[nodiscard]] const ChannelStats& channel_stats() const { return channel_stats_; }
 
 private:
     void on_primary_message(arch::VmId from);
     void on_login_message();
     void execute(const JobCommand& cmd);
-    void send_words(arch::VmId from, arch::VmId to,
-                    const std::vector<std::uint64_t>& words);
+    /// Write + FFA_MSG_SEND; false when the target mailbox is busy (or the
+    /// send was otherwise refused). Throws only on host-side misuse.
+    bool try_send_words(arch::VmId from, arch::VmId to,
+                        const std::vector<std::uint64_t>& words);
+    void queue_reply(const JobReply& reply);
+    void flush_replies();
 
     Node* node_;
     ControlTaskCtx ctl_;
@@ -73,13 +104,23 @@ private:
     arch::IpaAddr primary_send_ = 0, primary_recv_ = 0;
     arch::IpaAddr login_send_ = 0, login_recv_ = 0;
     std::optional<JobReply> pending_reply_;
+    std::uint64_t awaiting_tag_ = 0;  ///< tag of the in-flight request, 0 = none
     std::uint64_t next_tag_ = 1;
+    // Control-side idempotency: recently answered tags and their replies, so
+    // a retransmitted command is answered without re-execution.
+    std::map<std::uint64_t, JobReply> reply_cache_;
+    std::deque<std::uint64_t> reply_cache_order_;
+    // Replies waiting for the login mailbox to drain (never throw from the
+    // control task's engine event on a busy mailbox).
+    std::deque<JobReply> reply_outbox_;
+    bool flush_pending_ = false;
     // Authenticated channel state: per-direction keys (derived from the
     // boot-time attestation accumulator) and anti-replay counters.
     ChannelKey cmd_key_{}, reply_key_{};
     std::uint64_t cmd_send_ctr_ = 0, cmd_recv_ctr_ = 0;
     std::uint64_t reply_send_ctr_ = 0, reply_recv_ctr_ = 0;
     std::uint64_t rejected_frames_ = 0;
+    ChannelStats channel_stats_;
 
 public:
     /// Frames dropped by MAC/replay verification (observability for tests).

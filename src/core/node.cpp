@@ -226,15 +226,32 @@ void Node::reprice_workload_cores(wl::ParallelWorkload& workload) {
 
 void Node::attach_guest_workload(kitten::KittenGuestOs& guest, hafnium::Vm& vm,
                                  wl::ParallelWorkload& workload) {
-    (void)vm;
     workload.set_mode(arch::TranslationMode::kTwoStage);
     for (int i = 0; i < workload.nthreads(); ++i) {
         guest.set_thread(i, &workload.thread(i));
     }
     guest.wake_runnable_vcpus();
-    workload.on_release = [this, &guest, &workload] {
-        guest.wake_runnable_vcpus();
+    // Resolve the guest by VM name at release time: the partition may have
+    // been restarted (new id, new personality) between barrier phases, and a
+    // release can fire while it is down entirely.
+    const std::string name = vm.name();
+    workload.on_release = [this, name, &workload] {
+        if (hafnium::Vm* v = spm_->find_vm(name)) {
+            if (kitten::KittenGuestOs* g = guest_of(v->id())) {
+                g->wake_runnable_vcpus();
+            }
+        }
         reprice_workload_cores(workload);
+    };
+}
+
+void Node::register_reattach(const std::string& vm_name,
+                             wl::ParallelWorkload& workload) {
+    reattach_[vm_name] = [this, &workload](arch::VmId nid) {
+        kitten::KittenGuestOs* g = guest_of(nid);
+        if (g == nullptr) return;
+        attach_guest_workload(*g, spm_->vm(nid), workload);
+        kick_vcpus(spm_->vm(nid), workload.nthreads());
     };
 }
 
@@ -267,9 +284,11 @@ double Node::run_workload(wl::ParallelWorkload& workload, double timeout_s) {
     } else {
         attach_guest_workload(*compute_guest_, *compute_vm(), workload);
         kick_vcpus(*compute_vm(), workload.nthreads());
+        register_reattach(compute_vm()->name(), workload);
     }
 
     engine.run_until(start + engine.clock().from_seconds(timeout_s));
+    reattach_.clear();
     if (!workload.finished()) {
         throw std::runtime_error("Node::run_workload: '" + workload.spec().name +
                                  "' did not finish within the timeout");
@@ -294,7 +313,9 @@ double Node::run_workload_on(arch::VmId vm_id, wl::ParallelWorkload& workload,
     };
     attach_guest_workload(*guest, spm_->vm(vm_id), workload);
     kick_vcpus(spm_->vm(vm_id), workload.nthreads());
+    register_reattach(spm_->vm(vm_id).name(), workload);
     engine.run_until(start + engine.clock().from_seconds(timeout_s));
+    reattach_.clear();
     if (!workload.finished()) {
         throw std::runtime_error("Node::run_workload_on: '" + workload.spec().name +
                                  "' did not finish within the timeout");
@@ -317,8 +338,10 @@ void Node::run_selfish(wl::SelfishBenchmark& selfish, double seconds) {
     } else {
         attach_guest_workload(*compute_guest_, *compute_vm(), w);
         kick_vcpus(*compute_vm(), w.nthreads());
+        register_reattach(compute_vm()->name(), w);
     }
     engine.run_until(start + engine.clock().from_seconds(seconds));
+    reattach_.clear();
 }
 
 void Node::run_for(double seconds) {
@@ -422,9 +445,17 @@ arch::VmId Node::launch_dynamic_vm(const SignedImage& image,
     return id;
 }
 
-void Node::destroy_dynamic_vm(arch::VmId id) {
-    if (spm_ == nullptr) throw std::logic_error("destroy_dynamic_vm: no SPM");
+void Node::destroy_dynamic_vm(arch::VmId id) { retire_vm(id); }
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant lifecycle
+// ---------------------------------------------------------------------------
+
+void Node::retire_vm(arch::VmId id) {
+    if (spm_ == nullptr) throw std::logic_error("Node::retire_vm: no SPM");
     hafnium::Vm& vm = spm_->vm(id);
+    if (vm.destroyed) return;
+    const bool was_compute = compute_vm() != nullptr && compute_vm()->id() == id;
     // Pull its VCPUs off the cores without requeueing them, then reap the
     // proxies (a kYield notification would let the scheduler re-enter the
     // VM before stop_vm runs).
@@ -435,6 +466,47 @@ void Node::destroy_dynamic_vm(arch::VmId id) {
     if (linux_) linux_->stop_vm(id);
     spm_->destroy_vm(id);
     dynamic_guests_.erase(id);
+    if (was_compute) compute_guest_.reset();
+}
+
+arch::VmId Node::restart_vm(arch::VmId id) {
+    if (!booted_ || spm_ == nullptr) {
+        throw std::logic_error("Node::restart_vm: needs a booted hafnium node");
+    }
+    hafnium::Vm& old = spm_->vm(id);
+    if (old.role() != hafnium::VmRole::kSecondary) {
+        throw std::invalid_argument("Node::restart_vm: only secondaries restart");
+    }
+    hafnium::VmSpec spec = old.spec();
+    // The relaunch must run exactly the code that was attested: pin the
+    // expected hash to the partition's *first* (boot/launch-time)
+    // measurement so create_vm re-verifies the image.
+    for (const auto& [name, digest] : spm_->measurements()) {
+        if (name == spec.name) {
+            spec.expected_hash = digest;
+            break;
+        }
+    }
+    const bool was_compute = compute_vm() != nullptr && compute_vm()->id() == id;
+    retire_vm(id);
+
+    const arch::VmId nid = spm_->create_vm(spec);
+    chain_.extend_digest("restart:" + spec.name, spec.image_hash());
+    auto guest = std::make_unique<kitten::KittenGuestOs>(*spm_, spm_->vm(nid),
+                                                         config_.guest);
+    guest->start();
+    if (was_compute) {
+        compute_guest_ = std::move(guest);
+    } else {
+        dynamic_guests_[nid] = std::move(guest);
+    }
+    if (kitten_) kitten_->launch_vm(nid);
+    if (linux_) linux_->launch_vm(nid);
+
+    // Resume whatever workload was attached to the partition when it died.
+    const auto it = reattach_.find(spec.name);
+    if (it != reattach_.end()) it->second(nid);
+    return nid;
 }
 
 }  // namespace hpcsec::core

@@ -114,6 +114,21 @@ public:
     /// and returned to the allocator.
     void destroy_dynamic_vm(arch::VmId id);
 
+    // --- fault-tolerant lifecycle (src/resil/ drives these) ---------------------
+    /// Permanently stop a secondary partition (boot-time compute or dynamic):
+    /// VCPUs are pulled off the cores and the proxies reaped, stage-2 memory
+    /// is scrubbed and reclaimed, grants revoked. The node keeps serving the
+    /// remaining partitions — this is the quarantine primitive.
+    void retire_vm(arch::VmId id);
+
+    /// Tear a crashed/hung secondary down and relaunch it from its manifest
+    /// spec. The image is re-verified against the boot-time measurement, the
+    /// restart is recorded in the attestation chain, and any workload that
+    /// was running on the partition is reattached (by VM name) so it resumes
+    /// from its last barrier state. Returns the new VM id (ids are never
+    /// reused).
+    arch::VmId restart_vm(arch::VmId id);
+
     /// Guest personality of a VM (the boot-time compute VM or a dynamic one).
     [[nodiscard]] kitten::KittenGuestOs* guest_of(arch::VmId id);
 
@@ -159,6 +174,7 @@ private:
                                wl::ParallelWorkload& workload);
     void kick_vcpus(hafnium::Vm& vm, int count);
     void reprice_workload_cores(wl::ParallelWorkload& workload);
+    void register_reattach(const std::string& vm_name, wl::ParallelWorkload& workload);
 
     NodeConfig config_;
     std::unique_ptr<arch::Platform> platform_;
@@ -171,6 +187,9 @@ private:
     AttestationChain chain_;
     ImageVerifier verifier_;
     std::map<arch::VmId, std::unique_ptr<kitten::KittenGuestOs>> dynamic_guests_;
+    /// Active-workload reattach hooks, keyed by VM name (ids change across
+    /// restarts, names do not). restart_vm invokes these after relaunch.
+    std::map<std::string, std::function<void(arch::VmId)>> reattach_;
     std::vector<SignedImage> staged_images_;
     bool booted_ = false;
 };

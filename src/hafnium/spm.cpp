@@ -179,10 +179,17 @@ Vm& Spm::vm(arch::VmId id) {
 }
 
 Vm* Spm::find_vm(const std::string& name) {
+    // Destroyed partitions keep their slot (ids are never reused) but no
+    // longer resolve by name, so a restarted VM can claim the same name.
     for (auto& vm : vms_) {
-        if (vm->name() == name) return vm.get();
+        if (!vm->destroyed && vm->name() == name) return vm.get();
     }
     return nullptr;
+}
+
+GuestOsItf* Spm::find_guest_os(arch::VmId id) {
+    auto it = guest_os_.find(id);
+    return it == guest_os_.end() ? nullptr : it->second;
 }
 
 Vm* Spm::super_secondary() {
@@ -298,8 +305,11 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             ++stats_.vtimer_fires;
             ex.preempt();
             rv->vtimer_armed = false;
-            GuestOsItf* gos = guest_os_.at(rv->vm().id());
-            const sim::Cycles service = gos->on_virq(*rv, arch::kIrqVirtTimer);
+            GuestOsItf* gos = find_guest_os(rv->vm().id());
+            // A guest without a personality (detached mid-teardown) just
+            // swallows the tick.
+            const sim::Cycles service =
+                gos != nullptr ? gos->on_virq(*rv, arch::kIrqVirtTimer) : 0;
             ++rv->injected_virqs;
             ++stats_.virq_injections;
             platform_->recorder().instant(platform_->engine().now(),
@@ -317,13 +327,19 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             // Future-work selective routing: hand the device IRQ straight to
             // the super-secondary, bypassing the primary.
             Vm* ss = super_secondary();
+            if (ss == nullptr) {
+                // Selective routing configured without a super-secondary:
+                // fall back to the primary rather than crashing the node.
+                if (primary_os_ != nullptr) primary_os_->on_interrupt(core, irq);
+                break;
+            }
             Vcpu& target = ss->vcpu(0);
             arch::Runnable* interrupted = ex.preempt();
             ex.charge(perf.trap_to_el2 + perf.virq_inject);
             if (running_vcpu_on(core) == &target || interrupted == target.guest_context) {
                 // SS is on this very core: deliver inline.
-                GuestOsItf* gos = guest_os_.at(ss->id());
-                ex.charge(gos->on_virq(target, irq));
+                GuestOsItf* gos = find_guest_os(ss->id());
+                ex.charge(gos != nullptr ? gos->on_virq(target, irq) : 0);
                 ++stats_.virq_injections;
                 platform_->recorder().instant(platform_->engine().now(),
                                               obs::EventType::kVirqInject, core,
@@ -478,8 +494,8 @@ void Spm::on_core_idle(arch::CoreId core, arch::Runnable* finished) {
     }
     Vcpu& vcpu = *it->second;
     if (vcpu.running_core != core) return;  // stale completion
-    GuestOsItf* gos = guest_os_.at(vcpu.vm().id());
-    arch::Runnable* next = gos->on_idle(vcpu);
+    GuestOsItf* gos = find_guest_os(vcpu.vm().id());
+    arch::Runnable* next = gos != nullptr ? gos->on_idle(vcpu) : nullptr;
     if (next != nullptr) {
         arch::Executor& ex = platform_->core(core).exec();
         // Continuing the same context (e.g. it transitioned to a busy-wait
@@ -675,7 +691,11 @@ HfResult Spm::call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& 
         return {HfError::kRetry, 0};
     }
     if (platform_->core(core).exec().running()) {
-        throw std::logic_error("HF_VCPU_RUN while the core is running a context");
+        // A buggy primary driver can issue HF_VCPU_RUN while the core is
+        // still executing a context; Hafnium rejects the call rather than
+        // bringing the node down.
+        ++stats_.bad_state_calls;
+        return {HfError::kBusy, 0};
     }
     enter_vcpu(core, vcpu,
                platform_->perf().hypercall_roundtrip + platform_->perf().world_switch);
@@ -859,6 +879,7 @@ void Spm::publish_metrics() {
     set("hf.vtimer_fires", stats_.vtimer_fires);
     set("hf.forwarded_device_irqs", stats_.forwarded_device_irqs);
     set("hf.denied_calls", stats_.denied_calls);
+    set("hf.bad_state_calls", stats_.bad_state_calls);
     set("hf.messages", stats_.messages);
     set("hf.guest_aborts", stats_.guest_aborts);
     set("hf.mem_grants", stats_.mem_grants);

@@ -61,6 +61,7 @@ public:
         std::uint64_t vtimer_fires = 0;
         std::uint64_t forwarded_device_irqs = 0;
         std::uint64_t denied_calls = 0;
+        std::uint64_t bad_state_calls = 0;  ///< kBusy: call illegal in the current state
         std::uint64_t messages = 0;
         std::uint64_t guest_aborts = 0;
         std::uint64_t mem_grants = 0;   ///< successful FFA_MEM_SHARE/LEND
@@ -192,6 +193,8 @@ private:
     sim::Cycles drain_virqs(Vcpu& vcpu);
     void inject_virq(Vcpu& vcpu, int virq);
     [[nodiscard]] Vcpu* running_vcpu_on(arch::CoreId core);
+    /// Guest personality for `id`, nullptr when none attached (or torn down).
+    [[nodiscard]] GuestOsItf* find_guest_os(arch::VmId id);
     void set_core_context(arch::CoreId core, Vm* vmctx);
 
     HfResult call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& a);

@@ -71,6 +71,7 @@ sim::Cycles KittenGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
             spm_->platform().recorder().instant(
                 spm_->platform().engine().now(), obs::EventType::kGuestTick,
                 vcpu.running_core, vm_->id(), vcpu.index());
+            if (heartbeat_hook) heartbeat_hook(vcpu);
             if (config_.tick_enabled) arm_vtimer(vcpu);
             return config_.tick_service;
         case hafnium::kMessageVirq:

@@ -56,6 +56,11 @@ public:
     /// Invoked when a mailbox message arrives for this VM.
     std::function<void()> message_hook;
 
+    /// Invoked on every serviced virtual-timer tick — the guest's liveness
+    /// signal. The resilience watchdog (src/resil/) feeds per-VCPU heartbeat
+    /// timestamps from here; unset in ordinary runs (one branch per tick).
+    std::function<void(hafnium::Vcpu&)> heartbeat_hook;
+
     // --- GuestOsItf -----------------------------------------------------------
     sim::Cycles on_virq(hafnium::Vcpu& vcpu, int virq) override;
     arch::Runnable* on_idle(hafnium::Vcpu& vcpu) override;

@@ -22,6 +22,7 @@ enum class Category : std::uint32_t {
     kBoot = 1u << 6,
     kChannel = 1u << 7,
     kCheck = 1u << 8,  ///< invariant-audit findings (src/check/)
+    kResil = 1u << 9,  ///< fault detection / recovery actions (src/resil/)
     kAll = 0xffffffffu,
 };
 
@@ -45,6 +46,9 @@ enum class EventType : std::uint8_t {
     kNoisePreempt,  ///< background work preempted/competed with the app
     kBarrierStep,   ///< a0 = step index
     kCheckFail,     ///< a0 = check::Rule, a1 = vm id, a2 = vcpu index
+    kResilFault,    ///< a0 = resil::FailureKind, a1 = vm id, a2 = vcpu index
+    kResilAction,   ///< a0 = action (0 backoff, 1 restart, 2 quarantine), a1 = vm id, a2 = consecutive failures
+    kChaosInject,   ///< a0 = resil::ChaosFault, a1 = vm id, a2 = vcpu/word index
 };
 
 /// Stable lower-case name, used for trace export and TraceLog mirroring.
@@ -71,6 +75,10 @@ enum class EventType : std::uint8_t {
             return Category::kSched;
         case EventType::kCheckFail:
             return Category::kCheck;
+        case EventType::kResilFault:
+        case EventType::kResilAction:
+        case EventType::kChaosInject:
+            return Category::kResil;
     }
     return Category::kAll;
 }

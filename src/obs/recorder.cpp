@@ -19,6 +19,9 @@ const char* to_string(EventType t) {
         case EventType::kNoisePreempt: return "noise-preempt";
         case EventType::kBarrierStep: return "barrier-step";
         case EventType::kCheckFail: return "check-fail";
+        case EventType::kResilFault: return "resil-fault";
+        case EventType::kResilAction: return "resil-action";
+        case EventType::kChaosInject: return "chaos-inject";
     }
     return "?";
 }

@@ -1,0 +1,202 @@
+#include "resil/chaos.h"
+
+#include <vector>
+
+#include "hafnium/hypercall.h"
+
+namespace hpcsec::resil {
+
+const char* to_string(ChaosFault f) {
+    switch (f) {
+        case ChaosFault::kKillVcpu: return "kill-vcpu";
+        case ChaosFault::kWedgeVcpu: return "wedge-vcpu";
+        case ChaosFault::kDropFrame: return "drop-frame";
+        case ChaosFault::kGarbleFrame: return "garble-frame";
+        case ChaosFault::kSpuriousVirq: return "spurious-virq";
+    }
+    return "?";
+}
+
+ChaosInjector::ChaosInjector(core::Node& node, ChaosConfig config)
+    : node_(&node), config_(config), rng_(node.platform().rng().split()) {}
+
+ChaosInjector::~ChaosInjector() { stop(); }
+
+void ChaosInjector::start() {
+    if (armed_) return;
+    armed_ = true;
+    schedule();
+}
+
+void ChaosInjector::stop() {
+    if (!armed_) return;
+    node_->platform().engine().cancel(event_);
+    armed_ = false;
+}
+
+void ChaosInjector::schedule() {
+    auto& engine = node_->platform().engine();
+    double delay_s = rng_.exponential(1.0 / config_.rate_hz);
+    if (delay_s < 1e-9) delay_s = 1e-9;
+    event_ = engine.at(engine.now() + engine.clock().from_seconds(delay_s),
+                       [this] { inject(); }, sim::kPrioDefault);
+}
+
+hafnium::Vcpu* ChaosInjector::pick_secondary_vcpu(bool running_only) {
+    hafnium::Spm* spm = node_->spm();
+    std::vector<hafnium::Vcpu*> candidates;
+    for (int id = 1; id <= spm->vm_count(); ++id) {
+        hafnium::Vm& vm = spm->vm(static_cast<arch::VmId>(id));
+        if (vm.destroyed || vm.role() != hafnium::VmRole::kSecondary) continue;
+        for (int v = 0; v < vm.vcpu_count(); ++v) {
+            hafnium::Vcpu& vcpu = vm.vcpu(v);
+            if (vcpu.state() == hafnium::VcpuState::kAborted) continue;
+            if (running_only &&
+                vcpu.state() != hafnium::VcpuState::kRunning) {
+                continue;
+            }
+            candidates.push_back(&vcpu);
+        }
+    }
+    if (candidates.empty()) return nullptr;
+    return candidates[rng_.next_below(candidates.size())];
+}
+
+hafnium::Vm* ChaosInjector::pick_full_mailbox() {
+    hafnium::Spm* spm = node_->spm();
+    std::vector<hafnium::Vm*> candidates;
+    for (int id = 1; id <= spm->vm_count(); ++id) {
+        hafnium::Vm& vm = spm->vm(static_cast<arch::VmId>(id));
+        if (vm.destroyed || !vm.mailbox.configured || !vm.mailbox.recv_full) {
+            continue;
+        }
+        candidates.push_back(&vm);
+    }
+    if (candidates.empty()) return nullptr;
+    return candidates[rng_.next_below(candidates.size())];
+}
+
+void ChaosInjector::record(ChaosFault fault, std::int64_t a1, std::int64_t a2) {
+    node_->platform().recorder().instant(
+        node_->platform().engine().now(), obs::EventType::kChaosInject, -1,
+        static_cast<std::int64_t>(fault), a1, a2);
+}
+
+void ChaosInjector::inject() {
+    if (!armed_) return;
+    ++stats_.injections;
+    hafnium::Spm* spm = node_->spm();
+    if (spm == nullptr) {
+        // Native configuration: nothing to attack; the soak still runs.
+        ++stats_.no_target;
+        publish_metrics();
+        schedule();
+        return;
+    }
+
+    std::vector<ChaosFault> kinds;
+    for (std::uint8_t f = 0; f < 5; ++f) {
+        if ((config_.fault_mask & (1u << f)) != 0) {
+            kinds.push_back(static_cast<ChaosFault>(f));
+        }
+    }
+    if (kinds.empty()) {
+        ++stats_.no_target;
+        publish_metrics();
+        schedule();
+        return;
+    }
+    const ChaosFault fault = kinds[rng_.next_below(kinds.size())];
+
+    switch (fault) {
+        case ChaosFault::kKillVcpu: {
+            hafnium::Vcpu* vcpu = pick_secondary_vcpu(/*running_only=*/false);
+            if (vcpu == nullptr) {
+                ++stats_.no_target;
+                break;
+            }
+            record(fault, vcpu->vm().id(), vcpu->index());
+            spm->abort_vcpu(*vcpu);
+            ++stats_.vcpu_kills;
+            break;
+        }
+        case ChaosFault::kWedgeVcpu: {
+            // A buggy guest disables its own timer: heartbeats stop while
+            // the VCPU keeps spinning — the watchdog's hang path.
+            hafnium::Vcpu* vcpu = pick_secondary_vcpu(/*running_only=*/true);
+            if (vcpu == nullptr || !vcpu->vtimer_armed) {
+                ++stats_.no_target;
+                break;
+            }
+            record(fault, vcpu->vm().id(), vcpu->index());
+            const arch::CoreId core = vcpu->running_core >= 0
+                                          ? vcpu->running_core
+                                          : vcpu->assigned_core;
+            spm->hypercall(core, vcpu->vm().id(), hafnium::Call::kVtimerCancel,
+                           {0, static_cast<std::uint64_t>(vcpu->index()), 0, 0});
+            ++stats_.vcpu_wedges;
+            break;
+        }
+        case ChaosFault::kDropFrame: {
+            hafnium::Vm* vm = pick_full_mailbox();
+            if (vm == nullptr) {
+                ++stats_.no_target;
+                break;
+            }
+            record(fault, vm->id(), vm->mailbox.recv_size);
+            vm->mailbox.recv_full = false;
+            vm->mailbox.recv_size = 0;
+            ++stats_.frames_dropped;
+            break;
+        }
+        case ChaosFault::kGarbleFrame: {
+            hafnium::Vm* vm = pick_full_mailbox();
+            if (vm == nullptr) {
+                ++stats_.no_target;
+                break;
+            }
+            const std::uint64_t words =
+                std::max<std::uint64_t>(1, (vm->mailbox.recv_size + 7) / 8);
+            const std::uint64_t w = rng_.next_below(words);
+            record(fault, vm->id(), static_cast<std::int64_t>(w));
+            spm->vm_write64(vm->id(), vm->mailbox.recv_ipa + w * 8,
+                            rng_.next_u64());
+            ++stats_.frames_garbled;
+            break;
+        }
+        case ChaosFault::kSpuriousVirq: {
+            // Models a spurious notification from the primary; SGI-range id,
+            // so the vGIC sanity rule stays clean.
+            hafnium::Vcpu* vcpu = pick_secondary_vcpu(/*running_only=*/false);
+            if (vcpu == nullptr) {
+                ++stats_.no_target;
+                break;
+            }
+            record(fault, vcpu->vm().id(), vcpu->index());
+            spm->hypercall(0, arch::kPrimaryVmId, hafnium::Call::kInterruptInject,
+                           {vcpu->vm().id(),
+                            static_cast<std::uint64_t>(vcpu->index()),
+                            static_cast<std::uint64_t>(hafnium::kMessageVirq), 0});
+            ++stats_.spurious_virqs;
+            break;
+        }
+    }
+    publish_metrics();
+    schedule();
+}
+
+void ChaosInjector::publish_metrics() {
+    auto& m = node_->platform().metrics();
+    const auto set = [&m](const char* name, std::uint64_t v) {
+        m.set(m.gauge(name), static_cast<double>(v));
+    };
+    set("chaos.injections", stats_.injections);
+    set("chaos.vcpu_kills", stats_.vcpu_kills);
+    set("chaos.vcpu_wedges", stats_.vcpu_wedges);
+    set("chaos.frames_dropped", stats_.frames_dropped);
+    set("chaos.frames_garbled", stats_.frames_garbled);
+    set("chaos.spurious_virqs", stats_.spurious_virqs);
+    set("chaos.no_target", stats_.no_target);
+}
+
+}  // namespace hpcsec::resil

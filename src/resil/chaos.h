@@ -1,0 +1,76 @@
+// ChaosInjector — seed-deterministic runtime fault injection.
+//
+// Extends src/check/corrupt.*'s idea (deliberately break an invariant,
+// prove the checker sees it) from state corruption to *runtime* faults:
+// kill VCPUs, wedge a secondary's heartbeat, drop or garble mailbox
+// frames, raise spurious vIRQs. Faults arrive with exponential
+// inter-arrival times from a sim::Rng split off the platform stream, so a
+// seed reproduces the exact fault timeline. Every fault models something a
+// hostile or buggy partition (or flaky hardware) could cause — none of
+// them may produce an isolation finding under the strict auditor.
+#pragma once
+
+#include <cstdint>
+
+#include "core/node.h"
+#include "sim/rng.h"
+
+namespace hpcsec::resil {
+
+enum class ChaosFault : std::uint8_t {
+    kKillVcpu,      ///< abort a secondary VCPU (models a fatal guest fault)
+    kWedgeVcpu,     ///< cancel a secondary's vtimer: heartbeats stop
+    kDropFrame,     ///< discard a full mailbox recv frame
+    kGarbleFrame,   ///< flip a word inside a full mailbox recv frame
+    kSpuriousVirq,  ///< inject an unexpected message virq
+};
+
+[[nodiscard]] const char* to_string(ChaosFault f);
+
+struct ChaosConfig {
+    double rate_hz = 20.0;           ///< mean fault arrival rate (sim time)
+    std::uint32_t fault_mask = 0x1f; ///< bit per ChaosFault value
+};
+
+class ChaosInjector {
+public:
+    ChaosInjector(core::Node& node, ChaosConfig config = {});
+    ~ChaosInjector();
+    ChaosInjector(const ChaosInjector&) = delete;
+    ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+    /// Arm the injector (idempotent).
+    void start();
+    /// Cancel the pending injection.
+    void stop();
+
+    struct Stats {
+        std::uint64_t injections = 0;
+        std::uint64_t vcpu_kills = 0;
+        std::uint64_t vcpu_wedges = 0;
+        std::uint64_t frames_dropped = 0;
+        std::uint64_t frames_garbled = 0;
+        std::uint64_t spurious_virqs = 0;
+        std::uint64_t no_target = 0;  ///< fault drawn but nothing to hit
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// Push Stats into the platform's metrics registry as "chaos.*" gauges.
+    void publish_metrics();
+
+private:
+    void schedule();
+    void inject();
+    [[nodiscard]] hafnium::Vcpu* pick_secondary_vcpu(bool running_only);
+    [[nodiscard]] hafnium::Vm* pick_full_mailbox();
+    void record(ChaosFault fault, std::int64_t a1, std::int64_t a2);
+
+    core::Node* node_;
+    ChaosConfig config_;
+    sim::Rng rng_;
+    sim::EventId event_{};
+    bool armed_ = false;
+    Stats stats_;
+};
+
+}  // namespace hpcsec::resil

@@ -1,0 +1,243 @@
+#include "resil/resil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcsec::resil {
+
+const char* to_string(VmHealth h) {
+    switch (h) {
+        case VmHealth::kHealthy: return "healthy";
+        case VmHealth::kCrashed: return "crashed";
+        case VmHealth::kHung: return "hung";
+        case VmHealth::kRestartPending: return "restart-pending";
+        case VmHealth::kQuarantined: return "quarantined";
+    }
+    return "?";
+}
+
+const char* to_string(FailureKind k) {
+    switch (k) {
+        case FailureKind::kCrash: return "crash";
+        case FailureKind::kHang: return "hang";
+        case FailureKind::kRestartFailed: return "restart-failed";
+    }
+    return "?";
+}
+
+Supervisor::Supervisor(core::Node& node, PolicyConfig config)
+    : node_(&node), config_(config), rng_(node.platform().rng().split()) {
+    if (node.spm() == nullptr) {
+        throw std::logic_error("resil::Supervisor: needs a hafnium node");
+    }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::supervise(arch::VmId id) {
+    hafnium::Vm& vm = node_->spm()->vm(id);
+    if (vm.role() != hafnium::VmRole::kSecondary) {
+        throw std::invalid_argument(
+            "resil::Supervisor: only secondary partitions are supervised");
+    }
+    Record r;
+    r.id = id;
+    r.name = vm.name();
+    r.last_beat.assign(static_cast<std::size_t>(vm.vcpu_count()),
+                       node_->platform().engine().now());
+    r.beaten.assign(static_cast<std::size_t>(vm.vcpu_count()), false);
+    records_.push_back(std::move(r));
+    hook_guest(records_.back());
+}
+
+void Supervisor::hook_guest(Record& r) {
+    kitten::KittenGuestOs* guest = node_->guest_of(r.id);
+    if (guest == nullptr) return;
+    guest->heartbeat_hook = [this, &r](hafnium::Vcpu& vcpu) {
+        ++stats_.heartbeats;
+        const auto i = static_cast<std::size_t>(vcpu.index());
+        if (i < r.last_beat.size()) {
+            r.last_beat[i] = node_->platform().engine().now();
+            r.beaten[i] = true;
+        }
+    };
+}
+
+void Supervisor::start() {
+    if (scanning_) return;
+    scanning_ = true;
+    schedule_scan();
+}
+
+void Supervisor::stop() {
+    if (scanning_) {
+        node_->platform().engine().cancel(scan_event_);
+        scanning_ = false;
+    }
+    for (Record& r : records_) {
+        if (r.pending_restart.valid()) {
+            node_->platform().engine().cancel(r.pending_restart);
+            r.pending_restart = {};
+        }
+        if (kitten::KittenGuestOs* guest = node_->guest_of(r.id)) {
+            guest->heartbeat_hook = nullptr;
+        }
+    }
+}
+
+void Supervisor::schedule_scan() {
+    auto& engine = node_->platform().engine();
+    scan_event_ = engine.at(
+        engine.now() + engine.clock().from_seconds(config_.scan_period_s),
+        [this] { scan(); }, sim::kPrioKernel);
+}
+
+void Supervisor::scan() {
+    if (!scanning_) return;
+    ++stats_.scans;
+    auto& engine = node_->platform().engine();
+    const sim::SimTime now = engine.now();
+    const sim::SimTime hang_window =
+        engine.clock().from_seconds(config_.hang_timeout_s);
+
+    for (Record& r : records_) {
+        if (r.health == VmHealth::kRestartPending ||
+            r.health == VmHealth::kQuarantined) {
+            continue;
+        }
+        hafnium::Vm& vm = node_->spm()->vm(r.id);
+        if (vm.destroyed) {
+            // Torn down behind our back (operator action): treat as
+            // quarantined without charging the failure budget.
+            r.health = VmHealth::kQuarantined;
+            continue;
+        }
+        int bad_vcpu = -1;
+        FailureKind kind = FailureKind::kCrash;
+        for (int v = 0; v < vm.vcpu_count() && bad_vcpu < 0; ++v) {
+            const hafnium::Vcpu& vcpu = vm.vcpu(v);
+            if (vcpu.state() == hafnium::VcpuState::kAborted) {
+                bad_vcpu = v;
+                kind = FailureKind::kCrash;
+            } else if (vcpu.state() == hafnium::VcpuState::kRunning) {
+                // A running VCPU that has proven it ticks must keep beating.
+                // Re-entry alone is no sign of life: the primary re-dispatches
+                // even a wedged VCPU, so only the heartbeat counts.
+                const auto i = static_cast<std::size_t>(v);
+                if (i < r.last_beat.size() && r.beaten[i] &&
+                    now > r.last_beat[i] && now - r.last_beat[i] > hang_window) {
+                    bad_vcpu = v;
+                    kind = FailureKind::kHang;
+                }
+            }
+        }
+        if (bad_vcpu >= 0) {
+            fail(r, kind, bad_vcpu);
+        } else if (r.consecutive_failures > 0 && now > r.last_failure &&
+                   now - r.last_failure >
+                       engine.clock().from_seconds(config_.healthy_reset_s)) {
+            r.consecutive_failures = 0;
+        }
+    }
+    publish_metrics();
+    if (scanning_) schedule_scan();
+}
+
+void Supervisor::fail(Record& r, FailureKind kind, int vcpu) {
+    auto& engine = node_->platform().engine();
+    const sim::SimTime now = engine.now();
+    switch (kind) {
+        case FailureKind::kCrash: ++stats_.crashes; break;
+        case FailureKind::kHang: ++stats_.hangs; break;
+        case FailureKind::kRestartFailed: ++stats_.restart_failures; break;
+    }
+    node_->platform().recorder().instant(
+        now, obs::EventType::kResilFault, -1,
+        static_cast<std::int64_t>(kind), r.id, vcpu);
+    r.health = kind == FailureKind::kHang ? VmHealth::kHung : VmHealth::kCrashed;
+    r.last_failure = now;
+    ++r.consecutive_failures;
+    if (r.consecutive_failures > config_.restart_budget) {
+        quarantine(r);
+        return;
+    }
+    // Bounded exponential backoff with deterministic jitter: the schedule
+    // is a pure function of the seed (backoff_log() proves it in tests).
+    double delay = std::min(
+        config_.backoff_max_s,
+        config_.backoff_base_s *
+            std::pow(config_.backoff_factor, r.consecutive_failures - 1));
+    delay *= 1.0 + config_.jitter_frac * (2.0 * rng_.next_double() - 1.0);
+    backoff_log_.push_back(delay);
+    r.health = VmHealth::kRestartPending;
+    node_->platform().recorder().instant(now, obs::EventType::kResilAction, -1,
+                                         0, r.id, r.consecutive_failures);
+    r.pending_restart =
+        engine.at(now + engine.clock().from_seconds(delay),
+                  [this, &r] { do_restart(r); }, sim::kPrioKernel);
+}
+
+void Supervisor::do_restart(Record& r) {
+    r.pending_restart = {};
+    auto& engine = node_->platform().engine();
+    try {
+        const arch::VmId nid = node_->restart_vm(r.id);
+        r.id = nid;
+        r.health = VmHealth::kHealthy;
+        r.last_beat.assign(
+            static_cast<std::size_t>(node_->spm()->vm(nid).vcpu_count()),
+            engine.now());
+        r.beaten.assign(r.last_beat.size(), false);
+        ++stats_.restarts;
+        hook_guest(r);
+        node_->platform().recorder().instant(engine.now(),
+                                             obs::EventType::kResilAction, -1,
+                                             1, r.id, r.consecutive_failures);
+    } catch (const std::exception&) {
+        fail(r, FailureKind::kRestartFailed, -1);
+    }
+}
+
+void Supervisor::quarantine(Record& r) {
+    ++stats_.quarantines;
+    r.health = VmHealth::kQuarantined;
+    node_->platform().recorder().instant(
+        node_->platform().engine().now(), obs::EventType::kResilAction, -1, 2,
+        r.id, r.consecutive_failures);
+    try {
+        node_->retire_vm(r.id);
+    } catch (const std::exception&) {
+        // Best effort: the partition stays marked down either way.
+    }
+}
+
+arch::VmId Supervisor::current_id(const std::string& vm_name) const {
+    for (const Record& r : records_) {
+        if (r.name == vm_name) return r.id;
+    }
+    throw std::out_of_range("resil::Supervisor: not supervised: " + vm_name);
+}
+
+VmHealth Supervisor::health_of(const std::string& vm_name) const {
+    for (const Record& r : records_) {
+        if (r.name == vm_name) return r.health;
+    }
+    throw std::out_of_range("resil::Supervisor: not supervised: " + vm_name);
+}
+
+void Supervisor::publish_metrics() {
+    auto& m = node_->platform().metrics();
+    const auto set = [&m](const char* name, std::uint64_t v) {
+        m.set(m.gauge(name), static_cast<double>(v));
+    };
+    set("resil.scans", stats_.scans);
+    set("resil.heartbeats", stats_.heartbeats);
+    set("resil.crashes", stats_.crashes);
+    set("resil.hangs", stats_.hangs);
+    set("resil.restarts", stats_.restarts);
+    set("resil.restart_failures", stats_.restart_failures);
+    set("resil.quarantines", stats_.quarantines);
+}
+
+}  // namespace hpcsec::resil

@@ -1,0 +1,135 @@
+// Fault-tolerant VM lifecycle: heartbeat watchdog + restart policy engine.
+//
+// Static-partitioning hypervisors for mixed-criticality systems treat
+// failure containment *plus partition restart* as a first-class requirement
+// (Martins & Pinto; Ramsauer et al. restart cells without disturbing
+// neighbors). The Supervisor closes the detect→decide→recover loop on top
+// of the primitives the stack already has:
+//
+//  * detect — each secondary VCPU is expected to check in on its
+//    virtual-timer cadence (KittenGuestOs::heartbeat_hook feeds per-VCPU
+//    timestamps); a periodic low-priority scan flags VCPUs that aborted
+//    (crash) or stopped beating while running (hang). Detection is entirely
+//    event-driven: nothing is added to the hypercall hot path.
+//  * decide — a per-VM restart budget with bounded exponential backoff;
+//    deterministic jitter comes from a sim::Rng split off the platform
+//    stream, so a seed reproduces the exact recovery timeline.
+//  * recover — teardown via core::Node::restart_vm (stage-2 memory
+//    reclaimed, image hash re-verified against the boot-time measurement,
+//    relaunch from the manifest spec, workload reattached). After the
+//    budget is exhausted the partition is quarantined (memory reclaimed,
+//    cores returned) and the node keeps serving the remaining partitions —
+//    graceful degradation, never node death.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/node.h"
+#include "sim/rng.h"
+
+namespace hpcsec::resil {
+
+enum class VmHealth : std::uint8_t {
+    kHealthy,         ///< beating on schedule
+    kCrashed,         ///< a VCPU aborted (stage-2 fault, kill, ...)
+    kHung,            ///< running but heartbeats stopped
+    kRestartPending,  ///< torn down, relaunch scheduled after backoff
+    kQuarantined,     ///< budget exhausted: memory reclaimed, stays down
+};
+
+[[nodiscard]] const char* to_string(VmHealth h);
+
+enum class FailureKind : std::uint8_t {
+    kCrash,          ///< VCPU reached kAborted
+    kHang,           ///< heartbeat deadline missed while running
+    kRestartFailed,  ///< relaunch itself threw (treated as another failure)
+};
+
+[[nodiscard]] const char* to_string(FailureKind k);
+
+struct PolicyConfig {
+    double scan_period_s = 0.05;   ///< watchdog scan cadence
+    double hang_timeout_s = 0.5;   ///< missed-heartbeat window (≥ a few ticks)
+    int restart_budget = 3;        ///< consecutive failures before quarantine
+    double backoff_base_s = 0.05;  ///< first restart delay
+    double backoff_factor = 2.0;   ///< exponential growth per failure
+    double backoff_max_s = 2.0;    ///< delay ceiling
+    double jitter_frac = 0.1;      ///< +/- fraction of deterministic jitter
+    double healthy_reset_s = 5.0;  ///< failure-free time that clears the count
+};
+
+class Supervisor {
+public:
+    Supervisor(core::Node& node, PolicyConfig config = {});
+    ~Supervisor();
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    /// Put a secondary partition under watchdog supervision.
+    void supervise(arch::VmId id);
+
+    /// Arm the periodic scan (idempotent).
+    void start();
+    /// Disarm the scan and any pending restart; heartbeat hooks detach.
+    void stop();
+
+    /// Current VM id of a supervised partition (changes across restarts).
+    [[nodiscard]] arch::VmId current_id(const std::string& vm_name) const;
+    [[nodiscard]] VmHealth health_of(const std::string& vm_name) const;
+
+    /// Every backoff delay (seconds) chosen so far, in order — the
+    /// deterministic recovery schedule a seed reproduces exactly.
+    [[nodiscard]] const std::vector<double>& backoff_log() const {
+        return backoff_log_;
+    }
+
+    struct Stats {
+        std::uint64_t scans = 0;
+        std::uint64_t heartbeats = 0;
+        std::uint64_t crashes = 0;
+        std::uint64_t hangs = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t restart_failures = 0;
+        std::uint64_t quarantines = 0;
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// Push Stats into the platform's metrics registry as "resil.*" gauges.
+    void publish_metrics();
+
+private:
+    struct Record {
+        arch::VmId id = 0;
+        std::string name;
+        VmHealth health = VmHealth::kHealthy;
+        int consecutive_failures = 0;
+        sim::SimTime last_failure = 0;
+        sim::EventId pending_restart{};
+        std::vector<sim::SimTime> last_beat;  ///< per VCPU
+        /// VCPUs that have beaten at least once since (re)launch. Hang
+        /// detection only applies to them, so a guest that never ticks
+        /// (heartbeats disabled) can't be flagged hung by mistake.
+        std::vector<bool> beaten;
+    };
+
+    void schedule_scan();
+    void scan();
+    void fail(Record& r, FailureKind kind, int vcpu);
+    void do_restart(Record& r);
+    void quarantine(Record& r);
+    void hook_guest(Record& r);
+
+    core::Node* node_;
+    PolicyConfig config_;
+    sim::Rng rng_;
+    std::deque<Record> records_;  ///< deque: stable addresses for callbacks
+    std::vector<double> backoff_log_;
+    sim::EventId scan_event_{};
+    bool scanning_ = false;
+    Stats stats_;
+};
+
+}  // namespace hpcsec::resil

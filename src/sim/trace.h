@@ -24,6 +24,7 @@ enum class TraceCat : std::uint32_t {
     kBoot = 1u << 6,
     kChannel = 1u << 7,
     kCheck = 1u << 8,
+    kResil = 1u << 9,
     kAll = 0xffffffffu,
 };
 

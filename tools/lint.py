@@ -8,9 +8,11 @@ not know about:
      appear as an explicit `Enum::kName` case in its to_string translation
      unit, so log output never degrades to "?" silently when an enum grows.
 
-  2. Stats completeness: every field of hafnium::Spm::Stats must be
-     published by Spm::publish_metrics (the obs reconciliation rule in
-     src/check depends on the two staying in sync).
+  2. Stats completeness: every field of each listed class's nested Stats
+     struct (hafnium::Spm, resil::Supervisor, resil::ChaosInjector) must be
+     published by that class's publish_metrics (the obs reconciliation rule
+     in src/check depends on Spm's staying in sync; the resil gauges feed
+     the harness's per-trial snapshots).
 
 Exit status 0 = clean, 1 = findings (printed one per line).
 """
@@ -31,10 +33,19 @@ ENUMS = {
     "Mode": ("src/check/check.h", "src/check/check.cpp"),
     "CorruptionKind": ("src/check/corrupt.h", "src/check/corrupt.cpp"),
     "EventType": ("src/obs/events.h", "src/obs/recorder.cpp"),
+    "VmHealth": ("src/resil/resil.h", "src/resil/resil.cpp"),
+    "FailureKind": ("src/resil/resil.h", "src/resil/resil.cpp"),
+    "ChaosFault": ("src/resil/chaos.h", "src/resil/chaos.cpp"),
 }
 
-STATS_HEADER = "src/hafnium/spm.h"
-STATS_SOURCE = "src/hafnium/spm.cpp"
+# Class name -> (header declaring its nested `struct Stats`, source defining
+# `<Class>::publish_metrics`). Each header must contain exactly one
+# `struct Stats` for the first-match regex to be correct.
+STATS_CLASSES = [
+    ("Spm", "src/hafnium/spm.h", "src/hafnium/spm.cpp"),
+    ("Supervisor", "src/resil/resil.h", "src/resil/resil.cpp"),
+    ("ChaosInjector", "src/resil/chaos.h", "src/resil/chaos.cpp"),
+]
 
 
 def strip_comments(text: str) -> str:
@@ -79,21 +90,27 @@ def stats_fields(header_text: str) -> list[str]:
 
 def check_stats_published(root: Path) -> list[str]:
     problems = []
-    fields = stats_fields((root / STATS_HEADER).read_text())
-    if not fields:
-        return [f"{STATS_HEADER}: Spm::Stats not found (lint table stale?)"]
-    source_text = strip_comments((root / STATS_SOURCE).read_text())
-    m = re.search(
-        r"void\s+Spm::publish_metrics\s*\(\)\s*\{(.*?)\n\}", source_text, re.S
-    )
-    if m is None:
-        return [f"{STATS_SOURCE}: Spm::publish_metrics not found"]
-    body = m.group(1)
-    for field in fields:
-        if not re.search(rf"\bstats_\.{field}\b", body):
-            problems.append(
-                f"{STATS_SOURCE}: publish_metrics does not publish Stats::{field}"
-            )
+    for cls, header, source in STATS_CLASSES:
+        fields = stats_fields((root / header).read_text())
+        if not fields:
+            problems.append(f"{header}: {cls}::Stats not found (lint table stale?)")
+            continue
+        source_text = strip_comments((root / source).read_text())
+        m = re.search(
+            rf"void\s+{cls}::publish_metrics\s*\(\)\s*\{{(.*?)\n\}}",
+            source_text,
+            re.S,
+        )
+        if m is None:
+            problems.append(f"{source}: {cls}::publish_metrics not found")
+            continue
+        body = m.group(1)
+        for field in fields:
+            if not re.search(rf"\bstats_\.{field}\b", body):
+                problems.append(
+                    f"{source}: {cls}::publish_metrics does not publish "
+                    f"Stats::{field}"
+                )
     return problems
 
 
