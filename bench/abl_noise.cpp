@@ -5,13 +5,16 @@
 // (no sync) — noise amplification in action.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_args.h"
 #include "core/harness.h"
 #include "obs/report.h"
 #include "workloads/nas.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hpcsec;
+    const int jobs = benchargs::parse_jobs(argc, argv);
     std::printf("== Ablation: background-noise rate vs BSP amplification ==\n");
     std::printf("(Linux primary; LU syncs per wavefront, EP only joins once)\n\n");
     std::printf("%-14s %12s %12s %14s\n", "kworker[Hz]", "LU[Mop/s]", "EP[Mop/s]",
@@ -27,6 +30,7 @@ int main() {
     for (const double rate : {0.0, 2.0, 10.0, 50.0, 200.0}) {
         core::Harness::Options opt;
         opt.trials = 3;
+        opt.jobs = jobs;
         opt.measurement_noise = false;
         opt.config_factory = [rate](core::SchedulerKind kind, std::uint64_t seed) {
             core::NodeConfig cfg = core::Harness::default_config(kind, seed);
@@ -35,14 +39,19 @@ int main() {
             return cfg;
         };
         core::Harness h(opt);
-        sim::RunningStats lu_s, ep_s;
+        std::vector<std::uint64_t> lu_seeds, ep_seeds;
         for (int t = 0; t < opt.trials; ++t) {
-            lu_s.add(h.run_trial(core::SchedulerKind::kLinuxPrimary, lu,
-                                 1000 + static_cast<std::uint64_t>(t))
-                         .score);
-            ep_s.add(h.run_trial(core::SchedulerKind::kLinuxPrimary, ep,
-                                 2000 + static_cast<std::uint64_t>(t))
-                         .score);
+            lu_seeds.push_back(1000 + static_cast<std::uint64_t>(t));
+            ep_seeds.push_back(2000 + static_cast<std::uint64_t>(t));
+        }
+        sim::RunningStats lu_s, ep_s;
+        for (const auto& r : h.run_trials(core::SchedulerKind::kLinuxPrimary, lu,
+                                          lu_seeds)) {
+            lu_s.add(r.score);
+        }
+        for (const auto& r : h.run_trials(core::SchedulerKind::kLinuxPrimary, ep,
+                                          ep_seeds)) {
+            ep_s.add(r.score);
         }
         if (rate == 0.0) {
             lu_base = lu_s.mean();

@@ -9,15 +9,19 @@
 #include <cstdio>
 
 #include <string>
+#include <vector>
 
+#include "bench_args.h"
 #include "cluster/scale_model.h"
 #include "cluster/trace_collect.h"
 #include "core/harness.h"
+#include "core/parallel.h"
 #include "obs/report.h"
 #include "workloads/nas.h"
 
 int main(int argc, char** argv) {
     using namespace hpcsec;
+    const int jobs = benchargs::parse_jobs(argc, argv);
     const int samples = argc > 1 ? std::atoi(argv[1]) : 6;
 
     // LU is the sync-heavy workload; shrink for trace collection speed.
@@ -39,11 +43,17 @@ int main(int argc, char** argv) {
     }
     std::printf("   (parallel efficiency)\n");
 
-    std::vector<std::vector<cluster::ScaleResult>> results;
-    for (const auto kind : core::kAllConfigs) {
-        const auto traces = cluster::collect_traces(kind, spec, samples, 555);
-        cluster::ScaleModel model(traces, clock);
-        results.push_back(model.sweep(nodes, 5, 777));
+    // Trace collection builds private Nodes per config, so the three
+    // configurations fan across workers; results land in config order.
+    std::vector<std::vector<cluster::ScaleResult>> results(3);
+    {
+        core::ThreadPool pool(jobs);
+        core::parallel_for_indexed(pool, core::kAllConfigs.size(), [&](std::size_t k) {
+            const auto traces =
+                cluster::collect_traces(core::kAllConfigs[k], spec, samples, 555);
+            cluster::ScaleModel model(traces, clock);
+            results[k] = model.sweep(nodes, 5, 777);
+        });
     }
     obs::BenchReport report("abl_scale");
     static constexpr const char* kTags[3] = {"native", "kitten", "linux"};

@@ -7,14 +7,17 @@
 // running the compute VM in the secure world costs nothing beyond the
 // ordinary Hafnium virtualization overhead.
 #include <cstdio>
+#include <vector>
 
+#include "bench_args.h"
 #include "core/harness.h"
 #include "obs/report.h"
 #include "workloads/hpcg.h"
 #include "workloads/randomaccess.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hpcsec;
+    const int jobs = benchargs::parse_jobs(argc, argv);
     std::printf("== Ablation: secure-world vs non-secure compute partition ==\n");
     std::printf("(Kitten primary; TrustZone carve-out configured at boot)\n\n");
     std::printf("%-14s %18s %18s %10s\n", "workload", "non-secure", "secure",
@@ -29,6 +32,7 @@ int main() {
         for (const bool secure : {false, true}) {
             core::Harness::Options opt;
             opt.trials = 3;
+            opt.jobs = jobs;
             opt.measurement_noise = false;
             opt.config_factory = [secure](core::SchedulerKind kind,
                                           std::uint64_t seed) {
@@ -37,11 +41,13 @@ int main() {
                 return cfg;
             };
             core::Harness h(opt);
+            std::vector<std::uint64_t> seeds;
+            for (int t = 0; t < opt.trials; ++t)
+                seeds.push_back(100 + static_cast<std::uint64_t>(t));
             sim::RunningStats s;
-            for (int t = 0; t < opt.trials; ++t) {
-                s.add(h.run_trial(core::SchedulerKind::kKittenPrimary, spec,
-                                  100 + static_cast<std::uint64_t>(t))
-                          .score);
+            for (const auto& r :
+                 h.run_trials(core::SchedulerKind::kKittenPrimary, spec, seeds)) {
+                s.add(r.score);
             }
             scores[secure ? 1 : 0] = s.mean();
         }

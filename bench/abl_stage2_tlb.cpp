@@ -6,14 +6,18 @@
 // the virtualization cost.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_args.h"
 #include "core/harness.h"
+#include "core/parallel.h"
 #include "obs/report.h"
 #include "workloads/randomaccess.h"
 #include "workloads/stream.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hpcsec;
+    const int jobs = benchargs::parse_jobs(argc, argv);
     std::printf("== Ablation: stage-2 nested-walk penalty vs workload TLB behaviour ==\n\n");
     std::printf("%-18s %16s %16s\n", "nested walk [cyc]", "RandomAccess norm",
                 "Stream norm");
@@ -24,30 +28,47 @@ int main() {
     st.units_per_thread_step /= 4;
 
     obs::BenchReport report("abl_stage2_tlb");
-    for (const sim::Cycles walk : {35ull, 80ull, 165ull, 330ull, 660ull}) {
-        core::Harness::Options opt;
-        opt.trials = 1;
-        opt.measurement_noise = false;
-        opt.config_factory = [walk](core::SchedulerKind kind, std::uint64_t seed) {
-            core::NodeConfig cfg = core::Harness::default_config(kind, seed);
-            cfg.platform.perf.nested_walk = walk;
-            return cfg;
-        };
-        core::Harness h(opt);
-        const double ra_native =
-            h.run_trial(core::SchedulerKind::kNativeKitten, ra, 9).score;
-        const double ra_virt =
-            h.run_trial(core::SchedulerKind::kKittenPrimary, ra, 9).score;
-        const double st_native =
-            h.run_trial(core::SchedulerKind::kNativeKitten, st, 9).score;
-        const double st_virt =
-            h.run_trial(core::SchedulerKind::kKittenPrimary, st, 9).score;
+    const std::vector<sim::Cycles> walks = {35, 80, 165, 330, 660};
+    struct Point {
+        double ra_norm = 0.0;
+        double st_norm = 0.0;
+    };
+    std::vector<Point> points(walks.size());
+    {
+        // Each walk value runs a private Harness (and thus private Nodes), so
+        // the sweep points fan across workers without sharing any state; the
+        // table below is printed after the fan-in, in sweep order.
+        core::ThreadPool pool(jobs);
+        core::parallel_for_indexed(pool, walks.size(), [&](std::size_t i) {
+            const sim::Cycles walk = walks[i];
+            core::Harness::Options opt;
+            opt.trials = 1;
+            opt.measurement_noise = false;
+            opt.config_factory = [walk](core::SchedulerKind kind,
+                                        std::uint64_t seed) {
+                core::NodeConfig cfg = core::Harness::default_config(kind, seed);
+                cfg.platform.perf.nested_walk = walk;
+                return cfg;
+            };
+            core::Harness h(opt);
+            const double ra_native =
+                h.run_trial(core::SchedulerKind::kNativeKitten, ra, 9).score;
+            const double ra_virt =
+                h.run_trial(core::SchedulerKind::kKittenPrimary, ra, 9).score;
+            const double st_native =
+                h.run_trial(core::SchedulerKind::kNativeKitten, st, 9).score;
+            const double st_virt =
+                h.run_trial(core::SchedulerKind::kKittenPrimary, st, 9).score;
+            points[i] = {ra_virt / ra_native, st_virt / st_native};
+        });
+    }
+    for (std::size_t i = 0; i < walks.size(); ++i) {
         std::printf("%-18llu %16.4f %16.4f\n",
-                    static_cast<unsigned long long>(walk), ra_virt / ra_native,
-                    st_virt / st_native);
-        const std::string tag = "walk_cyc." + std::to_string(walk);
-        report.add(tag + ".gups_norm", ra_virt / ra_native, 0.0, 1);
-        report.add(tag + ".stream_norm", st_virt / st_native, 0.0, 1);
+                    static_cast<unsigned long long>(walks[i]), points[i].ra_norm,
+                    points[i].st_norm);
+        const std::string tag = "walk_cyc." + std::to_string(walks[i]);
+        report.add(tag + ".gups_norm", points[i].ra_norm, 0.0, 1);
+        report.add(tag + ".stream_norm", points[i].st_norm, 0.0, 1);
     }
     report.write_default();
     std::printf(

@@ -4,12 +4,15 @@
 // kernels and reports the secondary VM's detour profile.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_args.h"
 #include "core/harness.h"
 #include "obs/report.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hpcsec;
+    const int jobs = benchargs::parse_jobs(argc, argv);
     std::printf("== Ablation: primary tick rate vs secondary-VM noise ==\n");
     std::printf("(selfish-detour, 10 s simulated, Pine A64 model)\n\n");
     std::printf("%-8s %-10s %12s %14s %14s\n", "primary", "tick[Hz]", "detours",
@@ -24,29 +27,37 @@ int main() {
         report.add(tag + ".lost_us_per_core", s.total_detour_us_all / 4.0, 0.0, 1);
         report.add(tag + ".max_detour_us", s.max_detour_us, 0.0, 1);
     };
-    const double kitten_rates[] = {1, 10, 100, 250};
-    for (const double hz : kitten_rates) {
-        core::NodeConfig cfg =
-            core::Harness::default_config(core::SchedulerKind::kKittenPrimary, 42);
-        cfg.kitten.tick_hz = hz;
-        const auto s = core::run_selfish_experiment(
-            core::SchedulerKind::kKittenPrimary, 10.0, 42, &cfg);
-        std::printf("%-8s %-10.0f %12zu %14.1f %14.2f\n", "Kitten", hz,
-                    static_cast<std::size_t>(s.detours_all_cores),
-                    s.total_detour_us_all / 4.0, s.max_detour_us);
-        record("kitten", hz, s);
+    struct Sweep {
+        const char* primary;
+        const char* tag;
+        double hz;
+    };
+    std::vector<Sweep> sweeps;
+    for (const double hz : {1.0, 10.0, 100.0, 250.0})
+        sweeps.push_back({"Kitten", "kitten", hz});
+    for (const double hz : {100.0, 250.0, 1000.0})
+        sweeps.push_back({"Linux", "linux", hz});
+
+    std::vector<core::SelfishJob> runs;
+    for (const auto& sw : sweeps) {
+        const auto kind = sw.tag[0] == 'k' ? core::SchedulerKind::kKittenPrimary
+                                           : core::SchedulerKind::kLinuxPrimary;
+        core::NodeConfig cfg = core::Harness::default_config(kind, 42);
+        if (kind == core::SchedulerKind::kKittenPrimary) {
+            cfg.kitten.tick_hz = sw.hz;
+        } else {
+            cfg.linux.tick_hz = sw.hz;
+        }
+        runs.push_back({kind, 10.0, 42, cfg});
     }
-    const double linux_rates[] = {100, 250, 1000};
-    for (const double hz : linux_rates) {
-        core::NodeConfig cfg =
-            core::Harness::default_config(core::SchedulerKind::kLinuxPrimary, 42);
-        cfg.linux.tick_hz = hz;
-        const auto s = core::run_selfish_experiment(
-            core::SchedulerKind::kLinuxPrimary, 10.0, 42, &cfg);
-        std::printf("%-8s %-10.0f %12zu %14.1f %14.2f\n", "Linux", hz,
+    const auto series = core::run_selfish_experiments(runs, jobs);
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const auto& sw = sweeps[i];
+        const auto& s = series[i];
+        std::printf("%-8s %-10.0f %12zu %14.1f %14.2f\n", sw.primary, sw.hz,
                     static_cast<std::size_t>(s.detours_all_cores),
                     s.total_detour_us_all / 4.0, s.max_detour_us);
-        record("linux", hz, s);
+        record(sw.tag, sw.hz, s);
     }
     report.write_default();
     std::printf(

@@ -7,12 +7,15 @@
 //                                     (250 Hz CFS ticks, kworkers, softirqs)
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
+#include "bench_args.h"
 #include "core/harness.h"
 #include "obs/report.h"
 
 int main(int argc, char** argv) {
     using namespace hpcsec;
+    const int jobs = benchargs::parse_jobs(argc, argv);
     const double seconds = argc > 1 ? std::atof(argv[1]) : 60.0;
     const std::uint64_t seed = 20211114;
 
@@ -32,11 +35,14 @@ int main(int argc, char** argv) {
     obs::BenchReport report("fig04_06_selfish");
     std::printf("== Selfish-detour benchmark, %.0f s simulated per config ==\n\n",
                 seconds);
-    for (const auto& fig : figs) {
-        const auto series = core::run_selfish_experiment(fig.kind, seconds, seed);
-        std::printf("---- %s ----\n", fig.fig);
+    std::vector<core::SelfishJob> runs;
+    for (const auto& fig : figs) runs.push_back({fig.kind, seconds, seed, {}});
+    const auto all = core::run_selfish_experiments(runs, jobs);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const auto& series = all[i];
+        std::printf("---- %s ----\n", figs[i].fig);
         std::printf("%s\n", core::format_selfish(series).c_str());
-        const std::string tag = fig.tag;
+        const std::string tag = figs[i].tag;
         report.add(tag + ".detours",
                    static_cast<double>(series.detours_all_cores), 0.0, 1);
         report.add(tag + ".lost_us", series.total_detour_us_all, 0.0, 1);

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_args.h"
 #include "core/harness.h"
 #include "workloads/hpcg.h"
 #include "workloads/randomaccess.h"
@@ -17,6 +18,7 @@
 int main(int argc, char** argv) {
     using namespace hpcsec;
     core::Harness::Options opt;
+    opt.jobs = benchargs::parse_jobs(argc, argv);
     opt.trials = argc > 1 ? std::atoi(argv[1]) : 10;
     core::Harness harness(opt);
 

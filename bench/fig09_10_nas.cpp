@@ -9,12 +9,14 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_args.h"
 #include "core/harness.h"
 #include "workloads/nas.h"
 
 int main(int argc, char** argv) {
     using namespace hpcsec;
     core::Harness::Options opt;
+    opt.jobs = benchargs::parse_jobs(argc, argv);
     opt.trials = argc > 1 ? std::atoi(argv[1]) : 5;
     core::Harness harness(opt);
 

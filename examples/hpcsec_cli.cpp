@@ -3,6 +3,10 @@
 //
 //   hpcsec_cli [--workload hpcg|stream|gups|lu|bt|cg|ep|sp|selfish]
 //              [--config native|kitten|linux] [--trials N] [--seed S]
+//              [--jobs N]               (worker threads for trial fan-out;
+//                                        default = hardware threads, 1 =
+//                                        legacy serial path; outputs are
+//                                        bit-identical for every N)
 //              [--seconds S]            (selfish duration)
 //              [--super-secondary] [--secure] [--selective-routing]
 //              [--tick-hz HZ]           (primary tick rate override)
@@ -33,6 +37,7 @@
 
 #include "check/check.h"
 #include "core/harness.h"
+#include "core/parallel.h"
 #include "obs/events.h"
 #include "obs/trace_export.h"
 #include "resil/chaos.h"
@@ -50,6 +55,7 @@ struct CliOptions {
     std::string workload = "hpcg";
     std::string config = "kitten";
     int trials = 3;
+    int jobs = 0;  // 0 = one worker per hardware thread
     std::uint64_t seed = 42;
     double seconds = 10.0;
     bool super_secondary = false;
@@ -70,7 +76,7 @@ void usage() {
     std::fprintf(stderr,
                  "usage: hpcsec_cli [--workload hpcg|stream|gups|lu|bt|cg|ep|sp|"
                  "selfish]\n                  [--config native|kitten|linux] "
-                 "[--trials N] [--seed S]\n                  [--seconds S] "
+                 "[--trials N] [--jobs N] [--seed S]\n                  [--seconds S] "
                  "[--super-secondary] [--secure]\n                  "
                  "[--selective-routing] [--tick-hz HZ]\n                  "
                  "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n"
@@ -97,6 +103,11 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             const char* v = next();
             if (v == nullptr) return false;
             opt.trials = std::atoi(v);
+        } else if (arg == "--jobs") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.jobs = std::atoi(v);
+            if (opt.jobs < 0) return false;
         } else if (arg == "--seed") {
             const char* v = next();
             if (v == nullptr) return false;
@@ -322,6 +333,7 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
         if (spec != nullptr) {
             core::Harness::Options hopt;
             hopt.trials = 1;
+            hopt.jobs = 1;  // exporter processes must append in config order
             hopt.base_seed = opt.seed;
             hopt.config_factory = factory;
             hopt.obs_mask = mask;
@@ -439,18 +451,25 @@ int main(int argc, char** argv) {
 
     core::Harness::Options hopt;
     hopt.trials = opt.trials;
+    hopt.jobs = opt.jobs;  // 0 = one worker per hardware thread
     hopt.base_seed = opt.seed;
     hopt.config_factory = factory;
     ResilTotals totals;
     hopt.pre_trial = make_pre_trial(opt, totals);
     core::Harness harness(hopt);
 
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(opt.trials));
+    for (int t = 0; t < opt.trials; ++t) {
+        seeds.push_back(opt.seed + 7919ull * static_cast<std::uint64_t>(t));
+    }
+    const auto results = harness.run_trials(kind, spec, seeds);
+
     sim::RunningStats stats;
     sim::RunningStats runtime;
     std::size_t check_failures = 0;
     for (int t = 0; t < opt.trials; ++t) {
-        const auto r = harness.run_trial(
-            kind, spec, opt.seed + 7919ull * static_cast<std::uint64_t>(t));
+        const auto& r = results[static_cast<std::size_t>(t)];
         stats.add(r.score);
         runtime.add(r.seconds);
         if (r.check_failures != 0) {

@@ -9,9 +9,28 @@ void Mmu::set_context(const PageTable* stage1, const PageTable* stage2, VmId vmi
     vmid_ = vmid;
     asid_ = asid;
     world_ = world;
+    l0_ = L0Entry{};  // the cached line belongs to the outgoing context
 }
 
 Translation Mmu::translate(VirtAddr va, Access access) {
+    // L0 hit: same page as the last successful translation and no TLBI of
+    // any scope since the fill. One compare + one epoch check; the
+    // permission check still applies, exactly as on the TLB-hit path below.
+    const std::uint64_t in_page = page_index(va);
+    if (in_page == l0_.in_page && l0_.epoch == tlb_.flush_epoch()) {
+        ++l0_hits_;
+        tlb_.note_front_hit();
+        Translation t;
+        if (!perms_allow(l0_.perms, access)) {
+            t.fault = FaultKind::kPermission;
+            t.fault_stage = stage1_ != nullptr ? 1 : 2;
+            return t;
+        }
+        t.pa = (l0_.out_page << kPageShift) | (va & kPageMask);
+        t.tlb_hit = true;
+        return t;
+    }
+
     // Combined-translation TLB hit short-circuits both walks, but the
     // permission check still applies (perms are cached in the entry).
     if (const TlbEntry* e = tlb_.lookup(vmid_, asid_, page_index(va))) {
@@ -23,6 +42,7 @@ Translation Mmu::translate(VirtAddr va, Access access) {
         }
         t.pa = (e->out_page << kPageShift) | (va & kPageMask);
         t.tlb_hit = true;
+        l0_ = {e->in_page, e->out_page, tlb_.flush_epoch(), e->perms};
         return t;
     }
 
@@ -45,6 +65,7 @@ Translation Mmu::translate(VirtAddr va, Access access) {
         e.perms = perms;
         e.secure = mem_->world_of(t.pa) == World::kSecure;
         tlb_.insert(e);
+        l0_ = {e.in_page, e.out_page, tlb_.flush_epoch(), e.perms};
     }
     return t;
 }

@@ -52,6 +52,9 @@ public:
     Tlb& tlb() { return tlb_; }
     const Tlb& tlb() const { return tlb_; }
 
+    /// Translations served by the L0 single-entry cache (subset of TLB hits).
+    [[nodiscard]] std::uint64_t l0_hits() const { return l0_hits_; }
+
     /// Optional data-cache observer: functional accesses probe it (pure
     /// observability; the statistical perf model is independent).
     void set_dcache(CacheHierarchy* dcache) { dcache_ = dcache; }
@@ -60,6 +63,17 @@ public:
 private:
     Translation translate_uncached(VirtAddr va, Access access);
 
+    /// L0: the last successful translation, one compare on the hit path.
+    /// Streaming workloads touch the same page for many consecutive accesses;
+    /// this skips the TLB's set scan entirely. Tagged with the TLB flush
+    /// epoch so any TLBI (any scope) invalidates it; set_context resets it.
+    struct L0Entry {
+        std::uint64_t in_page = ~0ull;
+        std::uint64_t out_page = 0;
+        std::uint64_t epoch = 0;
+        std::uint8_t perms = kPermNone;
+    };
+
     MemoryMap* mem_;
     const PageTable* stage1_ = nullptr;
     const PageTable* stage2_ = nullptr;
@@ -67,6 +81,8 @@ private:
     Asid asid_ = 0;
     World world_ = World::kNonSecure;
     Tlb tlb_;
+    L0Entry l0_;
+    std::uint64_t l0_hits_ = 0;
     CacheHierarchy* dcache_ = nullptr;
 };
 

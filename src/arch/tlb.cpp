@@ -53,6 +53,7 @@ void Tlb::insert(const TlbEntry& entry) {
 
 void Tlb::flush_all() {
     ++stats_.flushes;
+    ++flush_epoch_;
     for (auto& s : sets_) {
         for (auto& e : s.ways) e.valid = false;
     }
@@ -60,6 +61,7 @@ void Tlb::flush_all() {
 
 void Tlb::flush_vmid(VmId vmid) {
     ++stats_.flushes;
+    ++flush_epoch_;
     for (auto& s : sets_) {
         for (auto& e : s.ways) {
             if (e.valid && e.vmid == vmid) e.valid = false;
@@ -69,6 +71,7 @@ void Tlb::flush_vmid(VmId vmid) {
 
 void Tlb::flush_asid(VmId vmid, Asid asid) {
     ++stats_.flushes;
+    ++flush_epoch_;
     for (auto& s : sets_) {
         for (auto& e : s.ways) {
             if (e.valid && e.vmid == vmid && e.asid == asid) e.valid = false;
@@ -77,6 +80,7 @@ void Tlb::flush_asid(VmId vmid, Asid asid) {
 }
 
 void Tlb::flush_page(VmId vmid, std::uint64_t in_page) {
+    ++flush_epoch_;
     for (auto& e : sets_[set_of(in_page)].ways) {
         if (e.valid && e.vmid == vmid && e.in_page == in_page) e.valid = false;
     }

@@ -50,6 +50,15 @@ public:
     void flush_asid(VmId vmid, Asid asid);
     void flush_page(VmId vmid, std::uint64_t in_page);
 
+    /// Monotonic count of flush operations of any scope. Front-side caches
+    /// (the MMU's L0 line) tag their fill with this and re-validate on hit,
+    /// so every TLBI reaches them without a registration scheme.
+    [[nodiscard]] std::uint64_t flush_epoch() const { return flush_epoch_; }
+
+    /// Account a hit that was served by a front-side cache above this TLB
+    /// (the combined translation is still logically cached here).
+    void note_front_hit() { ++stats_.hits; }
+
     [[nodiscard]] const TlbStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 
@@ -69,6 +78,7 @@ private:
     std::vector<Set> sets_;
     std::size_t ways_;
     TlbStats stats_;
+    std::uint64_t flush_epoch_ = 0;
 };
 
 }  // namespace hpcsec::arch

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/parallel.h"
 #include "obs/report.h"
 #include "sim/rng.h"
 
@@ -28,7 +29,26 @@ NodeConfig Harness::default_config(SchedulerKind kind, std::uint64_t seed) {
 
 TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
                                std::uint64_t seed) {
-    NodeConfig cfg = options_.config_factory(kind, seed);
+    return run_trial_impl(kind, spec, seed, nullptr);
+}
+
+// callback_mutex is non-null on pooled workers: everything user-provided
+// (config_factory, pre_trial, post_trial, attachment destruction) runs
+// mutually exclusive so existing single-threaded rigging keeps working.
+// The trial body itself — one private Node — runs lock-free.
+TrialResult Harness::run_trial_impl(SchedulerKind kind,
+                                    const wl::WorkloadSpec& spec,
+                                    std::uint64_t seed,
+                                    std::mutex* callback_mutex) {
+    auto locked = [callback_mutex] {
+        return callback_mutex != nullptr ? std::unique_lock<std::mutex>(*callback_mutex)
+                                         : std::unique_lock<std::mutex>();
+    };
+    NodeConfig cfg;
+    {
+        auto lock = locked();
+        cfg = options_.config_factory(kind, seed);
+    }
     cfg.platform.obs_mask |= options_.obs_mask;
     if (options_.check_mode != check::Mode::kOff) {
         cfg.check_mode = options_.check_mode;
@@ -38,7 +58,10 @@ TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
     // Declared after node so it is torn down first even when a trial throws.
     std::shared_ptr<void> attachment;
     node.boot();
-    if (options_.pre_trial) attachment = options_.pre_trial(kind, seed, node);
+    if (options_.pre_trial) {
+        auto lock = locked();
+        attachment = options_.pre_trial(kind, seed, node);
+    }
     wl::ParallelWorkload workload(spec);
     const double seconds = node.run_workload(workload, options_.timeout_s);
     TrialResult r;
@@ -54,34 +77,113 @@ TrialResult Harness::run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
         r.check_report = auditor->report();
     }
     r.metrics = node.publish_metrics();
-    if (options_.post_trial) options_.post_trial(kind, seed, node);
+    {
+        auto lock = locked();
+        if (options_.post_trial) options_.post_trial(kind, seed, node);
+        attachment.reset();
+    }
     return r;
 }
 
-ExperimentRow Harness::run_row(const wl::WorkloadSpec& spec) {
-    ExperimentRow row;
-    row.workload = spec.name;
-    row.metric = spec.metric;
-    for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
-        sim::RunningStats stats;
-        for (int t = 0; t < options_.trials; ++t) {
-            const std::uint64_t seed =
-                options_.base_seed + 7919ull * static_cast<std::uint64_t>(t) +
-                131ull * c;
-            const TrialResult r = run_trial(kAllConfigs[c], spec, seed);
-            stats.add(r.score);
-            row.metrics[c].add(r.metrics);
+int Harness::effective_jobs(std::size_t tasks) const {
+    int jobs = options_.jobs;
+    if (jobs <= 0) jobs = ThreadPool::default_jobs();
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), tasks));
+}
+
+std::vector<TrialResult> Harness::run_trials(
+    SchedulerKind kind, const wl::WorkloadSpec& spec,
+    const std::vector<std::uint64_t>& seeds) {
+    std::vector<TrialResult> results(seeds.size());
+    const int jobs = effective_jobs(seeds.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            results[i] = run_trial_impl(kind, spec, seeds[i], nullptr);
         }
-        row.cells[c] = {stats.mean(), stats.stddev(), static_cast<int>(stats.count())};
+        return results;
     }
-    return row;
+    std::mutex callback_mutex;
+    ThreadPool pool(jobs);
+    parallel_for_indexed(pool, seeds.size(), [&](std::size_t i) {
+        results[i] = run_trial_impl(kind, spec, seeds[i], &callback_mutex);
+    });
+    return results;
+}
+
+ExperimentRow Harness::run_row(const wl::WorkloadSpec& spec) {
+    return run_rows({spec}).front();
 }
 
 std::vector<ExperimentRow> Harness::run_rows(
     const std::vector<wl::WorkloadSpec>& specs) {
+    const std::size_t ntasks =
+        specs.size() * kAllConfigs.size() * static_cast<std::size_t>(options_.trials);
+    const int jobs = effective_jobs(ntasks);
+    if (jobs > 1) return run_rows_parallel(specs, jobs);
+
     std::vector<ExperimentRow> rows;
     rows.reserve(specs.size());
-    for (const auto& spec : specs) rows.push_back(run_row(spec));
+    for (const auto& spec : specs) {
+        ExperimentRow row;
+        row.workload = spec.name;
+        row.metric = spec.metric;
+        for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
+            sim::RunningStats stats;
+            for (int t = 0; t < options_.trials; ++t) {
+                const TrialResult r =
+                    run_trial_impl(kAllConfigs[c], spec, trial_seed(c, t), nullptr);
+                stats.add(r.score);
+                row.metrics[c].add(r.metrics);
+            }
+            row.cells[c] = {stats.mean(), stats.stddev(),
+                            static_cast<int>(stats.count())};
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+// The full specs x configs x trials cross-product fans out as one flat task
+// list; the merge then replays results in exactly the serial loop's order,
+// so every RunningStats/MetricsAggregate sees the same sequence of adds and
+// the output is bit-identical to jobs=1.
+std::vector<ExperimentRow> Harness::run_rows_parallel(
+    const std::vector<wl::WorkloadSpec>& specs, int jobs) {
+    std::vector<RowTask> tasks;
+    for (std::size_t r = 0; r < specs.size(); ++r) {
+        for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
+            for (int t = 0; t < options_.trials; ++t) tasks.push_back({r, c, t});
+        }
+    }
+    std::vector<TrialResult> results(tasks.size());
+    std::mutex callback_mutex;
+    {
+        ThreadPool pool(jobs);
+        parallel_for_indexed(pool, tasks.size(), [&](std::size_t i) {
+            const RowTask& task = tasks[i];
+            results[i] = run_trial_impl(kAllConfigs[task.config], specs[task.row],
+                                        trial_seed(task.config, task.trial),
+                                        &callback_mutex);
+        });
+    }
+
+    std::vector<ExperimentRow> rows(specs.size());
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < specs.size(); ++r) {
+        ExperimentRow& row = rows[r];
+        row.workload = specs[r].name;
+        row.metric = specs[r].metric;
+        for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
+            sim::RunningStats stats;
+            for (int t = 0; t < options_.trials; ++t, ++i) {
+                stats.add(results[i].score);
+                row.metrics[c].add(results[i].metrics);
+            }
+            row.cells[c] = {stats.mean(), stats.stddev(),
+                            static_cast<int>(stats.count())};
+        }
+    }
     return rows;
 }
 
@@ -196,6 +298,26 @@ SelfishSeries run_selfish_experiment(SchedulerKind kind, double seconds,
     }
     out.metrics = node.publish_metrics();
     out.events = node.platform().recorder().events();
+    return out;
+}
+
+std::vector<SelfishSeries> run_selfish_experiments(
+    const std::vector<SelfishJob>& runs, int jobs) {
+    std::vector<SelfishSeries> out(runs.size());
+    if (jobs <= 0) jobs = ThreadPool::default_jobs();
+    jobs = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), runs.size()));
+    auto one = [&](std::size_t i) {
+        const SelfishJob& job = runs[i];
+        out[i] = run_selfish_experiment(job.kind, job.seconds, job.seed,
+                                        job.config ? &*job.config : nullptr);
+    };
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < runs.size(); ++i) one(i);
+    } else {
+        ThreadPool pool(jobs);
+        parallel_for_indexed(pool, runs.size(), one);
+    }
     return out;
 }
 

@@ -12,6 +12,8 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,14 @@ public:
         double timeout_s = 600.0;
         std::uint64_t base_seed = 20210101;
         bool measurement_noise = true;
+        /// Worker threads for fanning trials out in run_trials/run_row/
+        /// run_rows. 1 = the legacy serial path (no pool, no locks);
+        /// 0 = one worker per hardware thread. Each trial owns a private
+        /// Node, and results are merged in trial order, so aggregate output
+        /// is bit-identical for every jobs value. config_factory must be
+        /// thread-safe when jobs != 1; pre_trial/post_trial (and attachment
+        /// destruction) are serialized under a harness mutex.
+        int jobs = 1;
         /// Structured-recorder categories to enable on every trial node
         /// (obs::Category bits, OR-ed into the platform config).
         std::uint32_t obs_mask = 0;
@@ -88,8 +98,20 @@ public:
     TrialResult run_trial(SchedulerKind kind, const wl::WorkloadSpec& spec,
                           std::uint64_t seed);
 
+    /// Run one seeded trial per entry of `seeds`, fanned across
+    /// Options::jobs worker threads. Results come back in seed order.
+    std::vector<TrialResult> run_trials(SchedulerKind kind,
+                                        const wl::WorkloadSpec& spec,
+                                        const std::vector<std::uint64_t>& seeds);
+
     ExperimentRow run_row(const wl::WorkloadSpec& spec);
     std::vector<ExperimentRow> run_rows(const std::vector<wl::WorkloadSpec>& specs);
+
+    /// The seed for trial `t` of config cell `c` (the row fan-out order).
+    [[nodiscard]] std::uint64_t trial_seed(std::size_t c, int t) const {
+        return options_.base_seed + 7919ull * static_cast<std::uint64_t>(t) +
+               131ull * c;
+    }
 
     // --- formatting (paper-shaped output) ------------------------------------
     static std::string format_raw(const std::vector<ExperimentRow>& rows);
@@ -104,6 +126,19 @@ public:
     [[nodiscard]] const Options& options() const { return options_; }
 
 private:
+    struct RowTask {
+        std::size_t row;
+        std::size_t config;
+        int trial;
+    };
+
+    TrialResult run_trial_impl(SchedulerKind kind, const wl::WorkloadSpec& spec,
+                               std::uint64_t seed, std::mutex* callback_mutex);
+    std::vector<ExperimentRow> run_rows_parallel(
+        const std::vector<wl::WorkloadSpec>& specs, int jobs);
+
+    [[nodiscard]] int effective_jobs(std::size_t tasks) const;
+
     Options options_;
 };
 
@@ -124,6 +159,20 @@ struct SelfishSeries {
 SelfishSeries run_selfish_experiment(SchedulerKind kind, double seconds,
                                      std::uint64_t seed,
                                      const NodeConfig* base = nullptr);
+
+/// One selfish-detour run for the parallel fan-out below.
+struct SelfishJob {
+    SchedulerKind kind = SchedulerKind::kNativeKitten;
+    double seconds = 0.0;
+    std::uint64_t seed = 0;
+    std::optional<NodeConfig> config;  ///< overrides default_config when set
+};
+
+/// Run each job on its own worker thread (jobs semantics as in
+/// Harness::Options::jobs). Each run owns a private Node; results come back
+/// in job order, bit-identical to calling run_selfish_experiment serially.
+std::vector<SelfishSeries> run_selfish_experiments(
+    const std::vector<SelfishJob>& runs, int jobs);
 
 /// Scatter-style text rendering (time vs detour length) plus summary.
 std::string format_selfish(const SelfishSeries& series, std::size_t max_points = 40);

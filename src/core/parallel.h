@@ -1,0 +1,59 @@
+// Host-side worker pool for fanning embarrassingly parallel trials across
+// threads.
+//
+// The simulator itself stays single-threaded and deterministic: one trial =
+// one private sim::Engine/Node owned entirely by one worker. Parallelism
+// lives strictly *between* trials — the pool hands out independent tasks
+// and the caller merges results in task-index order, so aggregate output is
+// bit-identical to a serial run regardless of scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcsec::core {
+
+class ThreadPool {
+public:
+    /// threads <= 0 selects one worker per hardware thread.
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+    /// std::thread::hardware_concurrency(), never less than 1.
+    static int default_jobs();
+
+    /// Enqueue a task. Tasks must not throw (wrap work that can throw; see
+    /// parallel_for_indexed, which captures exceptions per index).
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished executing.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< workers wait for tasks
+    std::condition_variable idle_cv_;   ///< wait_idle waits for drain
+    std::size_t outstanding_ = 0;       ///< queued + running tasks
+    bool shutdown_ = false;
+};
+
+/// Run fn(0..n-1) across the pool's workers and block until all complete.
+/// Exceptions are captured per index and the lowest-index one is rethrown
+/// after the fan-in, mirroring where a serial loop would have thrown first.
+void parallel_for_indexed(ThreadPool& pool, std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace hpcsec::core

@@ -74,6 +74,7 @@ MetricsRegistry::Handle MetricsRegistry::find_or_add(const std::string& name,
                                                      Slot slot, double lo,
                                                      double base,
                                                      std::size_t nbuckets) {
+    const std::lock_guard<std::mutex> lock(reg_mutex_);
     for (const auto& e : entries_) {
         if (e.name == name) {
             if (e.slot != slot) {
@@ -118,6 +119,7 @@ MetricsRegistry::Handle MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(reg_mutex_);
     MetricsSnapshot snap;
     snap.metrics.reserve(entries_.size());
     for (const auto& e : entries_) {
@@ -149,6 +151,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
+    const std::lock_guard<std::mutex> lock(reg_mutex_);
     for (auto& c : counters_) c = 0;
     for (auto& g : gauges_) g = 0.0;
     for (std::size_t i = 0; i < hist_log_.size(); ++i) {

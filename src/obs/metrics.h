@@ -9,7 +9,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/stats.h"
@@ -40,23 +43,45 @@ struct MetricsSnapshot {
     void write_csv(std::ostream& os) const;
 };
 
+/// Threading model: one registry belongs to one trial node, which runs
+/// entirely on one thread (the parallel harness gives every worker its own
+/// Node and merges snapshots in trial order on the caller). Registration is
+/// mutex-protected so wiring code is safe even if components register from
+/// helper threads; the hot-path slot updates are intentionally unsynchronized
+/// and guarded in debug builds by a thread-ownership check that throws on
+/// cross-thread mutation (the bug tsan would otherwise find on day one).
 class MetricsRegistry {
 public:
     using Handle = std::uint32_t;
 
     /// Register (or look up) a metric. Re-registering an existing name with
-    /// the same kind returns the existing handle.
+    /// the same kind returns the existing handle. Thread-safe.
     Handle counter(const std::string& name);
     Handle gauge(const std::string& name);
     Handle histogram(const std::string& name, double lo = 1.0, double base = 2.0,
                      std::size_t nbuckets = 24);
 
-    // --- hot path -----------------------------------------------------------
-    void add(Handle h, std::uint64_t delta = 1) { counters_[h] += delta; }
-    void set(Handle h, double value) { gauges_[h] = value; }
+    // --- hot path (single-owner; see threading model above) -----------------
+    void add(Handle h, std::uint64_t delta = 1) {
+        debug_assert_owner();
+        counters_[h] += delta;
+    }
+    void set(Handle h, double value) {
+        debug_assert_owner();
+        gauges_[h] = value;
+    }
     void observe(Handle h, double value) {
+        debug_assert_owner();
         hist_log_[h].add(value);
         hist_stats_[h].add(value);
+    }
+
+    /// Release single-owner binding after a deliberate, synchronized handoff
+    /// to another thread (debug builds bind the owner on first mutation).
+    void reset_owner() {
+#ifndef NDEBUG
+        owner_bound_ = false;
+#endif
     }
 
     [[nodiscard]] std::uint64_t counter_value(Handle h) const { return counters_[h]; }
@@ -75,6 +100,27 @@ private:
 
     Handle find_or_add(const std::string& name, Slot slot, double lo, double base,
                        std::size_t nbuckets);
+
+    void debug_assert_owner() {
+#ifndef NDEBUG
+        const std::thread::id self = std::this_thread::get_id();
+        if (!owner_bound_) {
+            owner_ = self;
+            owner_bound_ = true;
+        } else if (owner_ != self) {
+            throw std::logic_error(
+                "MetricsRegistry: hot-path mutation from a second thread; "
+                "give each worker its own registry (or reset_owner() after a "
+                "synchronized handoff)");
+        }
+#endif
+    }
+
+    mutable std::mutex reg_mutex_;  ///< guards entries_/storage registration
+#ifndef NDEBUG
+    std::thread::id owner_{};
+    bool owner_bound_ = false;
+#endif
 
     std::vector<Entry> entries_;
     std::vector<std::uint64_t> counters_;

@@ -1,56 +1,112 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace hpcsec::sim {
 
 EventId EventQueue::schedule(SimTime when, int priority, EventFn fn) {
-    const std::uint64_t seq = next_seq_++;
-    heap_.push(Entry{when, priority, seq, std::move(fn)});
-    pending_.insert(seq);
+    std::uint32_t slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    const std::uint64_t order = next_order_++;
+    Entry& e = slab_[slot];
+    e.when = when;
+    e.order = order;
+    e.id = (static_cast<std::uint64_t>(slot) + 1) << kSlotShift | (order & kSeqMask);
+    e.fn = std::move(fn);
+    e.priority = priority;
+    e.cancelled = false;
+
+    heap_.push_back(slot);
+    sift_up(heap_.size() - 1);
     ++live_;
-    return EventId{seq};
+    return EventId{e.id};
 }
 
 bool EventQueue::cancel(EventId id) {
-    if (!id.valid()) return false;
-    const auto it = pending_.find(id.seq);
-    if (it == pending_.end()) return false;  // already ran or cancelled
-    pending_.erase(it);
-    cancelled_.insert(id.seq);
+    const std::uint64_t slot_part = id.seq >> kSlotShift;
+    if (slot_part == 0 || slot_part > slab_.size()) return false;
+    Entry& e = slab_[static_cast<std::size_t>(slot_part - 1)];
+    if (e.id != id.seq || e.cancelled) return false;  // ran, cancelled, or stale
+    e.cancelled = true;
+    e.fn = nullptr;  // release captured resources immediately
     --live_;
     return true;
 }
 
-void EventQueue::drop_tombstones() {
-    while (!heap_.empty()) {
-        auto it = cancelled_.find(heap_.top().seq);
-        if (it == cancelled_.end()) return;
-        cancelled_.erase(it);
-        heap_.pop();
+void EventQueue::sift_up(std::size_t pos) {
+    const std::uint32_t slot = heap_[pos];
+    while (pos != 0) {
+        const std::size_t parent = (pos - 1) >> 2;
+        if (!before(slot, heap_[parent])) break;
+        heap_[pos] = heap_[parent];
+        pos = parent;
+    }
+    heap_[pos] = slot;
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+    const std::size_t n = heap_.size();
+    const std::uint32_t slot = heap_[pos];
+    for (;;) {
+        const std::size_t first_child = 4 * pos + 1;
+        if (first_child >= n) break;
+        const std::size_t last_child = std::min(first_child + 4, n);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+            if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], slot)) break;
+        heap_[pos] = heap_[best];
+        pos = best;
+    }
+    heap_[pos] = slot;
+}
+
+void EventQueue::remove_top() {
+    const std::uint32_t slot = heap_[0];
+    Entry& e = slab_[slot];
+    e.id = 0;
+    e.fn = nullptr;
+    free_.push_back(slot);
+    const std::uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        sift_down(0);
     }
 }
 
+void EventQueue::skim_cancelled() {
+    while (!heap_.empty() && slab_[heap_[0]].cancelled) remove_top();
+}
+
 SimTime EventQueue::next_time() {
-    drop_tombstones();
-    return heap_.empty() ? kTimeNever : heap_.top().when;
+    skim_cancelled();
+    return heap_.empty() ? kTimeNever : slab_[heap_[0]].when;
 }
 
 EventQueue::Popped EventQueue::pop() {
-    drop_tombstones();
-    // const_cast to move the closure out; the entry is popped immediately.
-    auto& top = const_cast<Entry&>(heap_.top());
+    skim_cancelled();
+    Entry& top = slab_[heap_[0]];
     Popped out{top.when, top.priority, std::move(top.fn)};
-    pending_.erase(top.seq);
-    heap_.pop();
+    remove_top();
     --live_;
     return out;
 }
 
 void EventQueue::clear() {
-    heap_ = {};
-    cancelled_.clear();
-    pending_.clear();
+    slab_.clear();
+    heap_.clear();
+    free_.clear();
+    // next_order_ is deliberately not reset: stale EventIds from before the
+    // clear must keep failing the id check once slots are reused.
     live_ = 0;
 }
 

@@ -1,0 +1,168 @@
+// Parallel experiment engine: fanning trials across worker threads must be
+// invisible in the results. Every aggregate the harness reports — cell
+// stats, merged metrics, formatted tables — must be bit-identical between
+// --jobs 1 (the legacy serial loop) and any other jobs value, because the
+// parallel path gives each trial a private Node and replays the merge in
+// exact serial order. Also covers the ThreadPool primitive itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "core/parallel.h"
+#include "workloads/nas.h"
+#include "workloads/randomaccess.h"
+
+namespace hpcsec::core {
+namespace {
+
+wl::WorkloadSpec small_spec() {
+    wl::WorkloadSpec spec = wl::nas_cg_spec();
+    spec.units_per_thread_step /= 10;
+    return spec;
+}
+
+Harness::Options base_options(int jobs) {
+    Harness::Options opt;
+    opt.trials = 4;
+    opt.jobs = jobs;
+    return opt;
+}
+
+void expect_rows_bit_identical(const std::vector<ExperimentRow>& a,
+                               const std::vector<ExperimentRow>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        EXPECT_EQ(a[r].workload, b[r].workload);
+        EXPECT_EQ(a[r].metric, b[r].metric);
+        for (std::size_t c = 0; c < a[r].cells.size(); ++c) {
+            // Bitwise, not EXPECT_DOUBLE_EQ: the merge replays the exact
+            // serial accumulation order, so even the rounding must match.
+            EXPECT_EQ(std::memcmp(&a[r].cells[c], &b[r].cells[c],
+                                  sizeof(CellStats)),
+                      0)
+                << "row " << r << " cell " << c;
+        }
+    }
+    EXPECT_EQ(Harness::format_raw(a), Harness::format_raw(b));
+    EXPECT_EQ(Harness::format_normalized(a), Harness::format_normalized(b));
+    EXPECT_EQ(Harness::format_metrics_json(a), Harness::format_metrics_json(b));
+}
+
+TEST(ParallelHarness, RowsBitIdenticalAcrossJobs) {
+    const std::vector<wl::WorkloadSpec> specs = {small_spec()};
+    Harness serial(base_options(1));
+    Harness wide(base_options(8));
+    expect_rows_bit_identical(serial.run_rows(specs), wide.run_rows(specs));
+}
+
+TEST(ParallelHarness, RunTrialsPreservesSeedOrderAndValues) {
+    const wl::WorkloadSpec spec = small_spec();
+    const std::vector<std::uint64_t> seeds = {11, 7, 300, 7};  // dup + unsorted
+    Harness serial(base_options(1));
+    Harness wide(base_options(8));
+    const auto a = serial.run_trials(SchedulerKind::kLinuxPrimary, spec, seeds);
+    const auto b = wide.run_trials(SchedulerKind::kLinuxPrimary, spec, seeds);
+    ASSERT_EQ(a.size(), seeds.size());
+    ASSERT_EQ(b.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        EXPECT_EQ(a[i].seconds, b[i].seconds) << "trial " << i;
+        EXPECT_EQ(a[i].score, b[i].score) << "trial " << i;
+    }
+    // Equal seeds must reproduce equal trials regardless of which worker
+    // thread ran them.
+    EXPECT_EQ(b[1].seconds, b[3].seconds);
+    EXPECT_EQ(b[1].score, b[3].score);
+}
+
+TEST(ParallelHarness, MetricsAggregatesMatchAcrossJobs) {
+    const std::vector<wl::WorkloadSpec> specs = {small_spec()};
+    Harness serial(base_options(1));
+    Harness wide(base_options(8));
+    const auto a = serial.run_rows(specs);
+    const auto b = wide.run_rows(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a[0].metrics.size(); ++c) {
+        const auto& ra = a[0].metrics[c].rows();
+        const auto& rb = b[0].metrics[c].rows();
+        ASSERT_EQ(ra.size(), rb.size()) << "config " << c;
+        for (std::size_t m = 0; m < ra.size(); ++m) {
+            EXPECT_EQ(ra[m].name, rb[m].name);
+            EXPECT_EQ(ra[m].stats.count(), rb[m].stats.count());
+            EXPECT_EQ(ra[m].stats.mean(), rb[m].stats.mean()) << ra[m].name;
+            EXPECT_EQ(ra[m].stats.stddev(), rb[m].stats.stddev()) << ra[m].name;
+        }
+    }
+}
+
+TEST(ParallelHarness, CallbacksSerializedAndOrdered) {
+    // pre_trial/post_trial run under the harness callback mutex; the overlap
+    // counter would exceed 1 if two workers entered simultaneously.
+    std::atomic<int> in_callback{0};
+    std::atomic<int> max_overlap{0};
+    std::atomic<int> calls{0};
+    Harness::Options opt = base_options(8);
+    opt.post_trial = [&](SchedulerKind, std::uint64_t, Node&) {
+        const int now = ++in_callback;
+        int prev = max_overlap.load();
+        while (now > prev && !max_overlap.compare_exchange_weak(prev, now)) {
+        }
+        ++calls;
+        --in_callback;
+    };
+    Harness h(opt);
+    h.run_rows({small_spec()});
+    EXPECT_EQ(calls.load(), 3 * opt.trials);
+    EXPECT_EQ(max_overlap.load(), 1);
+}
+
+TEST(ParallelHarness, SelfishExperimentsMatchSerial) {
+    std::vector<SelfishJob> jobs;
+    for (const auto kind : kAllConfigs) jobs.push_back({kind, 1.0, 77, {}});
+    const auto par = run_selfish_experiments(jobs, 8);
+    ASSERT_EQ(par.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto ser = run_selfish_experiment(jobs[i].kind, 1.0, 77);
+        EXPECT_EQ(par[i].detours_all_cores, ser.detours_all_cores);
+        EXPECT_EQ(par[i].total_detour_us_all, ser.total_detour_us_all);
+        EXPECT_EQ(par[i].max_detour_us, ser.max_detour_us);
+        ASSERT_EQ(par[i].detours.size(), ser.detours.size());
+        for (std::size_t d = 0; d < ser.detours.size(); ++d) {
+            EXPECT_EQ(par[i].detours[d].at_seconds, ser.detours[d].at_seconds);
+            EXPECT_EQ(par[i].detours[d].duration_us, ser.detours[d].duration_us);
+        }
+    }
+}
+
+TEST(ThreadPool, RunsAllIndicesOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for_indexed(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+    ThreadPool pool(4);
+    try {
+        parallel_for_indexed(pool, 64, [&](std::size_t i) {
+            if (i % 10 == 3) throw std::runtime_error("boom@" + std::to_string(i));
+        });
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom@3");
+    }
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+    ThreadPool pool(2);
+    parallel_for_indexed(pool, 0, [&](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace hpcsec::core
