@@ -18,6 +18,8 @@
 //              [--check[=strict|sampled]]  (isolation-invariant auditor;
 //                                        bare --check means strict)
 //              [--check-period N]       (sampled mode: scan every N hypercalls)
+//              [--call-metrics]         (per-hypercall counters: hf.call.*,
+//                                        hf.call_err.* in --metrics-out)
 //              [--chaos[=RATE]]         (seed-deterministic fault injection at
 //                                        RATE faults/s of sim time; default 10)
 //              [--restart-policy[=N]]   (heartbeat watchdog + restart engine on
@@ -67,6 +69,7 @@ struct CliOptions {
     std::string trace_mask = "irq,sched,hyp,vm,workload";
     check::Mode check_mode = check::Mode::kOff;
     int check_period = 64;
+    bool call_metrics = false;
     double chaos_rate_hz = 0.0;  // 0 = off
     bool restart_policy = false;
     int restart_budget = 3;
@@ -81,8 +84,8 @@ void usage() {
                  "[--selective-routing] [--tick-hz HZ]\n                  "
                  "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n"
                  "                  [--check[=strict|sampled]] "
-                 "[--check-period N]\n                  [--chaos[=RATE]] "
-                 "[--restart-policy[=N]]\n");
+                 "[--check-period N]\n                  [--call-metrics] "
+                 "[--chaos[=RATE]] [--restart-policy[=N]]\n");
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -142,6 +145,8 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             const char* v = next();
             if (v == nullptr) return false;
             opt.check_period = std::atoi(v);
+        } else if (arg == "--call-metrics") {
+            opt.call_metrics = true;
         } else if (arg == "--chaos") {
             opt.chaos_rate_hz = 10.0;
         } else if (arg.rfind("--chaos=", 0) == 0) {
@@ -416,6 +421,7 @@ int main(int argc, char** argv) {
         }
         cfg.check_mode = opt.check_mode;
         cfg.check_period = opt.check_period;
+        cfg.call_metrics = opt.call_metrics;
         return cfg;
     };
 

@@ -31,9 +31,8 @@ int main() {
     // The privilege boundary first: a direct HF_VCPU_RUN from the login VM
     // must be refused by the SPM ("does not have ... the ability to assume
     // control over CPU cores").
-    const auto denied = node.spm()->hypercall(
-        0, node.login_vm()->id(), hafnium::Call::kVcpuRun,
-        {node.compute_vm()->id(), 0, 0, 0});
+    const auto denied = hf::vcpu_run(*node.spm(), 0, node.login_vm()->id(),
+                                     node.compute_vm()->id(), /*vcpu=*/0);
     std::printf("\nlogin VM calling HF_VCPU_RUN directly: %s\n",
                 to_string(denied.error).c_str());
 

@@ -106,8 +106,9 @@ int main() {
                 to_string(tz).c_str());
 
     // (c) explicit share: tenant0 lends one page to tenant1.
-    const auto share = spm.hypercall(0, t0.id(), hafnium::Call::kMemShare,
-                                     {t1.id(), 0x4000, 1, 0x7000'0000});
+    const auto share = hf::mem_share(spm, 0, t0.id(), t1.id(),
+                                     /*owner_ipa=*/0x4000, /*pages=*/1,
+                                     /*borrower_ipa=*/0x7000'0000);
     std::uint64_t shared = 0;
     const bool ok = spm.vm_read64(t1.id(), 0x7000'0000, shared);
     std::printf("(c) after FFA_MEM_SHARE (%s): tenant1 reads %#llx through the "
@@ -116,7 +117,7 @@ int main() {
                 static_cast<unsigned long long>(shared));
 
     // (d) reclaim closes it.
-    spm.hypercall(0, t0.id(), hafnium::Call::kMemReclaim, {t1.id(), 0x4000, 0, 0});
+    hf::mem_reclaim(spm, 0, t0.id(), t1.id(), /*owner_ipa=*/0x4000);
     const bool after = spm.vm_read64(t1.id(), 0x7000'0000, shared);
     std::printf("(d) after FFA_MEM_RECLAIM: window read %s\n",
                 after ? "still works (bug!)" : "denied");

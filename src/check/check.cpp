@@ -93,11 +93,15 @@ std::string CheckFailure::format() const {
 Auditor::Auditor(hafnium::Spm& spm) : Auditor(spm, Options{}) {}
 
 Auditor::Auditor(hafnium::Spm& spm, Options options)
-    : spm_(&spm), options_(options) {
+    : hafnium::HypercallInterceptor(hafnium::HypercallInterceptor::Stage::kAudit),
+      spm_(&spm),
+      options_(options) {
     spm_->attach_audit(this);
+    spm_->attach_interceptor(this);
 }
 
 Auditor::~Auditor() {
+    spm_->detach_interceptor(this);
     if (spm_->audit() == this) spm_->attach_audit(nullptr);
 }
 
@@ -167,11 +171,9 @@ void Auditor::on_vcpu_state(hafnium::Vcpu& vcpu, hafnium::VcpuState from,
                 " -> " + hafnium::to_string(to)});
 }
 
-void Auditor::on_hypercall(arch::CoreId core, arch::VmId caller,
-                           hafnium::Call call, const hafnium::HfResult& result) {
-    (void)core;
-    (void)caller;
-    (void)call;
+void Auditor::after(const hafnium::HypercallSite& site,
+                    const hafnium::HfResult& result) {
+    (void)site;
     (void)result;
     if (options_.mode == Mode::kStrict) {
         validate();

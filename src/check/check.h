@@ -66,8 +66,11 @@ public:
 };
 
 /// Attaches to an Spm and audits the isolation invariants. Construction
-/// registers the hooks; destruction detaches them.
-class Auditor final : public hafnium::AuditItf {
+/// registers both hooks — the per-VCPU state-transition sink and a
+/// Stage::kAudit interceptor on the hypercall chain; destruction detaches
+/// them.
+class Auditor final : public hafnium::HypercallInterceptor,
+                      public hafnium::VcpuAuditSink {
 public:
     struct Options {
         Mode mode = Mode::kSampled;
@@ -104,11 +107,14 @@ public:
     /// Gauges check.failures / check.audits / check.transitions.
     void publish_metrics();
 
-    // --- hafnium::AuditItf (SPM hook points) --------------------------------
+    // --- SPM hook points ----------------------------------------------------
+    /// VcpuAuditSink: every VCPU state transition.
     void on_vcpu_state(hafnium::Vcpu& vcpu, hafnium::VcpuState from,
                        hafnium::VcpuState to) override;
-    void on_hypercall(arch::CoreId core, arch::VmId caller, hafnium::Call call,
-                      const hafnium::HfResult& result) override;
+    /// HypercallInterceptor (Stage::kAudit): scan cadence after every call.
+    /// Strict mode may throw CheckViolation from here.
+    void after(const hafnium::HypercallSite& site,
+               const hafnium::HfResult& result) override;
 
 private:
     void record(CheckFailure f);  ///< dedup, retain, obs event, strict throw

@@ -52,11 +52,9 @@ JobControl::JobControl(Node& node) : node_(&node) {
     auto check = [](const hafnium::HfResult& r, const char* what) {
         if (!r.ok()) throw std::runtime_error(std::string("JobControl: ") + what);
     };
-    check(spm.hypercall(0, primary_id, hafnium::Call::kVmConfigure,
-                        {primary_send_, primary_recv_, 0, 0}),
+    check(hf::vm_configure(spm, 0, primary_id, primary_send_, primary_recv_),
           "primary mailbox configure failed");
-    check(spm.hypercall(0, login_id, hafnium::Call::kVmConfigure,
-                        {login_send_, login_recv_, 0, 0}),
+    check(hf::vm_configure(spm, 0, login_id, login_send_, login_recv_),
           "login mailbox configure failed");
 
     // Session keys for the authenticated channel, derived from the measured
@@ -83,8 +81,8 @@ bool JobControl::try_send_words(arch::VmId from, arch::VmId to,
             throw std::runtime_error("JobControl: send buffer write failed");
         }
     }
-    return spm
-        .hypercall(0, from, hafnium::Call::kMsgSend, {to, words.size() * 8, 0, 0})
+    return hf::msg_send(spm, 0, from, to,
+                        static_cast<std::uint32_t>(words.size() * 8))
         .ok();
 }
 
@@ -96,7 +94,7 @@ void JobControl::on_primary_message(arch::VmId from) {
     for (std::size_t i = 0; i < words.size(); ++i) {
         spm.vm_read64(arch::kPrimaryVmId, primary_recv_ + i * 8, words[i]);
     }
-    spm.hypercall(0, arch::kPrimaryVmId, hafnium::Call::kRxRelease, {});
+    hf::rx_release(spm, 0, arch::kPrimaryVmId);
     (void)from;
     const auto payload = unseal(words, cmd_key_, cmd_recv_ctr_);
     if (!payload) {
@@ -117,8 +115,7 @@ void JobControl::on_login_message() {
     for (std::size_t i = 0; i < words.size(); ++i) {
         spm.vm_read64(login.id(), login_recv_ + i * 8, words[i]);
     }
-    spm.hypercall(login.vcpu(0).assigned_core, login.id(), hafnium::Call::kRxRelease,
-                  {});
+    hf::rx_release(spm, login.vcpu(0).assigned_core, login.id());
     const auto payload = unseal(words, reply_key_, reply_recv_ctr_);
     if (!payload) {
         ++rejected_frames_;
@@ -203,8 +200,8 @@ void JobControl::execute(const JobCommand& cmd) {
             break;
         }
         case JobOp::kQueryVm: {
-            const hafnium::HfResult r = spm.hypercall(
-                0, arch::kPrimaryVmId, hafnium::Call::kVmGetInfo, {cmd.vm, 0, 0, 0});
+            const hafnium::HfResult r =
+                hf::vm_get_info(spm, 0, arch::kPrimaryVmId, cmd.vm);
             reply.status = r.ok() ? 0 : -1;
             reply.value = static_cast<std::uint64_t>(r.value);
             break;

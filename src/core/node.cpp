@@ -143,6 +143,17 @@ void Node::boot_hafnium() {
 
     spm_ = std::make_unique<hafnium::Spm>(*platform_, manifest, config_.routing);
 
+    // The kHypercall trace instant comes from the interceptor chain, not an
+    // inline recorder call in the SPM hot path; attach it before boot so the
+    // event stream starts with the first hypercall, as it always did.
+    telemetry_ = std::make_unique<hafnium::TelemetryInterceptor>(*platform_);
+    spm_->attach_interceptor(telemetry_.get());
+    if (config_.call_metrics) {
+        call_metrics_ = std::make_unique<hafnium::CallMetricsInterceptor>(
+            platform_->metrics());
+        spm_->attach_interceptor(call_metrics_.get());
+    }
+
     // Attach the invariant auditor before boot so the whole boot sequence
     // (stage-2 construction, first VCPU transitions) is already audited.
     if (config_.check_mode != check::Mode::kOff) {

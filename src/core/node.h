@@ -69,6 +69,10 @@ struct NodeConfig {
     int check_period = 64;
     std::uint64_t check_event_period = 100'000;
 
+    /// Attach a CallMetricsInterceptor at boot: per-call-number invocation
+    /// and error counters published as "hf.call.*" / "hf.call_err.*".
+    bool call_metrics = false;
+
     /// When set, VM images must verify against `trusted_keys` at boot.
     bool verify_signatures = false;
     std::vector<SignedImage> signed_images;
@@ -179,6 +183,10 @@ private:
     NodeConfig config_;
     std::unique_ptr<arch::Platform> platform_;
     std::unique_ptr<hafnium::Spm> spm_;
+    /// Boot-time interceptors (after spm_: they die first, the SPM never
+    /// invokes its chain from its own destructor).
+    std::unique_ptr<hafnium::TelemetryInterceptor> telemetry_;
+    std::unique_ptr<hafnium::CallMetricsInterceptor> call_metrics_;
     std::unique_ptr<check::Auditor> auditor_;  ///< after spm_: detaches first
     std::unique_ptr<kitten::KittenKernel> kitten_;
     std::unique_ptr<linux_fwk::LinuxKernel> linux_;

@@ -1,0 +1,118 @@
+#include "hafnium/abi.h"
+
+#include "hafnium/spm.h"
+
+namespace hpcsec::hf {
+
+using hafnium::Call;
+using hafnium::Spm;
+namespace abi = hafnium::abi;
+
+HfResult version(Spm& spm, arch::CoreId core, arch::VmId caller) {
+    return spm.hypercall(core, caller, Call::kVersion, abi::Empty{}.encode());
+}
+
+HfResult vm_get_count(Spm& spm, arch::CoreId core, arch::VmId caller) {
+    return spm.hypercall(core, caller, Call::kVmGetCount, abi::Empty{}.encode());
+}
+
+HfResult vcpu_get_count(Spm& spm, arch::CoreId core, arch::VmId caller,
+                        arch::VmId target) {
+    return spm.hypercall(core, caller, Call::kVcpuGetCount,
+                         abi::VcpuGetCountArgs{target}.encode());
+}
+
+HfResult vm_get_info(Spm& spm, arch::CoreId core, arch::VmId caller,
+                     arch::VmId target) {
+    return spm.hypercall(core, caller, Call::kVmGetInfo,
+                         abi::VmGetInfoArgs{target}.encode());
+}
+
+HfResult vcpu_run(Spm& spm, arch::CoreId core, arch::VmId caller,
+                  arch::VmId target, int vcpu) {
+    return spm.hypercall(core, caller, Call::kVcpuRun,
+                         abi::VcpuRunArgs{target, vcpu}.encode());
+}
+
+HfResult vm_configure(Spm& spm, arch::CoreId core, arch::VmId caller,
+                      arch::IpaAddr send_ipa, arch::IpaAddr recv_ipa) {
+    return spm.hypercall(core, caller, Call::kVmConfigure,
+                         abi::VmConfigureArgs{send_ipa, recv_ipa}.encode());
+}
+
+HfResult msg_send(Spm& spm, arch::CoreId core, arch::VmId caller, arch::VmId to,
+                  std::uint32_t size) {
+    return spm.hypercall(core, caller, Call::kMsgSend,
+                         abi::MsgSendArgs{to, size}.encode());
+}
+
+HfResult msg_wait(Spm& spm, arch::CoreId core, arch::VmId caller) {
+    return spm.hypercall(core, caller, Call::kMsgWait, abi::Empty{}.encode());
+}
+
+HfResult yield(Spm& spm, arch::CoreId core, arch::VmId caller) {
+    return spm.hypercall(core, caller, Call::kYield, abi::Empty{}.encode());
+}
+
+HfResult rx_release(Spm& spm, arch::CoreId core, arch::VmId caller) {
+    return spm.hypercall(core, caller, Call::kRxRelease, abi::Empty{}.encode());
+}
+
+HfResult mem_share(Spm& spm, arch::CoreId core, arch::VmId caller, arch::VmId to,
+                   arch::IpaAddr owner_ipa, std::uint64_t pages,
+                   arch::IpaAddr borrower_ipa) {
+    return spm.hypercall(
+        core, caller, Call::kMemShare,
+        abi::MemShareArgs{to, owner_ipa, pages, borrower_ipa}.encode());
+}
+
+HfResult mem_lend(Spm& spm, arch::CoreId core, arch::VmId caller, arch::VmId to,
+                  arch::IpaAddr owner_ipa, std::uint64_t pages,
+                  arch::IpaAddr borrower_ipa) {
+    return spm.hypercall(
+        core, caller, Call::kMemLend,
+        abi::MemLendArgs{to, owner_ipa, pages, borrower_ipa}.encode());
+}
+
+HfResult mem_donate(Spm& spm, arch::CoreId core, arch::VmId caller, arch::VmId to,
+                    arch::IpaAddr owner_ipa, std::uint64_t pages,
+                    arch::IpaAddr borrower_ipa) {
+    return spm.hypercall(
+        core, caller, Call::kMemDonate,
+        abi::MemDonateArgs{to, owner_ipa, pages, borrower_ipa}.encode());
+}
+
+HfResult mem_reclaim(Spm& spm, arch::CoreId core, arch::VmId caller,
+                     arch::VmId borrower, arch::IpaAddr owner_ipa) {
+    return spm.hypercall(core, caller, Call::kMemReclaim,
+                         abi::MemReclaimArgs{borrower, owner_ipa}.encode());
+}
+
+HfResult interrupt_enable(Spm& spm, arch::CoreId core, arch::VmId caller,
+                          int virq, int vcpu) {
+    return spm.hypercall(core, caller, Call::kInterruptEnable,
+                         abi::InterruptEnableArgs{virq, vcpu}.encode());
+}
+
+HfResult interrupt_get(Spm& spm, arch::CoreId core, arch::VmId caller) {
+    return spm.hypercall(core, caller, Call::kInterruptGet, abi::Empty{}.encode());
+}
+
+HfResult interrupt_inject(Spm& spm, arch::CoreId core, arch::VmId caller,
+                          arch::VmId target, int vcpu, int virq) {
+    return spm.hypercall(core, caller, Call::kInterruptInject,
+                         abi::InterruptInjectArgs{target, vcpu, virq}.encode());
+}
+
+HfResult vtimer_set(Spm& spm, arch::CoreId core, arch::VmId caller,
+                    sim::SimTime deadline, int vcpu) {
+    return spm.hypercall(core, caller, Call::kVtimerSet,
+                         abi::VtimerSetArgs{deadline, vcpu}.encode());
+}
+
+HfResult vtimer_cancel(Spm& spm, arch::CoreId core, arch::VmId caller, int vcpu) {
+    return spm.hypercall(core, caller, Call::kVtimerCancel,
+                         abi::VtimerCancelArgs{vcpu}.encode());
+}
+
+}  // namespace hpcsec::hf

@@ -1,0 +1,272 @@
+// Typed hypercall ABI: one request struct per hafnium::Call, plus the
+// `hf::` wrapper functions every caller outside src/hafnium uses.
+//
+// The structs are the single source of truth for register marshalling.
+// encode() packs a request into the four call registers (HfArgs a0..a3);
+// decode() is the gate-side inverse and *range-checks every narrowing*:
+// a register value that does not fit the typed field (e.g. a VM id above
+// 0xffff, a VCPU index above INT32_MAX) fails the decode and the gate
+// answers kInvalid without the handler ever seeing the call. Registers a
+// call does not use are ignored on decode, like a real SMCCC interface.
+//
+// See docs/ABI.md for the call table and how to add a call.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/types.h"
+#include "hafnium/hypercall.h"
+#include "hafnium/manifest.h"
+#include "sim/time.h"
+
+namespace hpcsec::hafnium::abi {
+
+namespace detail {
+inline bool fits_vm_id(std::uint64_t v) { return v <= 0xffffu; }
+inline bool fits_i32(std::uint64_t v) { return v <= 0x7fffffffu; }
+inline bool fits_u32(std::uint64_t v) { return v <= 0xffffffffu; }
+}  // namespace detail
+
+/// kVersion, kVmGetCount, kMsgWait, kYield, kRxRelease, kInterruptGet.
+struct Empty {
+    [[nodiscard]] HfArgs encode() const { return {}; }
+    static bool decode(const HfArgs&, Empty&) { return true; }
+};
+
+/// kVcpuGetCount, kVmGetInfo: a0 = target VM id.
+struct VmTarget {
+    arch::VmId vm = 0;
+
+    [[nodiscard]] HfArgs encode() const { return {vm, 0, 0, 0}; }
+    static bool decode(const HfArgs& a, VmTarget& out) {
+        if (!detail::fits_vm_id(a.a0)) return false;
+        out.vm = static_cast<arch::VmId>(a.a0);
+        return true;
+    }
+};
+using VcpuGetCountArgs = VmTarget;
+using VmGetInfoArgs = VmTarget;
+
+/// kVcpuRun: a0 = target VM id, a1 = VCPU index.
+struct VcpuRunArgs {
+    arch::VmId vm = 0;
+    std::int32_t vcpu = 0;
+
+    [[nodiscard]] HfArgs encode() const {
+        return {vm, static_cast<std::uint64_t>(vcpu), 0, 0};
+    }
+    static bool decode(const HfArgs& a, VcpuRunArgs& out) {
+        if (!detail::fits_vm_id(a.a0) || !detail::fits_i32(a.a1)) return false;
+        out.vm = static_cast<arch::VmId>(a.a0);
+        out.vcpu = static_cast<std::int32_t>(a.a1);
+        return true;
+    }
+};
+
+/// kVmConfigure: a0 = send page IPA, a1 = recv page IPA.
+struct VmConfigureArgs {
+    arch::IpaAddr send_ipa = 0;
+    arch::IpaAddr recv_ipa = 0;
+
+    [[nodiscard]] HfArgs encode() const { return {send_ipa, recv_ipa, 0, 0}; }
+    static bool decode(const HfArgs& a, VmConfigureArgs& out) {
+        out.send_ipa = a.a0;
+        out.recv_ipa = a.a1;
+        return true;
+    }
+};
+
+/// kMsgSend: a0 = destination VM id, a1 = payload size in bytes.
+struct MsgSendArgs {
+    arch::VmId to = 0;
+    std::uint32_t size = 0;
+
+    [[nodiscard]] HfArgs encode() const { return {to, size, 0, 0}; }
+    static bool decode(const HfArgs& a, MsgSendArgs& out) {
+        if (!detail::fits_vm_id(a.a0) || !detail::fits_u32(a.a1)) return false;
+        out.to = static_cast<arch::VmId>(a.a0);
+        out.size = static_cast<std::uint32_t>(a.a1);
+        return true;
+    }
+};
+
+/// kMemShare / kMemLend / kMemDonate: a0 = borrower VM id, a1 = owner IPA,
+/// a2 = page count, a3 = IPA in the borrower's address space.
+struct MemShareArgs {
+    arch::VmId to = 0;
+    arch::IpaAddr owner_ipa = 0;
+    std::uint64_t pages = 0;
+    arch::IpaAddr borrower_ipa = 0;
+
+    [[nodiscard]] HfArgs encode() const {
+        return {to, owner_ipa, pages, borrower_ipa};
+    }
+    static bool decode(const HfArgs& a, MemShareArgs& out) {
+        if (!detail::fits_vm_id(a.a0)) return false;
+        out.to = static_cast<arch::VmId>(a.a0);
+        out.owner_ipa = a.a1;
+        out.pages = a.a2;
+        out.borrower_ipa = a.a3;
+        return true;
+    }
+};
+using MemLendArgs = MemShareArgs;
+using MemDonateArgs = MemShareArgs;
+
+/// kMemReclaim: a0 = borrower VM id, a1 = owner IPA of the grant.
+struct MemReclaimArgs {
+    arch::VmId borrower = 0;
+    arch::IpaAddr owner_ipa = 0;
+
+    [[nodiscard]] HfArgs encode() const { return {borrower, owner_ipa, 0, 0}; }
+    static bool decode(const HfArgs& a, MemReclaimArgs& out) {
+        if (!detail::fits_vm_id(a.a0)) return false;
+        out.borrower = static_cast<arch::VmId>(a.a0);
+        out.owner_ipa = a.a1;
+        return true;
+    }
+};
+
+/// kInterruptEnable: a0 = virq id, a1 = VCPU index (used when the caller is
+/// not currently running on the calling core).
+struct InterruptEnableArgs {
+    std::int32_t virq = 0;
+    std::int32_t vcpu = 0;
+
+    [[nodiscard]] HfArgs encode() const {
+        return {static_cast<std::uint64_t>(virq), static_cast<std::uint64_t>(vcpu),
+                0, 0};
+    }
+    static bool decode(const HfArgs& a, InterruptEnableArgs& out) {
+        if (!detail::fits_i32(a.a0) || !detail::fits_i32(a.a1)) return false;
+        out.virq = static_cast<std::int32_t>(a.a0);
+        out.vcpu = static_cast<std::int32_t>(a.a1);
+        return true;
+    }
+};
+
+/// kInterruptInject: a0 = target VM id, a1 = VCPU index, a2 = virq id.
+struct InterruptInjectArgs {
+    arch::VmId vm = 0;
+    std::int32_t vcpu = 0;
+    std::int32_t virq = 0;
+
+    [[nodiscard]] HfArgs encode() const {
+        return {vm, static_cast<std::uint64_t>(vcpu),
+                static_cast<std::uint64_t>(virq), 0};
+    }
+    static bool decode(const HfArgs& a, InterruptInjectArgs& out) {
+        if (!detail::fits_vm_id(a.a0) || !detail::fits_i32(a.a1) ||
+            !detail::fits_i32(a.a2)) {
+            return false;
+        }
+        out.vm = static_cast<arch::VmId>(a.a0);
+        out.vcpu = static_cast<std::int32_t>(a.a1);
+        out.virq = static_cast<std::int32_t>(a.a2);
+        return true;
+    }
+};
+
+/// kVtimerSet: a0 = absolute deadline (sim time), a1 = VCPU index.
+struct VtimerSetArgs {
+    sim::SimTime deadline = 0;
+    std::int32_t vcpu = 0;
+
+    [[nodiscard]] HfArgs encode() const {
+        return {deadline, static_cast<std::uint64_t>(vcpu), 0, 0};
+    }
+    static bool decode(const HfArgs& a, VtimerSetArgs& out) {
+        if (!detail::fits_i32(a.a1)) return false;
+        out.deadline = a.a0;
+        out.vcpu = static_cast<std::int32_t>(a.a1);
+        return true;
+    }
+};
+
+/// kVtimerCancel: a1 = VCPU index (a0 unused, mirrors kVtimerSet's layout).
+struct VtimerCancelArgs {
+    std::int32_t vcpu = 0;
+
+    [[nodiscard]] HfArgs encode() const {
+        return {0, static_cast<std::uint64_t>(vcpu), 0, 0};
+    }
+    static bool decode(const HfArgs& a, VtimerCancelArgs& out) {
+        if (!detail::fits_i32(a.a1)) return false;
+        out.vcpu = static_cast<std::int32_t>(a.a1);
+        return true;
+    }
+};
+
+/// Decoded kVmGetInfo result word (role | world | vcpus).
+struct VmInfo {
+    VmRole role = VmRole::kSecondary;
+    arch::World world = arch::World::kNonSecure;
+    int vcpus = 0;
+};
+
+[[nodiscard]] inline std::int64_t encode_vm_info(VmRole role, arch::World world,
+                                                 int vcpus) {
+    return (static_cast<std::int64_t>(role) << 32) |
+           (static_cast<std::int64_t>(world) << 16) | vcpus;
+}
+
+[[nodiscard]] inline VmInfo decode_vm_info(std::int64_t value) {
+    VmInfo info;
+    info.role = static_cast<VmRole>((value >> 32) & 0xffff);
+    info.world = static_cast<arch::World>((value >> 16) & 0xffff);
+    info.vcpus = static_cast<int>(value & 0xffff);
+    return info;
+}
+
+}  // namespace hpcsec::hafnium::abi
+
+namespace hpcsec::hafnium {
+class Spm;
+}  // namespace hpcsec::hafnium
+
+// Typed call wrappers: the only way code outside src/hafnium issues
+// hypercalls. Each wrapper packs its request through the abi:: struct and
+// goes through the full gate (privilege check, interceptors, stats), so a
+// wrapper call is indistinguishable from a guest-marshalled one.
+namespace hpcsec::hf {
+
+using hafnium::HfResult;
+
+HfResult version(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller);
+HfResult vm_get_count(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller);
+HfResult vcpu_get_count(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                        arch::VmId target);
+HfResult vm_get_info(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                     arch::VmId target);
+HfResult vcpu_run(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                  arch::VmId target, int vcpu);
+HfResult vm_configure(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                      arch::IpaAddr send_ipa, arch::IpaAddr recv_ipa);
+HfResult msg_send(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                  arch::VmId to, std::uint32_t size);
+HfResult msg_wait(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller);
+HfResult yield(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller);
+HfResult rx_release(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller);
+HfResult mem_share(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                   arch::VmId to, arch::IpaAddr owner_ipa, std::uint64_t pages,
+                   arch::IpaAddr borrower_ipa);
+HfResult mem_lend(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                  arch::VmId to, arch::IpaAddr owner_ipa, std::uint64_t pages,
+                  arch::IpaAddr borrower_ipa);
+HfResult mem_donate(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                    arch::VmId to, arch::IpaAddr owner_ipa, std::uint64_t pages,
+                    arch::IpaAddr borrower_ipa);
+HfResult mem_reclaim(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                     arch::VmId borrower, arch::IpaAddr owner_ipa);
+HfResult interrupt_enable(hafnium::Spm& spm, arch::CoreId core,
+                          arch::VmId caller, int virq, int vcpu);
+HfResult interrupt_get(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller);
+HfResult interrupt_inject(hafnium::Spm& spm, arch::CoreId core,
+                          arch::VmId caller, arch::VmId target, int vcpu,
+                          int virq);
+HfResult vtimer_set(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                    sim::SimTime deadline, int vcpu);
+HfResult vtimer_cancel(hafnium::Spm& spm, arch::CoreId core, arch::VmId caller,
+                       int vcpu);
+
+}  // namespace hpcsec::hf

@@ -8,6 +8,7 @@
 // calling core.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -24,8 +25,8 @@ enum class Call : std::uint32_t {
     kVmConfigure = 0x11,    ///< set mailbox send/recv IPA pages
     kMsgSend = 0x12,        ///< copy send buffer to target's recv buffer
     kMsgWait = 0x13,        ///< block until a message arrives
-    kRxRelease = 0x15,      ///< mark the recv buffer consumed (FFA_RX_RELEASE)
     kYield = 0x14,          ///< give the slice back to the scheduler
+    kRxRelease = 0x15,      ///< mark the recv buffer consumed (FFA_RX_RELEASE)
     kMemShare = 0x20,       ///< share own pages with another VM (both keep access)
     kMemReclaim = 0x21,     ///< revoke a previous share/lend
     kMemLend = 0x22,        ///< lend pages: borrower gains, owner loses access
@@ -38,6 +39,14 @@ enum class Call : std::uint32_t {
 };
 
 [[nodiscard]] std::string to_string(Call c);
+
+/// Number of distinct hypercalls in the ABI. Must match the number of Call
+/// enumerators and the number of rows in Spm::call_table() (tools/lint.py
+/// cross-checks both).
+inline constexpr std::size_t kCallCount = 19;
+
+/// One past the highest call number; sizes the O(1) dispatch lookup table.
+inline constexpr std::uint32_t kCallNumberSpace = 0x35;
 
 enum class HfError : std::int32_t {
     kOk = 0,

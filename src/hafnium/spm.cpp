@@ -1,5 +1,6 @@
 #include "hafnium/spm.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hpcsec::hafnium {
@@ -201,7 +202,7 @@ Vm* Spm::super_secondary() {
 
 void Spm::attach_guest(arch::VmId id, GuestOsItf* os) { guest_os_[id] = os; }
 
-void Spm::attach_audit(AuditItf* audit) {
+void Spm::attach_audit(VcpuAuditSink* audit) {
     audit_ = audit;
     for (auto& vm : vms_) {
         for (int v = 0; v < vm->vcpu_count(); ++v) vm->vcpu(v).set_audit(audit);
@@ -517,166 +518,279 @@ void Spm::on_core_idle(arch::CoreId core, arch::Runnable* finished) {
 // Hypercalls
 // --------------------------------------------------------------------------
 
-HfResult Spm::hypercall(arch::CoreId core, arch::VmId caller, Call call, HfArgs args) {
-    const HfResult result = hypercall_impl(core, caller, call, args);
-    if (audit_ != nullptr) audit_->on_hypercall(core, caller, call, result);
-    return result;
+// The dispatch table: one declarative row per call — privilege mask, cost
+// rule, typed-decode thunk, handler. Adding a call is one row here plus a
+// handler; tools/lint.py fails the build unless every Call enumerator has
+// a row.
+const std::array<Spm::CallDescriptor, kCallCount>& Spm::call_table() {
+    static const std::array<CallDescriptor, kCallCount> kCallTable{{
+        {Call::kVersion, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::Empty, &Spm::on_version>},
+        {Call::kVmGetCount, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::Empty, &Spm::on_vm_get_count>},
+        {Call::kVcpuGetCount, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::VcpuGetCountArgs, &Spm::on_vcpu_get_count>},
+        {Call::kVmGetInfo, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::VmGetInfoArgs, &Spm::on_vm_get_info>},
+        // "These privileges include … the ability to assume control over
+        // CPU cores" — primary only; the super-secondary is explicitly
+        // denied.
+        {Call::kVcpuRun, kRolePrimary, CallCost::kHandlerCharged,
+         &Spm::invoke_thunk<abi::VcpuRunArgs, &Spm::on_vcpu_run>},
+        {Call::kVmConfigure, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::VmConfigureArgs, &Spm::on_vm_configure>},
+        {Call::kMsgSend, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::MsgSendArgs, &Spm::on_msg_send>},
+        {Call::kMsgWait, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::Empty, &Spm::on_msg_wait>},
+        {Call::kYield, kAnyRole, CallCost::kHandlerCharged,
+         &Spm::invoke_thunk<abi::Empty, &Spm::on_yield>},
+        {Call::kRxRelease, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::Empty, &Spm::on_rx_release>},
+        {Call::kMemShare, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::MemShareArgs, &Spm::on_mem_share>},
+        {Call::kMemReclaim, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::MemReclaimArgs, &Spm::on_mem_reclaim>},
+        {Call::kMemLend, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::MemLendArgs, &Spm::on_mem_lend>},
+        {Call::kMemDonate, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::MemDonateArgs, &Spm::on_mem_donate>},
+        {Call::kInterruptEnable, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::InterruptEnableArgs, &Spm::on_interrupt_enable>},
+        {Call::kInterruptGet, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::Empty, &Spm::on_interrupt_get>},
+        // Primary (or super-secondary forwarding path) only.
+        {Call::kInterruptInject, kRolePrimary | kRoleSuperSecondary,
+         CallCost::kFree,
+         &Spm::invoke_thunk<abi::InterruptInjectArgs, &Spm::on_interrupt_inject>},
+        {Call::kVtimerSet, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::VtimerSetArgs, &Spm::on_vtimer_set>},
+        {Call::kVtimerCancel, kAnyRole, CallCost::kFree,
+         &Spm::invoke_thunk<abi::VtimerCancelArgs, &Spm::on_vtimer_cancel>},
+    }};
+    return kCallTable;
 }
 
-HfResult Spm::hypercall_impl(arch::CoreId core, arch::VmId caller, Call call,
-                             const HfArgs& args) {
-    ++stats_.hypercalls;
-    platform_->recorder().instant(platform_->engine().now(),
-                                  obs::EventType::kHypercall, core,
-                                  static_cast<std::int64_t>(call), caller);
-    if (caller == 0 || caller > vms_.size()) return {HfError::kNotFound, 0};
-    Vm& cvm = vm(caller);
+namespace {
 
-    switch (call) {
-        case Call::kVersion:
-            return {HfError::kOk, kSpmVersion};
-        case Call::kVmGetCount:
-            return {HfError::kOk, vm_count()};
-        case Call::kVcpuGetCount: {
-            const auto id = static_cast<arch::VmId>(args.a0);
-            if (id == 0 || id > vms_.size()) return {HfError::kNotFound, 0};
-            return {HfError::kOk, vm(id).vcpu_count()};
-        }
-        case Call::kVmGetInfo: {
-            const auto id = static_cast<arch::VmId>(args.a0);
-            if (id == 0 || id > vms_.size()) return {HfError::kNotFound, 0};
-            const Vm& target = vm(id);
-            // Packed info word: role | world | vcpus.
-            const std::int64_t info =
-                (static_cast<std::int64_t>(target.role()) << 32) |
-                (static_cast<std::int64_t>(target.world()) << 16) |
-                target.vcpu_count();
-            return {HfError::kOk, info};
-        }
-        case Call::kVcpuRun:
-            return call_vcpu_run(core, caller, args);
-        case Call::kVmConfigure: {
-            // a0 = send IPA, a1 = recv IPA; both must be mapped pages.
-            if (vm_translate(caller, args.a0).fault != arch::FaultKind::kNone ||
-                vm_translate(caller, args.a1).fault != arch::FaultKind::kNone) {
-                return {HfError::kInvalid, 0};
-            }
-            cvm.mailbox.configured = true;
-            cvm.mailbox.send_ipa = args.a0;
-            cvm.mailbox.recv_ipa = args.a1;
-            return {HfError::kOk, 0};
-        }
-        case Call::kMsgSend:
-            return call_msg_send(core, caller, args);
-        case Call::kMsgWait: {
-            if (cvm.mailbox.configured && cvm.mailbox.recv_full) {
-                return {HfError::kOk, cvm.mailbox.recv_size};
-            }
-            return {HfError::kRetry, 0};
-        }
-        case Call::kRxRelease: {
-            if (!cvm.mailbox.configured) return {HfError::kInvalid, 0};
-            cvm.mailbox.recv_full = false;
-            cvm.mailbox.recv_size = 0;
-            return {HfError::kOk, 0};
-        }
-        case Call::kYield: {
-            Vcpu* rv = running_vcpu_on(core);
-            if (rv == nullptr || &rv->vm() != &cvm) return {HfError::kInvalid, 0};
-            platform_->core(core).exec().preempt();
-            exit_vcpu(core, *rv, ExitReason::kYield,
-                      platform_->perf().hypercall_roundtrip +
-                          platform_->perf().world_switch);
-            return {HfError::kOk, 0};
-        }
-        case Call::kMemShare:
-            return call_mem_share(caller, args, /*exclusive=*/false);
-        case Call::kMemLend:
-            return call_mem_share(caller, args, /*exclusive=*/true);
-        case Call::kMemDonate:
-            return call_mem_donate(caller, args);
-        case Call::kMemReclaim:
-            return call_mem_reclaim(caller, args);
-        case Call::kInterruptEnable: {
-            Vcpu* rv = running_vcpu_on(core);
-            const int vcpu_idx = static_cast<int>(args.a1);
-            Vcpu* target = rv != nullptr && &rv->vm() == &cvm
-                               ? rv
-                               : (vcpu_idx < cvm.vcpu_count() ? &cvm.vcpu(vcpu_idx)
-                                                              : nullptr);
-            if (target == nullptr) return {HfError::kInvalid, 0};
-            target->vgic.enabled.insert(static_cast<int>(args.a0));
-            return {HfError::kOk, 0};
-        }
-        case Call::kInterruptGet: {
-            Vcpu* rv = running_vcpu_on(core);
-            if (rv == nullptr || &rv->vm() != &cvm) return {HfError::kInvalid, 0};
-            if (const auto next = rv->vgic.next_deliverable()) {
-                rv->vgic.pending.erase(*next);
-                return {HfError::kOk, *next};
-            }
-            return {HfError::kOk, -1};
-        }
-        case Call::kInterruptInject: {
-            // Primary (or super-secondary forwarding path) only.
-            if (cvm.role() == VmRole::kSecondary) {
-                ++stats_.denied_calls;
-                return {HfError::kDenied, 0};
-            }
-            const auto target_id = static_cast<arch::VmId>(args.a0);
-            const int vcpu_idx = static_cast<int>(args.a1);
-            const int virq = static_cast<int>(args.a2);
-            if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
-            Vm& target = vm(target_id);
-            if (vcpu_idx < 0 || vcpu_idx >= target.vcpu_count()) {
-                return {HfError::kInvalid, 0};
-            }
-            inject_virq(target.vcpu(vcpu_idx), virq);
-            if (cvm.role() == VmRole::kPrimary && virq >= arch::kSpiBase) {
-                ++stats_.forwarded_device_irqs;
-            }
-            return {HfError::kOk, 0};
-        }
-        case Call::kVtimerSet: {
-            const int vcpu_idx = static_cast<int>(args.a1);
-            if (vcpu_idx < 0 || vcpu_idx >= cvm.vcpu_count()) {
-                return {HfError::kInvalid, 0};
-            }
-            Vcpu& target = cvm.vcpu(vcpu_idx);
-            target.vtimer_armed = true;
-            target.vtimer_deadline = args.a0;
-            if (target.running_core == core && running_vcpu_on(core) == &target) {
-                platform_->core(core).timer().set_deadline(arch::TimerChannel::kVirt,
-                                                           target.vtimer_deadline);
-            }
-            return {HfError::kOk, 0};
-        }
-        case Call::kVtimerCancel: {
-            const int vcpu_idx = static_cast<int>(args.a1);
-            if (vcpu_idx < 0 || vcpu_idx >= cvm.vcpu_count()) {
-                return {HfError::kInvalid, 0};
-            }
-            Vcpu& target = cvm.vcpu(vcpu_idx);
-            target.vtimer_armed = false;
-            target.vtimer_deadline = sim::kTimeNever;
-            if (target.running_core == core && running_vcpu_on(core) == &target) {
-                platform_->core(core).timer().cancel(arch::TimerChannel::kVirt);
-            }
-            return {HfError::kOk, 0};
-        }
+// O(1) number -> row lookup, built once from the table.
+std::array<const Spm::CallDescriptor*, kCallNumberSpace> build_call_index() {
+    std::array<const Spm::CallDescriptor*, kCallNumberSpace> index{};
+    for (const auto& row : Spm::call_table()) {
+        index[static_cast<std::size_t>(row.call)] = &row;
     }
-    return {HfError::kInvalid, 0};
+    return index;
 }
 
-HfResult Spm::call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& a) {
-    // "These privileges include … the ability to assume control over CPU
-    // cores" — primary only. The super-secondary is explicitly denied.
-    if (vm(caller).role() != VmRole::kPrimary) {
+const std::array<const Spm::CallDescriptor*, kCallNumberSpace> kCallIndex =
+    build_call_index();
+
+}  // namespace
+
+const Spm::CallDescriptor* Spm::descriptor(Call call) {
+    const auto number = static_cast<std::uint32_t>(call);
+    return number < kCallNumberSpace ? kCallIndex[number] : nullptr;
+}
+
+HfResult Spm::dispatch(arch::CoreId core, arch::VmId caller, Call call,
+                       const HfArgs& args) {
+    const CallDescriptor* desc = descriptor(call);
+    if (desc == nullptr) {
+        // Unknown call number: malformed guest input stops at the gate.
+        ++stats_.invalid_calls;
+        return {HfError::kInvalid, 0};
+    }
+    if (caller == 0 || caller > vms_.size()) return {HfError::kNotFound, 0};
+    const auto role_bit = static_cast<std::uint8_t>(
+        1u << static_cast<unsigned>(vms_[caller - 1]->role()));
+    if ((desc->privilege & role_bit) == 0) {
         ++stats_.denied_calls;
         return {HfError::kDenied, 0};
     }
-    const auto target_id = static_cast<arch::VmId>(a.a0);
-    const int vcpu_idx = static_cast<int>(a.a1);
+    return desc->invoke(*this, core, caller, args);
+}
+
+HfResult Spm::hypercall(arch::CoreId core, arch::VmId caller, Call call, HfArgs args) {
+    ++stats_.hypercalls;
+    if (interceptors_.empty()) [[likely]] {
+        return dispatch(core, caller, call, args);
+    }
+    return hypercall_intercepted(core, caller, call, args);
+}
+
+HfResult Spm::hypercall_intercepted(arch::CoreId core, arch::VmId caller,
+                                    Call call, const HfArgs& args) {
+    const HypercallSite site{core, caller, call, args};
+    HfResult result{};
+    bool injected = false;
+    for (HypercallInterceptor* icpt : interceptors_) {
+        if (auto forced = icpt->before(site)) {
+            result = *forced;
+            injected = true;
+            break;
+        }
+    }
+    if (!injected) result = dispatch(core, caller, call, args);
+    for (auto it = interceptors_.rbegin(); it != interceptors_.rend(); ++it) {
+        (*it)->after(site, result);
+    }
+    return result;
+}
+
+void Spm::attach_interceptor(HypercallInterceptor* interceptor) {
+    if (interceptor == nullptr) return;
+    if (std::find(interceptors_.begin(), interceptors_.end(), interceptor) !=
+        interceptors_.end()) {
+        return;
+    }
+    const auto pos = std::upper_bound(
+        interceptors_.begin(), interceptors_.end(), interceptor,
+        [](const HypercallInterceptor* a, const HypercallInterceptor* b) {
+            return a->stage() < b->stage();
+        });
+    interceptors_.insert(pos, interceptor);
+}
+
+void Spm::detach_interceptor(HypercallInterceptor* interceptor) {
+    const auto it =
+        std::find(interceptors_.begin(), interceptors_.end(), interceptor);
+    if (it != interceptors_.end()) interceptors_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// Call handlers (one per table row)
+// --------------------------------------------------------------------------
+
+HfResult Spm::on_version(arch::CoreId, arch::VmId, const abi::Empty&) {
+    return {HfError::kOk, kSpmVersion};
+}
+
+HfResult Spm::on_vm_get_count(arch::CoreId, arch::VmId, const abi::Empty&) {
+    return {HfError::kOk, vm_count()};
+}
+
+HfResult Spm::on_vcpu_get_count(arch::CoreId, arch::VmId,
+                                const abi::VcpuGetCountArgs& a) {
+    if (a.vm == 0 || a.vm > vms_.size()) return {HfError::kNotFound, 0};
+    return {HfError::kOk, vm(a.vm).vcpu_count()};
+}
+
+HfResult Spm::on_vm_get_info(arch::CoreId, arch::VmId, const abi::VmGetInfoArgs& a) {
+    if (a.vm == 0 || a.vm > vms_.size()) return {HfError::kNotFound, 0};
+    const Vm& target = vm(a.vm);
+    return {HfError::kOk,
+            abi::encode_vm_info(target.role(), target.world(), target.vcpu_count())};
+}
+
+HfResult Spm::on_vm_configure(arch::CoreId, arch::VmId caller,
+                              const abi::VmConfigureArgs& a) {
+    // Both mailbox pages must be mapped in the caller's stage-2.
+    if (vm_translate(caller, a.send_ipa).fault != arch::FaultKind::kNone ||
+        vm_translate(caller, a.recv_ipa).fault != arch::FaultKind::kNone) {
+        return {HfError::kInvalid, 0};
+    }
+    Vm& cvm = vm(caller);
+    cvm.mailbox.configured = true;
+    cvm.mailbox.send_ipa = a.send_ipa;
+    cvm.mailbox.recv_ipa = a.recv_ipa;
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_msg_wait(arch::CoreId, arch::VmId caller, const abi::Empty&) {
+    Vm& cvm = vm(caller);
+    if (cvm.mailbox.configured && cvm.mailbox.recv_full) {
+        return {HfError::kOk, cvm.mailbox.recv_size};
+    }
+    return {HfError::kRetry, 0};
+}
+
+HfResult Spm::on_rx_release(arch::CoreId, arch::VmId caller, const abi::Empty&) {
+    Vm& cvm = vm(caller);
+    if (!cvm.mailbox.configured) return {HfError::kInvalid, 0};
+    cvm.mailbox.recv_full = false;
+    cvm.mailbox.recv_size = 0;
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_yield(arch::CoreId core, arch::VmId caller, const abi::Empty&) {
+    Vcpu* rv = running_vcpu_on(core);
+    if (rv == nullptr || &rv->vm() != &vm(caller)) return {HfError::kInvalid, 0};
+    platform_->core(core).exec().preempt();
+    exit_vcpu(core, *rv, ExitReason::kYield,
+              platform_->perf().hypercall_roundtrip +
+                  platform_->perf().world_switch);
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_interrupt_enable(arch::CoreId core, arch::VmId caller,
+                                  const abi::InterruptEnableArgs& a) {
+    Vm& cvm = vm(caller);
+    Vcpu* rv = running_vcpu_on(core);
+    Vcpu* target = rv != nullptr && &rv->vm() == &cvm
+                       ? rv
+                       : (a.vcpu < cvm.vcpu_count() ? &cvm.vcpu(a.vcpu) : nullptr);
+    if (target == nullptr) return {HfError::kInvalid, 0};
+    target->vgic.enabled.insert(a.virq);
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_interrupt_get(arch::CoreId core, arch::VmId caller,
+                               const abi::Empty&) {
+    Vcpu* rv = running_vcpu_on(core);
+    if (rv == nullptr || &rv->vm() != &vm(caller)) return {HfError::kInvalid, 0};
+    if (const auto next = rv->vgic.next_deliverable()) {
+        rv->vgic.pending.erase(*next);
+        return {HfError::kOk, *next};
+    }
+    return {HfError::kOk, -1};
+}
+
+HfResult Spm::on_interrupt_inject(arch::CoreId, arch::VmId caller,
+                                  const abi::InterruptInjectArgs& a) {
+    if (a.vm == 0 || a.vm > vms_.size()) return {HfError::kNotFound, 0};
+    Vm& target = vm(a.vm);
+    if (a.vcpu < 0 || a.vcpu >= target.vcpu_count()) {
+        return {HfError::kInvalid, 0};
+    }
+    inject_virq(target.vcpu(a.vcpu), a.virq);
+    if (vm(caller).role() == VmRole::kPrimary && a.virq >= arch::kSpiBase) {
+        ++stats_.forwarded_device_irqs;
+    }
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_vtimer_set(arch::CoreId core, arch::VmId caller,
+                            const abi::VtimerSetArgs& a) {
+    Vm& cvm = vm(caller);
+    if (a.vcpu < 0 || a.vcpu >= cvm.vcpu_count()) return {HfError::kInvalid, 0};
+    Vcpu& target = cvm.vcpu(a.vcpu);
+    target.vtimer_armed = true;
+    target.vtimer_deadline = a.deadline;
+    if (target.running_core == core && running_vcpu_on(core) == &target) {
+        platform_->core(core).timer().set_deadline(arch::TimerChannel::kVirt,
+                                                   target.vtimer_deadline);
+    }
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_vtimer_cancel(arch::CoreId core, arch::VmId caller,
+                               const abi::VtimerCancelArgs& a) {
+    Vm& cvm = vm(caller);
+    if (a.vcpu < 0 || a.vcpu >= cvm.vcpu_count()) return {HfError::kInvalid, 0};
+    Vcpu& target = cvm.vcpu(a.vcpu);
+    target.vtimer_armed = false;
+    target.vtimer_deadline = sim::kTimeNever;
+    if (target.running_core == core && running_vcpu_on(core) == &target) {
+        platform_->core(core).timer().cancel(arch::TimerChannel::kVirt);
+    }
+    return {HfError::kOk, 0};
+}
+
+HfResult Spm::on_vcpu_run(arch::CoreId core, arch::VmId caller,
+                          const abi::VcpuRunArgs& a) {
+    (void)caller;  // privilege (primary only) already enforced by the gate
+    const arch::VmId target_id = a.vm;
+    const int vcpu_idx = a.vcpu;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     Vm& target = vm(target_id);
     if (target.destroyed) return {HfError::kNotFound, 0};
@@ -702,11 +816,12 @@ HfResult Spm::call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& 
     return {HfError::kOk, 0};
 }
 
-HfResult Spm::call_msg_send(arch::CoreId core, arch::VmId caller, const HfArgs& a) {
+HfResult Spm::on_msg_send(arch::CoreId core, arch::VmId caller,
+                          const abi::MsgSendArgs& a) {
     (void)core;
     Vm& from = vm(caller);
-    const auto target_id = static_cast<arch::VmId>(a.a0);
-    const auto size = static_cast<std::uint32_t>(a.a1);
+    const arch::VmId target_id = a.to;
+    const std::uint32_t size = a.size;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     Vm& to = vm(target_id);
     if (from.destroyed || to.destroyed) return {HfError::kNotFound, 0};
@@ -741,11 +856,23 @@ HfResult Spm::call_msg_send(arch::CoreId core, arch::VmId caller, const HfArgs& 
     return {HfError::kOk, 0};
 }
 
-HfResult Spm::call_mem_share(arch::VmId caller, const HfArgs& a, bool exclusive) {
-    const auto target_id = static_cast<arch::VmId>(a.a0);
-    const arch::IpaAddr own_ipa = a.a1;
-    const std::uint64_t pages = a.a2;
-    const arch::IpaAddr borrower_ipa = a.a3;
+HfResult Spm::on_mem_share(arch::CoreId, arch::VmId caller,
+                           const abi::MemShareArgs& a) {
+    return mem_grant(caller, a, /*exclusive=*/false);
+}
+
+HfResult Spm::on_mem_lend(arch::CoreId, arch::VmId caller,
+                          const abi::MemLendArgs& a) {
+    // FFA_MEM_LEND: the owner relinquishes access until reclaim.
+    return mem_grant(caller, a, /*exclusive=*/true);
+}
+
+HfResult Spm::mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
+                        bool exclusive) {
+    const arch::VmId target_id = a.to;
+    const arch::IpaAddr own_ipa = a.owner_ipa;
+    const std::uint64_t pages = a.pages;
+    const arch::IpaAddr borrower_ipa = a.borrower_ipa;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
     Vm& to = vm(target_id);
@@ -774,11 +901,12 @@ HfResult Spm::call_mem_share(arch::VmId caller, const HfArgs& a, bool exclusive)
     return {HfError::kOk, 0};
 }
 
-HfResult Spm::call_mem_donate(arch::VmId caller, const HfArgs& a) {
-    const auto target_id = static_cast<arch::VmId>(a.a0);
-    const arch::IpaAddr own_ipa = a.a1;
-    const std::uint64_t pages = a.a2;
-    const arch::IpaAddr borrower_ipa = a.a3;
+HfResult Spm::on_mem_donate(arch::CoreId, arch::VmId caller,
+                            const abi::MemDonateArgs& a) {
+    const arch::VmId target_id = a.to;
+    const arch::IpaAddr own_ipa = a.owner_ipa;
+    const std::uint64_t pages = a.pages;
+    const arch::IpaAddr borrower_ipa = a.borrower_ipa;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
     Vm& to = vm(target_id);
@@ -807,9 +935,10 @@ HfResult Spm::call_mem_donate(arch::VmId caller, const HfArgs& a) {
     return {HfError::kOk, 0};
 }
 
-HfResult Spm::call_mem_reclaim(arch::VmId caller, const HfArgs& a) {
-    const auto target_id = static_cast<arch::VmId>(a.a0);
-    const arch::IpaAddr own_ipa = a.a1;
+HfResult Spm::on_mem_reclaim(arch::CoreId, arch::VmId caller,
+                             const abi::MemReclaimArgs& a) {
+    const arch::VmId target_id = a.borrower;
+    const arch::IpaAddr own_ipa = a.owner_ipa;
     for (auto it = grants_.begin(); it != grants_.end(); ++it) {
         if (it->owner == caller && it->borrower == target_id &&
             it->owner_ipa == own_ipa) {
@@ -880,6 +1009,7 @@ void Spm::publish_metrics() {
     set("hf.forwarded_device_irqs", stats_.forwarded_device_irqs);
     set("hf.denied_calls", stats_.denied_calls);
     set("hf.bad_state_calls", stats_.bad_state_calls);
+    set("hf.invalid_calls", stats_.invalid_calls);
     set("hf.messages", stats_.messages);
     set("hf.guest_aborts", stats_.guest_aborts);
     set("hf.mem_grants", stats_.mem_grants);

@@ -16,6 +16,7 @@
 // primary VM owns scheduling) and I/O virtualization.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -25,7 +26,9 @@
 
 #include "arch/platform.h"
 #include "crypto/sha256.h"
+#include "hafnium/abi.h"
 #include "hafnium/hypercall.h"
+#include "hafnium/intercept.h"
 #include "hafnium/interfaces.h"
 #include "hafnium/irq_router.h"
 #include "hafnium/manifest.h"
@@ -36,16 +39,6 @@ struct CorruptionAccess;  // fault injection backdoor (src/check/corrupt.h)
 }  // namespace hpcsec::check
 
 namespace hpcsec::hafnium {
-
-/// Invariant-audit hook points the SPM exposes (implemented by
-/// check::Auditor). Each hook site costs one predicted branch when no
-/// auditor is attached.
-class AuditItf : public VcpuAuditSink {
-public:
-    /// Invoked after every completed hypercall, result included.
-    virtual void on_hypercall(arch::CoreId core, arch::VmId caller, Call call,
-                              const HfResult& result) = 0;
-};
 
 class Spm {
 public:
@@ -62,6 +55,8 @@ public:
         std::uint64_t forwarded_device_irqs = 0;
         std::uint64_t denied_calls = 0;
         std::uint64_t bad_state_calls = 0;  ///< kBusy: call illegal in the current state
+        std::uint64_t invalid_calls = 0;    ///< kInvalid at the gate: unknown call
+                                            ///< number or failed typed decode
         std::uint64_t messages = 0;
         std::uint64_t guest_aborts = 0;
         std::uint64_t mem_grants = 0;   ///< successful FFA_MEM_SHARE/LEND
@@ -95,10 +90,55 @@ public:
     /// the primary/super-secondary or still running.
     void destroy_vm(arch::VmId id);
 
+    // --- the hypercall gate --------------------------------------------------
+    /// Privilege bits: which VmRole may issue a call. A row's mask is
+    /// checked uniformly in the gate; a miss answers kDenied and counts
+    /// Stats::denied_calls.
+    static constexpr std::uint8_t kRolePrimary = 1u << 0;
+    static constexpr std::uint8_t kRoleSuperSecondary = 1u << 1;
+    static constexpr std::uint8_t kRoleSecondary = 1u << 2;
+    static constexpr std::uint8_t kAnyRole =
+        kRolePrimary | kRoleSuperSecondary | kRoleSecondary;
+
+    /// Cost-charging rule. The gate itself never charges modeled cycles —
+    /// kFree calls are pure bookkeeping, kHandlerCharged calls account the
+    /// world-switch/roundtrip inside the handler (enter_vcpu/exit_vcpu),
+    /// where the amount depends on the outcome.
+    enum class CallCost : std::uint8_t { kFree, kHandlerCharged };
+
+    /// One row per hafnium::Call: the complete, declarative description of
+    /// a hypercall. `invoke` is a thunk that decodes the typed request
+    /// (kInvalid on range failure) and calls the member handler.
+    /// tools/lint.py proves the table covers every Call enumerator.
+    struct CallDescriptor {
+        Call call;
+        std::uint8_t privilege;
+        CallCost cost;
+        HfResult (*invoke)(Spm&, arch::CoreId, arch::VmId, const HfArgs&);
+    };
+
+    /// The dispatch table, in call-number order.
+    [[nodiscard]] static const std::array<CallDescriptor, kCallCount>& call_table();
+    /// Descriptor for `call`, nullptr for numbers outside the ABI.
+    [[nodiscard]] static const CallDescriptor* descriptor(Call call);
+
     /// The hypercall gate. `core` is the calling physical core (the
-    /// interface is core local), `caller` the calling VM.
+    /// interface is core local), `caller` the calling VM. Order: interceptor
+    /// before() hooks (ascending stage), then unknown-call / caller-validity
+    /// / privilege-mask / typed-decode checks, then the handler, then
+    /// after() hooks (descending stage). Malformed input never escapes the
+    /// gate: unknown numbers and failed decodes answer kInvalid.
     HfResult hypercall(arch::CoreId core, arch::VmId caller, Call call,
                        HfArgs args = {});
+
+    /// Attach an interceptor (sorted by Stage, stable within a stage).
+    /// Attaching the same interceptor twice is a no-op.
+    void attach_interceptor(HypercallInterceptor* interceptor);
+    /// Detach; unknown pointers are ignored.
+    void detach_interceptor(HypercallInterceptor* interceptor);
+    [[nodiscard]] const std::vector<HypercallInterceptor*>& interceptors() const {
+        return interceptors_;
+    }
 
     // --- topology ------------------------------------------------------------
     [[nodiscard]] int vm_count() const { return static_cast<int>(vms_.size()); }
@@ -115,11 +155,12 @@ public:
         return vcpu_on_core_.at(static_cast<std::size_t>(core));
     }
 
-    /// Attach (or detach, with nullptr) the invariant auditor. Installs the
-    /// VCPU state-transition sink on every existing VCPU; VMs created later
-    /// inherit it.
-    void attach_audit(AuditItf* audit);
-    [[nodiscard]] AuditItf* audit() const { return audit_; }
+    /// Attach (or detach, with nullptr) the VCPU state-transition audit
+    /// sink. Installs it on every existing VCPU; VMs created later inherit
+    /// it. Hypercall-level auditing goes through the interceptor chain —
+    /// check::Auditor registers as both.
+    void attach_audit(VcpuAuditSink* audit);
+    [[nodiscard]] VcpuAuditSink* audit() const { return audit_; }
 
     // --- guest-side services (called by guest kernel models) -----------------
     /// Install/replace the runnable that consumes CPU when `vcpu` runs.
@@ -182,8 +223,27 @@ public:
 private:
     friend struct hpcsec::check::CorruptionAccess;
 
-    HfResult hypercall_impl(arch::CoreId core, arch::VmId caller, Call call,
-                            const HfArgs& args);
+    /// The uniform gate body: descriptor lookup, caller validity, privilege
+    /// mask, typed decode, handler. Charges nothing itself.
+    HfResult dispatch(arch::CoreId core, arch::VmId caller, Call call,
+                      const HfArgs& args);
+    /// Slow path when interceptors are attached: before() chain (ascending
+    /// stage, short-circuit capable), dispatch, after() chain (descending).
+    HfResult hypercall_intercepted(arch::CoreId core, arch::VmId caller,
+                                   Call call, const HfArgs& args);
+
+    template <typename Req,
+              HfResult (Spm::*Handler)(arch::CoreId, arch::VmId, const Req&)>
+    static HfResult invoke_thunk(Spm& spm, arch::CoreId core, arch::VmId caller,
+                                 const HfArgs& args) {
+        Req req;
+        if (!Req::decode(args, req)) {
+            ++spm.stats_.invalid_calls;
+            return {HfError::kInvalid, 0};
+        }
+        return (spm.*Handler)(core, caller, req);
+    }
+
     void handle_phys_irq(arch::CoreId core, int irq);
     void enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost);
     void exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
@@ -197,11 +257,46 @@ private:
     [[nodiscard]] GuestOsItf* find_guest_os(arch::VmId id);
     void set_core_context(arch::CoreId core, Vm* vmctx);
 
-    HfResult call_vcpu_run(arch::CoreId core, arch::VmId caller, const HfArgs& a);
-    HfResult call_msg_send(arch::CoreId core, arch::VmId caller, const HfArgs& a);
-    HfResult call_mem_share(arch::VmId caller, const HfArgs& a, bool exclusive);
-    HfResult call_mem_reclaim(arch::VmId caller, const HfArgs& a);
-    HfResult call_mem_donate(arch::VmId caller, const HfArgs& a);
+    // Typed call handlers, one per table row. Privilege and argument range
+    // checks already happened in the gate; handlers do semantic validation
+    // (target exists, state machine, ownership) and the work.
+    HfResult on_version(arch::CoreId core, arch::VmId caller, const abi::Empty&);
+    HfResult on_vm_get_count(arch::CoreId core, arch::VmId caller,
+                             const abi::Empty&);
+    HfResult on_vcpu_get_count(arch::CoreId core, arch::VmId caller,
+                               const abi::VcpuGetCountArgs& a);
+    HfResult on_vm_get_info(arch::CoreId core, arch::VmId caller,
+                            const abi::VmGetInfoArgs& a);
+    HfResult on_vcpu_run(arch::CoreId core, arch::VmId caller,
+                         const abi::VcpuRunArgs& a);
+    HfResult on_vm_configure(arch::CoreId core, arch::VmId caller,
+                             const abi::VmConfigureArgs& a);
+    HfResult on_msg_send(arch::CoreId core, arch::VmId caller,
+                         const abi::MsgSendArgs& a);
+    HfResult on_msg_wait(arch::CoreId core, arch::VmId caller, const abi::Empty&);
+    HfResult on_yield(arch::CoreId core, arch::VmId caller, const abi::Empty&);
+    HfResult on_rx_release(arch::CoreId core, arch::VmId caller,
+                           const abi::Empty&);
+    HfResult on_mem_share(arch::CoreId core, arch::VmId caller,
+                          const abi::MemShareArgs& a);
+    HfResult on_mem_lend(arch::CoreId core, arch::VmId caller,
+                         const abi::MemLendArgs& a);
+    HfResult on_mem_donate(arch::CoreId core, arch::VmId caller,
+                           const abi::MemDonateArgs& a);
+    HfResult on_mem_reclaim(arch::CoreId core, arch::VmId caller,
+                            const abi::MemReclaimArgs& a);
+    HfResult on_interrupt_enable(arch::CoreId core, arch::VmId caller,
+                                 const abi::InterruptEnableArgs& a);
+    HfResult on_interrupt_get(arch::CoreId core, arch::VmId caller,
+                              const abi::Empty&);
+    HfResult on_interrupt_inject(arch::CoreId core, arch::VmId caller,
+                                 const abi::InterruptInjectArgs& a);
+    HfResult on_vtimer_set(arch::CoreId core, arch::VmId caller,
+                           const abi::VtimerSetArgs& a);
+    HfResult on_vtimer_cancel(arch::CoreId core, arch::VmId caller,
+                              const abi::VtimerCancelArgs& a);
+    HfResult mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
+                       bool exclusive);
 
     arch::Platform* platform_;
     Manifest manifest_;
@@ -218,7 +313,8 @@ private:
     std::vector<ShareGrant> grants_;
     std::map<arch::VmId, std::vector<std::string>> device_map_;
     Stats stats_;
-    AuditItf* audit_ = nullptr;
+    VcpuAuditSink* audit_ = nullptr;
+    std::vector<HypercallInterceptor*> interceptors_;  ///< sorted by Stage
     obs::MetricsRegistry::Handle vcpu_run_hist_ = 0;  ///< hf.vcpu_run_us
 };
 

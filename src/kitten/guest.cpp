@@ -30,10 +30,10 @@ void KittenGuestOs::start() {
         hafnium::Vcpu& vcpu = vm_->vcpu(v);
         // Para-virtual interrupt controller setup (the features Hafnium
         // actually lets a secondary use).
-        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
-                        {arch::kIrqVirtTimer, static_cast<std::uint64_t>(v), 0, 0});
-        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
-                        {hafnium::kMessageVirq, static_cast<std::uint64_t>(v), 0, 0});
+        hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
+                             arch::kIrqVirtTimer, v);
+        hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
+                             hafnium::kMessageVirq, v);
         if (config_.tick_enabled) arm_vtimer(vcpu);
         if (!threads_[static_cast<std::size_t>(v)].empty()) {
             spm_->make_vcpu_ready(vcpu);
@@ -47,8 +47,7 @@ void KittenGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
     const sim::SimTime deadline = spm_->platform().engine().now() + period;
     const arch::CoreId core =
         vcpu.running_core >= 0 ? vcpu.running_core : vcpu.assigned_core;
-    spm_->hypercall(core, vm_->id(), hafnium::Call::kVtimerSet,
-                    {deadline, static_cast<std::uint64_t>(vcpu.index()), 0, 0});
+    hf::vtimer_set(*spm_, core, vm_->id(), deadline, vcpu.index());
 }
 
 void KittenGuestOs::wake_runnable_vcpus() {

@@ -264,9 +264,8 @@ void KittenKernel::dispatch(arch::CoreId core) {
                                           obs::EventType::kContextSwitch, core,
                                           static_cast<std::int64_t>(t->kind));
             ex.charge(perf.sched_pick_kitten);
-            const hafnium::HfResult r = spm_->hypercall(
-                core, self_id(), hafnium::Call::kVcpuRun,
-                {t->vcpu->vm().id(), static_cast<std::uint64_t>(t->vcpu->index()), 0, 0});
+            const hafnium::HfResult r = hf::vcpu_run(
+                *spm_, core, self_id(), t->vcpu->vm().id(), t->vcpu->index());
             if (!r.ok()) {
                 // VCPU not runnable after all: block the proxy and retry.
                 current_[static_cast<std::size_t>(core)] = nullptr;
@@ -353,8 +352,7 @@ void KittenKernel::on_interrupt(arch::CoreId core, int irq) {
         const arch::PerfModel& perf = platform_->perf();
         platform_->core(core).exec().charge(perf.irq_entry_exit_el1);
         if (hafnium::Vm* ss = spm_->super_secondary()) {
-            spm_->hypercall(core, self_id(), hafnium::Call::kInterruptInject,
-                            {ss->id(), 0, static_cast<std::uint64_t>(irq), 0});
+            hf::interrupt_inject(*spm_, core, self_id(), ss->id(), /*vcpu=*/0, irq);
             ++stats_.forwarded_irqs;
         }
     }

@@ -18,17 +18,15 @@ void LinuxGuestOs::set_thread(int vcpu_index, arch::Runnable* thread) {
 void LinuxGuestOs::start() {
     for (int v = 0; v < vm_->vcpu_count(); ++v) {
         hafnium::Vcpu& vcpu = vm_->vcpu(v);
-        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
-                        {arch::kIrqVirtTimer, static_cast<std::uint64_t>(v), 0, 0});
-        spm_->hypercall(vcpu.assigned_core, vm_->id(), hafnium::Call::kInterruptEnable,
-                        {hafnium::kMessageVirq, static_cast<std::uint64_t>(v), 0, 0});
+        hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
+                             arch::kIrqVirtTimer, v);
+        hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
+                             hafnium::kMessageVirq, v);
         // Enable every device SPI the SPM assigned to this VM.
         for (const auto& dev : spm_->platform().config().devices) {
             if (dev.spi >= 0) {
-                spm_->hypercall(vcpu.assigned_core, vm_->id(),
-                                hafnium::Call::kInterruptEnable,
-                                {static_cast<std::uint64_t>(dev.spi),
-                                 static_cast<std::uint64_t>(v), 0, 0});
+                hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
+                                     dev.spi, v);
             }
         }
         if (config_.tick_enabled) arm_vtimer(vcpu);
@@ -42,8 +40,7 @@ void LinuxGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
     const sim::SimTime deadline = spm_->platform().engine().now() + period;
     const arch::CoreId core =
         vcpu.running_core >= 0 ? vcpu.running_core : vcpu.assigned_core;
-    spm_->hypercall(core, vm_->id(), hafnium::Call::kVtimerSet,
-                    {deadline, static_cast<std::uint64_t>(vcpu.index()), 0, 0});
+    hf::vtimer_set(*spm_, core, vm_->id(), deadline, vcpu.index());
 }
 
 sim::Cycles LinuxGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {

@@ -168,10 +168,9 @@ void LinuxKernel::dispatch(arch::CoreId core) {
             current_[static_cast<std::size_t>(core)] = se;
             dispatched_at_[static_cast<std::size_t>(core)] = platform_->engine().now();
             ex.charge(perf.sched_pick_linux);
-            const hafnium::HfResult r = spm_->hypercall(
-                core, arch::kPrimaryVmId, hafnium::Call::kVcpuRun,
-                {se->vcpu->vm().id(), static_cast<std::uint64_t>(se->vcpu->index()), 0,
-                 0});
+            const hafnium::HfResult r =
+                hf::vcpu_run(*spm_, core, arch::kPrimaryVmId, se->vcpu->vm().id(),
+                             se->vcpu->index());
             if (!r.ok()) {
                 current_[static_cast<std::size_t>(core)] = nullptr;
                 se->state = SchedEntity::State::kBlocked;
@@ -257,8 +256,8 @@ void LinuxKernel::on_interrupt(arch::CoreId core, int irq) {
         // driver stack would hand it to the owning VM.
         ex.charge(perf.irq_entry_exit_el1);
         if (hafnium::Vm* ss = spm_->super_secondary()) {
-            spm_->hypercall(core, arch::kPrimaryVmId, hafnium::Call::kInterruptInject,
-                            {ss->id(), 0, static_cast<std::uint64_t>(irq), 0});
+            hf::interrupt_inject(*spm_, core, arch::kPrimaryVmId, ss->id(),
+                                 /*vcpu=*/0, irq);
             ++stats_.forwarded_irqs;
         }
     }

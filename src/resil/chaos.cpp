@@ -132,8 +132,7 @@ void ChaosInjector::inject() {
             const arch::CoreId core = vcpu->running_core >= 0
                                           ? vcpu->running_core
                                           : vcpu->assigned_core;
-            spm->hypercall(core, vcpu->vm().id(), hafnium::Call::kVtimerCancel,
-                           {0, static_cast<std::uint64_t>(vcpu->index()), 0, 0});
+            hf::vtimer_cancel(*spm, core, vcpu->vm().id(), vcpu->index());
             ++stats_.vcpu_wedges;
             break;
         }
@@ -173,16 +172,24 @@ void ChaosInjector::inject() {
                 break;
             }
             record(fault, vcpu->vm().id(), vcpu->index());
-            spm->hypercall(0, arch::kPrimaryVmId, hafnium::Call::kInterruptInject,
-                           {vcpu->vm().id(),
-                            static_cast<std::uint64_t>(vcpu->index()),
-                            static_cast<std::uint64_t>(hafnium::kMessageVirq), 0});
+            hf::interrupt_inject(*spm, 0, arch::kPrimaryVmId, vcpu->vm().id(),
+                                 vcpu->index(), hafnium::kMessageVirq);
             ++stats_.spurious_virqs;
             break;
         }
     }
     publish_metrics();
     schedule();
+}
+
+std::optional<hafnium::HfResult> CallFaultInjector::before(
+    const hafnium::HypercallSite& site) {
+    if (options_.only && site.call != *options_.only) return std::nullopt;
+    ++observed_;
+    const std::uint64_t period = options_.period == 0 ? 1 : options_.period;
+    if (observed_ % period != 0) return std::nullopt;
+    ++injected_;
+    return hafnium::HfResult{options_.error, 0};
 }
 
 void ChaosInjector::publish_metrics() {

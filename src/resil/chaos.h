@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/node.h"
+#include "hafnium/intercept.h"
 #include "sim/rng.h"
 
 namespace hpcsec::resil {
@@ -71,6 +73,46 @@ private:
     sim::EventId event_{};
     bool armed_ = false;
     Stats stats_;
+};
+
+/// CallFaultInjector — deterministic ABI-level fault injection.
+///
+/// Sits at HypercallInterceptor::Stage::kChaos and short-circuits every
+/// Nth matching hypercall with a configurable error before the handler
+/// runs, modeling a transiently failing secure monitor (SMC worlds
+/// returning BUSY/RETRY under interrupt pressure). Unlike ChaosInjector's
+/// stochastic timeline this is purely counter-based, so tests can assert
+/// the exact set of failed calls. The injected failure never mutates SPM
+/// state — the gate has not admitted the call — so strict auditing must
+/// stay clean while it runs.
+class CallFaultInjector final : public hafnium::HypercallInterceptor {
+public:
+    struct Options {
+        /// Fail one call out of every `period` matching calls (>= 1).
+        std::uint64_t period = 16;
+        /// Restrict injection to one call number; nullopt = every call.
+        std::optional<hafnium::Call> only;
+        /// Error returned instead of running the handler.
+        hafnium::HfError error = hafnium::HfError::kRetry;
+    };
+
+    CallFaultInjector() : CallFaultInjector(Options{}) {}
+    explicit CallFaultInjector(Options options)
+        : hafnium::HypercallInterceptor(Stage::kChaos), options_(options) {}
+
+    std::optional<hafnium::HfResult> before(
+        const hafnium::HypercallSite& site) override;
+
+    /// Calls that matched the filter (injected + passed through).
+    [[nodiscard]] std::uint64_t observed() const { return observed_; }
+    /// Calls short-circuited with options().error.
+    [[nodiscard]] std::uint64_t injected() const { return injected_; }
+    [[nodiscard]] const Options& options() const { return options_; }
+
+private:
+    Options options_;
+    std::uint64_t observed_ = 0;
+    std::uint64_t injected_ = 0;
 };
 
 }  // namespace hpcsec::resil

@@ -1,0 +1,455 @@
+// The typed hypercall ABI (src/hafnium/abi.h) and the interceptor pipeline
+// (src/hafnium/intercept.h): encode/decode round-trips for every call's
+// request struct, the dispatch gate's privilege matrix and malformed-input
+// behaviour, interceptor ordering/attach/detach semantics, deterministic
+// ABI-level fault injection, and record/replay against a same-seed run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/platform.h"
+#include "check/check.h"
+#include "core/harness.h"
+#include "core/node.h"
+#include "hafnium/abi.h"
+#include "hafnium/intercept.h"
+#include "hafnium/spm.h"
+#include "obs/events.h"
+#include "resil/chaos.h"
+#include "workloads/randomaccess.h"
+#include "workloads/workload.h"
+
+namespace hpcsec {
+namespace {
+
+using hafnium::Call;
+using hafnium::HfArgs;
+using hafnium::HfError;
+using hafnium::HfResult;
+using hafnium::HypercallInterceptor;
+using hafnium::HypercallSite;
+using hafnium::Spm;
+namespace abi = hafnium::abi;
+
+// --- encode/decode round-trips ----------------------------------------------
+
+template <typename T>
+T round_trip(const T& in) {
+    T out;
+    EXPECT_TRUE(T::decode(in.encode(), out));
+    return out;
+}
+
+TEST(AbiRoundTrip, EveryRequestStruct) {
+    {
+        const auto o = round_trip(abi::VmTarget{42});
+        EXPECT_EQ(o.vm, 42);
+    }
+    {
+        const auto o = round_trip(abi::VcpuRunArgs{3, 7});
+        EXPECT_EQ(o.vm, 3);
+        EXPECT_EQ(o.vcpu, 7);
+    }
+    {
+        const auto o = round_trip(abi::VmConfigureArgs{0x8000'0000ull, 0x8000'1000ull});
+        EXPECT_EQ(o.send_ipa, 0x8000'0000ull);
+        EXPECT_EQ(o.recv_ipa, 0x8000'1000ull);
+    }
+    {
+        const auto o = round_trip(abi::MsgSendArgs{5, 4096});
+        EXPECT_EQ(o.to, 5);
+        EXPECT_EQ(o.size, 4096u);
+    }
+    {
+        const auto o =
+            round_trip(abi::MemShareArgs{2, 0x4000, 16, 0x7000'0000ull});
+        EXPECT_EQ(o.to, 2);
+        EXPECT_EQ(o.owner_ipa, 0x4000u);
+        EXPECT_EQ(o.pages, 16u);
+        EXPECT_EQ(o.borrower_ipa, 0x7000'0000ull);
+    }
+    {
+        const auto o = round_trip(abi::MemReclaimArgs{2, 0x4000});
+        EXPECT_EQ(o.borrower, 2);
+        EXPECT_EQ(o.owner_ipa, 0x4000u);
+    }
+    {
+        const auto o = round_trip(abi::InterruptEnableArgs{27, 3});
+        EXPECT_EQ(o.virq, 27);
+        EXPECT_EQ(o.vcpu, 3);
+    }
+    {
+        const auto o = round_trip(abi::InterruptInjectArgs{3, 1, 27});
+        EXPECT_EQ(o.vm, 3);
+        EXPECT_EQ(o.vcpu, 1);
+        EXPECT_EQ(o.virq, 27);
+    }
+    {
+        const auto o = round_trip(abi::VtimerSetArgs{123'456'789ull, 2});
+        EXPECT_EQ(o.deadline, 123'456'789ull);
+        EXPECT_EQ(o.vcpu, 2);
+    }
+    {
+        const auto o = round_trip(abi::VtimerCancelArgs{2});
+        EXPECT_EQ(o.vcpu, 2);
+    }
+    {
+        abi::Empty out;
+        EXPECT_TRUE(abi::Empty::decode({0xdead, 0xbeef, 0, 0}, out));
+    }
+}
+
+TEST(AbiRoundTrip, VmInfoWord) {
+    const std::int64_t word = abi::encode_vm_info(
+        hafnium::VmRole::kSuperSecondary, arch::World::kSecure, 4);
+    const abi::VmInfo info = abi::decode_vm_info(word);
+    EXPECT_EQ(info.role, hafnium::VmRole::kSuperSecondary);
+    EXPECT_EQ(info.world, arch::World::kSecure);
+    EXPECT_EQ(info.vcpus, 4);
+}
+
+TEST(AbiDecode, RejectsOutOfRangeNarrowings) {
+    abi::VcpuRunArgs run;
+    EXPECT_FALSE(abi::VcpuRunArgs::decode({0x1'0000, 0, 0, 0}, run));
+    EXPECT_FALSE(abi::VcpuRunArgs::decode({1, 1ull << 31, 0, 0}, run));
+
+    abi::MsgSendArgs msg;
+    EXPECT_FALSE(abi::MsgSendArgs::decode({1, 1ull << 32, 0, 0}, msg));
+
+    abi::InterruptInjectArgs inj;
+    EXPECT_FALSE(abi::InterruptInjectArgs::decode({1, 0, 1ull << 40, 0}, inj));
+
+    abi::VtimerSetArgs vt;
+    EXPECT_FALSE(abi::VtimerSetArgs::decode({0, 1ull << 31, 0, 0}, vt));
+}
+
+TEST(AbiDecode, IgnoresUnusedRegisters) {
+    // SMCCC-style: registers a call does not define carry no meaning and
+    // must not fail the decode (kVtimerCancel only reads a1).
+    abi::VtimerCancelArgs out;
+    EXPECT_TRUE(abi::VtimerCancelArgs::decode({0xdead, 5, 0xbeef, 0xcafe}, out));
+    EXPECT_EQ(out.vcpu, 5);
+}
+
+// --- dispatch table ----------------------------------------------------------
+
+TEST(AbiDispatchTable, CoversEveryCallExactlyOnce) {
+    const auto& table = Spm::call_table();
+    ASSERT_EQ(table.size(), hafnium::kCallCount);
+    std::vector<Call> seen;
+    for (const auto& row : table) {
+        EXPECT_NE(row.invoke, nullptr);
+        EXPECT_NE(row.privilege, 0);
+        EXPECT_NE(to_string(row.call), "?");
+        for (const Call c : seen) EXPECT_NE(c, row.call);
+        seen.push_back(row.call);
+        EXPECT_EQ(Spm::descriptor(row.call), &row);
+    }
+}
+
+TEST(AbiDispatchTable, UnknownNumbersHaveNoDescriptor) {
+    EXPECT_EQ(Spm::descriptor(static_cast<Call>(0x05)), nullptr);  // gap
+    EXPECT_EQ(Spm::descriptor(static_cast<Call>(0x2a)), nullptr);  // gap
+    EXPECT_EQ(Spm::descriptor(static_cast<Call>(0x35)), nullptr);  // end
+    EXPECT_EQ(Spm::descriptor(static_cast<Call>(0xffff'ffff)), nullptr);
+}
+
+// --- the gate: privilege matrix and malformed input --------------------------
+
+// Primary (id 1), super-secondary (id 2), secondary (id 3).
+struct SpmFixture {
+    arch::Platform platform{arch::PlatformConfig::pine_a64()};
+    Spm spm;
+
+    SpmFixture() : spm(platform, make_manifest()) { spm.boot(); }
+
+    static hafnium::Manifest make_manifest() {
+        hafnium::Manifest m;
+        hafnium::VmSpec p;
+        p.name = "primary";
+        p.role = hafnium::VmRole::kPrimary;
+        p.mem_bytes = 64ull << 20;
+        p.vcpu_count = 4;
+        hafnium::VmSpec ss;
+        ss.name = "login";
+        ss.role = hafnium::VmRole::kSuperSecondary;
+        ss.mem_bytes = 32ull << 20;
+        ss.vcpu_count = 1;
+        hafnium::VmSpec s;
+        s.name = "compute";
+        s.role = hafnium::VmRole::kSecondary;
+        s.mem_bytes = 64ull << 20;
+        s.vcpu_count = 4;
+        m.vms = {p, ss, s};
+        return m;
+    }
+};
+
+TEST(AbiPrivilege, MaskMatrixMatchesPaperRoles) {
+    for (const auto& row : Spm::call_table()) {
+        switch (row.call) {
+            case Call::kVcpuRun:
+                // "the ability to assume control over CPU cores" is the
+                // primary's alone; the login VM is explicitly denied.
+                EXPECT_EQ(row.privilege, Spm::kRolePrimary);
+                break;
+            case Call::kInterruptInject:
+                EXPECT_EQ(row.privilege,
+                          Spm::kRolePrimary | Spm::kRoleSuperSecondary);
+                break;
+            default:
+                EXPECT_EQ(row.privilege, Spm::kAnyRole)
+                    << to_string(row.call);
+        }
+    }
+}
+
+TEST(AbiPrivilege, GateDeniesByRole) {
+    SpmFixture f;
+    const std::uint64_t denied_before = f.spm.stats().denied_calls;
+
+    // vcpu_run: primary may, super-secondary and secondary may not.
+    EXPECT_NE(hf::vcpu_run(f.spm, 0, 1, 3, 0).error, HfError::kDenied);
+    EXPECT_EQ(hf::vcpu_run(f.spm, 0, 2, 3, 0).error, HfError::kDenied);
+    EXPECT_EQ(hf::vcpu_run(f.spm, 0, 3, 3, 0).error, HfError::kDenied);
+
+    // interrupt_inject: the super-secondary's forwarding path is allowed,
+    // an ordinary secondary is not.
+    EXPECT_EQ(hf::interrupt_inject(f.spm, 0, 2, 3, 0, hafnium::kMessageVirq)
+                  .error,
+              HfError::kOk);
+    EXPECT_EQ(hf::interrupt_inject(f.spm, 0, 3, 1, 0, hafnium::kMessageVirq)
+                  .error,
+              HfError::kDenied);
+
+    EXPECT_EQ(f.spm.stats().denied_calls, denied_before + 3);
+}
+
+TEST(AbiGate, MalformedInputStopsAtTheGate) {
+    SpmFixture f;
+
+    // Unknown call numbers: kInvalid, counted, never dispatched.
+    EXPECT_EQ(f.spm.hypercall(0, 1, static_cast<Call>(0x2a), {}).error,
+              HfError::kInvalid);
+    EXPECT_EQ(f.spm.stats().invalid_calls, 1u);
+
+    // A register value that does not fit the typed field fails the decode.
+    EXPECT_EQ(f.spm.hypercall(0, 1, Call::kVcpuRun, {1ull << 32, 0, 0, 0}).error,
+              HfError::kInvalid);
+    EXPECT_EQ(f.spm.stats().invalid_calls, 2u);
+
+    // Callers outside the VM table are rejected before the privilege check.
+    EXPECT_EQ(f.spm.hypercall(0, 0, Call::kVersion, {}).error, HfError::kNotFound);
+    EXPECT_EQ(f.spm.hypercall(0, 99, Call::kVersion, {}).error,
+              HfError::kNotFound);
+}
+
+TEST(AbiGate, MalformedInputUnderStrictAuditNeverThrows) {
+    SpmFixture f;
+    check::Auditor auditor(f.spm, {check::Mode::kStrict});
+
+    // Every malformed shape a guest could marshal: none may escape the gate
+    // as a CheckViolation (or any other exception) — the guest just sees an
+    // error code. The giant VCPU index used to reach a throwing .at().
+    EXPECT_NO_THROW({
+        f.spm.hypercall(0, 3, static_cast<Call>(0x2a), {1, 2, 3, 4});
+        f.spm.hypercall(0, 3, static_cast<Call>(0xffff'fff0), {});
+        f.spm.hypercall(0, 3, Call::kInterruptEnable, {5, 1ull << 40, 0, 0});
+        f.spm.hypercall(0, 3, Call::kVcpuRun, {0xffff'ffff'ffff'ffffull, 0, 0, 0});
+        f.spm.hypercall(0, 3, Call::kMsgSend, {1, 1ull << 33, 0, 0});
+    });
+    EXPECT_GE(f.spm.stats().invalid_calls, 4u);
+    EXPECT_TRUE(auditor.failures().empty());
+}
+
+// --- interceptor chain -------------------------------------------------------
+
+class ProbeInterceptor final : public HypercallInterceptor {
+public:
+    ProbeInterceptor(Stage stage, std::string name, std::vector<std::string>& log,
+                     std::optional<HfResult> forced = std::nullopt)
+        : HypercallInterceptor(stage), name_(std::move(name)), log_(&log),
+          forced_(forced) {}
+
+    std::optional<HfResult> before(const HypercallSite&) override {
+        log_->push_back(name_ + ".before");
+        return forced_;
+    }
+    void after(const HypercallSite&, const HfResult& result) override {
+        log_->push_back(name_ + ".after");
+        last_result_ = result;
+    }
+
+    HfResult last_result_{};
+
+private:
+    std::string name_;
+    std::vector<std::string>* log_;
+    std::optional<HfResult> forced_;
+};
+
+TEST(AbiInterceptors, ChainRunsInStageOrderAndOnion) {
+    SpmFixture f;
+    std::vector<std::string> log;
+    using Stage = HypercallInterceptor::Stage;
+    ProbeInterceptor chaos(Stage::kChaos, "chaos", log);
+    ProbeInterceptor telemetry(Stage::kTelemetry, "telemetry", log);
+    ProbeInterceptor audit(Stage::kAudit, "audit", log);
+
+    // Attach order is deliberately scrambled; stage order must win.
+    f.spm.attach_interceptor(&chaos);
+    f.spm.attach_interceptor(&telemetry);
+    f.spm.attach_interceptor(&audit);
+    f.spm.attach_interceptor(&audit);  // duplicate attach is a no-op
+    ASSERT_EQ(f.spm.interceptors().size(), 3u);
+
+    EXPECT_EQ(hf::version(f.spm, 0, 1).error, HfError::kOk);
+    const std::vector<std::string> want{
+        "telemetry.before", "audit.before", "chaos.before",
+        "chaos.after",      "audit.after",  "telemetry.after"};
+    EXPECT_EQ(log, want);
+
+    log.clear();
+    f.spm.detach_interceptor(&audit);
+    f.spm.detach_interceptor(&chaos);
+    f.spm.detach_interceptor(&telemetry);
+    EXPECT_EQ(hf::version(f.spm, 0, 1).error, HfError::kOk);
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(AbiInterceptors, ShortCircuitSkipsHandlerButRunsEveryAfter) {
+    SpmFixture f;
+    std::vector<std::string> log;
+    using Stage = HypercallInterceptor::Stage;
+    ProbeInterceptor telemetry(Stage::kTelemetry, "telemetry", log);
+    ProbeInterceptor chaos(Stage::kChaos, "chaos", log,
+                           HfResult{HfError::kRetry, 123});
+    ProbeInterceptor replay(Stage::kReplay, "replay", log);
+    f.spm.attach_interceptor(&telemetry);
+    f.spm.attach_interceptor(&chaos);
+    f.spm.attach_interceptor(&replay);
+
+    const HfResult r = hf::version(f.spm, 0, 1);
+    EXPECT_EQ(r.error, HfError::kRetry);  // handler never ran
+    EXPECT_EQ(r.value, 123);
+    const std::vector<std::string> want{
+        "telemetry.before", "chaos.before",  // replay.before skipped
+        "replay.after", "chaos.after", "telemetry.after"};
+    EXPECT_EQ(log, want);
+    EXPECT_EQ(replay.last_result_.value, 123);  // afters see injected result
+}
+
+TEST(AbiInterceptors, SameStageKeepsAttachOrder) {
+    SpmFixture f;
+    std::vector<std::string> log;
+    using Stage = HypercallInterceptor::Stage;
+    ProbeInterceptor a(Stage::kAudit, "a", log);
+    ProbeInterceptor b(Stage::kAudit, "b", log);
+    f.spm.attach_interceptor(&a);
+    f.spm.attach_interceptor(&b);
+    hf::version(f.spm, 0, 1);
+    const std::vector<std::string> want{"a.before", "b.before", "b.after",
+                                        "a.after"};
+    EXPECT_EQ(log, want);
+}
+
+TEST(AbiInterceptors, TelemetryEmitsTheHypercallInstant) {
+    SpmFixture f;
+    f.platform.recorder().set_mask(obs::to_mask(obs::Category::kHyp));
+    hafnium::TelemetryInterceptor telemetry(f.platform);
+    f.spm.attach_interceptor(&telemetry);
+
+    hf::vcpu_run(f.spm, 2, 1, 3, 1);
+    ASSERT_FALSE(f.platform.recorder().events().empty());
+    const obs::Event& e = f.platform.recorder().events().back();
+    EXPECT_EQ(e.type, obs::EventType::kHypercall);
+    EXPECT_EQ(e.core, 2);
+    EXPECT_EQ(e.a0, static_cast<std::int64_t>(Call::kVcpuRun));
+    EXPECT_EQ(e.a1, 1);  // caller
+}
+
+TEST(AbiInterceptors, CallMetricsCountsPerCallAndErrors) {
+    SpmFixture f;
+    hafnium::CallMetricsInterceptor metrics(f.platform.metrics());
+    f.spm.attach_interceptor(&metrics);
+
+    hf::version(f.spm, 0, 1);
+    hf::version(f.spm, 0, 1);
+    hf::vcpu_run(f.spm, 0, 3, 1, 0);  // denied: counted as an error
+
+    const auto snap = f.platform.metrics().snapshot();
+    const auto value = [&](const std::string& name) -> double {
+        const auto* m = snap.find(name);
+        return m != nullptr ? m->value : -1.0;
+    };
+    EXPECT_EQ(value("hf.call.HF_VERSION"), 2.0);
+    EXPECT_EQ(value("hf.call_err.HF_VERSION"), 0.0);
+    EXPECT_EQ(value("hf.call.HF_VCPU_RUN"), 1.0);
+    EXPECT_EQ(value("hf.call_err.HF_VCPU_RUN"), 1.0);
+}
+
+// --- deterministic ABI fault injection ---------------------------------------
+
+TEST(AbiFaultInjection, EveryNthMatchingCallFails) {
+    SpmFixture f;
+    resil::CallFaultInjector::Options opt;
+    opt.period = 4;
+    opt.only = Call::kVersion;
+    opt.error = HfError::kRetry;
+    resil::CallFaultInjector inj(opt);
+    f.spm.attach_interceptor(&inj);
+
+    int failed = 0;
+    for (int i = 1; i <= 8; ++i) {
+        const HfResult r = hf::version(f.spm, 0, 1);
+        hf::vm_get_count(f.spm, 0, 1);  // filtered out: never injected
+        if (r.error == HfError::kRetry) ++failed;
+        // Deterministic cadence: exactly calls 4 and 8.
+        EXPECT_EQ(r.error, (i % 4 == 0) ? HfError::kRetry : HfError::kOk);
+    }
+    EXPECT_EQ(failed, 2);
+    EXPECT_EQ(inj.observed(), 8u);
+    EXPECT_EQ(inj.injected(), 2u);
+}
+
+// --- record/replay -----------------------------------------------------------
+
+// A recorded tape from one run verifies bit-exactly against a second run
+// with the same seed (the determinism property test_determinism.cpp pins
+// for stats, extended to the full hypercall sequence), and diverges for a
+// different seed.
+TEST(AbiReplay, SameSeedVerifiesDifferentSeedDiverges) {
+    hafnium::HypercallLog log;
+    const auto run = [&log](std::uint64_t seed, bool record) {
+        core::Node node(core::Harness::default_config(
+            core::SchedulerKind::kKittenPrimary, seed));
+        node.boot();
+        if (record) {
+            log.start_record();
+        } else {
+            log.start_verify(log.tape());
+        }
+        node.spm()->attach_interceptor(&log);
+        wl::WorkloadSpec spec = wl::randomaccess_spec();
+        spec.units_per_thread_step /= 16;
+        wl::ParallelWorkload w(spec);
+        node.run_workload(w, 60.0);
+        node.spm()->detach_interceptor(&log);
+    };
+
+    run(7, /*record=*/true);
+    ASSERT_GT(log.tape().size(), 10u);
+
+    run(7, /*record=*/false);
+    EXPECT_TRUE(log.verified()) << log.first_divergence();
+
+    run(9, /*record=*/false);
+    EXPECT_FALSE(log.verified());
+    EXPECT_GT(log.mismatches(), 0u) << "seed 9 should diverge from seed 7";
+}
+
+}  // namespace
+}  // namespace hpcsec

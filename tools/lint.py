@@ -14,6 +14,12 @@ not know about:
      in src/check depends on Spm's staying in sync; the resil gauges feed
      the harness's per-trial snapshots).
 
+  3. Dispatch-table completeness: every hafnium::Call enumerator must have
+     exactly one CallDescriptor row in Spm's kCallTable (src/hafnium/spm.cpp)
+     and the table must not carry rows for calls that no longer exist. A
+     call that is declared but not dispatchable would silently return
+     kInvalid to guests.
+
 Exit status 0 = clean, 1 = findings (printed one per line).
 """
 
@@ -114,9 +120,51 @@ def check_stats_published(root: Path) -> list[str]:
     return problems
 
 
+def check_dispatch_table(root: Path) -> list[str]:
+    header_text = (root / "src/hafnium/hypercall.h").read_text()
+    members = enum_members(header_text, "Call")
+    if not members:
+        return ["src/hafnium/hypercall.h: enum Call not found (lint table stale?)"]
+    source_text = strip_comments((root / "src/hafnium/spm.cpp").read_text())
+    m = re.search(r"kCallTable\s*(?:\[\]|\{\{)?\s*=?\s*\{\{(.*?)\}\};", source_text, re.S)
+    if m is None:
+        return ["src/hafnium/spm.cpp: kCallTable not found (dispatch gate stale?)"]
+    table = m.group(1)
+    problems = []
+    for member in members:
+        rows = len(re.findall(rf"\bCall::{member}\b", table))
+        if rows == 0:
+            problems.append(
+                f"src/hafnium/spm.cpp: kCallTable has no CallDescriptor row "
+                f"for Call::{member}"
+            )
+        elif rows > 1:
+            problems.append(
+                f"src/hafnium/spm.cpp: kCallTable lists Call::{member} "
+                f"{rows} times"
+            )
+    for used in set(re.findall(r"\bCall::(k[A-Za-z0-9_]+)\b", table)):
+        if used not in members:
+            problems.append(
+                f"src/hafnium/spm.cpp: kCallTable row references unknown "
+                f"Call::{used}"
+            )
+    count = re.search(r"kCallCount\s*=\s*(\d+)", strip_comments(header_text))
+    if count is not None and int(count.group(1)) != len(members):
+        problems.append(
+            f"src/hafnium/hypercall.h: kCallCount = {count.group(1)} but enum "
+            f"Call has {len(members)} enumerators"
+        )
+    return problems
+
+
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
-    problems = check_enum_coverage(root) + check_stats_published(root)
+    problems = (
+        check_enum_coverage(root)
+        + check_stats_published(root)
+        + check_dispatch_table(root)
+    )
     for p in problems:
         print(p)
     if problems:
