@@ -14,7 +14,16 @@
 //                                        three configs, one trial each)
 //              [--metrics-out FILE]     (aggregated metrics JSON, all configs)
 //              [--trace-mask CATS]      (comma list: irq,sched,hyp,vm,mmu,
-//                                        workload,boot,channel,check,all)
+//                                        workload,boot,channel,check,resil,all
+//                                        — or a raw bitmask like 0x305)
+//              [--profile[=FILE]]       (cycle-attribution profiler: prints a
+//                                        perf-top table; FILE gets collapsed
+//                                        stacks for flamegraph.pl/speedscope)
+//              [--flight-depth N]       (always-on flight recorder: last N
+//                                        events per core, auto-dumped on
+//                                        check violations/watchdog actions)
+//              [--obs-window N]         (close a windowed metrics-aggregate
+//                                        snapshot every N trials)
 //              [--check[=strict|sampled]]  (isolation-invariant auditor;
 //                                        bare --check means strict)
 //              [--check-period N]       (sampled mode: scan every N hypercalls)
@@ -40,7 +49,9 @@
 #include "check/check.h"
 #include "core/harness.h"
 #include "core/parallel.h"
+#include "hafnium/hypercall.h"
 #include "obs/events.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "resil/chaos.h"
 #include "resil/resil.h"
@@ -73,6 +84,10 @@ struct CliOptions {
     double chaos_rate_hz = 0.0;  // 0 = off
     bool restart_policy = false;
     int restart_budget = 3;
+    bool profile = false;
+    std::string profile_out;       // collapsed-stack file ("" = print only)
+    std::size_t flight_depth = 0;  // 0 = flight recorder disarmed
+    int obs_window = 0;            // 0 = totals only
 };
 
 void usage() {
@@ -85,7 +100,9 @@ void usage() {
                  "[--trace-out FILE] [--metrics-out FILE] [--trace-mask CATS]\n"
                  "                  [--check[=strict|sampled]] "
                  "[--check-period N]\n                  [--call-metrics] "
-                 "[--chaos[=RATE]] [--restart-policy[=N]]\n");
+                 "[--chaos[=RATE]] [--restart-policy[=N]]\n"
+                 "                  [--profile[=FILE]] [--flight-depth N] "
+                 "[--obs-window N]\n");
 }
 
 bool parse(int argc, char** argv, CliOptions& opt) {
@@ -158,6 +175,22 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             opt.restart_policy = true;
             opt.restart_budget = std::atoi(arg.c_str() + 17);
             if (opt.restart_budget <= 0) return false;
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg.rfind("--profile=", 0) == 0) {
+            opt.profile = true;
+            opt.profile_out = arg.substr(10);
+            if (opt.profile_out.empty()) return false;
+        } else if (arg == "--flight-depth") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.flight_depth = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+            if (opt.flight_depth == 0) return false;
+        } else if (arg == "--obs-window") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            opt.obs_window = std::atoi(v);
+            if (opt.obs_window <= 0) return false;
         } else if (arg == "--super-secondary") {
             opt.super_secondary = true;
         } else if (arg == "--secure") {
@@ -195,37 +228,74 @@ bool pick_config(const std::string& name, core::SchedulerKind& out) {
     return true;
 }
 
-/// "irq,vm,hyp" -> obs::Category bitmask; unknown tokens are rejected.
-bool parse_trace_mask(const std::string& list, std::uint32_t& out) {
-    out = 0;
-    std::size_t pos = 0;
-    while (pos <= list.size()) {
-        const std::size_t comma = list.find(',', pos);
-        const std::string tok =
-            list.substr(pos, comma == std::string::npos ? std::string::npos
-                                                        : comma - pos);
-        if (tok == "irq") out |= obs::to_mask(obs::Category::kIrq);
-        else if (tok == "sched") out |= obs::to_mask(obs::Category::kSched);
-        else if (tok == "hyp") out |= obs::to_mask(obs::Category::kHyp);
-        else if (tok == "vm") out |= obs::to_mask(obs::Category::kVm);
-        else if (tok == "mmu") out |= obs::to_mask(obs::Category::kMmu);
-        else if (tok == "workload") out |= obs::to_mask(obs::Category::kWorkload);
-        else if (tok == "boot") out |= obs::to_mask(obs::Category::kBoot);
-        else if (tok == "channel") out |= obs::to_mask(obs::Category::kChannel);
-        else if (tok == "check") out |= obs::to_mask(obs::Category::kCheck);
-        else if (tok == "resil") out |= obs::to_mask(obs::Category::kResil);
-        else if (tok == "all") out |= obs::to_mask(obs::Category::kAll);
-        else if (!tok.empty()) {
-            std::fprintf(stderr, "unknown trace category: %s\n", tok.c_str());
-            return false;
+constexpr const char* kConfigNames[3] = {"native", "kitten", "linux"};
+
+// --- profiler / flight harvesting -------------------------------------------
+
+/// Cross-trial profiler totals plus flight-recorder dump bookkeeping,
+/// folded in from each trial node via post_trial (nodes die per trial).
+struct ObsHarvest {
+    obs::CycleProfiler prof;
+    std::uint64_t flight_dumps = 0;
+    std::string last_dump_path;
+
+    void collect(core::Node& node) {
+        if (node.platform().config().profile) {
+            prof.merge(node.platform().profiler());
         }
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
+        if (node.platform().flight().armed()) {
+            const auto& fi = node.platform().flight().info();
+            flight_dumps += fi.dumps;
+            if (!fi.last_path.empty()) last_dump_path = fi.last_path;
+        }
     }
-    return true;
+};
+
+int report_obs(const CliOptions& opt, ObsHarvest& harvest,
+               std::uint64_t clock_hz) {
+    if (opt.profile) {
+        harvest.prof.set_call_namer([](unsigned n) {
+            return hafnium::to_string(static_cast<hafnium::Call>(n));
+        });
+        std::printf("%s", harvest.prof.perf_top(sim::ClockSpec{clock_hz}).c_str());
+        if (!opt.profile_out.empty()) {
+            std::ofstream f(opt.profile_out);
+            if (!f) {
+                std::fprintf(stderr, "failed to write %s\n",
+                             opt.profile_out.c_str());
+                return 1;
+            }
+            harvest.prof.write_collapsed(f);
+            std::printf("collapsed stacks written to %s\n",
+                        opt.profile_out.c_str());
+        }
+    }
+    if (opt.flight_depth > 0) {
+        std::printf("flight: %llu dump%s%s%s\n",
+                    static_cast<unsigned long long>(harvest.flight_dumps),
+                    harvest.flight_dumps == 1 ? "" : "s",
+                    harvest.last_dump_path.empty() ? "" : ", last: ",
+                    harvest.last_dump_path.c_str());
+    }
+    return 0;
 }
 
-constexpr const char* kConfigNames[3] = {"native", "kitten", "linux"};
+/// Per-path profiler counter tracks for one trial node's Perfetto process.
+std::vector<obs::TraceExporter::CounterTrack> profiler_tracks(
+    const obs::CycleProfiler& prof) {
+    std::vector<obs::TraceExporter::CounterTrack> tracks(obs::kProfPathCount);
+    for (std::size_t p = 0; p < obs::kProfPathCount; ++p) {
+        tracks[p].name =
+            std::string("prof.") + obs::to_string(static_cast<obs::ProfPath>(p));
+    }
+    for (const auto& s : prof.samples()) {
+        for (std::size_t p = 0; p < obs::kProfPathCount; ++p) {
+            tracks[p].samples.emplace_back(s.when,
+                                           static_cast<double>(s.cycles[p]));
+        }
+    }
+    return tracks;
+}
 
 // --- resilience rigging ------------------------------------------------------
 
@@ -332,6 +402,12 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
     obs::TraceExporter exporter(sim::ClockSpec{probe.platform.clock_hz});
     core::ExperimentRow row;
     ResilTotals totals;
+    ObsHarvest harvest;
+    if (opt.obs_window > 0) {
+        for (auto& agg : row.metrics) {
+            agg.set_window(static_cast<std::size_t>(opt.obs_window));
+        }
+    }
 
     for (std::size_t c = 0; c < core::kAllConfigs.size(); ++c) {
         const core::SchedulerKind kind = core::kAllConfigs[c];
@@ -348,6 +424,12 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
                 exporter.add_process(static_cast<int>(c), kConfigNames[c],
                                      node.platform().ncores(),
                                      node.platform().recorder().events());
+                if (node.platform().config().profile) {
+                    exporter.add_counter_tracks(
+                        static_cast<int>(c),
+                        profiler_tracks(node.platform().profiler()));
+                }
+                harvest.collect(node);
             };
             core::Harness harness(hopt);
             const auto r = harness.run_trial(kind, *spec, opt.seed);
@@ -393,7 +475,7 @@ int run_observed(const CliOptions& opt, const wl::WorkloadSpec* spec,
         std::printf("metrics written to %s\n", opt.metrics_out.c_str());
     }
     print_resil_totals(opt, totals);
-    return 0;
+    return report_obs(opt, harvest, probe.platform.clock_hz);
 }
 
 }  // namespace
@@ -422,13 +504,18 @@ int main(int argc, char** argv) {
         cfg.check_mode = opt.check_mode;
         cfg.check_period = opt.check_period;
         cfg.call_metrics = opt.call_metrics;
+        cfg.platform.profile = opt.profile;
+        cfg.platform.flight_depth = opt.flight_depth;
+        if (opt.flight_depth > 0) cfg.platform.flight_dump_prefix = "flight";
         return cfg;
     };
 
     const bool observed = !opt.trace_out.empty() || !opt.metrics_out.empty();
     if (observed) {
         std::uint32_t mask = 0;
-        if (!parse_trace_mask(opt.trace_mask, mask)) {
+        std::string mask_error;
+        if (!obs::parse_category_list(opt.trace_mask, mask, mask_error)) {
+            std::fprintf(stderr, "%s\n", mask_error.c_str());
             usage();
             return 2;
         }
@@ -460,8 +547,16 @@ int main(int argc, char** argv) {
     hopt.jobs = opt.jobs;  // 0 = one worker per hardware thread
     hopt.base_seed = opt.seed;
     hopt.config_factory = factory;
+    hopt.obs_window = opt.obs_window;
     ResilTotals totals;
     hopt.pre_trial = make_pre_trial(opt, totals);
+    ObsHarvest harvest;
+    if (opt.profile || opt.flight_depth > 0) {
+        // post_trial runs serialized under the harness callback mutex, so
+        // the merge order (and thus the totals) is well-defined at any jobs.
+        hopt.post_trial = [&harvest](core::SchedulerKind, std::uint64_t,
+                                     core::Node& node) { harvest.collect(node); };
+    }
     core::Harness harness(hopt);
 
     std::vector<std::uint64_t> seeds;
@@ -493,10 +588,12 @@ int main(int argc, char** argv) {
                 opt.selective ? ", selective routing" : "", stats.mean(),
                 spec.metric.c_str(), stats.stddev(), runtime.mean());
     print_resil_totals(opt, totals);
+    const int obs_rc =
+        report_obs(opt, harvest, factory(kind, opt.seed).platform.clock_hz);
     if (opt.check_mode != check::Mode::kOff) {
         std::printf("check (%s): %zu finding%s\n", to_string(opt.check_mode),
                     check_failures, check_failures == 1 ? "" : "s");
         if (check_failures != 0) return 1;
     }
-    return 0;
+    return obs_rc;
 }

@@ -95,6 +95,9 @@ Runnable* Executor::preempt() {
             chunk_transient_ = 0;
 
             Runnable* r = current_;
+            if (profiler_ != nullptr) [[unlikely]] {
+                profile_walk(r, transient_used, effective);
+            }
             const double units = static_cast<double>(effective) / rate_;
             if (units > 0.0) r->advance(units, now);
             if (now > chunk_start_) r->on_interval(chunk_start_, now);
@@ -125,6 +128,25 @@ void Executor::observe_chunk(sim::SimTime split, sim::SimTime now) {
     }
 }
 
+// Stage-2 walk attribution: the TLB-refill transient the chunk consumed
+// plus the nested-walk share of its steady-state cost (the walk term of
+// PerfModel::unit_cost). Native stage-1 walks are not attributed — the
+// profiler's tree mirrors the paper's virtualization-overhead breakdown.
+void Executor::profile_walk(Runnable* r, sim::Cycles transient_used,
+                            sim::Cycles effective) {
+    if (r == nullptr || r->mode() != TranslationMode::kTwoStage) return;
+    sim::Cycles walk = transient_used;
+    const WorkProfile& p = r->profile();
+    const double walk_per_unit =
+        p.mem_refs_per_unit * p.tlb_miss_rate *
+        static_cast<double>(perf_->walk_penalty(TranslationMode::kTwoStage));
+    if (rate_ > 0.0 && walk_per_unit > 0.0) {
+        walk += static_cast<sim::Cycles>(static_cast<double>(effective) *
+                                         (walk_per_unit / rate_));
+    }
+    if (walk > 0) profiler_->charge(core_, obs::ProfPath::kStage2Walk, walk);
+}
+
 void Executor::reprice() {
     if (state_ != State::kRunning) return;
     Runnable* r = preempt();
@@ -138,6 +160,9 @@ void Executor::finish_chunk() {
     usage_.transient += transient_used;
     usage_.work += elapsed - transient_used;
     chunk_transient_ = 0;
+    if (profiler_ != nullptr) [[unlikely]] {
+        profile_walk(current_, transient_used, elapsed - transient_used);
+    }
     if (timeline_ != nullptr && now > chunk_start_) {
         const sim::SimTime split = chunk_start_ + transient_used;
         if (transient_used > 0) {

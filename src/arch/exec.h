@@ -18,6 +18,7 @@
 #include "arch/perfmodel.h"
 #include "arch/types.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "sim/engine.h"
 #include "sim/timeline.h"
@@ -120,6 +121,13 @@ public:
         chunk_hist_ = chunk_hist;
     }
 
+    /// Attach the cycle profiler (purely observational). Stage-2 walk
+    /// cycles — the refill transient plus the nested-walk share of each
+    /// chunk's steady-state cost — attribute to ProfPath::kStage2Walk at
+    /// chunk boundaries. Only attach an enabled profiler: detached (the
+    /// default) the accounting costs one predicted branch per boundary.
+    void set_profiler(obs::CycleProfiler* profiler) { profiler_ = profiler; }
+
 private:
     enum class State { kIdle, kPendingBegin, kRunning };
 
@@ -141,6 +149,8 @@ private:
     sim::Cycles pending_transient_ = 0;
 
     void observe_chunk(sim::SimTime split, sim::SimTime now);
+    void profile_walk(Runnable* r, sim::Cycles transient_used,
+                      sim::Cycles effective);
 
     std::function<void(Runnable*)> on_complete_;
     CoreUsage usage_;
@@ -148,6 +158,7 @@ private:
     obs::SpanRecorder* recorder_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     obs::MetricsRegistry::Handle chunk_hist_ = 0;
+    obs::CycleProfiler* profiler_ = nullptr;
 };
 
 }  // namespace hpcsec::arch

@@ -70,6 +70,15 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
     gic_ = std::make_unique<Gic>(config_.ncores);
     obs_.recorder.set_mask(config_.obs_mask);
     obs_.recorder.set_mirror(&trace_);
+    if (config_.profile) {
+        obs_.profiler.enable(config_.ncores);
+        engine_.set_dispatch_probe(&obs_.profiler);
+    }
+    if (config_.flight_depth > 0) {
+        obs_.flight.arm(config_.ncores, config_.flight_depth);
+        obs_.flight.set_dump_sink(engine_.clock(), config_.flight_dump_prefix);
+        obs_.recorder.set_flight(&obs_.flight);
+    }
     const auto chunk_hist = obs_.metrics.histogram("exec.chunk_us");
     std::vector<Core*> core_ptrs;
     for (int i = 0; i < config_.ncores; ++i) {
@@ -78,6 +87,7 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
         core_ptrs.push_back(cores_.back().get());
         cores_.back()->exec().set_recorder(&obs_.recorder);
         cores_.back()->exec().set_chunk_metrics(&obs_.metrics, chunk_hist);
+        if (config_.profile) cores_.back()->exec().set_profiler(&obs_.profiler);
     }
     gic_->set_signal([this](CoreId id) { cores_[static_cast<std::size_t>(id)]->signal_irq(); });
     monitor_ = std::make_unique<SecureMonitor>(std::move(core_ptrs));
@@ -135,6 +145,19 @@ void Platform::publish_metrics() {
     m.set(m.gauge("cores.work_us"), engine_.clock().to_micros(u.work));
     m.set(m.gauge("cores.transient_us"), engine_.clock().to_micros(u.transient));
     m.set(m.gauge("cores.overhead_us"), engine_.clock().to_micros(u.overhead));
+    if (obs_.profiler.enabled()) {
+        for (std::size_t p = 0; p < obs::kProfPathCount; ++p) {
+            const auto path = static_cast<obs::ProfPath>(p);
+            m.set(m.gauge(std::string("prof.cycles.") + obs::to_string(path)),
+                  static_cast<double>(obs_.profiler.total(path)));
+        }
+    }
+    if (obs_.flight.armed()) {
+        m.set(m.gauge("flight.recorded"),
+              static_cast<double>(obs_.flight.total_recorded()));
+        m.set(m.gauge("flight.dumps"),
+              static_cast<double>(obs_.flight.info().dumps));
+    }
 }
 
 }  // namespace hpcsec::arch

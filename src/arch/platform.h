@@ -42,6 +42,15 @@ struct PlatformConfig {
     PerfModel perf;
     /// Structured-recorder category mask (obs::Category bits); 0 = off.
     std::uint32_t obs_mask = 0;
+    /// Arm the cycle-attribution profiler: engine dispatch probe, executor
+    /// walk attribution, and the SPM/kernel charge mirrors all feed
+    /// obs::CycleProfiler. Off (default) every hook is one predicted branch.
+    bool profile = false;
+    /// Always-on flight recorder: last N events per core ring-buffered for
+    /// post-mortem dumps. 0 (default) = disarmed.
+    std::size_t flight_depth = 0;
+    /// Flight dump file prefix; "" keeps dump snapshots in memory only.
+    std::string flight_dump_prefix;
 
     static PlatformConfig pine_a64();
     static PlatformConfig qemu_virt();
@@ -63,6 +72,8 @@ public:
     obs::Obs& obs() { return obs_; }
     obs::MetricsRegistry& metrics() { return obs_.metrics; }
     obs::SpanRecorder& recorder() { return obs_.recorder; }
+    obs::CycleProfiler& profiler() { return obs_.profiler; }
+    obs::FlightRecorder& flight() { return obs_.flight; }
     MemoryMap& mem() { return mem_; }
     Gic& gic() { return *gic_; }
     SecureMonitor& monitor() { return *monitor_; }

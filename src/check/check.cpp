@@ -142,6 +142,10 @@ void Auditor::record(CheckFailure f) {
                                 /*core=*/-1, static_cast<std::int64_t>(f.rule),
                                 f.vm, f.vcpu);
     failures_.push_back(f);
+    // Post-mortem context: every *new* finding flushes the flight recorder
+    // (no-op when disarmed) — before the strict throw, so the dump exists
+    // even when the violation unwinds the run.
+    platform.flight().dump("check-violation");
     if (options_.mode == Mode::kStrict) throw CheckViolation(std::move(f));
 }
 

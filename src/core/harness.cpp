@@ -128,6 +128,11 @@ std::vector<ExperimentRow> Harness::run_rows(
         ExperimentRow row;
         row.workload = spec.name;
         row.metric = spec.metric;
+        if (options_.obs_window > 0) {
+            for (auto& agg : row.metrics) {
+                agg.set_window(static_cast<std::size_t>(options_.obs_window));
+            }
+        }
         for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
             sim::RunningStats stats;
             for (int t = 0; t < options_.trials; ++t) {
@@ -145,9 +150,12 @@ std::vector<ExperimentRow> Harness::run_rows(
 }
 
 // The full specs x configs x trials cross-product fans out as one flat task
-// list; the merge then replays results in exactly the serial loop's order,
-// so every RunningStats/MetricsAggregate sees the same sequence of adds and
-// the output is bit-identical to jobs=1.
+// list; results merge *eagerly* in exactly the serial loop's order — a
+// cursor under the merge mutex folds every completed prefix task into the
+// row aggregates and drops its snapshot immediately. Every RunningStats/
+// MetricsAggregate sees the same sequence of adds as jobs=1 (bit-identical
+// output), and snapshot memory stays bounded by the out-of-order window
+// (~O(jobs)) instead of O(specs x configs x trials).
 std::vector<ExperimentRow> Harness::run_rows_parallel(
     const std::vector<wl::WorkloadSpec>& specs, int jobs) {
     std::vector<RowTask> tasks;
@@ -156,7 +164,23 @@ std::vector<ExperimentRow> Harness::run_rows_parallel(
             for (int t = 0; t < options_.trials; ++t) tasks.push_back({r, c, t});
         }
     }
+
+    std::vector<ExperimentRow> rows(specs.size());
+    std::vector<sim::RunningStats> cell_stats(specs.size() * kAllConfigs.size());
+    for (std::size_t r = 0; r < specs.size(); ++r) {
+        rows[r].workload = specs[r].name;
+        rows[r].metric = specs[r].metric;
+        if (options_.obs_window > 0) {
+            for (auto& agg : rows[r].metrics) {
+                agg.set_window(static_cast<std::size_t>(options_.obs_window));
+            }
+        }
+    }
+
     std::vector<TrialResult> results(tasks.size());
+    std::vector<char> done(tasks.size(), 0);
+    std::size_t merged = 0;
+    std::mutex merge_mutex;
     std::mutex callback_mutex;
     {
         ThreadPool pool(jobs);
@@ -165,23 +189,24 @@ std::vector<ExperimentRow> Harness::run_rows_parallel(
             results[i] = run_trial_impl(kAllConfigs[task.config], specs[task.row],
                                         trial_seed(task.config, task.trial),
                                         &callback_mutex);
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            done[i] = 1;
+            while (merged < tasks.size() && done[merged] != 0) {
+                const RowTask& m = tasks[merged];
+                TrialResult& res = results[merged];
+                cell_stats[m.row * kAllConfigs.size() + m.config].add(res.score);
+                rows[m.row].metrics[m.config].add(res.metrics);
+                res = TrialResult{};  // free the snapshot now, not at the end
+                ++merged;
+            }
         });
     }
 
-    std::vector<ExperimentRow> rows(specs.size());
-    std::size_t i = 0;
     for (std::size_t r = 0; r < specs.size(); ++r) {
-        ExperimentRow& row = rows[r];
-        row.workload = specs[r].name;
-        row.metric = specs[r].metric;
         for (std::size_t c = 0; c < kAllConfigs.size(); ++c) {
-            sim::RunningStats stats;
-            for (int t = 0; t < options_.trials; ++t, ++i) {
-                stats.add(results[i].score);
-                row.metrics[c].add(results[i].metrics);
-            }
-            row.cells[c] = {stats.mean(), stats.stddev(),
-                            static_cast<int>(stats.count())};
+            const sim::RunningStats& stats = cell_stats[r * kAllConfigs.size() + c];
+            rows[r].cells[c] = {stats.mean(), stats.stddev(),
+                                static_cast<int>(stats.count())};
         }
     }
     return rows;

@@ -70,6 +70,11 @@ public:
         /// Structured-recorder categories to enable on every trial node
         /// (obs::Category bits, OR-ed into the platform config).
         std::uint32_t obs_mask = 0;
+        /// Close a windowed aggregate snapshot every N trials in each row
+        /// cell (obs::MetricsAggregate::set_window). 0 = totals only.
+        /// Windows follow merge order — trial order within the cell — so
+        /// windowed output stays bit-identical for every jobs value.
+        int obs_window = 0;
         /// Invariant auditing on every trial node (hypervisor configs only;
         /// the native baseline has no SPM to audit). A trial ends with a
         /// final full validate() so sampled mode can't miss late damage.

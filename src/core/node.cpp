@@ -153,6 +153,14 @@ void Node::boot_hafnium() {
             platform_->metrics());
         spm_->attach_interceptor(call_metrics_.get());
     }
+    if (platform_->config().profile) {
+        profiling_ = std::make_unique<hafnium::ProfilingInterceptor>(*platform_);
+        spm_->attach_interceptor(profiling_.get());
+        // Collapsed stacks / perf-top print FFA call names, not raw numbers.
+        platform_->profiler().set_call_namer([](unsigned n) {
+            return hafnium::to_string(static_cast<hafnium::Call>(n));
+        });
+    }
 
     // Attach the invariant auditor before boot so the whole boot sequence
     // (stage-2 construction, first VCPU transitions) is already audited.

@@ -187,6 +187,7 @@ private:
     /// invokes its chain from its own destructor).
     std::unique_ptr<hafnium::TelemetryInterceptor> telemetry_;
     std::unique_ptr<hafnium::CallMetricsInterceptor> call_metrics_;
+    std::unique_ptr<hafnium::ProfilingInterceptor> profiling_;
     std::unique_ptr<check::Auditor> auditor_;  ///< after spm_: detaches first
     std::unique_ptr<kitten::KittenKernel> kitten_;
     std::unique_ptr<linux_fwk::LinuxKernel> linux_;

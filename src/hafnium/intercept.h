@@ -102,6 +102,22 @@ private:
     std::vector<PerCall> by_number_;  ///< indexed by raw call number
 };
 
+/// Stage kMetrics: mirrors each call's modeled cost into the cycle
+/// profiler's per-call attribution. The dispatch table's CallCost rule
+/// decides the charge — kHandlerCharged calls cost a hypercall round trip
+/// at the gate, kFree calls are counted with zero cycles (their handlers
+/// charge nothing). Mirrors only: per the interceptor contract this never
+/// charges the Executor, so attaching it cannot perturb modeled results.
+/// core::Node attaches one when the platform profiler is enabled.
+class ProfilingInterceptor final : public HypercallInterceptor {
+public:
+    explicit ProfilingInterceptor(arch::Platform& platform);
+    void after(const HypercallSite& site, const HfResult& result) override;
+
+private:
+    arch::Platform* platform_;
+};
+
 /// Stage kReplay: records the complete hypercall sequence, or verifies a
 /// live run against a previously recorded tape. Sits innermost so it sees
 /// exactly what the guest saw — including faults injected by outer stages.

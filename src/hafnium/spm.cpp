@@ -273,6 +273,8 @@ Vcpu* Spm::running_vcpu_on(arch::CoreId core) {
 
 void Spm::set_core_context(arch::CoreId core, Vm* vmctx) {
     arch::Core& c = platform_->core(core);
+    platform_->profiler().set_context(core,
+                                      vmctx != nullptr ? vmctx->id() : 0);
     if (vmctx == nullptr) {
         c.mmu().set_context(nullptr, nullptr, 0, 0, arch::World::kNonSecure);
         return;
@@ -316,6 +318,9 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             platform_->recorder().instant(platform_->engine().now(),
                                           obs::EventType::kVirqInject, core,
                                           arch::kIrqVirtTimer, rv->vm().id());
+            platform_->profiler().charge(core, obs::ProfPath::kTimerTick,
+                                         perf.trap_to_el2 + perf.virq_inject +
+                                             service);
             ex.charge(perf.trap_to_el2 + perf.virq_inject + service);
             ex.begin(rv->guest_context);
             // The handler may have re-armed the vtimer via hypercall.
@@ -337,10 +342,16 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             Vcpu& target = ss->vcpu(0);
             arch::Runnable* interrupted = ex.preempt();
             ex.charge(perf.trap_to_el2 + perf.virq_inject);
+            platform_->profiler().charge(core, obs::ProfPath::kIrqRoute,
+                                         perf.trap_to_el2 + perf.virq_inject);
             if (running_vcpu_on(core) == &target || interrupted == target.guest_context) {
                 // SS is on this very core: deliver inline.
                 GuestOsItf* gos = find_guest_os(ss->id());
-                ex.charge(gos != nullptr ? gos->on_virq(target, irq) : 0);
+                const sim::Cycles service =
+                    gos != nullptr ? gos->on_virq(target, irq) : 0;
+                ex.charge(service);
+                platform_->profiler().charge(core, obs::ProfPath::kIrqRoute,
+                                             service);
                 ++stats_.virq_injections;
                 platform_->recorder().instant(platform_->engine().now(),
                                               obs::EventType::kVirqInject, core,
@@ -361,6 +372,9 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             } else {
                 arch::Runnable* interrupted = ex.preempt();
                 ex.charge(perf.trap_to_el2 + perf.irq_entry_exit_el1);
+                platform_->profiler().charge(
+                    core, obs::ProfPath::kIrqRoute,
+                    perf.trap_to_el2 + perf.irq_entry_exit_el1);
                 // The primary's own task was interrupted; its scheduler will
                 // redispatch it (we leave it detached, matching a real IRQ
                 // frame on the kernel stack).
@@ -389,8 +403,11 @@ void Spm::enter_vcpu(arch::CoreId core, Vcpu& vcpu, sim::Cycles base_cost) {
     vcpu_on_core_[static_cast<std::size_t>(core)] = &vcpu;
     set_core_context(core, &vcpu.vm());
 
-    sim::Cycles cost = base_cost + drain_virqs(vcpu);
-    ex.charge(cost);
+    const sim::Cycles drain_cost = drain_virqs(vcpu);
+    ex.charge(base_cost + drain_cost);
+    auto& prof = platform_->profiler();
+    prof.charge(core, obs::ProfPath::kWorldSwitch, base_cost);
+    prof.charge(core, obs::ProfPath::kVgicRoute, drain_cost);
     ++stats_.world_switches;
     if (vcpu.guest_context == nullptr) {
         // Interrupt-service-only entry: the guest handled its virqs and has
@@ -444,6 +461,9 @@ void Spm::exit_vcpu(arch::CoreId core, Vcpu& vcpu, ExitReason reason,
     vcpu.running_core = -1;
     vcpu_on_core_[static_cast<std::size_t>(core)] = nullptr;
     c.timer().cancel(arch::TimerChannel::kVirt);  // deadline kept in vcpu state
+    // Exit cost is the hypervisor working on the exiting guest's behalf:
+    // attribute before the context flips back to the primary.
+    platform_->profiler().charge(core, obs::ProfPath::kWorldSwitch, cost);
     set_core_context(core, &primary_vm());
     ex.charge(cost);
     ++stats_.vm_exits;

@@ -323,6 +323,8 @@ void KittenKernel::handle_tick(arch::CoreId core) {
         std::max(500.0, rng_.normal(static_cast<double>(perf.kitten_tick_service),
                                     static_cast<double>(perf.kitten_tick_jitter)));
     ex.charge(static_cast<sim::Cycles>(service));
+    platform_->profiler().charge(core, obs::ProfPath::kTimerTick,
+                                 static_cast<sim::Cycles>(service));
     if (config_.tick_enabled) arm_tick(core);
     // Round-robin quantum expiry: the interrupted thread sits at the front;
     // rotate it behind any other ready thread. With one runnable thread per

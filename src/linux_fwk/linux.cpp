@@ -204,12 +204,15 @@ void LinuxKernel::handle_tick(arch::CoreId core) {
         2000.0, rng.normal(static_cast<double>(perf.linux_tick_service),
                            static_cast<double>(perf.linux_tick_jitter)));
     ex.charge(static_cast<sim::Cycles>(service));
+    platform_->profiler().charge(core, obs::ProfPath::kTimerTick,
+                                 static_cast<sim::Cycles>(service));
 
     // Softirq processing rides on a fraction of ticks.
     if (config_.noise_enabled && rng.next_double() < config_.softirq_prob) {
         const double us = rng.exponential(config_.softirq_us_mean);
         const auto cycles = platform_->engine().clock().from_micros(us);
         ex.charge(cycles);
+        platform_->profiler().charge(core, obs::ProfPath::kTimerTick, cycles);
         ++stats_.softirqs;
         stats_.noise_cycles += static_cast<double>(cycles);
     }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/time.h"
 
@@ -29,6 +30,17 @@ enum class Category : std::uint32_t {
 [[nodiscard]] constexpr std::uint32_t to_mask(Category c) {
     return static_cast<std::uint32_t>(c);
 }
+
+/// Stable lower-case name for one category bit ("irq", "sched", ...).
+[[nodiscard]] const char* category_name(Category c);
+
+/// Parse a comma-separated category list into a bitmask. Tokens are either
+/// symbolic names ("irq,sched,hyp", "all") or raw numeric masks ("0x305",
+/// "773") which OR in verbatim. On a bad token returns false and fills
+/// `error` with the offending token plus the list of valid names.
+/// Defined in recorder.cpp.
+[[nodiscard]] bool parse_category_list(const std::string& list,
+                                       std::uint32_t& out, std::string& error);
 
 enum class EventType : std::uint8_t {
     // Spans (end > start).

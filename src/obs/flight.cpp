@@ -1,0 +1,108 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/trace_export.h"
+
+namespace hpcsec::obs {
+
+void FlightRecorder::arm(int ncores, std::size_t depth) {
+    depth_ = depth;
+    rings_.clear();
+    if (depth == 0) return;
+    rings_.resize(static_cast<std::size_t>(ncores) + 1);
+    for (auto& r : rings_) r.buf.reserve(depth);
+}
+
+void FlightRecorder::push_slow(const Event& e) {
+    // core -1 (sourceless events) lands in ring 0; cores beyond the armed
+    // count clamp into the last ring rather than dropping silently.
+    std::size_t idx = static_cast<std::size_t>(e.core + 1);
+    if (idx >= rings_.size()) idx = rings_.size() - 1;
+    Ring& r = rings_[idx];
+    if (r.buf.size() < depth_) {
+        r.buf.push_back(e);
+    } else {
+        r.buf[r.next] = e;
+    }
+    r.next = (r.next + 1) % depth_;
+    ++r.total;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+    std::uint64_t total = 0;
+    for (const auto& r : rings_) total += r.total;
+    return total;
+}
+
+std::vector<Event> FlightRecorder::snapshot() const {
+    std::vector<Event> out;
+    for (const auto& r : rings_) {
+        if (r.buf.size() < depth_) {
+            out.insert(out.end(), r.buf.begin(), r.buf.end());
+        } else {
+            // Oldest-first: the slot about to be overwritten is the oldest.
+            out.insert(out.end(), r.buf.begin() + static_cast<std::ptrdiff_t>(r.next),
+                       r.buf.end());
+            out.insert(out.end(), r.buf.begin(),
+                       r.buf.begin() + static_cast<std::ptrdiff_t>(r.next));
+        }
+    }
+    std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+        return a.start < b.start;
+    });
+    return out;
+}
+
+void FlightRecorder::write_json(std::ostream& os, const std::string& reason,
+                                const std::vector<Event>& events) const {
+    os << "{\"reason\":\"" << reason << "\",\"depth\":" << depth_
+       << ",\"total_recorded\":" << total_recorded() << ",\"events\":[";
+    bool first = true;
+    for (const auto& e : events) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n {\"start\":" << e.start << ",\"end\":" << e.end << ",\"type\":\""
+           << to_string(e.type) << "\",\"core\":" << e.core << ",\"a0\":" << e.a0
+           << ",\"a1\":" << e.a1 << ",\"a2\":" << e.a2 << "}";
+    }
+    os << "\n]}\n";
+}
+
+std::size_t FlightRecorder::dump(const std::string& reason) {
+    if (depth_ == 0) return 0;
+    std::vector<Event> events = snapshot();
+    info_.last_reason = reason;
+    info_.last_events = events.size();
+    info_.last_path.clear();
+
+    if (!dump_prefix_.empty()) {
+        const std::string stem =
+            dump_prefix_ + "-" + std::to_string(info_.dumps) + "-" + reason;
+        std::ofstream flat(stem + ".json");
+        if (flat) {
+            write_json(flat, reason, events);
+            if (flat.good()) info_.last_path = stem + ".json";
+        }
+        int ncores = static_cast<int>(rings_.size()) - 1;
+        TraceExporter exporter(clock_);
+        exporter.add_process(0, "flight-" + reason, ncores, events);
+        exporter.write_file(stem + ".trace.json");
+    }
+    info_.last_snapshot = std::move(events);
+    ++info_.dumps;
+    return info_.last_events;
+}
+
+void FlightRecorder::clear() {
+    for (auto& r : rings_) {
+        r.buf.clear();
+        r.next = 0;
+        r.total = 0;
+    }
+    info_ = DumpInfo{};
+}
+
+}  // namespace hpcsec::obs

@@ -1,0 +1,93 @@
+// Always-on flight recorder: fixed-size per-core rings of the last N
+// structured events.
+//
+// Full tracing retains everything and is opt-in; the flight recorder keeps
+// only the most recent `depth` events per core with O(1) overwrite, so
+// post-mortem context (what led up to a CheckViolation, a watchdog
+// restart, a chaos-induced abort) survives even when the retained trace is
+// off. Dump hooks in check::Auditor, resil::Supervisor, and
+// resil::ChaosInjector call dump(reason); each dump freezes a time-ordered
+// snapshot and, when a sink is configured, writes it as flat JSON plus a
+// Perfetto-loadable trace.
+//
+// Disarmed (depth 0, the default) push() costs one predicted branch and
+// nothing allocates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "sim/time.h"
+
+namespace hpcsec::obs {
+
+class FlightRecorder {
+public:
+    /// Arm with `depth` retained events per core. Rings are indexed by
+    /// core + 1 so sourceless events (core == -1, e.g. check findings)
+    /// keep their own ring. depth 0 disarms.
+    void arm(int ncores, std::size_t depth);
+    [[nodiscard]] bool armed() const { return depth_ != 0; }
+    [[nodiscard]] std::size_t depth() const { return depth_; }
+
+    /// Hot path: O(1) ring overwrite; one predicted branch when disarmed.
+    void push(const Event& e) {
+        if (depth_ == 0) [[likely]] return;
+        push_slow(e);
+    }
+
+    /// Events ever pushed (retained + overwritten).
+    [[nodiscard]] std::uint64_t total_recorded() const;
+
+    /// Current ring contents, merged across cores and time-ordered.
+    [[nodiscard]] std::vector<Event> snapshot() const;
+
+    /// Configure file dumps: each dump(reason) writes
+    /// `<prefix>-<seq>-<reason>.json` (flat event list) and
+    /// `<prefix>-<seq>-<reason>.trace.json` (Perfetto). Empty prefix (the
+    /// default) keeps dumps in memory only.
+    void set_dump_sink(sim::ClockSpec clock, std::string path_prefix) {
+        clock_ = clock;
+        dump_prefix_ = std::move(path_prefix);
+    }
+
+    struct DumpInfo {
+        std::uint64_t dumps = 0;
+        std::string last_reason;
+        std::string last_path;        ///< "" when no file sink configured
+        std::size_t last_events = 0;
+        std::vector<Event> last_snapshot;
+    };
+
+    /// Freeze and (when a sink is set) write the current snapshot. Returns
+    /// the number of events captured; a disarmed recorder returns 0 and
+    /// does nothing. Write failures are swallowed — the dump path runs
+    /// inside failure handling and must never mask the original fault.
+    std::size_t dump(const std::string& reason);
+
+    [[nodiscard]] const DumpInfo& info() const { return info_; }
+
+    void clear();
+
+private:
+    struct Ring {
+        std::vector<Event> buf;  ///< capacity depth_; grows to it, then wraps
+        std::size_t next = 0;
+        std::uint64_t total = 0;
+    };
+
+    void push_slow(const Event& e);
+    void write_json(std::ostream& os, const std::string& reason,
+                    const std::vector<Event>& events) const;
+
+    std::size_t depth_ = 0;
+    std::vector<Ring> rings_;  ///< index core + 1
+    sim::ClockSpec clock_{};
+    std::string dump_prefix_;
+    DumpInfo info_;
+};
+
+}  // namespace hpcsec::obs

@@ -52,7 +52,8 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
                << ",\"max\":" << m.stats.max() << ",\"buckets\":[";
             for (std::size_t i = 0; i < m.buckets.size(); ++i) {
                 if (i != 0) os << ",";
-                os << "[" << m.buckets[i].first << "," << m.buckets[i].second << "]";
+                os << "[" << m.buckets[i].lo << "," << m.buckets[i].hi << ","
+                   << m.buckets[i].count << "]";
             }
             os << "]";
         }
@@ -140,7 +141,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
                 m.value = static_cast<double>(h.total());
                 m.stats = hist_stats_[e.index];
                 for (std::size_t b = 0; b < h.bucket_count(); ++b) {
-                    if (h.bucket(b) != 0) m.buckets.emplace_back(h.bucket_lo(b), h.bucket(b));
+                    if (h.bucket(b) == 0) continue;
+                    // hi of the last bucket is open-ended (sentinel -1).
+                    const double hi = b + 1 < h.bucket_count()
+                                          ? h.bucket_lo(b + 1)
+                                          : -1.0;
+                    m.buckets.push_back({h.bucket_lo(b), hi, h.bucket(b)});
                 }
                 break;
             }
@@ -163,36 +169,107 @@ void MetricsRegistry::reset() {
     }
 }
 
-void MetricsAggregate::add(const MetricsSnapshot& snap) {
+MetricsAggregate::Row& MetricsAggregate::row_for(std::vector<Row>& rows,
+                                                 const std::string& name,
+                                                 MetricKind kind) {
+    for (auto& r : rows) {
+        if (r.name == name) return r;
+    }
+    rows.push_back({name, kind, {}, {}});
+    return rows.back();
+}
+
+void MetricsAggregate::fold(std::vector<Row>& rows, const MetricsSnapshot& snap) {
     for (const auto& m : snap.metrics) {
-        Row* row = nullptr;
-        for (auto& r : rows_) {
-            if (r.name == m.name) {
-                row = &r;
-                break;
+        Row& row = row_for(rows, m.name, m.kind);
+        // Histograms aggregate their per-trial mean; counters/gauges the value.
+        row.stats.add(m.kind == MetricKind::kHistogram ? m.stats.mean() : m.value);
+        // Exact bucket merge: bounds travel with the snapshot, so buckets
+        // from equally-shaped histograms line up by (lo, hi) and others
+        // interleave in lo order.
+        for (const auto& b : m.buckets) {
+            auto it = row.buckets.begin();
+            for (; it != row.buckets.end(); ++it) {
+                if (it->lo == b.lo && it->hi == b.hi) {
+                    it->count += b.count;
+                    break;
+                }
+                if (it->lo > b.lo) break;
+            }
+            if (it == row.buckets.end() || it->lo != b.lo || it->hi != b.hi) {
+                row.buckets.insert(it, b);
             }
         }
-        if (row == nullptr) {
-            rows_.push_back({m.name, m.kind, {}});
-            row = &rows_.back();
-        }
-        // Histograms aggregate their per-trial mean; counters/gauges the value.
-        row->stats.add(m.kind == MetricKind::kHistogram ? m.stats.mean() : m.value);
     }
 }
 
-void MetricsAggregate::write_json(std::ostream& os) const {
-    os << "{\"metrics\":[";
+void MetricsAggregate::set_window(std::size_t trials_per_window,
+                                  std::size_t retain) {
+    window_trials_ = trials_per_window;
+    window_retain_ = retain;
+}
+
+void MetricsAggregate::add(const MetricsSnapshot& snap) {
+    fold(rows_, snap);
+    ++trials_;
+    if (window_trials_ == 0) return;
+    fold(window_rows_, snap);
+    if (++window_fill_ < window_trials_) return;
+    Window w;
+    w.index = windows_.empty() ? 0 : windows_.back().index + 1;
+    w.first_trial = trials_ - window_fill_;
+    w.trials = window_fill_;
+    w.rows = std::move(window_rows_);
+    windows_.push_back(std::move(w));
+    if (windows_.size() > window_retain_ && window_retain_ > 0) {
+        windows_.erase(windows_.begin());
+    }
+    window_rows_.clear();
+    window_fill_ = 0;
+}
+
+namespace {
+void write_rows_json(std::ostream& os, const std::vector<MetricsAggregate::Row>& rows) {
+    os << "[";
     bool first = true;
-    for (const auto& r : rows_) {
+    for (const auto& r : rows) {
         if (!first) os << ",";
         first = false;
         os << "\n  {\"name\":";
         write_json_string(os, r.name);
         os << ",\"kind\":\"" << kind_name(r.kind) << "\",\"mean\":" << r.stats.mean()
-           << ",\"stdev\":" << r.stats.stddev() << ",\"n\":" << r.stats.count() << "}";
+           << ",\"stdev\":" << r.stats.stddev() << ",\"n\":" << r.stats.count();
+        if (!r.buckets.empty()) {
+            os << ",\"buckets\":[";
+            for (std::size_t i = 0; i < r.buckets.size(); ++i) {
+                if (i != 0) os << ",";
+                os << "[" << r.buckets[i].lo << "," << r.buckets[i].hi << ","
+                   << r.buckets[i].count << "]";
+            }
+            os << "]";
+        }
+        os << "}";
     }
-    os << "\n]}\n";
+    os << "\n]";
+}
+}  // namespace
+
+void MetricsAggregate::write_json(std::ostream& os) const {
+    os << "{\"metrics\":";
+    write_rows_json(os, rows_);
+    if (!windows_.empty()) {
+        os << ",\"window_trials\":" << window_trials_ << ",\"windows\":[";
+        for (std::size_t i = 0; i < windows_.size(); ++i) {
+            if (i != 0) os << ",";
+            os << "\n {\"index\":" << windows_[i].index
+               << ",\"first_trial\":" << windows_[i].first_trial
+               << ",\"trials\":" << windows_[i].trials << ",\"metrics\":";
+            write_rows_json(os, windows_[i].rows);
+            os << "}";
+        }
+        os << "\n]";
+    }
+    os << "}\n";
 }
 
 }  // namespace hpcsec::obs

@@ -23,13 +23,22 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
 /// Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
+    /// One histogram bucket with explicit bounds [lo, hi), so downstream
+    /// tooling can merge snapshots without consulting the source histogram
+    /// shape. hi < 0 marks the open-ended top bucket.
+    struct Bucket {
+        double lo = 0.0;
+        double hi = 0.0;
+        std::uint64_t count = 0;
+    };
+
     struct Metric {
         std::string name;
         MetricKind kind = MetricKind::kCounter;
         double value = 0.0;              ///< counter/gauge value; histogram count
         sim::RunningStats stats;         ///< histogram observations
-        /// Histogram buckets as (lower bound, count), zero buckets omitted.
-        std::vector<std::pair<double, std::uint64_t>> buckets;
+        /// Histogram buckets with explicit bounds, zero buckets omitted.
+        std::vector<Bucket> buckets;
     };
 
     std::vector<Metric> metrics;
@@ -129,9 +138,18 @@ private:
     std::vector<sim::RunningStats> hist_stats_;
 };
 
-/// Aggregates snapshots across trials: per metric name, the distribution of
-/// scalar values (counter/gauge value, histogram mean). Produces the
-/// (name, mean, stdev, n) rows the experiment harness and benches report.
+/// Streams snapshots across trials: per metric name, the distribution of
+/// scalar values (counter/gauge value, histogram mean) plus exact bucket
+/// merging for histograms. Produces the (name, mean, stdev, n) rows the
+/// experiment harness and benches report.
+///
+/// Memory is O(metric names), never O(trials): each add() folds the
+/// snapshot into running accumulators and drops it. Optional windowing
+/// (set_window) additionally keeps summaries of the last `retain` windows
+/// of `trials_per_window` adds each, so long sweeps can report recent
+/// behavior without retaining history. Determinism contract: add() order
+/// alone defines the result — callers that merge in serial trial order get
+/// bit-identical output at every --jobs value.
 class MetricsAggregate {
 public:
     void add(const MetricsSnapshot& snap);
@@ -140,15 +158,45 @@ public:
         std::string name;
         MetricKind kind;
         sim::RunningStats stats;
+        /// Exact bucket-wise histogram merge across all added snapshots
+        /// (empty for counters/gauges). Buckets keep snapshot bounds.
+        std::vector<MetricsSnapshot::Bucket> buckets;
     };
     [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
     [[nodiscard]] bool empty() const { return rows_.empty(); }
+    [[nodiscard]] std::size_t trials() const { return trials_; }
 
-    /// {"metrics":[{"name":...,"mean":...,"stdev":...,"n":...},...]}
+    /// Enable windowed summaries: every `trials_per_window` adds close one
+    /// window; the most recent `retain` window summaries are kept (older
+    /// ones drop off). Call before the first add().
+    void set_window(std::size_t trials_per_window, std::size_t retain = 8);
+    [[nodiscard]] std::size_t window_size() const { return window_trials_; }
+
+    struct Window {
+        std::size_t index = 0;        ///< 0-based window sequence number
+        std::size_t first_trial = 0;  ///< first add() folded into this window
+        std::size_t trials = 0;
+        std::vector<Row> rows;        ///< same shape as the global rows
+    };
+    /// Closed windows, oldest first (bounded by `retain`).
+    [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+
+    /// {"metrics":[{"name":...,"mean":...,"stdev":...,"n":...,
+    ///   "buckets":[[lo,hi,count],...]},...],"windows":[...]}
+    /// (buckets/windows only when present, so PR 1 consumers are unchanged).
     void write_json(std::ostream& os) const;
 
 private:
+    Row& row_for(std::vector<Row>& rows, const std::string& name, MetricKind kind);
+    void fold(std::vector<Row>& rows, const MetricsSnapshot& snap);
+
     std::vector<Row> rows_;
+    std::size_t trials_ = 0;
+    std::size_t window_trials_ = 0;  ///< 0 = windowing off
+    std::size_t window_retain_ = 8;
+    std::vector<Row> window_rows_;   ///< accumulator for the open window
+    std::size_t window_fill_ = 0;
+    std::vector<Window> windows_;
 };
 
 }  // namespace hpcsec::obs

@@ -1,13 +1,17 @@
 // Umbrella: the per-platform observability bundle.
 //
 // One Obs instance rides on each arch::Platform: the always-on metrics
-// registry (handle-based counters/gauges/histograms) and the opt-in
-// structured span recorder. Exporters (trace_export.h, report.h) consume
-// these at reporting boundaries.
+// registry (handle-based counters/gauges/histograms), the opt-in
+// structured span recorder, the cycle-attribution profiler, and the
+// always-on flight recorder. Exporters (trace_export.h, report.h) consume
+// these at reporting boundaries. Profiler and flight recorder are null
+// objects until enabled/armed — one predicted branch per hook site.
 #pragma once
 
 #include "obs/events.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 
 namespace hpcsec::obs {
@@ -15,6 +19,8 @@ namespace hpcsec::obs {
 struct Obs {
     MetricsRegistry metrics;
     SpanRecorder recorder;
+    CycleProfiler profiler;
+    FlightRecorder flight;
 };
 
 }  // namespace hpcsec::obs

@@ -1,0 +1,157 @@
+// Cycle-attribution profiler: a "perf top" for the simulator.
+//
+// PR 1's metrics can say *that* hypervisor overhead exists; this sink says
+// *where* it went. Every modeled cycle the SPM, the kernels, or the
+// executor charges can be mirrored here under an attribution path
+// (world-switch, stage-2 walk, vGIC route, ...), bucketed per (VM, core)
+// plus per call number for hypercalls. Attribution is purely
+// observational: the profiler never charges the Executor itself, so figure
+// benches stay bit-identical with the profiler attached (the interceptor
+// discipline from src/hafnium/intercept.h).
+//
+// Cost model: one predicted branch per charge site when disabled. When
+// enabled, the engine's dispatch probe drives deterministic sampling of
+// the cumulative per-path totals, which export as Perfetto counter tracks;
+// the final tree exports as collapsed-stack text ("vm;core;path cycles")
+// that flamegraph.pl / speedscope consume directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/time.h"
+
+namespace hpcsec::obs {
+
+/// Attribution paths — the SPM/kernel code paths the paper's figures
+/// account cycles to. Keep to_string in profiler.cpp in sync (tools/lint.py
+/// fails the build otherwise).
+enum class ProfPath : std::uint8_t {
+    kWorldSwitch,  ///< full VM context switch through EL2 (enter/exit)
+    kHypercall,    ///< EL1 -> EL2 -> EL1 roundtrip charged by a handler
+    kStage2Walk,   ///< nested-walk TLB refill transients under stage 2
+    kVgicRoute,    ///< virq drain/injection on VCPU entry
+    kIrqRoute,     ///< physical IRQ routing (direct delivery, primary path)
+    kTimerTick,    ///< vtimer/kernel tick service
+    kInterceptor,  ///< hypercall interceptor chain (counts; zero cycles)
+};
+inline constexpr std::size_t kProfPathCount = 7;
+
+[[nodiscard]] const char* to_string(ProfPath p);
+
+/// Hierarchical cycle sink. Disabled (the default) it is a null object:
+/// charge()/charge_call() cost one predicted branch, set_context() is a
+/// store, and nothing allocates.
+class CycleProfiler final : public sim::DispatchProbe {
+public:
+    struct PathCell {
+        std::uint64_t cycles = 0;
+        std::uint64_t count = 0;
+    };
+
+    /// One (vm, core) attribution bucket. vm 0 is the EL2/host context
+    /// (charges landing before any VM context is installed).
+    struct Slot {
+        int vm = 0;
+        int core = 0;
+        std::array<PathCell, kProfPathCount> paths{};
+        std::vector<PathCell> calls;  ///< indexed by raw hypercall number
+    };
+
+    /// Cumulative per-path totals sampled at a deterministic event cadence.
+    struct CounterSample {
+        sim::SimTime when = 0;
+        std::array<std::uint64_t, kProfPathCount> cycles{};
+    };
+
+    /// Arm the profiler for `ncores` cores. Idempotent; resets nothing on
+    /// a second call with the same core count.
+    void enable(int ncores);
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// Counter-track sampling cadence in engine dispatches (default 4096;
+    /// 0 disables sampling but keeps attribution).
+    void set_sample_period(std::uint64_t dispatches) { sample_period_ = dispatches; }
+
+    /// Resolve hypercall numbers to names in exports (set by core::Node so
+    /// obs never depends on the hafnium layer). Unset numbers render as
+    /// "call_<n>".
+    void set_call_namer(std::function<std::string(unsigned)> namer) {
+        call_namer_ = std::move(namer);
+    }
+
+    // --- hot paths ----------------------------------------------------------
+    /// Install the VM context charges on `core` attribute to. Called at
+    /// world-switch cadence (cold relative to charge sites).
+    void set_context(int core, int vm) {
+        if (!enabled_) [[likely]] return;
+        set_context_slow(core, vm);
+    }
+
+    /// Mirror `cycles` already charged to the core's Executor under `p`.
+    void charge(int core, ProfPath p, sim::Cycles cycles) {
+        if (!enabled_) [[likely]] return;
+        charge_slow(core, p, cycles);
+    }
+
+    /// Count a path occurrence without cycles (e.g. interceptor hops).
+    void count(int core, ProfPath p) { charge(core, p, 0); }
+
+    /// Attribute a hypercall by raw number (also feeds ProfPath::kHypercall).
+    void charge_call(int core, unsigned call_number, sim::Cycles cycles) {
+        if (!enabled_) [[likely]] return;
+        charge_call_slow(core, call_number, cycles);
+    }
+
+    /// sim::DispatchProbe: deterministic sampling clock for counter tracks.
+    void on_dispatch(sim::SimTime now, int priority) override;
+
+    // --- inspection ---------------------------------------------------------
+    [[nodiscard]] const std::vector<Slot>& slots() const { return slots_; }
+    [[nodiscard]] const std::vector<CounterSample>& samples() const {
+        return samples_;
+    }
+    [[nodiscard]] std::uint64_t total(ProfPath p) const;
+    [[nodiscard]] std::uint64_t total_cycles() const;
+    [[nodiscard]] PathCell call_total(unsigned call_number) const;
+
+    /// Fold another profiler's tree into this one (cross-trial totals).
+    /// Samples are not merged (they are per-run timelines).
+    void merge(const CycleProfiler& other);
+
+    void clear();
+
+    // --- export -------------------------------------------------------------
+    /// Collapsed-stack text: one "vm<N>;core<M>;<path>[;<call>] <cycles>"
+    /// line per non-empty leaf — flamegraph.pl / speedscope input.
+    void write_collapsed(std::ostream& os) const;
+
+    /// Human-readable top-N attribution table ("perf top").
+    [[nodiscard]] std::string perf_top(const sim::ClockSpec& clock,
+                                       std::size_t max_rows = 16) const;
+
+    /// Resolved display name for a call number ("call_<n>" without a namer).
+    [[nodiscard]] std::string call_name(unsigned call_number) const;
+
+private:
+    void set_context_slow(int core, int vm);
+    void charge_slow(int core, ProfPath p, sim::Cycles cycles);
+    void charge_call_slow(int core, unsigned call_number, sim::Cycles cycles);
+    Slot& slot_for(int core, int vm);
+
+    bool enabled_ = false;
+    int ncores_ = 0;
+    std::uint64_t sample_period_ = 4096;
+    std::uint64_t dispatches_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> current_;  ///< per-core index into slots_
+    std::vector<CounterSample> samples_;
+    std::function<std::string(unsigned)> call_namer_;
+};
+
+}  // namespace hpcsec::obs

@@ -1,8 +1,78 @@
 #include "obs/recorder.h"
 
+#include <array>
+#include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace hpcsec::obs {
+
+namespace {
+constexpr std::array<std::pair<const char*, Category>, 11> kCategoryNames{{
+    {"irq", Category::kIrq},
+    {"sched", Category::kSched},
+    {"hyp", Category::kHyp},
+    {"vm", Category::kVm},
+    {"mmu", Category::kMmu},
+    {"workload", Category::kWorkload},
+    {"boot", Category::kBoot},
+    {"channel", Category::kChannel},
+    {"check", Category::kCheck},
+    {"resil", Category::kResil},
+    {"all", Category::kAll},
+}};
+}  // namespace
+
+const char* category_name(Category c) {
+    for (const auto& [name, cat] : kCategoryNames) {
+        if (cat == c) return name;
+    }
+    return "?";
+}
+
+bool parse_category_list(const std::string& list, std::uint32_t& out,
+                         std::string& error) {
+    out = 0;
+    error.clear();
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (!tok.empty()) {
+            bool matched = false;
+            for (const auto& [name, cat] : kCategoryNames) {
+                if (tok == name) {
+                    out |= to_mask(cat);
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                // Raw bitmask tokens ("0x305", "773") OR in verbatim.
+                char* end = nullptr;
+                const unsigned long long raw = std::strtoull(tok.c_str(), &end, 0);
+                if (end != nullptr && *end == '\0' && end != tok.c_str()) {
+                    out |= static_cast<std::uint32_t>(raw);
+                    matched = true;
+                }
+            }
+            if (!matched) {
+                error = "unknown trace category '" + tok + "' (valid: ";
+                for (std::size_t i = 0; i < kCategoryNames.size(); ++i) {
+                    if (i != 0) error += ",";
+                    error += kCategoryNames[i].first;
+                }
+                error += ", or a numeric mask like 0x305)";
+                return false;
+            }
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return true;
+}
 
 const char* to_string(EventType t) {
     switch (t) {
@@ -35,6 +105,10 @@ std::size_t SpanRecorder::count(EventType t) const {
 }
 
 void SpanRecorder::record(Event e) {
+    if (flight_ != nullptr) flight_->push(e);
+    // Retain/mirror only when the event's category is enabled proper; an
+    // armed flight recorder routes everything here but keeps only its rings.
+    if ((mask_ & to_mask(category_of(e.type))) == 0) return;
     events_.push_back(e);
     if (mirror_ == nullptr) return;
     // TraceCat bit layout matches Category, so the cast is exact.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/events.h"
+#include "obs/flight.h"
 #include "sim/trace.h"
 
 namespace hpcsec::obs {
@@ -28,16 +29,27 @@ public:
     /// here AND in the mirror).
     void set_mirror(sim::TraceLog* log) { mirror_ = log; }
 
+    /// Feed every event (all categories) into an armed flight recorder's
+    /// rings in addition to normal retention. The hot path stays one branch:
+    /// arming ORs kAll into the gate mask, and the cold path decides what is
+    /// retained vs. only ring-buffered.
+    void set_flight(FlightRecorder* flight) {
+        flight_ = flight;
+        flight_mask_ =
+            flight != nullptr && flight->armed() ? to_mask(Category::kAll) : 0;
+    }
+    [[nodiscard]] FlightRecorder* flight() const { return flight_; }
+
     // --- hot path -----------------------------------------------------------
     void instant(sim::SimTime when, EventType t, int core, std::int64_t a0 = 0,
                  std::int64_t a1 = 0, std::int64_t a2 = 0) {
-        if ((mask_ & to_mask(category_of(t))) == 0) return;
+        if (((mask_ | flight_mask_) & to_mask(category_of(t))) == 0) return;
         record({when, when, t, static_cast<std::int16_t>(core), a0, a1, a2});
     }
 
     void span(sim::SimTime start, sim::SimTime end, EventType t, int core,
               std::int64_t a0 = 0, std::int64_t a1 = 0, std::int64_t a2 = 0) {
-        if ((mask_ & to_mask(category_of(t))) == 0) return;
+        if (((mask_ | flight_mask_) & to_mask(category_of(t))) == 0) return;
         record({start, end, t, static_cast<std::int16_t>(core), a0, a1, a2});
     }
 
@@ -47,11 +59,13 @@ public:
     void clear() { events_.clear(); }
 
 private:
-    void record(Event e);  ///< cold path: retain + optional mirror
+    void record(Event e);  ///< cold path: flight ring, retain, optional mirror
 
     std::uint32_t mask_ = 0;
+    std::uint32_t flight_mask_ = 0;  ///< kAll while a flight recorder is armed
     std::vector<Event> events_;
     sim::TraceLog* mirror_ = nullptr;
+    FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace hpcsec::obs

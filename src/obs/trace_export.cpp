@@ -51,7 +51,17 @@ void write_args(std::ostream& os, const Event& e) {
 
 void TraceExporter::add_process(int pid, const std::string& name, int ncores,
                                 std::vector<Event> events) {
-    processes_.push_back({pid, name, ncores, std::move(events)});
+    processes_.push_back({pid, name, ncores, std::move(events), {}});
+}
+
+void TraceExporter::add_counter_tracks(int pid, std::vector<CounterTrack> tracks) {
+    for (auto& p : processes_) {
+        if (p.pid != pid) continue;
+        for (auto& t : tracks) p.counters.push_back(std::move(t));
+        return;
+    }
+    // No events for this pid yet: carry the tracks on an empty process.
+    processes_.push_back({pid, "counters", 0, {}, std::move(tracks)});
 }
 
 void TraceExporter::write(std::ostream& os) const {
@@ -93,6 +103,16 @@ void TraceExporter::write(std::ostream& os) const {
             }
             line += "}}";
             emit(line);
+        }
+
+        // Generic counter tracks (e.g. profiler cycle attribution).
+        for (const auto& track : p.counters) {
+            for (const auto& [when, value] : track.samples) {
+                emit("{\"ph\":\"C\",\"name\":\"" + track.name + "\",\"pid\":" +
+                     std::to_string(p.pid) +
+                     ",\"ts\":" + fmt_us(clock_.to_micros(when)) +
+                     ",\"args\":{\"value\":" + fmt_us(value) + "}}");
+            }
         }
 
         // Spans and instants, sorted per core so every tid's ts column is

@@ -25,6 +25,15 @@ public:
     void add_process(int pid, const std::string& name, int ncores,
                      std::vector<Event> events);
 
+    /// One generic counter track: cumulative `value` samples over time
+    /// rendered as a Perfetto "C" graph (the profiler's per-path cycle
+    /// tracks use this). Attach to an added process's pid.
+    struct CounterTrack {
+        std::string name;
+        std::vector<std::pair<sim::SimTime, double>> samples;
+    };
+    void add_counter_tracks(int pid, std::vector<CounterTrack> tracks);
+
     /// Write the full trace as {"traceEvents":[...]}. One event per line.
     void write(std::ostream& os) const;
     /// Returns false (and writes nothing) when the file cannot be opened.
@@ -36,6 +45,7 @@ private:
         std::string name;
         int ncores;
         std::vector<Event> events;
+        std::vector<CounterTrack> counters;
     };
 
     sim::ClockSpec clock_;

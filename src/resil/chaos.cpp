@@ -118,6 +118,7 @@ void ChaosInjector::inject() {
             record(fault, vcpu->vm().id(), vcpu->index());
             spm->abort_vcpu(*vcpu);
             ++stats_.vcpu_kills;
+            node_->platform().flight().dump("chaos-kill");
             break;
         }
         case ChaosFault::kWedgeVcpu: {

@@ -181,6 +181,9 @@ void Supervisor::fail(Record& r, FailureKind kind, int vcpu) {
 void Supervisor::do_restart(Record& r) {
     r.pending_restart = {};
     auto& engine = node_->platform().engine();
+    // Capture the lead-up to the failure before the restart's own events
+    // start overwriting the rings (no-op when the recorder is disarmed).
+    node_->platform().flight().dump("watchdog-restart");
     try {
         const arch::VmId nid = node_->restart_vm(r.id);
         r.id = nid;
@@ -202,6 +205,7 @@ void Supervisor::do_restart(Record& r) {
 void Supervisor::quarantine(Record& r) {
     ++stats_.quarantines;
     r.health = VmHealth::kQuarantined;
+    node_->platform().flight().dump("quarantine");
     node_->platform().recorder().instant(
         node_->platform().engine().now(), obs::EventType::kResilAction, -1, 2,
         r.id, r.consecutive_failures);

@@ -23,6 +23,7 @@ void Engine::dispatch_one() {
         it = by_priority_.insert(it, {priority, 0});
     }
     ++it->executed;
+    if (probe_ != nullptr) [[unlikely]] probe_->on_dispatch(now_, priority);
     fn();
 }
 

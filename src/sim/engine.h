@@ -22,6 +22,15 @@ enum Priority : int {
     kPrioDefault = 50,
 };
 
+/// Observes every event dispatch. Implementations live above the sim layer
+/// (obs::CycleProfiler uses it as a deterministic sampling clock); the
+/// engine pays one predicted branch per dispatch when no probe is set.
+class DispatchProbe {
+public:
+    virtual ~DispatchProbe() = default;
+    virtual void on_dispatch(SimTime now, int priority) = 0;
+};
+
 class Engine {
 public:
     explicit Engine(ClockSpec clock = {}) : clock_(clock) {}
@@ -58,6 +67,10 @@ public:
         return by_priority_;
     }
 
+    /// Attach/detach the dispatch probe (purely observational; nullptr = off).
+    void set_dispatch_probe(DispatchProbe* probe) { probe_ = probe; }
+    [[nodiscard]] DispatchProbe* dispatch_probe() const { return probe_; }
+
 private:
     void dispatch_one();
 
@@ -67,6 +80,7 @@ private:
     bool stopped_ = false;
     std::uint64_t executed_ = 0;
     std::vector<PriorityCount> by_priority_;
+    DispatchProbe* probe_ = nullptr;
 };
 
 }  // namespace hpcsec::sim

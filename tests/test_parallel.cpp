@@ -99,6 +99,48 @@ TEST(ParallelHarness, MetricsAggregatesMatchAcrossJobs) {
     }
 }
 
+// ISSUE 6 acceptance: windowed aggregation rides the streaming in-order
+// merge, so window boundaries, contents, and the JSON rendering must be
+// bit-identical at every --jobs value.
+TEST(ParallelHarness, WindowedMetricsBitIdenticalAcrossJobs) {
+    const std::vector<wl::WorkloadSpec> specs = {small_spec()};
+    Harness::Options serial_opt = base_options(1);
+    serial_opt.obs_window = 2;
+    Harness::Options wide_opt = base_options(8);
+    wide_opt.obs_window = 2;
+    Harness serial(serial_opt);
+    Harness wide(wide_opt);
+    const auto a = serial.run_rows(specs);
+    const auto b = wide.run_rows(specs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a[0].metrics.size(); ++c) {
+        const auto& wa = a[0].metrics[c].windows();
+        const auto& wb = b[0].metrics[c].windows();
+        ASSERT_EQ(wa.size(), 2u) << "config " << c;  // 4 trials / window 2
+        ASSERT_EQ(wa.size(), wb.size()) << "config " << c;
+        for (std::size_t w = 0; w < wa.size(); ++w) {
+            EXPECT_EQ(wa[w].index, wb[w].index);
+            EXPECT_EQ(wa[w].first_trial, wb[w].first_trial);
+            EXPECT_EQ(wa[w].trials, wb[w].trials);
+            ASSERT_EQ(wa[w].rows.size(), wb[w].rows.size());
+            for (std::size_t m = 0; m < wa[w].rows.size(); ++m) {
+                EXPECT_EQ(wa[w].rows[m].name, wb[w].rows[m].name);
+                EXPECT_EQ(wa[w].rows[m].stats.count(),
+                          wb[w].rows[m].stats.count());
+                // Bitwise equality, as in expect_rows_bit_identical: the
+                // merge replays the exact serial add order.
+                EXPECT_EQ(wa[w].rows[m].stats.mean(),
+                          wb[w].rows[m].stats.mean())
+                    << wa[w].rows[m].name;
+                EXPECT_EQ(wa[w].rows[m].stats.stddev(),
+                          wb[w].rows[m].stats.stddev())
+                    << wa[w].rows[m].name;
+            }
+        }
+    }
+    EXPECT_EQ(Harness::format_metrics_json(a), Harness::format_metrics_json(b));
+}
+
 TEST(ParallelHarness, CallbacksSerializedAndOrdered) {
     // pre_trial/post_trial run under the harness callback mutex; the overlap
     // counter would exceed 1 if two workers entered simultaneously.

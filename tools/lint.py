@@ -20,9 +20,17 @@ not know about:
      call that is declared but not dispatchable would silently return
      kInvalid to guests.
 
+  4. Bench-report schema: every BENCH_*.json under the tree (bench binaries
+     and the harness's write_bench_report both emit them) must parse as
+     JSON with a "bench" string, a "metrics" array whose rows carry
+     name/mean/stdev/n, and no NaN/Inf values — the perf-trajectory tooling
+     and the CI artifact upload choke on anything else.
+
 Exit status 0 = clean, 1 = findings (printed one per line).
 """
 
+import json
+import math
 import re
 import sys
 from pathlib import Path
@@ -39,6 +47,7 @@ ENUMS = {
     "Mode": ("src/check/check.h", "src/check/check.cpp"),
     "CorruptionKind": ("src/check/corrupt.h", "src/check/corrupt.cpp"),
     "EventType": ("src/obs/events.h", "src/obs/recorder.cpp"),
+    "ProfPath": ("src/obs/profiler.h", "src/obs/profiler.cpp"),
     "VmHealth": ("src/resil/resil.h", "src/resil/resil.cpp"),
     "FailureKind": ("src/resil/resil.h", "src/resil/resil.cpp"),
     "ChaosFault": ("src/resil/chaos.h", "src/resil/chaos.cpp"),
@@ -158,12 +167,47 @@ def check_dispatch_table(root: Path) -> list[str]:
     return problems
 
 
+def check_bench_schema(root: Path) -> list[str]:
+    problems = []
+    for path in sorted(root.rglob("BENCH_*.json")):
+        rel = path.relative_to(root)
+        try:
+            # parse_constant fires on the non-JSON tokens NaN/Infinity.
+            doc = json.loads(path.read_text(), parse_constant=lambda c: math.nan)
+        except (OSError, ValueError) as err:
+            problems.append(f"{rel}: unparsable bench report ({err})")
+            continue
+        if not isinstance(doc, dict):
+            problems.append(f"{rel}: top level is not an object")
+            continue
+        if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+            problems.append(f'{rel}: missing/empty "bench" name')
+        rows = doc.get("metrics")
+        if not isinstance(rows, list) or not rows:
+            problems.append(f'{rel}: missing/empty "metrics" array')
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"{rel}: metrics[{i}] is not an object")
+                continue
+            if not isinstance(row.get("name"), str) or not row.get("name"):
+                problems.append(f'{rel}: metrics[{i}] missing "name"')
+            for key in ("mean", "stdev", "n"):
+                v = row.get(key)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    problems.append(f'{rel}: metrics[{i}] missing numeric "{key}"')
+                elif math.isnan(v) or math.isinf(v):
+                    problems.append(f'{rel}: metrics[{i}] "{key}" is NaN/Inf')
+    return problems
+
+
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
     problems = (
         check_enum_coverage(root)
         + check_stats_published(root)
         + check_dispatch_table(root)
+        + check_bench_schema(root)
     )
     for p in problems:
         print(p)
