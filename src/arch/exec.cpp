@@ -28,6 +28,9 @@ void Executor::charge(sim::Cycles overhead) {
 
 void Executor::begin(Runnable* r) {
     if (state_ == State::kRunning) {
+        // sca-suppress(no-throw-guest-path): Spm::on_vcpu_run returns kBusy
+        // before enter_vcpu when the core is running; reaching this on a
+        // busy core is a scheduler invariant break worth fail-stopping.
         throw std::logic_error("Executor::begin: core already running");
     }
     if (state_ == State::kPendingBegin) {

@@ -35,12 +35,17 @@ void Gic::raise_spi(int irq) {
 
 void Gic::raise_ppi(CoreId core, int irq) {
     if (irq < kPpiBase || irq >= kSpiBase) {
+        // sca-suppress(no-throw-guest-path): every caller passes a
+        // compile-time PPI constant (timer PPIs), never guest input; a bad
+        // id is a host wiring bug worth fail-stopping.
         throw std::invalid_argument("raise_ppi: not a PPI");
     }
     make_pending(core, irq);
 }
 
 void Gic::send_sgi(CoreId target, int irq) {
+    // sca-suppress(no-throw-guest-path): SGI ids come from kernel wakeup
+    // constants, never guest registers; a bad id is a host wiring bug.
     if (irq < 0 || irq >= kPpiBase) throw std::invalid_argument("send_sgi: not an SGI");
     make_pending(target, irq);
 }

@@ -146,6 +146,9 @@ void Auditor::record(CheckFailure f) {
     // (no-op when disarmed) — before the strict throw, so the dump exists
     // even when the violation unwinds the run.
     platform.flight().dump("check-violation");
+    // sca-suppress(no-throw-guest-path): strict mode is the documented
+    // fail-stop contract — an isolation violation must abort the run, not
+    // be swallowed; kLog mode is the non-throwing alternative.
     if (options_.mode == Mode::kStrict) throw CheckViolation(std::move(f));
 }
 

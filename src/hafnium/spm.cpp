@@ -876,6 +876,21 @@ HfResult Spm::on_msg_send(arch::CoreId core, arch::VmId caller,
     return {HfError::kOk, 0};
 }
 
+namespace {
+
+// Guest-supplied IPA windows must be rejected before they reach the
+// stage-2 PageTable APIs: map/unmap/protect treat unaligned or
+// beyond-48-bit arguments as host API misuse and throw. The pages bound
+// also rules out overflow in `pages * kPageSize`.
+bool valid_ipa_window(std::uint64_t base, std::uint64_t pages) {
+    constexpr std::uint64_t kIpaLimit = 1ull << arch::kInputAddrBits;
+    return (base & arch::kPageMask) == 0 &&
+           pages <= kIpaLimit / arch::kPageSize &&
+           base <= kIpaLimit - pages * arch::kPageSize;
+}
+
+}  // namespace
+
 HfResult Spm::on_mem_share(arch::CoreId, arch::VmId caller,
                            const abi::MemShareArgs& a) {
     return mem_grant(caller, a, /*exclusive=*/false);
@@ -895,6 +910,10 @@ HfResult Spm::mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
     const arch::IpaAddr borrower_ipa = a.borrower_ipa;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
+    if (!valid_ipa_window(own_ipa, pages) ||
+        !valid_ipa_window(borrower_ipa, pages)) {
+        return {HfError::kInvalid, 0};
+    }
     Vm& to = vm(target_id);
     if (to.destroyed) return {HfError::kNotFound, 0};
 
@@ -908,11 +927,24 @@ HfResult Spm::mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
             return {HfError::kDenied, 0};
         }
     }
+    // The borrower window must be a hole in the target's stage-2: map()
+    // refuses overlap, and this also rejects duplicate grants of the same
+    // window.
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        if (to.stage2().walk(borrower_ipa + p * arch::kPageSize).fault ==
+            arch::FaultKind::kNone) {
+            return {HfError::kDenied, 0};
+        }
+    }
     // Contiguity in PA space follows from per-VM contiguous allocation.
+    // sca-suppress(no-throw-guest-path): window validated above — aligned,
+    // in range, and unmapped in the target, so map() cannot throw.
     to.stage2().map(borrower_ipa, w0.out, pages * arch::kPageSize, arch::kPermRW);
     if (exclusive) {
         // FFA_MEM_LEND: the owner relinquishes access until reclaim
         // (block mappings split on demand).
+        // sca-suppress(no-throw-guest-path): aligned window, every page
+        // walk-checked mapped above, so protect() cannot throw.
         vm(caller).stage2().protect(own_ipa, pages * arch::kPageSize,
                                     arch::kPermNone);
     }
@@ -929,6 +961,10 @@ HfResult Spm::on_mem_donate(arch::CoreId, arch::VmId caller,
     const arch::IpaAddr borrower_ipa = a.borrower_ipa;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
+    if (!valid_ipa_window(own_ipa, pages) ||
+        !valid_ipa_window(borrower_ipa, pages)) {
+        return {HfError::kInvalid, 0};
+    }
     Vm& to = vm(target_id);
     if (to.destroyed) return {HfError::kNotFound, 0};
 
@@ -941,14 +977,38 @@ HfResult Spm::on_mem_donate(arch::CoreId, arch::VmId caller,
             return {HfError::kDenied, 0};
         }
     }
+    // Frames under an active share/lend cannot be donated: the borrower
+    // would keep a live mapping to frames it no longer owns, and a later
+    // reclaim would find the donor's translation gone. Reclaim first.
+    for (const auto& g : grants_) {
+        if (g.owner == caller &&
+            own_ipa < g.owner_ipa + g.pages * arch::kPageSize &&
+            g.owner_ipa < own_ipa + pages * arch::kPageSize) {
+            return {HfError::kDenied, 0};
+        }
+    }
+    // The new owner's window must be a hole in its stage-2 (map() refuses
+    // overlap).
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        if (to.stage2().walk(borrower_ipa + p * arch::kPageSize).fault ==
+            arch::FaultKind::kNone) {
+            return {HfError::kDenied, 0};
+        }
+    }
     // TrustZone: frames cannot silently change worlds via donation.
     if (platform_->mem().world_of(w0.out) != to.world()) {
         return {HfError::kDenied, 0};
     }
     // Ownership transfer: remove the donor's translation entirely, retag
     // the frames, map them for the new owner.
+    // sca-suppress(no-throw-guest-path): window aligned (validated above),
+    // and unmap() is idempotent on holes, so it cannot throw.
     vm(caller).stage2().unmap(own_ipa, pages * arch::kPageSize);
+    // sca-suppress(no-throw-guest-path): every frame walk-checked and
+    // owned_span-checked above, so the frames are allocated.
     platform_->mem().set_owner(w0.out, pages, target_id);
+    // sca-suppress(no-throw-guest-path): window validated above — aligned,
+    // in range, and unmapped in the target, so map() cannot throw.
     to.stage2().map(borrower_ipa, w0.out, pages * arch::kPageSize, arch::kPermRWX,
                     to.world() == arch::World::kSecure);
     ++stats_.mem_donates;
@@ -962,9 +1022,17 @@ HfResult Spm::on_mem_reclaim(arch::CoreId, arch::VmId caller,
     for (auto it = grants_.begin(); it != grants_.end(); ++it) {
         if (it->owner == caller && it->borrower == target_id &&
             it->owner_ipa == own_ipa) {
+            // sca-suppress(no-throw-guest-path): grant records only hold
+            // windows mem_grant validated as aligned; unmap() is idempotent
+            // on holes, so it cannot throw.
             vm(target_id).stage2().unmap(it->borrower_ipa, it->pages * arch::kPageSize);
             if (it->exclusive) {
-                // Lend reclaim: the owner regains access.
+                // Lend reclaim: the owner regains access. The owner window
+                // stays mapped (perms-none) for the grant's lifetime:
+                // donation of granted frames is rejected, and no other
+                // hypercall unmaps the owner's own translation.
+                // sca-suppress(no-throw-guest-path): aligned, mapped window
+                // per the grant invariant above, so protect() cannot throw.
                 vm(caller).stage2().protect(it->owner_ipa,
                                             it->pages * arch::kPageSize,
                                             arch::kPermRWX);
@@ -994,6 +1062,8 @@ bool Spm::vm_read64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t& out) {
         arch::FaultKind::kNone) {
         return false;
     }
+    // sca-suppress(no-throw-guest-path): check_physical_access verified the
+    // same (frame, world) pair read64 re-checks, so it cannot throw here.
     out = platform_->mem().read64(w.out, vm(id).world());
     return true;
 }
@@ -1008,6 +1078,8 @@ bool Spm::vm_write64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t value) {
         arch::FaultKind::kNone) {
         return false;
     }
+    // sca-suppress(no-throw-guest-path): check_physical_access verified the
+    // same (frame, world) pair write64 re-checks, so it cannot throw here.
     platform_->mem().write64(w.out, value, vm(id).world());
     return true;
 }

@@ -117,6 +117,9 @@ private:
             owner_ = self;
             owner_bound_ = true;
         } else if (owner_ != self) {
+            // sca-suppress(no-throw-guest-path): debug-only (compiled out
+            // under NDEBUG) trap for cross-thread registry misuse — a host
+            // threading bug, not reachable from guest-controlled input.
             throw std::logic_error(
                 "MetricsRegistry: hot-path mutation from a second thread; "
                 "give each worker its own registry (or reset_owner() after a "

@@ -1,0 +1,10 @@
+#include <random>
+
+int roll() {
+    std::mt19937 gen(42);
+    return static_cast<int>(gen());
+}
+
+int c_roll() {
+    return rand();
+}

@@ -1,0 +1,8 @@
+#include <random>
+
+// The blessed engine file (config random_allowed_files): std engines are
+// legal here and only here.
+unsigned long blessed() {
+    std::mt19937_64 eng(1);
+    return eng();
+}

@@ -1,0 +1,19 @@
+#include <string>
+#include <unordered_map>
+
+struct Export {
+    std::unordered_map<std::string, double> gauges;
+    std::unordered_map<const void*, int> by_ptr;
+
+    double sum() const {
+        double s = 0;
+        for (const auto& kv : gauges) s += kv.second;
+        return s;
+    }
+    int first_ptr() const {
+        return by_ptr.begin()->second;
+    }
+    double lookup(const std::string& k) const {
+        return gauges.at(k);
+    }
+};

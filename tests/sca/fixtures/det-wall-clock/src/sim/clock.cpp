@@ -1,0 +1,11 @@
+#include <chrono>
+
+double now_us() {
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<double>(t.time_since_epoch().count());
+}
+
+long host_probe() {
+    // sca-suppress(det-wall-clock): host profiling shim, not simulated time
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+#pragma once
+
+enum class Call {
+    kRun = 0,
+    kStop = 1,
+    kQuery = 2,
+};
+inline constexpr int kCallCount = 2;

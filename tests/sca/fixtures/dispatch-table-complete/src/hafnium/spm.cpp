@@ -1,0 +1,11 @@
+#include "hafnium/hypercall.h"
+
+struct Row {
+    Call call;
+    const char* name;
+};
+static const Row kCallTable[] = {{
+    {Call::kRun, "run"},
+    {Call::kStop, "stop"},
+    {Call::kStop, "stop-again"},
+}};

@@ -1,0 +1,9 @@
+#include "core/color.h"
+
+const char* to_string(Color c) {
+    switch (c) {
+        case Color::kRed: return "red";
+        case Color::kGreen: return "green";
+        default: return "?";
+    }
+}

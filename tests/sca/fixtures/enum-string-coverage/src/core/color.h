@@ -1,0 +1,5 @@
+#pragma once
+
+enum class Color { kRed, kGreen, kBlue };
+
+const char* to_string(Color c);

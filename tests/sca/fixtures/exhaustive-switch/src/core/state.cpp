@@ -1,0 +1,24 @@
+enum class Phase { kInit, kRun, kDone };
+
+const char* to_string(Phase p) {
+    switch (p) {
+        case Phase::kInit: return "init";
+        case Phase::kRun: return "run";
+        default: return "?";
+    }
+}
+
+int rank(Phase p) {
+    switch (p) {
+        case Phase::kInit: return 0;
+        case Phase::kRun: return 1;
+    }
+    return -1;
+}
+
+int coarse(Phase p) {
+    switch (p) {
+        case Phase::kInit: return 0;
+        default: return 1;
+    }
+}

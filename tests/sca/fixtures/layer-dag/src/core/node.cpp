@@ -1,0 +1,1 @@
+#include "sim/engine.h"

@@ -1,0 +1,3 @@
+#pragma once
+#include "obs/probe.h"
+#include "sim/engine.h"

@@ -1,0 +1,3 @@
+#pragma once
+#include "hafnium/spm_iface.h"
+#include "sim/engine.h"

@@ -1,0 +1,18 @@
+#include <mutex>
+#include <vector>
+
+struct Registry {
+    std::vector<int> entries_;
+    std::mutex mu_;
+    void add(int v);
+    void drop_all();
+};
+
+void Registry::add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(v);
+}
+
+void Registry::drop_all() {
+    entries_.clear();
+}

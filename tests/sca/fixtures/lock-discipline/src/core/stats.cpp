@@ -1,0 +1,9 @@
+#include <mutex>
+
+static int g_counter = 0;
+static const int g_limit = 8;
+// guarded-by: g_mu (registration path only)
+static int g_registered = 0;
+static std::mutex g_mu;
+
+void bump() { ++g_counter; }

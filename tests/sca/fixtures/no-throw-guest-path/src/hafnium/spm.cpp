@@ -1,0 +1,47 @@
+#include "hafnium/hypercall.h"
+
+#include <stdexcept>
+
+struct Spm {
+    int on_run();
+    int on_stop();
+    int hypercall(int n);
+};
+
+int validate(int x) {
+    if (x < 0) {
+        throw std::invalid_argument("negative");
+    }
+    return x;
+}
+
+int checked(int x) {
+    if (x > 100) {
+        throw std::out_of_range("too big");
+    }
+    return x;
+}
+
+int Spm::on_run() { return validate(1); }
+
+int Spm::on_stop() {
+    // sca-suppress(no-throw-guest-path): argument is a compile-time constant
+    return checked(7);
+}
+
+int Spm::hypercall(int n) {
+    try {
+        return validate(n);
+    } catch (const std::exception&) {
+        return -1;
+    }
+}
+
+struct Row {
+    Call call;
+    int (Spm::*fn)();
+};
+static const Row kCallTable[] = {{
+    {Call::kRun, &Spm::on_run},
+    {Call::kStop, &Spm::on_stop},
+}};

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+class Engine {
+  public:
+    struct Stats {
+        std::uint64_t ticks = 0;
+        std::uint64_t drops = 0;
+    };
+    void publish_metrics();
+
+  private:
+    Stats stats_;
+};

@@ -1,0 +1,8 @@
+// sca-suppress(det-wall-clock): a well-formed suppression is not a finding
+int ok() { return 0; }
+
+// sca-suppress(no-such-rule): points at a rule that does not exist
+int a() { return 1; }
+
+// sca-suppress(det-random)
+int b() { return 2; }

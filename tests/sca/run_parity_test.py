@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Parity proof for the four checks migrated from tools/lint.py into
+tools/sca (registered as ctest `sca_parity`).
+
+legacy_lint.py is the frozen pre-migration linter, kept verbatim. This
+test builds a hermetic copy of every file the legacy tables reference,
+then runs both tools over the clean copy and over copies broken in
+targeted ways (new enumerator, unpublished Stats field, duplicated
+dispatch row, malformed bench report). The two tools must agree exactly
+on the (path, message) set and on the exit code — proving tools/sca is a
+drop-in replacement for the retired script.
+"""
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+ROOT = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else HERE.parents[1]
+LEGACY = HERE / "legacy_lint.py"
+SCA = ROOT / "tools" / "sca"
+LEGACY_RULES = ("enum-string-coverage,stats-publish-coverage,"
+                "dispatch-table-complete,bench-report-schema")
+
+# Union of every file the legacy ENUMS/STATS_CLASSES/dispatch tables read.
+FILES = [
+    "src/hafnium/hypercall.h", "src/hafnium/hypercall.cpp",
+    "src/hafnium/vm.h", "src/hafnium/vm.cpp",
+    "src/hafnium/manifest.h", "src/hafnium/manifest.cpp",
+    "src/hafnium/spm.h", "src/hafnium/spm.cpp",
+    "src/check/check.h", "src/check/check.cpp",
+    "src/check/corrupt.h", "src/check/corrupt.cpp",
+    "src/obs/events.h", "src/obs/recorder.cpp",
+    "src/obs/profiler.h", "src/obs/profiler.cpp",
+    "src/resil/resil.h", "src/resil/resil.cpp",
+    "src/resil/chaos.h", "src/resil/chaos.cpp",
+]
+
+GOOD_BENCH = ('{"bench": "parity", "metrics": '
+              '[{"name": "x", "mean": 1.0, "stdev": 0.0, "n": 3}]}\n')
+BAD_BENCH = ('{"bench": "", "metrics": '
+             '[{"name": "x", "mean": NaN, "stdev": 0.0}]}\n')
+
+_SCA_LINE_RE = re.compile(r"^(\S+):\d+: \[[\w-]+\] (.*)$")
+
+
+def make_tree(base: Path) -> Path:
+    tree = base / "tree"
+    for rel in FILES:
+        dst = tree / rel
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(ROOT / rel, dst)
+    (tree / "BENCH_parity.json").write_text(GOOD_BENCH)
+    return tree
+
+
+def mutate(tree: Path, name: str) -> None:
+    if name == "clean":
+        return
+    if name == "enum-grown":
+        # A fresh Call enumerator at once breaks to_string coverage, the
+        # dispatch table row count, and the kCallCount constant.
+        p = tree / "src/hafnium/hypercall.h"
+        p.write_text(re.sub(r"(enum\s+class\s+Call\b[^{]*\{)",
+                            r"\1 kParityProbe,", p.read_text(), count=1))
+    elif name == "stats-unpublished":
+        p = tree / "src/hafnium/spm.h"
+        p.write_text(re.sub(
+            r"(struct\s+Stats\s*\{)",
+            r"\1 std::uint64_t parity_probe = 0;", p.read_text(), count=1))
+    elif name == "dispatch-dup-row":
+        p = tree / "src/hafnium/spm.cpp"
+        p.write_text(re.sub(r"([ \t]*\{Call::k\w+[^\n]*\n)", r"\1\1",
+                            p.read_text(), count=1))
+    elif name == "bench-broken":
+        (tree / "BENCH_parity.json").write_text(BAD_BENCH)
+    else:
+        raise ValueError(name)
+
+
+def legacy_findings(tree: Path) -> tuple[set, int]:
+    r = subprocess.run([sys.executable, str(LEGACY), str(tree)],
+                       capture_output=True, text=True)
+    out = set()
+    for line in r.stdout.splitlines():
+        if line.startswith("lint:"):
+            continue
+        path, _, message = line.partition(": ")
+        out.add((path, message))
+    return out, r.returncode
+
+
+def sca_findings(tree: Path) -> tuple[set, int]:
+    r = subprocess.run(
+        [sys.executable, str(SCA), "--root", str(tree),
+         "--rules", LEGACY_RULES],
+        capture_output=True, text=True)
+    out = set()
+    for line in r.stdout.splitlines():
+        m = _SCA_LINE_RE.match(line)
+        if m:
+            out.add((m.group(1), m.group(2)))
+    return out, r.returncode
+
+
+def main() -> int:
+    mutations = ["clean", "enum-grown", "stats-unpublished",
+                 "dispatch-dup-row", "bench-broken"]
+    failures = []
+    tmpbase = ROOT / "build"
+    tmpbase.mkdir(exist_ok=True)
+    for name in mutations:
+        with tempfile.TemporaryDirectory(dir=tmpbase) as td:
+            tree = make_tree(Path(td))
+            mutate(tree, name)
+            legacy, legacy_rc = legacy_findings(tree)
+            sca, sca_rc = sca_findings(tree)
+            if name == "clean" and legacy:
+                failures.append(f"{name}: legacy linter not clean: {legacy}")
+            if name != "clean" and not legacy:
+                failures.append(f"{name}: mutation produced no legacy finding")
+            if legacy != sca:
+                failures.append(
+                    f"{name}: finding sets differ\n"
+                    f"  legacy only: {sorted(legacy - sca)}\n"
+                    f"  sca only:    {sorted(sca - legacy)}")
+            if legacy_rc != sca_rc:
+                failures.append(
+                    f"{name}: exit codes differ (legacy {legacy_rc}, "
+                    f"sca {sca_rc})")
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}\n")
+        print(f"sca-parity: {len(failures)} failure(s)")
+        return 1
+    print(f"sca-parity: identical findings across {len(mutations)} trees")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

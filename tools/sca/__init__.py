@@ -1,0 +1,13 @@
+"""hpcsec-sca: project-specific static analyzer for the hpcsec tree.
+
+Enforces the invariants this reproduction depends on but cannot express in
+the type system: determinism (jobs=1 == jobs=N), the include-layer DAG,
+no naked throws on guest-reachable SPM paths, lock discipline around the
+few shared structures, and the enum/dispatch/Stats completeness gates that
+used to live in tools/lint.py.
+
+Run as `python3 tools/sca` (or `python3 -m sca` with tools/ on PYTHONPATH).
+See docs/ANALYSIS.md for the rule catalog and suppression workflow.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/sca`: make the package importable by name.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from sca.cli import main  # noqa: E402
+
+sys.exit(main())

@@ -1,0 +1,23 @@
+"""Shared multi-pass analysis context handed to every rule."""
+
+from __future__ import annotations
+
+from functools import cached_property
+from pathlib import Path
+
+from sca.callgraph import CallGraph
+from sca.model import Corpus
+
+
+class Analysis:
+    def __init__(self, root: Path, config: dict):
+        self.root = root
+        self.config = config
+        self.corpus = Corpus(root)
+
+    @cached_property
+    def callgraph(self) -> CallGraph:
+        return CallGraph(
+            self.corpus.src_files(),
+            ambiguous=set(self.config["ambiguous_callees"]),
+            extra_edges=self.config["extra_call_edges"])

@@ -1,0 +1,34 @@
+"""Baseline file: accepted pre-existing findings, by line-insensitive
+fingerprint, so adoption of a new rule can be incremental without
+grandfathering *new* regressions."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from sca.model import Finding
+
+
+def fingerprint(f: Finding) -> str:
+    return hashlib.sha1(f.fingerprint_key().encode()).hexdigest()[:16]
+
+
+def load(path: Path) -> dict[str, str]:
+    if not path.is_file():
+        return {}
+    doc = json.loads(path.read_text())
+    return dict(doc.get("findings", {}))
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    doc = {
+        "comment": "accepted pre-existing sca findings; regenerate with "
+                   "python3 tools/sca --write-baseline",
+        "findings": {
+            fingerprint(f): f"{f.rule} {f.path}: {f.message}"
+            for f in findings
+        },
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

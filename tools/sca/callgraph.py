@@ -1,0 +1,208 @@
+"""Function extraction and a name-matched, try/catch-aware call graph.
+
+This is the shared analysis pass behind no-throw-guest-path and the
+function-context lookups other rules need (lock-discipline,
+exhaustive-switch). It is deliberately an over-approximation: a call site
+`f(...)` edges to *every* function whose unqualified name is `f`, except
+names listed in the project's `ambiguous_callees` (std-container noise).
+Calls and throws inside a `try { ... }` that has a catch handler are
+treated as locally handled and do not propagate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from sca import lexer
+from sca.model import SourceFile
+
+_KEYWORDS = frozenset(
+    "if for while switch catch return sizeof alignof decltype noexcept "
+    "static_assert new delete throw co_await co_return co_yield "
+    "static_cast dynamic_cast const_cast reinterpret_cast assert defined "
+    "case default else do goto using namespace template typename operator "
+    "alignas explicit".split())
+
+_HEAD_RE = re.compile(r"([A-Za-z_]\w*(?:\s*::\s*~?[A-Za-z_]\w*)*)\s*\(")
+_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+_THROW_RE = re.compile(r"\bthrow\b")
+
+
+@dataclass
+class FuncDef:
+    qname: str            # e.g. "Spm::on_mem_share" (namespace dropped)
+    name: str             # unqualified: "on_mem_share"
+    file: SourceFile
+    start: int            # offset of the signature in clean text
+    body_start: int       # offset of '{'
+    body_end: int         # offset one past '}'
+    line: int
+    handled_spans: list[tuple[int, int]] = field(default_factory=list)
+    # spans (relative to file clean text) inside try{} blocks with a catch
+
+    def body(self) -> str:
+        return self.file.clean[self.body_start:self.body_end]
+
+    def covers(self, offset: int) -> bool:
+        return self.body_start <= offset < self.body_end
+
+    def is_handled(self, offset: int) -> bool:
+        return any(a <= offset < b for a, b in self.handled_spans)
+
+
+def _try_spans(clean: str, body_start: int, body_end: int) -> list[tuple[int, int]]:
+    spans = []
+    for m in re.finditer(r"\btry\b", clean[body_start:body_end]):
+        open_idx = clean.find("{", body_start + m.end(), body_end)
+        if open_idx < 0:
+            continue
+        close = lexer.match_brace(clean, open_idx)
+        # Require a catch handler after the try block for it to be a barrier.
+        tail = clean[close:min(close + 80, body_end)]
+        if re.match(r"\s*catch\b", tail):
+            spans.append((open_idx, close))
+    return spans
+
+
+def extract_functions(sf: SourceFile) -> list[FuncDef]:
+    """Find every function definition (with a body) in one file."""
+    clean = sf.clean
+    out: list[FuncDef] = []
+    pos = 0
+    while True:
+        m = _HEAD_RE.search(clean, pos)
+        if m is None:
+            break
+        name_tok = re.sub(r"\s+", "", m.group(1))
+        open_paren = m.end() - 1
+        close_paren = lexer.match_paren(clean, open_paren)
+        if close_paren < 0:
+            pos = m.end()
+            continue
+        last = name_tok.split("::")[-1].lstrip("~")
+        if last in _KEYWORDS or name_tok.split("::")[0] in _KEYWORDS:
+            pos = m.end()
+            continue
+        # Character immediately before the name must not make this a call
+        # in an expression context (x.f(...), x->f(...), f(...) as an arg).
+        # '*' and '&' stay allowed: they are pointer/reference return types
+        # in a definition context, and an expression like `a * f(x)` can
+        # never be followed by '{', so the is_def walk rejects it anyway.
+        before = clean[:m.start()].rstrip()
+        prev = before[-1] if before else ""
+        if prev in ".(,!|+-/%<?:=^[" or before.endswith("->") \
+                or before.endswith("return") or before.endswith("throw"):
+            pos = m.end()
+            continue
+        # Walk past trailing qualifiers to the body '{' (or reject).
+        i = close_paren
+        is_def = False
+        while i < len(clean):
+            rest = clean[i:i + 32]
+            ws = len(rest) - len(rest.lstrip())
+            if ws:
+                i += ws
+                continue
+            if clean[i] == "{":
+                is_def = True
+                break
+            if clean[i] in ";=":
+                break       # declaration / = default / initializer call
+            if clean[i] == ":" and not clean.startswith("::", i):
+                # Constructor member-init list: scan to '{' at depth 0.
+                depth = 0
+                j = i + 1
+                while j < len(clean):
+                    cch = clean[j]
+                    if cch in "(<[":
+                        depth += 1
+                    elif cch in ")>]":
+                        depth -= 1
+                    elif cch == "{" and depth <= 0:
+                        i = j
+                        is_def = True
+                        break
+                    elif cch == ";" and depth <= 0:
+                        break
+                    j += 1
+                break
+            m2 = re.match(r"(const|noexcept|override|final|mutable|->\s*[\w:<>,&*\s]+?(?=\s*\{)|noexcept\s*\([^)]*\))",
+                          clean[i:])
+            if m2 is None:
+                break
+            i += m2.end()
+        if not is_def:
+            pos = m.end()
+            continue
+        body_end = lexer.match_brace(clean, i)
+        qname = "::".join(name_tok.split("::")[-2:]) if "::" in name_tok else name_tok
+        fd = FuncDef(qname=qname, name=last, file=sf, start=m.start(),
+                     body_start=i, body_end=body_end,
+                     line=sf.line_of(m.start()))
+        fd.handled_spans = _try_spans(clean, i, body_end)
+        out.append(fd)
+        # Continue scanning inside the body too (nested lambdas/classes are
+        # treated as part of the enclosing function; that is conservative).
+        pos = m.end()
+    return out
+
+
+class CallGraph:
+    def __init__(self, files: list[SourceFile], ambiguous: set[str],
+                 extra_edges: list[list[str]]):
+        self.functions: list[FuncDef] = []
+        for sf in files:
+            self.functions.extend(extract_functions(sf))
+        self.by_name: dict[str, list[FuncDef]] = {}
+        self.by_qname: dict[str, list[FuncDef]] = {}
+        for fd in self.functions:
+            self.by_name.setdefault(fd.name, []).append(fd)
+            self.by_qname.setdefault(fd.qname, []).append(fd)
+        self.ambiguous = ambiguous
+        self.extra_edges: dict[str, list[str]] = {}
+        for src, dst in extra_edges:
+            self.extra_edges.setdefault(src, []).append(dst)
+
+    def function_at(self, sf: SourceFile, offset: int) -> FuncDef | None:
+        best = None
+        for fd in self.functions:
+            if fd.file is sf and fd.covers(offset):
+                # innermost (largest body_start) wins
+                if best is None or fd.body_start > best.body_start:
+                    best = fd
+        return best
+
+    def resolve(self, qname_or_name: str) -> list[FuncDef]:
+        return self.by_qname.get(qname_or_name) or \
+            self.by_name.get(qname_or_name, [])
+
+    def callees(self, fd: FuncDef, barrier) -> list[tuple[str, int]]:
+        """(callee unqualified name, call-site offset) pairs; skips calls
+        inside try/catch and call sites for which `barrier(line)` is true."""
+        out = []
+        clean = fd.file.clean
+        for m in _CALL_RE.finditer(clean, fd.body_start, fd.body_end):
+            name = m.group(1)
+            if name in _KEYWORDS or name in self.ambiguous:
+                continue
+            if name not in self.by_name:
+                continue
+            if fd.is_handled(m.start()):
+                continue
+            if barrier is not None and barrier(fd.file, fd.file.line_of(m.start())):
+                continue
+            out.append((name, m.start()))
+        for dst in self.extra_edges.get(fd.name, []) + \
+                self.extra_edges.get(fd.qname, []):
+            out.append((dst, fd.body_start))
+        return out
+
+    def throws(self, fd: FuncDef) -> list[int]:
+        """Offsets of naked throw statements outside try/catch handling."""
+        out = []
+        clean = fd.file.clean
+        for m in _THROW_RE.finditer(clean, fd.body_start, fd.body_end):
+            if not fd.is_handled(m.start()):
+                out.append(m.start())
+        return out

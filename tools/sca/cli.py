@@ -1,0 +1,118 @@
+"""hpcsec-sca command line driver.
+
+Exit status 0 = clean (every finding suppressed in source or accepted in
+the baseline), 1 = unsuppressed findings, 2 = usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from sca import __version__, baseline as baseline_mod, project, sarif
+from sca.analysis import Analysis
+from sca.model import Finding
+from sca.registry import all_rules, run_rules
+
+
+def _parse_args(argv):
+    p = argparse.ArgumentParser(
+        prog="sca",
+        description="hpcsec project static analyzer (see docs/ANALYSIS.md)")
+    p.add_argument("--root", default=".",
+                   help="repository root to analyze (default: cwd)")
+    p.add_argument("--config", default=None,
+                   help="project config JSON overriding the built-in tables")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline file (default: <root>/tools/sca/baseline.json)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept current unsuppressed findings into the baseline")
+    p.add_argument("--sarif-out", default=None,
+                   help="also write a SARIF 2.1.0 report to this path")
+    p.add_argument("--list-rules", action="store_true")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print suppressed/baselined findings")
+    p.add_argument("--version", action="version", version=__version__)
+    return p.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    t0 = time.monotonic()
+    args = _parse_args(argv)
+
+    if args.list_rules:
+        for r in all_rules():
+            print(f"{r.rule_id:24} {r.summary}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"sca: no such root: {root}")
+        return 2
+    config = project.load(root, args.config)
+
+    selected = None
+    if args.rules:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+        known = {r.rule_id for r in all_rules()}
+        unknown = selected - known
+        if unknown:
+            print(f"sca: unknown rule(s): {', '.join(sorted(unknown))}")
+            return 2
+        # Suppression hygiene rides along whenever anything else runs, so a
+        # filtered run cannot green-light rotten suppressions.
+        selected.add("suppression-hygiene")
+
+    analysis = Analysis(root, config)
+    findings = run_rules(analysis, selected)
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / "tools" / "sca" / "baseline.json"
+    accepted = baseline_mod.load(baseline_path)
+
+    open_findings: list[Finding] = []
+    annotated: list[tuple[Finding, str | None]] = []
+    n_suppressed = n_baselined = 0
+    for f in findings:
+        sf = analysis.corpus.get(f.path)
+        sup = sf.suppression_for(f.rule, f.line) if sf is not None else None
+        if sup is not None and f.rule != "suppression-hygiene":
+            sup.used = True
+            n_suppressed += 1
+            annotated.append((f, "inSource"))
+            if args.verbose:
+                print(f"{f.path}:{f.line}: [{f.rule}] suppressed "
+                      f"({sup.reason}): {f.message}")
+            continue
+        if baseline_mod.fingerprint(f) in accepted:
+            n_baselined += 1
+            annotated.append((f, "external"))
+            if args.verbose:
+                print(f"{f.path}:{f.line}: [{f.rule}] baselined: {f.message}")
+            continue
+        annotated.append((f, None))
+        open_findings.append(f)
+
+    if args.write_baseline:
+        baseline_mod.save(baseline_path, open_findings)
+        print(f"sca: baseline written to {baseline_path} "
+              f"({len(open_findings)} finding(s))")
+        return 0
+
+    for f in open_findings:
+        hint = f"\n    hint: {f.hint}" if f.hint else ""
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}{hint}")
+
+    if args.sarif_out:
+        Path(args.sarif_out).write_text(
+            sarif.render(annotated, all_rules()))
+
+    dt = time.monotonic() - t0
+    nfiles = len(analysis.corpus.files)
+    status = "clean" if not open_findings else f"{len(open_findings)} finding(s)"
+    print(f"sca: {status} ({n_suppressed} suppressed, {n_baselined} "
+          f"baselined) — {nfiles} files, {dt:.2f}s")
+    return 1 if open_findings else 0

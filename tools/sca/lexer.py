@@ -1,0 +1,222 @@
+"""Lightweight C++ lexer / preprocessor-aware scanner.
+
+Not a parser: a single-pass character machine that classifies every byte of
+a translation unit as code, comment, string/char literal, or preprocessor
+directive, producing a *clean* view (comments and literal contents blanked
+to spaces, newlines preserved) on which the rules can run regexes with
+exact line fidelity. Raw strings (R"delim(...)delim"), escapes, and line
+continuations are handled; digraphs/trigraphs are not (the tree has none).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScanResult:
+    clean: str                      # comments/strings blanked, same length as raw
+    comments: list[tuple[int, str]] = field(default_factory=list)  # (line, text)
+    includes: list[tuple[int, str, bool]] = field(default_factory=list)
+    # (line, path, is_system)
+    line_offsets: list[int] = field(default_factory=list)
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number of a character offset into clean/raw text."""
+        return bisect.bisect_right(self.line_offsets, offset)
+
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+
+_CODE, _LINE_COMMENT, _BLOCK_COMMENT, _STRING, _CHAR, _RAW_STRING = range(6)
+
+
+def scan(text: str) -> ScanResult:
+    n = len(text)
+    out = list(text)
+    comments: list[tuple[int, str]] = []
+    state = _CODE
+    i = 0
+    line = 1
+    comment_start_line = 0
+    comment_buf: list[str] = []
+    raw_delim = ""
+
+    def blank(j: int) -> None:
+        if out[j] != "\n":
+            out[j] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == _CODE:
+            if c == "/" and nxt == "/":
+                state = _LINE_COMMENT
+                comment_start_line = line
+                comment_buf = []
+                blank(i)
+                blank(i + 1)
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = _BLOCK_COMMENT
+                comment_start_line = line
+                comment_buf = []
+                blank(i)
+                blank(i + 1)
+                i += 2
+                continue
+            if c == '"':
+                # Raw string?  Look back for R / u8R / LR / uR / UR.
+                j = i - 1
+                prefix = []
+                while j >= 0 and text[j] in "RuU8L":
+                    prefix.append(text[j])
+                    j -= 1
+                if prefix and prefix[0] == "R" and (
+                        j < 0 or not (text[j].isalnum() or text[j] == "_")):
+                    m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = _RAW_STRING
+                        i += 1
+                        continue
+                state = _STRING
+                i += 1
+                continue
+            if c == "'":
+                state = _CHAR
+                i += 1
+                continue
+            if c == "\n":
+                line += 1
+            i += 1
+        elif state == _LINE_COMMENT:
+            if c == "\\" and nxt == "\n":   # line continuation inside //
+                blank(i)
+                comment_buf.append(c)
+                line += 1
+                i += 2
+                continue
+            if c == "\n":
+                comments.append((comment_start_line, "".join(comment_buf)))
+                state = _CODE
+                line += 1
+                i += 1
+                continue
+            comment_buf.append(c)
+            blank(i)
+            i += 1
+        elif state == _BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                comments.append((comment_start_line, "".join(comment_buf)))
+                blank(i)
+                blank(i + 1)
+                state = _CODE
+                i += 2
+                continue
+            if c == "\n":
+                line += 1
+                comment_buf.append("\n")
+            else:
+                comment_buf.append(c)
+                blank(i)
+            i += 1
+        elif state == _STRING:
+            if c == "\\":
+                blank(i)
+                if nxt == "\n":
+                    line += 1
+                else:
+                    blank(i + 1)
+                i += 2
+                continue
+            if c == '"':
+                state = _CODE
+                i += 1
+                continue
+            if c == "\n":   # unterminated; recover
+                state = _CODE
+                line += 1
+                i += 1
+                continue
+            blank(i)
+            i += 1
+        elif state == _CHAR:
+            if c == "\\":
+                blank(i)
+                blank(i + 1)
+                i += 2
+                continue
+            if c == "'":
+                state = _CODE
+                i += 1
+                continue
+            if c == "\n":
+                state = _CODE
+                line += 1
+                i += 1
+                continue
+            blank(i)
+            i += 1
+        else:  # _RAW_STRING
+            if text.startswith(raw_delim, i):
+                for k in range(len(raw_delim)):
+                    blank(i + k)
+                i += len(raw_delim)
+                state = _CODE
+                continue
+            if c == "\n":
+                line += 1
+            else:
+                blank(i)
+            i += 1
+
+    if state == _LINE_COMMENT or state == _BLOCK_COMMENT:
+        comments.append((comment_start_line, "".join(comment_buf)))
+
+    clean = "".join(out)
+    offsets = [0]
+    for m in re.finditer(r"\n", text):
+        offsets.append(m.end())
+    result = ScanResult(clean=clean, comments=comments, line_offsets=offsets)
+
+    for lineno, raw_line in enumerate(text.split("\n"), start=1):
+        m = _INCLUDE_RE.match(raw_line)
+        if m:
+            result.includes.append(
+                (lineno, m.group(1) or m.group(2), m.group(1) is None))
+    return result
+
+
+def match_brace(clean: str, open_idx: int) -> int:
+    """Offset one past the '}' matching the '{' at open_idx (clean text).
+
+    Returns len(clean) on imbalance — callers treat the remainder as body.
+    """
+    depth = 0
+    for i in range(open_idx, len(clean)):
+        c = clean[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(clean)
+
+
+def match_paren(clean: str, open_idx: int) -> int:
+    """Offset one past the ')' matching the '(' at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(clean)):
+        c = clean[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1

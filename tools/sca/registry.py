@@ -1,0 +1,48 @@
+"""Rule registry: rules register themselves via the @rule decorator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from sca.model import Finding
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    summary: str
+    hint: str
+    run: Callable  # (analysis) -> Iterable[Finding]
+
+
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str, hint: str = ""):
+    def wrap(fn: Callable) -> Callable:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id, summary, hint, fn)
+        return fn
+    return wrap
+
+
+def all_rules() -> list[Rule]:
+    # Import for side effect: each module registers its rules.
+    from sca import rules  # noqa: F401
+    return [RULES[k] for k in sorted(RULES)]
+
+
+def run_rules(analysis, selected: set[str] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    for r in all_rules():
+        if selected is not None and r.rule_id not in selected:
+            continue
+        produced: Iterable[Finding] = r.run(analysis)
+        for f in produced:
+            if not f.hint and r.hint:
+                f = Finding(f.rule, f.path, f.line, f.message, r.hint)
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -1,0 +1,9 @@
+"""Rule modules register themselves on import."""
+
+from sca.rules import legacy        # noqa: F401
+from sca.rules import determinism   # noqa: F401
+from sca.rules import layering      # noqa: F401
+from sca.rules import guest_paths   # noqa: F401
+from sca.rules import locking       # noqa: F401
+from sca.rules import switches      # noqa: F401
+from sca.rules import hygiene       # noqa: F401

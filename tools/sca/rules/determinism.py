@@ -1,0 +1,92 @@
+"""Determinism bans: anything that can break jobs=1 == jobs=N.
+
+The simulator must be a pure function of its seed. Host clocks, ambient
+PRNGs, and iteration over unordered containers that feeds exported or
+merged output all violate that. bench/ and tests/ may time the host;
+src/ may not.
+"""
+
+from __future__ import annotations
+
+import re
+
+from sca.model import Finding
+from sca.registry import rule
+
+
+def _ban_scan(analysis, rule_id: str, bans, allowed_files=()):
+    for sf in analysis.corpus.src_files():
+        if sf.rel in allowed_files:
+            continue
+        for ident, why in bans:
+            # Negative lookbehind keeps member accesses on project types
+            # (x.rand, p->rand) and longer identifiers from matching.
+            for m in re.finditer(rf"(?<![\w.>]){re.escape(ident)}\b", sf.clean):
+                yield Finding(rule_id, sf.rel, sf.line_of(m.start()),
+                              f"{ident}: {why}")
+
+
+@rule("det-wall-clock",
+      "no host wall-clock/cycle-counter reads under src/",
+      "derive time from sim::Engine::now(); only bench/tests may time the host")
+def det_wall_clock(analysis):
+    yield from _ban_scan(analysis, "det-wall-clock",
+                         analysis.config["wall_clock_bans"])
+
+
+@rule("det-random",
+      "no ambient randomness under src/; all entropy flows through sim::Rng",
+      "seed a sim::Rng (or Rng::split() a child stream) so one seed "
+      "reproduces the timeline")
+def det_random(analysis):
+    allowed = set(analysis.config["random_allowed_files"])
+    bans = analysis.config["random_bans"]
+    for sf in analysis.corpus.src_files():
+        if sf.rel in allowed:
+            continue
+        for ident, why in bans:
+            pat = rf"(?<![\w.>]){re.escape(ident)}\b"
+            for m in re.finditer(pat, sf.clean):
+                yield Finding("det-random", sf.rel, sf.line_of(m.start()),
+                              f"{ident}: {why}")
+
+
+# Declaration of an unordered container variable/member. Good enough for
+# this tree's style: the closing '>' of the template argument list is
+# followed by the variable name.
+_UNORDERED_DECL_RE = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<(?P<args>[^;{}]*?)>\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*(?:;|=|\{)")
+
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+@rule("det-unordered-iter",
+      "no iteration over unordered containers (hash order is not the seed's "
+      "order and changes across libstdc++ versions)",
+      "iterate a sorted copy of the keys, or keep export-feeding state in a "
+      "std::map/std::vector")
+def det_unordered_iter(analysis):
+    # Pass 1: collect declared unordered variables across src/ (members,
+    # locals, globals), remembering pointer-keyed ones for the message.
+    decls: dict[str, bool] = {}
+    for sf in analysis.corpus.src_files():
+        for m in _UNORDERED_DECL_RE.finditer(sf.clean):
+            ptr_keyed = "*" in m.group("args").split(",")[0]
+            decls[m.group("name")] = decls.get(m.group("name"), False) or ptr_keyed
+    if not decls:
+        return
+    names = "|".join(sorted(re.escape(n) for n in decls))
+    range_re = re.compile(
+        rf"\bfor\s*\([^();]*?:\s*[\w.\->]*\b(?P<name>{names})\s*\)")
+    iter_re = re.compile(
+        rf"\b(?P<name>{names})\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+    for sf in analysis.corpus.src_files():
+        for m in list(range_re.finditer(sf.clean)) + \
+                list(iter_re.finditer(sf.clean)):
+            name = m.group("name")
+            kind = "pointer-keyed " if decls[name] else ""
+            yield Finding(
+                "det-unordered-iter", sf.rel, sf.line_of(m.start()),
+                f"iteration over {kind}unordered container '{name}': hash "
+                f"order leaks into downstream state")

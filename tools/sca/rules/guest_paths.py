@@ -1,0 +1,96 @@
+"""no-throw-guest-path: functions reachable from the hypercall dispatch
+table must not contain naked throws — malformed guest input must come back
+as an HfError, never as an exception unwinding through the SPM.
+
+Reachability is an over-approximating name-matched walk from the dispatch
+gate and every `&Spm::on_*` handler in the call table (see callgraph.py).
+Two escape hatches, both deliberate and reviewable:
+
+  * a call site annotated `// sca-suppress(no-throw-guest-path): reason`
+    is a traversal barrier (use it where arguments are pre-validated so
+    the callee's throwing paths are unreachable);
+  * a throw annotated the same way is an accepted fail-stop (e.g. the
+    strict-audit CheckViolation, debug-only invariant traps).
+"""
+
+from __future__ import annotations
+
+import re
+
+from sca.model import Finding
+from sca.registry import rule
+
+RULE = "no-throw-guest-path"
+
+_HANDLER_REF_RE = re.compile(r"&(\w+)::(\w+)\s*>?\s*\}")
+_THUNK_REF_RE = re.compile(r"invoke_thunk\s*<[^<>]*&(\w+)::(\w+)\s*>")
+
+
+def _table_handlers(analysis) -> list[str]:
+    cfg = analysis.config["dispatch"]
+    srcf = analysis.corpus.get(cfg["source"])
+    if srcf is None:
+        return []
+    m = re.search(cfg["table"] + r"\s*(?:\[\]|\{\{)?\s*=?\s*\{\{(.*?)\}\};",
+                  srcf.clean, re.S)
+    if m is None:
+        return []
+    body = m.group(1)
+    out = []
+    for cls, fn in _THUNK_REF_RE.findall(body) + _HANDLER_REF_RE.findall(body):
+        if fn != "invoke_thunk":
+            out.append(f"{cls}::{fn}")
+    return sorted(set(out))
+
+
+@rule(RULE,
+      "guest-reachable SPM paths never throw",
+      "return the matching HfError; if the throw is provably unreachable "
+      "or a deliberate fail-stop, annotate it with "
+      "sca-suppress(no-throw-guest-path) and the justification")
+def no_throw_guest_path(analysis):
+    cg = analysis.callgraph
+    seeds: list[str] = list(analysis.config["guest_entry_functions"])
+    seeds += _table_handlers(analysis)
+
+    def barrier(sf, line) -> bool:
+        return sf.suppression_for(RULE, line) is not None
+
+    # BFS with parent pointers for the diagnostic chain.
+    parent: dict[int, tuple[int | None, str]] = {}
+    queue: list = []
+    seen: set[int] = set()
+    for qname in seeds:
+        for fd in cg.resolve(qname):
+            if id(fd) not in seen:
+                seen.add(id(fd))
+                parent[id(fd)] = (None, fd.qname)
+                queue.append(fd)
+    while queue:
+        fd = queue.pop(0)
+        for callee_name, _site in cg.callees(fd, barrier):
+            for target in cg.resolve(callee_name):
+                if id(target) in seen:
+                    continue
+                seen.add(id(target))
+                parent[id(target)] = (id(fd), target.qname)
+                queue.append(target)
+
+    def chain(fd) -> str:
+        names = []
+        key: int | None = id(fd)
+        while key is not None:
+            prev, name = parent[key]
+            names.append(name)
+            key = prev
+        return " <- ".join(names)
+
+    reachable = sorted((fd for fd in cg.functions if id(fd) in seen),
+                       key=lambda f: (f.file.rel, f.line))
+    for fd in reachable:
+        for off in cg.throws(fd):
+            line = fd.file.line_of(off)
+            yield Finding(
+                RULE, fd.file.rel, line,
+                f"naked throw in {fd.qname}, reachable from the hypercall "
+                f"table via {chain(fd)}")

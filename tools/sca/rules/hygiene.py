@@ -1,0 +1,32 @@
+"""suppression-hygiene: suppressions are reviewable artifacts.
+
+Every sca-suppress must name real rule ids and carry a written reason —
+an unexplained suppression is indistinguishable from silencing a bug.
+"""
+
+from __future__ import annotations
+
+from sca.model import Finding
+from sca.registry import RULES, rule
+
+
+@rule("suppression-hygiene",
+      "every suppression names known rules and carries a justification",
+      "write the reason after the colon: "
+      "// sca-suppress(rule-id): why this is safe")
+def suppression_hygiene(analysis):
+    for rel in sorted(analysis.corpus.files):
+        sf = analysis.corpus.files[rel]
+        for s in sf.suppressions:
+            if not s.rules:
+                yield Finding("suppression-hygiene", rel, s.line,
+                              "suppression lists no rule ids")
+                continue
+            for r in s.rules:
+                if r not in RULES:
+                    yield Finding("suppression-hygiene", rel, s.line,
+                                  f"suppression names unknown rule '{r}'")
+            if not s.reason:
+                yield Finding(
+                    "suppression-hygiene", rel, s.line,
+                    f"suppression of {', '.join(s.rules)} has no reason")

@@ -1,0 +1,77 @@
+"""Include-layer DAG: src/<a>/ may only #include src/<b>/ when the declared
+layer graph has the edge a -> b (self-edges implicit).
+
+The graph itself is validated for acyclicity first — a config that smuggles
+a cycle in is a finding, not silently accepted.
+"""
+
+from __future__ import annotations
+
+from sca.model import Finding
+from sca.registry import rule
+
+
+def _find_cycle(layers: dict[str, list[str]]) -> list[str] | None:
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {k: WHITE for k in layers}
+    stack: list[str] = []
+
+    def dfs(u: str) -> list[str] | None:
+        color[u] = GREY
+        stack.append(u)
+        for v in layers.get(u, []):
+            if v not in layers:
+                continue
+            if color[v] == GREY:
+                return stack[stack.index(v):] + [v]
+            if color[v] == WHITE:
+                cyc = dfs(v)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[u] = BLACK
+        return None
+
+    for k in sorted(layers):
+        if color[k] == WHITE:
+            cyc = dfs(k)
+            if cyc:
+                return cyc
+    return None
+
+
+@rule("layer-dag",
+      "cross-subsystem includes follow the declared layer DAG",
+      "either the include is wrong (route through the layer's interface) or "
+      "the edge belongs in the declared graph — changing the graph is an "
+      "architecture decision, make it in review")
+def layer_dag(analysis):
+    layers: dict[str, list[str]] = analysis.config["layers"]
+    cyc = _find_cycle(layers)
+    if cyc:
+        yield Finding("layer-dag", "sca-project", 1,
+                      "declared layer graph has a cycle: " + " -> ".join(cyc))
+        return
+    for sf in analysis.corpus.src_files():
+        parts = sf.rel.split("/")
+        if len(parts) < 3:
+            continue
+        subsystem = parts[1]
+        for line, inc, is_system in sf.scan.includes:
+            if is_system or "/" not in inc:
+                continue
+            target = inc.split("/")[0]
+            if target == subsystem or target not in layers:
+                continue
+            if subsystem not in layers:
+                yield Finding(
+                    "layer-dag", sf.rel, line,
+                    f"subsystem '{subsystem}' is not in the declared layer "
+                    f"graph; add it with its allowed edges")
+                break
+            if target not in layers[subsystem]:
+                yield Finding(
+                    "layer-dag", sf.rel, line,
+                    f"forbidden include edge {subsystem} -> {target} "
+                    f"(#include \"{inc}\"); allowed from '{subsystem}': "
+                    + (", ".join(sorted(layers[subsystem])) or "none"))

@@ -1,0 +1,76 @@
+"""lock-discipline: shared mutable state must declare its guard.
+
+Two checks:
+
+  1. Mutable statics (namespace-scope or function-local `static`, and
+     static data members) under src/ are shared across every trial thread
+     the parallel harness spawns. They must be const/constexpr/atomic/
+     thread_local, be a synchronization primitive themselves, or carry a
+     `// guarded-by: <what>` annotation naming the lock or ownership rule.
+
+  2. Config-listed guarded fields (the MetricsRegistry registration
+     structures): every statement that writes one must execute under the
+     documented mutex — i.e. inside a function whose body locks it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from sca.model import Finding
+from sca.registry import rule
+
+_STATIC_DECL_RE = re.compile(
+    r"^[ \t]*static\s+(?P<rest>[^;{(=]*)(?P<term>[;{(=])", re.M)
+_IMMUTABLE_RE = re.compile(
+    r"\b(const|constexpr|constinit|atomic|mutex|once_flag|thread_local)\b")
+
+
+@rule("lock-discipline",
+      "shared mutable state declares its guard",
+      "make it const/atomic/thread_local, or document the lock with "
+      "// guarded-by: <mutex or ownership rule>")
+def lock_discipline(analysis):
+    for sf in analysis.corpus.src_files():
+        for m in _STATIC_DECL_RE.finditer(sf.clean):
+            rest = m.group("rest")
+            if m.group("term") == "(":
+                continue   # static function declaration/definition
+            if _IMMUTABLE_RE.search(rest):
+                continue
+            if re.match(r"\s*(inline\s+)?(class|struct|enum|union|void)\b", rest):
+                continue   # local type definitions
+            line = sf.line_of(m.start("rest"))
+            raw_line = sf.text.split("\n")[line - 1]
+            prev_line = sf.text.split("\n")[line - 2] if line >= 2 else ""
+            if "guarded-by:" in raw_line or "guarded-by:" in prev_line:
+                continue
+            # Function-local statics that are function *declarations* or
+            # callables are rare in this tree; flag the data ones.
+            name = rest.strip().split()[-1] if rest.strip() else "?"
+            yield Finding(
+                "lock-discipline", sf.rel, line,
+                f"mutable static '{name.strip('*& ')}' without a documented "
+                f"guard (shared across parallel trial threads)")
+
+    for rel, fields in sorted(analysis.config["guarded_fields"].items()):
+        sf = analysis.corpus.get(rel)
+        if sf is None:
+            continue
+        for field_name, lock in sorted(fields.items()):
+            write_re = re.compile(
+                rf"\b{re.escape(field_name)}\s*(?:\.\s*(?:push_back|"
+                rf"emplace_back|emplace|insert|erase|clear|resize|assign|"
+                rf"pop_back)\s*\(|=[^=]|\[[^\]]*\]\s*=[^=])")
+            for m in write_re.finditer(sf.clean):
+                fd = analysis.callgraph.function_at(sf, m.start())
+                if fd is not None and re.search(
+                        rf"(?:lock_guard|unique_lock|scoped_lock)\s*"
+                        rf"(?:<[^>]*>)?\s*\w*\s*[({{][^;]*\b{re.escape(lock)}\b",
+                        fd.body()):
+                    continue
+                line = sf.line_of(m.start())
+                yield Finding(
+                    "lock-discipline", sf.rel, line,
+                    f"write to '{field_name}' outside the documented "
+                    f"'{lock}' critical section")

@@ -1,0 +1,89 @@
+"""exhaustive-switch: switches over project enums stay exhaustive.
+
+A switch whose case labels reference a project `enum class` must name
+every enumerator when it has no `default:` (the build is not -Werror, so
+-Wswitch alone does not gate). Inside to_string-style functions (config
+`exhaustive_switch_contexts`) missing enumerators are findings even with
+a default — a default there is exactly what hides the gap behind "?".
+"""
+
+from __future__ import annotations
+
+import re
+
+from sca import lexer
+from sca.model import Finding
+from sca.registry import rule
+
+_ENUM_DECL_RE = re.compile(r"\benum\s+class\s+(\w+)\b[^{;]*\{")
+_MEMBER_RE = re.compile(r"\b(k[A-Za-z0-9_]+)\b\s*(?:=[^,}]*)?(?=[,}])")
+_SWITCH_RE = re.compile(r"\bswitch\s*\(")
+_CASE_RE = re.compile(r"\bcase\s+((?:\w+\s*::\s*)+)(k\w+)\s*:")
+_DEFAULT_RE = re.compile(r"\bdefault\s*:")
+
+
+def _project_enums(analysis) -> dict[str, list[set[str]]]:
+    """enum name -> list of enumerator sets (same name may recur per layer).
+
+    Uses brace matching for the enum body (unlike the legacy regex, which
+    the configured enums are laid out to satisfy) so `enum class K {...} k;`
+    member declarations do not leak into the enumerator set.
+    """
+    enums: dict[str, list[set[str]]] = {}
+    for sf in analysis.corpus.src_files():
+        for m in _ENUM_DECL_RE.finditer(sf.clean):
+            open_idx = m.end() - 1
+            body = sf.clean[open_idx:lexer.match_brace(sf.clean, open_idx)]
+            members = set(_MEMBER_RE.findall(body))
+            if members:
+                enums.setdefault(m.group(1), []).append(members)
+    return enums
+
+
+@rule("exhaustive-switch",
+      "switches over project enums cover every enumerator",
+      "add the missing cases (or a default only where partial handling is "
+      "the documented intent)")
+def exhaustive_switch(analysis):
+    enums = _project_enums(analysis)
+    contexts = set(analysis.config["exhaustive_switch_contexts"])
+    for sf in analysis.corpus.src_files():
+        for m in _SWITCH_RE.finditer(sf.clean):
+            open_paren = m.end() - 1
+            close = lexer.match_paren(sf.clean, open_paren)
+            if close < 0:
+                continue
+            brace = sf.clean.find("{", close)
+            if brace < 0:
+                continue
+            body_end = lexer.match_brace(sf.clean, brace)
+            body = sf.clean[brace:body_end]
+            labels: dict[str, set[str]] = {}
+            for qual, member in _CASE_RE.findall(body):
+                enum_name = [p for p in re.split(r"\s*::\s*", qual) if p][-1]
+                labels.setdefault(enum_name, set()).add(member)
+            if len(labels) != 1:
+                continue   # no project-enum labels, or mixed (weird) switch
+            enum_name, used = next(iter(labels.items()))
+            if enum_name not in enums:
+                continue
+            # Pick the declaration this switch matches: the one containing
+            # all used labels (first declared wins ties).
+            candidates = [s for s in enums[enum_name] if used <= s]
+            if not candidates:
+                continue
+            members = candidates[0]
+            missing = sorted(members - used)
+            if not missing:
+                continue
+            has_default = _DEFAULT_RE.search(body) is not None
+            fd = analysis.callgraph.function_at(sf, m.start())
+            in_context = fd is not None and fd.name in contexts
+            if has_default and not in_context:
+                continue
+            where = f" in {fd.qname}" if fd is not None else ""
+            yield Finding(
+                "exhaustive-switch", sf.rel, sf.line_of(m.start()),
+                f"switch over {enum_name}{where} misses "
+                + ", ".join(f"{enum_name}::{x}" for x in missing)
+                + (" (default: hides the gap)" if has_default else ""))

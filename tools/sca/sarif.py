@@ -1,0 +1,51 @@
+"""SARIF 2.1.0 writer (the subset GitHub code scanning ingests)."""
+
+from __future__ import annotations
+
+import json
+
+from sca import __version__
+from sca.model import Finding
+from sca.registry import Rule
+
+
+def render(findings: list[tuple[Finding, str | None]],
+           rules: list[Rule]) -> str:
+    """findings: (finding, suppression kind or None) pairs."""
+    results = []
+    for f, suppressed in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message + (f" [hint: {f.hint}]" if f.hint else "")},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if suppressed is not None:
+            result["suppressions"] = [{"kind": suppressed}]
+        results.append(result)
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "hpcsec-sca",
+                    "version": __version__,
+                    "informationUri": "docs/ANALYSIS.md",
+                    "rules": [{
+                        "id": r.rule_id,
+                        "shortDescription": {"text": r.summary},
+                        "help": {"text": r.hint},
+                    } for r in rules],
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2) + "\n"
