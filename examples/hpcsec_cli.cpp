@@ -33,6 +33,10 @@
 //                                        RATE faults/s of sim time; default 10)
 //              [--restart-policy[=N]]   (heartbeat watchdog + restart engine on
 //                                        the compute VM; N = restart budget)
+//              [--adversary[=SHAPE]]    (memory-integrity attack suite: arms
+//                                        HDFI-style tags + containment, then
+//                                        runs an attacker partition; SHAPE is
+//                                        heartbleed (default), vtable or srop)
 //
 // Examples:
 //   hpcsec_cli --workload gups --config linux --trials 5
@@ -54,7 +58,9 @@
 #include "obs/profiler.h"
 #include "obs/trace_export.h"
 #include "resil/chaos.h"
+#include "resil/contain.h"
 #include "resil/resil.h"
+#include "workloads/attack.h"
 #include "workloads/hpcg.h"
 #include "workloads/nas.h"
 #include "workloads/randomaccess.h"
@@ -84,6 +90,8 @@ struct CliOptions {
     double chaos_rate_hz = 0.0;  // 0 = off
     bool restart_policy = false;
     int restart_budget = 3;
+    bool adversary = false;
+    wl::AttackKind adversary_kind = wl::AttackKind::kHeartbleed;
     bool profile = false;
     std::string profile_out;       // collapsed-stack file ("" = print only)
     std::size_t flight_depth = 0;  // 0 = flight recorder disarmed
@@ -101,6 +109,7 @@ void usage() {
                  "                  [--check[=strict|sampled]] "
                  "[--check-period N]\n                  [--call-metrics] "
                  "[--chaos[=RATE]] [--restart-policy[=N]]\n"
+                 "                  [--adversary[=heartbleed|vtable|srop]]\n"
                  "                  [--profile[=FILE]] [--flight-depth N] "
                  "[--obs-window N]\n");
 }
@@ -167,14 +176,44 @@ bool parse(int argc, char** argv, CliOptions& opt) {
         } else if (arg == "--chaos") {
             opt.chaos_rate_hz = 10.0;
         } else if (arg.rfind("--chaos=", 0) == 0) {
-            opt.chaos_rate_hz = std::atof(arg.c_str() + 8);
-            if (opt.chaos_rate_hz <= 0.0) return false;
+            const char* tok = arg.c_str() + 8;
+            char* end = nullptr;
+            opt.chaos_rate_hz = std::strtod(tok, &end);
+            if (end == tok || *end != '\0' || opt.chaos_rate_hz <= 0.0) {
+                std::fprintf(stderr,
+                             "bad --chaos rate '%s' (valid: a positive "
+                             "faults/s value like --chaos=10, or bare "
+                             "--chaos for the default of 10)\n",
+                             tok);
+                return false;
+            }
         } else if (arg == "--restart-policy") {
             opt.restart_policy = true;
         } else if (arg.rfind("--restart-policy=", 0) == 0) {
+            const char* tok = arg.c_str() + 17;
+            char* end = nullptr;
+            const long budget = std::strtol(tok, &end, 10);
+            if (end == tok || *end != '\0' || budget <= 0) {
+                std::fprintf(stderr,
+                             "bad --restart-policy budget '%s' (valid: a "
+                             "positive restart count like "
+                             "--restart-policy=3, or bare --restart-policy "
+                             "for the default of 3)\n",
+                             tok);
+                return false;
+            }
             opt.restart_policy = true;
-            opt.restart_budget = std::atoi(arg.c_str() + 17);
-            if (opt.restart_budget <= 0) return false;
+            opt.restart_budget = static_cast<int>(budget);
+        } else if (arg == "--adversary") {
+            opt.adversary = true;
+        } else if (arg.rfind("--adversary=", 0) == 0) {
+            opt.adversary = true;
+            std::string error;
+            if (!wl::parse_attack_kind(arg.substr(12), opt.adversary_kind,
+                                       error)) {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                return false;
+            }
         } else if (arg == "--profile") {
             opt.profile = true;
         } else if (arg.rfind("--profile=", 0) == 0) {
@@ -302,6 +341,10 @@ std::vector<obs::TraceExporter::CounterTrack> profiler_tracks(
 struct ResilTotals {
     resil::Supervisor::Stats sup;
     resil::ChaosInjector::Stats chaos;
+    resil::ContainmentEngine::Stats contain;
+    wl::AdversaryWorkload::Stats attack;
+    std::uint64_t attacks_run = 0;
+    std::uint64_t attacks_defeated = 0;
 };
 
 /// Per-trial attachment: a watchdog/restart supervisor and/or a chaos
@@ -310,8 +353,29 @@ struct ResilTotals {
 struct ResilRig {
     std::unique_ptr<resil::Supervisor> sup;
     std::unique_ptr<resil::ChaosInjector> chaos;
+    std::unique_ptr<resil::ContainmentEngine> contain;
+    std::unique_ptr<wl::AdversaryWorkload> adversary;
     ResilTotals* totals = nullptr;
     ~ResilRig() {
+        if (adversary) {
+            adversary->stop();
+            const auto& a = adversary->stats();
+            totals->attack.attempts += a.attempts;
+            totals->attack.denied += a.denied;
+            totals->attack.leaked_words += a.leaked_words;
+            totals->attack.corrupted_words += a.corrupted_words;
+            ++totals->attacks_run;
+            if (adversary->defeated()) ++totals->attacks_defeated;
+        }
+        if (contain) {
+            contain->disarm();
+            const auto& c = contain->stats();
+            totals->contain.violations += c.violations;
+            totals->contain.dumps += c.dumps;
+            totals->contain.quarantines += c.quarantines;
+            totals->contain.reverified += c.reverified;
+            totals->contain.embargoes += c.embargoes;
+        }
         if (sup) {
             sup->stop();
             const auto& s = sup->stats();
@@ -340,11 +404,33 @@ struct ResilRig {
 std::function<std::shared_ptr<void>(core::SchedulerKind, std::uint64_t,
                                     core::Node&)>
 make_pre_trial(const CliOptions& opt, ResilTotals& totals) {
-    if (opt.chaos_rate_hz <= 0.0 && !opt.restart_policy) return nullptr;
+    if (opt.chaos_rate_hz <= 0.0 && !opt.restart_policy && !opt.adversary) {
+        return nullptr;
+    }
     return [&opt, &totals](core::SchedulerKind, std::uint64_t,
                            core::Node& node) -> std::shared_ptr<void> {
         auto rig = std::make_shared<ResilRig>();
         rig->totals = &totals;
+        // The adversary axis: an attacker partition (a secondary with no
+        // guest personality — the exploit drives SPM access paths directly)
+        // plus the detect → contain → recover pipeline around it. Native
+        // config has no SPM and hence no trust boundary to attack.
+        if (opt.adversary && node.spm() != nullptr) {
+            hafnium::VmSpec aspec;
+            aspec.name = "attacker";
+            aspec.role = hafnium::VmRole::kSecondary;
+            aspec.mem_bytes = 4ull << 20;
+            aspec.vcpu_count = 1;
+            aspec.image = core::Node::make_image("attacker");
+            const arch::VmId attacker = node.spm()->create_vm(aspec);
+            rig->contain = std::make_unique<resil::ContainmentEngine>(node);
+            rig->contain->arm();
+            wl::AttackConfig ac;
+            ac.kind = opt.adversary_kind;
+            rig->adversary = std::make_unique<wl::AdversaryWorkload>(
+                *node.spm(), attacker, ac);
+            rig->adversary->start();
+        }
         // The native baseline has no hypervisor, hence nothing to supervise;
         // the chaos injector still runs there (and counts no_target draws).
         if (opt.restart_policy && node.spm() != nullptr &&
@@ -387,6 +473,27 @@ void print_resil_totals(const CliOptions& opt, const ResilTotals& totals) {
             static_cast<unsigned long long>(totals.chaos.frames_garbled),
             static_cast<unsigned long long>(totals.chaos.spurious_virqs),
             static_cast<unsigned long long>(totals.chaos.no_target));
+    }
+    if (opt.adversary) {
+        std::printf(
+            "adversary (%s): %llu attack%s, %llu defeated — %llu attempts, "
+            "%llu denied, %llu leaked, %llu corrupted\n",
+            wl::to_string(opt.adversary_kind),
+            static_cast<unsigned long long>(totals.attacks_run),
+            totals.attacks_run == 1 ? "" : "s",
+            static_cast<unsigned long long>(totals.attacks_defeated),
+            static_cast<unsigned long long>(totals.attack.attempts),
+            static_cast<unsigned long long>(totals.attack.denied),
+            static_cast<unsigned long long>(totals.attack.leaked_words),
+            static_cast<unsigned long long>(totals.attack.corrupted_words));
+        std::printf(
+            "contain: %llu violations, %llu dumps, %llu quarantines, "
+            "%llu reverified, %llu embargoes\n",
+            static_cast<unsigned long long>(totals.contain.violations),
+            static_cast<unsigned long long>(totals.contain.dumps),
+            static_cast<unsigned long long>(totals.contain.quarantines),
+            static_cast<unsigned long long>(totals.contain.reverified),
+            static_cast<unsigned long long>(totals.contain.embargoes));
     }
 }
 
@@ -504,6 +611,7 @@ int main(int argc, char** argv) {
         cfg.check_mode = opt.check_mode;
         cfg.check_period = opt.check_period;
         cfg.call_metrics = opt.call_metrics;
+        cfg.protect_critical = opt.adversary;
         cfg.platform.profile = opt.profile;
         cfg.platform.flight_depth = opt.flight_depth;
         if (opt.flight_depth > 0) cfg.platform.flight_dump_prefix = "flight";

@@ -93,6 +93,51 @@ void MemoryMap::free_frames(PhysAddr base, std::uint64_t nframes) {
         frames_.erase(it);
     }
     allocated_frames_ -= nframes;
+    // Hygiene: a freed frame is no longer critical. Dropping the tag here
+    // (rather than at the next tagging) keeps tagged_count_ the exact
+    // number of live tagged frames, which the hot-path gate depends on.
+    bool changed = false;
+    for (PhysAddr a = base; a < base + nframes * kPageSize; a += kPageSize) {
+        if (tagged_.erase(page_index(a)) != 0) {
+            --tagged_count_;
+            changed = true;
+        }
+    }
+    if (changed && tag_change_hook_) tag_change_hook_();
+}
+
+void MemoryMap::set_integrity_tag(PhysAddr base, std::uint64_t nframes, bool tagged) {
+    bool changed = false;
+    for (PhysAddr a = base; a < base + nframes * kPageSize; a += kPageSize) {
+        if (!is_ram(a)) {
+            throw std::invalid_argument("set_integrity_tag: frame is not RAM");
+        }
+        if (tagged) {
+            if (tagged_.insert(page_index(a)).second) {
+                ++tagged_count_;
+                changed = true;
+            }
+        } else if (tagged_.erase(page_index(a)) != 0) {
+            --tagged_count_;
+            changed = true;
+        }
+    }
+    // Shoot down cached translations even on a clear: a stale "tagged"
+    // verdict would fault a now-legal access.
+    if (changed && tag_change_hook_) tag_change_hook_();
+}
+
+std::vector<PhysAddr> MemoryMap::frames_owned_by(VmId vm) const {
+    std::vector<PhysAddr> out;
+    // sca-suppress(det-unordered-iter): collected addresses are sorted below,
+    // so the result is independent of hash-map iteration order.
+    for (const auto& [page, state] : frames_) {
+        if (state.owner.allocated && state.owner.vm == vm) {
+            out.push_back(page << kPageShift);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 void MemoryMap::set_owner(PhysAddr base, std::uint64_t nframes, VmId owner) {

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "arch/types.h"
@@ -76,6 +77,41 @@ public:
 
     [[nodiscard]] std::uint64_t allocated_frames() const { return allocated_frames_; }
 
+    // --- integrity tags (HDFI-style one-bit frame tags) --------------------
+
+    /// Tag (or clear) the one-bit integrity mark on every frame in
+    /// [base, base + nframes * page). Tagged frames hold SPM-critical state
+    /// (stage-2 tables, attestation log, signature material, manifest); the
+    /// MMU raises FaultKind::kTagViolation when a guest translation targets
+    /// one. Every change fires the tag-change hook so cached translations
+    /// (TLB entries, the L0 line) are shot down — a stale fill must never
+    /// outlive a tag flip.
+    void set_integrity_tag(PhysAddr base, std::uint64_t nframes, bool tagged);
+
+    /// Fast gate for the translate hot path: with no frame tagged anywhere
+    /// this is a single predicted branch, so the tags-off cost floor is one
+    /// compare against a resident counter.
+    [[nodiscard]] bool has_integrity_tags() const { return tagged_count_ != 0; }
+
+    /// DFITAGCHECK: true when the frame holding `a` carries the tag.
+    [[nodiscard]] bool integrity_tagged(PhysAddr a) const {
+        if (tagged_count_ == 0) [[likely]] {
+            return false;
+        }
+        return tagged_.find(page_index(a)) != tagged_.end();
+    }
+
+    /// Invoked after every tag change (set or clear). The platform wires
+    /// this to a full TLB shootdown on every core.
+    void set_tag_change_hook(std::function<void()> hook) {
+        tag_change_hook_ = std::move(hook);
+    }
+
+    /// Frames currently owned by `vm`, ascending by PA — the deterministic
+    /// ground-truth enumeration VM teardown reclaims against (a VM's holdings
+    /// can differ from its boot window once FFA donations have moved frames).
+    [[nodiscard]] std::vector<PhysAddr> frames_owned_by(VmId vm) const;
+
     // --- functional backing store (sparse, 64-bit words) -------------------
 
     /// Aligned 64-bit load/store at a physical address. The security check
@@ -108,6 +144,11 @@ private:
     std::unordered_map<std::uint64_t, std::uint64_t> store_;
     std::unordered_map<std::uint64_t, MmioHandler> mmio_;  // keyed by region base
     std::uint64_t allocated_frames_ = 0;
+    // Sparse tag bits, keyed by page index; lookup-only on hot paths (never
+    // iterated), count-gated so the untagged world pays one branch.
+    std::unordered_set<std::uint64_t> tagged_;
+    std::uint64_t tagged_count_ = 0;
+    std::function<void()> tag_change_hook_;
 };
 
 }  // namespace hpcsec::arch

@@ -26,7 +26,18 @@ Translation Mmu::translate(VirtAddr va, Access access) {
             t.fault_stage = stage1_ != nullptr ? 1 : 2;
             return t;
         }
-        t.pa = (l0_.out_page << kPageShift) | (va & kPageMask);
+        const PhysAddr pa = (l0_.out_page << kPageShift) | (va & kPageMask);
+        // DFITAGCHECK on the hit path too: tag flips flush every TLB scope
+        // (which bumps the epoch and so kills this line), but the check must
+        // not *depend* on that wiring — a cached translation is never a
+        // licence to touch a tagged frame. Tags-off cost: one predicted
+        // branch on the resident counter.
+        if (mem_->integrity_tagged(pa) && vmid_ != kHypervisorId) {
+            t.fault = FaultKind::kTagViolation;
+            t.fault_stage = 0;
+            return t;
+        }
+        t.pa = pa;
         t.tlb_hit = true;
         return t;
     }
@@ -40,7 +51,13 @@ Translation Mmu::translate(VirtAddr va, Access access) {
             t.fault_stage = stage1_ != nullptr ? 1 : 2;
             return t;
         }
-        t.pa = (e->out_page << kPageShift) | (va & kPageMask);
+        const PhysAddr pa = (e->out_page << kPageShift) | (va & kPageMask);
+        if (mem_->integrity_tagged(pa) && vmid_ != kHypervisorId) {
+            t.fault = FaultKind::kTagViolation;
+            t.fault_stage = 0;
+            return t;
+        }
+        t.pa = pa;
         t.tlb_hit = true;
         l0_ = {e->in_page, e->out_page, tlb_.flush_epoch(), e->perms};
         return t;
@@ -113,6 +130,16 @@ Translation Mmu::translate_uncached(VirtAddr va, Access access) {
     if (const FaultKind f = mem_->check_physical_access(pa, world_);
         f != FaultKind::kNone) {
         t.fault = f;
+        t.fault_stage = 0;
+        return t;
+    }
+
+    // DFITAGCHECK: a guest (non-hypervisor) translation must never reach an
+    // integrity-tagged frame, read or write — over-reads leak key material
+    // just as surely as overwrites corrupt page tables. The tag lives on
+    // the physical frame, so no stage-1/stage-2 aliasing can dodge it.
+    if (mem_->integrity_tagged(pa) && vmid_ != kHypervisorId) {
+        t.fault = FaultKind::kTagViolation;
         t.fault_stage = 0;
         return t;
     }

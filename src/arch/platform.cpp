@@ -92,6 +92,14 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
     gic_->set_signal([this](CoreId id) { cores_[static_cast<std::size_t>(id)]->signal_irq(); });
     monitor_ = std::make_unique<SecureMonitor>(std::move(core_ptrs));
 
+    // Integrity-tag shootdown: every tag flip broadcasts a full TLBI to all
+    // cores. flush_all bumps each TLB's flush epoch, which also invalidates
+    // the MMUs' L0 lines — no cached translation filled before a tag change
+    // can be consulted after it.
+    mem_.set_tag_change_hook([this] {
+        for (auto& c : cores_) c->mmu().tlb().flush_all();
+    });
+
     for (const auto& d : config_.devices) {
         if (d.name.find("uart") != std::string::npos ||
             d.name.find("pl011") != std::string::npos) {

@@ -9,6 +9,7 @@ std::string to_string(FaultKind k) {
         case FaultKind::kPermission: return "permission";
         case FaultKind::kSecurity: return "security";
         case FaultKind::kAddressSize: return "address-size";
+        case FaultKind::kTagViolation: return "tag-violation";
     }
     return "?";
 }

@@ -83,6 +83,7 @@ enum class FaultKind : std::uint8_t {
     kPermission,    ///< mapped but access kind not permitted
     kSecurity,      ///< non-secure access to secure memory
     kAddressSize,   ///< address outside the configured range
+    kTagViolation,  ///< untagged writer touched an integrity-tagged frame
 };
 
 [[nodiscard]] std::string to_string(FaultKind k);

@@ -26,6 +26,20 @@ constexpr int kStrayVirq = 999;  // outside every distributed id range
 
 }  // namespace
 
+arch::IpaAddr CorruptionAccess::map_rogue_window(hafnium::Spm& spm,
+                                                 arch::VmId attacker,
+                                                 arch::PhysAddr target_pa,
+                                                 std::uint64_t pages) {
+    hafnium::Vm& vm = spm.vm(attacker);
+    if (vm.destroyed) {
+        throw std::runtime_error("map_rogue_window: attacker VM is destroyed");
+    }
+    const arch::IpaAddr window = vm.ipa_base + vm.mem_bytes();
+    vm.stage2().map(window, target_pa, pages * arch::kPageSize, arch::kPermRW,
+                    /*secure=*/false, /*force_pages=*/true);
+    return window;
+}
+
 const char* to_string(CorruptionKind k) {
     switch (k) {
         case CorruptionKind::kRogueStage2Map: return "rogue-stage2-map";

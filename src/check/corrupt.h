@@ -17,6 +17,18 @@ struct CorruptionAccess {
     [[nodiscard]] static hafnium::Spm::Stats& stats(hafnium::Spm& spm) {
         return spm.stats_;
     }
+
+    /// Exploit primitive for the adversarial suite (src/workloads/attack.*):
+    /// splice a writable stage-2 window onto an arbitrary physical frame
+    /// directly after `attacker`'s RAM, so its address space continues
+    /// seamlessly into the target — the post-exploitation state every ported
+    /// attack shape starts from (an over-read walks off the end of a legit
+    /// buffer straight into the window; overwrites land through it). Returns
+    /// the window's IPA. Throws if the attacker VM is destroyed.
+    static arch::IpaAddr map_rogue_window(hafnium::Spm& spm,
+                                          arch::VmId attacker,
+                                          arch::PhysAddr target_pa,
+                                          std::uint64_t pages = 1);
 };
 
 enum class CorruptionKind : std::uint8_t {

@@ -186,6 +186,11 @@ void Node::boot_hafnium() {
         chain_.extend_digest(name, digest);
     }
 
+    // Tag SPM-critical state before any guest instruction runs, so there is
+    // no boot window in which an early-compromised partition could touch it
+    // unchecked.
+    if (config_.protect_critical) spm_->protect_critical_state();
+
     if (kitten_) kitten_->boot();
     if (linux_) linux_->boot();
 

@@ -73,6 +73,12 @@ struct NodeConfig {
     /// and error counters published as "hf.call.*" / "hf.call_err.*".
     bool call_metrics = false;
 
+    /// Arm HDFI-style integrity tags over SPM-critical state at boot
+    /// (Spm::protect_critical_state): stage-2 table frames, attestation log,
+    /// Lamport key material, manifest. Off by default so the tags-off hot
+    /// path keeps its one-predicted-branch floor.
+    bool protect_critical = false;
+
     /// When set, VM images must verify against `trusted_keys` at boot.
     bool verify_signatures = false;
     std::vector<SignedImage> signed_images;

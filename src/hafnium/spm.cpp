@@ -126,6 +126,11 @@ arch::VmId Spm::create_vm(const VmSpec& spec) {
     }
     measurements_.emplace_back(spec.name, spec.image_hash());
     vms_.push_back(std::move(vm));
+    // Under integrity protection every partition's stage-2 table frames are
+    // tagged from the moment they exist — restarted VMs included.
+    if (critical_armed_) {
+        protect_new_region("stage2:" + spec.name, 1);
+    }
     return vms_.back()->id();
 }
 
@@ -162,15 +167,30 @@ void Spm::destroy_vm(arch::VmId id) {
         victim.vcpu(v).set_state(VcpuState::kAborted);
     }
     guest_os_.erase(id);
-    victim.stage2().unmap(victim.ipa_base, victim.mem_bytes());
-    for (arch::PhysAddr a = victim.mem_base;
-         a < victim.mem_base + victim.mem_bytes(); a += 8 * 512) {
-        // Sparse store: clearing word 0 of each page region suffices for the
-        // model (reads of freed memory return zero anyway after reuse).
-        platform_->mem().write64(a, 0, victim.world());
+    // Unmap the victim's *entire* stage-2, not just the boot window:
+    // donated-in windows live outside [ipa_base, ipa_base + mem_bytes) and
+    // would otherwise survive as dangling translations onto freed frames.
+    std::vector<std::pair<arch::IpaAddr, std::uint64_t>> mappings;
+    victim.stage2().for_each_mapping(
+        [&mappings](const arch::PageTable::MappingView& m) {
+            mappings.emplace_back(m.in_base, m.size);
+        });
+    for (const auto& [in_base, size] : mappings) {
+        victim.stage2().unmap(in_base, size);
     }
-    platform_->mem().free_frames(victim.mem_base,
-                                 victim.mem_bytes() >> arch::kPageShift);
+    // Reclaim by *current ownership*, not the boot window. FFA donations
+    // move frames both ways after boot: frames donated away belong to
+    // another live partition now (scrubbing/freeing them here was the
+    // lifecycle twin of the reclaim-under-grant donate bug), and frames
+    // donated in would otherwise leak. Grants were revoked above, so no
+    // borrower window outlives the reclaim.
+    for (const arch::PhysAddr frame : platform_->mem().frames_owned_by(id)) {
+        // Sparse store: clearing word 0 of each frame suffices for the
+        // model (reads of freed memory return zero anyway after reuse).
+        platform_->mem().write64(frame, 0, victim.world());
+        platform_->mem().free_frames(frame, 1);
+    }
+    if (critical_armed_) release_critical("stage2:" + victim.name());
     victim.destroyed = true;
 }
 
@@ -250,6 +270,10 @@ bool Spm::guest_access(Vcpu& vcpu, arch::IpaAddr ipa, arch::Access access) {
         ok = platform_->mem().check_physical_access(w.out, vm.world()) ==
              arch::FaultKind::kNone;
     }
+    // DFITAGCHECK last: a stage-2 walk that *resolves* to a tagged frame is
+    // the integrity violation (the walk succeeding is what makes it an
+    // exploit rather than a plain fault).
+    if (ok) ok = tag_check(vm.id(), ipa, w.out, access);
     if (!ok) abort_vcpu(vcpu);
     return ok;
 }
@@ -1062,6 +1086,9 @@ bool Spm::vm_read64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t& out) {
         arch::FaultKind::kNone) {
         return false;
     }
+    // Over-reads leak key material as surely as overwrites corrupt tables:
+    // the FFA-window read path tag-checks too (heartbleed shape).
+    if (!tag_check(id, ipa, w.out, arch::Access::kRead)) return false;
     // sca-suppress(no-throw-guest-path): check_physical_access verified the
     // same (frame, world) pair read64 re-checks, so it cannot throw here.
     out = platform_->mem().read64(w.out, vm(id).world());
@@ -1078,10 +1105,121 @@ bool Spm::vm_write64(arch::VmId id, arch::IpaAddr ipa, std::uint64_t value) {
         arch::FaultKind::kNone) {
         return false;
     }
+    // DFITAGCHECK before the store mutates anything: a blocked write leaves
+    // the tagged frame bit-identical, which is what lets recovery re-verify
+    // it against the attestation hash and keep serving.
+    if (!tag_check(id, ipa, w.out, arch::Access::kWrite)) return false;
     // sca-suppress(no-throw-guest-path): check_physical_access verified the
     // same (frame, world) pair write64 re-checks, so it cannot throw here.
     platform_->mem().write64(w.out, value, vm(id).world());
     return true;
+}
+
+// --------------------------------------------------------------------------
+// Integrity tagging (detect of detect → contain → recover)
+// --------------------------------------------------------------------------
+
+void Spm::protect_critical_state() {
+    if (critical_armed_) return;
+    critical_armed_ = true;
+    // Per-VM stage-2 table frames. The PageTable object itself is a model,
+    // but the frames its nodes would occupy are real hypervisor-owned
+    // allocations here, so a corrupting guest access has a concrete target.
+    for (const auto& vm : vms_) {
+        if (!vm->destroyed) protect_new_region("stage2:" + vm->name(), 1);
+    }
+    protect_new_region("attestation-log", 1);
+    protect_new_region("lamport-keys", 2);
+    protect_new_region("manifest", 1);
+}
+
+void Spm::protect_new_region(const std::string& name, std::uint64_t pages) {
+    auto& mem = platform_->mem();
+    const arch::PhysAddr base =
+        mem.alloc_frames(pages, arch::kHypervisorId, arch::World::kNonSecure);
+    // Deterministic fill derived from the region name, so the measurement
+    // covers real content rather than a page of zeros (a zeroing attack
+    // must not re-verify clean).
+    const crypto::Digest seed = crypto::Sha256::hash(name);
+    const std::uint64_t words = pages * (arch::kPageSize / 8);
+    for (std::uint64_t w = 0; w < words; ++w) {
+        std::uint64_t v = 0;
+        for (std::uint64_t b = 0; b < 8; ++b) {
+            v = (v << 8) | seed[(w + b) % seed.size()];
+        }
+        mem.write64(base + w * 8, v ^ w, arch::World::kSecure);
+    }
+    mem.set_integrity_tag(base, pages, true);
+    critical_.push_back({name, base, pages, measure_region(base, pages), false});
+}
+
+crypto::Digest Spm::measure_region(arch::PhysAddr base, std::uint64_t pages) const {
+    crypto::Sha256 h;
+    const std::uint64_t words = pages * (arch::kPageSize / 8);
+    for (std::uint64_t w = 0; w < words; ++w) {
+        const std::uint64_t v =
+            platform_->mem().read64(base + w * 8, arch::World::kSecure);
+        h.update(crypto::bytes_of(v));
+    }
+    return h.finalize();
+}
+
+const Spm::CriticalRegion* Spm::find_critical(const std::string& name) const {
+    for (const auto& r : critical_) {
+        if (r.name == name) return &r;
+    }
+    return nullptr;
+}
+
+bool Spm::reverify_critical(const std::string& name) {
+    for (auto& r : critical_) {
+        if (r.name != name) continue;
+        const bool ok =
+            crypto::digest_equal(r.measurement, measure_region(r.base, r.pages));
+        if (!ok) r.embargoed = true;
+        return ok;
+    }
+    return false;
+}
+
+void Spm::release_critical(const std::string& name) {
+    for (auto it = critical_.begin(); it != critical_.end(); ++it) {
+        if (it->name != name) continue;
+        // An embargoed region failed re-verification: its frames stay out
+        // of the allocator forever rather than risk reuse of corrupt state.
+        if (it->embargoed) return;
+        platform_->mem().set_integrity_tag(it->base, it->pages, false);
+        const std::uint64_t words = it->pages * (arch::kPageSize / 8);
+        for (std::uint64_t w = 0; w < words; ++w) {
+            platform_->mem().write64(it->base + w * 8, 0, arch::World::kSecure);
+        }
+        platform_->mem().free_frames(it->base, it->pages);
+        critical_.erase(it);
+        return;
+    }
+}
+
+bool Spm::tag_check(arch::VmId accessor, arch::IpaAddr ipa, arch::PhysAddr pa,
+                    arch::Access access) {
+    if (!platform_->mem().integrity_tagged(pa)) [[likely]] {
+        return true;
+    }
+    ++stats_.tag_violations;
+    std::string region;
+    for (const auto& r : critical_) {
+        if (pa >= r.base && pa < r.base + r.pages * arch::kPageSize) {
+            region = r.name;
+            break;
+        }
+    }
+    platform_->recorder().instant(platform_->engine().now(),
+                                  obs::EventType::kTagViolation, -1, accessor,
+                                  static_cast<std::int64_t>(pa),
+                                  static_cast<std::int64_t>(access));
+    if (tag_violation_hook) {
+        tag_violation_hook(TagViolation{accessor, ipa, pa, access, region});
+    }
+    return false;
 }
 
 void Spm::publish_metrics() {
@@ -1107,6 +1245,7 @@ void Spm::publish_metrics() {
     set("hf.mem_grants", stats_.mem_grants);
     set("hf.mem_revokes", stats_.mem_revokes);
     set("hf.mem_donates", stats_.mem_donates);
+    set("hf.tag_violations", stats_.tag_violations);
 }
 
 std::vector<std::string> Spm::devices_of(arch::VmId id) const {

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -62,6 +63,7 @@ public:
         std::uint64_t mem_grants = 0;   ///< successful FFA_MEM_SHARE/LEND
         std::uint64_t mem_revokes = 0;  ///< reclaims + teardown revocations
         std::uint64_t mem_donates = 0;  ///< successful FFA_MEM_DONATE
+        std::uint64_t tag_violations = 0;  ///< DFITAGCHECK hits on guest paths
     };
 
     Spm(arch::Platform& platform, Manifest manifest,
@@ -220,6 +222,51 @@ public:
     };
     [[nodiscard]] const std::vector<ShareGrant>& grants() const { return grants_; }
 
+    // --- integrity tagging (HDFI-style; the "detect" of detect→contain→
+    // recover) ----------------------------------------------------------------
+
+    /// One tagged block of SPM-critical state. `measurement` is the SHA-256
+    /// of the block's content at tagging time; recovery re-verifies against
+    /// it before the frames may be trusted again.
+    struct CriticalRegion {
+        std::string name;
+        arch::PhysAddr base = 0;
+        std::uint64_t pages = 0;
+        crypto::Digest measurement{};
+        bool embargoed = false;  ///< re-verification failed; never reuse
+    };
+
+    /// Everything a containment policy needs to know about one violation.
+    struct TagViolation {
+        arch::VmId offender = 0;
+        arch::IpaAddr ipa = 0;
+        arch::PhysAddr pa = 0;
+        arch::Access access = arch::Access::kRead;
+        std::string region;  ///< critical-region name, "" if untracked frame
+    };
+
+    /// Arm integrity protection: allocate, deterministically fill, measure
+    /// and tag one hypervisor-owned frame block per piece of SPM-critical
+    /// state — per-VM stage-2 table frames, the attestation log, the Lamport
+    /// key material and the manifest. Off by default so the tags-off hot
+    /// path stays at its one-predicted-branch floor; idempotent.
+    void protect_critical_state();
+    [[nodiscard]] bool critical_armed() const { return critical_armed_; }
+    [[nodiscard]] const std::vector<CriticalRegion>& critical_regions() const {
+        return critical_;
+    }
+    [[nodiscard]] const CriticalRegion* find_critical(const std::string& name) const;
+
+    /// Recovery step: recompute the region's content hash and compare with
+    /// the measurement taken at tagging time. A mismatch embargoes the
+    /// region (its frames must never be reused) and returns false.
+    bool reverify_critical(const std::string& name);
+
+    /// Detect → contain handoff, invoked after every recorded tag violation.
+    /// resil::ContainmentEngine subscribes here; unset costs nothing (the
+    /// whole check is behind the tagged-frame lookup).
+    std::function<void(const TagViolation&)> tag_violation_hook;
+
 private:
     friend struct hpcsec::check::CorruptionAccess;
 
@@ -298,6 +345,20 @@ private:
     HfResult mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
                        bool exclusive);
 
+    /// DFITAGCHECK on the SPM-mediated guest paths (guest_access,
+    /// vm_read64/vm_write64). True when the access is clean; a violation
+    /// counts, records, fires the hook and returns false. One predicted
+    /// branch when no frame is tagged.
+    bool tag_check(arch::VmId accessor, arch::IpaAddr ipa, arch::PhysAddr pa,
+                   arch::Access access);
+    /// Allocate + fill + measure + tag one critical region.
+    void protect_new_region(const std::string& name, std::uint64_t pages);
+    /// Untag and free a critical region (per-VM stage-2 table block on
+    /// partition teardown). Embargoed regions keep their frames forever.
+    void release_critical(const std::string& name);
+    [[nodiscard]] crypto::Digest measure_region(arch::PhysAddr base,
+                                                std::uint64_t pages) const;
+
     arch::Platform* platform_;
     Manifest manifest_;
     IrqRouter router_;
@@ -312,6 +373,8 @@ private:
     std::vector<std::pair<std::string, crypto::Digest>> measurements_;
     std::vector<ShareGrant> grants_;
     std::map<arch::VmId, std::vector<std::string>> device_map_;
+    std::vector<CriticalRegion> critical_;
+    bool critical_armed_ = false;
     Stats stats_;
     VcpuAuditSink* audit_ = nullptr;
     std::vector<HypercallInterceptor*> interceptors_;  ///< sorted by Stage

@@ -61,6 +61,8 @@ enum class EventType : std::uint8_t {
     kResilFault,    ///< a0 = resil::FailureKind, a1 = vm id, a2 = vcpu index
     kResilAction,   ///< a0 = action (0 backoff, 1 restart, 2 quarantine), a1 = vm id, a2 = consecutive failures
     kChaosInject,   ///< a0 = resil::ChaosFault, a1 = vm id, a2 = vcpu/word index
+    kTagViolation,  ///< a0 = offending vm id, a1 = faulting PA, a2 = Access
+    kContainAction, ///< a0 = resil::ContainmentPolicy step, a1 = vm id, a2 = detail
 };
 
 /// Stable lower-case name, used for trace export and TraceLog mirroring.
@@ -90,7 +92,10 @@ enum class EventType : std::uint8_t {
         case EventType::kResilFault:
         case EventType::kResilAction:
         case EventType::kChaosInject:
+        case EventType::kContainAction:
             return Category::kResil;
+        case EventType::kTagViolation:
+            return Category::kCheck;
     }
     return Category::kAll;
 }

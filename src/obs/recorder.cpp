@@ -92,6 +92,8 @@ const char* to_string(EventType t) {
         case EventType::kResilFault: return "resil-fault";
         case EventType::kResilAction: return "resil-action";
         case EventType::kChaosInject: return "chaos-inject";
+        case EventType::kTagViolation: return "tag-violation";
+        case EventType::kContainAction: return "contain-action";
     }
     return "?";
 }

@@ -1,0 +1,126 @@
+#include "resil/contain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcsec::resil {
+
+const char* to_string(ContainmentPolicy p) {
+    switch (p) {
+        case ContainmentPolicy::kDetected: return "detected";
+        case ContainmentPolicy::kDumped: return "dumped";
+        case ContainmentPolicy::kQuarantined: return "quarantined";
+        case ContainmentPolicy::kReverified: return "reverified";
+        case ContainmentPolicy::kEmbargoed: return "embargoed";
+    }
+    return "?";
+}
+
+ContainmentEngine::ContainmentEngine(core::Node& node, ContainmentConfig config)
+    : node_(&node), config_(config) {
+    if (node.spm() == nullptr) {
+        throw std::logic_error("resil::ContainmentEngine: needs a hafnium node");
+    }
+    if (config_.defer_s <= 0.0) {
+        throw std::invalid_argument(
+            "resil::ContainmentEngine: defer_s must be > 0 (teardown cannot "
+            "run inside the offender's own hypercall)");
+    }
+}
+
+ContainmentEngine::~ContainmentEngine() { disarm(); }
+
+void ContainmentEngine::arm() {
+    if (armed_) return;
+    armed_ = true;
+    node_->spm()->tag_violation_hook =
+        [this](const hafnium::Spm::TagViolation& v) { on_violation(v); };
+}
+
+void ContainmentEngine::disarm() {
+    if (!armed_) return;
+    armed_ = false;
+    node_->spm()->tag_violation_hook = nullptr;
+    for (const sim::EventId& e : pending_) {
+        node_->platform().engine().cancel(e);
+    }
+    pending_.clear();
+}
+
+void ContainmentEngine::record(ContainmentPolicy step, arch::VmId vm,
+                               const std::string& region) {
+    action_log_.push_back({step, vm, region});
+    node_->platform().recorder().instant(
+        node_->platform().engine().now(), obs::EventType::kContainAction, -1,
+        static_cast<std::int64_t>(step), vm, 0);
+}
+
+void ContainmentEngine::on_violation(const hafnium::Spm::TagViolation& v) {
+    ++stats_.violations;
+    record(ContainmentPolicy::kDetected, v.offender, v.region);
+    // An attack is usually a burst (over-reads walk word by word): the first
+    // violation starts containment, the rest only count. The offender keeps
+    // bouncing off the tag check in the meantime — detection blocks the
+    // access itself, so nothing leaks while teardown is pending.
+    if (std::find(handled_.begin(), handled_.end(), v.offender) !=
+        handled_.end()) {
+        return;
+    }
+    handled_.push_back(v.offender);
+
+    // Dump first: capture the rings leading up to the violation before the
+    // containment events start overwriting them (no-op when disarmed).
+    node_->platform().flight().dump("tag-violation");
+    ++stats_.dumps;
+    record(ContainmentPolicy::kDumped, v.offender, v.region);
+
+    // Defer the destructive half: the hook runs inside the offender's own
+    // access path and a VM must never be torn down mid-hypercall.
+    auto& engine = node_->platform().engine();
+    const arch::VmId offender = v.offender;
+    const std::string region = v.region;
+    pending_.push_back(engine.at(
+        engine.now() + engine.clock().from_seconds(config_.defer_s),
+        [this, offender, region] { contain(offender, region); },
+        sim::kPrioKernel));
+}
+
+void ContainmentEngine::contain(arch::VmId offender, const std::string& region) {
+    if (config_.quarantine) {
+        try {
+            node_->retire_vm(offender);
+            ++stats_.quarantines;
+            record(ContainmentPolicy::kQuarantined, offender, region);
+        } catch (const std::exception&) {
+            // Best effort (e.g. the offender was already retired by the
+            // watchdog); recovery below proceeds regardless.
+        }
+    }
+    // Recover: prove the tag check fired before any byte changed. A clean
+    // re-measurement keeps the region in service; a mismatch poisons it —
+    // Spm::release_critical will refuse to ever return those frames.
+    if (!region.empty()) {
+        if (node_->spm()->reverify_critical(region)) {
+            ++stats_.reverified;
+            record(ContainmentPolicy::kReverified, offender, region);
+        } else {
+            ++stats_.embargoes;
+            record(ContainmentPolicy::kEmbargoed, offender, region);
+        }
+    }
+    publish_metrics();
+}
+
+void ContainmentEngine::publish_metrics() {
+    auto& m = node_->platform().metrics();
+    const auto set = [&m](const char* name, std::uint64_t v) {
+        m.set(m.gauge(name), static_cast<double>(v));
+    };
+    set("contain.violations", stats_.violations);
+    set("contain.dumps", stats_.dumps);
+    set("contain.quarantines", stats_.quarantines);
+    set("contain.reverified", stats_.reverified);
+    set("contain.embargoes", stats_.embargoes);
+}
+
+}  // namespace hpcsec::resil

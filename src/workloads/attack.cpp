@@ -1,0 +1,183 @@
+#include "workloads/attack.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "check/corrupt.h"
+
+namespace hpcsec::wl {
+
+namespace {
+constexpr std::pair<const char*, AttackKind> kAttackNames[] = {
+    {"heartbleed", AttackKind::kHeartbleed},
+    {"vtable", AttackKind::kVtableOverwrite},
+    {"srop", AttackKind::kSropForgery},
+};
+}  // namespace
+
+const char* to_string(AttackKind k) {
+    switch (k) {
+        case AttackKind::kHeartbleed: return "heartbleed";
+        case AttackKind::kVtableOverwrite: return "vtable";
+        case AttackKind::kSropForgery: return "srop";
+    }
+    return "?";
+}
+
+bool parse_attack_kind(const std::string& token, AttackKind& out,
+                       std::string& error) {
+    for (const auto& [name, kind] : kAttackNames) {
+        if (token == name) {
+            out = kind;
+            error.clear();
+            return true;
+        }
+    }
+    error = "unknown attack shape '" + token + "' (valid: ";
+    bool first = true;
+    for (const auto& [name, kind] : kAttackNames) {
+        if (!first) error += ",";
+        error += name;
+        first = false;
+    }
+    error += ")";
+    return false;
+}
+
+AdversaryWorkload::AdversaryWorkload(hafnium::Spm& spm, arch::VmId attacker,
+                                     AttackConfig config)
+    : spm_(&spm),
+      attacker_(attacker),
+      config_(std::move(config)),
+      rng_(spm.platform().rng().split()) {
+    hafnium::Vm& vm = spm.vm(attacker);
+    if (vm.role() != hafnium::VmRole::kSecondary || vm.destroyed) {
+        throw std::invalid_argument(
+            "AdversaryWorkload: attacker must be a live secondary partition");
+    }
+}
+
+AdversaryWorkload::~AdversaryWorkload() { stop(); }
+
+void AdversaryWorkload::start() {
+    if (armed_ || done_) return;
+    armed_ = true;
+    auto& engine = spm_->platform().engine();
+    event_ = engine.at(
+        engine.now() + engine.clock().from_seconds(config_.start_s),
+        [this] { launch(); }, sim::kPrioDefault);
+}
+
+void AdversaryWorkload::stop() {
+    if (!armed_) return;
+    spm_->platform().engine().cancel(event_);
+    armed_ = false;
+}
+
+void AdversaryWorkload::launch() {
+    const hafnium::Spm::CriticalRegion* region =
+        spm_->find_critical(config_.target_region);
+    if (region == nullptr) {
+        throw std::runtime_error(
+            "AdversaryWorkload: no such critical region (is critical state "
+            "protected?): " + config_.target_region);
+    }
+    window_ipa_ = check::CorruptionAccess::map_rogue_window(*spm_, attacker_,
+                                                            region->base);
+    step();
+}
+
+void AdversaryWorkload::step() {
+    if (!armed_) return;
+    hafnium::Vm& vm = spm_->vm(attacker_);
+    if (vm.destroyed) {
+        // Quarantined out from under us: the attack is over.
+        finish();
+        return;
+    }
+
+    const std::uint64_t page_words = arch::kPageSize / 8;
+    int total = 1;
+    switch (config_.kind) {
+        case AttackKind::kHeartbleed: {
+            total = config_.legit_words + config_.overread_words;
+            // A sequential read that starts inside a legitimate buffer at
+            // the very end of the attacker's RAM and just keeps going; the
+            // rogue window makes the address space continue into the target.
+            const arch::IpaAddr ipa =
+                vm.ipa_base + vm.mem_bytes() -
+                static_cast<std::uint64_t>(config_.legit_words) * 8 +
+                static_cast<std::uint64_t>(cursor_) * 8;
+            std::uint64_t word = 0;
+            ++stats_.attempts;
+            if (spm_->vm_read64(attacker_, ipa, word)) {
+                if (ipa >= window_ipa_) ++stats_.leaked_words;
+            } else {
+                ++stats_.denied;
+            }
+            break;
+        }
+        case AttackKind::kVtableOverwrite: {
+            total = 1;
+            // One forged pointer aimed at a dispatch slot in the target page.
+            const std::uint64_t slot = rng_.next_below(page_words);
+            ++stats_.attempts;
+            if (spm_->vm_write64(attacker_, window_ipa_ + slot * 8,
+                                 rng_.next_u64() | 1)) {
+                ++stats_.corrupted_words;
+            } else {
+                ++stats_.denied;
+            }
+            break;
+        }
+        case AttackKind::kSropForgery: {
+            total = config_.sigframe_words;
+            // Forge a saved context word by word; every word must land for
+            // the fake sigframe to be accepted, so one denial defeats it.
+            if (cursor_ == 0) {
+                frame_base_ = rng_.next_below(
+                    page_words - static_cast<std::uint64_t>(total));
+            }
+            ++stats_.attempts;
+            if (spm_->vm_write64(
+                    attacker_,
+                    window_ipa_ + (frame_base_ +
+                                   static_cast<std::uint64_t>(cursor_)) * 8,
+                    rng_.next_u64())) {
+                ++stats_.corrupted_words;
+            } else {
+                ++stats_.denied;
+            }
+            break;
+        }
+    }
+
+    ++cursor_;
+    if (cursor_ >= total) {
+        finish();
+        return;
+    }
+    auto& engine = spm_->platform().engine();
+    event_ = engine.at(
+        engine.now() + engine.clock().from_seconds(config_.period_s),
+        [this] { step(); }, sim::kPrioDefault);
+}
+
+void AdversaryWorkload::finish() {
+    done_ = true;
+    armed_ = false;
+    publish_metrics();
+}
+
+void AdversaryWorkload::publish_metrics() {
+    auto& m = spm_->platform().metrics();
+    const auto set = [&m](const char* name, std::uint64_t v) {
+        m.set(m.gauge(name), static_cast<double>(v));
+    };
+    set("attack.attempts", stats_.attempts);
+    set("attack.denied", stats_.denied);
+    set("attack.leaked_words", stats_.leaked_words);
+    set("attack.corrupted_words", stats_.corrupted_words);
+}
+
+}  // namespace hpcsec::wl

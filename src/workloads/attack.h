@@ -1,0 +1,116 @@
+// Adversarial attacker workloads — the HDFI attack suite, ported to
+// guest-level shapes.
+//
+// HDFI's evaluation replays real exploit classes against its one-bit data
+// tags; this file ports the same three shapes to the SPM's trust boundary
+// as deterministic workloads an attacker partition runs:
+//
+//  * kHeartbleed       — buffer over-read: a sequential read walks off the
+//                        end of a legitimate buffer and continues into SPM-
+//                        critical state (key material), the over-read shape
+//                        of CVE-2014-0160.
+//  * kVtableOverwrite  — a single forged-pointer write aimed at a dispatch
+//                        slot, the vtable/GOT-overwrite shape behind most
+//                        control-flow hijacks.
+//  * kSropForgery      — a burst of writes forging saved control state (a
+//                        sigreturn frame), the SROP shape: many words must
+//                        all land for the forged context to be accepted.
+//
+// Each attack starts from the post-exploitation state those CVEs reach — a
+// corrupted stage-2 window onto the target frame, spliced in through the
+// check::CorruptionAccess backdoor — and then drives real SPM access paths.
+// With integrity tags armed, every access that reaches the tagged frame is
+// denied and reported; the workload's Stats prove the defeat (nothing
+// leaked, nothing corrupted). Timing and forged values come from a sim::Rng
+// split, so a seed reproduces the attack byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hafnium/spm.h"
+#include "sim/rng.h"
+
+namespace hpcsec::wl {
+
+enum class AttackKind : std::uint8_t {
+    kHeartbleed,       ///< over-read past a legit buffer into tagged state
+    kVtableOverwrite,  ///< one forged-pointer write at a dispatch slot
+    kSropForgery,      ///< multi-word forged control-state (sigframe) write
+};
+
+[[nodiscard]] const char* to_string(AttackKind k);
+
+/// Parse a symbolic attack name ("heartbleed", "vtable", "srop"). Returns
+/// false and fills `error` with the valid names on a bad token.
+[[nodiscard]] bool parse_attack_kind(const std::string& token, AttackKind& out,
+                                     std::string& error);
+
+struct AttackConfig {
+    AttackKind kind = AttackKind::kHeartbleed;
+    /// Critical region the exploit targets (see Spm::critical_regions()).
+    std::string target_region = "lamport-keys";
+    double start_s = 0.02;     ///< when the exploit fires after start()
+    double period_s = 0.0002;  ///< cadence between accesses of a burst
+    int legit_words = 8;       ///< heartbleed: in-bounds reads before the walk
+    int overread_words = 24;   ///< heartbleed: words read past the buffer
+    int sigframe_words = 16;   ///< srop: forged-frame size in words
+};
+
+/// One attacker partition running one attack shape to completion.
+class AdversaryWorkload {
+public:
+    /// `attacker` must be a live secondary partition. Requires the SPM's
+    /// critical state to be protected when the exploit fires.
+    AdversaryWorkload(hafnium::Spm& spm, arch::VmId attacker,
+                      AttackConfig config = {});
+    ~AdversaryWorkload();
+    AdversaryWorkload(const AdversaryWorkload&) = delete;
+    AdversaryWorkload& operator=(const AdversaryWorkload&) = delete;
+
+    /// Schedule the exploit (idempotent).
+    void start();
+    /// Cancel any pending access.
+    void stop();
+
+    /// The attack ran to completion — or was cut short because the attacker
+    /// partition was quarantined out from under it, which also counts.
+    [[nodiscard]] bool done() const { return done_; }
+
+    struct Stats {
+        std::uint64_t attempts = 0;         ///< accesses issued
+        std::uint64_t denied = 0;           ///< accesses refused by the SPM
+        std::uint64_t leaked_words = 0;     ///< target reads that returned data
+        std::uint64_t corrupted_words = 0;  ///< target writes that landed
+    };
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// The attack ran, reached the tagged target at least once, and got
+    /// nothing: no word leaked, no word corrupted.
+    [[nodiscard]] bool defeated() const {
+        return done_ && stats_.denied > 0 && stats_.leaked_words == 0 &&
+               stats_.corrupted_words == 0;
+    }
+
+    /// Push Stats into the platform's metrics registry as "attack.*" gauges.
+    void publish_metrics();
+
+private:
+    void launch();
+    void step();
+    void finish();
+
+    hafnium::Spm* spm_;
+    arch::VmId attacker_;
+    AttackConfig config_;
+    sim::Rng rng_;
+    arch::IpaAddr window_ipa_ = 0;  ///< rogue window onto the target frame
+    int cursor_ = 0;                ///< next access index of the burst
+    std::uint64_t frame_base_ = 0;  ///< srop: word slot the forged frame starts at
+    bool armed_ = false;
+    bool done_ = false;
+    sim::EventId event_{};
+    Stats stats_;
+};
+
+}  // namespace hpcsec::wl

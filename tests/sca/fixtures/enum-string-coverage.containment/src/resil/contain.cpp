@@ -1,0 +1,12 @@
+#include "resil/contain.h"
+
+// Deliberately stale: kEmbargoed was added to the enum but not here.
+const char* to_string(ContainmentPolicy p) {
+    switch (p) {
+        case ContainmentPolicy::kDetected: return "detected";
+        case ContainmentPolicy::kDumped: return "dumped";
+        case ContainmentPolicy::kQuarantined: return "quarantined";
+        case ContainmentPolicy::kReverified: return "reverified";
+        default: return "?";
+    }
+}

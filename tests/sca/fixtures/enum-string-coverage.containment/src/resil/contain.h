@@ -1,0 +1,13 @@
+#pragma once
+
+// Mirror of the real resil::ContainmentPolicy shape: a new pipeline step
+// added to the enum must show up in to_string or the gate fails.
+enum class ContainmentPolicy {
+    kDetected,
+    kDumped,
+    kQuarantined,
+    kReverified,
+    kEmbargoed,
+};
+
+const char* to_string(ContainmentPolicy p);

@@ -1,0 +1,10 @@
+#include "workloads/attack.h"
+
+const char* to_string(AttackKind k) {
+    switch (k) {
+        case AttackKind::kHeartbleed: return "heartbleed";
+        case AttackKind::kVtable: return "vtable";
+        case AttackKind::kSrop: return "srop";
+    }
+    return "?";
+}

@@ -1,0 +1,11 @@
+#pragma once
+
+// Mirror of the real workloads::AttackKind shape; fully covered below, so
+// this half of the fixture must stay finding-free.
+enum class AttackKind {
+    kHeartbleed,
+    kVtable,
+    kSrop,
+};
+
+const char* to_string(AttackKind k);

@@ -26,7 +26,10 @@ DEFAULTS: dict = {
         "hafnium": ["arch", "crypto", "obs", "sim"],
         "kitten": ["arch", "hafnium"],
         "linux_fwk": ["arch", "hafnium"],
-        "workloads": ["arch", "obs", "sim"],
+        # workloads -> hafnium/check: the adversarial suite (attack.*) drives
+        # real SPM access paths and borrows check's corruption backdoor for
+        # its exploit primitive. Compute workloads must not grow such edges.
+        "workloads": ["arch", "check", "hafnium", "obs", "sim"],
         "check": ["arch", "hafnium", "obs"],
         "core": ["arch", "check", "crypto", "hafnium", "kitten",
                  "linux_fwk", "obs", "sim", "workloads"],
@@ -51,6 +54,8 @@ DEFAULTS: dict = {
         "VmHealth": ["src/resil/resil.h", "src/resil/resil.cpp"],
         "FailureKind": ["src/resil/resil.h", "src/resil/resil.cpp"],
         "ChaosFault": ["src/resil/chaos.h", "src/resil/chaos.cpp"],
+        "ContainmentPolicy": ["src/resil/contain.h", "src/resil/contain.cpp"],
+        "AttackKind": ["src/workloads/attack.h", "src/workloads/attack.cpp"],
     },
 
     # ---- Stats completeness (stats-publish-coverage) ----------------------
@@ -60,6 +65,9 @@ DEFAULTS: dict = {
         ["Spm", "src/hafnium/spm.h", "src/hafnium/spm.cpp"],
         ["Supervisor", "src/resil/resil.h", "src/resil/resil.cpp"],
         ["ChaosInjector", "src/resil/chaos.h", "src/resil/chaos.cpp"],
+        ["ContainmentEngine", "src/resil/contain.h", "src/resil/contain.cpp"],
+        ["AdversaryWorkload", "src/workloads/attack.h",
+         "src/workloads/attack.cpp"],
     ],
 
     # ---- dispatch table (dispatch-table-complete) -------------------------
