@@ -190,6 +190,55 @@ void BM_LegacyQueueCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_LegacyQueueCancelHeavy);
 
+// Tick-storm: the periodic-cadence pattern kernels generate — N cores each
+// re-arming a fixed-period timer forever. Deliberately collision-heavy
+// (shared periods) so the wheel's batched same-slot pops are exercised; the
+// heap variant re-sifts every re-arm through the binary heap. Both run the
+// identical storm through a real Engine, so the ratio is the tick-path
+// speedup, with dispatch order proven identical by tests/test_alloc.cpp.
+template <bool kUseWheel>
+void engine_tick_storm(benchmark::State& state, std::uint64_t& sink) {
+    const int kCores = static_cast<int>(state.range(0));
+    constexpr sim::SimTime kHorizon = 200'000;
+    sim::Engine e;
+    std::vector<std::function<void()>> ticks(kCores);
+    for (int core = 0; core < kCores; ++core) {
+        const sim::Cycles period = 100 + 10 * (core % 3);
+        ticks[core] = [&e, &sink, &ticks, core, period] {
+            ++sink;
+            const sim::SimTime next = e.now() + period;
+            if (next > kHorizon) return;
+            if constexpr (kUseWheel) {
+                e.at_timer(next, [&ticks, core] { ticks[core](); });
+            } else {
+                e.at(next, [&ticks, core] { ticks[core](); },
+                     sim::kPrioInterrupt);
+            }
+        };
+        if constexpr (kUseWheel) {
+            e.at_timer(100, [&ticks, core] { ticks[core](); });
+        } else {
+            e.at(100, [&ticks, core] { ticks[core](); }, sim::kPrioInterrupt);
+        }
+    }
+    e.run();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(e.events_executed()));
+}
+
+void BM_TimerWheelTickStorm(benchmark::State& state) {
+    std::uint64_t sink = 0;
+    for (auto _ : state) engine_tick_storm<true>(state, sink);
+}
+BENCHMARK(BM_TimerWheelTickStorm)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_HeapQueueTickStorm(benchmark::State& state) {
+    std::uint64_t sink = 0;
+    for (auto _ : state) engine_tick_storm<false>(state, sink);
+}
+BENCHMARK(BM_HeapQueueTickStorm)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_PageTableWalk4Level(benchmark::State& state) {
     arch::PageTable pt;
     pt.map(0x10'0000, 0x8000'0000, 64 * arch::kPageSize, arch::kPermRW, false,

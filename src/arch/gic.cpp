@@ -6,6 +6,9 @@ namespace hpcsec::arch {
 
 Gic::Gic(int ncores, int nspis) : irqs_(kSpiBase + nspis), cpu_(ncores) {
     if (ncores <= 0) throw std::invalid_argument("Gic: need at least one core");
+    if (kSpiBase + nspis > IrqBitset::kBits) {
+        throw std::invalid_argument("Gic: irq id space exceeds IrqBitset::kBits");
+    }
 }
 
 void Gic::enable_irq(int irq) { irqs_.at(irq).enabled = true; }
@@ -24,7 +27,7 @@ void Gic::set_priority(int irq, std::uint8_t prio) { irqs_.at(irq).priority = pr
 
 void Gic::make_pending(CoreId core, int irq) {
     auto& cs = cpu_.at(core);
-    cs.pending.insert({irqs_.at(irq).priority, irq});
+    cs.pending.insert(irq);
     if (irqs_.at(irq).enabled && signal_) signal_(core);
 }
 
@@ -51,29 +54,36 @@ void Gic::send_sgi(CoreId target, int irq) {
 }
 
 void Gic::clear_pending(CoreId core, int irq) {
-    cpu_.at(core).pending.erase({irqs_.at(irq).priority, irq});
+    cpu_.at(core).pending.erase(irq);
 }
 
 bool Gic::has_deliverable(CoreId core) const {
-    for (const auto& [prio, irq] : cpu_.at(core).pending) {
-        (void)prio;
-        if (irqs_.at(irq).enabled) return true;
+    for (const int irq : cpu_.at(core).pending) {
+        if (irqs_[static_cast<std::size_t>(irq)].enabled) return true;
     }
     return false;
 }
 
 int Gic::ack(CoreId core) {
     auto& cs = cpu_.at(core);
-    for (auto it = cs.pending.begin(); it != cs.pending.end(); ++it) {
-        if (irqs_.at(it->second).enabled) {
-            const int irq = it->second;
-            cs.pending.erase(it);
-            cs.active = irq;
-            ++delivered_;
-            return irq;
+    // Minimum over (priority, irq) of pending ∩ enabled. Scanning ids in
+    // ascending order with a strict compare keeps the lowest id on priority
+    // ties — the exact order the (priority, irq)-keyed set produced.
+    int best_irq = kSpurious;
+    int best_prio = 256;
+    for (const int irq : cs.pending) {
+        const IrqState& s = irqs_[static_cast<std::size_t>(irq)];
+        if (!s.enabled) continue;
+        if (s.priority < best_prio) {
+            best_prio = s.priority;
+            best_irq = irq;
         }
     }
-    return kSpurious;
+    if (best_irq == kSpurious) return kSpurious;
+    cs.pending.erase(best_irq);
+    cs.active = best_irq;
+    ++delivered_;
+    return best_irq;
 }
 
 void Gic::eoi(CoreId core, int irq) {

@@ -1,0 +1,110 @@
+// Fixed 256-bit interrupt-id set.
+//
+// Replaces std::set<int> in the per-core/per-VCPU interrupt hot paths: the
+// full GIC id space (16 SGIs + 16 PPIs + 224 SPIs) fits in four words, so
+// membership, insert and erase are one masked OR/AND with no heap node
+// traffic, and intersection (pending ∩ enabled) is four ANDs. Iteration
+// yields ids in ascending order — the same order std::set<int> gave — so
+// every consumer that walked the set stays deterministic unchanged.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace hpcsec::arch {
+
+class IrqBitset {
+public:
+    static constexpr int kBits = 256;
+    static constexpr int kWords = kBits / 64;
+
+    /// Returns true when the id was newly inserted (std::set semantics).
+    bool insert(int irq) {
+        const std::uint64_t bit = 1ull << (irq & 63);
+        std::uint64_t& w = words_[word_of(irq)];
+        const bool fresh = (w & bit) == 0;
+        w |= bit;
+        return fresh;
+    }
+
+    /// Returns true when the id was present (std::set::erase count).
+    bool erase(int irq) {
+        const std::uint64_t bit = 1ull << (irq & 63);
+        std::uint64_t& w = words_[word_of(irq)];
+        const bool had = (w & bit) != 0;
+        w &= ~bit;
+        return had;
+    }
+
+    [[nodiscard]] bool contains(int irq) const {
+        return (words_[word_of(irq)] & 1ull << (irq & 63)) != 0;
+    }
+
+    void clear() {
+        for (auto& w : words_) w = 0;
+    }
+
+    [[nodiscard]] bool empty() const {
+        std::uint64_t any = 0;
+        for (const auto& w : words_) any |= w;
+        return any == 0;
+    }
+
+    [[nodiscard]] std::size_t size() const {
+        std::size_t n = 0;
+        for (const auto& w : words_) n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    /// Raw word access, for intersection scans (pending ∩ enabled).
+    [[nodiscard]] std::uint64_t word(int i) const { return words_[i]; }
+
+    /// Forward iterator over set ids, ascending.
+    class iterator {
+    public:
+        iterator(const IrqBitset* set, int word) : set_(set), word_(word) {
+            if (word_ < kWords) {
+                bits_ = set_->words_[word_];
+                skip_empty();
+            }
+        }
+        int operator*() const {
+            return word_ * 64 + std::countr_zero(bits_);
+        }
+        iterator& operator++() {
+            bits_ &= bits_ - 1;  // clear lowest set bit
+            skip_empty();
+            return *this;
+        }
+        bool operator!=(const iterator& o) const {
+            return word_ != o.word_ || bits_ != o.bits_;
+        }
+        bool operator==(const iterator& o) const { return !(*this != o); }
+
+    private:
+        void skip_empty() {
+            while (bits_ == 0) {
+                ++word_;
+                if (word_ >= kWords) {
+                    word_ = kWords;
+                    return;
+                }
+                bits_ = set_->words_[word_];
+            }
+        }
+        const IrqBitset* set_;
+        int word_;
+        std::uint64_t bits_ = 0;
+    };
+
+    [[nodiscard]] iterator begin() const { return iterator(this, 0); }
+    [[nodiscard]] iterator end() const { return iterator(this, kWords); }
+
+private:
+    static constexpr int word_of(int irq) { return (irq & (kBits - 1)) >> 6; }
+
+    std::uint64_t words_[kWords] = {};
+};
+
+}  // namespace hpcsec::arch

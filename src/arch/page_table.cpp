@@ -29,6 +29,9 @@ PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index,
     }
     if (e.kind == Entry::Kind::kInvalid) {
         e.kind = Entry::Kind::kTable;
+        // sca-suppress(hot-path-alloc): table nodes are built on the
+        // control-plane map/donate/share calls; steady state has no
+        // stage-2 churn.
         e.child = std::make_unique<Node>();
         ++node_count_;
     }
@@ -98,6 +101,8 @@ void PageTable::split_block(Entry& e, int level) {
     if (e.kind != Entry::Kind::kLeaf || level >= kPtLevels - 1) {
         throw std::logic_error("PageTable::split_block: not a splittable block");
     }
+    // sca-suppress(hot-path-alloc): block splits happen on control-plane
+    // unmap/remap calls, not per-event steady state.
     auto child = std::make_unique<Node>();
     const std::uint64_t child_span = level_span(level + 1);
     for (std::uint64_t i = 0; i < kPtEntries; ++i) {

@@ -1,6 +1,50 @@
 #include "arch/platform.h"
 
+#include <span>
+
 namespace hpcsec::arch {
+
+namespace {
+
+// Per-board device tables as static data: board presets are constructed per
+// trial (10k times in a fleet sweep), so the literals live in .rodata and
+// the ctor does one reserved copy instead of growth reallocations.
+struct DevSpec {
+    const char* name;
+    PhysAddr base;
+    std::uint64_t size;
+    int spi;
+};
+
+// Allwinner A64 peripherals (subset).
+constexpr DevSpec kPineA64Devices[] = {
+    {"uart0", 0x01C2'8000, 0x1000, 32},
+    {"emac", 0x01C3'0000, 0x10000, 114},
+    {"mmc0", 0x01C0'F000, 0x1000, 92},
+};
+
+constexpr DevSpec kThunderX2Devices[] = {
+    {"uart0", 0x0200'0000, 0x1000, 33},
+    {"mlx5", 0x0300'0000, 0x10000, 64},
+};
+
+// QEMU packs virtio-mmio transports at 0x200 strides; the model rounds
+// each window to a page so stage-2 device mappings stay page-granular.
+constexpr DevSpec kQemuVirtDevices[] = {
+    {"pl011", 0x0900'0000, 0x1000, 33},
+    {"virtio-net", 0x0A00'0000, 0x1000, 48},
+    {"virtio-blk", 0x0A00'1000, 0x1000, 49},
+};
+
+void append_devices(std::vector<MmioDevice>& out,
+                    std::span<const DevSpec> specs) {
+    out.reserve(out.size() + specs.size());
+    for (const DevSpec& s : specs) {
+        out.push_back({s.name, s.base, s.size, s.spi});
+    }
+}
+
+}  // namespace
 
 PlatformConfig PlatformConfig::pine_a64() {
     PlatformConfig c;
@@ -10,10 +54,7 @@ PlatformConfig PlatformConfig::pine_a64() {
     c.ram_base = 0x4000'0000;
     c.ram_bytes = 2ull << 30;
     c.secure_ram_bytes = 0;
-    // Allwinner A64 peripherals (subset).
-    c.devices.push_back({"uart0", 0x01C2'8000, 0x1000, 32});
-    c.devices.push_back({"emac", 0x01C3'0000, 0x10000, 114});
-    c.devices.push_back({"mmc0", 0x01C0'F000, 0x1000, 92});
+    append_devices(c.devices, kPineA64Devices);
     return c;
 }
 
@@ -27,8 +68,7 @@ PlatformConfig PlatformConfig::thunderx2() {
     c.clock_hz = 2'000'000'000;
     c.ram_base = 0x80'0000'0000ull >> 8;  // 0x8000'0000
     c.ram_bytes = 32ull << 30;
-    c.devices.push_back({"uart0", 0x0200'0000, 0x1000, 33});
-    c.devices.push_back({"mlx5", 0x0300'0000, 0x10000, 64});
+    append_devices(c.devices, kThunderX2Devices);
     c.perf.stage1_walk = 25;
     c.perf.nested_walk = 120;
     return c;
@@ -41,18 +81,15 @@ PlatformConfig PlatformConfig::qemu_virt() {
     c.clock_hz = 1'000'000'000;
     c.ram_base = 0x4000'0000;
     c.ram_bytes = 4ull << 30;
-    c.devices.push_back({"pl011", 0x0900'0000, 0x1000, 33});
-    // QEMU packs virtio-mmio transports at 0x200 strides; the model rounds
-    // each window to a page so stage-2 device mappings stay page-granular.
-    c.devices.push_back({"virtio-net", 0x0A00'0000, 0x1000, 48});
-    c.devices.push_back({"virtio-blk", 0x0A00'1000, 0x1000, 49});
+    append_devices(c.devices, kQemuVirtDevices);
     return c;
 }
 
 Platform::Platform(PlatformConfig config, std::uint64_t seed)
     : config_(std::move(config)),
       engine_(sim::ClockSpec{config_.clock_hz}),
-      rng_(seed) {
+      rng_(seed),
+      arena_(config_.arena != nullptr ? config_.arena : &own_arena_) {
     if (config_.secure_ram_bytes >= config_.ram_bytes) {
         throw std::invalid_argument("Platform: secure carve-out exceeds RAM");
     }
@@ -80,16 +117,21 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
         obs_.recorder.set_flight(&obs_.flight);
     }
     const auto chunk_hist = obs_.metrics.histogram("exec.chunk_us");
+    // Cores live contiguously in the arena: the dispatch hot loop indexes
+    // core state without a unique_ptr hop per access, and teardown is the
+    // arena's O(1) reset.
+    cores_ = arena_->allocate_array<Core>(static_cast<std::size_t>(config_.ncores));
     std::vector<Core*> core_ptrs;
+    core_ptrs.reserve(static_cast<std::size_t>(config_.ncores));
     for (int i = 0; i < config_.ncores; ++i) {
-        cores_.push_back(
-            std::make_unique<Core>(engine_, config_.perf, *gic_, mem_, i));
-        core_ptrs.push_back(cores_.back().get());
-        cores_.back()->exec().set_recorder(&obs_.recorder);
-        cores_.back()->exec().set_chunk_metrics(&obs_.metrics, chunk_hist);
-        if (config_.profile) cores_.back()->exec().set_profiler(&obs_.profiler);
+        Core* c = new (&cores_[i]) Core(engine_, config_.perf, *gic_, mem_, i);
+        arena_->register_destructor(c);
+        core_ptrs.push_back(c);
+        c->exec().set_recorder(&obs_.recorder);
+        c->exec().set_chunk_metrics(&obs_.metrics, chunk_hist);
+        if (config_.profile) c->exec().set_profiler(&obs_.profiler);
     }
-    gic_->set_signal([this](CoreId id) { cores_[static_cast<std::size_t>(id)]->signal_irq(); });
+    gic_->set_signal([this](CoreId id) { cores_[id].signal_irq(); });
     monitor_ = std::make_unique<SecureMonitor>(std::move(core_ptrs));
 
     // Integrity-tag shootdown: every tag flip broadcasts a full TLBI to all
@@ -97,7 +139,9 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
     // the MMUs' L0 lines — no cached translation filled before a tag change
     // can be consulted after it.
     mem_.set_tag_change_hook([this] {
-        for (auto& c : cores_) c->mmu().tlb().flush_all();
+        for (int i = 0; i < config_.ncores; ++i) {
+            cores_[i].mmu().tlb().flush_all();
+        }
     });
 
     for (const auto& d : config_.devices) {
@@ -132,8 +176,8 @@ void Platform::build_device_tree() {
 
 CoreUsage Platform::total_usage() const {
     CoreUsage total;
-    for (const auto& c : cores_) {
-        const CoreUsage& u = c->exec().usage();
+    for (int i = 0; i < config_.ncores; ++i) {
+        const CoreUsage& u = cores_[i].exec().usage();
         total.work += u.work;
         total.transient += u.transient;
         total.overhead += u.overhead;

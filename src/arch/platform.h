@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "arch/perfmodel.h"
 #include "arch/uart.h"
 #include "obs/obs.h"
+#include "sim/arena.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
 #include "sim/trace.h"
@@ -51,6 +53,12 @@ struct PlatformConfig {
     std::size_t flight_depth = 0;
     /// Flight dump file prefix; "" keeps dump snapshots in memory only.
     std::string flight_dump_prefix;
+    /// External arena for the platform's long-lived objects (cores, VMs,
+    /// VCPUs, grants). nullptr (default) = the platform owns a private one.
+    /// An external arena must outlive the Platform and be reset() only
+    /// after the Platform is destroyed — reuse across trials turns teardown
+    /// into one rewind and keeps the warmed chunks.
+    sim::Arena* arena = nullptr;
 
     static PlatformConfig pine_a64();
     static PlatformConfig qemu_virt();
@@ -68,6 +76,9 @@ public:
 
     sim::Engine& engine() { return engine_; }
     sim::Rng& rng() { return rng_; }
+    /// Arena backing the platform's long-lived objects (cores, and the
+    /// SPM's VMs/VCPUs/grants above this layer).
+    sim::Arena& arena() { return *arena_; }
     sim::TraceLog& trace() { return trace_; }
     obs::Obs& obs() { return obs_; }
     obs::MetricsRegistry& metrics() { return obs_.metrics; }
@@ -79,8 +90,16 @@ public:
     SecureMonitor& monitor() { return *monitor_; }
     const PerfModel& perf() const { return config_.perf; }
 
-    [[nodiscard]] int ncores() const { return static_cast<int>(cores_.size()); }
-    Core& core(CoreId id) { return *cores_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] int ncores() const { return config_.ncores; }
+    Core& core(CoreId id) {
+        if (id < 0 || id >= config_.ncores) {
+            // sca-suppress(no-throw-guest-path): core ids on guest paths
+            // are physical dispatch ids from the engine, never guest
+            // registers; a bad id is host wiring, same as vector::at was.
+            throw std::out_of_range("Platform::core: bad core id");
+        }
+        return cores_[id];
+    }
 
     /// Hardware description tree (memory, cpus, devices) as firmware would
     /// hand it to the first boot stage.
@@ -106,8 +125,12 @@ private:
     sim::TraceLog trace_;
     obs::Obs obs_;
     MemoryMap mem_;
+    // Own arena declared before everything holding arena-backed objects:
+    // its destructor runs the registered Core destructors last.
+    sim::Arena own_arena_;
+    sim::Arena* arena_ = nullptr;
     std::unique_ptr<Gic> gic_;
-    std::vector<std::unique_ptr<Core>> cores_;
+    Core* cores_ = nullptr;  ///< contiguous array of config_.ncores, arena-owned
     std::unique_ptr<SecureMonitor> monitor_;
     std::unique_ptr<Uart> uart_;
     DtNode dt_{"/"};

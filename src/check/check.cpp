@@ -141,6 +141,8 @@ void Auditor::record(CheckFailure f) {
     platform.recorder().instant(platform.engine().now(), obs::EventType::kCheckFail,
                                 /*core=*/-1, static_cast<std::int64_t>(f.rule),
                                 f.vm, f.vcpu);
+    // sca-suppress(hot-path-alloc): grows only when an isolation invariant
+    // is already violated — the run is off its steady-state contract.
     failures_.push_back(f);
     // Post-mortem context: every *new* finding flushes the flight recorder
     // (no-op when disarmed) — before the strict throw, so the dump exists

@@ -14,7 +14,9 @@ namespace {
 constexpr arch::IpaAddr kRogueIpa = 0x6000'0000;
 constexpr arch::IpaAddr kMismatchIpa = 0x6800'0000;
 
-constexpr int kStrayVirq = 999;  // outside every distributed id range
+// A PPI that is never distributed (only the timer PPIs are routed), kept
+// inside the vGIC's 256-id hardware space so the bitmap can represent it.
+constexpr int kStrayVirq = 17;
 
 [[nodiscard]] hafnium::Vm& first_secondary(hafnium::Spm& spm) {
     for (int id = 1; id <= spm.vm_count(); ++id) {

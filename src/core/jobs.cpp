@@ -5,6 +5,8 @@
 namespace hpcsec::core {
 
 void ControlTaskCtx::enqueue(JobCommand cmd) {
+    // sca-suppress(hot-path-alloc): job-control commands are control-plane
+    // operations (launch/destroy), not the per-event dispatch path.
     inbox_.push_back(cmd);
     if (remaining_ <= 0.0) remaining_ = budget_;
 }

@@ -10,7 +10,9 @@ constexpr std::uint32_t kSpmVersion = (1u << 16) | 1u;  // 1.1
 }
 
 Spm::Spm(arch::Platform& platform, Manifest manifest, IrqRoutingPolicy policy)
-    : platform_(&platform), manifest_(std::move(manifest)) {
+    : platform_(&platform),
+      manifest_(std::move(manifest)),
+      grants_(sim::ArenaAllocator<ShareGrant>(platform.arena())) {
     router_.policy = policy;
     router_.has_super_secondary = manifest_.super_secondary() != nullptr;
     vcpu_on_core_.assign(static_cast<std::size_t>(platform.ncores()), nullptr);
@@ -46,7 +48,8 @@ void Spm::boot() {
             throw std::runtime_error("Spm::boot: image hash mismatch for " + spec.name);
         }
 
-        auto vm = std::make_unique<Vm>(static_cast<arch::VmId>(i + 1), spec);
+        Vm* vm = platform_->arena().make<Vm>(static_cast<arch::VmId>(i + 1), spec,
+                                             platform_->arena());
         const std::uint64_t nframes = spec.mem_bytes >> arch::kPageShift;
         vm->mem_base = mem.alloc_frames(nframes, vm->id(), spec.world);
         // Secondaries get a fully virtualized view (RAM at IPA 0); the
@@ -60,7 +63,7 @@ void Spm::boot() {
             vm->vcpu(v).assigned_core = v % platform_->ncores();
             vm->vcpu(v).set_audit(audit_);  // auditor may pre-date boot
         }
-        vms_.push_back(std::move(vm));
+        vms_.push_back(vm);
     }
 
     // MMIO: "Hafnium already maps all the MMIO regions to the primary VM, so
@@ -114,7 +117,8 @@ arch::VmId Spm::create_vm(const VmSpec& spec) {
         throw std::runtime_error("Spm::create_vm: image hash mismatch");
     }
 
-    auto vm = std::make_unique<Vm>(static_cast<arch::VmId>(vms_.size() + 1), spec);
+    Vm* vm = platform_->arena().make<Vm>(static_cast<arch::VmId>(vms_.size() + 1),
+                                         spec, platform_->arena());
     const std::uint64_t nframes = spec.mem_bytes >> arch::kPageShift;
     vm->mem_base = platform_->mem().alloc_frames(nframes, vm->id(), spec.world);
     vm->ipa_base = 0;
@@ -125,7 +129,7 @@ arch::VmId Spm::create_vm(const VmSpec& spec) {
         vm->vcpu(v).set_audit(audit_);
     }
     measurements_.emplace_back(spec.name, spec.image_hash());
-    vms_.push_back(std::move(vm));
+    vms_.push_back(vm);
     // Under integrity protection every partition's stage-2 table frames are
     // tagged from the moment they exist — restarted VMs included.
     if (critical_armed_) {
@@ -203,7 +207,7 @@ Vm* Spm::find_vm(const std::string& name) {
     // Destroyed partitions keep their slot (ids are never reused) but no
     // longer resolve by name, so a restarted VM can claim the same name.
     for (auto& vm : vms_) {
-        if (!vm->destroyed && vm->name() == name) return vm.get();
+        if (!vm->destroyed && vm->name() == name) return vm;
     }
     return nullptr;
 }
@@ -215,7 +219,7 @@ GuestOsItf* Spm::find_guest_os(arch::VmId id) {
 
 Vm* Spm::super_secondary() {
     for (auto& vm : vms_) {
-        if (vm->role() == VmRole::kSuperSecondary) return vm.get();
+        if (vm->role() == VmRole::kSuperSecondary) return vm;
     }
     return nullptr;
 }
@@ -769,10 +773,15 @@ HfResult Spm::on_yield(arch::CoreId core, arch::VmId caller, const abi::Empty&) 
 HfResult Spm::on_interrupt_enable(arch::CoreId core, arch::VmId caller,
                                   const abi::InterruptEnableArgs& a) {
     Vm& cvm = vm(caller);
+    if (a.virq < 0 || a.virq >= arch::IrqBitset::kBits) {
+        return {HfError::kInvalid, 0};  // outside the vGIC id space
+    }
     Vcpu* rv = running_vcpu_on(core);
     Vcpu* target = rv != nullptr && &rv->vm() == &cvm
                        ? rv
-                       : (a.vcpu < cvm.vcpu_count() ? &cvm.vcpu(a.vcpu) : nullptr);
+                       : (a.vcpu >= 0 && a.vcpu < cvm.vcpu_count()
+                              ? &cvm.vcpu(a.vcpu)
+                              : nullptr);
     if (target == nullptr) return {HfError::kInvalid, 0};
     target->vgic.enabled.insert(a.virq);
     return {HfError::kOk, 0};
@@ -795,6 +804,9 @@ HfResult Spm::on_interrupt_inject(arch::CoreId, arch::VmId caller,
     Vm& target = vm(a.vm);
     if (a.vcpu < 0 || a.vcpu >= target.vcpu_count()) {
         return {HfError::kInvalid, 0};
+    }
+    if (a.virq < 0 || a.virq >= arch::IrqBitset::kBits) {
+        return {HfError::kInvalid, 0};  // outside the vGIC id space
     }
     inject_virq(target.vcpu(a.vcpu), a.virq);
     if (vm(caller).role() == VmRole::kPrimary && a.virq >= arch::kSpiBase) {
@@ -972,6 +984,8 @@ HfResult Spm::mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
         vm(caller).stage2().protect(own_ipa, pages * arch::kPageSize,
                                     arch::kPermNone);
     }
+    // sca-suppress(hot-path-alloc): GrantList is arena-backed — growth
+    // bumps the trial arena, never the global heap.
     grants_.push_back({caller, target_id, own_ipa, borrower_ipa, pages, exclusive});
     ++stats_.mem_grants;
     return {HfError::kOk, 0};

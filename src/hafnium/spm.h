@@ -220,7 +220,10 @@ public:
         std::uint64_t pages;
         bool exclusive = false;  ///< FFA_MEM_LEND: the owner loses access
     };
-    [[nodiscard]] const std::vector<ShareGrant>& grants() const { return grants_; }
+    /// Grant storage lives in the platform arena: share/lend churn in the
+    /// steady state reuses arena space instead of reallocating on the heap.
+    using GrantList = std::vector<ShareGrant, sim::ArenaAllocator<ShareGrant>>;
+    [[nodiscard]] const GrantList& grants() const { return grants_; }
 
     // --- integrity tagging (HDFI-style; the "detect" of detect→contain→
     // recover) ----------------------------------------------------------------
@@ -364,14 +367,14 @@ private:
     IrqRouter router_;
     bool booted_ = false;
 
-    std::vector<std::unique_ptr<Vm>> vms_;  // index = id - 1
+    std::vector<Vm*> vms_;  // index = id - 1; objects live in the platform arena
     PrimaryOsItf* primary_os_ = nullptr;
     std::unordered_map<arch::VmId, GuestOsItf*> guest_os_;
     std::unordered_map<arch::Runnable*, Vcpu*> ctx_to_vcpu_;
     std::vector<Vcpu*> vcpu_on_core_;  // running vcpu per core, nullptr if none
 
     std::vector<std::pair<std::string, crypto::Digest>> measurements_;
-    std::vector<ShareGrant> grants_;
+    GrantList grants_;
     std::map<arch::VmId, std::vector<std::string>> device_map_;
     std::vector<CriticalRegion> critical_;
     bool critical_armed_ = false;

@@ -1,5 +1,10 @@
 #include "hafnium/vm.h"
 
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
 namespace hpcsec::hafnium {
 
 const char* to_string(VcpuState s) {
@@ -23,9 +28,25 @@ const char* to_string(ExitReason r) {
     return "?";
 }
 
-Vm::Vm(arch::VmId id, VmSpec spec) : id_(id), spec_(std::move(spec)) {
-    for (int i = 0; i < spec_.vcpu_count; ++i) {
-        vcpus_.push_back(std::make_unique<Vcpu>(*this, i));
+Vm::Vm(arch::VmId id, VmSpec spec, sim::Arena& arena)
+    : id_(id), spec_(std::move(spec)) {
+    vcpu_count_ = spec_.vcpu_count;
+    vcpus_ = arena.allocate_array<Vcpu>(static_cast<std::size_t>(vcpu_count_));
+    for (int i = 0; i < vcpu_count_; ++i) {
+        new (&vcpus_[i]) Vcpu(*this, i);
+        if constexpr (!std::is_trivially_destructible_v<Vcpu>) {
+            arena.register_destructor(&vcpus_[i]);
+        }
+    }
+}
+
+void Vm::check_vcpu_index(int i) const {
+    if (i < 0 || i >= vcpu_count_) {
+        // sca-suppress(no-throw-guest-path): every hypercall handler
+        // validates guest-supplied vcpu indices (0 <= i < vcpu_count)
+        // before calling vcpu(); an out-of-range index here is host-code
+        // misuse worth fail-stopping, same as vector::at was.
+        throw std::out_of_range("Vm::vcpu: index out of range");
     }
 }
 

@@ -2,15 +2,14 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
-#include <set>
-#include <vector>
 
 #include "arch/exec.h"
+#include "arch/irq_bitset.h"
 #include "arch/page_table.h"
 #include "arch/types.h"
 #include "hafnium/manifest.h"
+#include "sim/arena.h"
 #include "sim/time.h"
 
 namespace hpcsec::hafnium {
@@ -61,14 +60,18 @@ class Vm;
 
 /// Para-virtual interrupt controller state, per VCPU (Hafnium's vGIC: the
 /// "para-virtual interrupt controller interface" secondaries must use).
+/// Bitmaps instead of std::set<int>: inject/drain on the dispatch hot loop
+/// are single bit ops and next_deliverable is a word-wise intersection,
+/// with the same ascending-id order the sets gave.
 struct VGicState {
-    std::set<int> enabled;
-    std::set<int> pending;
+    arch::IrqBitset enabled;
+    arch::IrqBitset pending;
 
     /// Next deliverable virtual interrupt, if any (lowest id first).
     [[nodiscard]] std::optional<int> next_deliverable() const {
-        for (int irq : pending) {
-            if (enabled.contains(irq)) return irq;
+        for (int w = 0; w < arch::IrqBitset::kWords; ++w) {
+            const std::uint64_t hits = pending.word(w) & enabled.word(w);
+            if (hits != 0) return w * 64 + std::countr_zero(hits);
         }
         return std::nullopt;
     }
@@ -135,7 +138,10 @@ private:
 
 class Vm {
 public:
-    Vm(arch::VmId id, VmSpec spec);
+    /// VCPUs are carved out of `arena` as one contiguous array — the
+    /// scheduler indexes them without pointer-chasing, and teardown is the
+    /// platform arena's O(1) reset rather than per-object frees.
+    Vm(arch::VmId id, VmSpec spec, sim::Arena& arena);
 
     [[nodiscard]] arch::VmId id() const { return id_; }
     [[nodiscard]] const VmSpec& spec() const { return spec_; }
@@ -148,10 +154,14 @@ public:
     /// translatable.
     bool destroyed = false;
 
-    [[nodiscard]] int vcpu_count() const { return static_cast<int>(vcpus_.size()); }
-    [[nodiscard]] Vcpu& vcpu(int i) { return *vcpus_.at(static_cast<std::size_t>(i)); }
+    [[nodiscard]] int vcpu_count() const { return vcpu_count_; }
+    [[nodiscard]] Vcpu& vcpu(int i) {
+        check_vcpu_index(i);
+        return vcpus_[i];
+    }
     [[nodiscard]] const Vcpu& vcpu(int i) const {
-        return *vcpus_.at(static_cast<std::size_t>(i));
+        check_vcpu_index(i);
+        return vcpus_[i];
     }
 
     /// Guest-physical memory layout. Secondaries see their RAM at IPA 0
@@ -178,10 +188,13 @@ public:
     } mailbox;
 
 private:
+    void check_vcpu_index(int i) const;
+
     arch::VmId id_;
     VmSpec spec_;
     arch::PageTable stage2_;
-    std::vector<std::unique_ptr<Vcpu>> vcpus_;
+    Vcpu* vcpus_ = nullptr;  ///< contiguous, arena-owned
+    int vcpu_count_ = 0;
 };
 
 }  // namespace hpcsec::hafnium

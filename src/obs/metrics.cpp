@@ -146,11 +146,15 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
                     const double hi = b + 1 < h.bucket_count()
                                           ? h.bucket_lo(b + 1)
                                           : -1.0;
+                    // sca-suppress(hot-path-alloc): snapshot() is
+                    // end-of-trial / post-mortem reporting, not the
+                    // per-event path.
                     m.buckets.push_back({h.bucket_lo(b), hi, h.bucket(b)});
                 }
                 break;
             }
         }
+        // sca-suppress(hot-path-alloc): see above — reporting path.
         snap.metrics.push_back(std::move(m));
     }
     return snap;

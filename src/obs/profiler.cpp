@@ -48,6 +48,8 @@ CycleProfiler::Slot& CycleProfiler::slot_for(int core, int vm) {
     Slot s;
     s.vm = vm;
     s.core = core;
+    // sca-suppress(hot-path-alloc): one slot per distinct (vm, core)
+    // context — the table is warmed within the first dispatches.
     slots_.push_back(std::move(s));
     return slots_.back();
 }
@@ -89,6 +91,9 @@ void CycleProfiler::on_dispatch(sim::SimTime now, int priority) {
     for (std::size_t p = 0; p < kProfPathCount; ++p) {
         sample.cycles[p] = total(static_cast<ProfPath>(p));
     }
+    // sca-suppress(hot-path-alloc): the profiler is opt-in (profile=false
+    // keeps the dispatch probe detached); armed runs trade the zero-alloc
+    // budget for attribution data.
     samples_.push_back(sample);
 }
 

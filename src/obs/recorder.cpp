@@ -111,6 +111,8 @@ void SpanRecorder::record(Event e) {
     // Retain/mirror only when the event's category is enabled proper; an
     // armed flight recorder routes everything here but keeps only its rings.
     if ((mask_ & to_mask(category_of(e.type))) == 0) return;
+    // sca-suppress(hot-path-alloc): category retention is opt-in via
+    // obs_mask; a disarmed recorder returns before this line.
     events_.push_back(e);
     if (mirror_ == nullptr) return;
     // TraceCat bit layout matches Category, so the cast is exact.

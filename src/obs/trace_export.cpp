@@ -51,6 +51,8 @@ void write_args(std::ostream& os, const Event& e) {
 
 void TraceExporter::add_process(int pid, const std::string& name, int ncores,
                                 std::vector<Event> events) {
+    // sca-suppress(hot-path-alloc): the exporter runs post-mortem / at end
+    // of run, never on the dispatch path.
     processes_.push_back({pid, name, ncores, std::move(events), {}});
 }
 
@@ -87,6 +89,7 @@ void TraceExporter::write(std::ostream& os) const {
         std::uint64_t exits[4] = {0, 0, 0, 0};
         std::vector<const Event*> exit_events;
         for (const auto& e : p.events) {
+            // sca-suppress(hot-path-alloc): post-mortem export path.
             if (e.type == EventType::kVmExit) exit_events.push_back(&e);
         }
         std::stable_sort(exit_events.begin(), exit_events.end(),
@@ -120,6 +123,7 @@ void TraceExporter::write(std::ostream& os) const {
         // in sim order, so a raw dump would interleave).
         std::vector<const Event*> ordered;
         ordered.reserve(p.events.size());
+        // sca-suppress(hot-path-alloc): post-mortem export path.
         for (const auto& e : p.events) ordered.push_back(&e);
         std::stable_sort(ordered.begin(), ordered.end(),
                          [](const Event* a, const Event* b) {

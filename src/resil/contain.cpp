@@ -49,6 +49,8 @@ void ContainmentEngine::disarm() {
 
 void ContainmentEngine::record(ContainmentPolicy step, arch::VmId vm,
                                const std::string& region) {
+    // sca-suppress(hot-path-alloc): containment actions are failure-path
+    // responses to a detected violation, not steady-state dispatch.
     action_log_.push_back({step, vm, region});
     node_->platform().recorder().instant(
         node_->platform().engine().now(), obs::EventType::kContainAction, -1,

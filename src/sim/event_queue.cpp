@@ -6,6 +6,11 @@
 namespace hpcsec::sim {
 
 EventId EventQueue::schedule(SimTime when, int priority, EventFn fn) {
+    return schedule(when, priority, std::move(fn), next_order_++);
+}
+
+EventId EventQueue::schedule(SimTime when, int priority, EventFn fn,
+                             std::uint64_t order) {
     std::uint32_t slot;
     if (!free_.empty()) {
         slot = free_.back();
@@ -14,7 +19,6 @@ EventId EventQueue::schedule(SimTime when, int priority, EventFn fn) {
         slot = static_cast<std::uint32_t>(slab_.size());
         slab_.emplace_back();
     }
-    const std::uint64_t order = next_order_++;
     Entry& e = slab_[slot];
     e.when = when;
     e.order = order;
@@ -74,6 +78,8 @@ void EventQueue::remove_top() {
     Entry& e = slab_[slot];
     e.id = 0;
     e.fn = nullptr;
+    // sca-suppress(hot-path-alloc): freelist depth is bounded by the slab
+    // high-water mark; growth stops once the queue is warmed.
     free_.push_back(slot);
     const std::uint32_t last = heap_.back();
     heap_.pop_back();
@@ -90,6 +96,13 @@ void EventQueue::skim_cancelled() {
 SimTime EventQueue::next_time() {
     skim_cancelled();
     return heap_.empty() ? kTimeNever : slab_[heap_[0]].when;
+}
+
+EventQueue::Key EventQueue::next_key() {
+    skim_cancelled();
+    if (heap_.empty()) return Key{};
+    const Entry& top = slab_[heap_[0]];
+    return Key{top.when, top.priority, top.order};
 }
 
 EventQueue::Popped EventQueue::pop() {

@@ -33,8 +33,30 @@ using EventFn = std::function<void()>;
 
 class EventQueue {
 public:
+    /// The engine-wide dispatch order: lexicographic (when, priority,
+    /// insertion order). Shared with TimerWheel so the two event sources
+    /// merge into one deterministic total order.
+    struct Key {
+        SimTime when = kTimeNever;
+        int priority = 0;
+        std::uint64_t order = 0;
+        [[nodiscard]] bool operator<(const Key& o) const {
+            if (when != o.when) return when < o.when;
+            if (priority != o.priority) return priority < o.priority;
+            return order < o.order;
+        }
+    };
+
     /// Lower `priority` runs first among events with equal timestamps.
+    /// Ties break by an internally assigned insertion sequence.
     EventId schedule(SimTime when, int priority, EventFn fn);
+
+    /// Same, with a caller-supplied insertion sequence — the engine passes
+    /// its shared counter here so queue and timer-wheel events interleave
+    /// exactly as if they lived in one queue. Orders must be unique and
+    /// increasing across calls; mixing with the self-ordering overload on
+    /// one queue is a caller bug.
+    EventId schedule(SimTime when, int priority, EventFn fn, std::uint64_t order);
 
     /// Cancel a pending event. Returns false if it already ran or was
     /// cancelled (cancelling an invalid id is a harmless no-op).
@@ -45,6 +67,10 @@ public:
 
     /// Timestamp of the next live event; kTimeNever when empty.
     [[nodiscard]] SimTime next_time();
+
+    /// Full dispatch key of the next live event; when == kTimeNever if
+    /// empty. Used by the engine to merge with the timer wheel.
+    [[nodiscard]] Key next_key();
 
     /// Pop and return the next live event. Precondition: !empty().
     struct Popped {

@@ -8,6 +8,8 @@ namespace hpcsec::sim {
 void Timeline::record(int core, SimTime start, SimTime end, char kind,
                       std::string_view label) {
     if (spans_.size() >= max_spans_ || end <= start) return;
+    // sca-suppress(hot-path-alloc): timeline capture is opt-in tracing,
+    // bounded by max_spans_; production nodes run with it detached.
     spans_.push_back(Span{core, start, end, kind, std::string(label)});
 }
 

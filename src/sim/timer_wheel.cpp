@@ -1,0 +1,324 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcsec::sim {
+
+TimerWheel::TimerWheel() {
+    for (auto& level : heads_) {
+        for (auto& head : level) head = kNil;
+    }
+}
+
+int TimerWheel::level_of(SimTime when, SimTime base) {
+    const std::uint64_t diff = when ^ base;
+    // Precondition when > base implies diff != 0.
+    const int high_bit = 63 - std::countl_zero(diff);
+    return high_bit / kLevelBits;
+}
+
+std::uint32_t TimerWheel::alloc_entry() {
+    if (!free_.empty()) {
+        const std::uint32_t idx = free_.back();
+        free_.pop_back();
+        return idx;
+    }
+    const auto idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+    return idx;
+}
+
+void TimerWheel::free_entry(std::uint32_t idx) {
+    Entry& e = slab_[idx];
+    e.id = 0;
+    e.fn = nullptr;
+    e.next = kNil;
+    // sca-suppress(hot-path-alloc): freelist depth is bounded by the slab
+    // high-water mark; growth stops once the wheel is warmed.
+    free_.push_back(idx);
+}
+
+void TimerWheel::place(std::uint32_t idx) {
+    Entry& e = slab_[idx];
+    const int level = level_of(e.when, base_);
+    const std::uint32_t slot = slot_of(level, e.when);
+    e.next = heads_[level][slot];
+    heads_[level][slot] = idx;
+    occupied_[level] |= 1ull << slot;
+    // The memoized slot minimum survives placements into *other* slots;
+    // only an insert into the memoized list itself can stale it.
+    if (scan_.valid && scan_.level == level && scan_.slot == slot) {
+        scan_.valid = false;
+    }
+}
+
+void TimerWheel::batch_insert(std::uint32_t idx) {
+    const Key k = key_of(slab_[idx]);
+    const auto begin = batch_.begin() + static_cast<std::ptrdiff_t>(batch_head_);
+    const auto pos = std::lower_bound(
+        begin, batch_.end(), k,
+        [this](std::uint32_t i, const Key& key) { return key_of(slab_[i]) < key; });
+    batch_.insert(pos, idx);
+}
+
+void TimerWheel::batch_slot(int level, std::uint32_t slot) {
+    group_.clear();
+    std::uint32_t idx = heads_[level][slot];
+    heads_[level][slot] = kNil;
+    occupied_[level] &= ~(1ull << slot);
+    while (idx != kNil) {
+        const std::uint32_t next = slab_[idx].next;
+        slab_[idx].next = kNil;
+        if (slab_[idx].cancelled) {
+            free_entry(idx);
+        } else {
+            // sca-suppress(hot-path-alloc): scratch vector bounded by the
+            // largest slot collision group; warmed after the first cascade.
+            group_.push_back(idx);
+        }
+        idx = next;
+    }
+    if (group_.empty()) return;
+    const auto by_key = [this](std::uint32_t a, std::uint32_t b) {
+        return key_of(slab_[a]) < key_of(slab_[b]);
+    };
+    std::sort(group_.begin(), group_.end(), by_key);
+    if (batch_head_ == batch_.size()) {
+        batch_.clear();
+        batch_head_ = 0;
+        batch_.insert(batch_.end(), group_.begin(), group_.end());
+        return;
+    }
+    const auto mid = batch_.size();
+    batch_.insert(batch_.end(), group_.begin(), group_.end());
+    std::inplace_merge(batch_.begin() + static_cast<std::ptrdiff_t>(batch_head_),
+                       batch_.begin() + static_cast<std::ptrdiff_t>(mid),
+                       batch_.end(), by_key);
+}
+
+void TimerWheel::advance_to(SimTime now) {
+    if (now <= base_) return;
+    const std::uint64_t changed = now ^ base_;
+    base_ = now;
+    scan_.valid = false;
+    const int top = (63 - std::countl_zero(changed)) / kLevelBits;
+    // Demote the now-current slot of every level whose block index moved,
+    // highest first (demoted entries land strictly lower, or — when their
+    // deadline IS `now` — in the ready batch as one sorted group).
+    for (int level = top; level >= 0; --level) {
+        const std::uint32_t slot = slot_of(level, base_);
+        if ((occupied_[level] & 1ull << slot) == 0) continue;
+        std::uint32_t idx = heads_[level][slot];
+        heads_[level][slot] = kNil;
+        occupied_[level] &= ~(1ull << slot);
+        group_.clear();
+        while (idx != kNil) {
+            const std::uint32_t next = slab_[idx].next;
+            slab_[idx].next = kNil;
+            if (slab_[idx].cancelled) {
+                free_entry(idx);
+            } else if (slab_[idx].when == base_) {
+                // sca-suppress(hot-path-alloc): scratch vector bounded by
+                // the slot group size; warmed after the first cascade.
+                group_.push_back(idx);
+            } else {
+                place(idx);
+            }
+            idx = next;
+        }
+        if (group_.empty()) continue;
+        const auto by_key = [this](std::uint32_t a, std::uint32_t b) {
+            return key_of(slab_[a]) < key_of(slab_[b]);
+        };
+        std::sort(group_.begin(), group_.end(), by_key);
+        if (batch_head_ == batch_.size()) {
+            batch_.clear();
+            batch_head_ = 0;
+            batch_.insert(batch_.end(), group_.begin(), group_.end());
+        } else {
+            const auto mid = batch_.size();
+            batch_.insert(batch_.end(), group_.begin(), group_.end());
+            std::inplace_merge(
+                batch_.begin() + static_cast<std::ptrdiff_t>(batch_head_),
+                batch_.begin() + static_cast<std::ptrdiff_t>(mid), batch_.end(),
+                by_key);
+        }
+    }
+}
+
+EventId TimerWheel::schedule(SimTime when, int priority, EventFn fn,
+                             std::uint64_t order, SimTime now) {
+    advance_to(now);
+    if (when < base_) {
+        throw std::logic_error("TimerWheel::schedule: deadline in the past");
+    }
+    const std::uint32_t idx = alloc_entry();
+    Entry& e = slab_[idx];
+    e.when = when;
+    e.order = order;
+    e.id = kHandleFlag | (static_cast<std::uint64_t>(idx) + 1) << kSlotShift |
+           (order & kSeqMask);
+    e.fn = std::move(fn);
+    e.priority = priority;
+    e.cancelled = false;
+    if (when == base_) {
+        // Batch inserts never stale the memo: it tracks a wheel slot, and
+        // next_key() re-reads the batch front on every call.
+        batch_insert(idx);
+    } else {
+        place(idx);  // invalidates the memo iff it hits the memoized slot
+    }
+    ++live_;
+    return EventId{e.id};
+}
+
+bool TimerWheel::cancel(EventId id) {
+    if ((id.seq & kHandleFlag) == 0) return false;
+    const std::uint64_t slot_part = (id.seq & ~kHandleFlag) >> kSlotShift;
+    if (slot_part == 0 || slot_part > slab_.size()) return false;
+    Entry& e = slab_[static_cast<std::size_t>(slot_part - 1)];
+    if (e.id != id.seq || e.cancelled) return false;  // ran, cancelled, or stale
+    e.cancelled = true;
+    e.fn = nullptr;  // release captured resources immediately
+    --live_;
+    scan_.valid = false;
+    return true;
+}
+
+void TimerWheel::skim_batch() {
+    while (batch_head_ < batch_.size() && slab_[batch_[batch_head_]].cancelled) {
+        free_entry(batch_[batch_head_]);
+        ++batch_head_;
+    }
+    if (batch_head_ == batch_.size() && batch_head_ != 0) {
+        batch_.clear();
+        batch_head_ = 0;
+    }
+}
+
+TimerWheel::Key TimerWheel::next_key() {
+    skim_batch();
+    for (;;) {
+        const bool have_batch = batch_head_ < batch_.size();
+        const Key batch_key =
+            have_batch ? key_of(slab_[batch_[batch_head_]]) : Key{};
+
+        // Lowest occupied level holds the earliest wheel entry (level-0
+        // spans end before any higher level's first out-of-window slot).
+        int level = -1;
+        for (int l = 0; l < kLevels; ++l) {
+            if (occupied_[l] != 0) {
+                level = l;
+                break;
+            }
+        }
+        if (level < 0) return have_batch ? batch_key : Key{};
+        const auto slot =
+            static_cast<std::uint32_t>(std::countr_zero(occupied_[level]));
+
+        if (level == 0) {
+            // A level-0 slot shares one exact deadline; its slot time is
+            // base_'s upper bits with the slot index as the low block.
+            const SimTime w0 =
+                (base_ & ~static_cast<SimTime>(kSlotMask)) | slot;
+            // Strict <: at equal times the slot may hold a smaller
+            // (priority, order) and must merge into the batch first.
+            if (have_batch && batch_key.when < w0) return batch_key;
+            batch_slot(0, slot);  // one sort for the whole collision group
+            skim_batch();
+            continue;  // batch front now covers this slot
+        }
+
+        // A future higher-level slot. No live entry in it can fire before
+        // the slot's time window opens (live entries are never overdue), so
+        // when the batch front precedes the window the batch wins without
+        // touching the list — the steady-state batched pop stays O(1).
+        const SimTime window_start =
+            (base_ &
+             ~((static_cast<SimTime>(1) << ((level + 1) * kLevelBits)) - 1)) |
+            (static_cast<SimTime>(slot) << (level * kLevelBits));
+        if (have_batch && batch_key.when < window_start) return batch_key;
+
+        // Otherwise the minimum needs one list scan (memoized until a
+        // mutation touches this slot). Cancelled entries compact out here;
+        // an emptied slot clears its occupancy bit and we rescan.
+        if (scan_.valid && scan_.level == level && scan_.slot == slot) {
+            const Key k = key_of(slab_[scan_.idx]);
+            return have_batch && batch_key < k ? batch_key : k;
+        }
+        std::uint32_t prev = kNil;
+        std::uint32_t idx = heads_[level][slot];
+        std::uint32_t best = kNil;
+        std::uint32_t best_prev = kNil;
+        while (idx != kNil) {
+            Entry& e = slab_[idx];
+            if (e.cancelled) {
+                const std::uint32_t next = e.next;
+                if (prev == kNil) {
+                    heads_[level][slot] = next;
+                } else {
+                    slab_[prev].next = next;
+                }
+                free_entry(idx);
+                idx = next;
+                continue;
+            }
+            if (best == kNil || key_of(e) < key_of(slab_[best])) {
+                best = idx;
+                best_prev = prev;
+            }
+            prev = idx;
+            idx = e.next;
+        }
+        if (best == kNil) {
+            occupied_[level] &= ~(1ull << slot);
+            continue;
+        }
+        scan_ = SlotScan{true, level, slot, best, best_prev};
+        const Key k = key_of(slab_[best]);
+        return have_batch && batch_key < k ? batch_key : k;
+    }
+}
+
+TimerWheel::Popped TimerWheel::pop() {
+    const Key k = next_key();
+    Popped out;
+    if (batch_head_ < batch_.size() &&
+        !(k < key_of(slab_[batch_[batch_head_]]))) {
+        const std::uint32_t idx = batch_[batch_head_++];
+        Entry& e = slab_[idx];
+        out = Popped{e.when, e.priority, std::move(e.fn)};
+        free_entry(idx);
+        ++batched_pops_;
+        if (batch_head_ == batch_.size()) {
+            batch_.clear();
+            batch_head_ = 0;
+        }
+    } else {
+        // Direct pop from a far slot whose turn arrived: unlink the scanned
+        // minimum; the subsequent advance cascades its batch-mates down.
+        Entry& e = slab_[scan_.idx];
+        if (scan_.prev == kNil) {
+            heads_[scan_.level][scan_.slot] = e.next;
+        } else {
+            slab_[scan_.prev].next = e.next;
+        }
+        if (heads_[scan_.level][scan_.slot] == kNil) {
+            occupied_[scan_.level] &= ~(1ull << scan_.slot);
+        }
+        out = Popped{e.when, e.priority, std::move(e.fn)};
+        free_entry(scan_.idx);
+        scan_.valid = false;  // the unlink restructured the memoized list
+    }
+    --live_;
+    // Time reached out.when: demote every slot that became current so the
+    // rest of the collision group is one sorted batch away. (A batched pop
+    // that does not move base_ keeps the far-slot memo intact.)
+    advance_to(out.when);
+    return out;
+}
+
+}  // namespace hpcsec::sim

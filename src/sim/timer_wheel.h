@@ -1,0 +1,149 @@
+// Hierarchical batched timer wheel for the periodic tick storm.
+//
+// The vtimer/heartbeat/watchdog cadences re-arm one timer per core per
+// tick. On the 4-ary EventQueue that is one heap sift per operation; with
+// many cores firing the same cadence the deadlines collide, and a timing
+// wheel turns each collision group into one slot operation: N cores on one
+// cadence land in one slot, are demoted as a batch when time reaches them,
+// sorted once, and then popped in O(1) each.
+//
+// Layout: 11 levels of 64 slots (6 bits per level), so any 64-bit deadline
+// fits without an overflow list. An entry's level is the highest 6-bit
+// block in which its deadline differs from the wheel's current time
+// (Tokio/kernel-timer style XOR leveling), which makes slot indices
+// unambiguous: a slot can only ever hold entries of the current rotation.
+// Per-level occupancy bitmasks find the next non-empty slot with one
+// count-trailing-zeros.
+//
+// Determinism contract: the wheel never orders events itself — every entry
+// carries the engine-wide (when, priority, order) key, with `order` drawn
+// from the same counter the EventQueue uses. The engine merges both
+// sources by that key, so moving the periodic storm onto the wheel is
+// bit-invisible to simulation output. Handles are EventIds with bit 63
+// set, disjoint from EventQueue handles, and cancellation is O(1) (flag
+// the slab entry; slot lists are compacted lazily).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace hpcsec::sim {
+
+class TimerWheel {
+public:
+    /// Bit 63 of EventId::seq marks wheel handles (EventQueue slots encode
+    /// slot+1 in bits [40,64), far below the 2^23 live-event count that
+    /// could reach the flag bit).
+    static constexpr std::uint64_t kHandleFlag = 1ull << 63;
+
+    /// Total order shared with the EventQueue: lexicographic
+    /// (when, priority, order).
+    using Key = EventQueue::Key;
+
+    TimerWheel();
+
+    /// Schedule at absolute time `when` >= `now` (the engine's clock; the
+    /// wheel advances its base to it). `order` comes from the engine's
+    /// shared insertion counter.
+    EventId schedule(SimTime when, int priority, EventFn fn,
+                     std::uint64_t order, SimTime now);
+
+    /// O(1): flags the slab entry. Returns false for stale/foreign ids.
+    bool cancel(EventId id);
+
+    [[nodiscard]] bool empty() const { return live_ == 0; }
+    [[nodiscard]] std::size_t size() const { return live_; }
+
+    /// Key of the earliest live entry; when == kTimeNever if empty. May
+    /// demote higher-level slots down (amortized O(levels) per entry).
+    Key next_key();
+
+    /// Pop the earliest live entry. Precondition: !empty().
+    struct Popped {
+        SimTime when;
+        int priority;
+        EventFn fn;
+    };
+    Popped pop();
+
+    /// Pops served from the sorted ready batch in O(1) — the measure of
+    /// heap-ordering work the wheel elided versus the EventQueue.
+    [[nodiscard]] std::uint64_t batched_pops() const { return batched_pops_; }
+
+private:
+    static constexpr int kLevelBits = 6;
+    static constexpr int kSlots = 1 << kLevelBits;  // 64
+    static constexpr std::uint32_t kSlotMask = kSlots - 1;
+    static constexpr int kLevels = 11;  // 66 bits: every uint64 delta fits
+    static constexpr std::uint32_t kNil = 0xffff'ffffu;
+
+    static constexpr int kSlotShift = 40;  // handle layout mirrors EventQueue
+    static constexpr std::uint64_t kSeqMask = (1ull << kSlotShift) - 1;
+
+    struct Entry {
+        SimTime when = 0;
+        std::uint64_t order = 0;
+        std::uint64_t id = 0;  ///< composite handle; 0 while the slot is free
+        EventFn fn;
+        std::uint32_t next = kNil;  ///< intrusive slot-list link
+        int priority = 0;
+        bool cancelled = false;
+    };
+
+    [[nodiscard]] Key key_of(const Entry& e) const {
+        return Key{e.when, e.priority, e.order};
+    }
+    [[nodiscard]] static int level_of(SimTime when, SimTime base);
+    [[nodiscard]] static std::uint32_t slot_of(int level, SimTime when) {
+        return static_cast<std::uint32_t>(when >> (kLevelBits * level)) & kSlotMask;
+    }
+
+    std::uint32_t alloc_entry();
+    void free_entry(std::uint32_t idx);
+    /// File an entry under (level, slot) relative to base_. Precondition:
+    /// when > base_ (when == base_ entries belong in the ready batch).
+    void place(std::uint32_t idx);
+    /// Sorted insert into the ready batch (rare path: delta-zero deadlines).
+    void batch_insert(std::uint32_t idx);
+    /// Detach a whole slot, drop cancelled entries, sort the group once and
+    /// merge it into the ready batch.
+    void batch_slot(int level, std::uint32_t slot);
+    /// Move the wheel's notion of "now" forward and demote every slot the
+    /// advance made current (the classic cascade, done lazily).
+    void advance_to(SimTime now);
+    void skim_batch();
+
+    std::vector<Entry> slab_;
+    std::vector<std::uint32_t> free_;
+    std::uint64_t live_ = 0;
+    SimTime base_ = 0;
+
+    std::uint32_t heads_[kLevels][kSlots];
+    std::uint64_t occupied_[kLevels] = {};
+
+    // Ready batch: entries whose turn is imminent, sorted by key and
+    // drained front-to-back through batch_head_ (storage reused).
+    std::vector<std::uint32_t> batch_;
+    std::size_t batch_head_ = 0;
+    std::uint64_t batched_pops_ = 0;
+
+    // Scratch for sorting a detached slot group before the batch merge.
+    std::vector<std::uint32_t> group_;
+
+    // next_key() scan memo for the direct-from-slot pop path (a far-future
+    // slot whose turn arrived with nothing in between). Any mutation
+    // invalidates it.
+    struct SlotScan {
+        bool valid = false;
+        int level = 0;
+        std::uint32_t slot = 0;
+        std::uint32_t idx = kNil;
+        std::uint32_t prev = kNil;  ///< predecessor in the slot list
+    };
+    SlotScan scan_;
+};
+
+}  // namespace hpcsec::sim

@@ -1,0 +1,7 @@
+#pragma once
+
+enum class Call {
+    kRun = 0,
+    kShare = 1,
+};
+inline constexpr int kCallCount = 2;

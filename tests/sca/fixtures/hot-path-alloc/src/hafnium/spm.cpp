@@ -1,0 +1,32 @@
+#include "hafnium/hypercall.h"
+
+#include <memory>
+#include <vector>
+
+struct Grant {
+    int vm;
+};
+
+struct Spm {
+    int on_run();
+    int on_share();
+    std::vector<Grant> grants_;
+    std::unique_ptr<Grant> scratch_;
+};
+
+int Spm::on_run() { return 0; }
+
+int Spm::on_share() {
+    grants_.push_back({1});  // finding: heap growth in a call handler
+    scratch_ = std::make_unique<Grant>();  // finding: make_unique in handler
+    return 0;
+}
+
+struct Row {
+    Call call;
+    int (Spm::*fn)();
+};
+static const Row kCallTable[] = {{
+    {Call::kRun, &Spm::on_run},
+    {Call::kShare, &Spm::on_share},
+}};

@@ -1,0 +1,37 @@
+#include <memory>
+#include <vector>
+
+struct Timer {
+    void fire();
+    std::vector<int> pending_;
+};
+
+struct Engine {
+    void dispatch_one();
+    void drain();
+    std::vector<int> log_;
+    std::vector<int> slab_;
+};
+
+// Reached only via the hot_path_extra_edges std::function seam.
+void Timer::fire() {
+    pending_.push_back(1);  // finding: heap growth on the tick path
+}
+
+void Engine::dispatch_one() {
+    log_.emplace_back(7);  // finding: heap growth in the dispatch loop
+    drain();
+}
+
+void Engine::drain() {
+    // sca-suppress(hot-path-alloc): slab freelist, warmed after boot
+    slab_.push_back(3);
+    int* scratch = new int[4];  // finding: non-placement new
+    delete[] scratch;
+}
+
+// Not reachable from any entry point: no finding even though it allocates.
+void cold_report() {
+    auto buf = std::make_unique<int[]>(64);
+    (void)buf;
+}

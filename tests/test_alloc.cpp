@@ -1,0 +1,320 @@
+// Zero-alloc steady state (docs/PERFORMANCE.md): the dispatch hot loop and
+// everything it reaches must not touch the global heap once a node is
+// warmed up, and trial teardown must be an arena rewind rather than a
+// unique_ptr graveyard. The counting global operator new below is the
+// proof: it is armed only inside measurement windows, so gtest's own
+// allocations never pollute the counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/harness.h"
+#include "core/node.h"
+#include "core/signature.h"
+#include "sim/arena.h"
+#include "sim/engine.h"
+#include "sim/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+void count_alloc() {
+    if (g_counting.load(std::memory_order_relaxed)) {
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+struct CountingWindow {
+    CountingWindow() {
+        g_allocs.store(0, std::memory_order_relaxed);
+        g_counting.store(true, std::memory_order_relaxed);
+    }
+    ~CountingWindow() { g_counting.store(false, std::memory_order_relaxed); }
+    [[nodiscard]] static std::uint64_t count() {
+        return g_allocs.load(std::memory_order_relaxed);
+    }
+};
+
+}  // namespace
+
+// Replacement global operators pair malloc/aligned_alloc with free, which
+// is well-formed for replaced operators; GCC's static pairing check does
+// not model replacement and misfires here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+    count_alloc();
+    if (void* p = std::malloc(n ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+    count_alloc();
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                     (n + static_cast<std::size_t>(a) - 1) &
+                                         ~(static_cast<std::size_t>(a) - 1))) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+    return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+namespace hpcsec {
+namespace {
+
+// --- arena unit tests --------------------------------------------------------
+
+TEST(Arena, MakeRunsDestructorsInReverseOrderOnReset) {
+    sim::Arena arena;
+    std::vector<int> order;
+    struct Tracked {
+        std::vector<int>* order;
+        int id;
+        ~Tracked() { order->push_back(id); }
+    };
+    for (int i = 0; i < 4; ++i) arena.make<Tracked>(&order, i);
+    arena.reset();
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Arena, TrivialTypesRegisterNoDestructorRecords) {
+    sim::Arena arena;
+    const std::size_t before = arena.bytes_used();
+    arena.make<std::uint64_t>(7);
+    // One u64 plus padding, but no DtorRec: under two pointer-triples.
+    EXPECT_LT(arena.bytes_used() - before, 24u);
+}
+
+TEST(Arena, AllocationsAreAligned) {
+    sim::Arena arena;
+    arena.allocate(1, 1);  // knock the cursor off alignment
+    struct alignas(16) Wide {
+        char c;
+    };
+    auto* w = arena.make<Wide>();
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 16, 0u);
+}
+
+TEST(Arena, ResetKeepsChunksAndReusesThem) {
+    sim::Arena arena;
+    for (int i = 0; i < 1000; ++i) arena.make<std::uint64_t>(i);
+    const std::size_t reserved = arena.bytes_reserved();
+    const std::size_t chunks = arena.chunk_count();
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    for (int i = 0; i < 1000; ++i) arena.make<std::uint64_t>(i);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, ArenaAllocatorBacksStdVector) {
+    sim::Arena arena;
+    std::vector<int, sim::ArenaAllocator<int>> v{
+        sim::ArenaAllocator<int>(arena)};
+    for (int i = 0; i < 100; ++i) v.push_back(i);
+    EXPECT_EQ(v[99], 99);
+    EXPECT_GE(arena.bytes_used(), 100 * sizeof(int));
+}
+
+// --- timer wheel vs heap queue equivalence ----------------------------------
+
+// The wheel's contract: dispatch order is identical to scheduling the same
+// events on the heap queue, because both draw from one insertion counter
+// and the engine merges by (when, priority, order).
+TEST(TimerWheel, DispatchOrderMatchesHeapQueue) {
+    sim::Rng rng(12345);
+    struct Ev {
+        sim::SimTime when;
+        int priority;
+        bool on_wheel;
+    };
+    std::vector<Ev> evs;
+    for (int i = 0; i < 2000; ++i) {
+        evs.push_back({static_cast<sim::SimTime>(rng.next_below(5000)),
+                       static_cast<int>(rng.next_below(3)) * 10,
+                       rng.next_below(2) == 0});
+    }
+
+    auto run = [&](bool use_wheel) {
+        sim::Engine eng;
+        std::vector<std::pair<sim::SimTime, int>> seq;
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            const Ev& e = evs[i];
+            auto fn = [&seq, &eng, i] {
+                seq.emplace_back(eng.now(), static_cast<int>(i));
+            };
+            if (use_wheel && e.on_wheel) {
+                eng.at_timer(e.when, fn, e.priority);
+            } else {
+                eng.at(e.when, fn, e.priority);
+            }
+        }
+        eng.run();
+        return seq;
+    };
+
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(TimerWheel, ReschedulingCadencesInterleaveLikeQueue) {
+    // Periodic re-arm from inside the handler — the tick-storm shape.
+    auto run = [&](bool use_wheel) {
+        sim::Engine eng;
+        std::vector<std::pair<sim::SimTime, int>> seq;
+        std::vector<std::function<void()>> ticks(8);
+        for (int core = 0; core < 8; ++core) {
+            const sim::Cycles period = 100 + 10 * (core % 3);
+            ticks[core] = [&eng, &seq, &ticks, core, period, use_wheel] {
+                seq.emplace_back(eng.now(), core);
+                if (eng.now() >= 20'000) return;
+                if (use_wheel) {
+                    eng.at_timer(eng.now() + period, ticks[core]);
+                } else {
+                    eng.at(eng.now() + period, ticks[core], sim::kPrioInterrupt);
+                }
+            };
+            if (use_wheel) {
+                eng.at_timer(100, ticks[core]);
+            } else {
+                eng.at(100, ticks[core], sim::kPrioInterrupt);
+            }
+        }
+        eng.run();
+        return std::make_pair(seq, eng.timer_batched_pops());
+    };
+
+    const auto [wheel_seq, wheel_pops] = run(true);
+    const auto [queue_seq, queue_pops] = run(false);
+    EXPECT_EQ(wheel_seq, queue_seq);
+    // Same-cadence cores collide in wheel slots; the whole point is that
+    // those collision groups dispatch as pre-sorted batches.
+    EXPECT_GT(wheel_pops, 0u);
+    EXPECT_EQ(queue_pops, 0u);
+}
+
+TEST(TimerWheel, CancelPreventsDispatchAndSurvivesReuse) {
+    sim::Engine eng;
+    int fired = 0;
+    const sim::EventId a = eng.at_timer(100, [&] { ++fired; });
+    const sim::EventId b = eng.at_timer(200, [&] { ++fired; });
+    eng.at_timer(300, [&] { ++fired; });
+    EXPECT_TRUE(eng.cancel(a));
+    EXPECT_FALSE(eng.cancel(a));  // already cancelled
+    eng.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eng.cancel(b));  // already fired
+}
+
+// --- zero-alloc steady state -------------------------------------------------
+
+struct AllocFixture : ::testing::Test {
+    core::ImageSigner signer{std::vector<std::uint8_t>(32, 77)};
+
+    /// A 4-VM node: primary + secure compute + login super-secondary,
+    /// plus one dynamically launched partition. Kernel and guest tick at
+    /// 250 Hz so a 4 s window is a 1000-tick storm per kernel.
+    core::NodeConfig four_vm_config() {
+        core::NodeConfig cfg = core::Harness::default_config(
+            core::SchedulerKind::kKittenPrimary, 17);
+        cfg.with_super_secondary = true;
+        cfg.kitten.tick_hz = 250.0;
+        cfg.guest.tick_hz = 250.0;
+        cfg.trusted_keys = {signer.public_key()};
+        return cfg;
+    }
+
+    void add_fourth_vm(core::Node& node) {
+        node.verifier().enroll(signer.public_key());
+        auto img = signer.sign("steady-job", core::Node::make_image("steady-job"));
+        ASSERT_TRUE(img.has_value());
+        node.launch_dynamic_vm(*img, 64ull << 20, 2);
+    }
+};
+
+TEST_F(AllocFixture, SteadyStateWindowMakesZeroHeapAllocations) {
+    core::Node node(four_vm_config());
+    node.boot();
+    add_fourth_vm(node);
+    ASSERT_EQ(node.spm()->vm_count(), 4);
+
+    node.run_for(1.0);  // warm every growable container past its high-water mark
+    const std::uint64_t events_before = node.platform().engine().events_executed();
+
+    std::uint64_t allocs = 0;
+    {
+        CountingWindow window;
+        node.run_for(4.0);  // 1000 ticks at 250 Hz, per kernel
+        allocs = CountingWindow::count();
+    }
+
+    const std::uint64_t events =
+        node.platform().engine().events_executed() - events_before;
+    EXPECT_GE(events, 1000u) << "window too quiet to prove anything";
+    EXPECT_EQ(allocs, 0u) << "steady-state dispatch touched the global heap";
+    // Kernel tick deadlines land far enough out that the wheel serves them
+    // from high levels (no same-slot batching at this density); the batch
+    // path itself is proven by the TimerWheel unit tests above.
+}
+
+TEST_F(AllocFixture, TeardownFreesViaArenaResetAcrossTrials) {
+    sim::Arena arena;
+    std::vector<std::size_t> per_trial_bytes;
+    std::size_t reserved_after_first = 0;
+
+    for (int trial = 0; trial < 3; ++trial) {
+        core::NodeConfig cfg = core::Harness::default_config(
+            core::SchedulerKind::kKittenPrimary, 100 + trial);
+        cfg.platform.arena = &arena;
+        {
+            core::Node node(std::move(cfg));
+            node.boot();
+            node.run_for(0.05);
+        }
+        // The Node is gone but its cores/VMs/VCPUs/grants still sit in the
+        // arena — teardown deferred to the rewind.
+        EXPECT_GT(arena.bytes_used(), 0u);
+        per_trial_bytes.push_back(arena.bytes_used());
+        arena.reset();
+        EXPECT_EQ(arena.bytes_used(), 0u);
+        if (trial == 0) {
+            reserved_after_first = arena.bytes_reserved();
+        } else {
+            // Steady state: later trials run entirely inside the chunks the
+            // first trial warmed — the reset kept them.
+            EXPECT_EQ(arena.bytes_reserved(), reserved_after_first);
+        }
+    }
+    // Identical node shape => identical arena footprint, every trial.
+    EXPECT_EQ(per_trial_bytes[1], per_trial_bytes[0]);
+    EXPECT_EQ(per_trial_bytes[2], per_trial_bytes[0]);
+}
+
+}  // namespace
+}  // namespace hpcsec

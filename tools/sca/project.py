@@ -95,6 +95,13 @@ DEFAULTS: dict = {
         "pop_back", "reserve", "resize", "get", "reset", "str", "c_str",
         "data", "swap", "contains", "value", "reason", "what", "first",
         "second", "min", "max", "move", "forward", "to_string",
+        # `schedule` exists on EventQueue, TimerWheel and ChaosInjector;
+        # name-matching would weld those class graphs together.
+        "schedule",
+        # `add` exists on RunningStats, LogHistogram, Sample, BenchReport
+        # and MetricsAggregate; the hot-path observe() only ever reaches
+        # the O(1) streaming pair, so welding them is pure noise.
+        "add",
     ],
     # Extra edges "Caller::name -> Callee::name" for calls the name matcher
     # cannot see (ambiguous names, function pointers).
@@ -102,6 +109,20 @@ DEFAULTS: dict = {
         # Spm::enter_vcpu calls arch::Executor::begin ("core already
         # running" guard); 'begin' is in ambiguous_callees.
         ["enter_vcpu", "Executor::begin"],
+    ],
+
+    # ---- hot-path allocation (hot-path-alloc) -----------------------------
+    # The per-event dispatch loop; the hypercall-table handlers are added
+    # automatically (same discovery as no-throw-guest-path).
+    "hot_path_entry_functions": ["Engine::dispatch_one"],
+    # std::function seams the name matcher cannot see: event closures the
+    # engine dispatches and the per-core IRQ handler registration.
+    "hot_path_extra_edges": [
+        # engine events: timer deadlines are at_timer closures over fire().
+        ["dispatch_one", "GenericTimer::fire"],
+        # Core::signal_irq invokes the registered IrqHandler std::function.
+        ["signal_irq", "Spm::handle_phys_irq"],
+        ["signal_irq", "KittenKernel::native_irq"],
     ],
 
     # ---- determinism bans (det-wall-clock / det-random) -------------------

@@ -7,3 +7,4 @@ from sca.rules import guest_paths   # noqa: F401
 from sca.rules import locking       # noqa: F401
 from sca.rules import switches      # noqa: F401
 from sca.rules import hygiene       # noqa: F401
+from sca.rules import hot_path_alloc  # noqa: F401
