@@ -37,7 +37,7 @@ Result run(hafnium::IrqRoutingPolicy policy, double irq_rate_hz, double seconds)
     auto& engine = node.platform().engine();
     const auto period = engine.clock().period_of_hz(irq_rate_hz);
     std::function<void()> storm = [&] {
-        node.platform().gic().raise_spi(114);
+        node.platform().irqc().raise_external(114);
         engine.after(period, storm);
     };
     engine.after(period, storm);

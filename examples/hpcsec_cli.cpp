@@ -3,6 +3,8 @@
 //
 //   hpcsec_cli [--workload hpcg|stream|gups|lu|bt|cg|ep|sp|selfish]
 //              [--config native|kitten|linux] [--trials N] [--seed S]
+//              [--isa arm|riscv]        (machine-model backend: ARMv8+GIC or
+//                                        RISC-V H-extension+PLIC; default arm)
 //              [--jobs N]               (worker threads for trial fan-out;
 //                                        default = hardware threads, 1 =
 //                                        legacy serial path; outputs are
@@ -50,6 +52,7 @@
 #include <memory>
 #include <string>
 
+#include "arch/isa.h"
 #include "check/check.h"
 #include "core/harness.h"
 #include "core/parallel.h"
@@ -73,6 +76,7 @@ using namespace hpcsec;
 struct CliOptions {
     std::string workload = "hpcg";
     std::string config = "kitten";
+    arch::Isa isa = arch::Isa::kArm;
     int trials = 3;
     int jobs = 0;  // 0 = one worker per hardware thread
     std::uint64_t seed = 42;
@@ -102,6 +106,7 @@ void usage() {
     std::fprintf(stderr,
                  "usage: hpcsec_cli [--workload hpcg|stream|gups|lu|bt|cg|ep|sp|"
                  "selfish]\n                  [--config native|kitten|linux] "
+                 "[--isa arm|riscv]\n                  "
                  "[--trials N] [--jobs N] [--seed S]\n                  [--seconds S] "
                  "[--super-secondary] [--secure]\n                  "
                  "[--selective-routing] [--tick-hz HZ]\n                  "
@@ -128,6 +133,14 @@ bool parse(int argc, char** argv, CliOptions& opt) {
             const char* v = next();
             if (v == nullptr) return false;
             opt.config = v;
+        } else if (arg == "--isa") {
+            const char* v = next();
+            if (v == nullptr) return false;
+            std::string error;
+            if (!arch::parse_isa(v, opt.isa, error)) {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                return false;
+            }
         } else if (arg == "--trials") {
             const char* v = next();
             if (v == nullptr) return false;
@@ -601,6 +614,7 @@ int main(int argc, char** argv) {
 
     auto factory = [&opt](core::SchedulerKind k, std::uint64_t seed) {
         core::NodeConfig cfg = core::Harness::default_config(k, seed);
+        cfg.platform.isa = opt.isa;
         cfg.with_super_secondary = opt.super_secondary;
         cfg.secure_compute_vm = opt.secure;
         if (opt.selective) cfg.routing = hafnium::IrqRoutingPolicy::kSelective;

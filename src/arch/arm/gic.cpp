@@ -1,4 +1,4 @@
-#include "arch/gic.h"
+#include "arch/arm/gic.h"
 
 #include <stdexcept>
 
@@ -15,13 +15,15 @@ void Gic::enable_irq(int irq) { irqs_.at(irq).enabled = true; }
 void Gic::disable_irq(int irq) { irqs_.at(irq).enabled = false; }
 bool Gic::irq_enabled(int irq) const { return irqs_.at(irq).enabled; }
 
-void Gic::set_spi_target(int irq, CoreId core) {
-    if (irq < kSpiBase) throw std::invalid_argument("set_spi_target: not an SPI");
+void Gic::set_external_target(int irq, CoreId core) {
+    if (irq < kSpiBase) {
+        throw std::invalid_argument("set_external_target: not an SPI");
+    }
     if (core < 0 || core >= ncores()) throw std::invalid_argument("bad core");
     irqs_.at(irq).target = core;
 }
 
-CoreId Gic::spi_target(int irq) const { return irqs_.at(irq).target; }
+CoreId Gic::external_target(int irq) const { return irqs_.at(irq).target; }
 
 void Gic::set_priority(int irq, std::uint8_t prio) { irqs_.at(irq).priority = prio; }
 
@@ -31,25 +33,25 @@ void Gic::make_pending(CoreId core, int irq) {
     if (irqs_.at(irq).enabled && signal_) signal_(core);
 }
 
-void Gic::raise_spi(int irq) {
-    if (irq < kSpiBase) throw std::invalid_argument("raise_spi: not an SPI");
+void Gic::raise_external(int irq) {
+    if (irq < kSpiBase) throw std::invalid_argument("raise_external: not an SPI");
     make_pending(irqs_.at(irq).target, irq);
 }
 
-void Gic::raise_ppi(CoreId core, int irq) {
+void Gic::raise_private(CoreId core, int irq) {
     if (irq < kPpiBase || irq >= kSpiBase) {
         // sca-suppress(no-throw-guest-path): every caller passes a
         // compile-time PPI constant (timer PPIs), never guest input; a bad
         // id is a host wiring bug worth fail-stopping.
-        throw std::invalid_argument("raise_ppi: not a PPI");
+        throw std::invalid_argument("raise_private: not a PPI");
     }
     make_pending(core, irq);
 }
 
-void Gic::send_sgi(CoreId target, int irq) {
+void Gic::send_ipi(CoreId target, int irq) {
     // sca-suppress(no-throw-guest-path): SGI ids come from kernel wakeup
     // constants, never guest registers; a bad id is a host wiring bug.
-    if (irq < 0 || irq >= kPpiBase) throw std::invalid_argument("send_sgi: not an SGI");
+    if (irq < 0 || irq >= kPpiBase) throw std::invalid_argument("send_ipi: not an SGI");
     make_pending(target, irq);
 }
 

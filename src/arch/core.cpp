@@ -2,13 +2,13 @@
 
 namespace hpcsec::arch {
 
-Core::Core(sim::Engine& engine, const PerfModel& perf, Gic& gic, MemoryMap& mem,
-           CoreId id)
+Core::Core(sim::Engine& engine, const PerfModel& perf, IrqController& irqc,
+           MemoryMap& mem, CoreId id, const IrqLayout& layout)
     : engine_(&engine),
-      gic_(&gic),
+      irqc_(&irqc),
       id_(id),
       mmu_(mem),
-      timer_(engine, gic, id),
+      timer_(engine, irqc, id, layout),
       exec_(engine, perf, id) {}
 
 void Core::power_off() {
@@ -30,9 +30,9 @@ void Core::signal_irq() {
 
 void Core::deliver_pending() {
     if (!powered_ || !handler_) return;
-    while (!irq_masked_ && gic_->has_deliverable(id_)) {
-        const int irq = gic_->ack(id_);
-        if (irq == Gic::kSpurious) return;
+    while (!irq_masked_ && irqc_->has_deliverable(id_)) {
+        const int irq = irqc_->ack(id_);
+        if (irq == IrqController::kSpurious) return;
         in_handler_ = true;
         handler_(irq);
         in_handler_ = false;

@@ -1,17 +1,18 @@
-// A CPU core: exception-level state, interrupt line, MMU, timer, executor.
+// A CPU core: privilege-level state, interrupt line, MMU, timer, executor.
 //
 // Software layers (hypervisor, kernels) install the IRQ handler — the model
 // equivalent of owning the exception vector table. Only one handler exists
-// per core at a time: under Hafnium it is the hypervisor's vector (EL2), and
-// guest kernels receive interrupts only via forwarding/injection, exactly as
-// on real hardware.
+// per core at a time: under Hafnium it is the hypervisor's vector (ARM EL2 /
+// RISC-V HS), and guest kernels receive interrupts only via forwarding and
+// injection, exactly as on real hardware.
 #pragma once
 
 #include <functional>
 #include <memory>
 
 #include "arch/exec.h"
-#include "arch/gic.h"
+#include "arch/irq_controller.h"
+#include "arch/isa.h"
 #include "arch/mmu.h"
 #include "arch/timer.h"
 #include "arch/types.h"
@@ -23,12 +24,12 @@ class Core {
 public:
     using IrqHandler = std::function<void(int irq)>;
 
-    Core(sim::Engine& engine, const PerfModel& perf, Gic& gic, MemoryMap& mem,
-         CoreId id);
+    Core(sim::Engine& engine, const PerfModel& perf, IrqController& irqc,
+         MemoryMap& mem, CoreId id, const IrqLayout& layout);
 
     [[nodiscard]] CoreId id() const { return id_; }
 
-    // --- power (PSCI-managed) ----------------------------------------------
+    // --- power (PSCI/SBI-HSM-managed) --------------------------------------
     [[nodiscard]] bool powered() const { return powered_; }
     void power_on() { powered_ = true; }
     void power_off();
@@ -43,11 +44,13 @@ public:
     /// Install the exception-vector owner. Replaces any previous handler.
     void set_irq_handler(IrqHandler handler) { handler_ = std::move(handler); }
 
-    /// PSTATE.I: true masks IRQ delivery. Unmasking drains pending IRQs.
+    /// Interrupt mask bit (ARM PSTATE.I / RISC-V sstatus.SIE): true masks
+    /// IRQ delivery. Unmasking drains pending IRQs.
     void set_irq_masked(bool masked);
     [[nodiscard]] bool irq_masked() const { return irq_masked_; }
 
-    /// Called by the GIC when this core has a deliverable interrupt.
+    /// Called by the interrupt controller when this core has a deliverable
+    /// interrupt.
     void signal_irq();
 
     // --- attached units ---------------------------------------------------------
@@ -55,16 +58,16 @@ public:
     GenericTimer& timer() { return timer_; }
     Executor& exec() { return exec_; }
     const Executor& exec() const { return exec_; }
-    Gic& gic() { return *gic_; }
+    IrqController& irqc() { return *irqc_; }
 
 private:
     void deliver_pending();
 
     sim::Engine* engine_;
-    Gic* gic_;
+    IrqController* irqc_;
     CoreId id_;
     bool powered_ = false;
-    El el_ = El::kEl3;  // reset state: highest implemented EL
+    El el_ = El::kEl3;  // reset state: highest implemented privilege level
     World world_ = World::kNonSecure;
     bool irq_masked_ = true;
     bool in_handler_ = false;

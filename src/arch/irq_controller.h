@@ -1,0 +1,77 @@
+// ISA-generic interrupt-controller interface.
+//
+// Both backends — the ARM GIC (src/arch/arm/) and the RISC-V PLIC+CLINT
+// combination (src/arch/riscv/) — implement the same pending/claim
+// contract over one shared interrupt-id space:
+//   [kIpiBase,      kPrivateBase)   inter-core IPIs (ARM SGIs, RISC-V
+//                                   CLINT software interrupts)
+//   [kPrivateBase,  kExternalBase)  per-core private lines (timer channels;
+//                                   the per-ISA ids live in IrqLayout)
+//   [kExternalBase, ...)            shared device interrupts (ARM SPIs,
+//                                   RISC-V PLIC gateway sources)
+// Keeping the ranges ISA-invariant lets PlatformConfig device tables, the
+// IRQ router and check's vGIC auditor stay backend-agnostic; only the timer
+// ids differ, and those are published through arch::IsaOps.
+//
+// Determinism contract: with uniform priorities, ack() always claims the
+// lowest pending enabled id, and eoi() re-signals while deliverable
+// interrupts remain queued. Both backends honor it, so kernel scheduling
+// order is a pure function of the seed on either ISA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+inline constexpr int kIpiBase = 0;
+inline constexpr int kIpiLimit = 16;
+inline constexpr int kPrivateBase = 16;
+inline constexpr int kExternalBase = 32;
+
+class IrqController {
+public:
+    /// `signal` is invoked when a core has a deliverable pending interrupt
+    /// (the "IRQ line"). The core decides whether its mask bit blocks it.
+    using SignalFn = std::function<void(CoreId core)>;
+
+    /// ack() result when nothing is deliverable (GIC spurious id; the PLIC
+    /// backend reports the same sentinel rather than its native 0).
+    static constexpr int kSpurious = 1023;
+
+    virtual ~IrqController() = default;
+
+    virtual void set_signal(SignalFn fn) = 0;
+
+    // --- distributor / gateway configuration --------------------------------
+    virtual void enable_irq(int irq) = 0;
+    virtual void disable_irq(int irq) = 0;
+    [[nodiscard]] virtual bool irq_enabled(int irq) const = 0;
+    /// External (shared device) routing only; IPIs and private lines are
+    /// inherently per-core.
+    virtual void set_external_target(int irq, CoreId core) = 0;
+    [[nodiscard]] virtual CoreId external_target(int irq) const = 0;
+    virtual void set_priority(int irq, std::uint8_t prio) = 0;
+
+    // --- interrupt generation ------------------------------------------------
+    virtual void raise_external(int irq) = 0;
+    virtual void raise_private(CoreId core, int irq) = 0;
+    virtual void send_ipi(CoreId target, int irq) = 0;  ///< irq in [0, kIpiLimit)
+    /// Clear a level-triggered source before it is acked.
+    virtual void clear_pending(CoreId core, int irq) = 0;
+
+    // --- per-CPU interface ---------------------------------------------------
+    /// Acknowledge/claim the highest-priority pending enabled interrupt for
+    /// `core`. Returns kSpurious when nothing is deliverable.
+    virtual int ack(CoreId core) = 0;
+    virtual void eoi(CoreId core, int irq) = 0;
+    [[nodiscard]] virtual bool has_deliverable(CoreId core) const = 0;
+    [[nodiscard]] virtual int active_irq(CoreId core) const = 0;
+
+    [[nodiscard]] virtual std::uint64_t delivered_count() const = 0;
+    [[nodiscard]] virtual int ncores() const = 0;
+};
+
+}  // namespace hpcsec::arch

@@ -96,7 +96,9 @@ Translation Mmu::translate_uncached(VirtAddr va, Access access) {
         const WalkResult s1 = stage1_->walk(va);
         // Each stage-1 table access is itself an IPA that needs stage-2
         // translation under virtualization: the classic nested-walk blowup.
-        const int s2_per_access = stage2_ != nullptr ? kPtLevels : 0;
+        // The multiplier is the stage-2 format's depth (4 on ARMv8, 3 on
+        // Sv39x4), so the blowup scales with the configured ISA.
+        const int s2_per_access = stage2_ != nullptr ? stage2_->format().levels : 0;
         t.table_accesses += s1.table_accesses * (1 + s2_per_access);
         if (s1.fault != FaultKind::kNone) {
             t.fault = s1.fault;

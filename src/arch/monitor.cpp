@@ -40,7 +40,9 @@ PsciResult SecureMonitor::cpu_on(CoreId target, CpuEntry entry) {
     Core& core = *cores_[static_cast<std::size_t>(target)];
     if (core.powered()) return PsciResult::kAlreadyOn;
     core.power_on();
-    core.set_el(El::kEl2);  // cores enter the hypervisor first on ARMv8 boot
+    // Cores enter the hypervisor privilege level first on boot (ARM EL2 /
+    // RISC-V HS), matching ARMv8 EL2-entry and SBI HSM hart_start semantics.
+    core.set_el(El::kEl2);
     if (entry) entry(core);
     return PsciResult::kSuccess;
 }

@@ -4,6 +4,17 @@
 
 namespace hpcsec::arch {
 
+namespace {
+// Block-mapping spans shared by both backends: ARM level-1/level-2 blocks
+// and Sv39 giga/megapages are the same 1 GiB / 2 MiB shapes.
+constexpr std::uint64_t kBlockSpanGiB = 1ull << 30;
+constexpr std::uint64_t kBlockSpanMiB2 = 1ull << 21;
+
+constexpr bool block_span(std::uint64_t span) {
+    return span == kBlockSpanGiB || span == kBlockSpanMiB2;
+}
+}  // namespace
+
 struct PageTable::Entry {
     enum class Kind : std::uint8_t { kInvalid, kTable, kLeaf } kind = Kind::kInvalid;
     std::uint64_t out = 0;       // leaf: output base
@@ -13,16 +24,25 @@ struct PageTable::Entry {
 };
 
 struct PageTable::Node {
-    std::array<Entry, kPtEntries> entries{};
+    // Sized per level at construction: the format's root may be wider than
+    // the inner levels (Sv39x4's 2048-entry concatenated root).
+    std::vector<Entry> entries;
 };
 
-PageTable::PageTable() : root_(std::make_unique<Node>()), node_count_(1) {}
+std::unique_ptr<PageTable::Node> PageTable::make_node(int level) const {
+    auto node = std::make_unique<Node>();
+    node->entries.resize(fmt_.entries(level));
+    return node;
+}
+
+PageTable::PageTable(PtFormat format)
+    : fmt_(format), root_(make_node(0)), node_count_(1) {}
 PageTable::~PageTable() = default;
 PageTable::PageTable(PageTable&&) noexcept = default;
 PageTable& PageTable::operator=(PageTable&&) noexcept = default;
 
 PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index,
-                                         int /*child_level*/) {
+                                         int child_level) {
     Entry& e = parent.entries[index];
     if (e.kind == Entry::Kind::kLeaf) {
         throw std::logic_error("PageTable: mapping overlaps existing block entry");
@@ -32,7 +52,7 @@ PageTable::Node* PageTable::ensure_child(Node& parent, std::uint64_t index,
         // sca-suppress(hot-path-alloc): table nodes are built on the
         // control-plane map/donate/share calls; steady state has no
         // stage-2 churn.
-        e.child = std::make_unique<Node>();
+        e.child = make_node(child_level);
         ++node_count_;
     }
     return e.child.get();
@@ -44,8 +64,8 @@ void PageTable::map(std::uint64_t in_base, std::uint64_t out_base, std::uint64_t
     if ((in_base | out_base | size) & kPageMask) {
         throw std::invalid_argument("PageTable::map: unaligned arguments");
     }
-    if (in_base + size > (1ull << kInputAddrBits)) {
-        throw std::invalid_argument("PageTable::map: input beyond 48-bit range");
+    if (in_base + size > fmt_.input_limit()) {
+        throw std::invalid_argument("PageTable::map: input beyond address range");
     }
     map_range(*root_, 0, in_base, out_base, size, perms, secure, force_pages);
 }
@@ -53,20 +73,24 @@ void PageTable::map(std::uint64_t in_base, std::uint64_t out_base, std::uint64_t
 void PageTable::map_range(Node& node, int level, std::uint64_t in, std::uint64_t out,
                           std::uint64_t size, std::uint8_t perms, bool secure,
                           bool force_pages) {
-    const std::uint64_t span = level_span(level);
+    const std::uint64_t span = fmt_.span(level);
     std::uint64_t remaining = size;
     while (remaining > 0) {
-        const std::uint64_t idx = level_index(in, level);
+        const std::uint64_t idx = fmt_.index(in, level);
         Entry& e = node.entries[idx];
         const std::uint64_t entry_base = in & ~(span - 1);
         const std::uint64_t within = in - entry_base;
         const std::uint64_t chunk = std::min(remaining, span - within);
 
+        // ARM: 1 GiB (level 1) and 2 MiB (level 2) blocks. Sv39: gigapages
+        // (root) and megapages (level 1). block_span() excludes the ARM
+        // 512 GiB root span, so the predicate is shape-based, not
+        // level-number based.
         const bool block_allowed =
-            !force_pages && (level == 1 || level == 2) && within == 0 &&
-            chunk == span && (out & (span - 1)) == 0;
+            !force_pages && level < fmt_.levels - 1 && block_span(span) &&
+            within == 0 && chunk == span && (out & (span - 1)) == 0;
 
-        if (level == kPtLevels - 1 || block_allowed) {
+        if (level == fmt_.levels - 1 || block_allowed) {
             if (e.kind != Entry::Kind::kInvalid) {
                 throw std::logic_error("PageTable: mapping overlaps existing entry");
             }
@@ -75,7 +99,7 @@ void PageTable::map_range(Node& node, int level, std::uint64_t in, std::uint64_t
             e.perms = perms;
             e.secure = secure;
             ++mapping_count_;
-            mapped_bytes_ += (level == kPtLevels - 1) ? kPageSize : span;
+            mapped_bytes_ += (level == fmt_.levels - 1) ? kPageSize : span;
         } else {
             Node* child = ensure_child(node, idx, level + 1);
             map_range(*child, level + 1, in, out, chunk, perms, secure, force_pages);
@@ -98,14 +122,15 @@ void PageTable::split_block(Entry& e, int level) {
     // Break-before-make: replace a block leaf with a table of next-level
     // leaves covering the same range (what a real hypervisor does before
     // changing a sub-range of a block mapping).
-    if (e.kind != Entry::Kind::kLeaf || level >= kPtLevels - 1) {
+    if (e.kind != Entry::Kind::kLeaf || level >= fmt_.levels - 1) {
         throw std::logic_error("PageTable::split_block: not a splittable block");
     }
     // sca-suppress(hot-path-alloc): block splits happen on control-plane
     // unmap/remap calls, not per-event steady state.
-    auto child = std::make_unique<Node>();
-    const std::uint64_t child_span = level_span(level + 1);
-    for (std::uint64_t i = 0; i < kPtEntries; ++i) {
+    auto child = make_node(level + 1);
+    const std::uint64_t child_span = fmt_.span(level + 1);
+    const std::uint64_t child_entries = fmt_.entries(level + 1);
+    for (std::uint64_t i = 0; i < child_entries; ++i) {
         Entry& sub = child->entries[i];
         sub.kind = Entry::Kind::kLeaf;
         sub.out = e.out + i * child_span;
@@ -116,21 +141,22 @@ void PageTable::split_block(Entry& e, int level) {
     e.out = 0;
     e.child = std::move(child);
     ++node_count_;
-    mapping_count_ += kPtEntries - 1;  // one block leaf became 512 leaves
+    mapping_count_ += child_entries - 1;  // one block leaf became N leaves
 }
 
 void PageTable::unmap_range(Node& node, int level, std::uint64_t in, std::uint64_t size) {
-    const std::uint64_t span = level_span(level);
+    const std::uint64_t span = fmt_.span(level);
     std::uint64_t remaining = size;
     while (remaining > 0) {
-        const std::uint64_t idx = level_index(in, level);
+        const std::uint64_t idx = fmt_.index(in, level);
         Entry& e = node.entries[idx];
         const std::uint64_t entry_base = in & ~(span - 1);
         const std::uint64_t within = in - entry_base;
         const std::uint64_t chunk = std::min(remaining, span - within);
 
         if (e.kind == Entry::Kind::kLeaf) {
-            const std::uint64_t leaf_bytes = (level == kPtLevels - 1) ? kPageSize : span;
+            const std::uint64_t leaf_bytes =
+                (level == fmt_.levels - 1) ? kPageSize : span;
             if (within != 0 || chunk != leaf_bytes) {
                 // Partial unmap of a block: split and recurse.
                 split_block(e, level);
@@ -158,17 +184,18 @@ void PageTable::protect(std::uint64_t in_base, std::uint64_t size, std::uint8_t 
 
 void PageTable::protect_range(Node& node, int level, std::uint64_t in,
                               std::uint64_t size, std::uint8_t perms) {
-    const std::uint64_t span = level_span(level);
+    const std::uint64_t span = fmt_.span(level);
     std::uint64_t remaining = size;
     while (remaining > 0) {
-        const std::uint64_t idx = level_index(in, level);
+        const std::uint64_t idx = fmt_.index(in, level);
         Entry& e = node.entries[idx];
         const std::uint64_t entry_base = in & ~(span - 1);
         const std::uint64_t within = in - entry_base;
         const std::uint64_t chunk = std::min(remaining, span - within);
 
         if (e.kind == Entry::Kind::kLeaf) {
-            const std::uint64_t leaf_bytes = (level == kPtLevels - 1) ? kPageSize : span;
+            const std::uint64_t leaf_bytes =
+                (level == fmt_.levels - 1) ? kPageSize : span;
             if (within != 0 || chunk != leaf_bytes) {
                 // Partial protect of a block: split and recurse.
                 split_block(e, level);
@@ -188,14 +215,14 @@ void PageTable::protect_range(Node& node, int level, std::uint64_t in,
 
 WalkResult PageTable::walk(std::uint64_t addr) const {
     WalkResult r;
-    if (addr >= (1ull << kInputAddrBits)) {
+    if (addr >= fmt_.input_limit()) {
         r.fault = FaultKind::kAddressSize;
         return r;
     }
     const Node* node = root_.get();
-    for (int level = 0; level < kPtLevels; ++level) {
+    for (int level = 0; level < fmt_.levels; ++level) {
         ++r.table_accesses;
-        const Entry& e = node->entries[level_index(addr, level)];
+        const Entry& e = node->entries[fmt_.index(addr, level)];
         switch (e.kind) {
             case Entry::Kind::kInvalid:
                 r.fault = FaultKind::kTranslation;
@@ -203,7 +230,7 @@ WalkResult PageTable::walk(std::uint64_t addr) const {
                 return r;
             case Entry::Kind::kLeaf: {
                 const std::uint64_t span =
-                    (level == kPtLevels - 1) ? kPageSize : level_span(level);
+                    (level == fmt_.levels - 1) ? kPageSize : fmt_.span(level);
                 r.out = e.out + (addr & (span - 1));
                 r.perms = e.perms;
                 r.secure = e.secure;
@@ -227,15 +254,16 @@ void PageTable::for_each_mapping(
 void PageTable::visit_mappings(
     const Node& node, int level, std::uint64_t in_base,
     const std::function<void(const MappingView&)>& fn) const {
-    const std::uint64_t span = level_span(level);
-    for (std::uint64_t i = 0; i < kPtEntries; ++i) {
+    const std::uint64_t span = fmt_.span(level);
+    const std::uint64_t nentries = fmt_.entries(level);
+    for (std::uint64_t i = 0; i < nentries; ++i) {
         const Entry& e = node.entries[i];
         const std::uint64_t in = in_base + i * span;
         switch (e.kind) {
             case Entry::Kind::kInvalid:
                 break;
             case Entry::Kind::kLeaf:
-                fn({in, e.out, (level == kPtLevels - 1) ? kPageSize : span,
+                fn({in, e.out, (level == fmt_.levels - 1) ? kPageSize : span,
                     e.perms, e.secure});
                 break;
             case Entry::Kind::kTable:

@@ -1,35 +1,82 @@
-// Four-level ARMv8-style translation tables (4 KiB granule, 48-bit input).
+// Radix translation tables, parameterized by an ISA page-table format.
 //
 // The same structure serves stage-1 (VA -> IPA, owned by a guest kernel) and
-// stage-2 (IPA -> PA, owned by the hypervisor). Block mappings at level 1
-// (1 GiB) and level 2 (2 MiB) are supported, mirroring how Hafnium maps VM
-// memory with the largest possible blocks.
+// stage-2 (IPA -> PA, owned by the hypervisor) on either backend:
+//   ARMv8 4 KiB granule: 4 levels x 9 bits, 48-bit input (the default).
+//   RISC-V Sv39:         3 levels x 9 bits, 39-bit input (stage-1).
+//   RISC-V Sv39x4:       3 levels, 11-bit root index, 41-bit input
+//                        (H-extension guest-physical stage-2).
+// Block mappings are supported wherever the format has a 1 GiB or 2 MiB
+// entry span (ARM levels 1/2; Sv39 giga/megapages), mirroring how Hafnium
+// maps VM memory with the largest possible blocks.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "arch/types.h"
 
 namespace hpcsec::arch {
 
+// Legacy ARMv8 constants; prefer PtFormat for new code.
 inline constexpr int kPtLevels = 4;
 inline constexpr int kPtBitsPerLevel = 9;
 inline constexpr std::uint64_t kPtEntries = 1ull << kPtBitsPerLevel;  // 512
 inline constexpr std::uint64_t kInputAddrBits = 48;
 
-/// Size of the region covered by one entry at `level` (0 = top).
+/// Geometry of one translation-table format: how many radix levels, the
+/// index width per level (the root may be wider, as in Sv39x4's 2048-entry
+/// concatenated root), and the input-address size the walker enforces.
+struct PtFormat {
+    int levels = 4;
+    int bits_per_level = 9;
+    int root_bits = 9;
+    int input_bits = 48;
+
+    /// Entries in a table node at `level` (0 = root).
+    [[nodiscard]] constexpr std::uint64_t entries(int level) const {
+        return 1ull << (level == 0 ? root_bits : bits_per_level);
+    }
+
+    /// Size of the region covered by one entry at `level`.
+    [[nodiscard]] constexpr std::uint64_t span(int level) const {
+        return 1ull << (kPageShift +
+                        static_cast<std::uint64_t>(bits_per_level) *
+                            static_cast<std::uint64_t>(levels - 1 - level));
+    }
+
+    /// Index into the table at `level` for input address `a`.
+    [[nodiscard]] constexpr std::uint64_t index(std::uint64_t a, int level) const {
+        return (a >> (kPageShift + static_cast<std::uint64_t>(bits_per_level) *
+                                       static_cast<std::uint64_t>(levels - 1 - level))) &
+               (entries(level) - 1);
+    }
+
+    [[nodiscard]] constexpr std::uint64_t input_limit() const {
+        return 1ull << input_bits;
+    }
+
+    /// ARMv8-A 4 KiB granule, 48-bit VA/IPA (stage-1 and stage-2 alike).
+    [[nodiscard]] static constexpr PtFormat armv8_4k() { return {4, 9, 9, 48}; }
+    /// RISC-V Sv39: 3 x 9-bit levels over a 39-bit VA.
+    [[nodiscard]] static constexpr PtFormat sv39() { return {3, 9, 9, 39}; }
+    /// RISC-V Sv39x4: stage-2 guest-physical format — the root is four
+    /// concatenated Sv39 tables (11 index bits, 2048 entries) giving a
+    /// 41-bit guest-physical address space.
+    [[nodiscard]] static constexpr PtFormat sv39x4() { return {3, 9, 11, 41}; }
+};
+
+/// Size of the region covered by one entry at `level` (ARMv8 default format).
 [[nodiscard]] constexpr std::uint64_t level_span(int level) {
-    return 1ull << (kPageShift + kPtBitsPerLevel * (kPtLevels - 1 - level));
+    return PtFormat::armv8_4k().span(level);
 }
 
-/// Index into the table at `level` for input address `a`.
+/// Index into the table at `level` for input address `a` (ARMv8 default).
 [[nodiscard]] constexpr std::uint64_t level_index(std::uint64_t a, int level) {
-    return (a >> (kPageShift + kPtBitsPerLevel * (kPtLevels - 1 - level))) &
-           (kPtEntries - 1);
+    return PtFormat::armv8_4k().index(a, level);
 }
 
 struct WalkResult {
@@ -43,12 +90,14 @@ struct WalkResult {
 
 class PageTable {
 public:
-    PageTable();
+    explicit PageTable(PtFormat format = PtFormat::armv8_4k());
     ~PageTable();
     PageTable(PageTable&&) noexcept;
     PageTable& operator=(PageTable&&) noexcept;
     PageTable(const PageTable&) = delete;
     PageTable& operator=(const PageTable&) = delete;
+
+    [[nodiscard]] const PtFormat& format() const { return fmt_; }
 
     /// Map [in_base, in_base+size) to [out_base, ...) with `perms`.
     /// Uses 1 GiB / 2 MiB blocks where alignment allows unless
@@ -84,7 +133,7 @@ public:
     void for_each_mapping(const std::function<void(const MappingView&)>& fn) const;
 
     /// Number of live table nodes (root included) — i.e. translation-table
-    /// memory footprint in 4 KiB units.
+    /// memory footprint in page units.
     [[nodiscard]] std::uint64_t node_count() const { return node_count_; }
 
     /// Number of terminal (page or block) mappings.
@@ -97,6 +146,7 @@ private:
     struct Entry;
     struct Node;
 
+    [[nodiscard]] std::unique_ptr<Node> make_node(int level) const;
     Node* ensure_child(Node& parent, std::uint64_t index, int child_level);
     void split_block(Entry& e, int level);
     void map_range(Node& node, int level, std::uint64_t in, std::uint64_t out,
@@ -108,6 +158,7 @@ private:
     void visit_mappings(const Node& node, int level, std::uint64_t in_base,
                         const std::function<void(const MappingView&)>& fn) const;
 
+    PtFormat fmt_;
     std::unique_ptr<Node> root_;
     std::uint64_t node_count_ = 0;
     std::uint64_t mapping_count_ = 0;

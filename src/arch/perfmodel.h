@@ -31,12 +31,12 @@ struct WorkProfile {
 
 struct PerfModel {
     // --- trap / switch path costs -----------------------------------------
-    sim::Cycles irq_entry_exit_el1 = 400;    ///< native kernel IRQ prologue+epilogue
-    sim::Cycles trap_to_el2 = 700;           ///< guest exit to the hypervisor
-    sim::Cycles world_switch = 2600;         ///< full VM context switch through EL2
-    sim::Cycles hypercall_roundtrip = 1100;  ///< EL1 -> EL2 -> EL1, no VM switch
-    sim::Cycles virq_inject = 350;           ///< para-virtual GIC injection
-    sim::Cycles smc_roundtrip = 900;         ///< EL3 secure-monitor call
+    sim::Cycles irq_entry_exit_kernel = 400;  ///< native kernel IRQ prologue+epilogue
+    sim::Cycles trap_to_hyp = 700;            ///< guest exit to the hypervisor (EL2/HS)
+    sim::Cycles world_switch = 2600;          ///< full VM context switch through the hyp
+    sim::Cycles hypercall_roundtrip = 1100;   ///< kernel -> hyp -> kernel, no VM switch
+    sim::Cycles virq_inject = 350;            ///< para-virtual interrupt injection
+    sim::Cycles smc_roundtrip = 900;          ///< monitor (EL3/M-mode firmware) call
     sim::Cycles thread_switch = 800;         ///< same-kernel context switch
 
     // --- translation costs --------------------------------------------------

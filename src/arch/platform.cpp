@@ -104,7 +104,8 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
         mem_.add_region({d.name, d.base, d.size, RegionKind::kMmio, World::kNonSecure});
     }
 
-    gic_ = std::make_unique<Gic>(config_.ncores);
+    ops_ = &IsaOps::get(config_.isa);
+    irqc_ = ops_->make_irq_controller(config_.ncores);
     obs_.recorder.set_mask(config_.obs_mask);
     obs_.recorder.set_mirror(&trace_);
     if (config_.profile) {
@@ -124,14 +125,15 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
     std::vector<Core*> core_ptrs;
     core_ptrs.reserve(static_cast<std::size_t>(config_.ncores));
     for (int i = 0; i < config_.ncores; ++i) {
-        Core* c = new (&cores_[i]) Core(engine_, config_.perf, *gic_, mem_, i);
+        Core* c = new (&cores_[i])
+            Core(engine_, config_.perf, *irqc_, mem_, i, ops_->irq);
         arena_->register_destructor(c);
         core_ptrs.push_back(c);
         c->exec().set_recorder(&obs_.recorder);
         c->exec().set_chunk_metrics(&obs_.metrics, chunk_hist);
         if (config_.profile) c->exec().set_profiler(&obs_.profiler);
     }
-    gic_->set_signal([this](CoreId id) { cores_[id].signal_irq(); });
+    irqc_->set_signal([this](CoreId id) { cores_[id].signal_irq(); });
     monitor_ = std::make_unique<SecureMonitor>(std::move(core_ptrs));
 
     // Integrity-tag shootdown: every tag flip broadcasts a full TLBI to all
@@ -147,7 +149,7 @@ Platform::Platform(PlatformConfig config, std::uint64_t seed)
     for (const auto& d : config_.devices) {
         if (d.name.find("uart") != std::string::npos ||
             d.name.find("pl011") != std::string::npos) {
-            uart_ = std::make_unique<Uart>(mem_, gic_.get(), d.base);
+            uart_ = std::make_unique<Uart>(mem_, irqc_.get(), d.base);
             break;
         }
     }
@@ -161,7 +163,7 @@ void Platform::build_device_tree() {
     for (int i = 0; i < config_.ncores; ++i) {
         auto& cpu = cpus.add_child("cpu@" + std::to_string(i));
         cpu.set("reg", static_cast<std::uint64_t>(i));
-        cpu.set("compatible", std::string("arm,cortex-a53"));
+        cpu.set("compatible", std::string(ops_->cpu_compatible));
         cpu.set("clock-frequency", config_.clock_hz);
     }
     auto& memory = dt_.add_child("memory");

@@ -1,9 +1,11 @@
 // Machine assembly: everything below the software stack.
 //
-// A Platform owns the simulation engine, physical memory, GIC, cores
-// (MMU + timer + executor each), and the EL3 monitor — the pieces a real
-// SoC provides. Presets mirror the hardware the paper used: the Pine
-// A64-LTS evaluation board and the QEMU virt profile Kitten also supports.
+// A Platform owns the simulation engine, physical memory, the interrupt
+// controller (GIC or PLIC, per the configured ISA), cores (MMU + timer +
+// executor each), and the monitor — the pieces a real SoC provides. Presets
+// mirror the hardware the paper used: the Pine A64-LTS evaluation board and
+// the QEMU virt profile Kitten also supports; any preset can be re-based
+// onto the RISC-V backend by setting PlatformConfig::isa.
 #pragma once
 
 #include <memory>
@@ -13,7 +15,8 @@
 
 #include "arch/core.h"
 #include "arch/devicetree.h"
-#include "arch/gic.h"
+#include "arch/irq_controller.h"
+#include "arch/isa.h"
 #include "arch/memory_map.h"
 #include "arch/monitor.h"
 #include "arch/perfmodel.h"
@@ -30,11 +33,15 @@ struct MmioDevice {
     std::string name;
     PhysAddr base;
     std::uint64_t size;
-    int spi = -1;  ///< SPI interrupt number, -1 if none
+    int spi = -1;  ///< external interrupt number (>= kExternalBase), -1 if none
 };
 
 struct PlatformConfig {
     std::string name = "pine-a64-lts";
+    /// Instruction-set backend. Device interrupt numbers are ISA-invariant
+    /// (the id ranges in irq_controller.h are shared), so the same preset
+    /// works on either backend.
+    Isa isa = Isa::kArm;
     int ncores = 4;
     std::uint64_t clock_hz = 1'100'000'000;  // Cortex-A53 @ 1.1 GHz
     PhysAddr ram_base = 0x4000'0000;
@@ -86,9 +93,12 @@ public:
     obs::CycleProfiler& profiler() { return obs_.profiler; }
     obs::FlightRecorder& flight() { return obs_.flight; }
     MemoryMap& mem() { return mem_; }
-    Gic& gic() { return *gic_; }
+    IrqController& irqc() { return *irqc_; }
     SecureMonitor& monitor() { return *monitor_; }
     const PerfModel& perf() const { return config_.perf; }
+    /// The per-ISA operations table (privilege names, timer line ids,
+    /// translation formats) for this platform's configured backend.
+    [[nodiscard]] const IsaOps& isa_ops() const { return *ops_; }
 
     [[nodiscard]] int ncores() const { return config_.ncores; }
     Core& core(CoreId id) {
@@ -129,7 +139,8 @@ private:
     // its destructor runs the registered Core destructors last.
     sim::Arena own_arena_;
     sim::Arena* arena_ = nullptr;
-    std::unique_ptr<Gic> gic_;
+    const IsaOps* ops_ = nullptr;
+    std::unique_ptr<IrqController> irqc_;
     Core* cores_ = nullptr;  ///< contiguous array of config_.ncores, arena-owned
     std::unique_ptr<SecureMonitor> monitor_;
     std::unique_ptr<Uart> uart_;

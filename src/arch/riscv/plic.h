@@ -1,0 +1,106 @@
+// RISC-V PLIC + CLINT interrupt-controller model — the RISC-V backend of
+// arch::IrqController.
+//
+// Real hardware splits delivery between two blocks: the CLINT raises
+// software (IPI) and timer interrupts directly per hart, while the PLIC
+// gateways shared external sources and arbitrates claim/complete per
+// context. This model folds both into one object behind the generic id
+// layout from arch/irq_controller.h:
+//   0..15   CLINT software interrupts (the IPI range)
+//   16..31  per-hart private lines (STI/VSTI/MTI timer ids live here)
+//   32..    PLIC gateway sources (external devices)
+// External routing is modeled as a single claiming hart per source — the
+// way kernels program PLIC enable bits for affinity — so PlatformConfig
+// device tables carry the same ids on either ISA.
+//
+// Claim semantics follow the PLIC spec: highest priority wins and ties
+// break toward the lowest id (the opposite comparison direction from the
+// GIC, where lower priority values win). With the uniform default
+// priorities both backends claim the lowest pending enabled id, which is
+// what keeps same-seed runs deterministic across ISAs.
+//
+// Backend header: only src/arch/ may include this (sca rule isa-portability).
+// Everything else reaches it through IsaOps::make_irq_controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/irq_bitset.h"
+#include "arch/irq_controller.h"
+#include "arch/types.h"
+
+namespace hpcsec::arch {
+
+// RISC-V timer line ids inside the private range (published via IsaOps::irq).
+// These are model-local ids, not mcause codes: the CLINT lines are folded
+// into the generic private range so the timer plumbing is ISA-invariant.
+inline constexpr int kIrqSupervisorTimer = 21;  ///< STI: HS/kernel timer
+inline constexpr int kIrqVsTimer = 22;          ///< VSTI: guest virtual timer
+inline constexpr int kIrqMachineTimer = 23;     ///< MTI: firmware/hyp timer
+
+class Plic final : public IrqController {
+public:
+    explicit Plic(int ncores, int nsources = 224);
+
+    void set_signal(SignalFn fn) override { signal_ = std::move(fn); }
+
+    // --- gateway / enable configuration -------------------------------------
+    void enable_irq(int irq) override;
+    void disable_irq(int irq) override;
+    [[nodiscard]] bool irq_enabled(int irq) const override;
+    /// External (PLIC gateway) routing only; CLINT lines are per-hart.
+    void set_external_target(int irq, CoreId core) override;
+    [[nodiscard]] CoreId external_target(int irq) const override;
+    void set_priority(int irq, std::uint8_t prio) override;
+
+    // --- interrupt generation ------------------------------------------------
+    void raise_external(int irq) override;
+    void raise_private(CoreId core, int irq) override;
+    void send_ipi(CoreId target, int irq) override;  ///< irq in [0,16)
+    /// Drop a level-triggered source before it is claimed.
+    void clear_pending(CoreId core, int irq) override;
+
+    // --- per-hart interface --------------------------------------------------
+    /// Claim the highest-priority pending enabled interrupt for `core`
+    /// (ties break to the lowest id, per the PLIC spec). Returns the
+    /// generic kSpurious sentinel — not the PLIC's native 0 — when nothing
+    /// is deliverable, so core dispatch loops are backend-agnostic.
+    int ack(CoreId core) override;
+    /// PLIC "complete": reopens the gateway and re-signals if more
+    /// deliverable interrupts are queued.
+    void eoi(CoreId core, int irq) override;
+    [[nodiscard]] bool has_deliverable(CoreId core) const override;
+    [[nodiscard]] int active_irq(CoreId core) const override {
+        return harts_[core].active;
+    }
+
+    [[nodiscard]] std::uint64_t delivered_count() const override {
+        return delivered_;
+    }
+    [[nodiscard]] int ncores() const override {
+        return static_cast<int>(harts_.size());
+    }
+
+private:
+    struct SourceState {
+        bool enabled = false;
+        std::uint8_t priority = 1;  // PLIC: higher wins; 1 is the uniform default
+        CoreId target = 0;          // external sources only
+    };
+    struct HartState {
+        // Pending per-hart (CLINT lines and routed gateway sources) as a
+        // bitmap, mirroring the Gic backend's zero-alloc representation.
+        IrqBitset pending;
+        int active = kSpurious;
+    };
+
+    void make_pending(CoreId core, int irq);
+
+    std::vector<SourceState> sources_;
+    std::vector<HartState> harts_;
+    SignalFn signal_;
+    std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hpcsec::arch

@@ -2,8 +2,9 @@
 
 namespace hpcsec::arch {
 
-GenericTimer::GenericTimer(sim::Engine& engine, Gic& gic, CoreId core)
-    : engine_(&engine), gic_(&gic), core_(core) {}
+GenericTimer::GenericTimer(sim::Engine& engine, IrqController& irqc, CoreId core,
+                           const IrqLayout& layout)
+    : engine_(&engine), irqc_(&irqc), core_(core), layout_(layout) {}
 
 sim::SimTime GenericTimer::counter() const { return engine_->now(); }
 
@@ -45,7 +46,8 @@ void GenericTimer::fire(TimerChannel ch) {
     c.armed = false;
     c.deadline = sim::kTimeNever;
     ++c.fired;
-    gic_->raise_ppi(core_, ch == TimerChannel::kPhys ? kIrqPhysTimer : kIrqVirtTimer);
+    irqc_->raise_private(core_, ch == TimerChannel::kPhys ? layout_.phys_timer
+                                                         : layout_.virt_timer);
 }
 
 }  // namespace hpcsec::arch

@@ -1,16 +1,19 @@
-// ARM generic timer model: per-core physical and virtual channels.
+// Guest timer model: per-core physical and virtual channels.
 //
-// The physical channel (PPI 30) belongs to whoever owns the hardware — the
-// native kernel, or the primary VM under Hafnium (the paper: "the Kitten
-// Primary VM requires that all hardware timer interrupts be routed directly
-// to it"). The virtual channel (PPI 27) is what Hafnium exposes to secondary
-// VMs as their "dedicated virtual architectural timer channel".
+// The physical channel belongs to whoever owns the hardware — the native
+// kernel, or the primary VM under Hafnium (the paper: "the Kitten Primary VM
+// requires that all hardware timer interrupts be routed directly to it").
+// The virtual channel is what Hafnium exposes to secondary VMs as their
+// "dedicated virtual architectural timer channel". On ARM these are the
+// generic-timer PPIs 30/27; on RISC-V the STI/VSTI lines — the per-ISA line
+// ids arrive via IrqLayout, the cadence logic is identical.
 #pragma once
 
 #include <array>
 #include <cstdint>
 
-#include "arch/gic.h"
+#include "arch/irq_controller.h"
+#include "arch/isa.h"
 #include "arch/types.h"
 #include "sim/engine.h"
 
@@ -23,15 +26,16 @@ enum class TimerChannel : int {
 
 class GenericTimer {
 public:
-    GenericTimer(sim::Engine& engine, Gic& gic, CoreId core);
+    GenericTimer(sim::Engine& engine, IrqController& irqc, CoreId core,
+                 const IrqLayout& layout);
 
-    /// System counter value (== simulated cycles; CNTFRQ == CPU clock here).
+    /// System counter value (== simulated cycles; counter freq == CPU clock).
     [[nodiscard]] sim::SimTime counter() const;
 
     /// Program the compare register: fire at absolute time `deadline`.
     void set_deadline(TimerChannel ch, sim::SimTime deadline);
 
-    /// Disable the channel (CNTx_CTL.ENABLE = 0).
+    /// Disable the channel (compare-register ENABLE = 0).
     void cancel(TimerChannel ch);
 
     [[nodiscard]] bool armed(TimerChannel ch) const;
@@ -43,8 +47,9 @@ private:
     void fire(TimerChannel ch);
 
     sim::Engine* engine_;
-    Gic* gic_;
+    IrqController* irqc_;
     CoreId core_;
+    IrqLayout layout_;
 
     struct Channel {
         sim::EventId event;

@@ -35,12 +35,15 @@ inline constexpr std::uint64_t kPageMask = kPageSize - 1;
 }
 [[nodiscard]] constexpr std::uint64_t page_index(std::uint64_t a) { return a >> kPageShift; }
 
-/// ARMv8 exception levels.
+/// Privilege levels, named after the ARMv8 exception-level ladder but
+/// ISA-generic: the RISC-V H-extension modes map onto the same four rungs
+/// (U -> kEl0, VS -> kEl1, HS -> kEl2, M -> kEl3). Backends publish their
+/// native names via arch::IsaOps::priv_name.
 enum class El : std::uint8_t {
-    kEl0 = 0,  ///< user space
-    kEl1 = 1,  ///< OS kernel
-    kEl2 = 2,  ///< hypervisor (Hafnium / SPM)
-    kEl3 = 3,  ///< secure monitor (Trusted Firmware)
+    kEl0 = 0,  ///< user space (ARM EL0 / RISC-V U)
+    kEl1 = 1,  ///< guest OS kernel (ARM EL1 / RISC-V VS)
+    kEl2 = 2,  ///< hypervisor — Hafnium/SPM (ARM EL2 / RISC-V HS)
+    kEl3 = 3,  ///< monitor/firmware (ARM EL3+TF-A / RISC-V M+SBI)
 };
 
 /// TrustZone security state.

@@ -2,8 +2,8 @@
 
 namespace hpcsec::arch {
 
-Uart::Uart(MemoryMap& mem, Gic* gic, PhysAddr base, int tx_spi)
-    : gic_(gic), tx_spi_(tx_spi) {
+Uart::Uart(MemoryMap& mem, IrqController* irqc, PhysAddr base, int tx_spi)
+    : irqc_(irqc), tx_spi_(tx_spi) {
     MemoryMap::MmioHandler handler;
     handler.read = [](std::uint64_t offset) -> std::uint64_t {
         if (offset == kFlagReg) return kFlagTxReady;  // TX FIFO never fills
@@ -13,7 +13,7 @@ Uart::Uart(MemoryMap& mem, Gic* gic, PhysAddr base, int tx_spi)
         if (offset != kDataReg) return;
         output_.push_back(static_cast<char>(value & 0xff));
         ++tx_count_;
-        if (gic_ != nullptr && tx_spi_ >= 0) gic_->raise_spi(tx_spi_);
+        if (irqc_ != nullptr && tx_spi_ >= 0) irqc_->raise_external(tx_spi_);
     };
     mem.register_mmio(base, std::move(handler));
 }

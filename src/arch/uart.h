@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <string>
 
-#include "arch/gic.h"
+#include "arch/irq_controller.h"
 #include "arch/memory_map.h"
 #include "arch/types.h"
 
@@ -25,15 +25,16 @@ public:
     static constexpr std::uint64_t kFlagTxReady = 0x80;
 
     /// Attach to the platform memory map at `base` (must be an MMIO region
-    /// base). When `tx_spi` >= 0 every transmitted byte raises that SPI.
-    Uart(MemoryMap& mem, Gic* gic, PhysAddr base, int tx_spi = -1);
+    /// base). When `tx_spi` >= 0 every transmitted byte raises that
+    /// external interrupt line.
+    Uart(MemoryMap& mem, IrqController* irqc, PhysAddr base, int tx_spi = -1);
 
     [[nodiscard]] const std::string& output() const { return output_; }
     void clear_output() { output_.clear(); }
     [[nodiscard]] std::uint64_t bytes_transmitted() const { return tx_count_; }
 
 private:
-    Gic* gic_;
+    IrqController* irqc_;
     int tx_spi_;
     std::string output_;
     std::uint64_t tx_count_ = 0;

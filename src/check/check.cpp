@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
-#include "arch/gic.h"
+#include "arch/isa.h"
 #include "arch/memory_map.h"
 #include "arch/platform.h"
 #include "obs/events.h"
@@ -12,8 +12,8 @@ namespace hpcsec::check {
 
 namespace {
 
-/// One past the largest interrupt id the GIC model distributes
-/// (kSpiBase + the default SPI count).
+/// One past the largest interrupt id the controller models distribute
+/// (kExternalBase + the default external-source count).
 constexpr int kIrqIdLimit = 256;
 
 /// Largest mapping (in frames) that is ownership-probed exhaustively;
@@ -33,10 +33,10 @@ constexpr std::uint64_t kProbeStride = 64;
     return "0x" + s;
 }
 
-[[nodiscard]] bool routed_irq_id(int irq) {
-    return (irq >= arch::kSgiBase && irq < arch::kPpiBase) ||  // SGIs
-           irq == arch::kIrqVirtTimer || irq == arch::kIrqPhysTimer ||
-           (irq >= arch::kSpiBase && irq < kIrqIdLimit);  // device SPIs
+[[nodiscard]] bool routed_irq_id(int irq, const arch::IrqLayout& layout) {
+    return (irq >= arch::kIpiBase && irq < arch::kIpiLimit) ||  // IPIs
+           irq == layout.virt_timer || irq == layout.phys_timer ||
+           (irq >= arch::kExternalBase && irq < kIrqIdLimit);  // device irqs
 }
 
 /// A stage-2 terminal mapping tagged with its VM, flattened to PA space.
@@ -375,20 +375,21 @@ void Auditor::check_core_locality() {
 // --------------------------------------------------------------------------
 
 void Auditor::check_vgic() {
+    const arch::IrqLayout& layout = spm_->platform().isa_ops().irq;
     for (int id = 1; id <= spm_->vm_count(); ++id) {
         hafnium::Vm& vm = spm_->vm(static_cast<arch::VmId>(id));
         if (vm.destroyed) continue;
         for (int v = 0; v < vm.vcpu_count(); ++v) {
             const hafnium::Vcpu& vcpu = vm.vcpu(v);
             for (const int irq : vcpu.vgic.pending) {
-                if (!routed_irq_id(irq)) {
+                if (!routed_irq_id(irq, layout)) {
                     record({Rule::kVgicSanity, vm.id(), v,
                             "pending virq " + std::to_string(irq) +
                                 " is not a routed interrupt id"});
                 }
             }
             for (const int irq : vcpu.vgic.enabled) {
-                if (!routed_irq_id(irq)) {
+                if (!routed_irq_id(irq, layout)) {
                     record({Rule::kVgicSanity, vm.id(), v,
                             "enabled virq " + std::to_string(irq) +
                                 " is not a routed interrupt id"});

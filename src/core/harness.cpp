@@ -50,6 +50,7 @@ TrialResult Harness::run_trial_impl(SchedulerKind kind,
         cfg = options_.config_factory(kind, seed);
     }
     cfg.platform.obs_mask |= options_.obs_mask;
+    if (options_.isa) cfg.platform.isa = *options_.isa;
     if (options_.check_mode != check::Mode::kOff) {
         cfg.check_mode = options_.check_mode;
         cfg.check_period = options_.check_period;

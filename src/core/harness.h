@@ -70,6 +70,10 @@ public:
         /// Structured-recorder categories to enable on every trial node
         /// (obs::Category bits, OR-ed into the platform config).
         std::uint32_t obs_mask = 0;
+        /// Force every trial node onto this ISA backend (applied after
+        /// config_factory, like obs_mask). Unset = keep whatever the
+        /// factory's platform preset chose (ARM for all built-in presets).
+        std::optional<arch::Isa> isa;
         /// Close a windowed aggregate snapshot every N trials in each row
         /// cell (obs::MetricsAggregate::set_window). 0 = totals only.
         /// Windows follow merge order — trial order within the cell — so

@@ -13,7 +13,7 @@
 
 #include <cstdint>
 
-#include "arch/gic.h"
+#include "arch/irq_controller.h"
 #include "arch/types.h"
 
 namespace hpcsec::hafnium {
@@ -42,7 +42,7 @@ struct IrqRouter {
     [[nodiscard]] IrqDestination route(int irq,
                                        bool virt_timer_for_running_guest) const {
         if (virt_timer_for_running_guest) return IrqDestination::kHypervisorInternal;
-        const bool device_spi = irq >= arch::kSpiBase;
+        const bool device_spi = irq >= arch::kExternalBase;
         if (device_spi && has_super_secondary &&
             policy == IrqRoutingPolicy::kSelective) {
             return IrqDestination::kSuperSecondaryDirect;

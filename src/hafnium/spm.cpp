@@ -49,7 +49,8 @@ void Spm::boot() {
         }
 
         Vm* vm = platform_->arena().make<Vm>(static_cast<arch::VmId>(i + 1), spec,
-                                             platform_->arena());
+                                             platform_->arena(),
+                                             platform_->isa_ops().stage2);
         const std::uint64_t nframes = spec.mem_bytes >> arch::kPageShift;
         vm->mem_base = mem.alloc_frames(nframes, vm->id(), spec.world);
         // Secondaries get a fully virtualized view (RAM at IPA 0); the
@@ -74,25 +75,29 @@ void Spm::boot() {
         io_owner->stage2().map(dev.base, dev.base, dev.size, arch::kPermRW);
         device_map_[io_owner->id()].push_back(dev.name);
         if (dev.spi >= 0) {
-            platform_->gic().enable_irq(dev.spi);
-            platform_->gic().set_spi_target(dev.spi, 0);
+            platform_->irqc().enable_irq(dev.spi);
+            platform_->irqc().set_external_target(dev.spi, 0);
         }
     }
     // Explicit per-VM device requests from the manifest are honored for the
     // primary/super-secondary as well (validated by Manifest::validate).
-    platform_->gic().enable_irq(arch::kIrqPhysTimer);
-    platform_->gic().enable_irq(arch::kIrqVirtTimer);
-    for (int s = 0; s < 16; ++s) platform_->gic().enable_irq(s);  // SGIs
+    const arch::IrqLayout& layout = platform_->isa_ops().irq;
+    platform_->irqc().enable_irq(layout.phys_timer);
+    platform_->irqc().enable_irq(layout.virt_timer);
+    for (int s = 0; s < 16; ++s) platform_->irqc().enable_irq(s);  // IPIs
 
-    // Take over the exception vectors and power every core on. On ARMv8 the
-    // hypervisor boots before any OS: cores enter at EL2.
+    // Take over the exception vectors and power every core on. On either
+    // ISA the hypervisor boots before any OS: cores enter at the hypervisor
+    // privilege level (ARM EL2 / RISC-V HS).
     for (int c = 0; c < platform_->ncores(); ++c) {
         arch::Core& core = platform_->core(c);
         core.set_irq_handler([this, c](int irq) { handle_phys_irq(c, irq); });
         core.exec().set_on_complete(
             [this, c](arch::Runnable* r) { on_core_idle(c, r); });
-        platform_->monitor().cpu_on(c, [](arch::Core& k) { k.set_el(arch::El::kEl2); });
-        core.set_el(arch::El::kEl1);  // drop to the primary VM's kernel
+        const arch::IsaOps& ops = platform_->isa_ops();
+        platform_->monitor().cpu_on(
+            c, [&ops](arch::Core& k) { k.set_el(ops.hyp_level); });
+        core.set_el(ops.guest_kernel_level);  // drop to the primary VM's kernel
         set_core_context(c, &primary_vm());
         core.set_irq_masked(false);
     }
@@ -118,7 +123,8 @@ arch::VmId Spm::create_vm(const VmSpec& spec) {
     }
 
     Vm* vm = platform_->arena().make<Vm>(static_cast<arch::VmId>(vms_.size() + 1),
-                                         spec, platform_->arena());
+                                         spec, platform_->arena(),
+                                         platform_->isa_ops().stage2);
     const std::uint64_t nframes = spec.mem_bytes >> arch::kPageShift;
     vm->mem_base = platform_->mem().alloc_frames(nframes, vm->id(), spec.world);
     vm->ipa_base = 0;
@@ -288,7 +294,7 @@ void Spm::abort_vcpu(Vcpu& vcpu) {
         const arch::CoreId core = vcpu.running_core;
         platform_->core(core).exec().preempt();
         exit_vcpu(core, vcpu, ExitReason::kAborted,
-                  platform_->perf().trap_to_el2 + platform_->perf().world_switch);
+                  platform_->perf().trap_to_hyp + platform_->perf().world_switch);
         return;
     }
     vcpu.set_state(VcpuState::kAborted);
@@ -323,7 +329,8 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
     arch::Executor& ex = c.exec();
     Vcpu* rv = running_vcpu_on(core);
 
-    const bool guest_vtimer = irq == arch::kIrqVirtTimer && rv != nullptr;
+    const int virt_timer = platform_->isa_ops().irq.virt_timer;
+    const bool guest_vtimer = irq == virt_timer && rv != nullptr;
     const IrqDestination dest = router_.route(irq, guest_vtimer);
     platform_->recorder().instant(platform_->engine().now(),
                                   obs::EventType::kIrqDeliver, core, irq,
@@ -340,16 +347,16 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             // A guest without a personality (detached mid-teardown) just
             // swallows the tick.
             const sim::Cycles service =
-                gos != nullptr ? gos->on_virq(*rv, arch::kIrqVirtTimer) : 0;
+                gos != nullptr ? gos->on_virq(*rv, virt_timer) : 0;
             ++rv->injected_virqs;
             ++stats_.virq_injections;
             platform_->recorder().instant(platform_->engine().now(),
                                           obs::EventType::kVirqInject, core,
-                                          arch::kIrqVirtTimer, rv->vm().id());
+                                          virt_timer, rv->vm().id());
             platform_->profiler().charge(core, obs::ProfPath::kTimerTick,
-                                         perf.trap_to_el2 + perf.virq_inject +
+                                         perf.trap_to_hyp + perf.virq_inject +
                                              service);
-            ex.charge(perf.trap_to_el2 + perf.virq_inject + service);
+            ex.charge(perf.trap_to_hyp + perf.virq_inject + service);
             ex.begin(rv->guest_context);
             // The handler may have re-armed the vtimer via hypercall.
             if (rv->vtimer_armed) {
@@ -369,9 +376,9 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             }
             Vcpu& target = ss->vcpu(0);
             arch::Runnable* interrupted = ex.preempt();
-            ex.charge(perf.trap_to_el2 + perf.virq_inject);
+            ex.charge(perf.trap_to_hyp + perf.virq_inject);
             platform_->profiler().charge(core, obs::ProfPath::kIrqRoute,
-                                         perf.trap_to_el2 + perf.virq_inject);
+                                         perf.trap_to_hyp + perf.virq_inject);
             if (running_vcpu_on(core) == &target || interrupted == target.guest_context) {
                 // SS is on this very core: deliver inline.
                 GuestOsItf* gos = find_guest_os(ss->id());
@@ -396,13 +403,13 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
                 // Full VM exit: guest out, primary in.
                 ex.preempt();
                 exit_vcpu(core, *rv, ExitReason::kPreempted,
-                          perf.trap_to_el2 + perf.world_switch);
+                          perf.trap_to_hyp + perf.world_switch);
             } else {
                 arch::Runnable* interrupted = ex.preempt();
-                ex.charge(perf.trap_to_el2 + perf.irq_entry_exit_el1);
+                ex.charge(perf.trap_to_hyp + perf.irq_entry_exit_kernel);
                 platform_->profiler().charge(
                     core, obs::ProfPath::kIrqRoute,
-                    perf.trap_to_el2 + perf.irq_entry_exit_el1);
+                    perf.trap_to_hyp + perf.irq_entry_exit_kernel);
                 // The primary's own task was interrupted; its scheduler will
                 // redispatch it (we leave it detached, matching a real IRQ
                 // frame on the kernel stack).
@@ -412,7 +419,7 @@ void Spm::handle_phys_irq(arch::CoreId core, int irq) {
             break;
         }
     }
-    platform_->gic().eoi(core, irq);
+    platform_->irqc().eoi(core, irq);
 }
 
 // --------------------------------------------------------------------------
@@ -809,7 +816,7 @@ HfResult Spm::on_interrupt_inject(arch::CoreId, arch::VmId caller,
         return {HfError::kInvalid, 0};  // outside the vGIC id space
     }
     inject_virq(target.vcpu(a.vcpu), a.virq);
-    if (vm(caller).role() == VmRole::kPrimary && a.virq >= arch::kSpiBase) {
+    if (vm(caller).role() == VmRole::kPrimary && a.virq >= arch::kExternalBase) {
         ++stats_.forwarded_device_irqs;
     }
     return {HfError::kOk, 0};
@@ -916,13 +923,14 @@ namespace {
 
 // Guest-supplied IPA windows must be rejected before they reach the
 // stage-2 PageTable APIs: map/unmap/protect treat unaligned or
-// beyond-48-bit arguments as host API misuse and throw. The pages bound
-// also rules out overflow in `pages * kPageSize`.
-bool valid_ipa_window(std::uint64_t base, std::uint64_t pages) {
-    constexpr std::uint64_t kIpaLimit = 1ull << arch::kInputAddrBits;
+// beyond-range arguments as host API misuse and throw. The limit is the
+// stage-2 format's input size (48-bit on ARMv8, 41-bit on Sv39x4). The
+// pages bound also rules out overflow in `pages * kPageSize`.
+bool valid_ipa_window(std::uint64_t base, std::uint64_t pages,
+                      std::uint64_t ipa_limit) {
     return (base & arch::kPageMask) == 0 &&
-           pages <= kIpaLimit / arch::kPageSize &&
-           base <= kIpaLimit - pages * arch::kPageSize;
+           pages <= ipa_limit / arch::kPageSize &&
+           base <= ipa_limit - pages * arch::kPageSize;
 }
 
 }  // namespace
@@ -946,8 +954,9 @@ HfResult Spm::mem_grant(arch::VmId caller, const abi::MemShareArgs& a,
     const arch::IpaAddr borrower_ipa = a.borrower_ipa;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
-    if (!valid_ipa_window(own_ipa, pages) ||
-        !valid_ipa_window(borrower_ipa, pages)) {
+    const std::uint64_t ipa_limit = platform_->isa_ops().stage2.input_limit();
+    if (!valid_ipa_window(own_ipa, pages, ipa_limit) ||
+        !valid_ipa_window(borrower_ipa, pages, ipa_limit)) {
         return {HfError::kInvalid, 0};
     }
     Vm& to = vm(target_id);
@@ -999,8 +1008,9 @@ HfResult Spm::on_mem_donate(arch::CoreId, arch::VmId caller,
     const arch::IpaAddr borrower_ipa = a.borrower_ipa;
     if (target_id == 0 || target_id > vms_.size()) return {HfError::kNotFound, 0};
     if (target_id == caller || pages == 0) return {HfError::kInvalid, 0};
-    if (!valid_ipa_window(own_ipa, pages) ||
-        !valid_ipa_window(borrower_ipa, pages)) {
+    const std::uint64_t ipa_limit = platform_->isa_ops().stage2.input_limit();
+    if (!valid_ipa_window(own_ipa, pages, ipa_limit) ||
+        !valid_ipa_window(borrower_ipa, pages, ipa_limit)) {
         return {HfError::kInvalid, 0};
     }
     Vm& to = vm(target_id);

@@ -28,8 +28,8 @@ const char* to_string(ExitReason r) {
     return "?";
 }
 
-Vm::Vm(arch::VmId id, VmSpec spec, sim::Arena& arena)
-    : id_(id), spec_(std::move(spec)) {
+Vm::Vm(arch::VmId id, VmSpec spec, sim::Arena& arena, arch::PtFormat stage2_format)
+    : id_(id), spec_(std::move(spec)), stage2_(stage2_format) {
     vcpu_count_ = spec_.vcpu_count;
     vcpus_ = arena.allocate_array<Vcpu>(static_cast<std::size_t>(vcpu_count_));
     for (int i = 0; i < vcpu_count_; ++i) {

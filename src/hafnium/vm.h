@@ -141,7 +141,10 @@ public:
     /// VCPUs are carved out of `arena` as one contiguous array — the
     /// scheduler indexes them without pointer-chasing, and teardown is the
     /// platform arena's O(1) reset rather than per-object frees.
-    Vm(arch::VmId id, VmSpec spec, sim::Arena& arena);
+    /// `stage2_format` selects the stage-2 table geometry (ARMv8 4-level or
+    /// Sv39x4 per the platform ISA).
+    Vm(arch::VmId id, VmSpec spec, sim::Arena& arena,
+       arch::PtFormat stage2_format = arch::PtFormat::armv8_4k());
 
     [[nodiscard]] arch::VmId id() const { return id_; }
     [[nodiscard]] const VmSpec& spec() const { return spec_; }

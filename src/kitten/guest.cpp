@@ -1,6 +1,6 @@
 #include "kitten/guest.h"
 
-#include "arch/gic.h"
+#include "arch/isa.h"
 
 namespace hpcsec::kitten {
 
@@ -31,7 +31,7 @@ void KittenGuestOs::start() {
         // Para-virtual interrupt controller setup (the features Hafnium
         // actually lets a secondary use).
         hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
-                             arch::kIrqVirtTimer, v);
+                             virt_timer_irq(), v);
         hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
                              hafnium::kMessageVirq, v);
         if (config_.tick_enabled) arm_vtimer(vcpu);
@@ -64,23 +64,24 @@ void KittenGuestOs::wake_runnable_vcpus() {
 }
 
 sim::Cycles KittenGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
-    switch (virq) {
-        case arch::kIrqVirtTimer:
-            ++stats_.ticks;
-            spm_->platform().recorder().instant(
-                spm_->platform().engine().now(), obs::EventType::kGuestTick,
-                vcpu.running_core, vm_->id(), vcpu.index());
-            if (heartbeat_hook) heartbeat_hook(vcpu);
-            if (config_.tick_enabled) arm_vtimer(vcpu);
-            return config_.tick_service;
-        case hafnium::kMessageVirq:
-            ++stats_.messages;
-            if (message_hook) message_hook();
-            return config_.msg_service;
-        default:
-            // Forwarded device IRQ (super-secondary role): generic handler.
-            return config_.msg_service;
+    // The virtual-timer line id is an ISA runtime property (IrqLayout), so
+    // this is an if/else chain rather than a switch on constants.
+    if (virq == virt_timer_irq()) {
+        ++stats_.ticks;
+        spm_->platform().recorder().instant(
+            spm_->platform().engine().now(), obs::EventType::kGuestTick,
+            vcpu.running_core, vm_->id(), vcpu.index());
+        if (heartbeat_hook) heartbeat_hook(vcpu);
+        if (config_.tick_enabled) arm_vtimer(vcpu);
+        return config_.tick_service;
     }
+    if (virq == hafnium::kMessageVirq) {
+        ++stats_.messages;
+        if (message_hook) message_hook();
+        return config_.msg_service;
+    }
+    // Forwarded device IRQ (super-secondary role): generic handler.
+    return config_.msg_service;
 }
 
 arch::Runnable* KittenGuestOs::on_idle(hafnium::Vcpu& vcpu) {

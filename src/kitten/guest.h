@@ -73,6 +73,11 @@ public:
 
 private:
     void arm_vtimer(hafnium::Vcpu& vcpu);
+    /// Guest virtual-timer line (ARM vtimer PPI / RISC-V VSTI) per the
+    /// platform's configured ISA.
+    [[nodiscard]] int virt_timer_irq() const {
+        return spm_->platform().isa_ops().irq.virt_timer;
+    }
 
     hafnium::Spm* spm_;
     hafnium::Vm* vm_;

@@ -5,7 +5,8 @@
 namespace hpcsec::kitten {
 
 namespace {
-/// SGI used as the rescheduling IPI between Kitten cores.
+/// IPI id (ARM SGI / RISC-V software interrupt) used as the
+/// rescheduling kick between Kitten cores.
 constexpr int kSgiResched = 1;
 }  // namespace
 
@@ -55,11 +56,12 @@ void KittenKernel::boot() {
             core.set_irq_handler([this, c](int irq) { native_irq(c, irq); });
             core.exec().set_on_complete(
                 [this, c](arch::Runnable* r) { on_task_complete(c, r); });
-            platform_->monitor().cpu_on(c,
-                                        [](arch::Core& k) { k.set_el(arch::El::kEl1); });
+            const arch::El kernel_level = platform_->isa_ops().guest_kernel_level;
+            platform_->monitor().cpu_on(
+                c, [kernel_level](arch::Core& k) { k.set_el(kernel_level); });
             core.set_irq_masked(false);
-            platform_->gic().enable_irq(arch::kIrqPhysTimer);
-            for (int s = 0; s < 16; ++s) platform_->gic().enable_irq(s);
+            platform_->irqc().enable_irq(platform_->isa_ops().irq.phys_timer);
+            for (int s = 0; s < 16; ++s) platform_->irqc().enable_irq(s);
         }
         if (config_.tick_enabled) {
             // First tick with a random per-core phase (cores come online at
@@ -165,7 +167,7 @@ bool KittenKernel::migrate_vcpu(arch::VmId vm_id, int vcpu, arch::CoreId new_cor
             t->vcpu->assigned_core = new_core;
             if (t->state == KThread::State::kReady) {
                 enqueue(*t);
-                platform_->gic().send_sgi(new_core, kSgiResched);
+                platform_->irqc().send_ipi(new_core, kSgiResched);
                 ++stats_.resched_ipis;
             }
             return true;
@@ -197,7 +199,7 @@ void KittenKernel::wake(KThread& thread) {
     if (current_[static_cast<std::size_t>(thread.core)] == nullptr) {
         // Idle core: kick it with a rescheduling IPI (Hafnium has no
         // cross-core hypercalls, so the primary does its own IPIs).
-        platform_->gic().send_sgi(thread.core, kSgiResched);
+        platform_->irqc().send_ipi(thread.core, kSgiResched);
         ++stats_.resched_ipis;
     }
 }
@@ -308,8 +310,8 @@ void KittenKernel::native_irq(arch::CoreId core, int irq) {
         enqueue(*cur, /*front=*/true);
         cur = nullptr;
     }
-    ex.charge(perf.irq_entry_exit_el1);
-    if (irq == arch::kIrqPhysTimer) {
+    ex.charge(perf.irq_entry_exit_kernel);
+    if (irq == platform_->isa_ops().irq.phys_timer) {
         handle_tick(core);
     }
     dispatch(core);
@@ -348,13 +350,13 @@ void KittenKernel::on_interrupt(arch::CoreId core, int irq) {
         enqueue(*cur, /*front=*/true);
         cur = nullptr;
     }
-    if (irq == arch::kIrqPhysTimer) {
+    if (irq == platform_->isa_ops().irq.phys_timer) {
         handle_tick(core);
-    } else if (irq >= arch::kSpiBase) {
+    } else if (irq >= arch::kExternalBase) {
         // Device IRQ: the paper's current approach — the primary forwards it
         // to the super-secondary VM.
         const arch::PerfModel& perf = platform_->perf();
-        platform_->core(core).exec().charge(perf.irq_entry_exit_el1);
+        platform_->core(core).exec().charge(perf.irq_entry_exit_kernel);
         if (hafnium::Vm* ss = spm_->super_secondary()) {
             hf::interrupt_inject(*spm_, core, self_id(), ss->id(), /*vcpu=*/0, irq);
             ++stats_.forwarded_irqs;

@@ -1,6 +1,6 @@
 #include "linux_fwk/guest.h"
 
-#include "arch/gic.h"
+#include "arch/isa.h"
 
 namespace hpcsec::linux_fwk {
 
@@ -19,7 +19,7 @@ void LinuxGuestOs::start() {
     for (int v = 0; v < vm_->vcpu_count(); ++v) {
         hafnium::Vcpu& vcpu = vm_->vcpu(v);
         hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
-                             arch::kIrqVirtTimer, v);
+                             virt_timer_irq(), v);
         hf::interrupt_enable(*spm_, vcpu.assigned_core, vm_->id(),
                              hafnium::kMessageVirq, v);
         // Enable every device SPI the SPM assigned to this VM.
@@ -44,7 +44,7 @@ void LinuxGuestOs::arm_vtimer(hafnium::Vcpu& vcpu) {
 }
 
 sim::Cycles LinuxGuestOs::on_virq(hafnium::Vcpu& vcpu, int virq) {
-    if (virq == arch::kIrqVirtTimer) {
+    if (virq == virt_timer_irq()) {
         ++stats_.ticks;
         spm_->platform().recorder().instant(
             spm_->platform().engine().now(), obs::EventType::kGuestTick,

@@ -65,7 +65,7 @@ void LinuxKernel::schedule_kworker_wake(arch::CoreId core) {
     const auto delay = platform_->engine().clock().from_seconds(delay_s);
     platform_->engine().after(std::max<sim::Cycles>(delay, 1), [this, core] {
         // Deferred work arrives as irq-work: a self-IPI on the target core.
-        platform_->gic().send_sgi(core, kSgiIrqWork);
+        platform_->irqc().send_ipi(core, kSgiIrqWork);
     });
 }
 
@@ -124,7 +124,7 @@ void LinuxKernel::wake_entity(SchedEntity& se) {
     if (!booted_) return;
     SchedEntity* cur = current_[static_cast<std::size_t>(se.core)];
     if (cur == nullptr || rq.should_preempt(*cur)) {
-        platform_->gic().send_sgi(se.core, kSgiResched);
+        platform_->irqc().send_ipi(se.core, kSgiResched);
     }
 }
 
@@ -231,11 +231,11 @@ void LinuxKernel::on_interrupt(arch::CoreId core, int irq) {
         cur = nullptr;
     }
 
-    if (irq == arch::kIrqPhysTimer) {
+    if (irq == platform_->isa_ops().irq.phys_timer) {
         handle_tick(core);
     } else if (irq == kSgiIrqWork) {
         // Deferred work arrival: wake this core's kworker with a fresh burst.
-        ex.charge(perf.irq_entry_exit_el1);
+        ex.charge(perf.irq_entry_exit_kernel);
         auto& rng = noise_rng_[static_cast<std::size_t>(core)];
         if (config_.noise_enabled) {
             SchedEntity* kw = kworker_[static_cast<std::size_t>(core)];
@@ -254,10 +254,10 @@ void LinuxKernel::on_interrupt(arch::CoreId core, int irq) {
             }
             schedule_kworker_wake(core);
         }
-    } else if (irq >= arch::kSpiBase) {
+    } else if (irq >= arch::kExternalBase) {
         // Device IRQ: forward to the super-secondary, as the reference
         // driver stack would hand it to the owning VM.
-        ex.charge(perf.irq_entry_exit_el1);
+        ex.charge(perf.irq_entry_exit_kernel);
         if (hafnium::Vm* ss = spm_->super_secondary()) {
             hf::interrupt_inject(*spm_, core, arch::kPrimaryVmId, ss->id(),
                                  /*vcpu=*/0, irq);

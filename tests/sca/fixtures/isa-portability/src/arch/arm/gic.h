@@ -1,0 +1,2 @@
+// ARM backend header (fixture stand-in).
+#pragma once

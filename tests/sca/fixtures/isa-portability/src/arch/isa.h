@@ -1,0 +1,4 @@
+// The generic seam: allowed to include backends (it builds them).
+#pragma once
+#include "arch/arm/gic.h"
+#include "arch/riscv/plic.h"

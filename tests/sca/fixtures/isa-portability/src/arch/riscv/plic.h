@@ -1,0 +1,2 @@
+// RISC-V backend header (fixture stand-in).
+#pragma once

@@ -1,0 +1,3 @@
+// Out-of-layer consumer: must go through arch/isa.h, not a backend.
+#include "arch/arm/gic.h"
+#include "arch/isa.h"

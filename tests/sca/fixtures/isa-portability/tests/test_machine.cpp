@@ -1,0 +1,4 @@
+// Tests are covered too: backend-specific tests silently drop coverage
+// of the other ISA.
+#include "arch/isa.h"
+#include "arch/riscv/plic.h"

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "arch/isa.h"
 #include "arch/mmu.h"
 #include "arch/platform.h"
 #include "check/corrupt.h"
@@ -277,10 +278,13 @@ TEST_F(SpmTagFixture, DestroyedBorrowerOfALendRestoresOwnerAccess) {
 
 // --- the full pipeline: every attack shape defeated end to end ---------------
 
-class AttackDefeated : public ::testing::TestWithParam<wl::AttackKind> {};
+// Every attack shape must be defeated on both machine-model backends.
+class AttackDefeated
+    : public ::testing::TestWithParam<std::tuple<wl::AttackKind, arch::Isa>> {};
 
 TEST_P(AttackDefeated, DetectContainRecoverLeavesNodeServing) {
     NodeConfig cfg = Harness::default_config(SchedulerKind::kKittenPrimary, 83);
+    cfg.platform.isa = std::get<1>(GetParam());
     cfg.protect_critical = true;
     Node node(cfg);
     node.boot();
@@ -296,14 +300,14 @@ TEST_P(AttackDefeated, DetectContainRecoverLeavesNodeServing) {
     resil::ContainmentEngine contain(node);
     contain.arm();
     wl::AttackConfig ac;
-    ac.kind = GetParam();
+    ac.kind = std::get<0>(GetParam());
     wl::AdversaryWorkload attack(*node.spm(), attacker, ac);
     attack.start();
     node.run_for(1.0);
 
     // Detect: the exploit reached the tagged frame and got nothing.
     EXPECT_TRUE(attack.done());
-    EXPECT_TRUE(attack.defeated()) << to_string(GetParam());
+    EXPECT_TRUE(attack.defeated()) << to_string(std::get<0>(GetParam()));
     EXPECT_GT(node.spm()->stats().tag_violations, 0u);
     // Contain: exactly the offender was quarantined...
     EXPECT_EQ(contain.stats().quarantines, 1u);
@@ -337,11 +341,16 @@ TEST_P(AttackDefeated, DetectContainRecoverLeavesNodeServing) {
     EXPECT_TRUE(node.spm()->vm_write64(node.compute_vm()->id(), 0x1000, 0x1));
 }
 
-INSTANTIATE_TEST_SUITE_P(AllShapes, AttackDefeated,
-                         ::testing::Values(wl::AttackKind::kHeartbleed,
-                                           wl::AttackKind::kVtableOverwrite,
-                                           wl::AttackKind::kSropForgery),
-                         [](const auto& info) { return to_string(info.param); });
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, AttackDefeated,
+    ::testing::Combine(::testing::Values(wl::AttackKind::kHeartbleed,
+                                         wl::AttackKind::kVtableOverwrite,
+                                         wl::AttackKind::kSropForgery),
+                       ::testing::Values(arch::Isa::kArm, arch::Isa::kRiscv)),
+    [](const ::testing::TestParamInfo<AttackDefeated::ParamType>& info) {
+        return std::string(to_string(std::get<0>(info.param))) + "_" +
+               arch::to_string(std::get<1>(info.param));
+    });
 
 // --- satellite: determinism under attack -------------------------------------
 

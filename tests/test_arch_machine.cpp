@@ -7,7 +7,8 @@
 #include "arch/core.h"
 #include "arch/devicetree.h"
 #include "arch/exec.h"
-#include "arch/gic.h"
+#include "arch/irq_controller.h"
+#include "arch/isa.h"
 #include "arch/monitor.h"
 #include "arch/platform.h"
 #include "arch/timer.h"
@@ -15,10 +16,14 @@
 namespace hpcsec::arch {
 namespace {
 
-// --- Gic --------------------------------------------------------------------
+// The ARM layout's timer ids, used throughout the fixtures below.
+const IrqLayout& arm_irqs() { return IsaOps::get(Isa::kArm).irq; }
+
+// --- IrqController (ARM/Gic backend via the generic interface) ---------------
 
 struct GicFixture : ::testing::Test {
-    Gic gic{4};
+    std::unique_ptr<IrqController> irqc = IsaOps::get(Isa::kArm).make_irq_controller(4);
+    IrqController& gic = *irqc;
     std::vector<std::pair<CoreId, int>> signals;
 
     void SetUp() override {
@@ -28,33 +33,33 @@ struct GicFixture : ::testing::Test {
 
 TEST_F(GicFixture, SpiRoutesToTargetCore) {
     gic.enable_irq(40);
-    gic.set_spi_target(40, 2);
-    gic.raise_spi(40);
+    gic.set_external_target(40, 2);
+    gic.raise_external(40);
     ASSERT_EQ(signals.size(), 1u);
     EXPECT_EQ(signals[0].first, 2);
     EXPECT_EQ(gic.ack(2), 40);
 }
 
 TEST_F(GicFixture, DisabledIrqNotDeliverable) {
-    gic.set_spi_target(40, 1);
-    gic.raise_spi(40);  // not enabled
+    gic.set_external_target(40, 1);
+    gic.raise_external(40);  // not enabled
     EXPECT_FALSE(gic.has_deliverable(1));
-    EXPECT_EQ(gic.ack(1), Gic::kSpurious);
+    EXPECT_EQ(gic.ack(1), IrqController::kSpurious);
     gic.enable_irq(40);
     EXPECT_TRUE(gic.has_deliverable(1));
     EXPECT_EQ(gic.ack(1), 40);
 }
 
 TEST_F(GicFixture, PpiIsPerCore) {
-    gic.enable_irq(kIrqPhysTimer);
-    gic.raise_ppi(1, kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
+    gic.raise_private(1, arm_irqs().phys_timer);
     EXPECT_TRUE(gic.has_deliverable(1));
     EXPECT_FALSE(gic.has_deliverable(0));
 }
 
 TEST_F(GicFixture, SgiTargetsSpecificCore) {
     gic.enable_irq(1);
-    gic.send_sgi(3, 1);
+    gic.send_ipi(3, 1);
     EXPECT_TRUE(gic.has_deliverable(3));
     EXPECT_EQ(gic.ack(3), 1);
 }
@@ -62,12 +67,12 @@ TEST_F(GicFixture, SgiTargetsSpecificCore) {
 TEST_F(GicFixture, AckOrderFollowsPriority) {
     gic.enable_irq(40);
     gic.enable_irq(41);
-    gic.set_spi_target(40, 0);
-    gic.set_spi_target(41, 0);
-    gic.set_priority(41, 0x20);  // lower value = higher priority
+    gic.set_external_target(40, 0);
+    gic.set_external_target(41, 0);
+    gic.set_priority(41, 0x20);  // GIC: lower value = higher priority
     gic.set_priority(40, 0x80);
-    gic.raise_spi(40);
-    gic.raise_spi(41);
+    gic.raise_external(40);
+    gic.raise_external(41);
     EXPECT_EQ(gic.ack(0), 41);
     EXPECT_EQ(gic.ack(0), 40);
 }
@@ -75,10 +80,10 @@ TEST_F(GicFixture, AckOrderFollowsPriority) {
 TEST_F(GicFixture, EoiClearsActiveAndResignals) {
     gic.enable_irq(40);
     gic.enable_irq(41);
-    gic.set_spi_target(40, 0);
-    gic.set_spi_target(41, 0);
-    gic.raise_spi(40);
-    gic.raise_spi(41);
+    gic.set_external_target(40, 0);
+    gic.set_external_target(41, 0);
+    gic.raise_external(40);
+    gic.raise_external(41);
     const int first = gic.ack(0);
     signals.clear();
     gic.eoi(0, first);
@@ -87,48 +92,49 @@ TEST_F(GicFixture, EoiClearsActiveAndResignals) {
 
 TEST_F(GicFixture, ClearPendingDropsIrq) {
     gic.enable_irq(40);
-    gic.set_spi_target(40, 0);
-    gic.raise_spi(40);
+    gic.set_external_target(40, 0);
+    gic.raise_external(40);
     gic.clear_pending(0, 40);
-    EXPECT_EQ(gic.ack(0), Gic::kSpurious);
+    EXPECT_EQ(gic.ack(0), IrqController::kSpurious);
 }
 
 TEST_F(GicFixture, RejectsBadIds) {
-    EXPECT_THROW(gic.raise_spi(3), std::invalid_argument);
-    EXPECT_THROW(gic.raise_ppi(0, 40), std::invalid_argument);
-    EXPECT_THROW(gic.send_sgi(0, 20), std::invalid_argument);
-    EXPECT_THROW(gic.set_spi_target(40, 9), std::invalid_argument);
+    EXPECT_THROW(gic.raise_external(3), std::invalid_argument);
+    EXPECT_THROW(gic.raise_private(0, 40), std::invalid_argument);
+    EXPECT_THROW(gic.send_ipi(0, 20), std::invalid_argument);
+    EXPECT_THROW(gic.set_external_target(40, 9), std::invalid_argument);
 }
 
 // --- GenericTimer -------------------------------------------------------------
 
 struct TimerFixture : ::testing::Test {
     sim::Engine engine;
-    Gic gic{2};
-    GenericTimer timer{engine, gic, 0};
+    std::unique_ptr<IrqController> irqc = IsaOps::get(Isa::kArm).make_irq_controller(2);
+    IrqController& gic = *irqc;
+    GenericTimer timer{engine, gic, 0, arm_irqs()};
 };
 
 TEST_F(TimerFixture, FiresPhysPpiAtDeadline) {
-    gic.enable_irq(kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
     timer.set_deadline(TimerChannel::kPhys, 1000);
     engine.run_until(999);
     EXPECT_FALSE(gic.has_deliverable(0));
     engine.run_until(1000);
     EXPECT_TRUE(gic.has_deliverable(0));
-    EXPECT_EQ(gic.ack(0), kIrqPhysTimer);
+    EXPECT_EQ(gic.ack(0), arm_irqs().phys_timer);
     EXPECT_EQ(timer.fired_count(TimerChannel::kPhys), 1u);
 }
 
 TEST_F(TimerFixture, VirtChannelIsIndependent) {
-    gic.enable_irq(kIrqVirtTimer);
+    gic.enable_irq(arm_irqs().virt_timer);
     timer.set_deadline(TimerChannel::kVirt, 500);
     engine.run_until(500);
-    EXPECT_EQ(gic.ack(0), kIrqVirtTimer);
+    EXPECT_EQ(gic.ack(0), arm_irqs().virt_timer);
     EXPECT_EQ(timer.fired_count(TimerChannel::kPhys), 0u);
 }
 
 TEST_F(TimerFixture, CancelPreventsFiring) {
-    gic.enable_irq(kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
     timer.set_deadline(TimerChannel::kPhys, 1000);
     timer.cancel(TimerChannel::kPhys);
     engine.run_until(2000);
@@ -137,7 +143,7 @@ TEST_F(TimerFixture, CancelPreventsFiring) {
 }
 
 TEST_F(TimerFixture, ReprogramMovesDeadline) {
-    gic.enable_irq(kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
     timer.set_deadline(TimerChannel::kPhys, 1000);
     timer.set_deadline(TimerChannel::kPhys, 2000);
     engine.run_until(1500);
@@ -147,7 +153,7 @@ TEST_F(TimerFixture, ReprogramMovesDeadline) {
 }
 
 TEST_F(TimerFixture, PastDeadlineFiresImmediately) {
-    gic.enable_irq(kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
     engine.after(100, [] {});
     engine.run();
     timer.set_deadline(TimerChannel::kPhys, 50);  // already passed
@@ -328,7 +334,8 @@ TEST_F(ExecFixture, IntervalsReportedContiguously) {
 struct MonitorFixture : ::testing::Test {
     sim::Engine engine;
     PerfModel perf;
-    Gic gic{4};
+    std::unique_ptr<IrqController> irqc = IsaOps::get(Isa::kArm).make_irq_controller(4);
+    IrqController& gic = *irqc;
     MemoryMap mem;
     std::vector<std::unique_ptr<Core>> cores;
     std::unique_ptr<SecureMonitor> monitor;
@@ -338,7 +345,8 @@ struct MonitorFixture : ::testing::Test {
                         World::kNonSecure});
         std::vector<Core*> ptrs;
         for (int i = 0; i < 4; ++i) {
-            cores.push_back(std::make_unique<Core>(engine, perf, gic, mem, i));
+            cores.push_back(
+                std::make_unique<Core>(engine, perf, gic, mem, i, arm_irqs()));
             ptrs.push_back(cores.back().get());
         }
         monitor = std::make_unique<SecureMonitor>(ptrs);
@@ -413,19 +421,19 @@ TEST_F(MonitorFixture, MaskedCoreDefersIrqUntilUnmask) {
     monitor->cpu_on(0, nullptr);
     int taken = -1;
     cores[0]->set_irq_handler([&](int irq) { taken = irq; });
-    gic.enable_irq(kIrqPhysTimer);
-    gic.raise_ppi(0, kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
+    gic.raise_private(0, arm_irqs().phys_timer);
     EXPECT_EQ(taken, -1);  // reset state: masked
     cores[0]->set_irq_masked(false);
-    EXPECT_EQ(taken, kIrqPhysTimer);
+    EXPECT_EQ(taken, arm_irqs().phys_timer);
 }
 
 TEST_F(MonitorFixture, PoweredOffCoreIgnoresIrqs) {
     int taken = 0;
     cores[0]->set_irq_handler([&](int) { ++taken; });
     cores[0]->set_irq_masked(false);
-    gic.enable_irq(kIrqPhysTimer);
-    gic.raise_ppi(0, kIrqPhysTimer);
+    gic.enable_irq(arm_irqs().phys_timer);
+    gic.raise_private(0, arm_irqs().phys_timer);
     EXPECT_EQ(taken, 0);
 }
 
@@ -435,8 +443,8 @@ TEST_F(MonitorFixture, HandlerDrainsAllPending) {
     cores[0]->set_irq_handler([&](int irq) { taken.push_back(irq); });
     gic.enable_irq(1);
     gic.enable_irq(2);
-    gic.send_sgi(0, 1);
-    gic.send_sgi(0, 2);
+    gic.send_ipi(0, 1);
+    gic.send_ipi(0, 2);
     cores[0]->set_irq_masked(false);
     EXPECT_EQ(taken.size(), 2u);
 }

@@ -359,7 +359,7 @@ TEST(Routing, SelectivePolicySkipsPrimary) {
     int seen = -1;
     node.login_guest()->device_irq_hook = [&](int irq) { seen = irq; };
 
-    node.platform().gic().raise_spi(32);
+    node.platform().irqc().raise_external(32);
     node.run_for(0.05);
     EXPECT_EQ(seen, 32);
     // Direct routing: the SPM forwarded it without a primary hypercall.
@@ -376,7 +376,7 @@ TEST(Routing, ForwardPolicyGoesThroughPrimary) {
     int seen = -1;
     node.login_guest()->device_irq_hook = [&](int irq) { seen = irq; };
 
-    node.platform().gic().raise_spi(32);
+    node.platform().irqc().raise_external(32);
     node.run_for(0.05);
     EXPECT_EQ(seen, 32);
     EXPECT_GE(node.kitten()->stats().forwarded_irqs, 1u);

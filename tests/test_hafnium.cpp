@@ -485,10 +485,12 @@ TEST_F(SpmFixture, VtimerSetAndCancelTrackState) {
 TEST_F(SpmFixture, InterruptEnableTracksVgicState) {
     auto spm = make_spm();
     Vm& compute = *spm->find_vm("compute");
+    const auto virt_timer =
+        static_cast<std::uint64_t>(spm->platform().isa_ops().irq.virt_timer);
     ASSERT_TRUE(spm->hypercall(0, compute.id(), Call::kInterruptEnable,
-                               {arch::kIrqVirtTimer, 2, 0, 0})
+                               {virt_timer, 2, 0, 0})
                     .ok());
-    EXPECT_TRUE(compute.vcpu(2).vgic.enabled.contains(arch::kIrqVirtTimer));
+    EXPECT_TRUE(compute.vcpu(2).vgic.enabled.contains(static_cast<int>(virt_timer)));
 }
 
 }  // namespace

@@ -6,8 +6,11 @@
 //   I3  non-secure VMs can never reach secure-world frames;
 //   I4  revoking a grant closes the window completely;
 //   I5  hypervisor frame ownership is never reachable from any VM.
+// The whole suite is parameterized over (seed, ISA backend): the isolation
+// properties must hold identically on the ARM and RISC-V machine models.
 #include <gtest/gtest.h>
 
+#include "arch/isa.h"
 #include "arch/platform.h"
 #include "hafnium/spm.h"
 #include "sim/rng.h"
@@ -15,14 +18,18 @@
 namespace hpcsec::hafnium {
 namespace {
 
-struct IsolationFixture : ::testing::TestWithParam<std::uint64_t> {
-    arch::PlatformConfig pcfg = [] {
+struct IsolationFixture
+    : ::testing::TestWithParam<std::tuple<std::uint64_t, arch::Isa>> {
+    arch::PlatformConfig pcfg = [this] {
         auto c = arch::PlatformConfig::pine_a64();
         c.secure_ram_bytes = 128ull << 20;
+        c.isa = std::get<1>(GetParam());
         return c;
     }();
     arch::Platform platform{pcfg};
     std::unique_ptr<Spm> spm;
+
+    [[nodiscard]] std::uint64_t seed() const { return std::get<0>(GetParam()); }
 
     void SetUp() override {
         Manifest m;
@@ -50,7 +57,7 @@ struct IsolationFixture : ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(IsolationFixture, I1_TranslationsStayWithinOwnership) {
-    sim::Rng rng(GetParam());
+    sim::Rng rng(seed());
     for (int vm_id = 1; vm_id <= spm->vm_count(); ++vm_id) {
         Vm& vm = spm->vm(static_cast<arch::VmId>(vm_id));
         for (int trial = 0; trial < 500; ++trial) {
@@ -67,7 +74,7 @@ TEST_P(IsolationFixture, I1_TranslationsStayWithinOwnership) {
 }
 
 TEST_P(IsolationFixture, I2_RandomCrossVmProbesAllFail) {
-    sim::Rng rng(GetParam() ^ 0xabcdef);
+    sim::Rng rng(seed() ^ 0xabcdef);
     // Probe each tenant's stage-2 with IPAs pointing at other VMs' PAs —
     // none may translate (their stage-2 simply has no such mappings beyond
     // their own window).
@@ -96,7 +103,7 @@ TEST_P(IsolationFixture, I2_RandomCrossVmProbesAllFail) {
 }
 
 TEST_P(IsolationFixture, I3_NonSecureCannotTouchSecureWorld) {
-    sim::Rng rng(GetParam() ^ 0x5ec);
+    sim::Rng rng(seed() ^ 0x5ec);
     Vm& secure_vm = *spm->find_vm("tenant2");
     ASSERT_EQ(secure_vm.world(), arch::World::kSecure);
     ASSERT_EQ(platform.mem().world_of(secure_vm.mem_base), arch::World::kSecure);
@@ -115,7 +122,7 @@ TEST_P(IsolationFixture, I3_NonSecureCannotTouchSecureWorld) {
 }
 
 TEST_P(IsolationFixture, I4_GrantWindowOpensAndClosesExactly) {
-    sim::Rng rng(GetParam() ^ 0x97a7);
+    sim::Rng rng(seed() ^ 0x97a7);
     Vm& t0 = *spm->find_vm("tenant0");
     Vm& t1 = *spm->find_vm("tenant1");
     const arch::IpaAddr own = (rng.next_below(1024)) * arch::kPageSize;
@@ -151,8 +158,14 @@ TEST_P(IsolationFixture, I5_PageTableFramesNotGuestReachable) {
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, IsolationFixture,
-                         ::testing::Values(11, 22, 33, 44, 55));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, IsolationFixture,
+    ::testing::Combine(::testing::Values<std::uint64_t>(11, 22, 33, 44, 55),
+                       ::testing::Values(arch::Isa::kArm, arch::Isa::kRiscv)),
+    [](const ::testing::TestParamInfo<IsolationFixture::ParamType>& info) {
+        return arch::to_string(std::get<1>(info.param)) + "_seed" +
+               std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace hpcsec::hafnium

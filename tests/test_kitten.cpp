@@ -350,9 +350,9 @@ TEST_F(PrimaryKitten, StopVmExitsProxies) {
 TEST_F(PrimaryKitten, PrimaryForwardsDeviceIrqsToSuperSecondary) {
     // No super-secondary in this fixture: forwarding is a no-op but the
     // interrupt must still be consumed without crashing.
-    platform.gic().enable_irq(32);
-    platform.gic().set_spi_target(32, 0);
-    platform.gic().raise_spi(32);
+    platform.irqc().enable_irq(32);
+    platform.irqc().set_external_target(32, 0);
+    platform.irqc().raise_external(32);
     platform.engine().run_until(platform.engine().clock().from_millis(1));
     EXPECT_EQ(kernel->stats().forwarded_irqs, 0u);
 }

@@ -251,7 +251,7 @@ TEST(LinuxGuest, DeviceIrqDeliveredToLoginVm) {
     kernel.launch_vm(2);
 
     // Raise the UART SPI (32): primary receives it and forwards.
-    platform.gic().raise_spi(32);
+    platform.irqc().raise_external(32);
     platform.engine().run_until(platform.engine().clock().from_millis(50));
     EXPECT_EQ(seen_irq, 32);
     EXPECT_EQ(login.stats().device_irqs, 1u);

@@ -3,6 +3,7 @@
 // harness options.
 #include <gtest/gtest.h>
 
+#include "arch/isa.h"
 #include "arch/perfmodel.h"
 #include "arch/platform.h"
 #include "arch/uart.h"
@@ -65,9 +66,10 @@ TEST(Uart, CapturesBytesAndRaisesSpi) {
     arch::MemoryMap mem;
     mem.add_region({"uart", 0x9000'0000, 0x1000, arch::RegionKind::kMmio,
                     arch::World::kNonSecure});
-    arch::Gic gic(1);
+    const auto irqc = arch::IsaOps::get(arch::Isa::kArm).make_irq_controller(1);
+    arch::IrqController& gic = *irqc;
     gic.enable_irq(40);
-    gic.set_spi_target(40, 0);
+    gic.set_external_target(40, 0);
     arch::Uart uart(mem, &gic, 0x9000'0000, 40);
     for (const char c : std::string("ok\n")) {
         mem.write64(0x9000'0000 + arch::Uart::kDataReg,

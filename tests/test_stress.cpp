@@ -54,7 +54,7 @@ TEST_P(StressFuzz, RandomManagementOpsNeverBreakInvariants) {
             }
             case 1: {  // device IRQ burst
                 for (int i = 0; i < static_cast<int>(rng.next_below(8)); ++i) {
-                    node.platform().gic().raise_spi(32);
+                    node.platform().irqc().raise_external(32);
                 }
                 break;
             }
@@ -74,7 +74,7 @@ TEST_P(StressFuzz, RandomManagementOpsNeverBreakInvariants) {
                 break;
             }
             case 4: {  // send an SGI somewhere
-                node.platform().gic().send_sgi(
+                node.platform().irqc().send_ipi(
                     static_cast<arch::CoreId>(rng.next_below(4)),
                     static_cast<int>(rng.next_below(3)));
                 break;

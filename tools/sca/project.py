@@ -37,6 +37,13 @@ DEFAULTS: dict = {
         "cluster": ["core", "sim", "workloads"],
     },
 
+    # ---- ISA backend isolation (isa-portability) --------------------------
+    # Include prefixes that resolve inside an ISA backend. The layer DAG
+    # can't see the arch/ split (arch/arm/gic.h and arch/isa.h are both
+    # layer "arch"), so isa-portability separately forbids these prefixes
+    # outside src/arch/ — across the whole corpus, tests/bench included.
+    "isa_backend_dirs": ["arch/arm", "arch/riscv"],
+
     # ---- enum/to_string coverage (enum-string-coverage) -------------------
     # Enum name -> [header declaring it, source whose to_string must cover
     # every enumerator].

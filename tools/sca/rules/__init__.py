@@ -8,3 +8,4 @@ from sca.rules import locking       # noqa: F401
 from sca.rules import switches      # noqa: F401
 from sca.rules import hygiene       # noqa: F401
 from sca.rules import hot_path_alloc  # noqa: F401
+from sca.rules import isa_portability  # noqa: F401

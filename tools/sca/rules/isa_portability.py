@@ -1,0 +1,41 @@
+"""ISA portability: backend headers stay behind the arch:: seam.
+
+The arch layer is split into an ISA-generic core plus per-ISA backends
+(src/arch/arm/, src/arch/riscv/). The layer DAG cannot see the split —
+both `arch/arm/gic.h` and `arch/isa.h` resolve to layer "arch" — so this
+rule enforces the finer invariant: only files under src/arch/ may include
+a backend header. Everyone else goes through arch::IsaOps, which is what
+keeps the tree portable to a third ISA.
+
+Unlike layer-dag this scans the whole corpus (tests, bench, examples
+included): a test hard-wired to one backend silently stops covering the
+other.
+"""
+
+from __future__ import annotations
+
+from sca.model import Finding
+from sca.registry import rule
+
+
+@rule("isa-portability",
+      "ISA backend headers are only included inside src/arch/",
+      "route through arch::IsaOps (isa.h) — privilege levels, timer irq "
+      "ids, page-table formats and the IrqController factory are all on "
+      "the ops table; if the table is missing something, extend it rather "
+      "than reaching into a backend")
+def isa_portability(analysis):
+    backend_dirs: list[str] = analysis.config["isa_backend_dirs"]
+    for rel, sf in sorted(analysis.corpus.files.items()):
+        if rel.startswith("src/arch/"):
+            continue
+        for line, inc, is_system in sf.scan.includes:
+            if is_system:
+                continue
+            for backend in backend_dirs:
+                if inc == backend or inc.startswith(backend + "/"):
+                    yield Finding(
+                        "isa-portability", rel, line,
+                        f"backend header \"{inc}\" included outside "
+                        f"src/arch/ — only the arch layer may see "
+                        f"ISA-specific code")
